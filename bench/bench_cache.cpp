@@ -1,0 +1,141 @@
+//===- bench_cache.cpp - Figure 7 cache characterization ---------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Exercises the Figure 7 design: the 2-stage direct-mapped write-allocate
+/// write-through cache written in ~50 lines of PDL, with QueueLock-guarded
+/// cache entries. Measures hit and miss service under three request
+/// patterns, and checks every response against the sequential
+/// interpretation of the same PDL program.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/System.h"
+#include "cores/CoreSources.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace pdl;
+using namespace pdl::backend;
+
+namespace {
+
+struct Req {
+  uint32_t Addr;
+  uint32_t Data;
+  bool IsWr;
+};
+
+struct Outcome {
+  uint64_t Cycles = 0;
+  std::vector<uint64_t> Responses;
+};
+
+Outcome drive(const CompiledProgram &CP, const std::vector<Req> &Reqs) {
+  ElabConfig Cfg;
+  Cfg.LockChoice["cache.entry"] = LockKind::Queue;
+  Cfg.MemLatency["cache.main"] = 3; // DRAM-ish miss latency
+  System Sys(CP, Cfg);
+  // Pre-fill main memory so misses return recognizable data.
+  for (uint32_t W = 0; W < 4096; ++W)
+    Sys.memory("cache", "main").write(W, Bits(0xD000 + W, 32));
+
+  size_t Next = 0;
+  uint64_t Start = Sys.stats().Cycles;
+  while (Sys.trace("cache").size() < Reqs.size() &&
+         Sys.stats().Cycles - Start < 100000) {
+    // Issue a request per cycle while the entry queue has room.
+    if (Next < Reqs.size() && Sys.canAccept("cache")) {
+      Sys.start("cache", {Bits(Reqs[Next].Addr, 32),
+                          Bits(Reqs[Next].Data, 32),
+                          Bits(Reqs[Next].IsWr ? 1 : 0, 1)});
+      ++Next;
+    }
+    Sys.cycle();
+  }
+  Outcome O;
+  O.Cycles = Sys.stats().Cycles - Start;
+  for (const ThreadTrace &T : Sys.trace("cache"))
+    O.Responses.push_back(T.Output ? T.Output->zext() : ~0ull);
+  return O;
+}
+
+std::vector<uint64_t> oracle(const CompiledProgram &CP,
+                             const std::vector<Req> &Reqs) {
+  SeqInterpreter Seq(*CP.AST);
+  for (uint32_t W = 0; W < 4096; ++W)
+    Seq.memory("cache", "main").write(W, Bits(0xD000 + W, 32));
+  std::vector<uint64_t> Out;
+  for (const Req &R : Reqs) {
+    auto Traces = Seq.run("cache",
+                          {Bits(R.Addr, 32), Bits(R.Data, 32),
+                           Bits(R.IsWr ? 1 : 0, 1)},
+                          1);
+    Out.push_back(Traces[0].Output ? Traces[0].Output->zext() : ~0ull);
+  }
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  CompiledProgram CP = compile(cores::cacheSource(), "cache.pdl");
+  if (!CP.ok()) {
+    std::fprintf(stderr, "cache failed to compile:\n%s",
+                 CP.Diags->render().c_str());
+    return 1;
+  }
+
+  std::printf("=== Figure 7: 2-stage direct-mapped write-through cache "
+              "===\n\n");
+
+  struct Pattern {
+    const char *Name;
+    std::vector<Req> Reqs;
+  };
+  std::vector<Pattern> Patterns;
+
+  // Warm hits: one miss then 31 hits on the same line.
+  {
+    std::vector<Req> R;
+    for (int I = 0; I < 32; ++I)
+      R.push_back({0x140, 0, false});
+    Patterns.push_back({"repeat-line (1 miss + 31 hits)", R});
+  }
+  // Cold misses: 32 distinct lines.
+  {
+    std::vector<Req> R;
+    for (int I = 0; I < 32; ++I)
+      R.push_back({uint32_t(0x1000 + I * 4), 0, false});
+    Patterns.push_back({"streaming (32 cold misses)", R});
+  }
+  // Write-then-read conflicts on one line (queue lock serializes).
+  {
+    std::vector<Req> R;
+    for (int I = 0; I < 16; ++I) {
+      R.push_back({0x80, uint32_t(0xAA00 + I), true});
+      R.push_back({0x80, 0, false});
+    }
+    Patterns.push_back({"write/read same line x16", R});
+  }
+
+  for (const Pattern &P : Patterns) {
+    Outcome O = drive(CP, P.Reqs);
+    std::vector<uint64_t> Want = oracle(CP, P.Reqs);
+    bool Match = O.Responses == Want;
+    std::printf("%-36s %5zu reqs %7llu cycles  %.2f cyc/req  seq-equiv:%s\n",
+                P.Name, P.Reqs.size(),
+                static_cast<unsigned long long>(O.Cycles),
+                double(O.Cycles) / double(P.Reqs.size()),
+                Match ? "yes" : "NO!");
+  }
+
+  std::printf("\nHits stream close to one per cycle; misses pay the "
+              "3-cycle main-memory\nlatency; same-line conflicts are "
+              "serialized by the QueueLock on the cache\nentries, exactly "
+              "as Section 6.2 describes.\n");
+  return 0;
+}

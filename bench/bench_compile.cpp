@@ -1,0 +1,88 @@
+//===- bench_compile.cpp - Compiler and simulator throughput ----------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// google-benchmark microbenchmarks for the toolchain itself: front-half
+/// compile times (with SMT query/decision counters, standing in for the
+/// paper's Z3-based checking cost), elaboration, and the cycle rate of the
+/// pipelined executor vs the sequential interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cores/Core.h"
+#include "cores/CoreSources.h"
+#include "riscv/Assembler.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pdl;
+using namespace pdl::cores;
+
+static void BM_Compile5Stage(benchmark::State &State) {
+  std::string Src = rv32i5StageSource();
+  unsigned Queries = 0, Decisions = 0;
+  for (auto _ : State) {
+    CompiledProgram CP = compile(Src);
+    benchmark::DoNotOptimize(CP.ok());
+    Queries = CP.SolverQueries;
+    Decisions = CP.SolverDecisions;
+  }
+  State.counters["smt_queries"] = Queries;
+  State.counters["smt_decisions"] = Decisions;
+}
+BENCHMARK(BM_Compile5Stage)->Unit(benchmark::kMillisecond);
+
+static void BM_CompileRv32im(benchmark::State &State) {
+  std::string Src = rv32imSource();
+  unsigned Queries = 0;
+  for (auto _ : State) {
+    CompiledProgram CP = compile(Src);
+    benchmark::DoNotOptimize(CP.ok());
+    Queries = CP.SolverQueries;
+  }
+  State.counters["smt_queries"] = Queries;
+}
+BENCHMARK(BM_CompileRv32im)->Unit(benchmark::kMillisecond);
+
+static void BM_CompileCache(benchmark::State &State) {
+  std::string Src = cacheSource();
+  for (auto _ : State) {
+    CompiledProgram CP = compile(Src);
+    benchmark::DoNotOptimize(CP.ok());
+  }
+}
+BENCHMARK(BM_CompileCache)->Unit(benchmark::kMillisecond);
+
+static void BM_PipelinedSimulator(benchmark::State &State) {
+  auto Words = riscv::assemble(workloads::workload("nw").AsmI);
+  uint64_t Cycles = 0;
+  for (auto _ : State) {
+    Core C(CoreKind::Pdl5Stage);
+    C.loadProgram(Words);
+    Core::RunResult R = C.run(1000000);
+    Cycles += R.Cycles;
+    benchmark::DoNotOptimize(R.Cpi);
+  }
+  State.counters["cycles_per_sec"] = benchmark::Counter(
+      static_cast<double>(Cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PipelinedSimulator)->Unit(benchmark::kMillisecond);
+
+static void BM_GoldenSimulator(benchmark::State &State) {
+  auto Words = riscv::assemble(workloads::workload("nw").AsmI);
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    riscv::GoldenSim Sim;
+    Sim.loadProgram(Words);
+    Sim.setHaltStore(HaltByteAddr);
+    Instrs += Sim.run(1000000);
+  }
+  State.counters["instrs_per_sec"] = benchmark::Counter(
+      static_cast<double>(Instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GoldenSimulator)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

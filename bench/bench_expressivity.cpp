@@ -1,0 +1,113 @@
+//===- bench_expressivity.cpp - Section 6.2's design-delta claims ----------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Quantifies Section 6.2: deriving each microarchitecture from the base
+/// 5-stage design takes a handful of changed PDL lines ("about 20 lines"
+/// in the paper), the mul/div pipes are ~32 lines, and the Figure 7 cache
+/// is ~50 lines. Measured directly on the PDL sources in src/cores.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cores/CoreSources.h"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace pdl;
+
+namespace {
+
+/// Non-empty, non-comment source lines (whitespace-normalized).
+std::vector<std::string> codeLines(const std::string &Src) {
+  std::vector<std::string> Out;
+  std::istringstream In(Src);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t C = Line.find("//");
+    if (C != std::string::npos)
+      Line.resize(C);
+    std::string Norm;
+    for (char Ch : Line)
+      if (!std::isspace(static_cast<unsigned char>(Ch)))
+        Norm += Ch;
+    if (!Norm.empty())
+      Out.push_back(Norm);
+  }
+  return Out;
+}
+
+/// Lines in B not found in A plus lines in A not in B (multiset diff):
+/// a simple proxy for the size of the design change.
+unsigned diffLines(const std::string &A, const std::string &B) {
+  std::multiset<std::string> SA, SB;
+  for (const std::string &L : codeLines(A))
+    SA.insert(L);
+  for (const std::string &L : codeLines(B))
+    SB.insert(L);
+  unsigned Added = 0, Removed = 0;
+  for (const std::string &L : SB)
+    if (!SA.count(L))
+      ++Added;
+    else
+      SA.erase(SA.find(L));
+  Removed = SA.size();
+  return Added > Removed ? Added : Removed;
+}
+
+/// Lines of the named pipe/def block (between "pipe <name>" and the
+/// closing brace at column 0).
+unsigned blockLines(const std::string &Src, const std::string &Header) {
+  size_t Start = Src.find(Header);
+  if (Start == std::string::npos)
+    return 0;
+  size_t End = Src.find("\n}", Start);
+  if (End == std::string::npos)
+    End = Src.size();
+  return codeLines(Src.substr(Start, End - Start + 2)).size();
+}
+
+} // namespace
+
+int main() {
+  std::string Base = cores::rv32i5StageSource();
+  std::string Prelude = cores::rvPrelude();
+  unsigned PreludeLoc = codeLines(Prelude).size();
+
+  std::printf("=== Section 6.2: expressivity and design deltas ===\n\n");
+  std::printf("%-28s %8s %14s\n", "design", "PDL LoC", "delta vs 5Stg");
+  auto Row = [&](const char *Name, const std::string &Src) {
+    std::printf("%-28s %8zu %14u\n", Name, codeLines(Src).size() - PreludeLoc,
+                diffLines(Base, Src));
+  };
+  std::printf("%-28s %8zu %14s\n", "shared RV32 decode prelude",
+              (size_t)PreludeLoc, "-");
+  Row("PDL 5Stg (base)", Base);
+  Row("PDL 3Stg", cores::rv32i3StageSource());
+  Row("PDL 5Stg BHT", cores::rv32i5StageBhtSource());
+  Row("PDL RV32IM", cores::rv32imSource());
+
+  std::string Im = cores::rv32imSource();
+  std::printf("\nSub-designs inside the RV32IM program:\n");
+  std::printf("  mulp (pipelined multiplier)   %3u lines (paper: mul+div "
+              "= 32)\n",
+              blockLines(Im, "pipe mulp"));
+  std::printf("  divp (4-bit/stage divider)    %3u lines\n",
+              blockLines(Im, "pipe divp"));
+
+  std::string Cache = cores::cacheSource();
+  std::printf("\nNon-processor design:\n");
+  std::printf("  Figure 7 cache                %3zu lines (paper: ~50)\n",
+              codeLines(Cache).size());
+
+  std::printf("\nNote: the no-bypass and renaming variants require ZERO "
+              "source changes —\nthey are elaboration-time lock choices "
+              "(QueueLock / RenameLock on rf),\nwhich is the modularity "
+              "argument of Section 2.3.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- bench_locks.cpp - Hazard-lock design-space ablation ------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The design choice DESIGN.md calls out: one PDL source, three lock
+/// implementations on the register file (Section 2.3), measured on
+/// dependence-heavy and independent code. Shows what the lock abstraction
+/// buys: swapping stall-only / bypassing / renaming hazard resolution
+/// without touching the pipeline description.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cores/Core.h"
+#include "riscv/Assembler.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace pdl;
+using namespace pdl::cores;
+
+namespace {
+
+double cpiOn(CoreKind K, const std::string &Program) {
+  Core C(K);
+  C.loadProgram(riscv::assemble(Program));
+  Core::RunResult R = C.run(5000000, /*CheckGolden=*/true);
+  if (!R.Halted || !R.TraceMatches || R.Deadlocked) {
+    std::fprintf(stderr, "%s failed (halted=%d match=%d dead=%d)\n",
+                 coreName(K), R.Halted, R.TraceMatches, R.Deadlocked);
+    return -1;
+  }
+  return R.Cpi;
+}
+
+std::string haltSuffix() {
+  return "halt2: li t6, " + std::to_string(HaltByteAddr) +
+         "\n sw zero, 0(t6)\nspin2: j spin2\n";
+}
+
+} // namespace
+
+int main() {
+  // Dependence-heavy: a serial add chain.
+  std::string Chain = "li t1, 1\n";
+  for (int I = 0; I < 64; ++I)
+    Chain += "add t1, t1, t1\n";
+  Chain += haltSuffix();
+
+  // Independent: round-robin over 8 registers.
+  std::string Indep = "li t1, 1\n";
+  for (int I = 0; I < 64; ++I)
+    Indep += "addi x" + std::to_string(5 + (I % 8)) + ", zero, " +
+             std::to_string(I) + "\n";
+  Indep += haltSuffix();
+
+  // Load-use heavy.
+  std::string LoadUse = "li t0, 0x100\n sw t0, 0(t0)\n";
+  for (int I = 0; I < 48; ++I)
+    LoadUse += "lw t1, 0(t0)\n add t2, t1, t1\n";
+  LoadUse += haltSuffix();
+
+  const std::string Kmp = workloads::workload("kmp").AsmI;
+
+  struct Row {
+    const char *Name;
+    CoreKind Kind;
+  };
+  const Row Rows[] = {
+      {"QueueLock (stall only)", CoreKind::Pdl5StageNoBypass},
+      {"BypassQueue", CoreKind::Pdl5Stage},
+      {"RenamingRegFile", CoreKind::Pdl5StageRename},
+  };
+
+  std::printf("=== Lock-implementation ablation: CPI on the same 5-stage "
+              "PDL source ===\n\n");
+  std::printf("%-26s %10s %10s %10s %10s\n", "rf lock", "add-chain",
+              "indep", "load-use", "kmp");
+  for (const Row &R : Rows) {
+    std::printf("%-26s %10.3f %10.3f %10.3f %10.3f\n", R.Name,
+                cpiOn(R.Kind, Chain), cpiOn(R.Kind, Indep),
+                cpiOn(R.Kind, LoadUse), cpiOn(R.Kind, Kmp));
+  }
+  std::printf("\nExpected shape: the queue lock pays heavily on dependent "
+              "code and nothing on\nindependent code; the bypassing and "
+              "renaming locks fully hide ALU dependences\n(1-cycle load-use "
+              "stalls remain), matching Section 2.3.\n");
+  return 0;
+}

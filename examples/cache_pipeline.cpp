@@ -1,0 +1,87 @@
+//===- cache_pipeline.cpp - Figure 7: a non-processor PDL design ------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// PDL is not limited to processors: this drives the paper's 2-stage
+// direct-mapped write-allocate write-through cache (Figure 7, ~50 lines of
+// PDL), whose cache-line entries are protected by a QueueLock so that
+// same-line requests serialize while different lines pipeline freely.
+//
+// Build & run:   ./build/examples/cache_pipeline
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/System.h"
+#include "cores/CoreSources.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace pdl;
+using namespace pdl::backend;
+
+int main() {
+  CompiledProgram Program = compile(cores::cacheSource(), "cache.pdl");
+  if (!Program.ok()) {
+    std::fprintf(stderr, "%s", Program.Diags->render().c_str());
+    return 1;
+  }
+  std::printf("Figure 7 cache compiled: %zu stages\n\n",
+              Program.Pipes.at("cache").Graph.Stages.size());
+
+  ElabConfig Cfg;
+  Cfg.LockChoice["cache.entry"] = LockKind::Queue;
+  Cfg.MemLatency["cache.main"] = 4; // backing-store latency
+  System Sys(Program, Cfg);
+  for (uint32_t W = 0; W < 1024; ++W)
+    Sys.memory("cache", "main").write(W, Bits(1000 + W, 32));
+
+  struct Req {
+    uint32_t Addr;
+    uint32_t Data;
+    bool Wr;
+    const char *Note;
+  };
+  std::vector<Req> Script = {
+      {0x040, 0, false, "cold miss"},
+      {0x040, 0, false, "hit (same line)"},
+      {0x044, 0, false, "miss (different line)"},
+      {0x040, 777, true, "write hit (write-through)"},
+      {0x040, 0, false, "read back the write"},
+      {0x140, 0, false, "miss that evicts line 0x40's index"},
+      {0x040, 0, false, "miss again (conflict evicted it)"},
+  };
+
+  size_t Next = 0;
+  std::vector<uint64_t> IssueCycle(Script.size());
+  while (Sys.trace("cache").size() < Script.size() &&
+         Sys.stats().Cycles < 1000) {
+    if (Next < Script.size() && Sys.canAccept("cache")) {
+      IssueCycle[Next] = Sys.stats().Cycles;
+      Sys.start("cache", {Bits(Script[Next].Addr, 32),
+                          Bits(Script[Next].Data, 32),
+                          Bits(Script[Next].Wr ? 1 : 0, 1)});
+      ++Next;
+    }
+    Sys.cycle();
+  }
+
+  std::printf("%-5s %-8s %-6s %-34s %s\n", "req", "addr", "data",
+              "note", "response");
+  const auto &Trace = Sys.trace("cache");
+  for (size_t I = 0; I < Trace.size(); ++I) {
+    std::printf("%-5zu 0x%06x %-6s %-34s %llu\n", I, Script[I].Addr,
+                Script[I].Wr ? "write" : "read", Script[I].Note,
+                static_cast<unsigned long long>(
+                    Trace[I].Output ? Trace[I].Output->zext() : 0));
+  }
+
+  std::printf("\ntotal: %llu cycles for %zu requests; conflicting same-line "
+              "requests were\nserialized by the entry QueueLock while the "
+              "rest pipelined.\n",
+              static_cast<unsigned long long>(Sys.stats().Cycles),
+              Script.size());
+  return 0;
+}

@@ -1,0 +1,113 @@
+//===- custom_predictor.cpp - Plugging user predictors into a PDL core --------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 2.4: "the ability to integrate custom predictors without
+// compromising PDL's correctness assurance is critical". This example
+// implements three predictors for the BHT core's `extern bht` interface —
+// including a deliberately *adversarial* one that predicts the opposite of
+// a trained table — and shows that prediction quality moves cycles and
+// squash counts while the committed results stay identical.
+//
+// Build & run:   ./build/examples/custom_predictor
+//
+//===----------------------------------------------------------------------===//
+
+#include "cores/Core.h"
+#include "riscv/Assembler.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace pdl;
+using namespace pdl::cores;
+
+namespace {
+
+/// Always answers "not taken": reduces the BHT core to the base 5-stage.
+class NeverTaken : public hw::ExternModule {
+public:
+  std::optional<Bits> invoke(const std::string &Method,
+                             const std::vector<Bits> &) override {
+    if (Method == "req")
+      return Bits(0, 1);
+    return std::nullopt; // upd: nothing to learn
+  }
+  std::string name() const override { return "never-taken"; }
+};
+
+/// A trained 2-bit table that then answers the OPPOSITE — the worst
+/// realistic predictor. Correctness must survive it.
+class Adversarial : public hw::ExternModule {
+public:
+  std::optional<Bits> invoke(const std::string &Method,
+                             const std::vector<Bits> &Args) override {
+    auto R = Table.invoke(Method, Args);
+    if (Method == "req")
+      return Bits(R->isZero() ? 1 : 0, 1);
+    return std::nullopt;
+  }
+  std::string name() const override { return "adversarial"; }
+
+private:
+  hw::Bht Table{8};
+};
+
+struct Result {
+  uint64_t Cycles = 0, Instrs = 0, Killed = 0;
+  bool Match = false;
+  uint64_t Checksum = 0;
+};
+
+Result runWith(hw::ExternModule *Pred, const std::vector<uint32_t> &Words) {
+  Core C(CoreKind::Pdl5StageBht);
+  C.system().bindExtern("bht", Pred); // replace the default module
+  C.loadProgram(Words);
+  Core::RunResult R = C.run(5000000, /*CheckGolden=*/true);
+  Result Out;
+  Out.Cycles = R.Cycles;
+  Out.Instrs = R.Instrs;
+  const auto &St = C.system().stats();
+  Out.Killed = St.Killed.count("cpu") ? St.Killed.at("cpu") : 0;
+  Out.Match = R.Halted && R.TraceMatches;
+  Out.Checksum = C.system().memory("cpu", "dmem").read(0x800 / 4).zext();
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  auto Words = riscv::assemble(workloads::workload("kmp").AsmI);
+
+  NeverTaken Never;
+  hw::Bht Trained(8);
+  hw::Gshare Gs(10);
+  Adversarial Bad;
+  struct Row {
+    const char *Name;
+    hw::ExternModule *P;
+  } Rows[] = {{"never-taken", &Never},
+              {"2-bit BHT", &Trained},
+              {"gshare", &Gs},
+              {"adversarial (anti-BHT)", &Bad}};
+
+  std::printf("custom predictors on the PDL BHT core, kmp kernel\n\n");
+  std::printf("%-24s %9s %8s %9s %10s  %s\n", "predictor", "cycles",
+              "instrs", "squashed", "checksum", "seq-equiv");
+  for (const Row &R : Rows) {
+    Result Out = runWith(R.P, Words);
+    std::printf("%-24s %9llu %8llu %9llu 0x%08llx  %s\n", R.Name,
+                static_cast<unsigned long long>(Out.Cycles),
+                static_cast<unsigned long long>(Out.Instrs),
+                static_cast<unsigned long long>(Out.Killed),
+                static_cast<unsigned long long>(Out.Checksum),
+                Out.Match ? "yes" : "NO!");
+  }
+  std::printf("\nFour predictors, four cycle counts, one checksum: "
+              "\"predicted values cannot\naffect functional correctness\" "
+              "(Section 2.4).\n");
+  return 0;
+}

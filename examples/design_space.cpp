@@ -1,0 +1,71 @@
+//===- design_space.cpp - Design-space exploration with PDL ------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's central workflow claim: because the compiler re-derives all
+// stall/bypass/speculation plumbing, exploring microarchitectures is a
+// matter of small source edits (3-stage, BHT, RV32IM) or pure
+// elaboration-time choices (lock implementations) — and every variant is
+// one-instruction-at-a-time correct by construction. This example sweeps
+// all six configurations over one kernel and prints CPI, area, and the
+// equivalence check.
+//
+// Build & run:   ./build/examples/design_space
+//
+//===----------------------------------------------------------------------===//
+
+#include "area/AreaModel.h"
+#include "cores/Core.h"
+#include "riscv/Assembler.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace pdl;
+using namespace pdl::cores;
+using backend::LockKind;
+
+int main() {
+  const workloads::Workload &W = workloads::workload("coremark");
+
+  struct Cfg {
+    CoreKind Kind;
+    bool UseM;
+  };
+  const Cfg Cfgs[] = {
+      {CoreKind::Pdl5Stage, false},         {CoreKind::Pdl5StageNoBypass, false},
+      {CoreKind::Pdl5StageRename, false},   {CoreKind::Pdl3Stage, false},
+      {CoreKind::Pdl5StageBht, false},      {CoreKind::PdlRv32im, true},
+  };
+
+  std::printf("design-space sweep on the '%s' kernel\n\n", W.Name.c_str());
+  std::printf("%-22s %8s %8s %10s %10s  %s\n", "configuration", "cycles",
+              "instrs", "CPI", "area um^2", "seq-equiv");
+
+  for (const Cfg &C : Cfgs) {
+    Core Cpu(C.Kind);
+    Cpu.loadProgram(riscv::assemble(C.UseM ? W.AsmM : W.AsmI));
+    Core::RunResult R = Cpu.run(5000000, /*CheckGolden=*/true);
+
+    // Area under the matching lock configuration.
+    std::map<std::string, LockKind> Locks = {{"cpu.dmem", LockKind::Queue}};
+    Locks["cpu.rf"] = C.Kind == CoreKind::Pdl5StageNoBypass ? LockKind::Queue
+                      : C.Kind == CoreKind::Pdl5StageRename
+                          ? LockKind::Rename
+                          : LockKind::Bypass;
+    double Area = area::estimatePdlArea(Cpu.program(), Locks).total();
+
+    std::printf("%-22s %8llu %8llu %10.3f %10.0f  %s\n", coreName(C.Kind),
+                static_cast<unsigned long long>(R.Cycles),
+                static_cast<unsigned long long>(R.Instrs), R.Cpi, Area,
+                R.TraceMatches && R.Halted ? "yes" : "NO");
+  }
+
+  std::printf("\nEvery point in the sweep was produced from the same PDL "
+              "methodology:\nthe 3Stg/BHT/RV32IM variants are ~10-80 line "
+              "source deltas, and the\nno-bypass/renaming variants are "
+              "zero-line elaboration choices.\n");
+  return 0;
+}

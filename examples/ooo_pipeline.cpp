@@ -1,0 +1,91 @@
+//===- ooo_pipeline.cpp - Figure 2: out-of-order stages -----------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Figure 2: stage separators inside conditional branches turn a
+// pipeline into a DAG whose unordered stages execute different threads in
+// parallel (in-order issue, out-of-order execute), while a coordination
+// tag restores thread order at the join. Odd-numbered threads take a slow
+// 3-stage "division" path; even threads a short path — yet the writeback
+// stage always commits in thread order.
+//
+// Build & run:   ./build/examples/ooo_pipeline
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/System.h"
+
+#include <cstdio>
+
+using namespace pdl;
+using namespace pdl::backend;
+
+static const char *Source = R"(
+pipe slowdiv(a: uint<8>)[]: uint<8> {
+  x = a + 1;
+  ---
+  y = x + x;
+  ---
+  output(y);
+}
+pipe cpu(i: uint<8>)[rf: uint<8>[2]] {
+  // DISPATCH: in-order issue.
+  isdiv = i{0:0} == 1;
+  rd = i{1:0};
+  reserve(rf[rd], W);
+  call cpu(i + 1);
+  if (isdiv) {
+    ---
+    // DIV: unordered stage, waits on the divider pipe.
+    uint<8> res <- call slowdiv(i);
+  } else {
+    ---
+    // "DMEM": unordered short path.
+    res2 = i + 100;
+  }
+  // WB (join): the coordination tag restores thread order here.
+  block(rf[rd]);
+  rf[rd] <- (isdiv ? res : res2);
+  release(rf[rd]);
+}
+)";
+
+int main() {
+  CompiledProgram Program = compile(Source, "ooo.pdl");
+  if (!Program.ok()) {
+    std::fprintf(stderr, "%s", Program.Diags->render().c_str());
+    return 1;
+  }
+  const CompiledPipe &Pipe = Program.Pipes.at("cpu");
+  std::printf("stage graph (compare Figure 2):\n%s\n",
+              Pipe.Graph.str().c_str());
+  for (const Stage &S : Pipe.Graph.Stages)
+    if (!S.Ordered)
+      std::printf("  %s is UNORDERED (inside the fork/join region)\n",
+                  S.Name.c_str());
+
+  System Sys(Program, ElabConfig{});
+  Sys.start("cpu", {Bits(0, 8)});
+  Sys.run(64);
+
+  const auto &Trace = Sys.trace("cpu");
+  std::printf("\nretired %zu threads in %llu cycles; retirement order:\n  ",
+              Trace.size(),
+              static_cast<unsigned long long>(Sys.stats().Cycles));
+  bool InOrder = true;
+  for (size_t I = 0; I < Trace.size(); ++I) {
+    std::printf("%llu ",
+                static_cast<unsigned long long>(Trace[I].Args[0].zext()));
+    InOrder &= Trace[I].Args[0].zext() == I;
+  }
+  std::printf("\n\nthreads retire IN ORDER despite the slow path: %s\n",
+              InOrder ? "yes (coordination tag works)" : "NO — bug!");
+
+  // The slow path costs ~4 extra cycles per odd thread, visible in CPI.
+  std::printf("effective CPI: %.2f (the DIV path's latency shows up as "
+              "join stalls)\n",
+              double(Sys.stats().Cycles) / double(Trace.size()));
+  return InOrder ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+//===- quickstart.cpp - PDL in five minutes ----------------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Compiles a small PDL pipeline, runs it both as a cycle-accurate pipelined
+// circuit and under the sequential one-instruction-at-a-time semantics, and
+// shows that the two agree — the language's core guarantee.
+//
+// Build & run:   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/System.h"
+#include "passes/SeqExtract.h"
+
+#include <cstdio>
+
+using namespace pdl;
+using namespace pdl::backend;
+
+// A 2-stage accumulator: each thread reads a cell, adds its input, writes
+// it back one stage later, and starts the next thread. Hazard locks make
+// the read-modify-write safe even with two threads in flight.
+static const char *Source = R"(
+pipe accum(i: uint<8>)[m: uint<16>[2]] {
+  slot = i{1:0};
+  acquire(m[slot], R);
+  cur = m[slot];
+  release(m[slot]);
+  reserve(m[slot], W);
+  call accum(i + 1);
+  ---
+  next = cur + uint<16>(i);
+  block(m[slot]);
+  m[slot] <- next;
+  release(m[slot]);
+}
+)";
+
+int main() {
+  // 1. Compile: parse, type-check, build the stage graph, and run the
+  //    lock/speculation checkers (backed by the built-in SMT solver).
+  CompiledProgram Program = compile(Source, "accum.pdl");
+  if (!Program.ok()) {
+    std::fprintf(stderr, "%s", Program.Diags->render().c_str());
+    return 1;
+  }
+  const CompiledPipe &Pipe = Program.Pipes.at("accum");
+  std::printf("compiled: %zu stages, %u SMT queries\n",
+              Pipe.Graph.Stages.size(), Program.SolverQueries);
+  std::printf("\nstage graph:\n%s", Pipe.Graph.str().c_str());
+
+  // 2. The sequential specification every PDL program denotes (Section 3).
+  std::printf("\nsequential specification (locks and stages erased):\n%s",
+              extractSequential(*Pipe.Decl).c_str());
+
+  // 3. Elaborate and run the pipelined circuit for 40 cycles.
+  System Sys(Program, ElabConfig{});
+  Sys.start("accum", {Bits(0, 8)});
+  Sys.run(40);
+  std::printf("\npipelined: %llu cycles, %llu threads retired (CPI %.2f)\n",
+              static_cast<unsigned long long>(Sys.stats().Cycles),
+              static_cast<unsigned long long>(Sys.stats().Retired.at("accum")),
+              double(Sys.stats().Cycles) /
+                  double(Sys.stats().Retired.at("accum")));
+
+  // 4. Run the same program under the sequential semantics and compare
+  //    the committed architectural state.
+  SeqInterpreter Seq(*Program.AST);
+  Seq.run("accum", {Bits(0, 8)}, Sys.stats().Retired.at("accum"));
+  bool Match = true;
+  for (uint64_t A = 0; A < 4; ++A) {
+    Bits P = Sys.archRead("accum", "m", A);
+    Bits S = Seq.memory("accum", "m").read(A);
+    std::printf("m[%llu] = %-12s (sequential: %s)\n",
+                static_cast<unsigned long long>(A), P.str().c_str(),
+                S.str().c_str());
+    Match &= P == S;
+  }
+  std::printf("\none-instruction-at-a-time equivalence: %s\n",
+              Match ? "HOLDS" : "VIOLATED");
+  return Match ? 0 : 1;
+}

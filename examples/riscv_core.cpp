@@ -1,0 +1,82 @@
+//===- riscv_core.cpp - Run a program on the PDL 5-stage RISC-V core --------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's flagship design: a 5-stage RV32I processor written in PDL
+// (Figure 1's shape), with pc+4 speculation and a bypassing register-file
+// lock. This example assembles a Fibonacci program, runs it on the
+// elaborated core, verifies every committed instruction against the golden
+// ISA simulator, and prints the performance counters.
+//
+// Build & run:   ./build/examples/riscv_core
+//
+//===----------------------------------------------------------------------===//
+
+#include "cores/Core.h"
+#include "riscv/Assembler.h"
+
+#include <cstdio>
+
+using namespace pdl;
+using namespace pdl::cores;
+
+static const char *Fibonacci = R"(
+  # Compute fib(0..14) into memory at 0x100.
+  li   s0, 0x100
+  li   t0, 0        # fib(i-2)
+  li   t1, 1        # fib(i-1)
+  sw   t0, 0(s0)
+  sw   t1, 4(s0)
+  addi s1, s0, 8    # cursor
+  li   s2, 13       # remaining
+loop:
+  add  t2, t0, t1
+  sw   t2, 0(s1)
+  mv   t0, t1
+  mv   t1, t2
+  addi s1, s1, 4
+  addi s2, s2, -1
+  bne  s2, zero, loop
+halt:
+  li   t6, 65532
+  sw   zero, 0(t6)
+spin:
+  j    spin
+)";
+
+int main() {
+  Core Cpu(CoreKind::Pdl5Stage);
+  std::printf("PDL source compiled: %zu stages in pipe 'cpu'\n",
+              Cpu.program().Pipes.at("cpu").Graph.Stages.size());
+
+  Cpu.loadProgram(riscv::assemble(Fibonacci));
+  Core::RunResult R = Cpu.run(10000, /*CheckGolden=*/true);
+
+  std::printf("halted: %s   cycles: %llu   instructions: %llu   CPI: %.3f\n",
+              R.Halted ? "yes" : "no",
+              static_cast<unsigned long long>(R.Cycles),
+              static_cast<unsigned long long>(R.Instrs), R.Cpi);
+  std::printf("per-instruction equivalence with the golden ISA simulator: "
+              "%s\n",
+              R.TraceMatches ? "HOLDS" : R.TraceMismatch.c_str());
+
+  const auto &St = Cpu.system().stats();
+  std::printf("\nmicroarchitectural counters:\n");
+  std::printf("  squashed wrong-path threads : %llu\n",
+              static_cast<unsigned long long>(
+                  St.Killed.count("cpu") ? St.Killed.at("cpu") : 0));
+  std::printf("  lock (hazard) stalls        : %llu\n",
+              static_cast<unsigned long long>(St.StallLock));
+  std::printf("  speculation stalls          : %llu\n",
+              static_cast<unsigned long long>(St.StallSpec));
+
+  std::printf("\nfib sequence committed to dmem:\n  ");
+  for (uint32_t I = 0; I < 15; ++I)
+    std::printf("%llu ",
+                static_cast<unsigned long long>(
+                    Cpu.system().memory("cpu", "dmem").read(0x40 + I).zext()));
+  std::printf("\n");
+  return R.Halted && R.TraceMatches ? 0 : 1;
+}

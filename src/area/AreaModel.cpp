@@ -1,0 +1,352 @@
+//===- AreaModel.cpp - Structural area estimation (Figure 6) ----------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "area/AreaModel.h"
+
+#include "passes/Liveness.h"
+
+#include <cmath>
+
+using namespace pdl;
+using namespace pdl::ast;
+using namespace pdl::area;
+
+void AreaBreakdown::add(const std::string &Component, double Flops,
+                        double Comb, const AreaConstants &K) {
+  FlopArea += Flops * K.Flop;
+  CombArea += Comb;
+  ByComponent[Component] += Flops * K.Flop + Comb;
+}
+
+namespace {
+
+/// Width-weighted combinational cost of an expression tree (one hardware
+/// instance per syntactic occurrence). Def-function calls inline their
+/// body cost per call site.
+class CombCounter {
+public:
+  CombCounter(const Program &Prog, const AreaConstants &K)
+      : Prog(Prog), K(K) {}
+
+  double exprCost(const Expr &E) {
+    unsigned W = E.type().isValid() ? E.type().width() : 32;
+    switch (E.kind()) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::BoolLit:
+    case Expr::Kind::VarRef:
+      return 0;
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(&E);
+      double Inner = exprCost(*U->operand());
+      switch (U->op()) {
+      case UnaryOp::LogicalNot:
+        return Inner + K.LogicBit;
+      case UnaryOp::BitNot:
+        return Inner + W * K.LogicBit;
+      case UnaryOp::Negate:
+        return Inner + W * K.AdderBit;
+      }
+      return Inner;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(&E);
+      double Inner = exprCost(*B->lhs()) + exprCost(*B->rhs());
+      unsigned OW = B->lhs()->type().isValid() ? B->lhs()->type().width()
+                                               : 32;
+      switch (B->op()) {
+      case BinaryOp::Add:
+      case BinaryOp::Sub:
+        return Inner + W * K.AdderBit;
+      case BinaryOp::Mul:
+        return Inner + W * K.MulBit;
+      case BinaryOp::Div:
+      case BinaryOp::Rem:
+        return Inner + W * K.MulBit * 2; // iterative divider array
+      case BinaryOp::BitAnd:
+      case BinaryOp::BitOr:
+      case BinaryOp::BitXor:
+        return Inner + W * K.LogicBit;
+      case BinaryOp::Shl:
+      case BinaryOp::Shr: {
+        // Constant shift amounts are wiring.
+        if (isa<IntLitExpr>(B->rhs()))
+          return Inner;
+        return Inner + W * K.ShiftBit;
+      }
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+        return Inner + OW * K.EqBit;
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge:
+        return Inner + OW * K.AdderBit;
+      case BinaryOp::LogicalAnd:
+      case BinaryOp::LogicalOr:
+        return Inner + K.LogicBit;
+      case BinaryOp::Concat:
+        return Inner; // wiring
+      }
+      return Inner;
+    }
+    case Expr::Kind::Ternary: {
+      const auto *T = cast<TernaryExpr>(&E);
+      return exprCost(*T->cond()) + exprCost(*T->thenExpr()) +
+             exprCost(*T->elseExpr()) + W * K.MuxBit;
+    }
+    case Expr::Kind::Slice:
+      return exprCost(*cast<SliceExpr>(&E)->base()); // wiring
+    case Expr::Kind::Cast:
+      return exprCost(*cast<CastExpr>(&E)->operand()); // wiring
+    case Expr::Kind::MemRead:
+      return exprCost(*cast<MemReadExpr>(&E)->addr());
+    case Expr::Kind::ExternCall: {
+      double C = 0;
+      for (const ExprPtr &A : cast<ExternCallExpr>(&E)->args())
+        C += exprCost(*A);
+      return C; // the extern module's own area is out of scope
+    }
+    case Expr::Kind::FuncCall: {
+      const auto *C = cast<FuncCallExpr>(&E);
+      double Cost = funcCost(C->callee());
+      for (const ExprPtr &A : C->args())
+        Cost += exprCost(*A);
+      return Cost;
+    }
+    }
+    return 0;
+  }
+
+  double stmtCost(const Stmt &S) {
+    double C = 0;
+    switch (S.kind()) {
+    case Stmt::Kind::Assign:
+      return exprCost(*cast<AssignStmt>(&S)->value());
+    case Stmt::Kind::SyncRead:
+      return exprCost(*cast<SyncReadStmt>(&S)->addr());
+    case Stmt::Kind::PipeCall:
+      for (const ExprPtr &A : cast<PipeCallStmt>(&S)->args())
+        C += exprCost(*A);
+      return C;
+    case Stmt::Kind::MemWrite:
+      return exprCost(*cast<MemWriteStmt>(&S)->addr()) +
+             exprCost(*cast<MemWriteStmt>(&S)->value());
+    case Stmt::Kind::Output:
+      return exprCost(*cast<OutputStmt>(&S)->value());
+    case Stmt::Kind::Lock:
+      return cast<LockStmt>(&S)->addr()
+                 ? exprCost(*cast<LockStmt>(&S)->addr())
+                 : 0;
+    case Stmt::Kind::Verify: {
+      const auto *V = cast<VerifyStmt>(&S);
+      C = exprCost(*V->actual()) + 32 * K.EqBit; // prediction compare
+      if (V->predictorUpdate())
+        C += exprCost(*V->predictorUpdate());
+      return C;
+    }
+    case Stmt::Kind::Update:
+      return exprCost(*cast<UpdateStmt>(&S)->newPred()) + 32 * K.EqBit;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(&S);
+      C = exprCost(*I->cond());
+      for (const StmtPtr &Sub : I->thenBody())
+        C += stmtCost(*Sub);
+      for (const StmtPtr &Sub : I->elseBody())
+        C += stmtCost(*Sub);
+      return C;
+    }
+    default:
+      return 0;
+    }
+  }
+
+private:
+  double funcCost(const std::string &Name) {
+    auto It = FuncCosts.find(Name);
+    if (It != FuncCosts.end())
+      return It->second;
+    const FuncDecl *F = Prog.findFunc(Name);
+    double C = 0;
+    if (F)
+      for (const StmtPtr &S : F->Body) {
+        if (const auto *A = dyn_cast<AssignStmt>(S.get()))
+          C += exprCost(*A->value());
+        else if (const auto *R = dyn_cast<ReturnStmt>(S.get()))
+          C += exprCost(*R->value());
+      }
+    FuncCosts[Name] = C;
+    return C;
+  }
+
+  const Program &Prog;
+  const AreaConstants &K;
+  std::map<std::string, double> FuncCosts;
+};
+
+/// Lock area by implementation kind, mirroring the backend's default
+/// module parameters.
+void addLockArea(AreaBreakdown &A, const std::string &Mem,
+                 backend::LockKind Kind, unsigned AddrW, unsigned ElemW,
+                 const AreaConstants &K) {
+  switch (Kind) {
+  case backend::LockKind::Queue: {
+    // 4 associative queues of depth 4: address tags + small id queues,
+    // plus the CAM match network.
+    double Flops = 4 * (AddrW + 1 + 4 * 3);
+    double Comb = 4 * AddrW * K.EqBit + 4 * 8 * K.LogicBit;
+    A.add("lock:" + Mem, Flops, Comb, K);
+    return;
+  }
+  case backend::LockKind::Bypass: {
+    // 4 write entries (addr+data+valid+written) and 4 read reservations
+    // (dependence tags; the buffered read value shares the pipeline
+    // register that carries it downstream) -- plus the associative search
+    // and the dynamic newest-write priority network that make this lock
+    // "more expensive than the hand-written version".
+    double Flops = 4.0 * (AddrW + ElemW + 2) + 4.0 * 4;
+    double Comb = 4 * AddrW * K.EqBit        // conflict search CAM
+                  + 4 * ElemW * K.MuxBit     // forwarding mux tree
+                  + 4 * 4 * K.LogicBit       // priority (newest) logic
+                  + 4 * 4 * K.LogicBit;      // control
+    A.add("lock:" + Mem, Flops, Comb, K);
+    return;
+  }
+  case backend::LockKind::Rename: {
+    unsigned Arch = 1u << AddrW;
+    unsigned Phys = Arch + 8;
+    unsigned Tag = 6; // log2(40) rounded up
+    double Flops = double(Phys) * ElemW      // physical registers
+                   + 2.0 * Arch * Tag        // map + commit tables
+                   + Phys                    // valid bits
+                   + Phys * Tag              // free list
+                   + 2.0 * Arch * Tag;       // checkpoint replicas
+    double Comb = Arch * Tag * K.MuxBit      // lookup muxing
+                  + Phys * K.LogicBit + 2 * ElemW * K.MuxBit;
+    A.add("lock:" + Mem, Flops, Comb, K);
+    return;
+  }
+  }
+}
+
+} // namespace
+
+AreaBreakdown pdl::area::estimatePdlArea(
+    const CompiledProgram &Program,
+    const std::map<std::string, backend::LockKind> &LockChoice,
+    const AreaConstants &K) {
+  AreaBreakdown A;
+  CombCounter Counter(*Program.AST, K);
+
+  for (const auto &[Name, CP] : Program.Pipes) {
+    const PipeDecl &Pipe = *CP.Decl;
+    LivenessInfo Live = computeLiveness(Pipe, CP.Graph);
+
+    // Datapath logic: every statement's operators.
+    double Comb = 0;
+    for (const StmtPtr &S : Pipe.Body)
+      Comb += Counter.stmtCost(*S);
+    A.add("datapath:" + Name, 0, Comb * K.SynthSharing, K);
+
+    // Inter-stage FIFOs: the default 2-register BSV FIFO doubles every
+    // pipeline register, plus enq/deq muxing and control.
+    double FifoFlops = 0, FifoComb = 0;
+    for (const Stage &S : CP.Graph.Stages) {
+      for (const StageEdge &E : S.Succs) {
+        unsigned Bits = Live.edgeBits({E.From, E.To});
+        FifoFlops += 2.0 * Bits + 3;
+        FifoComb += Bits * K.MuxBit + 8 * K.LogicBit;
+      }
+      if (S.isJoin()) {
+        FifoFlops += 8 * 2; // coordination-tag FIFO
+        FifoComb += 16 * K.LogicBit;
+      }
+    }
+    // Entry FIFO carries the pipe arguments.
+    unsigned ArgBits = 0;
+    for (const Param &P : Pipe.Params)
+      ArgBits += P.Ty.width();
+    FifoFlops += 4.0 * ArgBits;
+    FifoComb += ArgBits * K.MuxBit;
+    A.add("fifos:" + Name, FifoFlops, FifoComb, K);
+
+    // Locks and register-file storage.
+    for (const MemDecl &M : Pipe.Mems) {
+      bool Locked = CP.Locks.ReadLocked.count(M.Name) ||
+                    CP.Locks.WriteLocked.count(M.Name);
+      backend::LockKind Kind = backend::LockKind::Bypass;
+      auto It = LockChoice.find(Name + "." + M.Name);
+      if (It == LockChoice.end())
+        It = LockChoice.find(M.Name);
+      if (It != LockChoice.end())
+        Kind = It->second;
+      if (Locked)
+        addLockArea(A, Name + "." + M.Name, Kind, M.AddrWidth,
+                    M.ElemType.width(), K);
+      // Small memories are flop arrays inside the core; big ones are the
+      // SRAM hierarchy the paper excludes. The rename lock owns its own
+      // (physical) storage.
+      if (M.AddrWidth <= 6 &&
+          !(Locked && Kind == backend::LockKind::Rename))
+        A.add("storage:" + Name + "." + M.Name,
+              double(1u << M.AddrWidth) * M.ElemType.width(), 0, K);
+    }
+
+    // Speculation table (only for speculating pipes).
+    if (CP.Spec.UsesSpeculation)
+      A.add("spectable:" + Name, 6.0 * (32 + 2),
+            32 * K.EqBit + 6 * 4 * K.LogicBit, K);
+  }
+  return A;
+}
+
+AreaBreakdown pdl::area::sodorArea(bool Bypassed, const AreaConstants &K) {
+  AreaBreakdown A;
+  // Register file: 32 x 32 flops.
+  A.add("storage:rf", 32 * 32, 0, K);
+  // Pipeline latches (single registers, hand-placed): IF/ID 64b,
+  // ID/EX ~150b, EX/MEM ~110b, MEM/WB ~70b, pc 32b, misc control 24b.
+  A.add("latches", 64 + 150 + 110 + 70 + 32 + 110, 0, K);
+  // Datapath: ALU (add/sub, logic, barrel shifter, slt), pc adders,
+  // branch compare, immediate/operand/writeback muxes, decoder.
+  double Comb = 32 * K.AdderBit            // ALU adder/sub
+                + 3 * 32 * K.LogicBit      // and/or/xor
+                + 32 * K.ShiftBit          // barrel shifter
+                + 32 * K.AdderBit          // slt / branch magnitude
+                + 2 * 32 * K.AdderBit      // pc+4 and branch target
+                + 32 * K.EqBit             // beq/bne compare
+                + 6 * 32 * K.MuxBit        // imm select + operand muxes
+                + 2 * 32 * K.MuxBit        // writeback mux
+                + 4 * 32 * K.MuxBit        // memory-interface muxing
+                + 1500 * K.LogicBit;       // decoder + control + CSR stubs
+  A.add("datapath", 0, Comb, K);
+  if (Bypassed) {
+    // Forwarding: statically known sources, one mux per ALU operand,
+    // plus rs/rd comparators.
+    A.add("bypass", 0,
+          2 * 32 * K.MuxBit + 6 * 5 * K.EqBit + 40 * K.LogicBit, K);
+  } else {
+    // Interlock-only: rs/rd comparators and stall logic.
+    A.add("interlock", 0, 6 * 5 * K.EqBit + 30 * K.LogicBit, K);
+  }
+  return A;
+}
+
+double pdl::area::cacheArea(unsigned CapacityBytes, unsigned Ways,
+                            unsigned LineBytes) {
+  // CACTI-flavored: data array + tag array + decoder/sense amp overhead.
+  // 45nm SRAM cell ~ 0.4 um^2; peripheral overhead factor ~2.2 for small
+  // arrays; tags assume a 32-bit physical address space.
+  unsigned Sets = CapacityBytes / (Ways * LineBytes);
+  double DataBits = CapacityBytes * 8.0;
+  unsigned IndexBits = 0;
+  while ((1u << IndexBits) < Sets)
+    ++IndexBits;
+  unsigned OffsetBits = 0;
+  while ((1u << OffsetBits) < LineBytes)
+    ++OffsetBits;
+  double TagBits = double(Sets) * Ways * (32 - IndexBits - OffsetBits + 2);
+  return (DataBits + TagBits) * 0.40 * 2.2;
+}

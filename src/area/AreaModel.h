@@ -1,0 +1,83 @@
+//===- AreaModel.h - Structural area estimation (Figure 6) -----*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stands in for the paper's synthesis flow (45nm FreePDK @ 100MHz) and
+/// CACTI: a structural resource count over the *actual elaborated designs*,
+/// multiplied by per-resource-class area constants calibrated once against
+/// Figure 6's published totals.
+///
+/// What is counted, per Section 6.1's attribution of PDL's overhead:
+///  * flops: pipeline FIFOs (depth 2 => double registers, "the FIFO
+///    implementations consume significant area"), lock storage (including
+///    the BypassQueue's "information redundant with data in pipeline
+///    registers"), speculation table, register-file storage;
+///  * combinational: datapath operators (width-weighted adders, muxes,
+///    shifters, logic), lock search/priority networks ("a dynamic priority
+///    calculation to determine which write is the most recent"), FIFO and
+///    stall control.
+///
+/// The Sodor baseline is a hand-built inventory of the classic fully
+/// bypassed 5-stage datapath, priced with the same constants — mirroring
+/// that the paper's baseline is hand-written RTL.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_AREA_AREAMODEL_H
+#define PDL_AREA_AREAMODEL_H
+
+#include "backend/System.h"
+#include "passes/Compiler.h"
+
+#include <map>
+#include <string>
+
+namespace pdl {
+namespace area {
+
+/// Per-resource-class area constants (um^2, 45nm-flavored).
+struct AreaConstants {
+  double Flop = 6.2;       // one D flip-flop
+  double AdderBit = 9.0;   // adder / subtractor / magnitude comparator
+  double MuxBit = 2.2;     // one 2:1 mux
+  double LogicBit = 1.4;   // and/or/xor gate bit
+  double ShiftBit = 11.0;  // barrel shifter per output bit
+  double EqBit = 2.8;      // equality comparator per bit
+  double MulBit = 30.0;    // multiplier array per operand bit (32b scale)
+  /// Post-synthesis logic-sharing factor applied to counted datapath
+  /// operators: the counts are per syntactic occurrence, but synthesis
+  /// CSEs repeated decode terms and shares mutually exclusive operators.
+  double SynthSharing = 0.70;
+};
+
+struct AreaBreakdown {
+  double FlopArea = 0;
+  double CombArea = 0;
+  std::map<std::string, double> ByComponent;
+
+  double total() const { return FlopArea + CombArea; }
+  void add(const std::string &Component, double Flops, double Comb,
+           const AreaConstants &K);
+};
+
+/// Estimates the area of one elaborated PDL pipe (plus its sub-pipes when
+/// \p IncludeSubPipes). Lock choices must match the elaboration config.
+AreaBreakdown
+estimatePdlArea(const CompiledProgram &Program,
+                const std::map<std::string, backend::LockKind> &LockChoice,
+                const AreaConstants &K = AreaConstants());
+
+/// Hand-built inventory of the Sodor 5-stage baseline.
+AreaBreakdown sodorArea(bool Bypassed, const AreaConstants &K = AreaConstants());
+
+/// CACTI-flavored SRAM-array area for an L1 cache (um^2 at 45nm):
+/// data + tag arrays with decoder/sense overhead.
+double cacheArea(unsigned CapacityBytes, unsigned Ways, unsigned LineBytes);
+
+} // namespace area
+} // namespace pdl
+
+#endif // PDL_AREA_AREAMODEL_H

@@ -1,0 +1,155 @@
+//===- Eval.cpp - PDL expression evaluation ---------------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Eval.h"
+
+using namespace pdl;
+using namespace pdl::ast;
+using namespace pdl::backend;
+
+namespace {
+
+Bits evalBinary(const BinaryExpr &B, const Env &E, const Program &P,
+                const EvalHooks &H) {
+  Bits L = evalExpr(*B.lhs(), E, P, H);
+  Bits R = evalExpr(*B.rhs(), E, P, H);
+  bool Signed = B.lhs()->type().isSigned();
+  switch (B.op()) {
+  case BinaryOp::Add:
+    return L.add(R);
+  case BinaryOp::Sub:
+    return L.sub(R);
+  case BinaryOp::Mul:
+    return L.mul(R);
+  case BinaryOp::Div:
+    return Signed ? L.sdiv(R) : L.udiv(R);
+  case BinaryOp::Rem:
+    return Signed ? L.srem(R) : L.urem(R);
+  case BinaryOp::BitAnd:
+    return L.and_(R);
+  case BinaryOp::BitOr:
+    return L.or_(R);
+  case BinaryOp::BitXor:
+    return L.xor_(R);
+  case BinaryOp::Shl:
+    return L.shl(R);
+  case BinaryOp::Shr:
+    return Signed ? L.ashr(R) : L.lshr(R);
+  case BinaryOp::Eq:
+    return L.eq(R);
+  case BinaryOp::Ne:
+    return L.ne(R);
+  case BinaryOp::Lt:
+    return Signed ? L.slt(R) : L.ult(R);
+  case BinaryOp::Le:
+    return Signed ? L.sle(R) : L.ule(R);
+  case BinaryOp::Gt:
+    return Signed ? R.slt(L) : R.ult(L);
+  case BinaryOp::Ge:
+    return Signed ? R.sle(L) : R.ule(L);
+  case BinaryOp::LogicalAnd:
+    return Bits(L.toBool() && R.toBool() ? 1 : 0, 1);
+  case BinaryOp::LogicalOr:
+    return Bits(L.toBool() || R.toBool() ? 1 : 0, 1);
+  case BinaryOp::Concat:
+    return L.concat(R);
+  }
+  assert(false && "unknown binary operator");
+  return Bits();
+}
+
+} // namespace
+
+Bits backend::evalExpr(const Expr &E, const Env &Env, const Program &Prog,
+                       const EvalHooks &Hooks) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    return Bits(cast<IntLitExpr>(&E)->value(), E.type().width());
+  case Expr::Kind::BoolLit:
+    return Bits(cast<BoolLitExpr>(&E)->value() ? 1 : 0, 1);
+  case Expr::Kind::VarRef: {
+    const auto *V = cast<VarRefExpr>(&E);
+    auto It = Env.find(V->name());
+    // Unbound names are don't-cares off the defining path: read as zero.
+    return It != Env.end() ? It->second : Bits(0, E.type().width());
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    Bits V = evalExpr(*U->operand(), Env, Prog, Hooks);
+    switch (U->op()) {
+    case UnaryOp::LogicalNot:
+      return Bits(V.isZero() ? 1 : 0, 1);
+    case UnaryOp::BitNot:
+      return V.not_();
+    case UnaryOp::Negate:
+      return Bits(0, V.width()).sub(V);
+    }
+    break;
+  }
+  case Expr::Kind::Binary:
+    return evalBinary(*cast<BinaryExpr>(&E), Env, Prog, Hooks);
+  case Expr::Kind::Ternary: {
+    const auto *T = cast<TernaryExpr>(&E);
+    return evalExpr(*T->cond(), Env, Prog, Hooks).toBool()
+               ? evalExpr(*T->thenExpr(), Env, Prog, Hooks)
+               : evalExpr(*T->elseExpr(), Env, Prog, Hooks);
+  }
+  case Expr::Kind::Slice: {
+    const auto *S = cast<SliceExpr>(&E);
+    return evalExpr(*S->base(), Env, Prog, Hooks).slice(S->hi(), S->lo());
+  }
+  case Expr::Kind::MemRead: {
+    const auto *M = cast<MemReadExpr>(&E);
+    uint64_t Addr = evalExpr(*M->addr(), Env, Prog, Hooks).zext();
+    assert(Hooks.ReadMem && "memory read without a ReadMem hook");
+    return Hooks.ReadMem(*M, Addr);
+  }
+  case Expr::Kind::FuncCall: {
+    const auto *C = cast<FuncCallExpr>(&E);
+    const FuncDecl *F = Prog.findFunc(C->callee());
+    assert(F && "call of unknown function survived type checking");
+    backend::Env Locals;
+    for (unsigned I = 0, N = C->args().size(); I != N; ++I)
+      Locals[F->Params[I].Name] = evalExpr(*C->args()[I], Env, Prog, Hooks);
+    for (const StmtPtr &S : F->Body) {
+      if (const auto *A = dyn_cast<AssignStmt>(S.get())) {
+        Locals[A->name()] = evalExpr(*A->value(), Locals, Prog, Hooks);
+        continue;
+      }
+      const auto *R = cast<ReturnStmt>(S.get());
+      return evalExpr(*R->value(), Locals, Prog, Hooks);
+    }
+    assert(false && "def function without a return");
+    break;
+  }
+  case Expr::Kind::ExternCall: {
+    const auto *C = cast<ExternCallExpr>(&E);
+    std::vector<Bits> Args;
+    for (const ExprPtr &A : C->args())
+      Args.push_back(evalExpr(*A, Env, Prog, Hooks));
+    assert(Hooks.CallExtern && "extern call without a CallExtern hook");
+    return Hooks.CallExtern(*C, Args);
+  }
+  case Expr::Kind::Cast: {
+    const auto *C = cast<CastExpr>(&E);
+    Bits V = evalExpr(*C->operand(), Env, Prog, Hooks);
+    bool SrcSigned = C->operand()->type().isSigned();
+    unsigned W = C->target().width();
+    return SrcSigned ? V.sextTo(W) : V.zextTo(W);
+  }
+  }
+  return Bits();
+}
+
+bool backend::evalGuard(const Guard &G, const Env &Env, const Program &Prog,
+                        const EvalHooks &Hooks) {
+  for (const GuardTerm &T : G) {
+    bool V = evalExpr(*T.Cond, Env, Prog, Hooks).toBool();
+    if (V != T.Polarity)
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,56 @@
+//===- Eval.h - PDL expression evaluation ----------------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates type-checked PDL expressions over Bits values. Shared between
+/// the sequential reference interpreter (the one-instruction-at-a-time
+/// oracle) and the pipelined circuit executor; the two differ only in how
+/// they service memory reads and extern calls, injected via EvalHooks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_BACKEND_EVAL_H
+#define PDL_BACKEND_EVAL_H
+
+#include "passes/StageGraph.h"
+#include "pdl/AST.h"
+#include "support/Bits.h"
+
+#include <functional>
+#include <map>
+#include <string>
+
+namespace pdl {
+namespace backend {
+
+/// A thread's value environment. Reads of names with no binding evaluate to
+/// zero (hardware don't-care on paths that skipped the definition).
+using Env = std::map<std::string, Bits>;
+
+struct EvalHooks {
+  /// Services a combinational memory read. The expression node identifies
+  /// the access site (the executor uses it to find the thread's lock
+  /// reservation); \p Addr is the evaluated address.
+  std::function<Bits(const ast::MemReadExpr &Site, uint64_t Addr)> ReadMem;
+
+  /// Services an extern-module method call.
+  std::function<Bits(const ast::ExternCallExpr &Site,
+                     const std::vector<Bits> &Args)>
+      CallExtern;
+};
+
+/// Evaluates \p E in \p Env. \p Prog resolves def-function calls.
+Bits evalExpr(const ast::Expr &E, const Env &Env, const ast::Program &Prog,
+              const EvalHooks &Hooks);
+
+/// Evaluates a stage-graph guard (conjunction of branch conditions).
+bool evalGuard(const Guard &G, const Env &Env, const ast::Program &Prog,
+               const EvalHooks &Hooks);
+
+} // namespace backend
+} // namespace pdl
+
+#endif // PDL_BACKEND_EVAL_H

@@ -1,0 +1,948 @@
+//===- System.cpp - Elaborated pipelined circuit executor ------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/System.h"
+
+#include "hw/BypassQueue.h"
+#include "hw/QueueLock.h"
+#include "hw/RenameLock.h"
+#include "passes/PathCondition.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+static bool traceOn() {
+  static bool On = std::getenv("PDL_TRACE") != nullptr;
+  return On;
+}
+
+using namespace pdl;
+using namespace pdl::ast;
+using namespace pdl::backend;
+
+namespace {
+
+char modeChar(hw::Access M) {
+  switch (M) {
+  case hw::Access::Read:
+    return 'R';
+  case hw::Access::Write:
+    return 'W';
+  case hw::Access::ReadWrite:
+    return 'X';
+  }
+  return '?';
+}
+
+hw::Access accessFor(LockMode M) {
+  switch (M) {
+  case LockMode::Read:
+    return hw::Access::Read;
+  case LockMode::Write:
+    return hw::Access::Write;
+  case LockMode::None:
+    return hw::Access::ReadWrite;
+  }
+  return hw::Access::ReadWrite;
+}
+
+std::string resKey(const std::string &Mem, const std::string &AddrText,
+                   hw::Access M) {
+  return Mem + "#" + AddrText + "#" + modeChar(M);
+}
+
+} // namespace
+
+System::System(const CompiledProgram &CP, ElabConfig Cfg)
+    : CP(CP), Cfg(std::move(Cfg)) {
+  assert(CP.ok() && "elaborating a program with errors");
+  for (const auto &[Name, Pipe] : CP.Pipes) {
+    auto PI = std::make_unique<PipeInstance>(this->Cfg.EntryDepth,
+                                             this->Cfg.SpecCapacity);
+    PI->CP = &Pipe;
+    for (const MemDecl &M : Pipe.Decl->Mems)
+      PI->Mems.emplace(M.Name, std::make_unique<hw::Memory>(
+                                   M.Name, M.ElemType.width(), M.AddrWidth,
+                                   M.IsSync));
+    for (const Stage &S : Pipe.Graph.Stages) {
+      for (const StageEdge &E : S.Succs)
+        PI->EdgeFifos.emplace(std::make_pair(E.From, E.To),
+                              hw::Fifo<Thread>(this->Cfg.FifoDepth));
+    }
+    // Multi-stage reservation regions are serialized (Section 4.1: "only
+    // a single thread may execute inside a lock region at a time").
+    for (const auto &[Mem, Stages] : Pipe.Locks.RegionStages) {
+      if (Stages.size() < 2)
+        continue; // single-stage regions are atomic by construction
+      LockRegion R;
+      R.Mem = Mem;
+      R.First = *Stages.begin();
+      R.Last = *Stages.rbegin();
+      PI->Regions.push_back(R);
+    }
+    Pipes.emplace(Name, std::move(PI));
+  }
+}
+
+System::~System() = default;
+
+System::PipeInstance &System::pipe(const std::string &Name) {
+  auto It = Pipes.find(Name);
+  assert(It != Pipes.end() && "unknown pipe");
+  return *It->second;
+}
+
+hw::Memory &System::memory(const std::string &Pipe, const std::string &Mem) {
+  auto &P = pipe(Pipe);
+  auto It = P.Mems.find(Mem);
+  assert(It != P.Mems.end() && "unknown memory");
+  return *It->second;
+}
+
+hw::HazardLock &System::lock(const std::string &Pipe,
+                             const std::string &Mem) {
+  auto &P = pipe(Pipe);
+  auto It = P.Locks.find(Mem);
+  assert(It != P.Locks.end() && "memory has no lock (or start() not called)");
+  return *It->second;
+}
+
+void System::bindExtern(const std::string &Name, hw::ExternModule *Module) {
+  Externs[Name] = Module;
+}
+
+void System::setHaltOnWrite(const std::string &Pipe, const std::string &Mem,
+                            uint64_t Addr) {
+  HaltWatch = {Pipe, Mem, Addr};
+}
+
+void System::elaborateLocks() {
+  if (LocksBuilt)
+    return;
+  LocksBuilt = true;
+  for (auto &[Name, PI] : Pipes) {
+    const LockAnalysis &LA = PI->CP->Locks;
+    for (const MemDecl &M : PI->CP->Decl->Mems) {
+      // Only memories the pipe locks get a lock instance.
+      if (!LA.ReadLocked.count(M.Name) && !LA.WriteLocked.count(M.Name))
+        continue;
+      hw::Memory &Mem = *PI->Mems.at(M.Name);
+      LockKind Kind = Cfg.DefaultLock;
+      auto It = Cfg.LockChoice.find(Name + "." + M.Name);
+      if (It == Cfg.LockChoice.end())
+        It = Cfg.LockChoice.find(M.Name);
+      if (It != Cfg.LockChoice.end())
+        Kind = It->second;
+      std::unique_ptr<hw::HazardLock> L;
+      switch (Kind) {
+      case LockKind::Queue:
+        L = std::make_unique<hw::QueueLock>(Mem);
+        break;
+      case LockKind::Bypass:
+        L = std::make_unique<hw::BypassQueueLock>(Mem);
+        break;
+      case LockKind::Rename:
+        L = std::make_unique<hw::RenameLock>(Mem);
+        break;
+      }
+      PI->Locks.emplace(M.Name, std::move(L));
+    }
+  }
+}
+
+hw::HazardLock *System::lockFor(PipeInstance &P, const std::string &Mem) {
+  auto It = P.Locks.find(Mem);
+  return It == P.Locks.end() ? nullptr : It->second.get();
+}
+
+bool System::canAccept(const std::string &PipeName) {
+  PipeInstance &P = pipe(PipeName);
+  return P.Entry.size() + pendingEnqCount(P, /*ToEntry=*/true, {}) <
+         P.Entry.capacity();
+}
+
+void System::start(const std::string &PipeName, std::vector<Bits> Args) {
+  elaborateLocks();
+  PipeInstance &P = pipe(PipeName);
+  const PipeDecl *Decl = P.CP->Decl;
+  assert(Args.size() == Decl->Params.size() && "argument count mismatch");
+  Thread T;
+  T.Tid = NextTid++;
+  for (unsigned I = 0, N = Args.size(); I != N; ++I)
+    T.Vars[Decl->Params[I].Name] = Args[I];
+  T.Trace.Args = Args;
+  P.Entry.enq(std::move(T));
+}
+
+Bits System::archRead(const std::string &Pipe, const std::string &Mem,
+                      uint64_t Addr) {
+  PipeInstance &P = pipe(Pipe);
+  if (hw::HazardLock *L = lockFor(P, Mem))
+    return L->archRead(Addr);
+  return P.Mems.at(Mem)->read(Addr);
+}
+
+const std::vector<ThreadTrace> &
+System::trace(const std::string &Pipe) const {
+  auto It = Pipes.find(Pipe);
+  assert(It != Pipes.end() && "unknown pipe");
+  return It->second->Retired;
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation hooks
+//===----------------------------------------------------------------------===//
+
+EvalHooks System::hooksFor(PipeInstance &P, Thread &T, WalkCtx &Ctx) {
+  EvalHooks H;
+  H.ReadMem = [this, &P, &T, &Ctx](const MemReadExpr &Site, uint64_t Addr) {
+    hw::HazardLock *L = lockFor(P, Site.mem());
+    if (!L)
+      return P.Mems.at(Site.mem())->read(Addr);
+    std::string Text = addrKey(*Site.addr());
+    bool Probe = Ctx.Mode == WalkMode::Probe;
+    for (hw::Access M : {hw::Access::Read, hw::Access::ReadWrite}) {
+      std::string Key = resKey(Site.mem(), Text, M);
+      auto It = T.Res.find(Key);
+      if (It != T.Res.end())
+        return Probe ? L->readP(Ctx.Probes[L], It->second)
+                     : L->read(It->second);
+      // Reserved earlier in this stage during the probe pass: peek the
+      // value a fresh reservation would see.
+      if (Probe && Ctx.ProbeReserved.count(Key))
+        return L->peek(Addr, M);
+    }
+    assert(false && "combinational read of a locked memory without an "
+                    "acquired reservation");
+    return Bits(0, P.Mems.at(Site.mem())->elemWidth());
+  };
+  H.CallExtern = [this](const ExternCallExpr &Site,
+                        const std::vector<Bits> &Args) {
+    auto It = Externs.find(Site.module());
+    assert(It != Externs.end() && "unbound extern module");
+    auto R = It->second->invoke(Site.method(), Args);
+    assert(R && "extern value method returned nothing");
+    return *R;
+  };
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-cycle stage firing
+//===----------------------------------------------------------------------===//
+
+unsigned System::pendingEnqCount(PipeInstance &P, bool ToEntry,
+                                 std::pair<unsigned, unsigned> Edge) const {
+  unsigned N = 0;
+  for (const PendingEnq &E : PendingEnqs)
+    if (E.P == &P && E.ToEntry == ToEntry && (ToEntry || E.Edge == Edge))
+      ++N;
+  return N;
+}
+
+System::Thread *System::stageInput(PipeInstance &P, const Stage &S,
+                                   unsigned &PredIdx) {
+  auto DrainDead = [&](hw::Fifo<Thread> &F) -> Thread * {
+    while (!F.empty()) {
+      Thread &T = F.front();
+      if (T.MySpec != 0 &&
+          P.Spec.status(T.MySpec) == hw::SpecStatus::Mispredicted) {
+        Thread Dead = F.deq();
+        killThread(P, std::move(Dead));
+        continue;
+      }
+      return &T;
+    }
+    return nullptr;
+  };
+
+  if (S.Id == P.CP->Graph.Entry) {
+    PredIdx = ~0u;
+    return DrainDead(P.Entry);
+  }
+  if (S.isJoin()) {
+    std::deque<TagTok> &Tags = P.TagQueues[S.Id];
+    while (!Tags.empty()) {
+      TagTok Tok = Tags.front();
+      assert(Tok.Tag < S.Preds.size() && "bad coordination tag");
+      auto &F = P.EdgeFifos.at({S.Preds[Tok.Tag], S.Id});
+      if (F.empty())
+        return nullptr; // the tagged thread has not arrived yet
+      Thread &T = F.front();
+      assert(T.Tid == Tok.Tid && "coordination tag out of sync");
+      if (T.MySpec != 0 &&
+          P.Spec.status(T.MySpec) == hw::SpecStatus::Mispredicted) {
+        Thread Dead = F.deq();
+        killThread(P, std::move(Dead)); // also purges its tag
+        continue;
+      }
+      PredIdx = Tok.Tag;
+      return &T;
+    }
+    return nullptr;
+  }
+  assert(S.Preds.size() == 1 && "non-join stage with multiple predecessors");
+  PredIdx = 0;
+  return DrainDead(P.EdgeFifos.at({S.Preds[0], S.Id}));
+}
+
+const StageEdge *System::pickSuccessor(PipeInstance &P, const Stage &S,
+                                       const Env &Vars) {
+  if (S.Succs.empty())
+    return nullptr;
+  for (const StageEdge &E : S.Succs) {
+    bool Taken = true;
+    for (const GuardTerm &G : E.G) {
+      Thread Scratch; // hooks need a thread; guards contain no mem reads
+      WalkCtx Ctx;
+      EvalHooks H = hooksFor(P, Scratch, Ctx);
+      if (evalExpr(*G.Cond, Vars, *CP.AST, H).toBool() != G.Polarity) {
+        Taken = false;
+        break;
+      }
+    }
+    if (Taken)
+      return &E;
+  }
+  assert(false && "no successor edge guard held (guards must partition)");
+  return nullptr;
+}
+
+System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
+                                  WalkCtx &Ctx) {
+  bool Commit = Ctx.Mode == WalkMode::Commit;
+  EvalHooks H = hooksFor(P, T, Ctx);
+  auto Eval = [&](const Expr &E) { return evalExpr(E, Ctx.Vars, *CP.AST, H); };
+
+  // Resolves a lock operand to its reservation key, trying the exact mode
+  // first, then the others (mode-less block/release).
+  auto ResolveKey = [&](const std::string &Mem, const std::string &Text,
+                        LockMode Mode) -> std::string {
+    std::vector<hw::Access> Try;
+    if (Mode == LockMode::Read)
+      Try = {hw::Access::Read};
+    else if (Mode == LockMode::Write)
+      Try = {hw::Access::Write};
+    else
+      Try = {hw::Access::ReadWrite, hw::Access::Read, hw::Access::Write};
+    for (hw::Access M : Try) {
+      std::string K = resKey(Mem, Text, M);
+      if (T.Res.count(K) || Ctx.ProbeReserved.count(K))
+        return K;
+    }
+    assert(false && "lock operation without a matching reservation");
+    return "";
+  };
+
+  switch (S.kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(&S);
+    Ctx.Vars[A->name()] = Eval(*A->value());
+    return FireResult::Fire;
+  }
+
+  case Stmt::Kind::Lock: {
+    const auto *L = cast<LockStmt>(&S);
+    hw::HazardLock *Lock = lockFor(P, L->mem());
+    assert(Lock && "lock op on a memory without a lock");
+    std::string Text = addrKey(*L->addr());
+    uint64_t Addr = Eval(*L->addr()).zext();
+    hw::Access M = accessFor(L->mode());
+
+    switch (L->op()) {
+    case LockOp::Reserve:
+    case LockOp::Acquire: {
+      std::string Key = resKey(L->mem(), Text, M);
+      if (!Commit) {
+        hw::LockProbe &Probe = Ctx.Probes[Lock];
+        if (!Lock->canReserveP(Probe, Addr, M)) {
+          ++Stats.StallLock;
+          return FireResult::Stall;
+        }
+        if (L->op() == LockOp::Acquire && !Lock->readyNowP(Probe, Addr, M)) {
+          ++Stats.StallLock;
+          return FireResult::Stall;
+        }
+        Ctx.ProbeReserved[Key] = {Lock, Addr, M};
+        Probe.Reserved.emplace_back(Addr, M);
+        return FireResult::Fire;
+      }
+      hw::ResId R = Lock->reserve(Addr, M);
+      T.Res[Key] = R;
+      T.ResInfo[R] = {L->mem(), Key, Addr, M, false, 0};
+      return FireResult::Fire;
+    }
+    case LockOp::Block: {
+      std::string Key = ResolveKey(L->mem(), Text, L->mode());
+      if (!Commit) {
+        hw::LockProbe &Probe = Ctx.Probes[Lock];
+        auto It = T.Res.find(Key);
+        bool Ready;
+        if (It != T.Res.end()) {
+          Ready = Lock->readyP(Probe, It->second);
+        } else {
+          // Reserved earlier in this same stage: probe combinationally.
+          // Its own entry must not count against itself.
+          auto PR = Ctx.ProbeReserved.at(Key);
+          hw::LockProbe Minus = Probe;
+          for (auto RIt = Minus.Reserved.begin();
+               RIt != Minus.Reserved.end(); ++RIt) {
+            if (RIt->first == std::get<1>(PR) &&
+                RIt->second == std::get<2>(PR)) {
+              Minus.Reserved.erase(RIt);
+              break;
+            }
+          }
+          Ready = Lock->readyNowP(Minus, std::get<1>(PR), std::get<2>(PR));
+        }
+        if (!Ready) {
+          ++Stats.StallLock;
+          return FireResult::Stall;
+        }
+      }
+      return FireResult::Fire;
+    }
+    case LockOp::Release: {
+      if (!Commit) {
+        std::string Key = ResolveKey(L->mem(), Text, L->mode());
+        hw::LockProbe &Probe = Ctx.Probes[Lock];
+        auto It = T.Res.find(Key);
+        if (It != T.Res.end()) {
+          Probe.Released.push_back(It->second);
+        } else {
+          // Releasing a same-stage probe reservation: cancel it out.
+          auto PR = Ctx.ProbeReserved.at(Key);
+          for (auto RIt = Probe.Reserved.begin();
+               RIt != Probe.Reserved.end(); ++RIt) {
+            if (RIt->first == std::get<1>(PR) &&
+                RIt->second == std::get<2>(PR)) {
+              Probe.Reserved.erase(RIt);
+              break;
+            }
+          }
+          Ctx.ProbeReserved.erase(Key);
+        }
+        return FireResult::Fire;
+      }
+      std::string Key = ResolveKey(L->mem(), Text, L->mode());
+      auto It = T.Res.find(Key);
+      assert(It != T.Res.end() && "release without a live reservation");
+      hw::ResId R = It->second;
+      ResRec Rec = T.ResInfo.at(R);
+      Lock->release(R);
+      if (Rec.Mode != hw::Access::Read && Rec.Written)
+        recordCommit(P, Rec.Mem, Rec.Addr, Rec.WrittenVal, T);
+      T.Res.erase(It);
+      T.ResInfo.erase(R);
+      return FireResult::Fire;
+    }
+    }
+    return FireResult::Fire;
+  }
+
+  case Stmt::Kind::MemWrite: {
+    const auto *W = cast<MemWriteStmt>(&S);
+    if (!Commit) {
+      // Evaluate for side-effect-free env consistency only.
+      Eval(*W->addr());
+      Eval(*W->value());
+      return FireResult::Fire;
+    }
+    uint64_t Addr = Eval(*W->addr()).zext();
+    Bits V = Eval(*W->value());
+    hw::HazardLock *Lock = lockFor(P, W->mem());
+    if (!Lock) {
+      P.Mems.at(W->mem())->write(Addr, V);
+      recordCommit(P, W->mem(), Addr, V.zext(), T);
+      return FireResult::Fire;
+    }
+    std::string Text = addrKey(*W->addr());
+    std::string Key;
+    for (hw::Access M : {hw::Access::Write, hw::Access::ReadWrite}) {
+      std::string K = resKey(W->mem(), Text, M);
+      if (T.Res.count(K)) {
+        Key = K;
+        break;
+      }
+    }
+    assert(!Key.empty() && "write to a locked memory without a write lock");
+    hw::ResId R = T.Res.at(Key);
+    Lock->write(R, V);
+    ResRec &Rec = T.ResInfo.at(R);
+    Rec.Written = true;
+    Rec.WrittenVal = V.zext();
+    Rec.Addr = Addr;
+    return FireResult::Fire;
+  }
+
+  case Stmt::Kind::SyncRead: {
+    const auto *Rd = cast<SyncReadStmt>(&S);
+    uint64_t Addr = Eval(*Rd->addr()).zext();
+    if (!Commit)
+      return FireResult::Fire;
+    hw::HazardLock *Lock = lockFor(P, Rd->mem());
+    Bits V;
+    if (Lock) {
+      std::string Text = addrKey(*Rd->addr());
+      std::string Key;
+      for (hw::Access M : {hw::Access::Read, hw::Access::ReadWrite}) {
+        std::string K = resKey(Rd->mem(), Text, M);
+        if (T.Res.count(K)) {
+          Key = K;
+          break;
+        }
+      }
+      assert(!Key.empty() && "sync read of locked memory without a lock");
+      V = Lock->read(T.Res.at(Key));
+    } else {
+      V = P.Mems.at(Rd->mem())->read(Addr);
+    }
+    unsigned Latency = 1;
+    auto LIt = Cfg.MemLatency.find(P.CP->Decl->Name + "." + Rd->mem());
+    if (LIt != Cfg.MemLatency.end())
+      Latency = LIt->second;
+    Deliveries.push_back({Stats.Cycles + (Latency - 1), P.CP->Decl->Name,
+                          T.Tid, Rd->name(), V});
+    ++T.PendingResp;
+    return FireResult::Fire;
+  }
+
+  case Stmt::Kind::PipeCall: {
+    const auto *C = cast<PipeCallStmt>(&S);
+    bool Recursive = C->pipe() == P.CP->Decl->Name;
+    PipeInstance &Callee = pipe(C->pipe());
+
+    if (!Commit) {
+      if (C->isSpec() && !P.Spec.canAlloc()) {
+        ++Stats.StallSpec;
+        return FireResult::Stall;
+      }
+      unsigned Pending = pendingEnqCount(Callee, /*ToEntry=*/true, {});
+      if (Callee.Entry.size() + Pending >= Callee.Entry.capacity()) {
+        ++Stats.StallBackpressure;
+        return FireResult::Stall;
+      }
+      for (const ExprPtr &A : C->args())
+        Eval(*A);
+      return FireResult::Fire;
+    }
+
+    Thread Child;
+    Child.Tid = NextTid++;
+    const PipeDecl *CalleeDecl = Callee.CP->Decl;
+    std::vector<Bits> ArgV;
+    for (unsigned I = 0, N = C->args().size(); I != N; ++I) {
+      Bits V = Eval(*C->args()[I]);
+      Child.Vars[CalleeDecl->Params[I].Name] = V;
+      ArgV.push_back(V);
+    }
+    Child.Trace.Args = ArgV;
+    if (C->isSpec()) {
+      hw::SpecId Sid = P.Spec.alloc(ArgV[0]);
+      Child.MySpec = Sid;
+      T.Handles[C->resultName()] = Sid;
+      ++T.UnresolvedSpec;
+    } else if (!Recursive && C->hasResult()) {
+      Child.HasCaller = true;
+      Child.CallerPipe = P.CP->Decl->Name;
+      Child.CallerTid = T.Tid;
+      Child.CallerVar = C->resultName();
+      ++T.PendingResp;
+    }
+    PendingEnqs.push_back({&Callee, /*ToEntry=*/true, {}, std::move(Child)});
+    return FireResult::Fire;
+  }
+
+  case Stmt::Kind::Output: {
+    const auto *O = cast<OutputStmt>(&S);
+    if (!Commit) {
+      Eval(*O->value());
+      return FireResult::Fire;
+    }
+    Bits V = Eval(*O->value());
+    T.Trace.Output = V;
+    if (T.HasCaller)
+      Deliveries.push_back(
+          {Stats.Cycles, T.CallerPipe, T.CallerTid, T.CallerVar, V});
+    return FireResult::Fire;
+  }
+
+  case Stmt::Kind::SpecCheck: {
+    const auto *C = cast<SpecCheckStmt>(&S);
+    if (T.MySpec == 0)
+      return FireResult::Fire;
+    hw::SpecStatus St = P.Spec.status(T.MySpec);
+    if (St == hw::SpecStatus::Mispredicted)
+      return FireResult::Kill;
+    if (St == hw::SpecStatus::Pending)
+      return C->isBlocking() ? (++Stats.StallSpec, FireResult::Stall)
+                             : FireResult::Fire;
+    // Correct: the thread learns it is non-speculative; free the entry.
+    if (Commit) {
+      P.Spec.free(T.MySpec);
+      T.MySpec = 0;
+    }
+    return FireResult::Fire;
+  }
+
+  case Stmt::Kind::Verify: {
+    const auto *V = cast<VerifyStmt>(&S);
+    if (!Commit) {
+      // A mispredict respawns a corrected thread: require entry space.
+      unsigned Pending = pendingEnqCount(P, /*ToEntry=*/true, {});
+      if (P.Entry.size() + Pending >= P.Entry.capacity()) {
+        ++Stats.StallBackpressure;
+        return FireResult::Stall;
+      }
+      Eval(*V->actual());
+      return FireResult::Fire;
+    }
+    Bits Actual = Eval(*V->actual());
+    auto HIt = T.Handles.find(V->handle());
+    assert(HIt != T.Handles.end() && "verify of an unspawned speculation");
+    hw::SpecId Sid = HIt->second;
+    bool Correct = P.Spec.verify(Sid, Actual);
+    T.Handles.erase(HIt);
+    assert(T.UnresolvedSpec > 0);
+    --T.UnresolvedSpec;
+    if (Correct) {
+      for (auto &[Mem, Ck] : T.Ckpts)
+        lockFor(P, Mem)->commitCheckpoint(Ck);
+      T.Ckpts.clear();
+    } else {
+      for (auto &[Mem, Ck] : T.Ckpts) {
+        lockFor(P, Mem)->rollback(Ck);
+        lockFor(P, Mem)->commitCheckpoint(Ck);
+      }
+      T.Ckpts.clear();
+      // Respawn the corrected, non-speculative thread.
+      Thread Child;
+      Child.Tid = NextTid++;
+      Child.Vars[P.CP->Decl->Params[0].Name] = Actual;
+      Child.Trace.Args = {Actual};
+      PendingEnqs.push_back({&P, /*ToEntry=*/true, {}, std::move(Child)});
+    }
+    if (const ExternCallExpr *U = V->predictorUpdate()) {
+      std::vector<Bits> Args;
+      for (const ExprPtr &A : U->args())
+        Args.push_back(Eval(*A));
+      auto It = Externs.find(U->module());
+      assert(It != Externs.end() && "unbound extern module");
+      It->second->invoke(U->method(), Args);
+    }
+    return FireResult::Fire;
+  }
+
+  case Stmt::Kind::Update: {
+    const auto *U = cast<UpdateStmt>(&S);
+    if (!Commit) {
+      if (!P.Spec.canAlloc()) {
+        ++Stats.StallSpec;
+        return FireResult::Stall;
+      }
+      unsigned Pending = pendingEnqCount(P, /*ToEntry=*/true, {});
+      if (P.Entry.size() + Pending >= P.Entry.capacity()) {
+        ++Stats.StallBackpressure;
+        return FireResult::Stall;
+      }
+      Eval(*U->newPred());
+      return FireResult::Fire;
+    }
+    Bits NewPred = Eval(*U->newPred());
+    auto HIt = T.Handles.find(U->handle());
+    assert(HIt != T.Handles.end() && "update of an unspawned speculation");
+    auto NewSid = P.Spec.update(HIt->second, NewPred);
+    if (!NewSid)
+      return FireResult::Fire; // prediction unchanged
+    HIt->second = *NewSid;
+    // Undo the old child's speculative lock state but keep the
+    // checkpoints alive for the re-steered child.
+    for (auto &[Mem, Ck] : T.Ckpts)
+      lockFor(P, Mem)->rollback(Ck);
+    Thread Child;
+    Child.Tid = NextTid++;
+    Child.MySpec = *NewSid;
+    Child.Vars[P.CP->Decl->Params[0].Name] = NewPred;
+    Child.Trace.Args = {NewPred};
+    PendingEnqs.push_back({&P, /*ToEntry=*/true, {}, std::move(Child)});
+    return FireResult::Fire;
+  }
+
+  default:
+    assert(false && "statement kind cannot appear as a staged op");
+    return FireResult::Fire;
+  }
+}
+
+System::FireResult System::walkStage(PipeInstance &P, const Stage &S,
+                                     Thread &T, WalkCtx &Ctx) {
+  EvalHooks H = hooksFor(P, T, Ctx);
+  for (const StagedOp &Op : S.Ops) {
+    if (!evalGuard(Op.G, Ctx.Vars, *CP.AST, H))
+      continue;
+    FireResult R = walkOp(P, *Op.S, T, Ctx);
+    if (R != FireResult::Fire)
+      return R;
+  }
+  return FireResult::Fire;
+}
+
+void System::recordCommit(PipeInstance &P, const std::string &Mem,
+                          uint64_t Addr, uint64_t Val, Thread &T) {
+  T.Trace.Writes.emplace_back(Mem, Addr, Val);
+  if (HaltWatch && std::get<0>(*HaltWatch) == P.CP->Decl->Name &&
+      std::get<1>(*HaltWatch) == Mem && std::get<2>(*HaltWatch) == Addr)
+    Halted = true;
+}
+
+void System::killThread(PipeInstance &P, Thread &&T) {
+  ++Stats.Killed[P.CP->Decl->Name];
+  for (LockRegion &Reg : P.Regions)
+    if (Reg.OccupantTid == T.Tid)
+      Reg.OccupantTid.reset();
+  if (T.MySpec != 0)
+    P.Spec.free(T.MySpec);
+  // Remove the thread's coordination tags (it will never reach the joins).
+  for (auto It = PendingTags.begin(); It != PendingTags.end();)
+    It = (It->P == &P && It->Tid == T.Tid) ? PendingTags.erase(It)
+                                           : std::next(It);
+  for (auto &[Join, Tags] : P.TagQueues)
+    Tags.erase(std::remove_if(Tags.begin(), Tags.end(),
+                              [&](const TagTok &Tok) {
+                                return Tok.Tid == T.Tid;
+                              }),
+               Tags.end());
+}
+
+void System::retireThread(PipeInstance &P, Thread &&T) {
+  assert(T.Res.empty() && "thread retired holding lock reservations");
+  assert(T.PendingResp == 0 && "thread retired with outstanding responses");
+  assert(T.Handles.empty() && "thread retired with unresolved speculation");
+  ++Stats.Retired[P.CP->Decl->Name];
+  P.Retired.push_back(std::move(T.Trace));
+}
+
+System::Thread System::dequeueInput(PipeInstance &P, const Stage &S,
+                                    unsigned PredIdx) {
+  if (S.Id == P.CP->Graph.Entry)
+    return P.Entry.deq();
+  if (S.isJoin()) {
+    P.TagQueues[S.Id].pop_front();
+    return P.EdgeFifos.at({S.Preds[PredIdx], S.Id}).deq();
+  }
+  return P.EdgeFifos.at({S.Preds[0], S.Id}).deq();
+}
+
+void System::tryFireStage(PipeInstance &P, const Stage &S) {
+  unsigned PredIdx = 0;
+  Thread *T = stageInput(P, S, PredIdx);
+  if (!T)
+    return;
+
+  if (T->PendingResp > 0) {
+    ++Stats.StallResponse;
+    return;
+  }
+
+  // Lock-region serialization: a thread may not enter a multi-stage
+  // reservation region while another thread occupies it.
+  for (const LockRegion &Reg : P.Regions) {
+    if (S.Id == Reg.First && Reg.OccupantTid && *Reg.OccupantTid != T->Tid) {
+      ++Stats.StallLock;
+      return;
+    }
+  }
+
+  // Probe pass: pure except for harmless lock-read bookkeeping.
+  WalkCtx Probe;
+  Probe.Mode = WalkMode::Probe;
+  Probe.Vars = T->Vars;
+  FireResult R = walkStage(P, S, *T, Probe);
+  if (R == FireResult::Stall) {
+    if (traceOn())
+      std::fprintf(stderr, "  stall %s/%s tid=%llu (lock/spec/resp)\n",
+                   P.CP->Decl->Name.c_str(), S.Name.c_str(),
+                   (unsigned long long)T->Tid);
+    return;
+  }
+
+  if (R == FireResult::Kill) {
+    Thread Dead = dequeueInput(P, S, PredIdx);
+    killThread(P, std::move(Dead));
+    return;
+  }
+
+  // Back-pressure checks with the probe environment.
+  const StageEdge *Succ = pickSuccessor(P, S, Probe.Vars);
+  if (Succ) {
+    auto Key = std::make_pair(Succ->From, Succ->To);
+    auto &F = P.EdgeFifos.at(Key);
+    if (F.size() + pendingEnqCount(P, false, Key) >= F.capacity()) {
+      ++Stats.StallBackpressure;
+      if (traceOn())
+        std::fprintf(stderr, "  bp %s/%s tid=%llu edge %u->%u\n",
+                     P.CP->Decl->Name.c_str(), S.Name.c_str(),
+                     (unsigned long long)T->Tid, Succ->From, Succ->To);
+      return;
+    }
+  }
+  for (const Stage &J : P.CP->Graph.Stages) {
+    if (J.ForkStage != S.Id)
+      continue;
+    auto &Q = P.TagQueues[J.Id];
+    unsigned Pending = 0;
+    for (const PendingTag &PT : PendingTags)
+      if (PT.P == &P && PT.Join == J.Id)
+        ++Pending;
+    if (Q.size() + Pending >= Cfg.TagDepth) {
+      ++Stats.StallBackpressure;
+      return;
+    }
+  }
+
+  // Commit pass.
+  Thread Live = dequeueInput(P, S, PredIdx);
+  WalkCtx Commit;
+  Commit.Mode = WalkMode::Commit;
+  Commit.Vars = std::move(Live.Vars);
+  FireResult CR = walkStage(P, S, Live, Commit);
+  assert(CR == FireResult::Fire && "probe and commit disagreed");
+  (void)CR;
+  Live.Vars = std::move(Commit.Vars);
+
+  // Compiler-inserted checkpoints after the thread's final reservations.
+  for (const auto &[Mem, CkStage] : P.CP->Spec.CheckpointStage) {
+    if (CkStage != S.Id || Live.UnresolvedSpec == 0 || Live.Ckpts.count(Mem))
+      continue;
+    if (hw::HazardLock *L = lockFor(P, Mem))
+      Live.Ckpts[Mem] = L->checkpoint();
+  }
+
+  // Coordination tags for joins forked here.
+  EvalHooks H = hooksFor(P, Live, Commit);
+  for (const Stage &J : P.CP->Graph.Stages) {
+    if (J.ForkStage != S.Id)
+      continue;
+    for (const TagRule &TR : J.TagRules) {
+      if (evalGuard(TR.G, Live.Vars, *CP.AST, H)) {
+        PendingTags.push_back({&P, J.Id, TR.PredIndex, Live.Tid});
+        break;
+      }
+    }
+  }
+
+  for (LockRegion &Reg : P.Regions) {
+    if (S.Id == Reg.First)
+      Reg.OccupantTid = Live.Tid;
+    if (S.Id == Reg.Last && Reg.OccupantTid == Live.Tid)
+      Reg.OccupantTid.reset();
+  }
+
+  ++Stats.StageFires;
+  FiredThisCycle = true;
+  if (traceOn())
+    std::fprintf(stderr, "  fire %s/%s tid=%llu\n",
+                 P.CP->Decl->Name.c_str(), S.Name.c_str(),
+                 (unsigned long long)Live.Tid);
+
+  if (Succ) {
+    PendingEnqs.push_back(
+        {&P, false, {Succ->From, Succ->To}, std::move(Live)});
+  } else {
+    retireThread(P, std::move(Live));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Clock loop
+//===----------------------------------------------------------------------===//
+
+System::Thread *System::findThread(PipeInstance &P, uint64_t Tid) {
+  for (Thread &T : P.Entry)
+    if (T.Tid == Tid)
+      return &T;
+  for (auto &[Key, F] : P.EdgeFifos)
+    for (Thread &T : F)
+      if (T.Tid == Tid)
+        return &T;
+  for (PendingEnq &E : PendingEnqs)
+    if (E.P == &P && E.T.Tid == Tid)
+      return &E.T;
+  return nullptr;
+}
+
+void System::applyEndOfCycle() {
+  for (PendingEnq &E : PendingEnqs) {
+    if (E.ToEntry)
+      E.P->Entry.enq(std::move(E.T));
+    else
+      E.P->EdgeFifos.at(E.Edge).enq(std::move(E.T));
+  }
+  PendingEnqs.clear();
+  for (PendingTag &T : PendingTags)
+    T.P->TagQueues[T.Join].push_back({T.Tag, T.Tid});
+  PendingTags.clear();
+
+  for (auto It = Deliveries.begin(); It != Deliveries.end();) {
+    if (It->DueCycle > Stats.Cycles) {
+      ++It;
+      continue;
+    }
+    PipeInstance &P = pipe(It->Pipe);
+    if (Thread *T = findThread(P, It->Tid)) {
+      T->Vars[It->Var] = It->Value;
+      assert(T->PendingResp > 0);
+      --T->PendingResp;
+    }
+    // else: the requester was squashed; drop the orphan response.
+    It = Deliveries.erase(It);
+    FiredThisCycle = true;
+  }
+}
+
+void System::cycle() {
+  assert(LocksBuilt && "call start() before cycling");
+  FiredThisCycle = false;
+  if (traceOn())
+    std::fprintf(stderr, "-- cycle %llu --\n",
+                 (unsigned long long)Stats.Cycles);
+  for (auto &[Name, PI] : Pipes) {
+    const StageGraph &G = PI->CP->Graph;
+    for (unsigned Id = G.Stages.size(); Id-- > 0;)
+      tryFireStage(*PI, G.Stages[Id]);
+  }
+  applyEndOfCycle();
+  ++Stats.Cycles;
+}
+
+uint64_t System::run(uint64_t MaxCycles) {
+  uint64_t Start = Stats.Cycles;
+  uint64_t IdleStreak = 0;
+  while (Stats.Cycles - Start < MaxCycles && !Halted) {
+    cycle();
+    if (FiredThisCycle) {
+      IdleStreak = 0;
+      continue;
+    }
+    // Nothing fired: either the system drained or it deadlocked.
+    bool InFlight = !Deliveries.empty() || !PendingEnqs.empty();
+    for (auto &[Name, PI] : Pipes) {
+      if (!PI->Entry.empty())
+        InFlight = true;
+      for (auto &[K, F] : PI->EdgeFifos)
+        if (!F.empty())
+          InFlight = true;
+    }
+    if (!InFlight)
+      break; // drained
+    if (++IdleStreak > 8) {
+      Stats.Deadlocked = true;
+      break;
+    }
+  }
+  return Stats.Cycles - Start;
+}

@@ -1,0 +1,267 @@
+//===- System.h - Elaborated pipelined circuit executor --------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The back half of the PDL compiler, standing in for the paper's BSV code
+/// generation + RTL simulation (Section 5): a checked program elaborates
+/// into an executable cycle-accurate circuit.
+///
+/// The execution model mirrors the paper's strategy one-to-one:
+///  * each stage is one atomic rule, fired at most once per cycle;
+///  * inter-stage edges are FIFOs (default depth 2, like the BSV default);
+///    enqueues become visible the next cycle;
+///  * rules run deepest-stage-first within a cycle so that lock writes and
+///    speculation resolutions are combinationally visible to younger
+///    threads in earlier stages — the two scheduling directives of §5.1;
+///  * a rule stalls (does not fire) when: a block()ed lock is not ready, a
+///    spec_barrier is unresolved, lock/speculation resources are exhausted,
+///    a synchronous response is outstanding, or downstream FIFOs are full;
+///  * stage rules are evaluated twice per firing: a pure probe pass that
+///    decides fire/stall/kill, then a commit pass that applies effects --
+///    this models the combinational stall logic of the generated circuit;
+///  * out-of-order regions use per-join coordination-tag FIFOs fed by the
+///    fork stage (Figure 2);
+///  * misspeculated threads are squashed at stage entry and speculative
+///    lock state is rolled back to the parent's checkpoint (Section 2.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_BACKEND_SYSTEM_H
+#define PDL_BACKEND_SYSTEM_H
+
+#include "backend/Eval.h"
+#include "backend/SeqInterp.h"
+#include "hw/Extern.h"
+#include "hw/Fifo.h"
+#include "hw/Lock.h"
+#include "hw/SpecTable.h"
+#include "passes/Compiler.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdl {
+namespace backend {
+
+enum class LockKind { Queue, Bypass, Rename };
+
+/// Elaboration parameters (the microarchitectural knobs outside the PDL
+/// source: lock implementation choice, FIFO depths, table sizes).
+struct ElabConfig {
+  /// Lock implementation per "pipe.mem"; memories not listed get Default.
+  std::map<std::string, LockKind> LockChoice;
+  LockKind DefaultLock = LockKind::Bypass;
+  unsigned FifoDepth = 2;
+  unsigned EntryDepth = 4;
+  unsigned TagDepth = 8;
+  unsigned SpecCapacity = 8;
+  /// Response latency (cycles) per synchronous "pipe.mem"; default 1
+  /// (every access is a cache hit, as in the paper's evaluation).
+  std::map<std::string, unsigned> MemLatency;
+};
+
+struct SystemStats {
+  uint64_t Cycles = 0;
+  std::map<std::string, uint64_t> Retired; // per pipe
+  std::map<std::string, uint64_t> Killed;  // squashed threads per pipe
+  uint64_t StageFires = 0;
+  uint64_t StallLock = 0;     // block()/reserve resources
+  uint64_t StallSpec = 0;     // spec_barrier / spec-table capacity
+  uint64_t StallResponse = 0; // outstanding synchronous responses
+  uint64_t StallBackpressure = 0;
+  bool Deadlocked = false;
+};
+
+/// An elaborated, runnable system of pipelines.
+class System {
+public:
+  System(const CompiledProgram &CP, ElabConfig Cfg);
+  ~System();
+
+  /// Storage access (load programs before calling start()).
+  hw::Memory &memory(const std::string &Pipe, const std::string &Mem);
+
+  /// The lock instance guarding a memory (valid after start()).
+  hw::HazardLock &lock(const std::string &Pipe, const std::string &Mem);
+
+  void bindExtern(const std::string &Name, hw::ExternModule *Module);
+
+  /// Stops the simulation when a committed write hits this location.
+  void setHaltOnWrite(const std::string &Pipe, const std::string &Mem,
+                      uint64_t Addr);
+
+  /// True when \p Pipe's entry queue can accept another start() request.
+  bool canAccept(const std::string &Pipe);
+
+  /// Spawns the initial thread of \p Pipe (elaborates locks on first use).
+  void start(const std::string &Pipe, std::vector<Bits> Args);
+
+  /// Advances one clock cycle.
+  void cycle();
+
+  /// Runs until halt, deadlock, or \p MaxCycles. Returns cycles consumed.
+  uint64_t run(uint64_t MaxCycles);
+
+  bool halted() const { return Halted; }
+  const SystemStats &stats() const { return Stats; }
+
+  /// Committed (retired) thread traces of \p Pipe, oldest first.
+  const std::vector<ThreadTrace> &trace(const std::string &Pipe) const;
+
+  /// Reads committed architectural state through the lock (if any).
+  Bits archRead(const std::string &Pipe, const std::string &Mem,
+                uint64_t Addr);
+
+private:
+  struct ResRec {
+    std::string Mem;
+    std::string Key; // full reservation key (mem#addrtext#mode)
+    uint64_t Addr = 0;
+    hw::Access Mode = hw::Access::Read;
+    bool Written = false;
+    uint64_t WrittenVal = 0;
+  };
+
+  struct Thread {
+    uint64_t Tid = 0;
+    Env Vars;
+    hw::SpecId MySpec = 0; // 0 = spawned non-speculatively
+    std::map<std::string, hw::ResId> Res; // reservation key -> id
+    std::map<hw::ResId, ResRec> ResInfo;
+    std::map<std::string, hw::SpecId> Handles; // spec handle name -> entry
+    std::map<std::string, hw::CkptId> Ckpts;   // memory -> checkpoint
+    unsigned UnresolvedSpec = 0;
+    unsigned PendingResp = 0;
+    ThreadTrace Trace;
+    // Cross-pipe request bookkeeping (set on callee threads).
+    std::string CallerPipe;
+    uint64_t CallerTid = 0;
+    std::string CallerVar;
+    bool HasCaller = false;
+  };
+
+  /// A coordination tag: which predecessor the tagged thread will use.
+  struct TagTok {
+    unsigned Tag = 0;
+    uint64_t Tid = 0;
+  };
+
+  /// A multi-stage lock region (Section 4.1): reservations for one memory
+  /// spanning stages [First, Last] must be made atomically per thread, so
+  /// only one thread may occupy those stages at a time.
+  struct LockRegion {
+    std::string Mem;
+    unsigned First = 0;
+    unsigned Last = 0;
+    std::optional<uint64_t> OccupantTid;
+  };
+
+  struct PipeInstance {
+    const CompiledPipe *CP = nullptr;
+    std::vector<LockRegion> Regions;
+    hw::Fifo<Thread> Entry;
+    std::map<std::pair<unsigned, unsigned>, hw::Fifo<Thread>> EdgeFifos;
+    std::map<unsigned, std::deque<TagTok>> TagQueues; // join id -> tags
+    std::map<std::string, std::unique_ptr<hw::Memory>> Mems;
+    std::map<std::string, std::unique_ptr<hw::HazardLock>> Locks;
+    hw::SpecTable Spec;
+    std::vector<ThreadTrace> Retired;
+
+    PipeInstance(unsigned EntryDepth, unsigned SpecCap)
+        : Entry(EntryDepth), Spec(SpecCap) {}
+  };
+
+  enum class WalkMode { Probe, Commit };
+  enum class FireResult { Fire, Stall, Kill };
+
+  struct WalkCtx {
+    WalkMode Mode;
+    Env Vars; // working environment
+    /// Probe pass only: reservation keys created earlier in this stage,
+    /// with their lock/address/mode, and per-lock probe state (same-stage
+    /// releases and reserves) for stall computation.
+    std::map<std::string, std::tuple<hw::HazardLock *, uint64_t, hw::Access>>
+        ProbeReserved;
+    std::map<hw::HazardLock *, hw::LockProbe> Probes;
+  };
+
+  PipeInstance &pipe(const std::string &Name);
+  void elaborateLocks();
+  hw::HazardLock *lockFor(PipeInstance &P, const std::string &Mem);
+
+  /// Dequeues squashed threads at the front of the stage's input, then
+  /// returns the live input thread, or null if none.
+  Thread *stageInput(PipeInstance &P, const Stage &S, unsigned &PredIdx);
+
+  /// Removes and returns the stage's input thread (join stages also pop
+  /// the coordination tag).
+  Thread dequeueInput(PipeInstance &P, const Stage &S, unsigned PredIdx);
+
+  FireResult walkStage(PipeInstance &P, const Stage &S, Thread &T,
+                       WalkCtx &Ctx);
+  FireResult walkOp(PipeInstance &P, const ast::Stmt &S, Thread &T,
+                    WalkCtx &Ctx);
+
+  /// Picks the successor edge whose guard holds (null if terminal stage).
+  const StageEdge *pickSuccessor(PipeInstance &P, const Stage &S,
+                                 const Env &Vars);
+
+  void tryFireStage(PipeInstance &P, const Stage &S);
+  void killThread(PipeInstance &P, Thread &&T);
+  void retireThread(PipeInstance &P, Thread &&T);
+  void recordCommit(PipeInstance &P, const std::string &Mem, uint64_t Addr,
+                    uint64_t Val, Thread &T);
+
+  EvalHooks hooksFor(PipeInstance &P, Thread &T, WalkCtx &Ctx);
+
+  // Deferred activity applied at end of cycle.
+  struct PendingEnq {
+    PipeInstance *P;
+    bool ToEntry;
+    std::pair<unsigned, unsigned> Edge;
+    Thread T;
+  };
+  struct PendingTag {
+    PipeInstance *P;
+    unsigned Join;
+    unsigned Tag;
+    uint64_t Tid;
+  };
+  struct Delivery {
+    uint64_t DueCycle;
+    std::string Pipe;
+    uint64_t Tid;
+    std::string Var;
+    Bits Value;
+  };
+
+  unsigned pendingEnqCount(PipeInstance &P, bool ToEntry,
+                           std::pair<unsigned, unsigned> Edge) const;
+  void applyEndOfCycle();
+  Thread *findThread(PipeInstance &P, uint64_t Tid);
+
+  const CompiledProgram &CP;
+  ElabConfig Cfg;
+  std::map<std::string, std::unique_ptr<PipeInstance>> Pipes;
+  std::map<std::string, hw::ExternModule *> Externs;
+  std::vector<PendingEnq> PendingEnqs;
+  std::vector<PendingTag> PendingTags;
+  std::deque<Delivery> Deliveries;
+  std::optional<std::tuple<std::string, std::string, uint64_t>> HaltWatch;
+  SystemStats Stats;
+  bool Halted = false;
+  bool LocksBuilt = false;
+  uint64_t NextTid = 1;
+  bool FiredThisCycle = false;
+};
+
+} // namespace backend
+} // namespace pdl
+
+#endif // PDL_BACKEND_SYSTEM_H

@@ -1,0 +1,153 @@
+//===- Core.cpp - Build and run the evaluated processor configs -------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cores/Core.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace pdl;
+using namespace pdl::cores;
+using backend::ElabConfig;
+using backend::LockKind;
+
+const char *cores::coreName(CoreKind K) {
+  switch (K) {
+  case CoreKind::Pdl5Stage:
+    return "PDL 5Stg";
+  case CoreKind::Pdl5StageNoBypass:
+    return "PDL 5Stg NoBypass";
+  case CoreKind::Pdl3Stage:
+    return "PDL 3Stg";
+  case CoreKind::Pdl5StageBht:
+    return "PDL 5Stg BHT";
+  case CoreKind::PdlRv32im:
+    return "PDL 5Stg RV32IM";
+  case CoreKind::Pdl5StageRename:
+    return "PDL 5Stg Rename";
+  }
+  return "?";
+}
+
+static std::string sourceFor(CoreKind K) {
+  switch (K) {
+  case CoreKind::Pdl5Stage:
+  case CoreKind::Pdl5StageNoBypass:
+  case CoreKind::Pdl5StageRename:
+    return rv32i5StageSource();
+  case CoreKind::Pdl3Stage:
+    return rv32i3StageSource();
+  case CoreKind::Pdl5StageBht:
+    return rv32i5StageBhtSource();
+  case CoreKind::PdlRv32im:
+    return rv32imSource();
+  }
+  return "";
+}
+
+Core::Core(CoreKind Kind, PredictorKind Predictor) : Kind(Kind) {
+  Program = std::make_unique<CompiledProgram>(
+      compile(sourceFor(Kind), coreName(Kind)));
+  if (!Program->ok()) {
+    std::fprintf(stderr, "core '%s' failed to compile:\n%s", coreName(Kind),
+                 Program->Diags->render().c_str());
+    std::abort();
+  }
+
+  ElabConfig Cfg;
+  // The register file carries the interesting lock choice; the data memory
+  // is guarded by a queue lock (single-stage accesses never conflict).
+  switch (Kind) {
+  case CoreKind::Pdl5StageNoBypass:
+    Cfg.LockChoice["cpu.rf"] = LockKind::Queue;
+    break;
+  case CoreKind::Pdl5StageRename:
+    Cfg.LockChoice["cpu.rf"] = LockKind::Rename;
+    break;
+  default:
+    Cfg.LockChoice["cpu.rf"] = LockKind::Bypass;
+    break;
+  }
+  Cfg.LockChoice["cpu.dmem"] = LockKind::Queue;
+  Sys = std::make_unique<backend::System>(*Program, Cfg);
+
+  if (Kind == CoreKind::Pdl5StageBht) {
+    if (Predictor == PredictorKind::Gshare)
+      this->Predictor = std::make_unique<hw::Gshare>(/*IndexBits=*/10);
+    else
+      this->Predictor = std::make_unique<hw::Bht>(/*IndexBits=*/8);
+    Sys->bindExtern("bht", this->Predictor.get());
+  }
+  Sys->setHaltOnWrite("cpu", "dmem", HaltByteAddr >> 2);
+}
+
+void Core::loadProgram(const std::vector<uint32_t> &Words) {
+  hw::Memory &Imem = Sys->memory("cpu", "imem");
+  for (size_t I = 0; I != Words.size(); ++I)
+    Imem.write(I, Bits(Words[I], 32));
+  ProgramWords = Words;
+}
+
+void Core::storeData(uint32_t WordAddr, uint32_t Value) {
+  Sys->memory("cpu", "dmem").write(WordAddr, Bits(Value, 32));
+  DataInit.emplace_back(WordAddr, Value);
+}
+
+Core::RunResult Core::run(uint64_t MaxCycles, bool CheckGolden) {
+  Sys->start("cpu", {Bits(0, 32)});
+  Sys->run(MaxCycles);
+
+  RunResult R;
+  R.Cycles = Sys->stats().Cycles;
+  auto It = Sys->stats().Retired.find("cpu");
+  R.Instrs = It == Sys->stats().Retired.end() ? 0 : It->second;
+  R.Cpi = R.Instrs ? double(R.Cycles) / double(R.Instrs) : 0.0;
+  R.Halted = Sys->halted();
+  R.Deadlocked = Sys->stats().Deadlocked;
+  if (!CheckGolden)
+    return R;
+
+  // Replay on the golden architectural simulator and compare commits.
+  riscv::GoldenSim Golden(ImemAddrBits, DmemAddrBits);
+  Golden.loadProgram(ProgramWords);
+  for (auto &[A, V] : DataInit)
+    Golden.storeData(A, V);
+  Golden.setHaltStore(HaltByteAddr);
+  std::vector<riscv::CommitRecord> Log;
+  Golden.run(R.Instrs + 16, &Log);
+
+  const auto &Trace = Sys->trace("cpu");
+  size_t N = std::min(Trace.size(), Log.size());
+  for (size_t I = 0; I != N && R.TraceMatches; ++I) {
+    const backend::ThreadTrace &T = Trace[I];
+    const riscv::CommitRecord &G = Log[I];
+    std::ostringstream Err;
+    if (T.Args[0].zext() != G.Pc) {
+      Err << "instr " << I << ": pipelined pc 0x" << std::hex
+          << T.Args[0].zext() << " vs golden 0x" << G.Pc;
+      R.TraceMatches = false;
+    } else {
+      std::vector<std::tuple<std::string, uint64_t, uint64_t>> Want;
+      if (G.RegWrite)
+        Want.emplace_back("rf", G.RegWrite->first, G.RegWrite->second);
+      if (G.MemWrite)
+        Want.emplace_back("dmem", G.MemWrite->first, G.MemWrite->second);
+      auto Got = T.Writes;
+      std::sort(Want.begin(), Want.end());
+      std::sort(Got.begin(), Got.end());
+      if (Got != Want) {
+        Err << "instr " << I << " (pc 0x" << std::hex << G.Pc
+            << "): writeback mismatch";
+        R.TraceMatches = false;
+      }
+    }
+    if (!R.TraceMatches)
+      R.TraceMismatch = Err.str();
+  }
+  return R;
+}

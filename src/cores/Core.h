@@ -1,0 +1,87 @@
+//===- Core.h - Build and run the evaluated processor configs --*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Harness around the PDL cores of Section 6: compiles the PDL source,
+/// elaborates it with the per-configuration lock choices, loads a RISC-V
+/// program, runs to the halt store, and reports CPI. Optionally verifies
+/// the committed per-instruction trace against the golden architectural
+/// simulator (the one-instruction-at-a-time check, end to end).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_CORES_CORE_H
+#define PDL_CORES_CORE_H
+
+#include "backend/System.h"
+#include "cores/CoreSources.h"
+#include "hw/Extern.h"
+#include "riscv/GoldenSim.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdl {
+namespace cores {
+
+enum class CoreKind {
+  Pdl5Stage,         // BypassQueue locks (the Sodor-equivalent config)
+  Pdl5StageNoBypass, // same PDL source, QueueLock on the register file
+  Pdl3Stage,
+  Pdl5StageBht,
+  PdlRv32im,
+  Pdl5StageRename, // 5-stage with the renaming register file
+};
+
+const char *coreName(CoreKind K);
+
+/// Which external predictor module backs the BHT core's `bht` extern.
+enum class PredictorKind { Bht2Bit, Gshare };
+
+/// A ready-to-run processor instance.
+class Core {
+public:
+  explicit Core(CoreKind Kind,
+                PredictorKind Predictor = PredictorKind::Bht2Bit);
+
+  CoreKind kind() const { return Kind; }
+  const CompiledProgram &program() const { return *Program; }
+  backend::System &system() { return *Sys; }
+
+  /// Loads \p Words at byte address 0 of instruction memory.
+  void loadProgram(const std::vector<uint32_t> &Words);
+  void storeData(uint32_t WordAddr, uint32_t Value);
+
+  struct RunResult {
+    uint64_t Cycles = 0;
+    uint64_t Instrs = 0;
+    double Cpi = 0;
+    bool Halted = false;
+    bool Deadlocked = false;
+    /// Set by run() when \p Golden checking was requested.
+    bool TraceMatches = true;
+    std::string TraceMismatch; // first divergence, for diagnostics
+  };
+
+  /// Runs until the halt store (a store to HaltByteAddr) or \p MaxCycles.
+  /// When \p CheckGolden is set, replays the same program on the golden
+  /// simulator and compares every committed instruction.
+  RunResult run(uint64_t MaxCycles, bool CheckGolden = false);
+
+private:
+  CoreKind Kind;
+  std::unique_ptr<CompiledProgram> Program;
+  std::unique_ptr<backend::System> Sys;
+  std::unique_ptr<hw::ExternModule> Predictor;
+  std::vector<uint32_t> ProgramWords;
+  std::vector<std::pair<uint32_t, uint32_t>> DataInit;
+};
+
+} // namespace cores
+} // namespace pdl
+
+#endif // PDL_CORES_CORE_H

@@ -1,0 +1,454 @@
+//===- CoreSources.cpp - PDL source text for the evaluated cores ------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cores/CoreSources.h"
+
+using namespace pdl;
+
+std::string cores::rvPrelude() {
+  return R"(
+// ---- RV32 field extraction ----
+def f_op(insn: uint<32>): uint<7> { return insn{6:0}; }
+def f_rd(insn: uint<32>): uint<5> { return insn{11:7}; }
+def f_rs1(insn: uint<32>): uint<5> { return insn{19:15}; }
+def f_rs2(insn: uint<32>): uint<5> { return insn{24:20}; }
+def f_f3(insn: uint<32>): uint<3> { return insn{14:12}; }
+def f_f7(insn: uint<32>): uint<7> { return insn{31:25}; }
+
+// ---- Immediates (sign-extended to 32 bits) ----
+def imm_i(insn: uint<32>): uint<32> {
+  return uint<32>(int<32>(int<12>(insn{31:20})));
+}
+def imm_s(insn: uint<32>): uint<32> {
+  return uint<32>(int<32>(int<12>(insn{31:25} ++ insn{11:7})));
+}
+def imm_b(insn: uint<32>): uint<32> {
+  bits = insn{31:31} ++ insn{7:7} ++ insn{30:25} ++ insn{11:8} ++ uint<1>(0);
+  return uint<32>(int<32>(int<13>(bits)));
+}
+def imm_u(insn: uint<32>): uint<32> {
+  return insn{31:12} ++ uint<12>(0);
+}
+def imm_j(insn: uint<32>): uint<32> {
+  bits = insn{31:31} ++ insn{19:12} ++ insn{20:20} ++ insn{30:21}
+         ++ uint<1>(0);
+  return uint<32>(int<32>(int<21>(bits)));
+}
+
+// ---- Opcode predicates ----
+def is_load(op: uint<7>): bool { return op == 3; }
+def is_store(op: uint<7>): bool { return op == 35; }
+def is_branch(op: uint<7>): bool { return op == 99; }
+def is_jal(op: uint<7>): bool { return op == 111; }
+def is_jalr(op: uint<7>): bool { return op == 103; }
+def is_lui(op: uint<7>): bool { return op == 55; }
+def is_auipc(op: uint<7>): bool { return op == 23; }
+def is_opimm(op: uint<7>): bool { return op == 19; }
+def is_opreg(op: uint<7>): bool { return op == 51; }
+def writes_rd(op: uint<7>): bool {
+  return !(is_store(op) || is_branch(op));
+}
+def uses_rs1(op: uint<7>): bool {
+  return !(is_lui(op) || is_auipc(op) || is_jal(op));
+}
+def uses_rs2(op: uint<7>): bool {
+  return is_store(op) || is_branch(op) || is_opreg(op);
+}
+
+// ---- ALU ----
+def alu(f3: uint<3>, alt: bool, a: uint<32>, b: uint<32>): uint<32> {
+  sh = b{4:0};
+  sum = alt ? a - b : a + b;
+  sltv = int<32>(a) < int<32>(b) ? uint<32>(1) : uint<32>(0);
+  sltuv = a < b ? uint<32>(1) : uint<32>(0);
+  sr = alt ? uint<32>(int<32>(a) >> sh) : a >> sh;
+  return f3 == 0 ? sum
+       : f3 == 1 ? a << sh
+       : f3 == 2 ? sltv
+       : f3 == 3 ? sltuv
+       : f3 == 4 ? (a ^ b)
+       : f3 == 5 ? sr
+       : f3 == 6 ? (a | b)
+       : (a & b);
+}
+
+def brtaken(f3: uint<3>, a: uint<32>, b: uint<32>): bool {
+  return f3 == 0 ? a == b
+       : f3 == 1 ? a != b
+       : f3 == 4 ? int<32>(a) < int<32>(b)
+       : f3 == 5 ? !(int<32>(a) < int<32>(b))
+       : f3 == 6 ? a < b
+       : !(a < b);
+}
+)";
+}
+
+/// The DECODE/EXECUTE logic shared verbatim between the 5-stage variants.
+/// (Kept as one block so "design deltas" in bench_expressivity reflect real
+/// source differences, like the paper's ~20-line derivations.)
+static const char *FiveStageDecode = R"(
+  spec_check();
+  op = f_op(insn);
+  r1 = f_rs1(insn);
+  r2 = f_rs2(insn);
+  rdst = f_rd(insn);
+  f3 = f_f3(insn);
+  f7 = f_f7(insn);
+  u1 = uses_rs1(op);
+  u2 = uses_rs2(op);
+  wrd = writes_rd(op) && rdst != 0;
+  ld = is_load(op);
+  st = is_store(op);
+)";
+
+static const char *FiveStageExecute = R"(
+  if (u1) { block(rf[r1]); rv1 = rf[r1]; release(rf[r1]); }
+  if (u2) { block(rf[r2]); rv2 = rf[r2]; release(rf[r2]); }
+  br = is_branch(op);
+  jl = is_jal(op);
+  jr = is_jalr(op);
+  imm = (ld || jr || is_opimm(op)) ? imm_i(insn)
+      : st ? imm_s(insn)
+      : br ? imm_b(insn)
+      : (is_lui(op) || is_auipc(op)) ? imm_u(insn)
+      : imm_j(insn);
+  alt = (is_opreg(op) || (is_opimm(op) && f3 == 5)) && f7{5:5} == 1;
+  usef3 = is_opreg(op) || is_opimm(op);
+  aluA = is_auipc(op) ? pc : rv1;
+  aluB = is_opreg(op) ? rv2 : imm;
+  alu_out = alu(usef3 ? f3 : uint<3>(0), alt, aluA, aluB);
+  taken = br && brtaken(f3, rv1, rv2);
+  target = jr ? (rv1 + imm) & 0xFFFFFFFE : pc + imm;
+  npc = (jl || jr || taken) ? target : pc + 4;
+  wbx = (jl || jr) ? pc + 4 : (is_lui(op) ? imm : alu_out);
+)";
+
+std::string cores::rv32i5StageSource() {
+  return rvPrelude() + R"(
+pipe cpu(pc: uint<32>)[rf: uint<32>[5], imem: uint<32>[12] sync,
+                       dmem: uint<32>[14] sync] {
+  // ---- FETCH ----
+  spec_check();
+  s <- spec call cpu(pc + 4);
+  insn <- imem[pc{13:2}];
+  ---
+  // ---- DECODE ----
+)" + std::string(FiveStageDecode) + R"(
+  if (u1) { reserve(rf[r1], R); }
+  if (u2) { reserve(rf[r2], R); }
+  if (wrd) { reserve(rf[rdst], W); }
+  ---
+  // ---- EXECUTE ----
+  spec_barrier();
+)" + std::string(FiveStageExecute) + R"(
+  verify(s, npc);
+  if (wrd && !ld) { block(rf[rdst]); rf[rdst] <- wbx; }
+  ---
+  // ---- MEM ----
+  maddr = alu_out{15:2};
+  if (st) {
+    reserve(dmem[maddr], W);
+    block(dmem[maddr]);
+    dmem[maddr] <- rv2;
+    release(dmem[maddr]);
+  }
+  if (ld) {
+    reserve(dmem[maddr], R);
+    block(dmem[maddr]);
+    ldv <- dmem[maddr];
+    release(dmem[maddr]);
+  }
+  ---
+  // ---- WRITEBACK ----
+  if (wrd && ld) { block(rf[rdst]); rf[rdst] <- ldv; }
+  if (wrd) { release(rf[rdst]); }
+}
+)";
+}
+
+std::string cores::rv32i3StageSource() {
+  // Derivation from the 5-stage core: two stage separators removed, read
+  // locks reserved+acquired in one cycle, data memory combinational.
+  return rvPrelude() + R"(
+pipe cpu(pc: uint<32>)[rf: uint<32>[5], imem: uint<32>[12] sync,
+                       dmem: uint<32>[14]] {
+  // ---- FETCH ----
+  spec_check();
+  s <- spec call cpu(pc + 4);
+  insn <- imem[pc{13:2}];
+  ---
+  // ---- DECODE+EXECUTE ----
+  spec_barrier();
+  op = f_op(insn);
+  r1 = f_rs1(insn);
+  r2 = f_rs2(insn);
+  rdst = f_rd(insn);
+  f3 = f_f3(insn);
+  f7 = f_f7(insn);
+  u1 = uses_rs1(op);
+  u2 = uses_rs2(op);
+  wrd = writes_rd(op) && rdst != 0;
+  ld = is_load(op);
+  st = is_store(op);
+  if (u1) { acquire(rf[r1], R); rv1 = rf[r1]; release(rf[r1]); }
+  if (u2) { acquire(rf[r2], R); rv2 = rf[r2]; release(rf[r2]); }
+  if (wrd) { reserve(rf[rdst], W); }
+  br = is_branch(op);
+  jl = is_jal(op);
+  jr = is_jalr(op);
+  imm = (ld || jr || is_opimm(op)) ? imm_i(insn)
+      : st ? imm_s(insn)
+      : br ? imm_b(insn)
+      : (is_lui(op) || is_auipc(op)) ? imm_u(insn)
+      : imm_j(insn);
+  alt = (is_opreg(op) || (is_opimm(op) && f3 == 5)) && f7{5:5} == 1;
+  usef3 = is_opreg(op) || is_opimm(op);
+  aluA = is_auipc(op) ? pc : rv1;
+  aluB = is_opreg(op) ? rv2 : imm;
+  alu_out = alu(usef3 ? f3 : uint<3>(0), alt, aluA, aluB);
+  taken = br && brtaken(f3, rv1, rv2);
+  target = jr ? (rv1 + imm) & 0xFFFFFFFE : pc + imm;
+  npc = (jl || jr || taken) ? target : pc + 4;
+  wbx = (jl || jr) ? pc + 4 : (is_lui(op) ? imm : alu_out);
+  verify(s, npc);
+  if (wrd && !ld) { block(rf[rdst]); rf[rdst] <- wbx; }
+  ---
+  // ---- MEM+WRITEBACK ----
+  maddr = alu_out{15:2};
+  if (st) {
+    acquire(dmem[maddr], W);
+    dmem[maddr] <- rv2;
+    release(dmem[maddr]);
+  }
+  if (ld) {
+    acquire(dmem[maddr], R);
+    ldv = dmem[maddr];
+    release(dmem[maddr]);
+  }
+  if (wrd && ld) { block(rf[rdst]); rf[rdst] <- ldv; }
+  if (wrd) { release(rf[rdst]); }
+}
+)";
+}
+
+std::string cores::rv32i5StageBhtSource() {
+  // Derivation from the 5-stage core: an external branch-history-table
+  // predictor re-steers the pc+4 speculation in DECODE, and verify trains
+  // it. Everything else is byte-identical to the base design.
+  return rvPrelude() + R"(
+extern bht {
+  def req(pc: uint<32>): bool;
+  def upd(pc: uint<32>, isbr: bool, taken: bool);
+}
+pipe cpu(pc: uint<32>)[rf: uint<32>[5], imem: uint<32>[12] sync,
+                       dmem: uint<32>[14] sync] {
+  // ---- FETCH ----
+  spec_check();
+  s <- spec call cpu(pc + 4);
+  insn <- imem[pc{13:2}];
+  ---
+  // ---- DECODE ----
+)" + std::string(FiveStageDecode) + R"(
+  predtaken = is_branch(op) && bht.req(pc);
+  if (predtaken) { update(s, pc + imm_b(insn)); }
+  if (u1) { reserve(rf[r1], R); }
+  if (u2) { reserve(rf[r2], R); }
+  if (wrd) { reserve(rf[rdst], W); }
+  ---
+  // ---- EXECUTE ----
+  spec_barrier();
+)" + std::string(FiveStageExecute) + R"(
+  verify(s, npc) { bht.upd(pc, br, taken) }
+  if (wrd && !ld) { block(rf[rdst]); rf[rdst] <- wbx; }
+  ---
+  // ---- MEM ----
+  maddr = alu_out{15:2};
+  if (st) {
+    reserve(dmem[maddr], W);
+    block(dmem[maddr]);
+    dmem[maddr] <- rv2;
+    release(dmem[maddr]);
+  }
+  if (ld) {
+    reserve(dmem[maddr], R);
+    block(dmem[maddr]);
+    ldv <- dmem[maddr];
+    release(dmem[maddr]);
+  }
+  ---
+  // ---- WRITEBACK ----
+  if (wrd && ld) { block(rf[rdst]); rf[rdst] <- ldv; }
+  if (wrd) { release(rf[rdst]); }
+}
+)";
+}
+
+std::string cores::rv32imSource() {
+  // RV32IM: execute splits per functional unit (multiply / divide /
+  // ALU+memory), the units run in parallel and write back out of order
+  // through the join's coordination tags (Section 6.2, Ariane-style).
+  return rvPrelude() + R"(
+pipe mulp(a: uint<32>, b: uint<32>, op: uint<2>)[]: uint<32> {
+  sa = uint<64>(int<64>(int<32>(a)));
+  sb = uint<64>(int<64>(int<32>(b)));
+  ua = uint<64>(a);
+  ub = uint<64>(b);
+  fss = sa * sb;
+  fsu = sa * ub;
+  fuu = ua * ub;
+  ---
+  output(op == 0 ? fuu{31:0}
+       : op == 1 ? fss{63:32}
+       : op == 2 ? fsu{63:32}
+       : fuu{63:32});
+}
+
+def dstep(st: uint<64>, d: uint<32>): uint<64> {
+  sh = st << 1;
+  hi = sh{63:32};
+  ge = !(hi < d);
+  hi2 = ge ? hi - d : hi;
+  lo2 = ge ? (sh{31:0} | 1) : sh{31:0};
+  return hi2 ++ lo2;
+}
+def dstep4(st: uint<64>, d: uint<32>): uint<64> {
+  s1 = dstep(st, d);
+  s2 = dstep(s1, d);
+  s3 = dstep(s2, d);
+  return dstep(s3, d);
+}
+
+pipe divp(a: uint<32>, b: uint<32>, op: uint<2>)[]: uint<32> {
+  signedop = op == 0 || op == 2;
+  nega = signedop && a{31:31} == 1;
+  negb = signedop && b{31:31} == 1;
+  ua = nega ? uint<32>(0) - a : a;
+  ub = negb ? uint<32>(0) - b : b;
+  st0 = uint<64>(ua);
+  ---
+  st1 = dstep4(st0, ub);
+  ---
+  st2 = dstep4(st1, ub);
+  ---
+  st3 = dstep4(st2, ub);
+  ---
+  st4 = dstep4(st3, ub);
+  ---
+  st5 = dstep4(st4, ub);
+  ---
+  st6 = dstep4(st5, ub);
+  ---
+  st7 = dstep4(st6, ub);
+  ---
+  st8 = dstep4(st7, ub);
+  q = st8{31:0};
+  r = st8{63:32};
+  qneg = nega != negb;
+  qs = qneg ? uint<32>(0) - q : q;
+  rs = nega ? uint<32>(0) - r : r;
+  divz = b == 0;
+  output(op == 0 ? (divz ? uint<32>(0xFFFFFFFF) : qs)
+       : op == 1 ? (divz ? uint<32>(0xFFFFFFFF) : q)
+       : op == 2 ? (divz ? a : rs)
+       : (divz ? a : r));
+}
+
+pipe cpu(pc: uint<32>)[rf: uint<32>[5], imem: uint<32>[12] sync,
+                       dmem: uint<32>[14] sync] {
+  // ---- FETCH ----
+  spec_check();
+  s <- spec call cpu(pc + 4);
+  insn <- imem[pc{13:2}];
+  ---
+  // ---- DECODE ----
+)" + std::string(FiveStageDecode) + R"(
+  ismul = is_opreg(op) && f7 == 1 && f3{2:2} == 0;
+  isdiv = is_opreg(op) && f7 == 1 && f3{2:2} == 1;
+  if (u1) { reserve(rf[r1], R); }
+  if (u2) { reserve(rf[r2], R); }
+  if (wrd) { reserve(rf[rdst], W); }
+  ---
+  // ---- EXECUTE / DISPATCH ----
+  spec_barrier();
+)" + std::string(FiveStageExecute) + R"(
+  verify(s, npc);
+  if (wrd && !ld && !ismul && !isdiv) { block(rf[rdst]); rf[rdst] <- wbx; }
+  if (ismul || isdiv) {
+    // ---- functional-unit arm: MUL and DIV pipes run in parallel ----
+    if (ismul) {
+      ---
+      mres <- call mulp(rv1, rv2, f3{1:0});
+    } else {
+      ---
+      dres <- call divp(rv1, rv2, f3{1:0});
+    }
+    // Inner join: write the unit's result back OUT OF ORDER with respect
+    // to the memory path (the bypass lock accepts write data in any
+    // order; release below still commits in thread order).
+    if (wrd) {
+      block(rf[rdst]);
+      rf[rdst] <- (ismul ? mres : dres);
+    }
+  } else {
+    ---
+    // ---- MEM ----
+    maddr = alu_out{15:2};
+    if (st) {
+      reserve(dmem[maddr], W);
+      block(dmem[maddr]);
+      dmem[maddr] <- rv2;
+      release(dmem[maddr]);
+    }
+    if (ld) {
+      reserve(dmem[maddr], R);
+      block(dmem[maddr]);
+      ldv <- dmem[maddr];
+      release(dmem[maddr]);
+    }
+  }
+  // ---- WRITEBACK: the join stage itself (no extra separator needed;
+  // the coordination tag re-establishes thread order here, Figure 2) ----
+  if (wrd && ld) { block(rf[rdst]); rf[rdst] <- ldv; }
+  if (wrd) { release(rf[rdst]); }
+}
+)";
+}
+
+std::string cores::cacheSource() {
+  // Figure 7: direct-mapped, write-allocate, write-through; 64 one-word
+  // lines; a line packs valid(1) ++ tag(24) ++ data(32).
+  return R"(
+pipe cache(addr: uint<32>, dataIn: uint<32>, isWr: bool)
+    [entry: uint<57>[6], main: uint<32>[14] sync]: uint<32> {
+  idx = addr{7:2};
+  acquire(entry[idx], R);
+  cline = entry[idx];
+  release(entry[idx]);
+  v = cline{56:56} == 1;
+  tag = cline{55:32};
+  hit = v && tag == addr{31:8};
+  if (!hit || isWr) { reserve(entry[idx], W); }
+  if (hit || isWr) {
+    dout = isWr ? dataIn : cline{31:0};
+    output(dout);
+  }
+  maddr = addr{15:2};
+  if (!hit) { newline <- main[maddr]; }
+  if (isWr) { main[maddr] <- dataIn; }
+  ---
+  if (!hit || isWr) {
+    newdata = isWr ? dataIn : newline;
+    newcline = uint<1>(1) ++ addr{31:8} ++ newdata;
+    block(entry[idx]);
+    entry[idx] <- newcline;
+    release(entry[idx]);
+  }
+  if (!hit && !isWr) {
+    output(newline);
+  }
+}
+)";
+}

@@ -1,0 +1,60 @@
+//===- CoreSources.h - PDL source text for the evaluated cores -*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PDL programs evaluated in Section 6, written in this
+/// implementation's concrete syntax:
+///
+///  * rv32i5StageSource()   — the 5-stage RV32I core (Figure 1's shape):
+///                            not-taken prediction, fully bypassable
+///                            (2-cycle taken-branch penalty, 1-cycle
+///                            load-use stall with the BypassQueue lock);
+///  * rv32i3StageSource()   — the 3-stage derivation (read locks reserved
+///                            and acquired in the same cycle, combinational
+///                            data memory, 1-cycle branch penalty);
+///  * rv32i5StageBhtSource()— 5-stage + external branch-history-table
+///                            predictor, re-steering via update() in DECODE;
+///  * rv32imSource()        — RV32IM with parallel multiply/divide pipes
+///                            and an out-of-order execute region (the
+///                            Ariane-style split of Section 6.2);
+///  * cacheSource()         — Figure 7's 2-stage direct-mapped
+///                            write-allocate write-through cache.
+///
+/// All processor pipes share one memory geometry: a 2^12-word synchronous
+/// instruction memory and a 2^14-word data memory (synchronous except in
+/// the 3-stage core), with single-cycle responses (cache-hit simulation,
+/// as in the paper's evaluation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_CORES_CORESOURCES_H
+#define PDL_CORES_CORESOURCES_H
+
+#include <string>
+
+namespace pdl {
+namespace cores {
+
+/// Word-address widths of the memories (byte capacities 16KiB / 64KiB).
+constexpr unsigned ImemAddrBits = 12;
+constexpr unsigned DmemAddrBits = 14;
+
+/// Byte address whose store halts simulation (the last data word).
+constexpr uint32_t HaltByteAddr = 0xfffc;
+
+std::string rv32i5StageSource();
+std::string rv32i3StageSource();
+std::string rv32i5StageBhtSource();
+std::string rv32imSource();
+std::string cacheSource();
+
+/// Shared decode/ALU def-function prelude (exposed for tests).
+std::string rvPrelude();
+
+} // namespace cores
+} // namespace pdl
+
+#endif // PDL_CORES_CORESOURCES_H

@@ -1,0 +1,94 @@
+//===- SodorModel.cpp - Chisel-Sodor baseline timing model ------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cores/SodorModel.h"
+
+#include "riscv/Encoding.h"
+
+using namespace pdl;
+using namespace pdl::cores;
+using namespace pdl::riscv;
+
+namespace {
+
+bool usesRs1(uint32_t Op) {
+  return Op != OpLui && Op != OpAuipc && Op != OpJal;
+}
+bool usesRs2(uint32_t Op) {
+  return Op == OpStore || Op == OpBranch || Op == OpReg;
+}
+bool isTakenControl(const CommitRecord &R, const CommitRecord *Next) {
+  uint32_t Op = fieldOpcode(R.Insn);
+  if (Op == OpJal || Op == OpJalr)
+    return true;
+  if (Op != OpBranch)
+    return false;
+  // A branch was taken iff the next committed pc is not pc+4.
+  return Next && Next->Pc != R.Pc + 4;
+}
+
+} // namespace
+
+SodorResult cores::runSodorTiming(const std::vector<CommitRecord> &Log,
+                                  bool Bypassed) {
+  SodorResult R;
+  R.Instrs = Log.size();
+  if (Log.empty())
+    return R;
+
+  // Issue-slot model: cycles = instructions + bubbles + pipeline fill.
+  uint64_t Bubbles = 0;
+  for (size_t I = 0; I != Log.size(); ++I) {
+    const CommitRecord &Cur = Log[I];
+    uint32_t Op = fieldOpcode(Cur.Insn);
+    unsigned Rs1 = fieldRs1(Cur.Insn), Rs2 = fieldRs2(Cur.Insn);
+
+    // Data-hazard stalls against up to the three preceding producers.
+    uint64_t Stall = 0;
+    for (unsigned D = 1; D <= 3 && D <= I; ++D) {
+      const CommitRecord &Prev = Log[I - D];
+      if (!Prev.RegWrite)
+        continue;
+      unsigned Rd = Prev.RegWrite->first;
+      bool Depends = (usesRs1(Op) && Rs1 == Rd) || (usesRs2(Op) && Rs2 == Rd);
+      if (!Depends)
+        continue;
+      if (Bypassed) {
+        // Fully bypassed: only a distance-1 load-use pair stalls (1 cycle).
+        if (D == 1 && fieldOpcode(Prev.Insn) == OpLoad)
+          Stall = std::max<uint64_t>(Stall, 1);
+      } else {
+        // No bypass: wait until the producer's writeback (distance 1/2/3
+        // costs 3/2/1 bubbles with write-before-read register files).
+        Stall = std::max<uint64_t>(Stall, 4 - D);
+      }
+    }
+    Bubbles += Stall;
+
+    // Control: taken branches and jumps redirect in EXECUTE (2 bubbles).
+    const CommitRecord *Next = I + 1 < Log.size() ? &Log[I + 1] : nullptr;
+    if (isTakenControl(Cur, Next))
+      Bubbles += 2;
+  }
+
+  R.Cycles = Log.size() + Bubbles + 4; // +4: 5-stage pipeline fill
+  R.Cpi = double(R.Cycles) / double(R.Instrs);
+  return R;
+}
+
+SodorResult
+cores::runSodor(const std::vector<uint32_t> &Program,
+                const std::vector<std::pair<uint32_t, uint32_t>> &Data,
+                uint32_t HaltByteAddr, uint64_t MaxInstrs, bool Bypassed) {
+  GoldenSim Sim;
+  Sim.loadProgram(Program);
+  for (auto &[A, V] : Data)
+    Sim.storeData(A, V);
+  Sim.setHaltStore(HaltByteAddr);
+  std::vector<CommitRecord> Log;
+  Sim.run(MaxInstrs, &Log);
+  return runSodorTiming(Log, Bypassed);
+}

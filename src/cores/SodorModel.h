@@ -1,0 +1,56 @@
+//===- SodorModel.h - Chisel-Sodor baseline timing model -------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison baseline of Section 6.1: Sodor, a hand-written 5-stage
+/// RV32I core. The original is Chisel RTL; here it is reproduced as a
+/// trace-driven cycle-accurate timing model over the golden architectural
+/// execution, applying exactly the stall rules the paper states Sodor and
+/// the PDL 5-stage share:
+///
+///  * fully bypassed: ALU-dependent instructions never stall;
+///  * 1-cycle stall on load-use dependencies;
+///  * always-predict-not-taken: 2-cycle penalty on every taken branch and
+///    jump;
+///
+/// plus the non-bypassed variant (operands wait for the producer's
+/// writeback; distance-1/2/3 dependencies cost 3/2/1 bubbles), used for
+/// the Figure 6 area/overhead comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_CORES_SODORMODEL_H
+#define PDL_CORES_SODORMODEL_H
+
+#include "riscv/GoldenSim.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pdl {
+namespace cores {
+
+struct SodorResult {
+  uint64_t Cycles = 0;
+  uint64_t Instrs = 0;
+  double Cpi = 0;
+};
+
+/// Runs the timing model over \p Log (a golden commit trace).
+SodorResult runSodorTiming(const std::vector<riscv::CommitRecord> &Log,
+                           bool Bypassed = true);
+
+/// Convenience: execute \p Program on the golden simulator (with \p Data
+/// preloaded into dmem) and time the resulting trace.
+SodorResult runSodor(const std::vector<uint32_t> &Program,
+                     const std::vector<std::pair<uint32_t, uint32_t>> &Data,
+                     uint32_t HaltByteAddr, uint64_t MaxInstrs,
+                     bool Bypassed = true);
+
+} // namespace cores
+} // namespace pdl
+
+#endif // PDL_CORES_SODORMODEL_H

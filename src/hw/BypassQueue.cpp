@@ -1,0 +1,165 @@
+//===- BypassQueue.cpp - Bypassing write-buffer hazard lock ----------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/BypassQueue.h"
+
+#include <algorithm>
+
+using namespace pdl;
+using namespace pdl::hw;
+
+const BypassQueueLock::WriteEntry *
+BypassQueueLock::findEntry(ResId Seq) const {
+  for (const WriteEntry &E : WQ)
+    if (E.Seq == Seq)
+      return &E;
+  return nullptr;
+}
+
+BypassQueueLock::WriteEntry *BypassQueueLock::findEntry(ResId Seq) {
+  return const_cast<WriteEntry *>(
+      static_cast<const BypassQueueLock *>(this)->findEntry(Seq));
+}
+
+ResId BypassQueueLock::newestConflict(uint64_t Addr, ResId Before) const {
+  ResId Best = 0;
+  for (const WriteEntry &E : WQ)
+    if (E.Addr == Addr && E.Seq < Before && E.Seq > Best)
+      Best = E.Seq;
+  return Best;
+}
+
+bool BypassQueueLock::canReserve(uint64_t, Access M) const {
+  if (M == Access::Read)
+    return Reads.size() < ReadDepth;
+  if (M == Access::Write)
+    return WQ.size() < WriteDepth;
+  return Reads.size() < ReadDepth && WQ.size() < WriteDepth;
+}
+
+ResId BypassQueueLock::reserve(uint64_t Addr, Access M) {
+  assert(canReserve(Addr, M) && "reserve without canReserve");
+  ResId R = NextRes++;
+  if (M == Access::Read || M == Access::ReadWrite) {
+    ReadRes Res;
+    Res.Addr = Addr;
+    Res.Buffered = Mem.read(Addr); // access memory in the reservation cycle
+    Res.DepSeq = newestConflict(Addr, R);
+    Res.HasDep = Res.DepSeq != 0;
+    Reads[R] = Res;
+  }
+  if (M == Access::Write || M == Access::ReadWrite) {
+    WriteEntry E;
+    E.Seq = R;
+    E.Addr = Addr;
+    E.Data = Bits(0, Mem.elemWidth());
+    WQ.push_back(E);
+  }
+  return R;
+}
+
+bool BypassQueueLock::ready(ResId R) const {
+  auto It = Reads.find(R);
+  if (It == Reads.end())
+    return true; // write-only reservations never block
+  const ReadRes &Res = It->second;
+  if (!Res.HasDep)
+    return true;
+  const WriteEntry *Dep = findEntry(Res.DepSeq);
+  // A committed dependence forwarded its data into Buffered already.
+  return !Dep || Dep->Valid;
+}
+
+bool BypassQueueLock::readyNow(uint64_t Addr, Access M) const {
+  if (M == Access::Write)
+    return true;
+  ResId Dep = newestConflict(Addr, NextRes);
+  if (Dep == 0)
+    return true;
+  const WriteEntry *E = findEntry(Dep);
+  return !E || E->Valid;
+}
+
+Bits BypassQueueLock::peek(uint64_t Addr, Access) const {
+  ResId Dep = newestConflict(Addr, NextRes);
+  if (Dep != 0) {
+    const WriteEntry *E = findEntry(Dep);
+    if (E) {
+      assert(E->Valid && "peek of a not-ready location");
+      return E->Data;
+    }
+  }
+  return Mem.read(Addr);
+}
+
+Bits BypassQueueLock::read(ResId R) {
+  auto It = Reads.find(R);
+  assert(It != Reads.end() && "read on a write-only reservation");
+  ReadRes &Res = It->second;
+  if (Res.HasDep) {
+    const WriteEntry *Dep = findEntry(Res.DepSeq);
+    if (Dep) {
+      assert(Dep->Valid && "read forwarded from an unexecuted write");
+      return Dep->Data;
+    }
+  }
+  return Res.Buffered;
+}
+
+void BypassQueueLock::write(ResId R, Bits V) {
+  WriteEntry *E = findEntry(R);
+  assert(E && "write on a read-only reservation");
+  E->Data = V;
+  E->Valid = true;
+  E->Written = true;
+}
+
+void BypassQueueLock::forwardCommit(const WriteEntry &E) {
+  for (auto &[Id, Res] : Reads) {
+    if (Res.HasDep && Res.DepSeq == E.Seq) {
+      Res.Buffered = E.Data;
+      Res.HasDep = false;
+    }
+  }
+}
+
+void BypassQueueLock::release(ResId R) {
+  auto RIt = Reads.find(R);
+  bool IsRead = RIt != Reads.end();
+  WriteEntry *E = findEntry(R);
+  assert((IsRead || E) && "unknown reservation");
+  if (E) {
+    assert(!WQ.empty() && WQ.front().Seq == R &&
+           "write release out of reservation order");
+    if (E->Written) {
+      Mem.write(E->Addr, E->Data);
+      forwardCommit(*E);
+    }
+    WQ.pop_front();
+  }
+  if (IsRead)
+    Reads.erase(RIt);
+}
+
+CkptId BypassQueueLock::checkpoint() {
+  CkptId C = NextCkpt++;
+  Checkpoints[C] = NextRes;
+  return C;
+}
+
+void BypassQueueLock::rollback(CkptId C) {
+  auto It = Checkpoints.find(C);
+  assert(It != Checkpoints.end() && "unknown checkpoint");
+  ResId Floor = It->second;
+  while (!WQ.empty() && WQ.back().Seq >= Floor)
+    WQ.pop_back();
+  for (auto I = Reads.begin(); I != Reads.end();)
+    I = I->first >= Floor ? Reads.erase(I) : std::next(I);
+  for (auto I = Checkpoints.begin(); I != Checkpoints.end();)
+    I = I->first > C ? Checkpoints.erase(I) : std::next(I);
+}
+
+void BypassQueueLock::commitCheckpoint(CkptId C) { Checkpoints.erase(C); }

@@ -1,0 +1,93 @@
+//===- BypassQueue.h - Bypassing write-buffer hazard lock ------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bypassing lock of Section 2.3: writes commit to memory in
+/// reservation order from a queue of (address, data, valid) entries, and
+/// pending write values are forwarded combinationally to younger reads.
+/// Read reservations search the write queue for the newest conflicting
+/// write; a read is ready once that write has executed (or there is none).
+/// Read data is buffered at reservation time so the memory itself is only
+/// accessed in the reservation cycle. This lock fully bypasses a standard
+/// 5-stage in-order core. Checkpoint/rollback reuses the write queue: the
+/// head position is the checkpoint, and rollback strips newer entries
+/// (Section 2.5).
+///
+/// ReadWrite (exclusive) reservations own both directions: they enqueue a
+/// write entry and also capture a read dependence on the newest older
+/// write to the same address.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_HW_BYPASSQUEUE_H
+#define PDL_HW_BYPASSQUEUE_H
+
+#include "hw/Lock.h"
+
+#include <deque>
+#include <map>
+
+namespace pdl {
+namespace hw {
+
+class BypassQueueLock : public HazardLock {
+public:
+  explicit BypassQueueLock(Memory &Mem, unsigned WriteDepth = 4,
+                           unsigned ReadDepth = 4)
+      : HazardLock(Mem), WriteDepth(WriteDepth), ReadDepth(ReadDepth) {}
+
+  bool canReserve(uint64_t Addr, Access M) const override;
+  ResId reserve(uint64_t Addr, Access M) override;
+  bool ready(ResId R) const override;
+  bool readyNow(uint64_t Addr, Access M) const override;
+  Bits peek(uint64_t Addr, Access M) const override;
+  Bits read(ResId R) override;
+  void write(ResId R, Bits V) override;
+  void release(ResId R) override;
+  CkptId checkpoint() override;
+  void rollback(CkptId C) override;
+  void commitCheckpoint(CkptId C) override;
+  std::string name() const override { return "bypass"; }
+
+  unsigned writeDepth() const { return WriteDepth; }
+  unsigned readDepth() const { return ReadDepth; }
+  size_t pendingWrites() const { return WQ.size(); }
+  size_t pendingReads() const { return Reads.size(); }
+
+private:
+  struct WriteEntry {
+    ResId Seq = 0;
+    uint64_t Addr = 0;
+    Bits Data;
+    bool Valid = false;   // data has been written
+    bool Written = false; // a write op executed (exclusive may skip it)
+  };
+  struct ReadRes {
+    uint64_t Addr = 0;
+    Bits Buffered;     // memory (or committed forward) data
+    ResId DepSeq = 0;  // newest older conflicting write
+    bool HasDep = false;
+  };
+
+  const WriteEntry *findEntry(ResId Seq) const;
+  WriteEntry *findEntry(ResId Seq);
+  /// Newest write entry for \p Addr older than \p Before (0 = none).
+  ResId newestConflict(uint64_t Addr, ResId Before) const;
+  /// Publishes a committed write to dependent read reservations.
+  void forwardCommit(const WriteEntry &E);
+
+  unsigned WriteDepth, ReadDepth;
+  std::deque<WriteEntry> WQ; // front = oldest
+  std::map<ResId, ReadRes> Reads;
+  std::map<CkptId, ResId> Checkpoints;
+  ResId NextRes = 1;
+  CkptId NextCkpt = 1;
+};
+
+} // namespace hw
+} // namespace pdl
+
+#endif // PDL_HW_BYPASSQUEUE_H

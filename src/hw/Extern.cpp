@@ -1,0 +1,58 @@
+//===- Extern.cpp - External (RTL) module binding ----------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/Extern.h"
+
+#include <cassert>
+
+using namespace pdl;
+using namespace pdl::hw;
+
+ExternModule::~ExternModule() = default;
+
+std::optional<Bits> Bht::invoke(const std::string &Method,
+                                const std::vector<Bits> &Args) {
+  if (Method == "req") {
+    assert(Args.size() == 1 && "bht.req takes (pc)");
+    return Bits(Counters[index(Args[0])] >= 2 ? 1 : 0, 1);
+  }
+  if (Method == "upd") {
+    assert(Args.size() == 3 && "bht.upd takes (pc, isbr, taken)");
+    if (!Args[1].toBool())
+      return std::nullopt; // only branches train the table
+    uint8_t &C = Counters[index(Args[0])];
+    if (Args[2].toBool())
+      C = C < 3 ? C + 1 : 3;
+    else
+      C = C > 0 ? C - 1 : 0;
+    return std::nullopt;
+  }
+  assert(false && "unknown bht method");
+  return std::nullopt;
+}
+
+std::optional<Bits> Gshare::invoke(const std::string &Method,
+                                   const std::vector<Bits> &Args) {
+  if (Method == "req") {
+    assert(Args.size() == 1 && "gshare.req takes (pc)");
+    return Bits(Counters[index(Args[0])] >= 2 ? 1 : 0, 1);
+  }
+  if (Method == "upd") {
+    assert(Args.size() == 3 && "gshare.upd takes (pc, isbr, taken)");
+    if (!Args[1].toBool())
+      return std::nullopt;
+    uint8_t &C = Counters[index(Args[0])];
+    bool Taken = Args[2].toBool();
+    if (Taken)
+      C = C < 3 ? C + 1 : 3;
+    else
+      C = C > 0 ? C - 1 : 0;
+    History = (History << 1) | (Taken ? 1 : 0);
+    return std::nullopt;
+  }
+  assert(false && "unknown gshare method");
+  return std::nullopt;
+}

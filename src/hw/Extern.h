@@ -1,0 +1,91 @@
+//===- Extern.h - External (RTL) module binding ----------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime counterpart of PDL `extern` declarations: modules implemented
+/// outside PDL (in the paper, RTL; here, C++) and bound by name at
+/// elaboration. Value-returning methods must be combinational/pure within
+/// a cycle; void methods may update internal state (e.g. training a branch
+/// predictor from a verify block). Predictions can never affect functional
+/// correctness, so implementations are free to be arbitrarily wrong.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_HW_EXTERN_H
+#define PDL_HW_EXTERN_H
+
+#include "support/Bits.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pdl {
+namespace hw {
+
+class ExternModule {
+public:
+  virtual ~ExternModule();
+
+  /// Invokes \p Method with \p Args. Returns the result for value methods
+  /// and std::nullopt for void (state-updating) methods.
+  virtual std::optional<Bits> invoke(const std::string &Method,
+                                     const std::vector<Bits> &Args) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// A branch history table of 2-bit saturating counters, used by the PDL
+/// 5-stage BHT core (Section 6.2). Methods:
+///   req(pc: uint<32>): bool                      -- predict taken?
+///   upd(pc: uint<32>, isbr: bool, taken: bool)   -- train (branches only)
+class Bht : public ExternModule {
+public:
+  explicit Bht(unsigned IndexBits = 6)
+      : IndexBits(IndexBits), Counters(1u << IndexBits, 1) {}
+
+  std::optional<Bits> invoke(const std::string &Method,
+                             const std::vector<Bits> &Args) override;
+  std::string name() const override { return "bht"; }
+
+  unsigned indexBits() const { return IndexBits; }
+
+private:
+  unsigned index(Bits Pc) const {
+    return static_cast<unsigned>((Pc.zext() >> 2) & ((1u << IndexBits) - 1));
+  }
+
+  unsigned IndexBits;
+  std::vector<uint8_t> Counters; // 2-bit saturating, >=2 predicts taken
+};
+
+/// A gshare predictor: global-history XOR pc indexing into 2-bit
+/// counters. Same interface as Bht, demonstrating that predictors are
+/// swappable RTL modules whose accuracy cannot affect correctness.
+class Gshare : public ExternModule {
+public:
+  explicit Gshare(unsigned IndexBits = 8)
+      : IndexBits(IndexBits), Counters(1u << IndexBits, 1) {}
+
+  std::optional<Bits> invoke(const std::string &Method,
+                             const std::vector<Bits> &Args) override;
+  std::string name() const override { return "gshare"; }
+
+private:
+  unsigned index(Bits Pc) const {
+    return static_cast<unsigned>(((Pc.zext() >> 2) ^ History) &
+                                 ((1u << IndexBits) - 1));
+  }
+
+  unsigned IndexBits;
+  uint32_t History = 0;
+  std::vector<uint8_t> Counters;
+};
+
+} // namespace hw
+} // namespace pdl
+
+#endif // PDL_HW_EXTERN_H

@@ -1,0 +1,77 @@
+//===- Fifo.h - Inter-stage FIFO -------------------------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FIFO abstraction over pipeline registers (Section 5.1). The default
+/// depth of 2 matches the default BSV FIFO the paper's compiler emits; a
+/// depth-1 FIFO models a single pipeline register.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_HW_FIFO_H
+#define PDL_HW_FIFO_H
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+
+namespace pdl {
+namespace hw {
+
+template <typename T> class Fifo {
+public:
+  explicit Fifo(unsigned Capacity = 2) : Capacity(Capacity) {
+    assert(Capacity >= 1 && "FIFO capacity must be positive");
+  }
+
+  bool canEnq() const { return Items.size() < Capacity; }
+  bool empty() const { return Items.empty(); }
+  size_t size() const { return Items.size(); }
+  unsigned capacity() const { return Capacity; }
+
+  void enq(T Item) {
+    assert(canEnq() && "FIFO overflow");
+    Items.push_back(std::move(Item));
+  }
+
+  T &front() {
+    assert(!empty() && "front of an empty FIFO");
+    return Items.front();
+  }
+  const T &front() const {
+    assert(!empty() && "front of an empty FIFO");
+    return Items.front();
+  }
+
+  T deq() {
+    assert(!empty() && "dequeue of an empty FIFO");
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    return Item;
+  }
+
+  void clear() { Items.clear(); }
+
+  /// Removes items matching \p Pred (used to squash killed threads).
+  template <typename Fn> void removeIf(Fn Pred) {
+    for (auto It = Items.begin(); It != Items.end();)
+      It = Pred(*It) ? Items.erase(It) : std::next(It);
+  }
+
+  auto begin() { return Items.begin(); }
+  auto end() { return Items.end(); }
+  auto begin() const { return Items.begin(); }
+  auto end() const { return Items.end(); }
+
+private:
+  unsigned Capacity;
+  std::deque<T> Items;
+};
+
+} // namespace hw
+} // namespace pdl
+
+#endif // PDL_HW_FIFO_H

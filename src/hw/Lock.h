@@ -1,0 +1,146 @@
+//===- Lock.h - Hazard-lock interface (Table 1) ----------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime interface of PDL hazard locks (Table 1 of the paper):
+/// reserve / block / read-write / release plus the checkpoint-rollback
+/// extension of Section 2.5. One lock instance guards one memory. The
+/// compiler-checked protocol guarantees reservations arrive in thread
+/// order, accesses only happen on ready reservations, and write releases
+/// are in-order and non-speculative; implementations rely on those
+/// invariants (and assert them).
+///
+/// Three implementations mirror Section 2.3:
+///  * QueueLock      — associative array of per-location FIFOs; stalls,
+///                     no bypassing.
+///  * BypassQueueLock— write buffer with combinational forwarding; fully
+///                     bypasses a 5-stage in-order core.
+///  * RenameLock     — renaming register file (map table + free list), the
+///                     out-of-order-style design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_HW_LOCK_H
+#define PDL_HW_LOCK_H
+
+#include "hw/Memory.h"
+#include "support/Bits.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pdl {
+namespace hw {
+
+enum class Access { Read, Write, ReadWrite };
+
+using ResId = uint64_t;
+using CkptId = uint64_t;
+
+/// Probe context for evaluating a stage's stall signal before committing
+/// it: the stage may release reservations and make new ones earlier in its
+/// own op sequence, and later ops' readiness can depend on those (e.g. a
+/// queue lock's head advances when the same thread releases first).
+struct LockProbe {
+  /// Real reservations the stage releases before the op being probed.
+  std::vector<ResId> Released;
+  /// Reservations the stage makes before the op being probed (still live).
+  std::vector<std::pair<uint64_t, Access>> Reserved;
+
+  bool releasedHas(ResId R) const {
+    for (ResId X : Released)
+      if (X == R)
+        return true;
+    return false;
+  }
+};
+
+/// Abstract hazard lock. All operations are combinational method calls on
+/// the module's state; the pipeline executor invokes them inside stage
+/// rules, so same-cycle forwarding falls out of rule ordering.
+class HazardLock {
+public:
+  explicit HazardLock(Memory &Mem) : Mem(Mem) {}
+  virtual ~HazardLock();
+
+  /// True if a reservation for \p Addr can be accepted this cycle (lock
+  /// resources may be exhausted; the stage stalls otherwise).
+  virtual bool canReserve(uint64_t Addr, Access M) const = 0;
+
+  /// Records the reservation, defining this thread's position in the
+  /// memory-order for \p Addr. Must be preceded by a successful canReserve.
+  virtual ResId reserve(uint64_t Addr, Access M) = 0;
+
+  /// True when block() would fall through: the associated access can
+  /// execute without observing a stale value or clobbering state.
+  virtual bool ready(ResId R) const = 0;
+
+  /// Combinational probe: would a reservation for \p Addr made this
+  /// instant be immediately ready? Used by acquire (reserve;block in one
+  /// stage), whose stall signal must be known before the reservation is
+  /// actually recorded.
+  virtual bool readyNow(uint64_t Addr, Access M) const = 0;
+
+  /// Combinational probe companion to readyNow: the value a fresh, ready
+  /// reservation for \p Addr would read this instant. Must agree with a
+  /// reserve(); read() pair executed now.
+  virtual Bits peek(uint64_t Addr, Access M) const = 0;
+
+  /// Executes the read for \p R (may forward buffered write data).
+  virtual Bits read(ResId R) = 0;
+
+  /// Executes the write for \p R (buffers or writes through, per design).
+  virtual void write(ResId R, Bits V) = 0;
+
+  /// Releases the lock: the in-order commit point. For write reservations
+  /// this publishes the data to the architectural store.
+  virtual void release(ResId R) = 0;
+
+  /// Snapshots lock state. Taken by the compiler after a thread's final
+  /// reservation so speculative children can be undone (Section 2.5).
+  virtual CkptId checkpoint() = 0;
+
+  /// Reverts all reservations made after \p C was taken, then frees \p C.
+  virtual void rollback(CkptId C) = 0;
+
+  /// Frees \p C without rolling back (the speculation was correct).
+  virtual void commitCheckpoint(CkptId C) = 0;
+
+  /// Reads the committed architectural value of \p Addr (bypassing any
+  /// in-flight reservations). Used for final-state comparison.
+  virtual Bits archRead(uint64_t Addr) const { return Mem.read(Addr); }
+
+  virtual std::string name() const = 0;
+
+  // Probe-aware variants used by the executor's stall computation. The
+  // defaults ignore the probe context, which is correct for locks whose
+  // readiness cannot be affected by same-stage releases/reserves
+  // (BypassQueue readiness depends only on older writes; RenameLock on
+  // valid bits). QueueLock overrides them.
+  virtual bool canReserveP(const LockProbe &, uint64_t Addr,
+                           Access M) const {
+    return canReserve(Addr, M);
+  }
+  virtual bool readyP(const LockProbe &, ResId R) const { return ready(R); }
+  virtual bool readyNowP(const LockProbe &, uint64_t Addr, Access M) const {
+    return readyNow(Addr, M);
+  }
+  /// Probe read of a real reservation whose readiness was established by
+  /// readyP (possibly counting same-stage releases).
+  virtual Bits readP(const LockProbe &, ResId R) { return read(R); }
+
+  Memory &memory() { return Mem; }
+
+protected:
+  Memory &Mem;
+};
+
+} // namespace hw
+} // namespace pdl
+
+#endif // PDL_HW_LOCK_H

@@ -1,0 +1,72 @@
+//===- Memory.h - Simulated addressed storage ------------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The storage behind a PDL memory declaration: 2^AddrWidth elements of
+/// ElemWidth bits. Combinational memories respond in the same cycle;
+/// synchronous memories respond the next cycle (single-cycle latency — the
+/// paper's evaluation simulates cache hits on every access). The response
+/// scheduling itself is handled by the pipeline executor; this class is
+/// plain storage with sparse backing so large address spaces are cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_HW_MEMORY_H
+#define PDL_HW_MEMORY_H
+
+#include "support/Bits.h"
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+
+namespace pdl {
+namespace hw {
+
+class Memory {
+public:
+  Memory(std::string Name, unsigned ElemWidth, unsigned AddrWidth,
+         bool IsSync)
+      : Name(std::move(Name)), ElemWidth(ElemWidth), AddrWidth(AddrWidth),
+        IsSync(IsSync) {
+    assert(ElemWidth >= 1 && ElemWidth <= 64 && "bad element width");
+    assert(AddrWidth >= 1 && AddrWidth <= 30 && "bad address width");
+  }
+
+  const std::string &name() const { return Name; }
+  unsigned elemWidth() const { return ElemWidth; }
+  unsigned addrWidth() const { return AddrWidth; }
+  bool isSync() const { return IsSync; }
+  uint64_t size() const { return uint64_t(1) << AddrWidth; }
+
+  Bits read(uint64_t Addr) const {
+    assert(Addr < size() && "memory read out of range");
+    auto It = Data.find(Addr);
+    return Bits(It == Data.end() ? 0 : It->second, ElemWidth);
+  }
+
+  void write(uint64_t Addr, Bits V) {
+    assert(Addr < size() && "memory write out of range");
+    assert(V.width() == ElemWidth && "memory write width mismatch");
+    Data[Addr] = V.zext();
+  }
+
+  /// Number of distinct locations ever written (for tests/debug).
+  size_t population() const { return Data.size(); }
+
+  void clear() { Data.clear(); }
+
+private:
+  std::string Name;
+  unsigned ElemWidth, AddrWidth;
+  bool IsSync;
+  std::unordered_map<uint64_t, uint64_t> Data;
+};
+
+} // namespace hw
+} // namespace pdl
+
+#endif // PDL_HW_MEMORY_H

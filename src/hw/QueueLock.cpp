@@ -1,0 +1,204 @@
+//===- QueueLock.cpp - FIFO-per-location hazard lock -----------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/QueueLock.h"
+
+using namespace pdl;
+using namespace pdl::hw;
+
+HazardLock::~HazardLock() = default;
+
+int QueueLock::findQueue(uint64_t Addr) const {
+  int Free = -1;
+  for (unsigned I = 0, E = Queues.size(); I != E; ++I) {
+    if (Queues[I].InUse && Queues[I].Addr == Addr)
+      return static_cast<int>(I);
+    if (!Queues[I].InUse && Free < 0)
+      Free = static_cast<int>(I);
+  }
+  return Free;
+}
+
+bool QueueLock::canReserve(uint64_t Addr, Access) const {
+  int Idx = findQueue(Addr);
+  if (Idx < 0)
+    return false; // All queues bound to other locations.
+  const Queue &Q = Queues[Idx];
+  return !Q.InUse || Q.Waiters.size() < Depth;
+}
+
+ResId QueueLock::reserve(uint64_t Addr, Access M) {
+  int Idx = findQueue(Addr);
+  assert(Idx >= 0 && "reserve without canReserve");
+  Queue &Q = Queues[Idx];
+  if (!Q.InUse) {
+    Q.InUse = true;
+    Q.Addr = Addr;
+  }
+  assert(Q.Waiters.size() < Depth && "queue overflow");
+  ResId R = NextRes++;
+  Q.Waiters.push_back(R);
+  Reservations[R] = {Addr, M, static_cast<unsigned>(Idx), false};
+  return R;
+}
+
+bool QueueLock::ready(ResId R) const {
+  auto It = Reservations.find(R);
+  assert(It != Reservations.end() && "unknown reservation");
+  const Queue &Q = Queues[It->second.QueueIdx];
+  return !Q.Waiters.empty() && Q.Waiters.front() == R;
+}
+
+bool QueueLock::readyNow(uint64_t Addr, Access) const {
+  // A fresh reservation is immediately ready only if it would sit at the
+  // head of its queue, i.e. no queue currently holds waiters for Addr.
+  for (const Queue &Q : Queues)
+    if (Q.InUse && Q.Addr == Addr)
+      return Q.Waiters.empty();
+  return true;
+}
+
+Bits QueueLock::peek(uint64_t Addr, Access) const {
+  return Mem.read(Addr);
+}
+
+Bits QueueLock::read(ResId R) {
+  assert(ready(R) && "read before the reservation reached the queue head");
+  Reservation &Res = Reservations[R];
+  Res.Accessed = true;
+  return Mem.read(Res.Addr);
+}
+
+void QueueLock::write(ResId R, Bits V) {
+  assert(ready(R) && "write before the reservation reached the queue head");
+  Reservation &Res = Reservations[R];
+  Res.Accessed = true;
+  Mem.write(Res.Addr, V);
+}
+
+void QueueLock::release(ResId R) {
+  auto It = Reservations.find(R);
+  assert(It != Reservations.end() && "unknown reservation");
+  Queue &Q = Queues[It->second.QueueIdx];
+  assert(!Q.Waiters.empty() && Q.Waiters.front() == R &&
+         "release out of order");
+  Q.Waiters.pop_front();
+  if (Q.Waiters.empty())
+    Q.InUse = false; // Queue becomes reusable by another location.
+  Reservations.erase(It);
+}
+
+bool QueueLock::canReserveP(const LockProbe &P, uint64_t Addr,
+                            Access M) const {
+  (void)M;
+  // Simulate occupancy after the probe's releases and earlier reserves.
+  std::map<uint64_t, unsigned> Count;
+  unsigned Free = 0;
+  for (const Queue &Q : Queues) {
+    if (Q.InUse)
+      Count[Q.Addr] = Q.Waiters.size();
+    else
+      ++Free;
+  }
+  for (ResId R : P.Released) {
+    auto It = Reservations.find(R);
+    if (It == Reservations.end())
+      continue;
+    auto CIt = Count.find(It->second.Addr);
+    if (CIt != Count.end() && --CIt->second == 0) {
+      Count.erase(CIt);
+      ++Free;
+    }
+  }
+  auto Place = [&](uint64_t A) -> bool {
+    auto It = Count.find(A);
+    if (It != Count.end()) {
+      if (It->second >= Depth)
+        return false;
+      ++It->second;
+      return true;
+    }
+    if (Free == 0)
+      return false;
+    --Free;
+    Count[A] = 1;
+    return true;
+  };
+  for (const auto &[A, Mode] : P.Reserved) {
+    (void)Mode;
+    if (!Place(A))
+      return false; // an earlier same-stage reserve already fails
+  }
+  return Place(Addr);
+}
+
+bool QueueLock::readyP(const LockProbe &P, ResId R) const {
+  auto It = Reservations.find(R);
+  assert(It != Reservations.end() && "unknown reservation");
+  const Queue &Q = Queues[It->second.QueueIdx];
+  // Ready once everything ahead of R has been released this stage.
+  for (ResId W : Q.Waiters) {
+    if (W == R)
+      return true;
+    if (!P.releasedHas(W))
+      return false;
+  }
+  return false;
+}
+
+bool QueueLock::readyNowP(const LockProbe &P, uint64_t Addr,
+                          Access M) const {
+  (void)M;
+  // A fresh reservation is immediately ready iff no live waiter (real and
+  // not probe-released, or probe-reserved) precedes it for this address.
+  for (const Queue &Q : Queues) {
+    if (!Q.InUse || Q.Addr != Addr)
+      continue;
+    for (ResId W : Q.Waiters)
+      if (!P.releasedHas(W))
+        return false;
+  }
+  for (const auto &[A, Mode] : P.Reserved) {
+    (void)Mode;
+    if (A == Addr)
+      return false;
+  }
+  return true;
+}
+
+Bits QueueLock::readP(const LockProbe &P, ResId R) {
+  (void)P; // readiness was established via readyP
+  auto It = Reservations.find(R);
+  assert(It != Reservations.end() && "unknown reservation");
+  return Mem.read(It->second.Addr);
+}
+
+CkptId QueueLock::checkpoint() {
+  CkptId C = NextCkpt++;
+  Checkpoints[C] = NextRes;
+  return C;
+}
+
+void QueueLock::rollback(CkptId C) {
+  auto It = Checkpoints.find(C);
+  assert(It != Checkpoints.end() && "unknown checkpoint");
+  ResId Floor = It->second;
+  // Reservations made after the checkpoint sit at queue tails (reservations
+  // are in thread order); strip them.
+  for (Queue &Q : Queues) {
+    while (!Q.Waiters.empty() && Q.Waiters.back() >= Floor) {
+      Reservations.erase(Q.Waiters.back());
+      Q.Waiters.pop_back();
+    }
+    if (Q.Waiters.empty())
+      Q.InUse = false;
+  }
+  // Newer checkpoints belong to rolled-back threads.
+  for (auto I = Checkpoints.begin(); I != Checkpoints.end();)
+    I = I->first > C ? Checkpoints.erase(I) : std::next(I);
+}
+
+void QueueLock::commitCheckpoint(CkptId C) { Checkpoints.erase(C); }

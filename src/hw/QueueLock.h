@@ -1,0 +1,87 @@
+//===- QueueLock.h - FIFO-per-location hazard lock -------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simplest lock of Section 2.3: a First-In-First-Out queue of
+/// reservations per memory location, realized as a fully associative array
+/// of queues so any location can use any free queue. A reservation is ready
+/// when it reaches the head of its location's queue; reads and writes go
+/// straight to the memory (no bypassing), so conflicting threads simply
+/// stall. The associative-array size and queue depth are design parameters
+/// that influence performance (exhaustion stalls the reserving stage).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_HW_QUEUELOCK_H
+#define PDL_HW_QUEUELOCK_H
+
+#include "hw/Lock.h"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace pdl {
+namespace hw {
+
+class QueueLock : public HazardLock {
+public:
+  /// \p NumQueues associative entries, each a queue of \p Depth
+  /// reservations.
+  QueueLock(Memory &Mem, unsigned NumQueues = 4, unsigned Depth = 4)
+      : HazardLock(Mem), Queues(NumQueues), Depth(Depth) {}
+
+  bool canReserve(uint64_t Addr, Access M) const override;
+  ResId reserve(uint64_t Addr, Access M) override;
+  bool ready(ResId R) const override;
+  bool readyNow(uint64_t Addr, Access M) const override;
+  Bits peek(uint64_t Addr, Access M) const override;
+  Bits read(ResId R) override;
+  void write(ResId R, Bits V) override;
+  void release(ResId R) override;
+  bool canReserveP(const LockProbe &P, uint64_t Addr,
+                   Access M) const override;
+  bool readyP(const LockProbe &P, ResId R) const override;
+  bool readyNowP(const LockProbe &P, uint64_t Addr, Access M) const override;
+  Bits readP(const LockProbe &P, ResId R) override;
+  CkptId checkpoint() override;
+  void rollback(CkptId C) override;
+  void commitCheckpoint(CkptId C) override;
+  std::string name() const override { return "queue"; }
+
+  unsigned numQueues() const { return Queues.size(); }
+  unsigned depth() const { return Depth; }
+  /// Live reservations (for tests).
+  size_t outstanding() const { return Reservations.size(); }
+
+private:
+  struct Queue {
+    bool InUse = false;
+    uint64_t Addr = 0;
+    std::deque<ResId> Waiters; // front = owner
+  };
+  struct Reservation {
+    uint64_t Addr = 0;
+    Access M = Access::Read;
+    unsigned QueueIdx = 0;
+    bool Accessed = false;
+  };
+
+  /// Index of the queue bound to \p Addr, or the first free queue, or -1.
+  int findQueue(uint64_t Addr) const;
+
+  std::vector<Queue> Queues;
+  unsigned Depth;
+  std::map<ResId, Reservation> Reservations;
+  std::map<CkptId, ResId> Checkpoints;
+  ResId NextRes = 1;
+  CkptId NextCkpt = 1;
+};
+
+} // namespace hw
+} // namespace pdl
+
+#endif // PDL_HW_QUEUELOCK_H

@@ -1,0 +1,158 @@
+//===- RenameLock.cpp - Renaming register-file hazard lock -----------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/RenameLock.h"
+
+#include <algorithm>
+
+using namespace pdl;
+using namespace pdl::hw;
+
+RenameLock::RenameLock(Memory &Mem, unsigned ExtraPhys) : HazardLock(Mem) {
+  assert(Mem.addrWidth() <= 10 &&
+         "renaming locks are meant for register files, not large memories");
+  ArchCount = static_cast<unsigned>(Mem.size());
+  unsigned PhysCount = ArchCount + ExtraPhys;
+  Phys.resize(PhysCount, Bits(0, Mem.elemWidth()));
+  Valid.assign(PhysCount, true);
+  MapTable.resize(ArchCount);
+  CommitTable.resize(ArchCount);
+  for (unsigned I = 0; I != ArchCount; ++I) {
+    Phys[I] = Mem.read(I);
+    MapTable[I] = I;
+    CommitTable[I] = I;
+  }
+  for (unsigned I = ArchCount; I != PhysCount; ++I)
+    FreeList.push_back(I);
+}
+
+bool RenameLock::canReserve(uint64_t, Access M) const {
+  return M == Access::Read || !FreeList.empty();
+}
+
+ResId RenameLock::reserve(uint64_t Addr, Access M) {
+  assert(Addr < ArchCount && "address out of range");
+  ResId R = NextRes++;
+  Reservation Res;
+  Res.Addr = Addr;
+  Res.M = M;
+  if (M == Access::Read) {
+    Res.PhysReg = MapTable[Addr]; // name lookup
+  } else {
+    assert(!FreeList.empty() && "reserve without canReserve");
+    unsigned P = FreeList.front(); // name allocation
+    FreeList.pop_front();
+    Res.PhysReg = P;
+    Res.OldPhys = MapTable[Addr];
+    MapTable[Addr] = P;
+    Valid[P] = false;
+  }
+  Reservations[R] = Res;
+  return R;
+}
+
+bool RenameLock::ready(ResId R) const {
+  auto It = Reservations.find(R);
+  assert(It != Reservations.end() && "unknown reservation");
+  const Reservation &Res = It->second;
+  switch (Res.M) {
+  case Access::Read:
+    return Valid[Res.PhysReg];
+  case Access::Write:
+    return true;
+  case Access::ReadWrite:
+    // Reading the previous value requires the prior producer to be done.
+    return Valid[Res.OldPhys];
+  }
+  return true;
+}
+
+bool RenameLock::readyNow(uint64_t Addr, Access M) const {
+  if (M == Access::Write)
+    return true;
+  return Valid[MapTable[Addr]];
+}
+
+Bits RenameLock::peek(uint64_t Addr, Access) const {
+  unsigned P = MapTable[Addr];
+  assert(Valid[P] && "peek of a not-ready register");
+  return Phys[P];
+}
+
+Bits RenameLock::read(ResId R) {
+  const Reservation &Res = Reservations.at(R);
+  unsigned P = Res.M == Access::ReadWrite ? Res.OldPhys : Res.PhysReg;
+  assert(Valid[P] && "read of an invalid physical register");
+  return Phys[P];
+}
+
+void RenameLock::write(ResId R, Bits V) {
+  const Reservation &Res = Reservations.at(R);
+  assert(Res.M != Access::Read && "write on a read reservation");
+  Phys[Res.PhysReg] = V;
+  Valid[Res.PhysReg] = true;
+}
+
+void RenameLock::release(ResId R) {
+  auto It = Reservations.find(R);
+  assert(It != Reservations.end() && "unknown reservation");
+  const Reservation &Res = It->second;
+  if (Res.M != Access::Read) {
+    // Commit: the new name becomes architectural; the old one recycles.
+    if (Valid[Res.PhysReg]) {
+      CommitTable[Res.Addr] = Res.PhysReg;
+      FreeList.push_back(Res.OldPhys);
+    } else {
+      // Exclusive reservation that never wrote: undo the allocation.
+      MapTable[Res.Addr] = Res.OldPhys;
+      FreeList.push_back(Res.PhysReg);
+    }
+  }
+  Reservations.erase(It);
+}
+
+CkptId RenameLock::checkpoint() {
+  CkptId C = NextCkpt++;
+  Checkpoints[C] = {MapTable};
+  CheckpointFloors[C] = NextRes;
+  return C;
+}
+
+void RenameLock::recomputeFreeList() {
+  std::vector<bool> InUse(Phys.size(), false);
+  for (unsigned P : MapTable)
+    InUse[P] = true;
+  for (unsigned P : CommitTable)
+    InUse[P] = true;
+  FreeList.clear();
+  for (unsigned P = 0, E = Phys.size(); P != E; ++P)
+    if (!InUse[P])
+      FreeList.push_back(P);
+}
+
+void RenameLock::rollback(CkptId C) {
+  auto It = Checkpoints.find(C);
+  assert(It != Checkpoints.end() && "unknown checkpoint");
+  MapTable = It->second.MapTable;
+  ResId Floor = CheckpointFloors[C];
+  for (auto I = Reservations.begin(); I != Reservations.end();)
+    I = I->first >= Floor ? Reservations.erase(I) : std::next(I);
+  recomputeFreeList();
+  for (auto I = Checkpoints.begin(); I != Checkpoints.end();)
+    I = I->first > C ? Checkpoints.erase(I) : std::next(I);
+  for (auto I = CheckpointFloors.begin(); I != CheckpointFloors.end();)
+    I = I->first > C ? CheckpointFloors.erase(I) : std::next(I);
+}
+
+void RenameLock::commitCheckpoint(CkptId C) {
+  Checkpoints.erase(C);
+  CheckpointFloors.erase(C);
+}
+
+Bits RenameLock::archRead(uint64_t Addr) const {
+  assert(Addr < ArchCount && "address out of range");
+  return Phys[CommitTable[Addr]];
+}

@@ -1,0 +1,86 @@
+//===- RenameLock.h - Renaming register-file hazard lock -------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The renaming-register-file lock of Section 2.3, the kind used in modern
+/// out-of-order processors. A map table translates architectural addresses
+/// to physical names; write reservation allocates a fresh physical name
+/// (from a free list) and read reservation looks the current name up.
+/// Per-register valid bits make reads block until the producer has written.
+/// Release of a write frees the *previous* mapping and advances the commit
+/// table (the architectural view). Checkpoints replicate the map table;
+/// rollback restores it and recomputes the free list.
+///
+/// Data lives in the physical register file owned by this lock; the
+/// underlying Memory provides only the initial contents and the geometry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_HW_RENAMELOCK_H
+#define PDL_HW_RENAMELOCK_H
+
+#include "hw/Lock.h"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace pdl {
+namespace hw {
+
+class RenameLock : public HazardLock {
+public:
+  /// \p ExtraPhys additional physical registers beyond the architectural
+  /// count (bounds the number of in-flight writes).
+  explicit RenameLock(Memory &Mem, unsigned ExtraPhys = 8);
+
+  bool canReserve(uint64_t Addr, Access M) const override;
+  ResId reserve(uint64_t Addr, Access M) override;
+  bool ready(ResId R) const override;
+  bool readyNow(uint64_t Addr, Access M) const override;
+  Bits peek(uint64_t Addr, Access M) const override;
+  Bits read(ResId R) override;
+  void write(ResId R, Bits V) override;
+  void release(ResId R) override;
+  CkptId checkpoint() override;
+  void rollback(CkptId C) override;
+  void commitCheckpoint(CkptId C) override;
+  Bits archRead(uint64_t Addr) const override;
+  std::string name() const override { return "rename"; }
+
+  unsigned physCount() const { return Phys.size(); }
+  size_t freeRegs() const { return FreeList.size(); }
+
+private:
+  struct Reservation {
+    uint64_t Addr = 0;
+    Access M = Access::Read;
+    unsigned PhysReg = 0; // producer target (W) or source (R)
+    unsigned OldPhys = 0; // previous mapping, freed at release (W)
+  };
+  struct Snapshot {
+    std::vector<unsigned> MapTable;
+  };
+
+  void recomputeFreeList();
+
+  unsigned ArchCount;
+  std::vector<Bits> Phys;
+  std::vector<bool> Valid;
+  std::vector<unsigned> MapTable;    // newest (speculative) mapping
+  std::vector<unsigned> CommitTable; // committed architectural mapping
+  std::deque<unsigned> FreeList;
+  std::map<ResId, Reservation> Reservations;
+  std::map<CkptId, Snapshot> Checkpoints;
+  std::map<CkptId, ResId> CheckpointFloors;
+  ResId NextRes = 1;
+  CkptId NextCkpt = 1;
+};
+
+} // namespace hw
+} // namespace pdl
+
+#endif // PDL_HW_RENAMELOCK_H

@@ -1,0 +1,54 @@
+//===- SpecTable.cpp - Speculation tracking table ---------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/SpecTable.h"
+
+#include <cassert>
+
+using namespace pdl;
+using namespace pdl::hw;
+
+SpecId SpecTable::alloc(Bits Prediction) {
+  assert(canAlloc() && "speculation table full");
+  SpecId Id = NextId++;
+  Entries[Id] = {Prediction, SpecStatus::Pending};
+  return Id;
+}
+
+void SpecTable::cascadeMispredict(SpecId From) {
+  for (auto &[Id, E] : Entries)
+    if (Id >= From)
+      E.St = SpecStatus::Mispredicted;
+}
+
+bool SpecTable::verify(SpecId Id, Bits Actual) {
+  auto It = Entries.find(Id);
+  assert(It != Entries.end() && "verify of an unknown speculation");
+  if (It->second.Prediction == Actual) {
+    It->second.St = SpecStatus::Correct;
+    return true;
+  }
+  cascadeMispredict(Id);
+  return false;
+}
+
+std::optional<SpecId> SpecTable::update(SpecId Id, Bits NewPred) {
+  auto It = Entries.find(Id);
+  assert(It != Entries.end() && "update of an unknown speculation");
+  if (It->second.Prediction == NewPred)
+    return std::nullopt;
+  cascadeMispredict(Id);
+  // Callers gate the whole operation on canAlloc() before executing it.
+  return alloc(NewPred);
+}
+
+SpecStatus SpecTable::status(SpecId Id) const {
+  auto It = Entries.find(Id);
+  assert(It != Entries.end() && "status of an unknown speculation");
+  return It->second.St;
+}
+
+void SpecTable::free(SpecId Id) { Entries.erase(Id); }

@@ -1,0 +1,80 @@
+//===- SpecTable.h - Speculation tracking table ----------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The speculation-state table of Section 2.4: a circular buffer of entries
+/// allocated by speculative calls. verify/update mark entries correct or
+/// mispredicted; marking one entry mispredicted cascades to all newer
+/// entries (their threads descend from the killed child). Child threads
+/// poll their entry via spec_check / spec_barrier and free it once their
+/// status is known. Status updates are combinationally visible to polls in
+/// the same cycle because the executor runs deeper stages first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_HW_SPECTABLE_H
+#define PDL_HW_SPECTABLE_H
+
+#include "support/Bits.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace pdl {
+namespace hw {
+
+enum class SpecStatus { Pending, Correct, Mispredicted };
+
+using SpecId = uint64_t;
+
+class SpecTable {
+public:
+  explicit SpecTable(unsigned Capacity = 8) : Capacity(Capacity) {}
+
+  bool canAlloc() const { return Entries.size() < Capacity; }
+
+  /// Allocates an entry for a child spawned with prediction \p Prediction.
+  SpecId alloc(Bits Prediction);
+
+  /// Resolves entry \p Id against the actual value. Returns true when the
+  /// prediction was correct; otherwise the entry and every newer entry are
+  /// marked mispredicted.
+  bool verify(SpecId Id, Bits Actual);
+
+  /// Re-steers the prediction (Table 2's update). If \p NewPred differs
+  /// from the recorded prediction, the old child (and newer entries) are
+  /// marked mispredicted and a fresh entry is allocated for the corrected
+  /// child; its id is returned. Returns std::nullopt when the prediction
+  /// was already identical (nothing to do).
+  std::optional<SpecId> update(SpecId Id, Bits NewPred);
+
+  SpecStatus status(SpecId Id) const;
+
+  /// Frees the entry once the child thread has observed its status.
+  void free(SpecId Id);
+
+  Bits prediction(SpecId Id) const { return Entries.at(Id).Prediction; }
+  size_t live() const { return Entries.size(); }
+  unsigned capacity() const { return Capacity; }
+
+private:
+  struct Entry {
+    Bits Prediction;
+    SpecStatus St = SpecStatus::Pending;
+  };
+
+  void cascadeMispredict(SpecId From);
+
+  unsigned Capacity;
+  std::map<SpecId, Entry> Entries; // key order = age order
+  SpecId NextId = 1;
+};
+
+} // namespace hw
+} // namespace pdl
+
+#endif // PDL_HW_SPECTABLE_H

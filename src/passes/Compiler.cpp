@@ -1,0 +1,45 @@
+//===- Compiler.cpp - PDL compilation driver --------------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Compiler.h"
+
+#include "passes/TypeChecker.h"
+#include "pdl/Parser.h"
+
+using namespace pdl;
+
+CompiledProgram pdl::compile(const std::string &Source,
+                             const std::string &Name) {
+  CompiledProgram Out;
+  Out.SM = std::make_unique<SourceMgr>();
+  Out.SM->setBuffer(Source, Name);
+  Out.Diags = std::make_unique<DiagnosticEngine>(*Out.SM);
+  Out.AST = std::make_unique<ast::Program>(
+      Parser::parse(*Out.SM, *Out.Diags));
+  if (Out.Diags->hasErrors())
+    return Out;
+
+  TypeChecker TC(*Out.AST, *Out.Diags);
+  if (!TC.check())
+    return Out;
+
+  smt::FormulaContext Ctx;
+  smt::Solver Solver(Ctx);
+  ConditionAbstractor Abs(Ctx);
+
+  for (const ast::PipeDecl &Pipe : Out.AST->Pipes) {
+    CompiledPipe CP;
+    CP.Decl = &Pipe;
+    CP.Graph = buildStageGraph(Pipe, *Out.Diags);
+    CP.Locks = checkLocks(Pipe, CP.Graph, Abs, Solver, *Out.Diags);
+    CP.Spec = checkSpeculation(Pipe, CP.Graph, CP.Locks, Abs, Solver,
+                               *Out.Diags);
+    Out.Pipes.emplace(Pipe.Name, std::move(CP));
+  }
+  Out.SolverQueries = Solver.queryCount();
+  Out.SolverDecisions = Solver.decisionCount();
+  return Out;
+}

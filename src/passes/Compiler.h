@@ -1,0 +1,59 @@
+//===- Compiler.h - PDL compilation driver ---------------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end front half of the PDL compiler (Figure 4): parse, type-check,
+/// build stage graphs, run the lock and speculation checkers (backed by the
+/// SMT solver). The result feeds backend elaboration (backend/Elaborator.h),
+/// which plays the role of the paper's BSV code generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_PASSES_COMPILER_H
+#define PDL_PASSES_COMPILER_H
+
+#include "passes/LockChecker.h"
+#include "passes/SpecChecker.h"
+#include "passes/StageGraph.h"
+#include "pdl/AST.h"
+#include "smt/Solver.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace pdl {
+
+/// The checked artifacts for one pipe.
+struct CompiledPipe {
+  const ast::PipeDecl *Decl = nullptr;
+  StageGraph Graph;
+  LockAnalysis Locks;
+  SpecAnalysis Spec;
+};
+
+/// A fully checked program plus everything needed to report diagnostics
+/// about it. Move-only; owns the AST.
+struct CompiledProgram {
+  std::unique_ptr<SourceMgr> SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<ast::Program> AST;
+  std::map<std::string, CompiledPipe> Pipes;
+  /// SMT statistics accumulated across all checker queries.
+  unsigned SolverQueries = 0;
+  unsigned SolverDecisions = 0;
+
+  bool ok() const { return Diags && !Diags->hasErrors(); }
+};
+
+/// Runs the whole front half on \p Source. Always returns the program (so
+/// callers can inspect diagnostics); check ok() before elaborating.
+CompiledProgram compile(const std::string &Source,
+                        const std::string &Name = "<pdl>");
+
+} // namespace pdl
+
+#endif // PDL_PASSES_COMPILER_H

@@ -1,0 +1,196 @@
+//===- Liveness.cpp - Live-variable analysis over the stage graph -----------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Liveness.h"
+
+#include <functional>
+
+using namespace pdl;
+using namespace pdl::ast;
+
+namespace {
+
+void collectReads(const Expr &E, std::set<std::string> &Out) {
+  switch (E.kind()) {
+  case Expr::Kind::VarRef:
+    Out.insert(cast<VarRefExpr>(&E)->name());
+    return;
+  case Expr::Kind::Unary:
+    collectReads(*cast<UnaryExpr>(&E)->operand(), Out);
+    return;
+  case Expr::Kind::Binary:
+    collectReads(*cast<BinaryExpr>(&E)->lhs(), Out);
+    collectReads(*cast<BinaryExpr>(&E)->rhs(), Out);
+    return;
+  case Expr::Kind::Ternary:
+    collectReads(*cast<TernaryExpr>(&E)->cond(), Out);
+    collectReads(*cast<TernaryExpr>(&E)->thenExpr(), Out);
+    collectReads(*cast<TernaryExpr>(&E)->elseExpr(), Out);
+    return;
+  case Expr::Kind::Slice:
+    collectReads(*cast<SliceExpr>(&E)->base(), Out);
+    return;
+  case Expr::Kind::Cast:
+    collectReads(*cast<CastExpr>(&E)->operand(), Out);
+    return;
+  case Expr::Kind::MemRead:
+    collectReads(*cast<MemReadExpr>(&E)->addr(), Out);
+    return;
+  case Expr::Kind::FuncCall:
+    for (const ExprPtr &A : cast<FuncCallExpr>(&E)->args())
+      collectReads(*A, Out);
+    return;
+  case Expr::Kind::ExternCall:
+    for (const ExprPtr &A : cast<ExternCallExpr>(&E)->args())
+      collectReads(*A, Out);
+    return;
+  case Expr::Kind::IntLit:
+  case Expr::Kind::BoolLit:
+    return;
+  }
+}
+
+/// Variables a statement reads / the one it defines (empty if none).
+void stmtReads(const Stmt &S, std::set<std::string> &Out) {
+  switch (S.kind()) {
+  case Stmt::Kind::Assign:
+    collectReads(*cast<AssignStmt>(&S)->value(), Out);
+    return;
+  case Stmt::Kind::SyncRead:
+    collectReads(*cast<SyncReadStmt>(&S)->addr(), Out);
+    return;
+  case Stmt::Kind::PipeCall:
+    for (const ExprPtr &A : cast<PipeCallStmt>(&S)->args())
+      collectReads(*A, Out);
+    return;
+  case Stmt::Kind::MemWrite:
+    collectReads(*cast<MemWriteStmt>(&S)->addr(), Out);
+    collectReads(*cast<MemWriteStmt>(&S)->value(), Out);
+    return;
+  case Stmt::Kind::Output:
+    collectReads(*cast<OutputStmt>(&S)->value(), Out);
+    return;
+  case Stmt::Kind::Lock:
+    if (cast<LockStmt>(&S)->addr())
+      collectReads(*cast<LockStmt>(&S)->addr(), Out);
+    return;
+  case Stmt::Kind::Verify: {
+    const auto *V = cast<VerifyStmt>(&S);
+    collectReads(*V->actual(), Out);
+    if (V->predictorUpdate())
+      collectReads(*V->predictorUpdate(), Out);
+    return;
+  }
+  case Stmt::Kind::Update:
+    collectReads(*cast<UpdateStmt>(&S)->newPred(), Out);
+    return;
+  default:
+    return;
+  }
+}
+
+std::string stmtDef(const Stmt &S) {
+  if (const auto *A = dyn_cast<AssignStmt>(&S))
+    return A->name();
+  if (const auto *R = dyn_cast<SyncReadStmt>(&S))
+    return R->name();
+  if (const auto *C = dyn_cast<PipeCallStmt>(&S))
+    if (C->hasResult() && !C->isSpec())
+      return C->resultName();
+  return "";
+}
+
+} // namespace
+
+unsigned LivenessInfo::edgeBits(std::pair<unsigned, unsigned> Edge) const {
+  auto It = LiveOnEdge.find(Edge);
+  if (It == LiveOnEdge.end())
+    return 0;
+  unsigned Bits = 0;
+  for (const std::string &V : It->second) {
+    auto W = WidthOf.find(V);
+    Bits += W == WidthOf.end() ? 1 : W->second;
+  }
+  return Bits;
+}
+
+LivenessInfo pdl::computeLiveness(const PipeDecl &Pipe, const StageGraph &G) {
+  LivenessInfo Info;
+
+  // Widths: params, then every defining statement.
+  for (const Param &P : Pipe.Params)
+    Info.WidthOf[P.Name] = P.Ty.width();
+  std::function<void(const StmtList &)> Widths = [&](const StmtList &L) {
+    for (const StmtPtr &S : L) {
+      if (const auto *A = dyn_cast<AssignStmt>(S.get())) {
+        Type T = A->declaredType() ? *A->declaredType() : A->value()->type();
+        Info.WidthOf[A->name()] = T.isValid() ? T.width() : 32;
+      } else if (const auto *R = dyn_cast<SyncReadStmt>(S.get())) {
+        const MemDecl *M = Pipe.findMem(R->mem());
+        Info.WidthOf[R->name()] = M ? M->ElemType.width() : 32;
+      } else if (const auto *C = dyn_cast<PipeCallStmt>(S.get())) {
+        if (C->hasResult() && !C->isSpec())
+          Info.WidthOf[C->resultName()] = 32; // resolved by callee ret type
+      } else if (const auto *I = dyn_cast<IfStmt>(S.get())) {
+        Widths(I->thenBody());
+        Widths(I->elseBody());
+      }
+    }
+  };
+  Widths(Pipe.Body);
+
+  // Per-stage use/def, respecting in-stage op order and guards.
+  std::vector<std::set<std::string>> Use(G.Stages.size()),
+      Def(G.Stages.size());
+  for (const Stage &S : G.Stages) {
+    std::set<std::string> Defined;
+    for (const StagedOp &Op : S.Ops) {
+      std::set<std::string> Reads;
+      for (const GuardTerm &T : Op.G)
+        collectReads(*T.Cond, Reads);
+      stmtReads(*Op.S, Reads);
+      for (const std::string &R : Reads)
+        if (!Defined.count(R))
+          Use[S.Id].insert(R);
+      std::string D = stmtDef(*Op.S);
+      if (!D.empty())
+        Defined.insert(D);
+    }
+    // Successor-edge guards and coordination-tag rules read at stage exit.
+    std::set<std::string> ExitReads;
+    for (const StageEdge &E : S.Succs)
+      for (const GuardTerm &T : E.G)
+        collectReads(*T.Cond, ExitReads);
+    for (const Stage &J : G.Stages)
+      if (J.ForkStage == S.Id)
+        for (const TagRule &TR : J.TagRules)
+          for (const GuardTerm &T : TR.G)
+            collectReads(*T.Cond, ExitReads);
+    for (const std::string &R : ExitReads)
+      if (!Defined.count(R))
+        Use[S.Id].insert(R);
+    Def[S.Id] = std::move(Defined);
+  }
+
+  // Reverse pass (ids are topologically ordered).
+  std::vector<std::set<std::string>> LiveIn(G.Stages.size());
+  for (unsigned Id = G.Stages.size(); Id-- > 0;) {
+    const Stage &S = G.Stages[Id];
+    std::set<std::string> Out;
+    for (const StageEdge &E : S.Succs) {
+      const std::set<std::string> &SuccIn = LiveIn[E.To];
+      Out.insert(SuccIn.begin(), SuccIn.end());
+    }
+    std::set<std::string> In = Use[Id];
+    for (const std::string &V : Out)
+      if (!Def[Id].count(V))
+        In.insert(V);
+    LiveIn[Id] = std::move(In);
+    for (const StageEdge &E : S.Succs)
+      Info.LiveOnEdge[{E.From, E.To}] = LiveIn[E.To];
+  }
+  return Info;
+}

@@ -1,0 +1,42 @@
+//===- Liveness.h - Live-variable analysis over the stage graph -*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The live-variable analysis of Section 5.1: annotates each stage-graph
+/// edge with the variables a later stage still needs. In the paper's
+/// compiler this decides what each inter-stage FIFO carries; here it also
+/// sizes the pipeline registers for the area model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_PASSES_LIVENESS_H
+#define PDL_PASSES_LIVENESS_H
+
+#include "passes/StageGraph.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace pdl {
+
+struct LivenessInfo {
+  /// Variables live on each edge (keyed by (From, To)).
+  std::map<std::pair<unsigned, unsigned>, std::set<std::string>> LiveOnEdge;
+  /// Bit width of every variable (params included).
+  std::map<std::string, unsigned> WidthOf;
+
+  /// Total payload bits carried by the FIFO on \p Edge.
+  unsigned edgeBits(std::pair<unsigned, unsigned> Edge) const;
+};
+
+/// Computes liveness for \p Pipe over its stage graph (a single reverse
+/// pass; the graph is a DAG with topologically ordered ids).
+LivenessInfo computeLiveness(const ast::PipeDecl &Pipe, const StageGraph &G);
+
+} // namespace pdl
+
+#endif // PDL_PASSES_LIVENESS_H

@@ -1,0 +1,397 @@
+//===- LockChecker.cpp - Hazard-lock protocol checking ---------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/LockChecker.h"
+
+#include <functional>
+
+using namespace pdl;
+using namespace pdl::ast;
+using namespace pdl::smt;
+
+namespace {
+
+/// A lock handle: one memory location as spelled in the source, in one of
+/// three modes. LockMode::None denotes an exclusive (read+write) lock, the
+/// meaning of a mode-less acquire/reserve.
+struct LockKey {
+  std::string Mem;
+  std::string Addr;
+  LockMode Mode = LockMode::None;
+
+  bool operator<(const LockKey &O) const {
+    return std::tie(Mem, Addr, Mode) < std::tie(O.Mem, O.Addr, O.Mode);
+  }
+  std::string str() const {
+    std::string S = Mem + "[" + Addr + "]";
+    if (Mode == LockMode::Read)
+      S += " (R)";
+    else if (Mode == LockMode::Write)
+      S += " (W)";
+    return S;
+  }
+};
+
+/// Path-indexed protocol state for one handle: each formula gives the
+/// condition under which the lock is in that phase.
+struct KeyState {
+  const Formula *Reserved;
+  const Formula *Acquired;
+  const Formula *Accessed;
+};
+
+/// Collects combinational memory reads nested in \p E, in evaluation order.
+void collectCombReads(const Expr &E, std::vector<const MemReadExpr *> &Out) {
+  switch (E.kind()) {
+  case Expr::Kind::MemRead: {
+    const auto *M = cast<MemReadExpr>(&E);
+    collectCombReads(*M->addr(), Out);
+    Out.push_back(M);
+    return;
+  }
+  case Expr::Kind::Unary:
+    collectCombReads(*cast<UnaryExpr>(&E)->operand(), Out);
+    return;
+  case Expr::Kind::Binary:
+    collectCombReads(*cast<BinaryExpr>(&E)->lhs(), Out);
+    collectCombReads(*cast<BinaryExpr>(&E)->rhs(), Out);
+    return;
+  case Expr::Kind::Ternary:
+    collectCombReads(*cast<TernaryExpr>(&E)->cond(), Out);
+    collectCombReads(*cast<TernaryExpr>(&E)->thenExpr(), Out);
+    collectCombReads(*cast<TernaryExpr>(&E)->elseExpr(), Out);
+    return;
+  case Expr::Kind::Slice:
+    collectCombReads(*cast<SliceExpr>(&E)->base(), Out);
+    return;
+  case Expr::Kind::Cast:
+    collectCombReads(*cast<CastExpr>(&E)->operand(), Out);
+    return;
+  case Expr::Kind::FuncCall:
+    for (const ExprPtr &A : cast<FuncCallExpr>(&E)->args())
+      collectCombReads(*A, Out);
+    return;
+  case Expr::Kind::ExternCall:
+    for (const ExprPtr &A : cast<ExternCallExpr>(&E)->args())
+      collectCombReads(*A, Out);
+    return;
+  case Expr::Kind::IntLit:
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::VarRef:
+    return;
+  }
+}
+
+class LockCheckerImpl {
+public:
+  LockCheckerImpl(const PipeDecl &Pipe, const StageGraph &G,
+                  ConditionAbstractor &Abs, Solver &Solver,
+                  DiagnosticEngine &Diags)
+      : Pipe(Pipe), G(G), Abs(Abs), S(Solver), Diags(Diags),
+        Ctx(Abs.context()) {}
+
+  LockAnalysis run() {
+    scanLockedMems();
+    Reach = Abs.reachConditions(G);
+    for (const Stage &Stg : G.Stages)
+      for (const StagedOp &Op : Stg.Ops)
+        visitOp(Stg, Op);
+    checkAllReleased();
+    checkInOrderStages();
+    return std::move(Result);
+  }
+
+private:
+  /// First pass: find which memories have any lock statements at all.
+  /// Memories without locks (e.g. a DRAM-backed `main` interface) are
+  /// accessed unguarded, like the paper's Figure 7 cache does.
+  void scanLockedMems() {
+    std::function<void(const StmtList &)> Walk = [&](const StmtList &L) {
+      for (const StmtPtr &St : L) {
+        if (const auto *Lk = dyn_cast<LockStmt>(St.get())) {
+          LockedMems.insert(Lk->mem());
+          LockMode M = Lk->mode();
+          if (Lk->op() == LockOp::Reserve || Lk->op() == LockOp::Acquire) {
+            if (M == LockMode::Read || M == LockMode::None)
+              Result.ReadLocked.insert(Lk->mem());
+            if (M == LockMode::Write || M == LockMode::None)
+              Result.WriteLocked.insert(Lk->mem());
+          }
+        }
+        if (const auto *I = dyn_cast<IfStmt>(St.get())) {
+          Walk(I->thenBody());
+          Walk(I->elseBody());
+        }
+      }
+    };
+    Walk(Pipe.Body);
+  }
+
+  KeyState &state(const LockKey &K) {
+    auto It = States.find(K);
+    if (It != States.end())
+      return It->second;
+    KeyState Init{Ctx.falseF(), Ctx.falseF(), Ctx.falseF()};
+    return States.emplace(K, Init).first->second;
+  }
+
+  const Formula *freeCond(const KeyState &St) {
+    return Ctx.notF(Ctx.orF(St.Reserved, St.Acquired));
+  }
+
+  void visitOp(const Stage &Stg, const StagedOp &Op) {
+    const Formula *P = Ctx.andF(Reach[Stg.Id], Abs.guard(Op.G));
+
+    // Memory accesses nested in the statement's expressions.
+    std::vector<const MemReadExpr *> Reads;
+    forEachExpr(*Op.S, [&](const Expr &E) { collectCombReads(E, Reads); });
+    for (const MemReadExpr *R : Reads)
+      checkAccess(Stg, P, R->mem(), addrKey(*R->addr()), /*IsWrite=*/false,
+                  R->loc());
+
+    switch (Op.S->kind()) {
+    case Stmt::Kind::SyncRead: {
+      const auto *R = cast<SyncReadStmt>(Op.S);
+      checkAccess(Stg, P, R->mem(), addrKey(*R->addr()), /*IsWrite=*/false,
+                  R->loc());
+      return;
+    }
+    case Stmt::Kind::MemWrite: {
+      const auto *W = cast<MemWriteStmt>(Op.S);
+      checkAccess(Stg, P, W->mem(), addrKey(*W->addr()), /*IsWrite=*/true,
+                  W->loc());
+      return;
+    }
+    case Stmt::Kind::Lock:
+      visitLock(Stg, *cast<LockStmt>(Op.S), P);
+      return;
+    default:
+      return;
+    }
+  }
+
+  /// Applies \p F to every expression directly owned by \p S (not those of
+  /// nested statements; nested ifs appear as their own staged ops).
+  template <typename Fn> void forEachExpr(const Stmt &St, Fn F) {
+    switch (St.kind()) {
+    case Stmt::Kind::Assign:
+      F(*cast<AssignStmt>(&St)->value());
+      return;
+    case Stmt::Kind::SyncRead:
+      F(*cast<SyncReadStmt>(&St)->addr());
+      return;
+    case Stmt::Kind::PipeCall:
+      for (const ExprPtr &A : cast<PipeCallStmt>(&St)->args())
+        F(*A);
+      return;
+    case Stmt::Kind::MemWrite:
+      F(*cast<MemWriteStmt>(&St)->addr());
+      F(*cast<MemWriteStmt>(&St)->value());
+      return;
+    case Stmt::Kind::Output:
+      F(*cast<OutputStmt>(&St)->value());
+      return;
+    case Stmt::Kind::Lock:
+      if (cast<LockStmt>(&St)->addr())
+        F(*cast<LockStmt>(&St)->addr());
+      return;
+    case Stmt::Kind::Verify: {
+      const auto *V = cast<VerifyStmt>(&St);
+      F(*V->actual());
+      if (V->predictorUpdate())
+        F(*V->predictorUpdate());
+      return;
+    }
+    case Stmt::Kind::Update:
+      F(*cast<UpdateStmt>(&St)->newPred());
+      return;
+    default:
+      return;
+    }
+  }
+
+  void checkAccess(const Stage &Stg, const Formula *P, const std::string &Mem,
+                   const std::string &Addr, bool IsWrite, SourceLoc Loc) {
+    if (!LockedMems.count(Mem))
+      return; // Unlocked memory: accesses are unguarded by design.
+    LockKey Exact{Mem, Addr, IsWrite ? LockMode::Write : LockMode::Read};
+    LockKey Excl{Mem, Addr, LockMode::None};
+    const Formula *Held =
+        Ctx.orF(state(Exact).Acquired, state(Excl).Acquired);
+    if (!S.proves(P, Held)) {
+      Diags.error(Loc, std::string(IsWrite ? "write to '" : "read of '") +
+                           Mem + "[" + Addr + "]' without an acquired " +
+                           (IsWrite ? "write" : "read") +
+                           " lock (acquire missing?)");
+      return;
+    }
+    // Mark whichever handles are held as accessed.
+    state(Exact).Accessed = Ctx.orF(state(Exact).Accessed,
+                                    Ctx.andF(P, state(Exact).Acquired));
+    state(Excl).Accessed =
+        Ctx.orF(state(Excl).Accessed, Ctx.andF(P, state(Excl).Acquired));
+    (void)Stg;
+  }
+
+  /// Resolves a mode-less block/release to the unique outstanding handle.
+  bool resolveMode(const LockStmt &L, const Formula *P, LockKey &K) {
+    if (L.mode() != LockMode::None) {
+      K = {L.mem(), addrKey(*L.addr()), L.mode()};
+      return true;
+    }
+    std::vector<LockKey> Active;
+    for (LockMode M : {LockMode::Read, LockMode::Write, LockMode::None}) {
+      LockKey Cand{L.mem(), addrKey(*L.addr()), M};
+      auto It = States.find(Cand);
+      if (It == States.end())
+        continue;
+      const Formula *Out = Ctx.orF(It->second.Reserved, It->second.Acquired);
+      if (S.isSatisfiable(Ctx.andF(P, Out)))
+        Active.push_back(Cand);
+    }
+    if (Active.size() == 1) {
+      K = Active.front();
+      return true;
+    }
+    if (Active.empty())
+      Diags.error(L.loc(), std::string(lockOpSpelling(L.op())) + " of '" +
+                               L.mem() + "[" + addrKey(*L.addr()) +
+                               "]' with no outstanding reservation");
+    else
+      Diags.error(L.loc(), std::string(lockOpSpelling(L.op())) +
+                               " is ambiguous: both R and W locks are "
+                               "outstanding for '" +
+                               L.mem() + "[" + addrKey(*L.addr()) +
+                               "]'; specify a mode");
+    return false;
+  }
+
+  void doReserve(const Stage &Stg, const LockStmt &L, const Formula *P) {
+    LockKey K{L.mem(), addrKey(*L.addr()), L.mode()};
+    KeyState &St = state(K);
+    if (!S.proves(P, freeCond(St)))
+      Diags.error(L.loc(), "lock for '" + K.str() +
+                               "' may already be reserved here (each handle "
+                               "is reserved once per thread)");
+    St.Reserved = Ctx.orF(St.Reserved, P);
+    Result.RegionStages[L.mem()].insert(Stg.Id);
+    ReserveStages[L.mem()].insert(Stg.Id);
+  }
+
+  void doBlock(const Stage &Stg, const LockStmt &L, const Formula *P) {
+    LockKey K;
+    if (!resolveMode(L, P, K))
+      return;
+    KeyState &St = state(K);
+    if (!S.proves(P, Ctx.orF(St.Reserved, St.Acquired)))
+      Diags.error(L.loc(), "block of '" + K.str() +
+                               "' requires a prior reservation on every "
+                               "path reaching it");
+    St.Acquired = Ctx.orF(St.Acquired, P);
+    St.Reserved = Ctx.andF(St.Reserved, Ctx.notF(P));
+    (void)Stg;
+  }
+
+  void doRelease(const Stage &Stg, const LockStmt &L, const Formula *P) {
+    LockKey K;
+    if (!resolveMode(L, P, K))
+      return;
+    KeyState &St = state(K);
+    if (!S.proves(P, St.Acquired))
+      Diags.error(L.loc(), "release of '" + K.str() +
+                               "' requires the lock to be acquired (block "
+                               "missing?)");
+    else if (!S.proves(P, St.Accessed))
+      Diags.error(L.loc(), "release of '" + K.str() +
+                               "' before the associated memory operation "
+                               "has executed");
+    St.Reserved = Ctx.andF(St.Reserved, Ctx.notF(P));
+    St.Acquired = Ctx.andF(St.Acquired, Ctx.notF(P));
+    St.Accessed = Ctx.andF(St.Accessed, Ctx.notF(P));
+    if (K.Mode != LockMode::Read)
+      Result.WriteReleaseStages[L.mem()].insert(Stg.Id);
+  }
+
+  void visitLock(const Stage &Stg, const LockStmt &L, const Formula *P) {
+    switch (L.op()) {
+    case LockOp::Reserve:
+      doReserve(Stg, L, P);
+      return;
+    case LockOp::Acquire:
+      doReserve(Stg, L, P);
+      doBlock(Stg, L, P);
+      return;
+    case LockOp::Block:
+      doBlock(Stg, L, P);
+      return;
+    case LockOp::Release:
+      doRelease(Stg, L, P);
+      return;
+    }
+  }
+
+  void checkAllReleased() {
+    for (const auto &[K, St] : States) {
+      const Formula *Outstanding = Ctx.orF(St.Reserved, St.Acquired);
+      if (S.isSatisfiable(Outstanding))
+        Diags.error(Pipe.Loc, "lock for '" + K.str() +
+                                  "' may be left unreleased at the end of "
+                                  "pipe '" +
+                                  Pipe.Name + "'");
+    }
+  }
+
+  /// Reserve and write-release stages must be in-order, or all inside one
+  /// branch of an out-of-order region (Section 4.1's relaxation).
+  void checkInOrderStages() {
+    for (const auto &[Mem, Stages] : ReserveStages)
+      checkStageSet(Mem, Stages, "reservations");
+    for (const auto &[Mem, Stages] : Result.WriteReleaseStages)
+      checkStageSet(Mem, Stages, "write releases");
+  }
+
+  void checkStageSet(const std::string &Mem, const std::set<unsigned> &Set,
+                     const char *What) {
+    const std::vector<std::pair<unsigned, unsigned>> *ArmPath = nullptr;
+    for (unsigned Id : Set) {
+      const Stage &Stg = G.Stages[Id];
+      if (Stg.Ordered)
+        continue;
+      if (!ArmPath) {
+        ArmPath = &Stg.ArmPath;
+        continue;
+      }
+      if (*ArmPath != Stg.ArmPath)
+        Diags.error(Pipe.Loc,
+                    std::string("lock ") + What + " for memory '" + Mem +
+                        "' occur in more than one branch of an "
+                        "out-of-order region; they must stay within one "
+                        "branch to preserve thread-order reservation");
+    }
+  }
+
+  const PipeDecl &Pipe;
+  const StageGraph &G;
+  ConditionAbstractor &Abs;
+  Solver &S;
+  DiagnosticEngine &Diags;
+  FormulaContext &Ctx;
+
+  std::vector<const Formula *> Reach;
+  std::map<LockKey, KeyState> States;
+  std::set<std::string> LockedMems;
+  std::map<std::string, std::set<unsigned>> ReserveStages;
+  LockAnalysis Result;
+};
+
+} // namespace
+
+LockAnalysis pdl::checkLocks(const PipeDecl &Pipe, const StageGraph &G,
+                             ConditionAbstractor &Abs, Solver &Solver,
+                             DiagnosticEngine &Diags) {
+  LockCheckerImpl Impl(Pipe, G, Abs, Solver, Diags);
+  return Impl.run();
+}

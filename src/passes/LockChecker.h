@@ -1,0 +1,57 @@
+//===- LockChecker.h - Hazard-lock protocol checking -----------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enforces the hazard-lock rules of Section 4.1 / Table 1:
+///
+///  * every lock transitions through reserve -> block -> read/write ->
+///    release on every path (checked path-sensitively with the SMT solver);
+///  * reserve and release-write operations execute in in-order stages, with
+///    the paper's relaxation that all of a memory's reservations may instead
+///    sit inside a single branch of an out-of-order region;
+///  * reservations for one memory are grouped into a lock region (the stages
+///    from first to last reservation), which the backend serializes when it
+///    spans more than one stage;
+///  * every memory access (combinational read, synchronous read, write) is
+///    covered by an acquired lock for the same handle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_PASSES_LOCKCHECKER_H
+#define PDL_PASSES_LOCKCHECKER_H
+
+#include "passes/PathCondition.h"
+#include "passes/StageGraph.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace pdl {
+
+/// Facts the lock checker derives for use by later phases.
+struct LockAnalysis {
+  /// Memories that are read-locked / write-locked anywhere in the pipe.
+  std::set<std::string> ReadLocked, WriteLocked;
+
+  /// Per memory: the set of stages containing reservations (the lock
+  /// region). A region spanning more than one stage must be serialized by
+  /// the backend so reservations stay atomic per thread.
+  std::map<std::string, std::set<unsigned>> RegionStages;
+
+  /// Stage ids that contain a release of a write lock, per memory (used by
+  /// the speculation checker: write releases must be non-speculative).
+  std::map<std::string, std::set<unsigned>> WriteReleaseStages;
+};
+
+/// Runs the checks; returns the analysis. Errors go to \p Diags.
+LockAnalysis checkLocks(const ast::PipeDecl &Pipe, const StageGraph &G,
+                        ConditionAbstractor &Abs, smt::Solver &Solver,
+                        DiagnosticEngine &Diags);
+
+} // namespace pdl
+
+#endif // PDL_PASSES_LOCKCHECKER_H

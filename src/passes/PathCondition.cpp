@@ -1,0 +1,79 @@
+//===- PathCondition.cpp - Branch-condition abstraction --------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/PathCondition.h"
+
+using namespace pdl;
+using namespace pdl::ast;
+using namespace pdl::smt;
+
+std::string pdl::addrKey(const Expr &Addr) { return printExpr(Addr); }
+
+TermId ConditionAbstractor::termFor(const Expr &E) {
+  if (const auto *V = dyn_cast<VarRefExpr>(&E))
+    return Ctx.variable("v:" + V->name());
+  if (const auto *L = dyn_cast<IntLitExpr>(&E))
+    return Ctx.constant(L->value());
+  if (const auto *B = dyn_cast<BoolLitExpr>(&E))
+    return Ctx.constant(B->value() ? 1 : 0);
+  // Opaque term: identical spellings share one term.
+  return Ctx.variable("t:" + printExpr(E));
+}
+
+const Formula *ConditionAbstractor::condition(const Expr &E) {
+  if (const auto *B = dyn_cast<BoolLitExpr>(&E))
+    return Ctx.boolOf(B->value());
+  if (const auto *V = dyn_cast<VarRefExpr>(&E))
+    return Ctx.boolVar(Ctx.variable("b:" + V->name()));
+  if (const auto *U = dyn_cast<UnaryExpr>(&E)) {
+    if (U->op() == UnaryOp::LogicalNot)
+      return Ctx.notF(condition(*U->operand()));
+  }
+  if (const auto *B = dyn_cast<BinaryExpr>(&E)) {
+    switch (B->op()) {
+    case BinaryOp::LogicalAnd:
+      return Ctx.andF(condition(*B->lhs()), condition(*B->rhs()));
+    case BinaryOp::LogicalOr:
+      return Ctx.orF(condition(*B->lhs()), condition(*B->rhs()));
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: {
+      const Formula *EqF;
+      if (B->lhs()->type().isBool() || B->rhs()->type().isBool())
+        EqF = Ctx.iff(condition(*B->lhs()), condition(*B->rhs()));
+      else
+        EqF = Ctx.eq(termFor(*B->lhs()), termFor(*B->rhs()));
+      return B->op() == BinaryOp::Eq ? EqF : Ctx.notF(EqF);
+    }
+    default:
+      break;
+    }
+  }
+  // Anything else is abstracted as an opaque boolean variable.
+  return Ctx.boolVar(Ctx.variable("c:" + printExpr(E)));
+}
+
+const Formula *ConditionAbstractor::guard(const Guard &G) {
+  std::vector<const Formula *> Terms;
+  for (const GuardTerm &T : G) {
+    const Formula *C = condition(*T.Cond);
+    Terms.push_back(T.Polarity ? C : Ctx.notF(C));
+  }
+  return Ctx.andF(std::move(Terms));
+}
+
+std::vector<const Formula *>
+ConditionAbstractor::reachConditions(const StageGraph &G) {
+  std::vector<const Formula *> Reach(G.Stages.size(), Ctx.falseF());
+  Reach[G.Entry] = Ctx.trueF();
+  // Stages are created in program order, so a single forward pass suffices
+  // (the graph is a DAG whose edges go from lower to higher ids except for
+  // none — joins are created after their predecessors).
+  for (const Stage &S : G.Stages)
+    for (const StageEdge &E : S.Succs)
+      Reach[E.To] = Ctx.orF(Reach[E.To],
+                            Ctx.andF(Reach[E.From], guard(E.G)));
+  return Reach;
+}

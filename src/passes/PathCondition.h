@@ -1,0 +1,60 @@
+//===- PathCondition.h - Branch-condition abstraction ----------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts PDL branch conditions into SMT formulas for the path-sensitive
+/// checks of Section 4.3. The abstraction is the one the paper describes:
+/// boolean variables and (dis)equalities between variables and constants are
+/// modeled precisely; any other condition becomes an opaque boolean variable
+/// keyed by its canonical printed form, so syntactically identical
+/// conditions are recognized as equal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_PASSES_PATHCONDITION_H
+#define PDL_PASSES_PATHCONDITION_H
+
+#include "passes/StageGraph.h"
+#include "pdl/AST.h"
+#include "smt/Solver.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pdl {
+
+/// Maps AST conditions and guards to formulas in one FormulaContext.
+class ConditionAbstractor {
+public:
+  explicit ConditionAbstractor(smt::FormulaContext &Ctx) : Ctx(Ctx) {}
+
+  /// Abstracts a boolean-typed expression.
+  const smt::Formula *condition(const ast::Expr &E);
+
+  /// Conjunction of the polarity-adjusted conditions of \p G.
+  const smt::Formula *guard(const Guard &G);
+
+  /// Per-stage reachability conditions: Reach[entry] = true and
+  /// Reach[S] = OR over pred edges (Reach[pred] AND edge guard). The
+  /// result is indexed by stage id.
+  std::vector<const smt::Formula *> reachConditions(const StageGraph &G);
+
+  smt::FormulaContext &context() { return Ctx; }
+
+private:
+  smt::TermId termFor(const ast::Expr &E);
+
+  smt::FormulaContext &Ctx;
+};
+
+/// Canonical text for an address expression, used to identify lock handles
+/// (e.g. every occurrence of rf[rs1] maps to the same handle).
+std::string addrKey(const ast::Expr &Addr);
+
+} // namespace pdl
+
+#endif // PDL_PASSES_PATHCONDITION_H

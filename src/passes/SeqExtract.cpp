@@ -1,0 +1,145 @@
+//===- SeqExtract.cpp - Sequential specification extraction ----------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/SeqExtract.h"
+
+#include <sstream>
+
+using namespace pdl;
+using namespace pdl::ast;
+
+namespace {
+
+/// Walks a body, emitting the retained statements and collecting the
+/// delayed ones (writes and next-thread spawns) with their guard context.
+class Extractor {
+public:
+  std::string run(const PipeDecl &Pipe) {
+    std::ostringstream OS;
+    OS << "pipe " << Pipe.Name << "(";
+    for (unsigned I = 0, N = Pipe.Params.size(); I != N; ++I) {
+      if (I)
+        OS << ", ";
+      OS << Pipe.Params[I].Name << ": " << Pipe.Params[I].Ty.str();
+    }
+    OS << ")[";
+    for (unsigned I = 0, N = Pipe.Mems.size(); I != N; ++I) {
+      if (I)
+        OS << ", ";
+      OS << Pipe.Mems[I].Name;
+    }
+    OS << "] {\n";
+    emitList(Pipe.Body, 2);
+    if (!Delayed.empty()) {
+      OS2 << "  // delayed writes and tail call:\n";
+      for (const std::string &Line : Delayed)
+        OS2 << Line;
+    }
+    OS << Body.str() << OS2.str() << "}\n";
+    return OS.str();
+  }
+
+private:
+  void emitLine(unsigned Indent, const std::string &Text) {
+    Body << std::string(Indent, ' ') << Text << '\n';
+  }
+
+  void delay(const std::string &Text) {
+    Delayed.push_back("  " + Text + "\n");
+  }
+
+  /// Renders the guard prefix for delayed statements hoisted out of
+  /// conditionals.
+  std::string guarded(const std::string &Stmt) {
+    if (GuardText.empty())
+      return Stmt;
+    std::string Out;
+    for (const std::string &G : GuardText)
+      Out += "if (" + G + ") ";
+    return Out + "{ " + Stmt + " }";
+  }
+
+  void emitList(const StmtList &Stmts, unsigned Indent) {
+    for (const StmtPtr &S : Stmts)
+      emitStmt(*S, Indent);
+  }
+
+  void emitStmt(const Stmt &S, unsigned Indent) {
+    switch (S.kind()) {
+    case Stmt::Kind::StageSep:
+    case Stmt::Kind::Lock:
+    case Stmt::Kind::SpecCheck:
+    case Stmt::Kind::Update:
+      return; // erased
+
+    case Stmt::Kind::PipeCall: {
+      const auto *C = cast<PipeCallStmt>(&S);
+      if (C->isSpec())
+        return; // erased; the matching verify becomes the tail call
+      std::string Text = printStmt(S);
+      Text.erase(Text.find_last_not_of('\n') + 1);
+      if (!C->hasResult() && C->pipe() == pipeName) {
+        delay(guarded(Text));
+        return;
+      }
+      emitLine(Indent, Text);
+      return;
+    }
+    case Stmt::Kind::MemWrite: {
+      std::string Text = printStmt(S);
+      Text.erase(Text.find_last_not_of('\n') + 1);
+      delay(guarded(Text));
+      return;
+    }
+    case Stmt::Kind::Verify: {
+      const auto *V = cast<VerifyStmt>(&S);
+      delay(guarded("call " + pipeName + "(" + printExpr(*V->actual()) +
+                    ");"));
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(&S);
+      std::string Cond = printExpr(*I->cond());
+      // Retained statements keep their structure; delayed statements carry
+      // the guard textually.
+      emitLine(Indent, "if (" + Cond + ") {");
+      GuardText.push_back(Cond);
+      emitList(I->thenBody(), Indent + 2);
+      GuardText.pop_back();
+      if (!I->elseBody().empty()) {
+        emitLine(Indent, "} else {");
+        GuardText.push_back("!(" + Cond + ")");
+        emitList(I->elseBody(), Indent + 2);
+        GuardText.pop_back();
+      }
+      emitLine(Indent, "}");
+      return;
+    }
+    default: {
+      std::string Text = printStmt(S);
+      Text.erase(Text.find_last_not_of('\n') + 1);
+      emitLine(Indent, Text);
+      return;
+    }
+    }
+  }
+
+public:
+  explicit Extractor(const PipeDecl &Pipe) : pipeName(Pipe.Name) {}
+
+private:
+  std::string pipeName;
+  std::ostringstream Body, OS2;
+  std::vector<std::string> Delayed;
+  std::vector<std::string> GuardText;
+};
+
+} // namespace
+
+std::string pdl::extractSequential(const PipeDecl &Pipe) {
+  Extractor E(Pipe);
+  return E.run(Pipe);
+}

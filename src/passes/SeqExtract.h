@@ -1,0 +1,38 @@
+//===- SeqExtract.h - Sequential specification extraction ------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The erasure translation of Section 3.1: every PDL pipe accepted by the
+/// compiler denotes a sequential program obtained by
+///
+///  * erasing stage separators, speculation checks/initiations, and lock
+///    operations;
+///  * replacing verify statements with recursive call statements (the next
+///    thread runs with the *actual* value regardless of the prediction);
+///  * delaying memory writes and recursive calls to the end of the body
+///    (no thread observes its own writes).
+///
+/// extractSequential renders that program as source text (Figure 3b). The
+/// runtime counterpart — an interpreter with exactly these semantics used
+/// as the correctness oracle — lives in backend/SeqInterp.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_PASSES_SEQEXTRACT_H
+#define PDL_PASSES_SEQEXTRACT_H
+
+#include "pdl/AST.h"
+
+#include <string>
+
+namespace pdl {
+
+/// Renders the sequential specification of \p Pipe as PDL-like source text.
+std::string extractSequential(const ast::PipeDecl &Pipe);
+
+} // namespace pdl
+
+#endif // PDL_PASSES_SEQEXTRACT_H

@@ -1,0 +1,267 @@
+//===- SpecChecker.cpp - Speculation typestate checking --------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/SpecChecker.h"
+
+#include <algorithm>
+
+using namespace pdl;
+using namespace pdl::ast;
+using namespace pdl::smt;
+
+namespace {
+
+/// Figure 5 typestate, ordered so that meet = min.
+enum class SpecState { Unknown = 0, Speculative = 1, Nonspeculative = 2 };
+
+const char *stateName(SpecState S) {
+  switch (S) {
+  case SpecState::Unknown:
+    return "Unknown";
+  case SpecState::Speculative:
+    return "Speculative";
+  case SpecState::Nonspeculative:
+    return "Nonspeculative";
+  }
+  return "?";
+}
+
+bool pipeUsesSpec(const StmtList &Stmts) {
+  for (const StmtPtr &S : Stmts) {
+    if (const auto *C = dyn_cast<PipeCallStmt>(S.get()))
+      if (C->isSpec())
+        return true;
+    if (const auto *I = dyn_cast<IfStmt>(S.get()))
+      if (pipeUsesSpec(I->thenBody()) || pipeUsesSpec(I->elseBody()))
+        return true;
+  }
+  return false;
+}
+
+class SpecCheckerImpl {
+public:
+  SpecCheckerImpl(const PipeDecl &Pipe, const StageGraph &G,
+                  const LockAnalysis &Locks, ConditionAbstractor &Abs,
+                  Solver &Solver, DiagnosticEngine &Diags)
+      : Pipe(Pipe), G(G), Locks(Locks), Abs(Abs), S(Solver), Diags(Diags),
+        Ctx(Abs.context()) {}
+
+  SpecAnalysis run() {
+    Result.UsesSpeculation = pipeUsesSpec(Pipe.Body);
+    Reach = Abs.reachConditions(G);
+    computeTypestates();
+    NextCond = Ctx.falseF();
+    for (const Stage &Stg : G.Stages) {
+      SpecState St = Entry[Stg.Id];
+      for (const StagedOp &Op : Stg.Ops)
+        St = visitOp(Stg, Op, St);
+    }
+    finish();
+    return std::move(Result);
+  }
+
+private:
+  /// Computes the typestate at each stage entry by forward propagation
+  /// (stage ids are topologically ordered). Joins take the weakest
+  /// incoming state; crossing a stage boundary decays Speculative to
+  /// Unknown (its status may have been resolved meanwhile).
+  void computeTypestates() {
+    SpecState Init = Result.UsesSpeculation ? SpecState::Unknown
+                                            : SpecState::Nonspeculative;
+    Entry.assign(G.Stages.size(), SpecState::Nonspeculative);
+    Entry[G.Entry] = Init;
+    std::vector<SpecState> Exit(G.Stages.size(), SpecState::Nonspeculative);
+
+    for (const Stage &Stg : G.Stages) {
+      SpecState St = Entry[Stg.Id];
+      for (const StagedOp &Op : Stg.Ops) {
+        const auto *C = dyn_cast<SpecCheckStmt>(Op.S);
+        if (!C)
+          continue;
+        if (!Op.G.empty())
+          Diags.error(Op.S->loc(),
+                      "speculation checks may not be conditional");
+        if (C->isBlocking())
+          St = SpecState::Nonspeculative;
+        else if (St == SpecState::Unknown)
+          St = SpecState::Speculative;
+      }
+      Exit[Stg.Id] = St;
+      for (const StageEdge &E : Stg.Succs) {
+        SpecState Crossed = St == SpecState::Speculative
+                                ? SpecState::Unknown
+                                : St;
+        Entry[E.To] = std::min(Entry[E.To], Crossed);
+      }
+    }
+  }
+
+  SpecState visitOp(const Stage &Stg, const StagedOp &Op, SpecState St) {
+    const Formula *P = Ctx.andF(Reach[Stg.Id], Abs.guard(Op.G));
+    bool Spec = Result.UsesSpeculation;
+
+    switch (Op.S->kind()) {
+    case Stmt::Kind::SpecCheck: {
+      const auto *C = cast<SpecCheckStmt>(Op.S);
+      if (C->isBlocking())
+        return SpecState::Nonspeculative;
+      return St == SpecState::Unknown ? SpecState::Speculative : St;
+    }
+    case Stmt::Kind::PipeCall: {
+      const auto *C = cast<PipeCallStmt>(Op.S);
+      if (C->isSpec()) {
+        if (St == SpecState::Unknown)
+          Diags.error(C->loc(),
+                      "speculative call from a thread in Unknown state; "
+                      "run spec_check() or spec_barrier() first");
+        recordSpawn(C->resultName(), P, C->loc());
+        recordContinuation(P, C->loc());
+      } else if (C->pipe() == Pipe.Name) {
+        recordContinuation(P, C->loc());
+      }
+      return St;
+    }
+    case Stmt::Kind::Output:
+      recordContinuation(P, Op.S->loc());
+      return St;
+    case Stmt::Kind::Lock: {
+      const auto *L = cast<LockStmt>(Op.S);
+      if (!Spec)
+        return St;
+      if ((L->op() == LockOp::Reserve || L->op() == LockOp::Acquire) &&
+          St == SpecState::Unknown)
+        Diags.error(L->loc(), "lock reservation from a thread in Unknown "
+                              "state; run spec_check() first");
+      if (L->op() == LockOp::Release &&
+          St != SpecState::Nonspeculative) {
+        auto It = Locks.WriteReleaseStages.find(L->mem());
+        if (It != Locks.WriteReleaseStages.end() &&
+            It->second.count(Stg.Id))
+          Diags.error(L->loc(),
+                      std::string("write lock released by a thread in ") +
+                          stateName(St) +
+                          " state; write releases must be non-speculative "
+                          "(spec_barrier() missing?)");
+      }
+      return St;
+    }
+    case Stmt::Kind::Verify: {
+      const auto *V = cast<VerifyStmt>(Op.S);
+      if (Spec && St != SpecState::Nonspeculative)
+        Diags.error(V->loc(), std::string("verify from a thread in ") +
+                                  stateName(St) +
+                                  " state; only non-speculative threads may "
+                                  "resolve speculation");
+      auto It = Spawns.find(V->handle());
+      if (It != Spawns.end() && !S.proves(P, It->second.Cond))
+        Diags.error(V->loc(), "verify of '" + V->handle() +
+                                  "' may execute on a path where the "
+                                  "speculative call did not");
+      Verified[V->handle()] =
+          Ctx.orF(lookupOrFalse(Verified, V->handle()), P);
+      return St;
+    }
+    case Stmt::Kind::Update: {
+      const auto *U = cast<UpdateStmt>(Op.S);
+      // Unlike verify, update may run speculatively: if the updater is
+      // later killed, the mispredict cascade kills its re-steered child
+      // too. Only Unknown threads are barred (Figure 5).
+      if (Spec && St == SpecState::Unknown)
+        Diags.error(U->loc(), "update from a thread in Unknown state; run "
+                              "spec_check() first");
+      auto It = Spawns.find(U->handle());
+      if (It != Spawns.end() && !S.proves(P, It->second.Cond))
+        Diags.error(U->loc(), "update of '" + U->handle() +
+                                  "' may execute on a path where the "
+                                  "speculative call did not");
+      return St;
+    }
+    default:
+      return St;
+    }
+  }
+
+  const Formula *lookupOrFalse(std::map<std::string, const Formula *> &M,
+                               const std::string &Key) {
+    auto It = M.find(Key);
+    return It == M.end() ? Ctx.falseF() : It->second;
+  }
+
+  void recordSpawn(const std::string &Handle, const Formula *P,
+                   SourceLoc Loc) {
+    auto It = Spawns.find(Handle);
+    if (It == Spawns.end())
+      Spawns.emplace(Handle, Spawn{P, Loc});
+    else
+      It->second.Cond = Ctx.orF(It->second.Cond, P);
+  }
+
+  void recordContinuation(const Formula *P, SourceLoc Loc) {
+    if (S.isSatisfiable(Ctx.andF(P, NextCond)))
+      Diags.error(Loc, "a thread may spawn two successors on some path "
+                       "(each thread makes one recursive call or one "
+                       "output)");
+    NextCond = Ctx.orF(NextCond, P);
+  }
+
+  void finish() {
+    // Every speculative call must be verified on every path where it ran.
+    for (const auto &[Handle, Sp] : Spawns) {
+      const Formula *V = lookupOrFalse(Verified, Handle);
+      if (!S.proves(Sp.Cond, V))
+        Diags.error(Sp.Loc, "speculative call '" + Handle +
+                                "' is not verified on every path; add a "
+                                "verify(" +
+                                Handle + ", ...) statement");
+    }
+    // Every path must spawn exactly one successor (or output).
+    if (!S.isValid(NextCond))
+      Diags.error(Pipe.Loc, "pipe '" + Pipe.Name +
+                                "' has a path that neither makes a "
+                                "recursive call nor outputs a value");
+
+    // Checkpoints: one per write-locked memory, in the stage holding the
+    // final reservation (Section 2.5).
+    if (Result.UsesSpeculation) {
+      for (const std::string &Mem : Locks.WriteLocked) {
+        auto It = Locks.RegionStages.find(Mem);
+        if (It != Locks.RegionStages.end() && !It->second.empty())
+          Result.CheckpointStage[Mem] = *It->second.rbegin();
+      }
+    }
+  }
+
+  struct Spawn {
+    const Formula *Cond;
+    SourceLoc Loc;
+  };
+
+  const PipeDecl &Pipe;
+  const StageGraph &G;
+  const LockAnalysis &Locks;
+  ConditionAbstractor &Abs;
+  Solver &S;
+  DiagnosticEngine &Diags;
+  FormulaContext &Ctx;
+
+  SpecAnalysis Result;
+  std::vector<const Formula *> Reach;
+  std::vector<SpecState> Entry;
+  std::map<std::string, Spawn> Spawns;
+  std::map<std::string, const Formula *> Verified;
+  const Formula *NextCond = nullptr;
+};
+
+} // namespace
+
+SpecAnalysis pdl::checkSpeculation(const PipeDecl &Pipe, const StageGraph &G,
+                                   const LockAnalysis &Locks,
+                                   ConditionAbstractor &Abs,
+                                   smt::Solver &Solver,
+                                   DiagnosticEngine &Diags) {
+  SpecCheckerImpl Impl(Pipe, G, Locks, Abs, Solver, Diags);
+  return Impl.run();
+}

@@ -1,0 +1,50 @@
+//===- SpecChecker.h - Speculation typestate checking ----------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enforces the speculation rules of Section 4.2 using the typestate of
+/// Figure 5 (Unknown / Speculative / Nonspeculative):
+///
+///  * threads start Unknown; spec_check establishes Speculative (not
+///    definitely misspeculated); spec_barrier establishes Nonspeculative;
+///    a stage separator decays Speculative back to Unknown;
+///  * Unknown threads may not make speculative calls or reserve locks;
+///  * only Nonspeculative threads may verify/update speculation or release
+///    write locks;
+///  * every speculative call is verified on every program path (checked
+///    with the SMT solver);
+///  * each thread spawns exactly one successor: one recursive/speculative
+///    call or one output on every path (Section 4.3).
+///
+/// Pipes that never speculate are Nonspeculative throughout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_PASSES_SPECCHECKER_H
+#define PDL_PASSES_SPECCHECKER_H
+
+#include "passes/LockChecker.h"
+#include "passes/PathCondition.h"
+#include "passes/StageGraph.h"
+
+namespace pdl {
+
+struct SpecAnalysis {
+  /// True when the pipe contains speculative calls.
+  bool UsesSpeculation = false;
+  /// Stages in which the compiler must take a lock checkpoint (after the
+  /// thread's final reservation; Section 2.5). Filled per memory.
+  std::map<std::string, unsigned> CheckpointStage;
+};
+
+SpecAnalysis checkSpeculation(const ast::PipeDecl &Pipe, const StageGraph &G,
+                              const LockAnalysis &Locks,
+                              ConditionAbstractor &Abs, smt::Solver &Solver,
+                              DiagnosticEngine &Diags);
+
+} // namespace pdl
+
+#endif // PDL_PASSES_SPECCHECKER_H

@@ -1,0 +1,181 @@
+//===- StageGraph.cpp - Pipeline stage DAG ---------------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/StageGraph.h"
+
+#include <sstream>
+
+using namespace pdl;
+using namespace pdl::ast;
+
+namespace {
+
+bool listContainsSep(const StmtList &Stmts) {
+  for (const StmtPtr &S : Stmts) {
+    if (isa<StageSepStmt>(S.get()))
+      return true;
+    if (const auto *I = dyn_cast<IfStmt>(S.get()))
+      if (listContainsSep(I->thenBody()) || listContainsSep(I->elseBody()))
+        return true;
+  }
+  return false;
+}
+
+/// Walks a pipe body, materializing stages, edges, and join coordination.
+class GraphBuilder {
+public:
+  GraphBuilder(const PipeDecl &Pipe, DiagnosticEngine &Diags)
+      : Diags(Diags), Pipe(Pipe) {
+    G.Pipe = &Pipe;
+    Cur = newStage(/*Ordered=*/true, /*ArmPath=*/{});
+    G.Entry = Cur;
+  }
+
+  StageGraph build() {
+    processList(Pipe.Body);
+    for (Stage &S : G.Stages)
+      S.Name = "S" + std::to_string(S.Id);
+    return std::move(G);
+  }
+
+private:
+  unsigned newStage(bool Ordered,
+                    std::vector<std::pair<unsigned, unsigned>> ArmPath) {
+    Stage S;
+    S.Id = G.Stages.size();
+    S.Ordered = Ordered;
+    S.ArmPath = std::move(ArmPath);
+    G.Stages.push_back(std::move(S));
+    return G.Stages.back().Id;
+  }
+
+  void addEdge(unsigned From, unsigned To, Guard G2) {
+    G.Stages[From].Succs.push_back({From, To, std::move(G2)});
+    G.Stages[To].Preds.push_back(From);
+  }
+
+  void processList(const StmtList &Stmts) {
+    for (const StmtPtr &S : Stmts) {
+      if (isa<StageSepStmt>(S.get())) {
+        unsigned Next = newStage(Ord, CurArmPath);
+        addEdge(Cur, Next, CurGuard);
+        G.StageOf[S.get()] = Next;
+        Cur = Next;
+        CurGuard.clear();
+        continue;
+      }
+      if (const auto *I = dyn_cast<IfStmt>(S.get())) {
+        processIf(*I);
+        continue;
+      }
+      G.Stages[Cur].Ops.push_back({S.get(), CurGuard});
+      G.StageOf[S.get()] = Cur;
+    }
+  }
+
+  void processIf(const IfStmt &I) {
+    bool Splits = listContainsSep(I.thenBody()) ||
+                  listContainsSep(I.elseBody());
+    G.StageOf[&I] = Cur;
+
+    if (!Splits) {
+      // Pure predication: ops execute in the current stage under the
+      // branch condition.
+      Guard Saved = CurGuard;
+      CurGuard.push_back({I.cond(), true});
+      processList(I.thenBody());
+      CurGuard = Saved;
+      if (!I.elseBody().empty()) {
+        CurGuard.push_back({I.cond(), false});
+        processList(I.elseBody());
+        CurGuard = Saved;
+      }
+      return;
+    }
+
+    // The graph forks here: arm-internal stages are unordered; a join
+    // stage with a coordination tag restores thread order (Figure 2).
+    unsigned Fork = Cur;
+    Guard ForkGuard = CurGuard;
+    bool OuterOrd = Ord;
+    auto OuterArmPath = CurArmPath;
+
+    Guard ThenEntry = ForkGuard, ElseEntry = ForkGuard;
+    ThenEntry.push_back({I.cond(), true});
+    ElseEntry.push_back({I.cond(), false});
+
+    // Then arm.
+    Ord = false;
+    CurArmPath = OuterArmPath;
+    CurArmPath.push_back({Fork, 0});
+    Cur = Fork;
+    CurGuard = ThenEntry;
+    processList(I.thenBody());
+    unsigned ThenExit = Cur;
+    Guard ThenExitGuard = CurGuard;
+
+    // Else arm.
+    CurArmPath = OuterArmPath;
+    CurArmPath.push_back({Fork, 1});
+    Cur = Fork;
+    CurGuard = ElseEntry;
+    processList(I.elseBody());
+    unsigned ElseExit = Cur;
+    Guard ElseExitGuard = CurGuard;
+
+    // Join.
+    Ord = OuterOrd;
+    CurArmPath = OuterArmPath;
+    unsigned Join = newStage(OuterOrd, OuterArmPath);
+    Stage &J = G.Stages[Join];
+    J.ForkStage = Fork;
+    addEdge(ThenExit, Join, std::move(ThenExitGuard));
+    addEdge(ElseExit, Join, std::move(ElseExitGuard));
+    // Tag rules are evaluated when a thread passes the fork stage; the
+    // pred index matches the insertion order of the two edges above.
+    G.Stages[Join].TagRules.push_back({std::move(ThenEntry), 0});
+    G.Stages[Join].TagRules.push_back({std::move(ElseEntry), 1});
+
+    Cur = Join;
+    CurGuard.clear();
+  }
+
+  DiagnosticEngine &Diags;
+  const PipeDecl &Pipe;
+  StageGraph G;
+  unsigned Cur = 0;
+  Guard CurGuard;
+  bool Ord = true;
+  std::vector<std::pair<unsigned, unsigned>> CurArmPath;
+};
+
+} // namespace
+
+StageGraph pdl::buildStageGraph(const PipeDecl &Pipe,
+                                DiagnosticEngine &Diags) {
+  GraphBuilder B(Pipe, Diags);
+  return B.build();
+}
+
+std::string StageGraph::str() const {
+  std::ostringstream OS;
+  for (const Stage &S : Stages) {
+    OS << S.Name << (S.Ordered ? " ordered" : " unordered");
+    if (S.isJoin())
+      OS << " join(fork=S" << S.ForkStage << ")";
+    OS << " ops=" << S.Ops.size();
+    if (!S.Succs.empty()) {
+      OS << " ->";
+      for (const StageEdge &E : S.Succs) {
+        OS << " S" << E.To;
+        if (!E.G.empty())
+          OS << "[g" << E.G.size() << "]";
+      }
+    }
+    OS << '\n';
+  }
+  return OS.str();
+}

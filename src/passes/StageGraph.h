@@ -1,0 +1,108 @@
+//===- StageGraph.h - Pipeline stage DAG -----------------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stage graph a PDL pipe elaborates to (Section 2.1 / Figure 2):
+/// statements split at `---` separators into stages; separators inside
+/// conditional branches fork the graph into unordered regions that re-join
+/// at a coordination-tagged join stage. Each stage later becomes one
+/// atomic rule in the generated circuit; each edge becomes a FIFO.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_PASSES_STAGEGRAPH_H
+#define PDL_PASSES_STAGEGRAPH_H
+
+#include "pdl/AST.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pdl {
+
+/// One conjunct of a guard: the branch condition expression and the arm
+/// polarity (true = then-arm).
+struct GuardTerm {
+  const ast::Expr *Cond = nullptr;
+  bool Polarity = true;
+};
+
+/// A conjunction of branch conditions under which an operation executes or
+/// an edge is taken. Empty means unconditional.
+using Guard = std::vector<GuardTerm>;
+
+/// A statement placed into a stage, together with the in-stage guard under
+/// which it executes (conditionals that do not contain stage separators
+/// become predication).
+struct StagedOp {
+  const ast::Stmt *S = nullptr;
+  Guard G;
+};
+
+/// A directed edge between stages. At runtime a thread leaving the source
+/// stage takes the unique successor edge whose guard holds.
+struct StageEdge {
+  unsigned From = 0;
+  unsigned To = 0;
+  Guard G;
+};
+
+/// For join stages: when a thread passes the fork and \p G holds, the fork
+/// enqueues \p PredIndex into the join's coordination-tag FIFO, committing
+/// the thread to arrive at the join via that predecessor edge.
+struct TagRule {
+  Guard G;
+  unsigned PredIndex = 0;
+};
+
+struct Stage {
+  unsigned Id = 0;
+  std::string Name;
+  std::vector<StagedOp> Ops;
+  std::vector<StageEdge> Succs;
+  std::vector<unsigned> Preds;
+
+  /// True when all threads traverse this stage in thread order. Stages
+  /// strictly inside a fork/join region are unordered (Figure 2).
+  bool Ordered = true;
+
+  /// Fork/join nesting path: (fork stage id, arm index) pairs identifying
+  /// which out-of-order branch this stage belongs to. Empty for ordered
+  /// stages on the spine.
+  std::vector<std::pair<unsigned, unsigned>> ArmPath;
+
+  /// For join stages: the fork stage that enqueues coordination tags, else
+  /// ~0u. The tag tells the join which predecessor to dequeue from next.
+  unsigned ForkStage = ~0u;
+  std::vector<TagRule> TagRules;
+
+  bool isJoin() const { return ForkStage != ~0u; }
+};
+
+/// The stage DAG for one pipe.
+struct StageGraph {
+  const ast::PipeDecl *Pipe = nullptr;
+  std::vector<Stage> Stages;
+  unsigned Entry = 0;
+
+  /// Stage containing each statement (conditions of splitting ifs map to
+  /// the fork stage).
+  std::map<const ast::Stmt *, unsigned> StageOf;
+
+  /// Renders the graph for debugging/tests: one line per stage listing ops
+  /// counts and successor edges.
+  std::string str() const;
+};
+
+/// Builds the stage graph for \p Pipe. Reports structural problems (e.g. a
+/// pipe whose body is empty) to \p Diags.
+StageGraph buildStageGraph(const ast::PipeDecl &Pipe, DiagnosticEngine &Diags);
+
+} // namespace pdl
+
+#endif // PDL_PASSES_STAGEGRAPH_H

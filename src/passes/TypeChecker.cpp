@@ -1,0 +1,660 @@
+//===- TypeChecker.cpp - PDL type and definedness checking ----------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/TypeChecker.h"
+
+using namespace pdl;
+using namespace pdl::ast;
+
+bool TypeChecker::check() {
+  for (const ExternDecl &E : Program.Externs)
+    checkExtern(E);
+  for (FuncDecl &F : Program.Funcs)
+    checkFunc(F);
+  for (PipeDecl &P : Program.Pipes)
+    checkPipe(P);
+  return !Diags.hasErrors();
+}
+
+bool TypeChecker::containsStageSep(const StmtList &Stmts) {
+  for (const StmtPtr &S : Stmts) {
+    if (isa<StageSepStmt>(S.get()))
+      return true;
+    if (const auto *I = dyn_cast<IfStmt>(S.get()))
+      if (containsStageSep(I->thenBody()) || containsStageSep(I->elseBody()))
+        return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+void TypeChecker::checkExtern(const ExternDecl &E) {
+  std::set<std::string> Names;
+  for (const ExternMethod &M : E.Methods) {
+    if (!Names.insert(M.Name).second)
+      Diags.error(M.Loc, "duplicate method '" + M.Name + "' in extern '" +
+                             E.Name + "'");
+    for (const Param &P : M.Params)
+      if (P.Ty.isVoid())
+        Diags.error(P.Loc, "extern method parameter cannot be void");
+  }
+}
+
+void TypeChecker::checkFunc(FuncDecl &F) {
+  CurFunc = &F;
+  Env E;
+  for (const Param &P : F.Params) {
+    if (E.Types.count(P.Name))
+      Diags.error(P.Loc, "duplicate parameter '" + P.Name + "'");
+    E.Types[P.Name] = P.Ty;
+    E.Defs[P.Name] = DefState::Defined;
+  }
+
+  if (F.Body.empty() || !isa<ReturnStmt>(F.Body.back().get())) {
+    Diags.error(F.Loc, "def function '" + F.Name +
+                           "' must end with a return statement");
+  }
+  for (unsigned I = 0, N = F.Body.size(); I != N; ++I) {
+    Stmt &S = *F.Body[I];
+    if (auto *A = dyn_cast<AssignStmt>(&S)) {
+      Type T = checkExpr(*A->value(), E,
+                         A->declaredType().value_or(Type()));
+      defineVar(A->loc(), E, A->name(),
+                A->declaredType() ? *A->declaredType() : T);
+    } else if (auto *R = dyn_cast<ReturnStmt>(&S)) {
+      if (I + 1 != N)
+        Diags.error(R->loc(), "return must be the last statement in a def");
+      checkExpr(*R->value(), E, F.RetType);
+    } else {
+      Diags.error(S.loc(),
+                  "def functions may contain only assignments and a return");
+    }
+  }
+  CurFunc = nullptr;
+  CheckedFuncs.insert(F.Name);
+}
+
+void TypeChecker::checkPipe(PipeDecl &P) {
+  CurPipe = &P;
+  SpecHandles.clear();
+  Env E;
+  for (const Param &Pm : P.Params) {
+    if (E.Types.count(Pm.Name))
+      Diags.error(Pm.Loc, "duplicate parameter '" + Pm.Name + "'");
+    E.Types[Pm.Name] = Pm.Ty;
+    E.Defs[Pm.Name] = DefState::Defined;
+  }
+  std::set<std::string> MemNames;
+  for (const MemDecl &M : P.Mems) {
+    if (!MemNames.insert(M.Name).second || E.Types.count(M.Name))
+      Diags.error(M.Loc, "duplicate name '" + M.Name + "' in pipe '" +
+                             P.Name + "'");
+    if (!M.ElemType.isInt())
+      Diags.error(M.Loc, "memory element type must be an integer type");
+  }
+  checkStmtList(P.Body, E, P);
+  CurPipe = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void TypeChecker::defineVar(SourceLoc Loc, Env &E, const std::string &Name,
+                            Type Ty) {
+  if (CurPipe && CurPipe->findMem(Name)) {
+    Diags.error(Loc, "'" + Name + "' is a memory and cannot be assigned");
+    return;
+  }
+  if (SpecHandles.count(Name)) {
+    Diags.error(Loc, "'" + Name + "' is a speculation handle");
+    return;
+  }
+  auto It = E.Defs.find(Name);
+  if (It != E.Defs.end() && It->second != DefState::Undefined) {
+    Diags.error(Loc, "variable '" + Name +
+                         "' is assigned more than once (PDL variables are "
+                         "single-assignment)");
+    return;
+  }
+  E.Types[Name] = Ty;
+  E.Defs[Name] = DefState::Defined;
+}
+
+Type TypeChecker::mergeBranchTypes(SourceLoc Loc, Type A, Type B) {
+  if (!A.isValid())
+    return B;
+  if (!B.isValid())
+    return A;
+  if (A != B)
+    Diags.error(Loc, "variable assigned different types on different "
+                     "branches: " +
+                         A.str() + " vs " + B.str());
+  return A;
+}
+
+void TypeChecker::checkStmtList(StmtList &Stmts, Env &E, PipeDecl &P) {
+  for (const StmtPtr &S : Stmts)
+    checkStmt(*S, E, P);
+}
+
+void TypeChecker::checkStmt(Stmt &S, Env &E, PipeDecl &P) {
+  switch (S.kind()) {
+  case Stmt::Kind::Assign: {
+    auto &A = *cast<AssignStmt>(&S);
+    Type T = checkExpr(*A.value(), E, A.declaredType().value_or(Type()));
+    defineVar(A.loc(), E, A.name(), A.declaredType() ? *A.declaredType() : T);
+    return;
+  }
+  case Stmt::Kind::SyncRead: {
+    auto &R = *cast<SyncReadStmt>(&S);
+    const MemDecl *M = P.findMem(R.mem());
+    if (!M) {
+      Diags.error(R.loc(), "unknown memory '" + R.mem() + "'");
+      return;
+    }
+    if (!M->IsSync)
+      Diags.error(R.loc(), "memory '" + R.mem() +
+                               "' is combinational; read it as an "
+                               "expression instead of with '<-'");
+    checkExpr(*R.addr(), E, Type::intTy(M->AddrWidth, false));
+    if (R.declaredType() && *R.declaredType() != M->ElemType)
+      Diags.error(R.loc(), "declared type " + R.declaredType()->str() +
+                               " does not match memory element type " +
+                               M->ElemType.str());
+    defineVar(R.loc(), E, R.name(), M->ElemType);
+    return;
+  }
+  case Stmt::Kind::PipeCall: {
+    auto &C = *cast<PipeCallStmt>(&S);
+    PipeDecl *Callee = Program.findPipe(C.pipe());
+    if (!Callee) {
+      Diags.error(C.loc(), "unknown pipe '" + C.pipe() + "'");
+      return;
+    }
+    if (C.args().size() != Callee->Params.size()) {
+      Diags.error(C.loc(), "pipe '" + C.pipe() + "' expects " +
+                               std::to_string(Callee->Params.size()) +
+                               " arguments, got " +
+                               std::to_string(C.args().size()));
+      return;
+    }
+    for (unsigned I = 0, N = C.args().size(); I != N; ++I)
+      checkExpr(*C.args()[I], E, Callee->Params[I].Ty);
+
+    if (C.isSpec()) {
+      if (Callee != &P)
+        Diags.error(C.loc(), "speculative calls must target the enclosing "
+                             "pipe (they spawn the next thread)");
+      if (Callee->Params.size() != 1)
+        Diags.error(C.loc(), "speculatively called pipes must take exactly "
+                             "one parameter (the predicted value)");
+      if (!C.hasResult()) {
+        Diags.error(C.loc(), "speculative call must bind a handle: "
+                             "'s <- spec call ...'");
+        return;
+      }
+      if (!SpecHandles.insert(C.resultName()).second ||
+          E.Types.count(C.resultName()))
+        Diags.error(C.loc(), "speculation handle '" + C.resultName() +
+                                 "' conflicts with an existing name");
+      return;
+    }
+    if (C.hasResult()) {
+      if (Callee == &P) {
+        Diags.error(C.loc(),
+                    "a recursive call cannot produce a result in-pipe");
+        return;
+      }
+      if (Callee->RetType.isVoid()) {
+        Diags.error(C.loc(), "pipe '" + C.pipe() + "' produces no output");
+        return;
+      }
+      if (C.declaredType() && *C.declaredType() != Callee->RetType)
+        Diags.error(C.loc(), "declared type " + C.declaredType()->str() +
+                                 " does not match pipe output type " +
+                                 Callee->RetType.str());
+      defineVar(C.loc(), E, C.resultName(), Callee->RetType);
+    }
+    return;
+  }
+  case Stmt::Kind::MemWrite: {
+    auto &W = *cast<MemWriteStmt>(&S);
+    const MemDecl *M = P.findMem(W.mem());
+    if (!M) {
+      Diags.error(W.loc(), "unknown memory '" + W.mem() + "'");
+      return;
+    }
+    checkExpr(*W.addr(), E, Type::intTy(M->AddrWidth, false));
+    checkExpr(*W.value(), E, M->ElemType);
+    return;
+  }
+  case Stmt::Kind::Output: {
+    auto &O = *cast<OutputStmt>(&S);
+    if (P.RetType.isVoid()) {
+      Diags.error(O.loc(), "pipe '" + P.Name +
+                               "' declares no output type; add ': T' to "
+                               "the pipe signature");
+      return;
+    }
+    checkExpr(*O.value(), E, P.RetType);
+    return;
+  }
+  case Stmt::Kind::Lock: {
+    auto &L = *cast<LockStmt>(&S);
+    const MemDecl *M = P.findMem(L.mem());
+    if (!M) {
+      Diags.error(L.loc(), "unknown memory '" + L.mem() + "'");
+      return;
+    }
+    if (!L.addr()) {
+      Diags.error(L.loc(), "lock operations require an address: '" +
+                               std::string(lockOpSpelling(L.op())) + "(" +
+                               L.mem() + "[addr], ...)'");
+      return;
+    }
+    checkExpr(*L.addr(), E, Type::intTy(M->AddrWidth, false));
+    // A mode-less reserve/acquire takes an exclusive (read+write) lock,
+    // like the dmem lock in the paper's Figure 1.
+    return;
+  }
+  case Stmt::Kind::SpecCheck:
+    return;
+  case Stmt::Kind::Verify: {
+    auto &V = *cast<VerifyStmt>(&S);
+    if (!SpecHandles.count(V.handle()))
+      Diags.error(V.loc(), "'" + V.handle() +
+                               "' is not a speculation handle in scope");
+    Type Expected =
+        P.Params.size() == 1 ? P.Params[0].Ty : Type();
+    checkExpr(*V.actual(), E, Expected);
+    if (ExternCallExpr *U = V.predictorUpdate()) {
+      const ExternDecl *Ext = Program.findExtern(U->module());
+      if (!Ext) {
+        Diags.error(U->loc(), "unknown extern module '" + U->module() + "'");
+        return;
+      }
+      const ExternMethod *M = Ext->findMethod(U->method());
+      if (!M) {
+        Diags.error(U->loc(), "extern '" + U->module() + "' has no method '" +
+                                  U->method() + "'");
+        return;
+      }
+      if (!M->RetType.isVoid())
+        Diags.error(U->loc(),
+                    "predictor-update methods must not return a value");
+      if (U->args().size() != M->Params.size()) {
+        Diags.error(U->loc(), "method '" + U->method() + "' expects " +
+                                  std::to_string(M->Params.size()) +
+                                  " arguments");
+        return;
+      }
+      for (unsigned I = 0, N = U->args().size(); I != N; ++I)
+        checkExpr(*U->args()[I], E, M->Params[I].Ty);
+    }
+    return;
+  }
+  case Stmt::Kind::Update: {
+    auto &U = *cast<UpdateStmt>(&S);
+    if (!SpecHandles.count(U.handle()))
+      Diags.error(U.loc(), "'" + U.handle() +
+                               "' is not a speculation handle in scope");
+    Type Expected = P.Params.size() == 1 ? P.Params[0].Ty : Type();
+    checkExpr(*U.newPred(), E, Expected);
+    return;
+  }
+  case Stmt::Kind::If: {
+    auto &I = *cast<IfStmt>(&S);
+    checkExpr(*I.cond(), E, Type::boolTy());
+    Env ThenEnv = E, ElseEnv = E;
+    checkStmtList(I.thenBody(), ThenEnv, P);
+    checkStmtList(I.elseBody(), ElseEnv, P);
+    // Merge: variables defined in both arms stay Defined; one-sided
+    // definitions become Maybe (hardware don't-care off that path).
+    for (const auto &[Name, ThenState] : ThenEnv.Defs) {
+      auto ElseIt = ElseEnv.Defs.find(Name);
+      DefState ElseState =
+          ElseIt != ElseEnv.Defs.end() ? ElseIt->second : DefState::Undefined;
+      auto OldIt = E.Defs.find(Name);
+      if (OldIt != E.Defs.end() && OldIt->second == ThenState &&
+          ThenState == ElseState)
+        continue; // unchanged
+      DefState Merged = (ThenState == DefState::Defined &&
+                         ElseState == DefState::Defined)
+                            ? DefState::Defined
+                            : DefState::Maybe;
+      Type Ty = mergeBranchTypes(
+          I.loc(), ThenEnv.Types.count(Name) ? ThenEnv.Types[Name] : Type(),
+          ElseIt != ElseEnv.Defs.end() ? ElseEnv.Types[Name] : Type());
+      E.Defs[Name] = Merged;
+      E.Types[Name] = Ty;
+    }
+    for (const auto &[Name, ElseState] : ElseEnv.Defs) {
+      if (ThenEnv.Defs.count(Name) || E.Defs.count(Name))
+        continue;
+      (void)ElseState;
+      E.Defs[Name] = DefState::Maybe;
+      E.Types[Name] = ElseEnv.Types[Name];
+    }
+    return;
+  }
+  case Stmt::Kind::StageSep:
+    return;
+  case Stmt::Kind::Return:
+    Diags.error(S.loc(), "return is only valid inside def functions");
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// True for literals whose width cannot be determined without context.
+static bool isUnconstrainedLiteral(const Expr &E) {
+  if (isa<IntLitExpr>(&E))
+    return true;
+  if (const auto *U = dyn_cast<UnaryExpr>(&E))
+    return U->op() == UnaryOp::Negate && isUnconstrainedLiteral(*U->operand());
+  return false;
+}
+
+/// True if \p Value fits in \p Ty (as a raw bit pattern).
+static bool literalFits(uint64_t Value, Type Ty) {
+  unsigned W = Ty.width();
+  return W >= 64 || Value < (uint64_t(1) << W);
+}
+
+Type TypeChecker::checkExpr(Expr &E, Env &Env, Type Expected) {
+  auto Mismatch = [&](Type Actual) -> Type {
+    if (Expected.isValid() && Actual.isValid() && Actual != Expected) {
+      Diags.error(E.loc(), "expected " + Expected.str() + ", got " +
+                               Actual.str());
+      E.setType(Expected);
+      return Expected;
+    }
+    E.setType(Actual);
+    return Actual;
+  };
+
+  switch (E.kind()) {
+  case Expr::Kind::IntLit: {
+    auto &L = *cast<IntLitExpr>(&E);
+    if (!Expected.isValid()) {
+      Diags.error(E.loc(), "cannot infer the width of this integer literal; "
+                           "add a cast like uint<8>(...)");
+      E.setType(Type::intTy(32, false));
+      return E.type();
+    }
+    if (Expected.isBool()) {
+      Diags.error(E.loc(), "expected bool, got an integer literal (use "
+                           "true/false)");
+      E.setType(Type::boolTy());
+      return E.type();
+    }
+    if (!literalFits(L.value(), Expected))
+      Diags.error(E.loc(), "literal " + std::to_string(L.value()) +
+                               " does not fit in " + Expected.str());
+    E.setType(Expected);
+    return Expected;
+  }
+  case Expr::Kind::BoolLit:
+    return Mismatch(Type::boolTy());
+  case Expr::Kind::VarRef: {
+    auto &V = *cast<VarRefExpr>(&E);
+    auto It = Env.Types.find(V.name());
+    if (It == Env.Types.end()) {
+      if (SpecHandles.count(V.name()))
+        Diags.error(E.loc(), "speculation handle '" + V.name() +
+                                 "' cannot be used as a value");
+      else
+        Diags.error(E.loc(), "use of undefined variable '" + V.name() + "'");
+      E.setType(Expected.isValid() ? Expected : Type::intTy(32, false));
+      return E.type();
+    }
+    return Mismatch(It->second);
+  }
+  case Expr::Kind::Unary: {
+    auto &U = *cast<UnaryExpr>(&E);
+    switch (U.op()) {
+    case UnaryOp::LogicalNot: {
+      checkExpr(*U.operand(), Env, Type::boolTy());
+      return Mismatch(Type::boolTy());
+    }
+    case UnaryOp::BitNot:
+    case UnaryOp::Negate: {
+      Type T = checkExpr(*U.operand(), Env, Expected);
+      if (T.isValid() && !T.isInt()) {
+        Diags.error(E.loc(), "operand of '~'/'-' must be an integer");
+        T = Type::intTy(32, false);
+      }
+      return Mismatch(T);
+    }
+    }
+    return Type();
+  }
+  case Expr::Kind::Binary:
+    return checkBinary(*cast<BinaryExpr>(&E), Env, Expected);
+  case Expr::Kind::Ternary: {
+    auto &T = *cast<TernaryExpr>(&E);
+    checkExpr(*T.cond(), Env, Type::boolTy());
+    Type Want = Expected;
+    if (!Want.isValid() && isUnconstrainedLiteral(*T.thenExpr()))
+      Want = checkExpr(*T.elseExpr(), Env);
+    Type Then = checkExpr(*T.thenExpr(), Env, Want);
+    Type Else = checkExpr(*T.elseExpr(), Env, Want.isValid() ? Want : Then);
+    return Mismatch(Then.isValid() ? Then : Else);
+  }
+  case Expr::Kind::Slice: {
+    auto &S = *cast<SliceExpr>(&E);
+    Type Base = checkExpr(*S.base(), Env);
+    if (Base.isValid() && Base.isInt() && S.hi() >= Base.width())
+      Diags.error(E.loc(), "slice bound " + std::to_string(S.hi()) +
+                               " exceeds operand width " +
+                               std::to_string(Base.width()));
+    return Mismatch(Type::intTy(S.hi() - S.lo() + 1, false));
+  }
+  case Expr::Kind::MemRead: {
+    auto &M = *cast<MemReadExpr>(&E);
+    if (!CurPipe) {
+      Diags.error(E.loc(), "def functions cannot access memories");
+      return Mismatch(Type::intTy(32, false));
+    }
+    const MemDecl *Mem = CurPipe->findMem(M.mem());
+    if (!Mem) {
+      Diags.error(E.loc(), "unknown memory '" + M.mem() + "'");
+      return Mismatch(Type::intTy(32, false));
+    }
+    if (Mem->IsSync)
+      Diags.error(E.loc(), "memory '" + M.mem() +
+                               "' is synchronous; read it with "
+                               "'x <- " +
+                               M.mem() + "[addr];'");
+    checkExpr(*M.addr(), Env, Type::intTy(Mem->AddrWidth, false));
+    return Mismatch(Mem->ElemType);
+  }
+  case Expr::Kind::FuncCall: {
+    auto &C = *cast<FuncCallExpr>(&E);
+    const FuncDecl *F = Program.findFunc(C.callee());
+    if (!F) {
+      Diags.error(E.loc(), "unknown function '" + C.callee() + "'");
+      return Mismatch(Expected.isValid() ? Expected : Type::intTy(32, false));
+    }
+    if (CurFunc && !CheckedFuncs.count(C.callee()))
+      Diags.error(E.loc(), "function '" + C.callee() +
+                               "' must be declared before use (def "
+                               "functions cannot be recursive)");
+    if (C.args().size() != F->Params.size()) {
+      Diags.error(E.loc(), "function '" + C.callee() + "' expects " +
+                               std::to_string(F->Params.size()) +
+                               " arguments, got " +
+                               std::to_string(C.args().size()));
+    } else {
+      for (unsigned I = 0, N = C.args().size(); I != N; ++I)
+        checkExpr(*C.args()[I], Env, F->Params[I].Ty);
+    }
+    return Mismatch(F->RetType);
+  }
+  case Expr::Kind::ExternCall: {
+    auto &C = *cast<ExternCallExpr>(&E);
+    if (CurFunc) {
+      Diags.error(E.loc(), "def functions cannot call extern modules");
+      return Mismatch(Type::intTy(32, false));
+    }
+    const ExternDecl *Ext = Program.findExtern(C.module());
+    if (!Ext) {
+      Diags.error(E.loc(), "unknown extern module '" + C.module() + "'");
+      return Mismatch(Expected.isValid() ? Expected : Type::intTy(32, false));
+    }
+    const ExternMethod *M = Ext->findMethod(C.method());
+    if (!M) {
+      Diags.error(E.loc(), "extern '" + C.module() + "' has no method '" +
+                               C.method() + "'");
+      return Mismatch(Expected.isValid() ? Expected : Type::intTy(32, false));
+    }
+    if (M->RetType.isVoid()) {
+      Diags.error(E.loc(), "method '" + C.method() +
+                               "' returns no value and can only be used in "
+                               "a verify { } block");
+      return Mismatch(Expected.isValid() ? Expected : Type::intTy(32, false));
+    }
+    if (C.args().size() != M->Params.size()) {
+      Diags.error(E.loc(), "method '" + C.method() + "' expects " +
+                               std::to_string(M->Params.size()) +
+                               " arguments");
+    } else {
+      for (unsigned I = 0, N = C.args().size(); I != N; ++I)
+        checkExpr(*C.args()[I], Env, M->Params[I].Ty);
+    }
+    return Mismatch(M->RetType);
+  }
+  case Expr::Kind::Cast: {
+    auto &C = *cast<CastExpr>(&E);
+    Type Inner = checkExpr(*C.operand(), Env,
+                           isUnconstrainedLiteral(*C.operand()) ? C.target()
+                                                                : Type());
+    if (Inner.isValid() && !Inner.isInt() && !Inner.isBool())
+      Diags.error(E.loc(), "cast operand must be an integer or bool");
+    return Mismatch(C.target());
+  }
+  }
+  return Type();
+}
+
+Type TypeChecker::checkBinary(BinaryExpr &B, Env &Env, Type Expected) {
+  auto Finish = [&](Type Actual) -> Type {
+    if (Expected.isValid() && Actual.isValid() && Actual != Expected) {
+      Diags.error(B.loc(), "expected " + Expected.str() + ", got " +
+                               Actual.str());
+      B.setType(Expected);
+      return Expected;
+    }
+    B.setType(Actual);
+    return Actual;
+  };
+
+  switch (B.op()) {
+  case BinaryOp::LogicalAnd:
+  case BinaryOp::LogicalOr:
+    checkExpr(*B.lhs(), Env, Type::boolTy());
+    checkExpr(*B.rhs(), Env, Type::boolTy());
+    return Finish(Type::boolTy());
+
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge: {
+    // Check the non-literal side first so literals inherit its width;
+    // when both sides are concrete, check them independently so width and
+    // signedness mismatches get precise diagnostics.
+    Type L, R;
+    bool Ordered = B.op() != BinaryOp::Eq && B.op() != BinaryOp::Ne;
+    if (isUnconstrainedLiteral(*B.lhs()) && !isUnconstrainedLiteral(*B.rhs())) {
+      R = checkExpr(*B.rhs(), Env);
+      L = checkExpr(*B.lhs(), Env, R);
+    } else if (isUnconstrainedLiteral(*B.rhs())) {
+      L = checkExpr(*B.lhs(), Env);
+      R = checkExpr(*B.rhs(), Env, L);
+    } else {
+      L = checkExpr(*B.lhs(), Env);
+      R = checkExpr(*B.rhs(), Env);
+      if (L.isValid() && R.isValid()) {
+        if (L.isBool() != R.isBool() ||
+            (L.isInt() && R.isInt() && L.width() != R.width()))
+          Diags.error(B.loc(), "comparison operands have different types: " +
+                                   L.str() + " vs " + R.str());
+        else if (Ordered && L.isInt() && L.isSigned() != R.isSigned())
+          Diags.error(B.loc(),
+                      "ordered comparison between signed and unsigned "
+                      "operands; cast one side");
+      }
+    }
+    if (Ordered && L.isValid() && L.isBool())
+      Diags.error(B.loc(), "ordered comparison requires integer operands");
+    return Finish(Type::boolTy());
+  }
+
+  case BinaryOp::Shl:
+  case BinaryOp::Shr: {
+    Type L = checkExpr(*B.lhs(), Env, Expected);
+    // The shift amount may have any integer width.
+    Type R = checkExpr(*B.rhs(), Env,
+                       isUnconstrainedLiteral(*B.rhs()) && L.isValid()
+                           ? Type::intTy(L.isInt() ? L.width() : 32, false)
+                           : Type());
+    if (R.isValid() && !R.isInt())
+      Diags.error(B.loc(), "shift amount must be an integer");
+    if (L.isValid() && !L.isInt()) {
+      Diags.error(B.loc(), "shifted value must be an integer");
+      L = Type::intTy(32, false);
+    }
+    return Finish(L);
+  }
+
+  case BinaryOp::Concat: {
+    Type L = checkExpr(*B.lhs(), Env);
+    Type R = checkExpr(*B.rhs(), Env);
+    if (!L.isInt() || !R.isInt()) {
+      Diags.error(B.loc(), "'++' requires integer operands of known width");
+      return Finish(Type::intTy(32, false));
+    }
+    if (L.width() + R.width() > 64) {
+      Diags.error(B.loc(), "concatenation exceeds the 64-bit value limit");
+      return Finish(Type::intTy(64, false));
+    }
+    return Finish(Type::intTy(L.width() + R.width(), false));
+  }
+
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+  case BinaryOp::Rem:
+  case BinaryOp::BitAnd:
+  case BinaryOp::BitOr:
+  case BinaryOp::BitXor: {
+    Type L, R;
+    if (isUnconstrainedLiteral(*B.lhs()) && !isUnconstrainedLiteral(*B.rhs())) {
+      R = checkExpr(*B.rhs(), Env, Expected);
+      L = checkExpr(*B.lhs(), Env, R);
+    } else {
+      L = checkExpr(*B.lhs(), Env, Expected);
+      R = checkExpr(*B.rhs(), Env, L);
+    }
+    if (L.isValid() && !L.isInt()) {
+      Diags.error(B.loc(), "arithmetic requires integer operands");
+      L = Type::intTy(32, false);
+    }
+    return Finish(L);
+  }
+  }
+  return Type();
+}

@@ -1,0 +1,85 @@
+//===- TypeChecker.h - PDL type and definedness checking -------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standard type checking for PDL programs: sized-integer typing with
+/// bidirectional literal-width inference, single-assignment enforcement,
+/// memory access modes (combinational vs synchronous), pipe-call arity and
+/// result typing, and speculation-handle scoping. Lock sequencing and
+/// speculation typestate are checked by the dedicated LockChecker /
+/// SpecChecker passes.
+///
+/// Definedness follows hardware wire semantics: a variable assigned on only
+/// some paths may still be read (the value is a don't-care off those paths,
+/// and simulates as zero); reading a name with no reaching definition on any
+/// path is an error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_PASSES_TYPECHECKER_H
+#define PDL_PASSES_TYPECHECKER_H
+
+#include "pdl/AST.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace pdl {
+
+/// Type-checks a whole program, annotating expression nodes with their
+/// resolved types in place.
+class TypeChecker {
+public:
+  TypeChecker(ast::Program &P, DiagnosticEngine &Diags)
+      : Program(P), Diags(Diags) {}
+
+  /// Returns true when the program type-checks with no errors.
+  bool check();
+
+private:
+  enum class DefState { Undefined, Maybe, Defined };
+
+  struct Env {
+    std::map<std::string, Type> Types;
+    std::map<std::string, DefState> Defs;
+  };
+
+  void checkFunc(ast::FuncDecl &F);
+  void checkExtern(const ast::ExternDecl &E);
+  void checkPipe(ast::PipeDecl &P);
+  void checkStmtList(ast::StmtList &Stmts, Env &E, ast::PipeDecl &P);
+  void checkStmt(ast::Stmt &S, Env &E, ast::PipeDecl &P);
+
+  /// Checks \p E with optional expected type \p Expected (used to give
+  /// widths to integer literals); returns the resolved type (Invalid on
+  /// error, after reporting).
+  Type checkExpr(ast::Expr &E, Env &Env, Type Expected = Type());
+
+  Type checkBinary(ast::BinaryExpr &B, Env &Env, Type Expected);
+  void defineVar(SourceLoc Loc, Env &E, const std::string &Name, Type Ty);
+  Type mergeBranchTypes(SourceLoc Loc, Type A, Type B);
+
+  /// True if \p E (or some statement beneath it) contains a stage separator.
+  static bool containsStageSep(const ast::StmtList &Stmts);
+
+  ast::Program &Program;
+  DiagnosticEngine &Diags;
+  /// Functions already checked; calls may only reference these (enforces
+  /// declaration-before-use and rules out recursion).
+  std::set<std::string> CheckedFuncs;
+  /// The pipe currently being checked (for recursive-call detection).
+  ast::PipeDecl *CurPipe = nullptr;
+  /// Speculation handles in scope within the current pipe.
+  std::set<std::string> SpecHandles;
+  /// Non-null while checking a def function body (return type context).
+  const ast::FuncDecl *CurFunc = nullptr;
+};
+
+} // namespace pdl
+
+#endif // PDL_PASSES_TYPECHECKER_H

@@ -1,0 +1,307 @@
+//===- AST.cpp - PDL abstract syntax trees ---------------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pdl/AST.h"
+
+#include <sstream>
+
+using namespace pdl;
+using namespace pdl::ast;
+
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+const char *ast::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::BitAnd:
+    return "&";
+  case BinaryOp::BitOr:
+    return "|";
+  case BinaryOp::BitXor:
+    return "^";
+  case BinaryOp::Shl:
+    return "<<";
+  case BinaryOp::Shr:
+    return ">>";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::LogicalAnd:
+    return "&&";
+  case BinaryOp::LogicalOr:
+    return "||";
+  case BinaryOp::Concat:
+    return "++";
+  }
+  return "?";
+}
+
+const char *ast::lockOpSpelling(LockOp Op) {
+  switch (Op) {
+  case LockOp::Reserve:
+    return "reserve";
+  case LockOp::Block:
+    return "block";
+  case LockOp::Acquire:
+    return "acquire";
+  case LockOp::Release:
+    return "release";
+  }
+  return "?";
+}
+
+std::string ast::printExpr(const Expr &E) {
+  std::ostringstream OS;
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    OS << cast<IntLitExpr>(&E)->value();
+    break;
+  case Expr::Kind::BoolLit:
+    OS << (cast<BoolLitExpr>(&E)->value() ? "true" : "false");
+    break;
+  case Expr::Kind::VarRef:
+    OS << cast<VarRefExpr>(&E)->name();
+    break;
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    switch (U->op()) {
+    case UnaryOp::LogicalNot:
+      OS << '!';
+      break;
+    case UnaryOp::BitNot:
+      OS << '~';
+      break;
+    case UnaryOp::Negate:
+      OS << '-';
+      break;
+    }
+    OS << printExpr(*U->operand());
+    break;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    OS << '(' << printExpr(*B->lhs()) << ' ' << binaryOpSpelling(B->op())
+       << ' ' << printExpr(*B->rhs()) << ')';
+    break;
+  }
+  case Expr::Kind::Ternary: {
+    const auto *T = cast<TernaryExpr>(&E);
+    OS << '(' << printExpr(*T->cond()) << " ? " << printExpr(*T->thenExpr())
+       << " : " << printExpr(*T->elseExpr()) << ')';
+    break;
+  }
+  case Expr::Kind::Slice: {
+    const auto *S = cast<SliceExpr>(&E);
+    OS << printExpr(*S->base()) << '{' << S->hi() << ':' << S->lo() << '}';
+    break;
+  }
+  case Expr::Kind::MemRead: {
+    const auto *M = cast<MemReadExpr>(&E);
+    OS << M->mem() << '[' << printExpr(*M->addr()) << ']';
+    break;
+  }
+  case Expr::Kind::FuncCall: {
+    const auto *C = cast<FuncCallExpr>(&E);
+    OS << C->callee() << '(';
+    for (unsigned I = 0, N = C->args().size(); I != N; ++I)
+      OS << (I ? ", " : "") << printExpr(*C->args()[I]);
+    OS << ')';
+    break;
+  }
+  case Expr::Kind::ExternCall: {
+    const auto *C = cast<ExternCallExpr>(&E);
+    OS << C->module() << '.' << C->method() << '(';
+    for (unsigned I = 0, N = C->args().size(); I != N; ++I)
+      OS << (I ? ", " : "") << printExpr(*C->args()[I]);
+    OS << ')';
+    break;
+  }
+  case Expr::Kind::Cast: {
+    const auto *C = cast<CastExpr>(&E);
+    OS << C->target().str() << '(' << printExpr(*C->operand()) << ')';
+    break;
+  }
+  }
+  return OS.str();
+}
+
+static void printStmtInto(std::ostringstream &OS, const Stmt &S,
+                          unsigned Indent) {
+  std::string Pad(Indent, ' ');
+  OS << Pad;
+  switch (S.kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(&S);
+    if (A->declaredType())
+      OS << A->declaredType()->str() << ' ';
+    OS << A->name() << " = " << printExpr(*A->value()) << ";\n";
+    break;
+  }
+  case Stmt::Kind::SyncRead: {
+    const auto *R = cast<SyncReadStmt>(&S);
+    if (R->declaredType())
+      OS << R->declaredType()->str() << ' ';
+    OS << R->name() << " <- " << R->mem() << '[' << printExpr(*R->addr())
+       << "];\n";
+    break;
+  }
+  case Stmt::Kind::PipeCall: {
+    const auto *C = cast<PipeCallStmt>(&S);
+    if (C->hasResult()) {
+      if (C->declaredType())
+        OS << C->declaredType()->str() << ' ';
+      OS << C->resultName() << " <- ";
+    }
+    if (C->isSpec())
+      OS << "spec ";
+    OS << "call " << C->pipe() << '(';
+    for (unsigned I = 0, N = C->args().size(); I != N; ++I)
+      OS << (I ? ", " : "") << printExpr(*C->args()[I]);
+    OS << ");\n";
+    break;
+  }
+  case Stmt::Kind::MemWrite: {
+    const auto *W = cast<MemWriteStmt>(&S);
+    OS << W->mem() << '[' << printExpr(*W->addr())
+       << "] <- " << printExpr(*W->value()) << ";\n";
+    break;
+  }
+  case Stmt::Kind::Output:
+    OS << "output(" << printExpr(*cast<OutputStmt>(&S)->value()) << ");\n";
+    break;
+  case Stmt::Kind::Lock: {
+    const auto *L = cast<LockStmt>(&S);
+    OS << lockOpSpelling(L->op()) << '(' << L->mem();
+    if (L->addr())
+      OS << '[' << printExpr(*L->addr()) << ']';
+    if (L->mode() == LockMode::Read)
+      OS << ", R";
+    else if (L->mode() == LockMode::Write)
+      OS << ", W";
+    OS << ");\n";
+    break;
+  }
+  case Stmt::Kind::SpecCheck:
+    OS << (cast<SpecCheckStmt>(&S)->isBlocking() ? "spec_barrier();\n"
+                                                 : "spec_check();\n");
+    break;
+  case Stmt::Kind::Verify: {
+    const auto *V = cast<VerifyStmt>(&S);
+    OS << "verify(" << V->handle() << ", " << printExpr(*V->actual()) << ')';
+    if (V->predictorUpdate())
+      OS << " { " << printExpr(*V->predictorUpdate()) << " }";
+    OS << ";\n";
+    break;
+  }
+  case Stmt::Kind::Update: {
+    const auto *U = cast<UpdateStmt>(&S);
+    OS << "update(" << U->handle() << ", " << printExpr(*U->newPred())
+       << ");\n";
+    break;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    OS << "if (" << printExpr(*I->cond()) << ") {\n";
+    for (const StmtPtr &Sub : I->thenBody())
+      printStmtInto(OS, *Sub, Indent + 2);
+    OS << Pad << "}";
+    if (!I->elseBody().empty()) {
+      OS << " else {\n";
+      for (const StmtPtr &Sub : I->elseBody())
+        printStmtInto(OS, *Sub, Indent + 2);
+      OS << Pad << "}";
+    }
+    OS << "\n";
+    break;
+  }
+  case Stmt::Kind::StageSep:
+    OS << "---\n";
+    break;
+  case Stmt::Kind::Return:
+    OS << "return " << printExpr(*cast<ReturnStmt>(&S)->value()) << ";\n";
+    break;
+  }
+}
+
+std::string ast::printStmt(const Stmt &S, unsigned Indent) {
+  std::ostringstream OS;
+  printStmtInto(OS, S, Indent);
+  return OS.str();
+}
+
+static void printParams(std::ostringstream &OS,
+                        const std::vector<Param> &Params) {
+  OS << '(';
+  for (unsigned I = 0, N = Params.size(); I != N; ++I) {
+    if (I)
+      OS << ", ";
+    OS << Params[I].Name << ": " << Params[I].Ty.str();
+  }
+  OS << ')';
+}
+
+std::string ast::printProgram(const Program &P) {
+  std::ostringstream OS;
+  for (const ExternDecl &E : P.Externs) {
+    OS << "extern " << E.Name << " {\n";
+    for (const ExternMethod &M : E.Methods) {
+      OS << "  def " << M.Name;
+      printParams(OS, M.Params);
+      if (!M.RetType.isVoid())
+        OS << ": " << M.RetType.str();
+      OS << ";\n";
+    }
+    OS << "}\n";
+  }
+  for (const FuncDecl &F : P.Funcs) {
+    OS << "def " << F.Name;
+    printParams(OS, F.Params);
+    OS << ": " << F.RetType.str() << " {\n";
+    for (const StmtPtr &S : F.Body)
+      printStmtInto(OS, *S, 2);
+    OS << "}\n";
+  }
+  for (const PipeDecl &Pipe : P.Pipes) {
+    OS << "pipe " << Pipe.Name;
+    printParams(OS, Pipe.Params);
+    OS << '[';
+    for (unsigned I = 0, N = Pipe.Mems.size(); I != N; ++I) {
+      const MemDecl &M = Pipe.Mems[I];
+      if (I)
+        OS << ", ";
+      OS << M.Name << ": " << M.ElemType.str() << '[' << M.AddrWidth << ']';
+      if (M.IsSync)
+        OS << " sync";
+    }
+    OS << ']';
+    if (!Pipe.RetType.isVoid())
+      OS << ": " << Pipe.RetType.str();
+    OS << " {\n";
+    for (const StmtPtr &S : Pipe.Body)
+      printStmtInto(OS, *S, 2);
+    OS << "}\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,689 @@
+//===- AST.h - PDL abstract syntax trees -----------------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for PDL programs: expressions, statements, and the three
+/// top-level declaration forms (combinational `def` functions, `extern`
+/// modules such as branch predictors, and `pipe` pipelines). Nodes carry
+/// source locations for diagnostics and a Type slot filled in by the type
+/// checker. RTTI uses Kind discriminators with LLVM-style isa/cast/dyn_cast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_PDL_AST_H
+#define PDL_PDL_AST_H
+
+#include "pdl/Type.h"
+#include "support/Casting.h"
+#include "support/SourceMgr.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pdl {
+namespace ast {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of all PDL expressions.
+class Expr {
+public:
+  enum class Kind {
+    IntLit,
+    BoolLit,
+    VarRef,
+    Unary,
+    Binary,
+    Ternary,
+    Slice,
+    MemRead,
+    FuncCall,
+    ExternCall,
+    Cast,
+  };
+
+  virtual ~Expr();
+
+  Kind kind() const { return EKind; }
+  SourceLoc loc() const { return Loc; }
+
+  /// The resolved type; invalid until the type checker runs.
+  Type type() const { return Ty; }
+  void setType(Type T) { Ty = T; }
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : EKind(K), Loc(Loc) {}
+
+private:
+  Kind EKind;
+  SourceLoc Loc;
+  Type Ty;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// An integer literal. Its width is inferred from context by the type
+/// checker unless spelled with an explicit cast.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(SourceLoc Loc, uint64_t Value)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+
+  uint64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLit; }
+
+private:
+  uint64_t Value;
+};
+
+/// `true` or `false`.
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(SourceLoc Loc, bool Value)
+      : Expr(Kind::BoolLit, Loc), Value(Value) {}
+
+  bool value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::BoolLit; }
+
+private:
+  bool Value;
+};
+
+/// A reference to a local variable or parameter.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(SourceLoc Loc, std::string Name)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  std::string Name;
+};
+
+enum class UnaryOp { LogicalNot, BitNot, Negate };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(SourceLoc Loc, UnaryOp Op, ExprPtr Operand)
+      : Expr(Kind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+
+  UnaryOp op() const { return Op; }
+  const Expr *operand() const { return Operand.get(); }
+  Expr *operand() { return Operand.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnaryOp Op;
+  ExprPtr Operand;
+};
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Shl,
+  Shr,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  LogicalAnd,
+  LogicalOr,
+  Concat,
+};
+
+/// Returns the PDL spelling of \p Op (e.g. "++" for Concat).
+const char *binaryOpSpelling(BinaryOp Op);
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLoc Loc, BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs)
+      : Expr(Kind::Binary, Loc), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+
+  BinaryOp op() const { return Op; }
+  const Expr *lhs() const { return Lhs.get(); }
+  const Expr *rhs() const { return Rhs.get(); }
+  Expr *lhs() { return Lhs.get(); }
+  Expr *rhs() { return Rhs.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  ExprPtr Lhs, Rhs;
+};
+
+/// `cond ? a : b`.
+class TernaryExpr : public Expr {
+public:
+  TernaryExpr(SourceLoc Loc, ExprPtr Cond, ExprPtr Then, ExprPtr Else)
+      : Expr(Kind::Ternary, Loc), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+
+  const Expr *cond() const { return Cond.get(); }
+  const Expr *thenExpr() const { return Then.get(); }
+  const Expr *elseExpr() const { return Else.get(); }
+  Expr *cond() { return Cond.get(); }
+  Expr *thenExpr() { return Then.get(); }
+  Expr *elseExpr() { return Else.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Ternary; }
+
+private:
+  ExprPtr Cond, Then, Else;
+};
+
+/// Bit slice `base{hi:lo}` with constant bounds (inclusive).
+class SliceExpr : public Expr {
+public:
+  SliceExpr(SourceLoc Loc, ExprPtr Base, unsigned Hi, unsigned Lo)
+      : Expr(Kind::Slice, Loc), Base(std::move(Base)), Hi(Hi), Lo(Lo) {}
+
+  const Expr *base() const { return Base.get(); }
+  Expr *base() { return Base.get(); }
+  unsigned hi() const { return Hi; }
+  unsigned lo() const { return Lo; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Slice; }
+
+private:
+  ExprPtr Base;
+  unsigned Hi, Lo;
+};
+
+/// Combinational memory read `mem[addr]` used as a value. Synchronous reads
+/// are statements (SyncReadStmt) because their value arrives a stage later.
+class MemReadExpr : public Expr {
+public:
+  MemReadExpr(SourceLoc Loc, std::string Mem, ExprPtr Addr)
+      : Expr(Kind::MemRead, Loc), Mem(std::move(Mem)), Addr(std::move(Addr)) {}
+
+  const std::string &mem() const { return Mem; }
+  const Expr *addr() const { return Addr.get(); }
+  Expr *addr() { return Addr.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::MemRead; }
+
+private:
+  std::string Mem;
+  ExprPtr Addr;
+};
+
+/// Call of a program-level combinational `def` function.
+class FuncCallExpr : public Expr {
+public:
+  FuncCallExpr(SourceLoc Loc, std::string Callee, std::vector<ExprPtr> Args)
+      : Expr(Kind::FuncCall, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &callee() const { return Callee; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  std::vector<ExprPtr> &args() { return Args; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::FuncCall; }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+/// Call of an extern module method, e.g. `bht.req(pc)`.
+class ExternCallExpr : public Expr {
+public:
+  ExternCallExpr(SourceLoc Loc, std::string Module, std::string Method,
+                 std::vector<ExprPtr> Args)
+      : Expr(Kind::ExternCall, Loc), Module(std::move(Module)),
+        Method(std::move(Method)), Args(std::move(Args)) {}
+
+  const std::string &module() const { return Module; }
+  const std::string &method() const { return Method; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  std::vector<ExprPtr> &args() { return Args; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::ExternCall; }
+
+private:
+  std::string Module, Method;
+  std::vector<ExprPtr> Args;
+};
+
+/// Width/sign conversion spelled as a type applied like a function:
+/// `uint<8>(x)`. Extension follows the signedness of the operand.
+class CastExpr : public Expr {
+public:
+  CastExpr(SourceLoc Loc, Type Target, ExprPtr Operand)
+      : Expr(Kind::Cast, Loc), Target(Target), Operand(std::move(Operand)) {}
+
+  Type target() const { return Target; }
+  const Expr *operand() const { return Operand.get(); }
+  Expr *operand() { return Operand.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Cast; }
+
+private:
+  Type Target;
+  ExprPtr Operand;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class Kind {
+    Assign,
+    SyncRead,
+    PipeCall,
+    MemWrite,
+    Output,
+    Lock,
+    SpecCheck,
+    Verify,
+    Update,
+    If,
+    StageSep,
+    Return,
+  };
+
+  virtual ~Stmt();
+
+  Kind kind() const { return SKind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : SKind(K), Loc(Loc) {}
+
+private:
+  Kind SKind;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+/// `int<32> x = e;` or `x = e;` — combinational single assignment.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(SourceLoc Loc, std::optional<Type> DeclaredType, std::string Name,
+             ExprPtr Value)
+      : Stmt(Kind::Assign, Loc), DeclaredType(DeclaredType),
+        Name(std::move(Name)), Value(std::move(Value)) {}
+
+  std::optional<Type> declaredType() const { return DeclaredType; }
+  const std::string &name() const { return Name; }
+  const Expr *value() const { return Value.get(); }
+  Expr *value() { return Value.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  std::optional<Type> DeclaredType;
+  std::string Name;
+  ExprPtr Value;
+};
+
+/// `x <- mem[a];` — request to a synchronous memory; the value of `x` is
+/// available from the next stage onward.
+class SyncReadStmt : public Stmt {
+public:
+  SyncReadStmt(SourceLoc Loc, std::optional<Type> DeclaredType,
+               std::string Name, std::string Mem, ExprPtr Addr)
+      : Stmt(Kind::SyncRead, Loc), DeclaredType(DeclaredType),
+        Name(std::move(Name)), Mem(std::move(Mem)), Addr(std::move(Addr)) {}
+
+  std::optional<Type> declaredType() const { return DeclaredType; }
+  const std::string &name() const { return Name; }
+  const std::string &mem() const { return Mem; }
+  const Expr *addr() const { return Addr.get(); }
+  Expr *addr() { return Addr.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::SyncRead; }
+
+private:
+  std::optional<Type> DeclaredType;
+  std::string Name;
+  std::string Mem;
+  ExprPtr Addr;
+};
+
+/// All three pipeline-call forms:
+///   call p(a);                 -- no result (recursive calls look like this)
+///   x <- call p(a);            -- synchronous request, result next stage
+///   s <- spec call p(a);       -- speculative spawn, s is the handle
+class PipeCallStmt : public Stmt {
+public:
+  PipeCallStmt(SourceLoc Loc, bool IsSpec, std::string ResultName,
+               std::optional<Type> DeclaredType, std::string Pipe,
+               std::vector<ExprPtr> Args)
+      : Stmt(Kind::PipeCall, Loc), IsSpec(IsSpec),
+        ResultName(std::move(ResultName)), DeclaredType(DeclaredType),
+        Pipe(std::move(Pipe)), Args(std::move(Args)) {}
+
+  bool isSpec() const { return IsSpec; }
+  bool hasResult() const { return !ResultName.empty(); }
+  const std::string &resultName() const { return ResultName; }
+  std::optional<Type> declaredType() const { return DeclaredType; }
+  const std::string &pipe() const { return Pipe; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  std::vector<ExprPtr> &args() { return Args; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::PipeCall; }
+
+private:
+  bool IsSpec;
+  std::string ResultName;
+  std::optional<Type> DeclaredType;
+  std::string Pipe;
+  std::vector<ExprPtr> Args;
+};
+
+/// `mem[a] <- v;`
+class MemWriteStmt : public Stmt {
+public:
+  MemWriteStmt(SourceLoc Loc, std::string Mem, ExprPtr Addr, ExprPtr Value)
+      : Stmt(Kind::MemWrite, Loc), Mem(std::move(Mem)), Addr(std::move(Addr)),
+        Value(std::move(Value)) {}
+
+  const std::string &mem() const { return Mem; }
+  const Expr *addr() const { return Addr.get(); }
+  const Expr *value() const { return Value.get(); }
+  Expr *addr() { return Addr.get(); }
+  Expr *value() { return Value.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::MemWrite; }
+
+private:
+  std::string Mem;
+  ExprPtr Addr, Value;
+};
+
+/// `output(e);` — enqueue the pipe's response to its caller.
+class OutputStmt : public Stmt {
+public:
+  OutputStmt(SourceLoc Loc, ExprPtr Value)
+      : Stmt(Kind::Output, Loc), Value(std::move(Value)) {}
+
+  const Expr *value() const { return Value.get(); }
+  Expr *value() { return Value.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Output; }
+
+private:
+  ExprPtr Value;
+};
+
+enum class LockOp { Reserve, Block, Acquire, Release };
+enum class LockMode { None, Read, Write };
+
+const char *lockOpSpelling(LockOp Op);
+
+/// The hazard-lock operations of Table 1: reserve / block / acquire
+/// (reserve;block) / release, on `mem[addr]` with an R or W mode.
+class LockStmt : public Stmt {
+public:
+  LockStmt(SourceLoc Loc, LockOp Op, LockMode Mode, std::string Mem,
+           ExprPtr Addr)
+      : Stmt(Kind::Lock, Loc), Op(Op), Mode(Mode), Mem(std::move(Mem)),
+        Addr(std::move(Addr)) {}
+
+  LockOp op() const { return Op; }
+  LockMode mode() const { return Mode; }
+  const std::string &mem() const { return Mem; }
+  const Expr *addr() const { return Addr.get(); }
+  Expr *addr() { return Addr.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Lock; }
+
+private:
+  LockOp Op;
+  LockMode Mode;
+  std::string Mem;
+  ExprPtr Addr;
+};
+
+/// `spec_check();` (non-blocking) or `spec_barrier();` (blocking).
+class SpecCheckStmt : public Stmt {
+public:
+  SpecCheckStmt(SourceLoc Loc, bool Blocking)
+      : Stmt(Kind::SpecCheck, Loc), Blocking(Blocking) {}
+
+  bool isBlocking() const { return Blocking; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::SpecCheck; }
+
+private:
+  bool Blocking;
+};
+
+/// `verify(s, actual) { pred.upd(...) }` — resolve the speculation made for
+/// handle `s` by comparing the original prediction against `actual`;
+/// optionally notify an external predictor.
+class VerifyStmt : public Stmt {
+public:
+  VerifyStmt(SourceLoc Loc, std::string Handle, ExprPtr Actual,
+             ExprPtr PredictorUpdate)
+      : Stmt(Kind::Verify, Loc), Handle(std::move(Handle)),
+        Actual(std::move(Actual)),
+        PredictorUpdate(std::move(PredictorUpdate)) {}
+
+  const std::string &handle() const { return Handle; }
+  const Expr *actual() const { return Actual.get(); }
+  Expr *actual() { return Actual.get(); }
+  /// Null when no predictor-update block was given.
+  const ExternCallExpr *predictorUpdate() const {
+    return static_cast<const ExternCallExpr *>(PredictorUpdate.get());
+  }
+  ExternCallExpr *predictorUpdate() {
+    return static_cast<ExternCallExpr *>(PredictorUpdate.get());
+  }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Verify; }
+
+private:
+  std::string Handle;
+  ExprPtr Actual;
+  ExprPtr PredictorUpdate;
+};
+
+/// `update(s, npred);` — re-steer the speculation for `s` to a new
+/// prediction, killing the old child if it differs.
+class UpdateStmt : public Stmt {
+public:
+  UpdateStmt(SourceLoc Loc, std::string Handle, ExprPtr NewPred)
+      : Stmt(Kind::Update, Loc), Handle(std::move(Handle)),
+        NewPred(std::move(NewPred)) {}
+
+  const std::string &handle() const { return Handle; }
+  const Expr *newPred() const { return NewPred.get(); }
+  Expr *newPred() { return NewPred.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Update; }
+
+private:
+  std::string Handle;
+  ExprPtr NewPred;
+};
+
+/// `if (cond) { ... } else { ... }`. Stage separators are allowed inside
+/// branches; that is what creates unordered stages (Figure 2).
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLoc Loc, ExprPtr Cond, StmtList ThenBody, StmtList ElseBody)
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)),
+        ThenBody(std::move(ThenBody)), ElseBody(std::move(ElseBody)) {}
+
+  const Expr *cond() const { return Cond.get(); }
+  Expr *cond() { return Cond.get(); }
+  const StmtList &thenBody() const { return ThenBody; }
+  const StmtList &elseBody() const { return ElseBody; }
+  StmtList &thenBody() { return ThenBody; }
+  StmtList &elseBody() { return ElseBody; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtList ThenBody, ElseBody;
+};
+
+/// The `---` stage separator.
+class StageSepStmt : public Stmt {
+public:
+  explicit StageSepStmt(SourceLoc Loc) : Stmt(Kind::StageSep, Loc) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::StageSep; }
+};
+
+/// `return e;` — only valid inside combinational `def` functions.
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLoc Loc, ExprPtr Value)
+      : Stmt(Kind::Return, Loc), Value(std::move(Value)) {}
+
+  const Expr *value() const { return Value.get(); }
+  Expr *value() { return Value.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  ExprPtr Value;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct Param {
+  std::string Name;
+  Type Ty;
+  SourceLoc Loc;
+};
+
+/// A memory declared in a pipe's bracket list:
+///   `rf: uint<32>[5]`           -- combinational, 2^5 entries
+///   `imem: uint<32>[10] sync`   -- synchronous (value next stage)
+struct MemDecl {
+  std::string Name;
+  Type ElemType;
+  unsigned AddrWidth = 0;
+  bool IsSync = false;
+  SourceLoc Loc;
+};
+
+/// A combinational helper function:
+///   def alu(op: uint<4>, a: int<32>, b: int<32>): int<32> { ... return e; }
+struct FuncDecl {
+  std::string Name;
+  std::vector<Param> Params;
+  Type RetType;
+  StmtList Body; // AssignStmts followed by one ReturnStmt.
+  SourceLoc Loc;
+};
+
+/// One method of an extern module. A void return type marks a
+/// state-updating method (usable only in verify-update blocks).
+struct ExternMethod {
+  std::string Name;
+  std::vector<Param> Params;
+  Type RetType;
+  SourceLoc Loc;
+};
+
+/// An externally implemented (RTL) module, e.g. a branch history table. The
+/// implementation is bound at elaboration time.
+struct ExternDecl {
+  std::string Name;
+  std::vector<ExternMethod> Methods;
+  SourceLoc Loc;
+
+  const ExternMethod *findMethod(const std::string &Name) const {
+    for (const ExternMethod &M : Methods)
+      if (M.Name == Name)
+        return &M;
+    return nullptr;
+  }
+};
+
+/// A pipeline declaration.
+struct PipeDecl {
+  std::string Name;
+  std::vector<Param> Params;
+  std::vector<MemDecl> Mems;
+  Type RetType = Type::voidTy();
+  StmtList Body;
+  SourceLoc Loc;
+
+  const MemDecl *findMem(const std::string &Name) const {
+    for (const MemDecl &M : Mems)
+      if (M.Name == Name)
+        return &M;
+    return nullptr;
+  }
+};
+
+/// A whole PDL compilation unit.
+struct Program {
+  std::vector<FuncDecl> Funcs;
+  std::vector<ExternDecl> Externs;
+  std::vector<PipeDecl> Pipes;
+
+  const FuncDecl *findFunc(const std::string &Name) const {
+    for (const FuncDecl &F : Funcs)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+  const ExternDecl *findExtern(const std::string &Name) const {
+    for (const ExternDecl &E : Externs)
+      if (E.Name == Name)
+        return &E;
+    return nullptr;
+  }
+  const PipeDecl *findPipe(const std::string &Name) const {
+    for (const PipeDecl &P : Pipes)
+      if (P.Name == Name)
+        return &P;
+    return nullptr;
+  }
+  PipeDecl *findPipe(const std::string &Name) {
+    for (PipeDecl &P : Pipes)
+      if (P.Name == Name)
+        return &P;
+    return nullptr;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Printing (source-like rendering used by tests and -dump flags)
+//===----------------------------------------------------------------------===//
+
+std::string printExpr(const Expr &E);
+std::string printStmt(const Stmt &S, unsigned Indent = 0);
+std::string printProgram(const Program &P);
+
+} // namespace ast
+} // namespace pdl
+
+#endif // PDL_PDL_AST_H

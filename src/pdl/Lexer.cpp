@@ -1,0 +1,190 @@
+//===- Lexer.cpp - PDL tokenizer -------------------------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pdl/Lexer.h"
+
+#include <cctype>
+
+using namespace pdl;
+
+void Lexer::skipTrivia() {
+  while (Pos < Buffer.size()) {
+    char C = Buffer[Pos];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Buffer.size() && Buffer[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      unsigned Start = Pos;
+      Pos += 2;
+      while (Pos < Buffer.size() && !(Buffer[Pos] == '*' && peek(1) == '/'))
+        ++Pos;
+      if (Pos >= Buffer.size()) {
+        Diags.error({Start}, "unterminated block comment");
+        return;
+      }
+      Pos += 2;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  Token T;
+  T.Loc = SourceLoc{Pos};
+  if (Pos >= Buffer.size()) {
+    T.Kind = TokKind::Eof;
+    return T;
+  }
+
+  char C = Buffer[Pos];
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    unsigned Start = Pos;
+    while (Pos < Buffer.size() &&
+           (std::isalnum(static_cast<unsigned char>(Buffer[Pos])) ||
+            Buffer[Pos] == '_'))
+      ++Pos;
+    T.Kind = TokKind::Identifier;
+    T.Text = std::string(Buffer.substr(Start, Pos - Start));
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    unsigned Start = Pos;
+    uint64_t Value = 0;
+    if (C == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      Pos += 2;
+      if (!std::isxdigit(static_cast<unsigned char>(peek())))
+        Diags.error(T.Loc, "expected hex digits after '0x'");
+      while (Pos < Buffer.size() &&
+             std::isxdigit(static_cast<unsigned char>(Buffer[Pos]))) {
+        char D = Buffer[Pos++];
+        Value = Value * 16 +
+                (std::isdigit(static_cast<unsigned char>(D))
+                     ? D - '0'
+                     : std::tolower(static_cast<unsigned char>(D)) - 'a' + 10);
+      }
+    } else if (C == '0' && (peek(1) == 'b' || peek(1) == 'B')) {
+      Pos += 2;
+      if (peek() != '0' && peek() != '1')
+        Diags.error(T.Loc, "expected binary digits after '0b'");
+      while (Pos < Buffer.size() && (Buffer[Pos] == '0' || Buffer[Pos] == '1'))
+        Value = Value * 2 + (Buffer[Pos++] - '0');
+    } else {
+      while (Pos < Buffer.size() &&
+             std::isdigit(static_cast<unsigned char>(Buffer[Pos])))
+        Value = Value * 10 + (Buffer[Pos++] - '0');
+    }
+    T.Kind = TokKind::Number;
+    T.Value = Value;
+    T.Text = std::string(Buffer.substr(Start, Pos - Start));
+    return T;
+  }
+
+  auto Single = [&](TokKind K) {
+    ++Pos;
+    T.Kind = K;
+    return T;
+  };
+  auto Double = [&](TokKind K) {
+    Pos += 2;
+    T.Kind = K;
+    return T;
+  };
+
+  switch (C) {
+  case '(':
+    return Single(TokKind::LParen);
+  case ')':
+    return Single(TokKind::RParen);
+  case '[':
+    return Single(TokKind::LBracket);
+  case ']':
+    return Single(TokKind::RBracket);
+  case '{':
+    return Single(TokKind::LBrace);
+  case '}':
+    return Single(TokKind::RBrace);
+  case ',':
+    return Single(TokKind::Comma);
+  case ';':
+    return Single(TokKind::Semicolon);
+  case ':':
+    return Single(TokKind::Colon);
+  case '.':
+    return Single(TokKind::Dot);
+  case '?':
+    return Single(TokKind::Question);
+  case '~':
+    return Single(TokKind::Tilde);
+  case '^':
+    return Single(TokKind::Caret);
+  case '*':
+    return Single(TokKind::Star);
+  case '/':
+    return Single(TokKind::Slash);
+  case '%':
+    return Single(TokKind::Percent);
+  case '+':
+    return peek(1) == '+' ? Double(TokKind::PlusPlus) : Single(TokKind::Plus);
+  case '-':
+    if (peek(1) == '-' && peek(2) == '-') {
+      // Consume three or more dashes as one stage separator.
+      Pos += 3;
+      while (peek() == '-')
+        ++Pos;
+      T.Kind = TokKind::StageSep;
+      return T;
+    }
+    return Single(TokKind::Minus);
+  case '&':
+    return peek(1) == '&' ? Double(TokKind::AmpAmp) : Single(TokKind::Amp);
+  case '|':
+    return peek(1) == '|' ? Double(TokKind::PipePipe) : Single(TokKind::Pipe);
+  case '!':
+    return peek(1) == '=' ? Double(TokKind::NotEq) : Single(TokKind::Bang);
+  case '=':
+    return peek(1) == '=' ? Double(TokKind::EqEq) : Single(TokKind::Assign);
+  case '<':
+    if (peek(1) == '-')
+      return Double(TokKind::LeftArrow);
+    if (peek(1) == '<')
+      return Double(TokKind::Shl);
+    if (peek(1) == '=')
+      return Double(TokKind::Le);
+    return Single(TokKind::Lt);
+  case '>':
+    if (peek(1) == '>')
+      return Double(TokKind::Shr);
+    if (peek(1) == '=')
+      return Double(TokKind::Ge);
+    return Single(TokKind::Gt);
+  default:
+    Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+    ++Pos;
+    T.Kind = TokKind::Error;
+    return T;
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = next();
+    bool Done = T.is(TokKind::Eof);
+    Tokens.push_back(std::move(T));
+    if (Done)
+      return Tokens;
+  }
+}

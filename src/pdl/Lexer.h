@@ -1,0 +1,111 @@
+//===- Lexer.h - PDL tokenizer ---------------------------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for PDL source. Notable lexing rules:
+///  * `---` (three or more dashes) is the stage separator token.
+///  * `<-` is a single token (write `a < (-b)` for a comparison against a
+///    negated value).
+///  * `//` line comments and `/* */` block comments are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_PDL_LEXER_H
+#define PDL_PDL_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceMgr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdl {
+
+enum class TokKind {
+  Eof,
+  Error,
+  Identifier,
+  Number,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Semicolon,
+  Colon,
+  Dot,
+  Question,
+  // Operators.
+  Assign,     // =
+  LeftArrow,  // <-
+  StageSep,   // ---
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  AmpAmp,
+  Pipe,
+  PipePipe,
+  Caret,
+  Tilde,
+  Bang,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  EqEq,
+  NotEq,
+  Shl,
+  Shr,
+  PlusPlus, // ++ concatenation
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  /// Identifier spelling; also the raw text of numbers.
+  std::string Text;
+  /// Parsed value for numbers.
+  uint64_t Value = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+  /// True for an identifier with exactly this spelling (keywords are plain
+  /// identifiers; the parser decides contextually).
+  bool isIdent(std::string_view S) const {
+    return Kind == TokKind::Identifier && Text == S;
+  }
+};
+
+/// Converts a source buffer into a token vector in one pass.
+class Lexer {
+public:
+  Lexer(const SourceMgr &SM, DiagnosticEngine &Diags)
+      : Buffer(SM.buffer()), Diags(Diags) {}
+
+  /// Lexes the whole buffer. The result always ends with an Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Buffer.size() ? Buffer[Pos + Ahead] : '\0';
+  }
+  void skipTrivia();
+
+  std::string_view Buffer;
+  DiagnosticEngine &Diags;
+  unsigned Pos = 0;
+};
+
+} // namespace pdl
+
+#endif // PDL_PDL_LEXER_H

@@ -1,0 +1,710 @@
+//===- Parser.cpp - PDL recursive-descent parser ---------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pdl/Parser.h"
+
+using namespace pdl;
+using namespace pdl::ast;
+
+//===----------------------------------------------------------------------===//
+// Token helpers
+//===----------------------------------------------------------------------===//
+
+bool Parser::consumeIf(TokKind K) {
+  if (!tok().is(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::consumeIfIdent(std::string_view S) {
+  if (!tok().isIdent(S))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokKind K, const char *What) {
+  if (consumeIf(K))
+    return true;
+  Diags.error(tok().Loc, std::string("expected ") + What);
+  return false;
+}
+
+bool Parser::expectIdent(std::string_view S) {
+  if (consumeIfIdent(S))
+    return true;
+  Diags.error(tok().Loc, "expected '" + std::string(S) + "'");
+  return false;
+}
+
+void Parser::syncToSemicolon() {
+  while (!tok().is(TokKind::Eof) && !tok().is(TokKind::Semicolon) &&
+         !tok().is(TokKind::RBrace))
+    advance();
+  consumeIf(TokKind::Semicolon);
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+std::optional<Type> Parser::parseTypeOpt() {
+  if (tok().isIdent("bool")) {
+    advance();
+    return Type::boolTy();
+  }
+  bool IsSigned = tok().isIdent("int");
+  if (!IsSigned && !tok().isIdent("uint"))
+    return std::nullopt;
+  SourceLoc Loc = tok().Loc;
+  advance();
+  if (!expect(TokKind::Lt, "'<' after int/uint"))
+    return Type::intTy(32, IsSigned);
+  unsigned Width = 32;
+  if (tok().is(TokKind::Number)) {
+    Width = static_cast<unsigned>(tok().Value);
+    if (Width < 1 || Width > 64) {
+      Diags.error(tok().Loc, "integer width must be between 1 and 64");
+      Width = 32;
+    }
+    advance();
+  } else {
+    Diags.error(Loc, "expected width in int<N>");
+  }
+  expect(TokKind::Gt, "'>' closing int<N>");
+  return Type::intTy(Width, IsSigned);
+}
+
+Type Parser::parseType() {
+  if (std::optional<Type> T = parseTypeOpt())
+    return *T;
+  Diags.error(tok().Loc, "expected a type");
+  return Type::intTy(32, true);
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+ast::Program Parser::parseProgram() {
+  Program P;
+  while (!tok().is(TokKind::Eof)) {
+    if (tok().isIdent("extern")) {
+      parseExtern(P);
+    } else if (tok().isIdent("def")) {
+      parseFunc(P);
+    } else if (tok().isIdent("pipe")) {
+      parsePipe(P);
+    } else {
+      Diags.error(tok().Loc, "expected 'pipe', 'def', or 'extern'");
+      advance();
+    }
+  }
+  return P;
+}
+
+ast::Program Parser::parse(const SourceMgr &SM, DiagnosticEngine &Diags) {
+  Lexer Lex(SM, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  return P.parseProgram();
+}
+
+std::vector<Param> Parser::parseParamList() {
+  std::vector<Param> Params;
+  expect(TokKind::LParen, "'('");
+  if (consumeIf(TokKind::RParen))
+    return Params;
+  do {
+    Param Pm;
+    Pm.Loc = tok().Loc;
+    if (tok().is(TokKind::Identifier)) {
+      Pm.Name = tok().Text;
+      advance();
+    } else {
+      Diags.error(tok().Loc, "expected parameter name");
+    }
+    expect(TokKind::Colon, "':' before parameter type");
+    Pm.Ty = parseType();
+    Params.push_back(std::move(Pm));
+  } while (consumeIf(TokKind::Comma));
+  expect(TokKind::RParen, "')' closing parameter list");
+  return Params;
+}
+
+void Parser::parseExtern(Program &P) {
+  ExternDecl E;
+  E.Loc = tok().Loc;
+  expectIdent("extern");
+  if (tok().is(TokKind::Identifier)) {
+    E.Name = tok().Text;
+    advance();
+  } else {
+    Diags.error(tok().Loc, "expected extern module name");
+  }
+  expect(TokKind::LBrace, "'{'");
+  while (!tok().is(TokKind::RBrace) && !tok().is(TokKind::Eof)) {
+    unsigned Before = Index;
+    ExternMethod M;
+    M.Loc = tok().Loc;
+    expectIdent("def");
+    if (tok().is(TokKind::Identifier)) {
+      M.Name = tok().Text;
+      advance();
+    } else {
+      Diags.error(tok().Loc, "expected method name");
+    }
+    M.Params = parseParamList();
+    M.RetType = consumeIf(TokKind::Colon) ? parseType() : Type::voidTy();
+    expect(TokKind::Semicolon, "';' after extern method");
+    E.Methods.push_back(std::move(M));
+    if (Index == Before)
+      advance(); // guarantee progress on malformed input
+  }
+  expect(TokKind::RBrace, "'}' closing extern");
+  P.Externs.push_back(std::move(E));
+}
+
+void Parser::parseFunc(Program &P) {
+  FuncDecl F;
+  F.Loc = tok().Loc;
+  expectIdent("def");
+  if (tok().is(TokKind::Identifier)) {
+    F.Name = tok().Text;
+    advance();
+  } else {
+    Diags.error(tok().Loc, "expected function name");
+  }
+  F.Params = parseParamList();
+  expect(TokKind::Colon, "':' before return type");
+  F.RetType = parseType();
+  expect(TokKind::LBrace, "'{'");
+  F.Body = parseStmtBlock();
+  expect(TokKind::RBrace, "'}' closing function");
+  P.Funcs.push_back(std::move(F));
+}
+
+void Parser::parsePipe(Program &P) {
+  PipeDecl Pipe;
+  Pipe.Loc = tok().Loc;
+  expectIdent("pipe");
+  if (tok().is(TokKind::Identifier)) {
+    Pipe.Name = tok().Text;
+    advance();
+  } else {
+    Diags.error(tok().Loc, "expected pipe name");
+  }
+  Pipe.Params = parseParamList();
+  expect(TokKind::LBracket, "'[' opening memory list");
+  if (!consumeIf(TokKind::RBracket)) {
+    do {
+      MemDecl M;
+      M.Loc = tok().Loc;
+      if (tok().is(TokKind::Identifier)) {
+        M.Name = tok().Text;
+        advance();
+      } else {
+        Diags.error(tok().Loc, "expected memory name");
+      }
+      expect(TokKind::Colon, "':' before memory type");
+      M.ElemType = parseType();
+      expect(TokKind::LBracket, "'[' before memory address width");
+      if (tok().is(TokKind::Number)) {
+        M.AddrWidth = static_cast<unsigned>(tok().Value);
+        if (M.AddrWidth < 1 || M.AddrWidth > 30) {
+          Diags.error(tok().Loc, "memory address width must be 1..30 bits");
+          M.AddrWidth = 1;
+        }
+        advance();
+      } else {
+        Diags.error(tok().Loc, "expected memory address width");
+      }
+      expect(TokKind::RBracket, "']' after address width");
+      M.IsSync = consumeIfIdent("sync");
+      Pipe.Mems.push_back(std::move(M));
+    } while (consumeIf(TokKind::Comma));
+    expect(TokKind::RBracket, "']' closing memory list");
+  }
+  Pipe.RetType = consumeIf(TokKind::Colon) ? parseType() : Type::voidTy();
+  expect(TokKind::LBrace, "'{'");
+  Pipe.Body = parseStmtBlock();
+  expect(TokKind::RBrace, "'}' closing pipe");
+  P.Pipes.push_back(std::move(Pipe));
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtList Parser::parseStmtBlock() {
+  StmtList Stmts;
+  while (!tok().is(TokKind::RBrace) && !tok().is(TokKind::Eof)) {
+    unsigned Before = Index;
+    StmtPtr S = parseStmt();
+    if (S)
+      Stmts.push_back(std::move(S));
+    if (Index == Before)
+      advance(); // Guarantee progress on malformed input.
+  }
+  return Stmts;
+}
+
+StmtPtr Parser::parseLockStmt(LockOp Op) {
+  SourceLoc Loc = tok().Loc;
+  advance(); // the op keyword
+  expect(TokKind::LParen, "'('");
+  std::string Mem;
+  if (tok().is(TokKind::Identifier)) {
+    Mem = tok().Text;
+    advance();
+  } else {
+    Diags.error(tok().Loc, "expected memory name in lock operation");
+  }
+  ExprPtr Addr;
+  if (consumeIf(TokKind::LBracket)) {
+    Addr = parseExpr();
+    expect(TokKind::RBracket, "']'");
+  }
+  LockMode Mode = LockMode::None;
+  if (consumeIf(TokKind::Comma)) {
+    if (consumeIfIdent("R"))
+      Mode = LockMode::Read;
+    else if (consumeIfIdent("W"))
+      Mode = LockMode::Write;
+    else
+      Diags.error(tok().Loc, "expected lock mode 'R' or 'W'");
+  }
+  expect(TokKind::RParen, "')'");
+  expect(TokKind::Semicolon, "';'");
+  return std::make_unique<LockStmt>(Loc, Op, Mode, std::move(Mem),
+                                    std::move(Addr));
+}
+
+/// Parses the right-hand side of `name <- ...`, which is one of a sync
+/// memory read, a pipe call, or a speculative pipe call.
+StmtPtr Parser::parseArrowRhs(SourceLoc Loc, std::optional<Type> DeclTy,
+                              std::string Name) {
+  bool IsSpec = consumeIfIdent("spec");
+  if (IsSpec || tok().isIdent("call")) {
+    expectIdent("call");
+    std::string Pipe;
+    if (tok().is(TokKind::Identifier)) {
+      Pipe = tok().Text;
+      advance();
+    } else {
+      Diags.error(tok().Loc, "expected pipe name after 'call'");
+    }
+    std::vector<ExprPtr> Args = parseArgs();
+    expect(TokKind::Semicolon, "';'");
+    return std::make_unique<PipeCallStmt>(Loc, IsSpec, std::move(Name), DeclTy,
+                                          std::move(Pipe), std::move(Args));
+  }
+  // Sync memory read: name <- mem[addr];
+  std::string Mem;
+  if (tok().is(TokKind::Identifier)) {
+    Mem = tok().Text;
+    advance();
+  } else {
+    Diags.error(tok().Loc, "expected memory or 'call' after '<-'");
+    syncToSemicolon();
+    return nullptr;
+  }
+  expect(TokKind::LBracket, "'['");
+  ExprPtr Addr = parseExpr();
+  expect(TokKind::RBracket, "']'");
+  expect(TokKind::Semicolon, "';'");
+  return std::make_unique<SyncReadStmt>(Loc, DeclTy, std::move(Name),
+                                        std::move(Mem), std::move(Addr));
+}
+
+StmtPtr Parser::parseIdentifierStmt() {
+  SourceLoc Loc = tok().Loc;
+
+  // Optionally typed declaration: `int<32> x = e;` / `bool b <- ...`.
+  std::optional<Type> DeclTy;
+  if (tok().isIdent("int") || tok().isIdent("uint") || tok().isIdent("bool"))
+    DeclTy = parseTypeOpt();
+
+  if (!tok().is(TokKind::Identifier)) {
+    Diags.error(tok().Loc, "expected variable name");
+    syncToSemicolon();
+    return nullptr;
+  }
+  std::string Name = tok().Text;
+  advance();
+
+  if (consumeIf(TokKind::Assign)) {
+    ExprPtr Value = parseExpr();
+    expect(TokKind::Semicolon, "';'");
+    return std::make_unique<AssignStmt>(Loc, DeclTy, std::move(Name),
+                                        std::move(Value));
+  }
+  if (consumeIf(TokKind::LeftArrow))
+    return parseArrowRhs(Loc, DeclTy, std::move(Name));
+
+  if (!DeclTy && consumeIf(TokKind::LBracket)) {
+    // Memory write: mem[addr] <- value;
+    ExprPtr Addr = parseExpr();
+    expect(TokKind::RBracket, "']'");
+    expect(TokKind::LeftArrow, "'<-' in memory write");
+    ExprPtr Value = parseExpr();
+    expect(TokKind::Semicolon, "';'");
+    return std::make_unique<MemWriteStmt>(Loc, std::move(Name),
+                                          std::move(Addr), std::move(Value));
+  }
+
+  Diags.error(tok().Loc, "expected '=', '<-', or '[' in statement");
+  syncToSemicolon();
+  return nullptr;
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = tok().Loc;
+
+  if (consumeIf(TokKind::StageSep))
+    return std::make_unique<StageSepStmt>(Loc);
+
+  if (tok().isIdent("if")) {
+    advance();
+    expect(TokKind::LParen, "'('");
+    ExprPtr Cond = parseExpr();
+    expect(TokKind::RParen, "')'");
+    expect(TokKind::LBrace, "'{'");
+    StmtList Then = parseStmtBlock();
+    expect(TokKind::RBrace, "'}'");
+    StmtList Else;
+    if (consumeIfIdent("else")) {
+      if (tok().isIdent("if")) {
+        // `else if` chains nest as a single-statement else block.
+        Else.push_back(parseStmt());
+      } else {
+        expect(TokKind::LBrace, "'{'");
+        Else = parseStmtBlock();
+        expect(TokKind::RBrace, "'}'");
+      }
+    }
+    return std::make_unique<IfStmt>(Loc, std::move(Cond), std::move(Then),
+                                    std::move(Else));
+  }
+
+  if (tok().isIdent("return")) {
+    advance();
+    ExprPtr Value = parseExpr();
+    expect(TokKind::Semicolon, "';'");
+    return std::make_unique<ReturnStmt>(Loc, std::move(Value));
+  }
+
+  if (tok().isIdent("output")) {
+    advance();
+    expect(TokKind::LParen, "'('");
+    ExprPtr Value = parseExpr();
+    expect(TokKind::RParen, "')'");
+    expect(TokKind::Semicolon, "';'");
+    return std::make_unique<OutputStmt>(Loc, std::move(Value));
+  }
+
+  if (tok().isIdent("reserve"))
+    return parseLockStmt(LockOp::Reserve);
+  if (tok().isIdent("block"))
+    return parseLockStmt(LockOp::Block);
+  if (tok().isIdent("acquire"))
+    return parseLockStmt(LockOp::Acquire);
+  if (tok().isIdent("release"))
+    return parseLockStmt(LockOp::Release);
+
+  if (tok().isIdent("spec_check") || tok().isIdent("spec_barrier")) {
+    bool Blocking = tok().isIdent("spec_barrier");
+    advance();
+    expect(TokKind::LParen, "'('");
+    expect(TokKind::RParen, "')'");
+    expect(TokKind::Semicolon, "';'");
+    return std::make_unique<SpecCheckStmt>(Loc, Blocking);
+  }
+
+  if (tok().isIdent("verify")) {
+    advance();
+    expect(TokKind::LParen, "'('");
+    std::string Handle;
+    if (tok().is(TokKind::Identifier)) {
+      Handle = tok().Text;
+      advance();
+    } else {
+      Diags.error(tok().Loc, "expected speculation handle");
+    }
+    expect(TokKind::Comma, "','");
+    ExprPtr Actual = parseExpr();
+    expect(TokKind::RParen, "')'");
+    ExprPtr PredUpdate;
+    if (consumeIf(TokKind::LBrace)) {
+      // `{ module.method(args) }` predictor update.
+      SourceLoc ULoc = tok().Loc;
+      std::string Module, Method;
+      if (tok().is(TokKind::Identifier)) {
+        Module = tok().Text;
+        advance();
+      }
+      expect(TokKind::Dot, "'.'");
+      if (tok().is(TokKind::Identifier)) {
+        Method = tok().Text;
+        advance();
+      }
+      std::vector<ExprPtr> Args = parseArgs();
+      PredUpdate = std::make_unique<ExternCallExpr>(
+          ULoc, std::move(Module), std::move(Method), std::move(Args));
+      expect(TokKind::RBrace, "'}'");
+      consumeIf(TokKind::Semicolon); // optional after a block
+    } else {
+      expect(TokKind::Semicolon, "';'");
+    }
+    return std::make_unique<VerifyStmt>(Loc, std::move(Handle),
+                                        std::move(Actual),
+                                        std::move(PredUpdate));
+  }
+
+  if (tok().isIdent("update")) {
+    advance();
+    expect(TokKind::LParen, "'('");
+    std::string Handle;
+    if (tok().is(TokKind::Identifier)) {
+      Handle = tok().Text;
+      advance();
+    } else {
+      Diags.error(tok().Loc, "expected speculation handle");
+    }
+    expect(TokKind::Comma, "','");
+    ExprPtr NewPred = parseExpr();
+    expect(TokKind::RParen, "')'");
+    expect(TokKind::Semicolon, "';'");
+    return std::make_unique<UpdateStmt>(Loc, std::move(Handle),
+                                        std::move(NewPred));
+  }
+
+  if (tok().isIdent("call")) {
+    advance();
+    std::string Pipe;
+    if (tok().is(TokKind::Identifier)) {
+      Pipe = tok().Text;
+      advance();
+    } else {
+      Diags.error(tok().Loc, "expected pipe name after 'call'");
+    }
+    std::vector<ExprPtr> Args = parseArgs();
+    expect(TokKind::Semicolon, "';'");
+    return std::make_unique<PipeCallStmt>(Loc, /*IsSpec=*/false,
+                                          /*ResultName=*/"", std::nullopt,
+                                          std::move(Pipe), std::move(Args));
+  }
+
+  if (tok().is(TokKind::Identifier))
+    return parseIdentifierStmt();
+
+  Diags.error(Loc, "expected a statement");
+  syncToSemicolon();
+  return nullptr;
+}
+
+std::vector<ExprPtr> Parser::parseArgs() {
+  std::vector<ExprPtr> Args;
+  expect(TokKind::LParen, "'('");
+  if (consumeIf(TokKind::RParen))
+    return Args;
+  do {
+    Args.push_back(parseExpr());
+  } while (consumeIf(TokKind::Comma));
+  expect(TokKind::RParen, "')'");
+  return Args;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseTernary(); }
+
+ExprPtr Parser::parseTernary() {
+  ExprPtr Cond = parseBinary(0);
+  if (!consumeIf(TokKind::Question))
+    return Cond;
+  SourceLoc Loc = Cond ? Cond->loc() : tok().Loc;
+  ExprPtr Then = parseTernary();
+  expect(TokKind::Colon, "':' in ternary expression");
+  ExprPtr Else = parseTernary();
+  return std::make_unique<TernaryExpr>(Loc, std::move(Cond), std::move(Then),
+                                       std::move(Else));
+}
+
+namespace {
+struct OpInfo {
+  BinaryOp Op;
+  int Prec;
+};
+} // namespace
+
+/// Returns the binary operator for the current token, if any. Precedence:
+/// || < && < | < ^ < & < (== !=) < (< <= > >=) < (<< >>) < ++ < (+ -)
+/// < (* / %).
+static std::optional<OpInfo> binaryOpFor(const Token &T) {
+  switch (T.Kind) {
+  case TokKind::PipePipe:
+    return OpInfo{BinaryOp::LogicalOr, 1};
+  case TokKind::AmpAmp:
+    return OpInfo{BinaryOp::LogicalAnd, 2};
+  case TokKind::Pipe:
+    return OpInfo{BinaryOp::BitOr, 3};
+  case TokKind::Caret:
+    return OpInfo{BinaryOp::BitXor, 4};
+  case TokKind::Amp:
+    return OpInfo{BinaryOp::BitAnd, 5};
+  case TokKind::EqEq:
+    return OpInfo{BinaryOp::Eq, 6};
+  case TokKind::NotEq:
+    return OpInfo{BinaryOp::Ne, 6};
+  case TokKind::Lt:
+    return OpInfo{BinaryOp::Lt, 7};
+  case TokKind::Le:
+    return OpInfo{BinaryOp::Le, 7};
+  case TokKind::Gt:
+    return OpInfo{BinaryOp::Gt, 7};
+  case TokKind::Ge:
+    return OpInfo{BinaryOp::Ge, 7};
+  case TokKind::Shl:
+    return OpInfo{BinaryOp::Shl, 8};
+  case TokKind::Shr:
+    return OpInfo{BinaryOp::Shr, 8};
+  case TokKind::PlusPlus:
+    return OpInfo{BinaryOp::Concat, 9};
+  case TokKind::Plus:
+    return OpInfo{BinaryOp::Add, 10};
+  case TokKind::Minus:
+    return OpInfo{BinaryOp::Sub, 10};
+  case TokKind::Star:
+    return OpInfo{BinaryOp::Mul, 11};
+  case TokKind::Slash:
+    return OpInfo{BinaryOp::Div, 11};
+  case TokKind::Percent:
+    return OpInfo{BinaryOp::Rem, 11};
+  default:
+    return std::nullopt;
+  }
+}
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr Lhs = parseUnary();
+  while (true) {
+    std::optional<OpInfo> Op = binaryOpFor(tok());
+    if (!Op || Op->Prec < MinPrec)
+      return Lhs;
+    SourceLoc Loc = tok().Loc;
+    advance();
+    ExprPtr Rhs = parseBinary(Op->Prec + 1);
+    Lhs = std::make_unique<BinaryExpr>(Loc, Op->Op, std::move(Lhs),
+                                       std::move(Rhs));
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = tok().Loc;
+  if (consumeIf(TokKind::Bang))
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::LogicalNot, parseUnary());
+  if (consumeIf(TokKind::Tilde))
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::BitNot, parseUnary());
+  if (consumeIf(TokKind::Minus))
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::Negate, parseUnary());
+  return parsePostfix(parsePrimary());
+}
+
+ExprPtr Parser::parsePostfix(ExprPtr Base) {
+  // Bit slice: expr{hi:lo} with constant bounds.
+  while (tok().is(TokKind::LBrace) && tok(1).is(TokKind::Number)) {
+    SourceLoc Loc = tok().Loc;
+    advance(); // {
+    unsigned Hi = static_cast<unsigned>(tok().Value);
+    advance();
+    expect(TokKind::Colon, "':' in bit slice");
+    unsigned Lo = 0;
+    if (tok().is(TokKind::Number)) {
+      Lo = static_cast<unsigned>(tok().Value);
+      advance();
+    } else {
+      Diags.error(tok().Loc, "expected constant low bound in bit slice");
+    }
+    expect(TokKind::RBrace, "'}' closing bit slice");
+    if (Hi < Lo) {
+      Diags.error(Loc, "bit slice high bound below low bound");
+      std::swap(Hi, Lo);
+    }
+    Base = std::make_unique<SliceExpr>(Loc, std::move(Base), Hi, Lo);
+  }
+  return Base;
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = tok().Loc;
+
+  if (tok().is(TokKind::Number)) {
+    uint64_t V = tok().Value;
+    advance();
+    return std::make_unique<IntLitExpr>(Loc, V);
+  }
+  if (tok().isIdent("true") || tok().isIdent("false")) {
+    bool V = tok().isIdent("true");
+    advance();
+    return std::make_unique<BoolLitExpr>(Loc, V);
+  }
+  if (consumeIf(TokKind::LParen)) {
+    ExprPtr E = parseExpr();
+    expect(TokKind::RParen, "')'");
+    return E;
+  }
+
+  // Width cast: int<8>(e) / uint<8>(e).
+  if ((tok().isIdent("int") || tok().isIdent("uint")) &&
+      tok(1).is(TokKind::Lt)) {
+    Type Target = parseType();
+    expect(TokKind::LParen, "'(' after cast type");
+    ExprPtr Operand = parseExpr();
+    expect(TokKind::RParen, "')'");
+    return std::make_unique<CastExpr>(Loc, Target, std::move(Operand));
+  }
+
+  if (tok().is(TokKind::Identifier)) {
+    std::string Name = tok().Text;
+    advance();
+    // Extern method call: module.method(args).
+    if (tok().is(TokKind::Dot)) {
+      advance();
+      std::string Method;
+      if (tok().is(TokKind::Identifier)) {
+        Method = tok().Text;
+        advance();
+      } else {
+        Diags.error(tok().Loc, "expected method name after '.'");
+      }
+      std::vector<ExprPtr> Args = parseArgs();
+      return std::make_unique<ExternCallExpr>(Loc, std::move(Name),
+                                              std::move(Method),
+                                              std::move(Args));
+    }
+    // Function call: name(args).
+    if (tok().is(TokKind::LParen)) {
+      std::vector<ExprPtr> Args = parseArgs();
+      return std::make_unique<FuncCallExpr>(Loc, std::move(Name),
+                                            std::move(Args));
+    }
+    // Combinational memory read: name[addr].
+    if (consumeIf(TokKind::LBracket)) {
+      ExprPtr Addr = parseExpr();
+      expect(TokKind::RBracket, "']'");
+      return std::make_unique<MemReadExpr>(Loc, std::move(Name),
+                                           std::move(Addr));
+    }
+    return std::make_unique<VarRefExpr>(Loc, std::move(Name));
+  }
+
+  Diags.error(Loc, "expected an expression");
+  advance();
+  return std::make_unique<IntLitExpr>(Loc, 0);
+}

@@ -1,0 +1,86 @@
+//===- Parser.h - PDL recursive-descent parser -----------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing ast::Program. Keywords are contextual
+/// identifiers; the grammar is LL(2) except for the statement forms headed
+/// by an identifier, which are disambiguated by peeking at the following
+/// token (`=`, `<-`, `[`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_PDL_PARSER_H
+#define PDL_PDL_PARSER_H
+
+#include "pdl/AST.h"
+#include "pdl/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+
+namespace pdl {
+
+/// Parses one PDL compilation unit. Errors are reported to the diagnostic
+/// engine; parsing continues past recoverable errors so several can be
+/// reported at once.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  /// Parses the whole token stream. The program is meaningful only when
+  /// the diagnostic engine reports no errors afterwards.
+  ast::Program parseProgram();
+
+  /// Convenience: lex + parse \p Source in one step.
+  static ast::Program parse(const SourceMgr &SM, DiagnosticEngine &Diags);
+
+private:
+  // Token cursor.
+  const Token &tok(unsigned Ahead = 0) const {
+    unsigned I = Index + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  Token advance() { return Tokens[Index < Tokens.size() - 1 ? Index++ : Index]; }
+  bool consumeIf(TokKind K);
+  bool consumeIfIdent(std::string_view S);
+  bool expect(TokKind K, const char *What);
+  bool expectIdent(std::string_view S);
+  void syncToSemicolon();
+
+  // Declarations.
+  void parseExtern(ast::Program &P);
+  void parseFunc(ast::Program &P);
+  void parsePipe(ast::Program &P);
+  std::vector<ast::Param> parseParamList();
+  std::optional<Type> parseTypeOpt();
+  Type parseType();
+
+  // Statements.
+  ast::StmtList parseStmtBlock();
+  ast::StmtPtr parseStmt();
+  ast::StmtPtr parseIdentifierStmt();
+  ast::StmtPtr parseLockStmt(ast::LockOp Op);
+  ast::StmtPtr parseArrowRhs(SourceLoc Loc, std::optional<Type> DeclTy,
+                             std::string Name);
+  std::vector<ast::ExprPtr> parseArgs();
+
+  // Expressions (precedence climbing).
+  ast::ExprPtr parseExpr();
+  ast::ExprPtr parseTernary();
+  ast::ExprPtr parseBinary(int MinPrec);
+  ast::ExprPtr parseUnary();
+  ast::ExprPtr parsePostfix(ast::ExprPtr Base);
+  ast::ExprPtr parsePrimary();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  unsigned Index = 0;
+};
+
+} // namespace pdl
+
+#endif // PDL_PDL_PARSER_H

@@ -1,0 +1,82 @@
+//===- Type.h - PDL type system --------------------------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PDL's types: sized signed/unsigned integers (`int<N>` / `uint<N>`),
+/// `bool`, and `void` (pipes without an output value). Memories are declared
+/// separately (see MemDecl in AST.h); a memory reference is not a first-class
+/// value, matching the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_PDL_TYPE_H
+#define PDL_PDL_TYPE_H
+
+#include <cassert>
+#include <string>
+
+namespace pdl {
+
+/// A PDL value type. Small value class, freely copyable.
+class Type {
+public:
+  enum class Kind { Invalid, Void, Bool, Int };
+
+  Type() : TKind(Kind::Invalid) {}
+
+  static Type voidTy() { return Type(Kind::Void, 0, false); }
+  static Type boolTy() { return Type(Kind::Bool, 1, false); }
+  static Type intTy(unsigned Width, bool IsSigned) {
+    assert(Width >= 1 && Width <= 64 && "unsupported integer width");
+    return Type(Kind::Int, Width, IsSigned);
+  }
+
+  Kind kind() const { return TKind; }
+  bool isValid() const { return TKind != Kind::Invalid; }
+  bool isVoid() const { return TKind == Kind::Void; }
+  bool isBool() const { return TKind == Kind::Bool; }
+  bool isInt() const { return TKind == Kind::Int; }
+
+  /// Bit width of a value of this type (bool is 1 bit).
+  unsigned width() const {
+    assert((isInt() || isBool()) && "width of non-value type");
+    return Width;
+  }
+
+  bool isSigned() const { return isInt() && Signed; }
+
+  bool operator==(const Type &O) const {
+    return TKind == O.TKind && Width == O.Width && Signed == O.Signed;
+  }
+  bool operator!=(const Type &O) const { return !(*this == O); }
+
+  /// Renders as PDL source syntax, e.g. "int<32>".
+  std::string str() const {
+    switch (TKind) {
+    case Kind::Invalid:
+      return "<invalid>";
+    case Kind::Void:
+      return "void";
+    case Kind::Bool:
+      return "bool";
+    case Kind::Int:
+      return (Signed ? "int<" : "uint<") + std::to_string(Width) + ">";
+    }
+    return "<?>";
+  }
+
+private:
+  Type(Kind K, unsigned Width, bool Signed)
+      : TKind(K), Width(Width), Signed(Signed) {}
+
+  Kind TKind;
+  unsigned Width = 0;
+  bool Signed = false;
+};
+
+} // namespace pdl
+
+#endif // PDL_PDL_TYPE_H

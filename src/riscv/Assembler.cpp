@@ -1,0 +1,301 @@
+//===- Assembler.cpp - Two-pass RV32I/M assembler ---------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "riscv/Assembler.h"
+
+#include "riscv/Encoding.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+using namespace pdl;
+using namespace pdl::riscv;
+
+namespace {
+
+[[noreturn]] void asmFatal(unsigned Line, const std::string &Msg) {
+  std::fprintf(stderr, "assembler error: line %u: %s\n", Line, Msg.c_str());
+  std::abort();
+}
+
+unsigned regNumber(const std::string &Name, unsigned Line) {
+  static const std::map<std::string, unsigned> Abi = {
+      {"zero", 0}, {"ra", 1},  {"sp", 2},   {"gp", 3},  {"tp", 4},
+      {"t0", 5},   {"t1", 6},  {"t2", 7},   {"s0", 8},  {"fp", 8},
+      {"s1", 9},   {"a0", 10}, {"a1", 11},  {"a2", 12}, {"a3", 13},
+      {"a4", 14},  {"a5", 15}, {"a6", 16},  {"a7", 17}, {"s2", 18},
+      {"s3", 19},  {"s4", 20}, {"s5", 21},  {"s6", 22}, {"s7", 23},
+      {"s8", 24},  {"s9", 25}, {"s10", 26}, {"s11", 27}, {"t3", 28},
+      {"t4", 29},  {"t5", 30}, {"t6", 31}};
+  if (Name.size() >= 2 && Name[0] == 'x' &&
+      std::isdigit(static_cast<unsigned char>(Name[1]))) {
+    unsigned N = std::strtoul(Name.c_str() + 1, nullptr, 10);
+    if (N < 32)
+      return N;
+  }
+  auto It = Abi.find(Name);
+  if (It == Abi.end())
+    asmFatal(Line, "unknown register '" + Name + "'");
+  return It->second;
+}
+
+struct Operand {
+  std::string Text;
+};
+
+/// One parsed source line: a mnemonic plus comma-separated operands.
+struct AsmLine {
+  unsigned LineNo = 0;
+  std::string Mnemonic;
+  std::vector<std::string> Ops;
+};
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r");
+  return S.substr(B, E - B + 1);
+}
+
+} // namespace
+
+std::vector<uint32_t> riscv::assemble(const std::string &Source,
+                                      uint32_t BaseAddr) {
+  // Pass 0: strip comments, split labels from instructions.
+  std::vector<AsmLine> Lines;
+  std::map<std::string, uint32_t> Labels;
+  uint32_t Addr = BaseAddr;
+
+  auto SizeOf = [](const AsmLine &L) -> uint32_t {
+    // li/la always expand to lui+addi so label addresses are stable.
+    return (L.Mnemonic == "li" || L.Mnemonic == "la") ? 8 : 4;
+  };
+
+  std::istringstream In(Source);
+  std::string Raw;
+  unsigned LineNo = 0;
+  while (std::getline(In, Raw)) {
+    ++LineNo;
+    size_t Hash = Raw.find('#');
+    if (Hash != std::string::npos)
+      Raw.resize(Hash);
+    size_t Slash = Raw.find("//");
+    if (Slash != std::string::npos)
+      Raw.resize(Slash);
+    std::string Text = trim(Raw);
+    // Peel off any leading labels.
+    size_t Colon;
+    while ((Colon = Text.find(':')) != std::string::npos &&
+           Text.find_first_of(" \t(") > Colon) {
+      std::string Label = trim(Text.substr(0, Colon));
+      if (Label.empty() || Labels.count(Label))
+        asmFatal(LineNo, "bad or duplicate label '" + Label + "'");
+      Labels[Label] = Addr;
+      Text = trim(Text.substr(Colon + 1));
+    }
+    if (Text.empty())
+      continue;
+
+    AsmLine L;
+    L.LineNo = LineNo;
+    size_t Sp = Text.find_first_of(" \t");
+    L.Mnemonic = Text.substr(0, Sp);
+    if (Sp != std::string::npos) {
+      std::string Rest = Text.substr(Sp + 1);
+      size_t Pos = 0;
+      while (Pos < Rest.size()) {
+        size_t Comma = Rest.find(',', Pos);
+        std::string Op = trim(Rest.substr(
+            Pos, Comma == std::string::npos ? std::string::npos
+                                            : Comma - Pos));
+        if (!Op.empty())
+          L.Ops.push_back(Op);
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
+      }
+    }
+    Addr += SizeOf(L);
+    Lines.push_back(std::move(L));
+  }
+
+  // Pass 1: encode.
+  auto ParseInt = [&](const std::string &S, unsigned Line) -> int64_t {
+    // Labels may be used where absolute values are accepted (li/la/.word).
+    auto It = Labels.find(S);
+    if (It != Labels.end())
+      return It->second;
+    char *End = nullptr;
+    long long V = std::strtoll(S.c_str(), &End, 0);
+    if (End == S.c_str() || *End != '\0')
+      asmFatal(Line, "bad integer or unknown label '" + S + "'");
+    return V;
+  };
+  auto LabelAddr = [&](const std::string &S, unsigned Line) -> uint32_t {
+    auto It = Labels.find(S);
+    if (It == Labels.end())
+      asmFatal(Line, "unknown label '" + S + "'");
+    return It->second;
+  };
+  // Parses "imm(base)".
+  auto ParseMem = [&](const std::string &S, unsigned Line, int32_t &Imm,
+                      unsigned &Base) {
+    size_t L = S.find('(');
+    size_t R = S.find(')');
+    if (L == std::string::npos || R == std::string::npos || R < L)
+      asmFatal(Line, "expected imm(base), got '" + S + "'");
+    std::string ImmS = trim(S.substr(0, L));
+    Imm = ImmS.empty() ? 0
+                       : static_cast<int32_t>(ParseInt(ImmS, Line));
+    Base = regNumber(trim(S.substr(L + 1, R - L - 1)), Line);
+  };
+
+  std::vector<uint32_t> Out;
+  Addr = BaseAddr;
+  for (const AsmLine &L : Lines) {
+    unsigned Ln = L.LineNo;
+    auto Need = [&](size_t N) {
+      if (L.Ops.size() != N)
+        asmFatal(Ln, L.Mnemonic + " expects " + std::to_string(N) +
+                         " operands");
+    };
+    auto Reg = [&](size_t I) { return regNumber(L.Ops[I], Ln); };
+    auto Imm = [&](size_t I) {
+      return static_cast<int32_t>(ParseInt(L.Ops[I], Ln));
+    };
+    auto Emit = [&](uint32_t Word) {
+      Out.push_back(Word);
+      Addr += 4;
+    };
+    auto EmitLiLa = [&](unsigned Rd, int64_t Value) {
+      uint32_t V = static_cast<uint32_t>(Value);
+      int32_t Lo = static_cast<int32_t>(V << 20) >> 20; // low 12, signed
+      uint32_t Hi = V - static_cast<uint32_t>(Lo);
+      Emit(encU(static_cast<int32_t>(Hi), Rd, OpLui));
+      Emit(encI(Lo, Rd, F3AddSub, Rd, OpImm));
+    };
+
+    const std::string &M = L.Mnemonic;
+    if (M == ".word") {
+      Need(1);
+      Emit(static_cast<uint32_t>(ParseInt(L.Ops[0], Ln)));
+    } else if (M == "nop") {
+      Emit(addi(0, 0, 0));
+    } else if (M == "mv") {
+      Need(2);
+      Emit(addi(Reg(0), Reg(1), 0));
+    } else if (M == "li" || M == "la") {
+      Need(2);
+      EmitLiLa(Reg(0), ParseInt(L.Ops[1], Ln));
+    } else if (M == "j") {
+      Need(1);
+      Emit(encJ(static_cast<int32_t>(LabelAddr(L.Ops[0], Ln) - Addr), 0,
+                OpJal));
+    } else if (M == "jal") {
+      if (L.Ops.size() == 1) {
+        Emit(encJ(static_cast<int32_t>(LabelAddr(L.Ops[0], Ln) - Addr), 1,
+                  OpJal));
+      } else {
+        Need(2);
+        Emit(encJ(static_cast<int32_t>(LabelAddr(L.Ops[1], Ln) - Addr),
+                  Reg(0), OpJal));
+      }
+    } else if (M == "jalr") {
+      if (L.Ops.size() == 1) {
+        Emit(encI(0, Reg(0), 0, 0, OpJalr));
+      } else {
+        Need(3);
+        Emit(encI(Imm(2), Reg(1), 0, Reg(0), OpJalr));
+      }
+    } else if (M == "ret") {
+      Emit(encI(0, 1, 0, 0, OpJalr));
+    } else if (M == "lui") {
+      Need(2);
+      Emit(encU(static_cast<int32_t>(ParseInt(L.Ops[1], Ln) << 12), Reg(0),
+                OpLui));
+    } else if (M == "auipc") {
+      Need(2);
+      Emit(encU(static_cast<int32_t>(ParseInt(L.Ops[1], Ln) << 12), Reg(0),
+                OpAuipc));
+    } else if (M == "lw") {
+      Need(2);
+      int32_t Off;
+      unsigned Base;
+      ParseMem(L.Ops[1], Ln, Off, Base);
+      Emit(lw(Reg(0), Base, Off));
+    } else if (M == "sw") {
+      Need(2);
+      int32_t Off;
+      unsigned Base;
+      ParseMem(L.Ops[1], Ln, Off, Base);
+      Emit(sw(Reg(0), Base, Off));
+    } else if (M == "beq" || M == "bne" || M == "blt" || M == "bge" ||
+               M == "bltu" || M == "bgeu") {
+      Need(3);
+      uint32_t F3 = M == "beq"    ? F3Beq
+                    : M == "bne"  ? F3Bne
+                    : M == "blt"  ? F3Blt
+                    : M == "bge"  ? F3Bge
+                    : M == "bltu" ? F3Bltu
+                                  : F3Bgeu;
+      int32_t Off = static_cast<int32_t>(LabelAddr(L.Ops[2], Ln) - Addr);
+      Emit(encB(Off, Reg(1), Reg(0), F3, OpBranch));
+    } else if (M == "addi" || M == "slti" || M == "sltiu" || M == "xori" ||
+               M == "ori" || M == "andi" || M == "slli" || M == "srli" ||
+               M == "srai") {
+      Need(3);
+      uint32_t F3 = M == "addi"    ? F3AddSub
+                    : M == "slti"  ? F3Slt
+                    : M == "sltiu" ? F3Sltu
+                    : M == "xori"  ? F3Xor
+                    : M == "ori"   ? F3Or
+                    : M == "andi"  ? F3And
+                    : M == "slli"  ? F3Sll
+                                   : F3SrlSra;
+      int32_t I = Imm(2);
+      if (M == "slli" || M == "srli" || M == "srai") {
+        if (I < 0 || I > 31)
+          asmFatal(Ln, "shift amount out of range");
+        if (M == "srai")
+          I |= 0x400; // funct7 bit 30 in the immediate field
+      }
+      Emit(encI(I, Reg(1), F3, Reg(0), OpImm));
+    } else if (M == "add" || M == "sub" || M == "sll" || M == "slt" ||
+               M == "sltu" || M == "xor" || M == "srl" || M == "sra" ||
+               M == "or" || M == "and") {
+      Need(3);
+      uint32_t F7 = (M == "sub" || M == "sra") ? 0x20 : 0;
+      uint32_t F3 = (M == "add" || M == "sub") ? F3AddSub
+                    : M == "sll"               ? F3Sll
+                    : M == "slt"               ? F3Slt
+                    : M == "sltu"              ? F3Sltu
+                    : M == "xor"               ? F3Xor
+                    : (M == "srl" || M == "sra") ? F3SrlSra
+                    : M == "or"                ? F3Or
+                                               : F3And;
+      Emit(encR(F7, Reg(2), Reg(1), F3, Reg(0), OpReg));
+    } else if (M == "mul" || M == "mulh" || M == "mulhsu" || M == "mulhu" ||
+               M == "div" || M == "divu" || M == "rem" || M == "remu") {
+      Need(3);
+      uint32_t F3 = M == "mul"      ? F3Mul
+                    : M == "mulh"   ? F3Mulh
+                    : M == "mulhsu" ? F3Mulhsu
+                    : M == "mulhu"  ? F3Mulhu
+                    : M == "div"    ? F3Div
+                    : M == "divu"   ? F3Divu
+                    : M == "rem"    ? F3Rem
+                                    : F3Remu;
+      Emit(encR(1, Reg(2), Reg(1), F3, Reg(0), OpReg));
+    } else {
+      asmFatal(Ln, "unknown mnemonic '" + M + "'");
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,42 @@
+//===- Assembler.h - Two-pass RV32I/M assembler ----------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small two-pass assembler for the benchmark kernels. Supported syntax:
+///
+///   label:                     # labels (own line or before an instr)
+///   addi x1, sp, -4            # numeric and ABI register names
+///   lw   a0, 8(s1)             # loads/stores with offset(base)
+///   beq  a0, zero, done        # branch / jal targets are labels
+///   li   t0, 0x12345678        # pseudo: always lui+addi (2 words)
+///   la   t0, buffer            # pseudo: absolute address, lui+addi
+///   mv / j / nop / ret         # common pseudos
+///   .word 42                   # literal data words
+///
+/// Comments start with '#' or '//'. Errors abort with a message including
+/// the line number (kernels are internal inputs, not user programs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_RISCV_ASSEMBLER_H
+#define PDL_RISCV_ASSEMBLER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdl {
+namespace riscv {
+
+/// Assembles \p Source into instruction words. \p BaseAddr is the byte
+/// address of the first word (labels resolve relative to it).
+std::vector<uint32_t> assemble(const std::string &Source,
+                               uint32_t BaseAddr = 0);
+
+} // namespace riscv
+} // namespace pdl
+
+#endif // PDL_RISCV_ASSEMBLER_H

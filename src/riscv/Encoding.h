@@ -1,0 +1,164 @@
+//===- Encoding.h - RV32I/M instruction encodings --------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction encodings for the ISA subset the reproduced cores implement:
+/// RV32I integer ops, word loads/stores, branches, jumps, LUI/AUIPC, plus
+/// the M extension's multiply/divide. Sub-word memory accesses, FENCE,
+/// and SYSTEM instructions are outside the subset (the paper's kernels are
+/// regenerated as word-oriented assembly; see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_RISCV_ENCODING_H
+#define PDL_RISCV_ENCODING_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace pdl {
+namespace riscv {
+
+// Major opcodes.
+enum Opcode : uint32_t {
+  OpLui = 0b0110111,
+  OpAuipc = 0b0010111,
+  OpJal = 0b1101111,
+  OpJalr = 0b1100111,
+  OpBranch = 0b1100011,
+  OpLoad = 0b0000011,
+  OpStore = 0b0100011,
+  OpImm = 0b0010011,
+  OpReg = 0b0110011,
+};
+
+// funct3 values.
+enum Funct3 : uint32_t {
+  F3AddSub = 0b000,
+  F3Sll = 0b001,
+  F3Slt = 0b010,
+  F3Sltu = 0b011,
+  F3Xor = 0b100,
+  F3SrlSra = 0b101,
+  F3Or = 0b110,
+  F3And = 0b111,
+  F3Beq = 0b000,
+  F3Bne = 0b001,
+  F3Blt = 0b100,
+  F3Bge = 0b101,
+  F3Bltu = 0b110,
+  F3Bgeu = 0b111,
+  F3Lw = 0b010,
+  F3Sw = 0b010,
+  // M extension (OpReg with funct7 = 1).
+  F3Mul = 0b000,
+  F3Mulh = 0b001,
+  F3Mulhsu = 0b010,
+  F3Mulhu = 0b011,
+  F3Div = 0b100,
+  F3Divu = 0b101,
+  F3Rem = 0b110,
+  F3Remu = 0b111,
+};
+
+inline uint32_t fieldRd(uint32_t I) { return (I >> 7) & 31; }
+inline uint32_t fieldRs1(uint32_t I) { return (I >> 15) & 31; }
+inline uint32_t fieldRs2(uint32_t I) { return (I >> 20) & 31; }
+inline uint32_t fieldF3(uint32_t I) { return (I >> 12) & 7; }
+inline uint32_t fieldF7(uint32_t I) { return I >> 25; }
+inline uint32_t fieldOpcode(uint32_t I) { return I & 127; }
+
+inline int32_t immI(uint32_t I) { return static_cast<int32_t>(I) >> 20; }
+inline int32_t immS(uint32_t I) {
+  return ((static_cast<int32_t>(I) >> 25) << 5) | fieldRd(I);
+}
+inline int32_t immB(uint32_t I) {
+  int32_t Imm = ((static_cast<int32_t>(I) >> 31) << 12) |
+                (((I >> 7) & 1) << 11) | (((I >> 25) & 63) << 5) |
+                (((I >> 8) & 15) << 1);
+  return Imm;
+}
+inline int32_t immU(uint32_t I) { return static_cast<int32_t>(I & ~0xfffu); }
+inline int32_t immJ(uint32_t I) {
+  return ((static_cast<int32_t>(I) >> 31) << 20) | (I & 0xff000) |
+         (((I >> 20) & 1) << 11) | (((I >> 21) & 0x3ff) << 1);
+}
+
+// Instruction builders.
+inline uint32_t encR(uint32_t F7, uint32_t Rs2, uint32_t Rs1, uint32_t F3,
+                     uint32_t Rd, uint32_t Op) {
+  return (F7 << 25) | (Rs2 << 20) | (Rs1 << 15) | (F3 << 12) | (Rd << 7) |
+         Op;
+}
+inline uint32_t encI(int32_t Imm, uint32_t Rs1, uint32_t F3, uint32_t Rd,
+                     uint32_t Op) {
+  assert(Imm >= -2048 && Imm < 2048 && "I-immediate out of range");
+  return (static_cast<uint32_t>(Imm & 0xfff) << 20) | (Rs1 << 15) |
+         (F3 << 12) | (Rd << 7) | Op;
+}
+inline uint32_t encS(int32_t Imm, uint32_t Rs2, uint32_t Rs1, uint32_t F3,
+                     uint32_t Op) {
+  assert(Imm >= -2048 && Imm < 2048 && "S-immediate out of range");
+  uint32_t U = static_cast<uint32_t>(Imm & 0xfff);
+  return ((U >> 5) << 25) | (Rs2 << 20) | (Rs1 << 15) | (F3 << 12) |
+         ((U & 31) << 7) | Op;
+}
+inline uint32_t encB(int32_t Imm, uint32_t Rs2, uint32_t Rs1, uint32_t F3,
+                     uint32_t Op) {
+  assert(Imm >= -4096 && Imm < 4096 && (Imm & 1) == 0 &&
+         "B-immediate out of range");
+  uint32_t U = static_cast<uint32_t>(Imm);
+  return (((U >> 12) & 1) << 31) | (((U >> 5) & 63) << 25) | (Rs2 << 20) |
+         (Rs1 << 15) | (F3 << 12) | (((U >> 1) & 15) << 8) |
+         (((U >> 11) & 1) << 7) | Op;
+}
+inline uint32_t encU(int32_t Imm, uint32_t Rd, uint32_t Op) {
+  return (static_cast<uint32_t>(Imm) & ~0xfffu) | (Rd << 7) | Op;
+}
+inline uint32_t encJ(int32_t Imm, uint32_t Rd, uint32_t Op) {
+  assert(Imm >= -(1 << 20) && Imm < (1 << 20) && (Imm & 1) == 0 &&
+         "J-immediate out of range");
+  uint32_t U = static_cast<uint32_t>(Imm);
+  return (((U >> 20) & 1) << 31) | (((U >> 1) & 0x3ff) << 21) |
+         (((U >> 11) & 1) << 20) | (((U >> 12) & 0xff) << 12) | (Rd << 7) |
+         Op;
+}
+
+// Convenience builders used by tests and workload generators.
+inline uint32_t addi(unsigned Rd, unsigned Rs1, int32_t Imm) {
+  return encI(Imm, Rs1, F3AddSub, Rd, OpImm);
+}
+inline uint32_t add(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return encR(0, Rs2, Rs1, F3AddSub, Rd, OpReg);
+}
+inline uint32_t sub(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return encR(0x20, Rs2, Rs1, F3AddSub, Rd, OpReg);
+}
+inline uint32_t lw(unsigned Rd, unsigned Rs1, int32_t Imm) {
+  return encI(Imm, Rs1, F3Lw, Rd, OpLoad);
+}
+inline uint32_t sw(unsigned Rs2, unsigned Rs1, int32_t Imm) {
+  return encS(Imm, Rs2, Rs1, F3Sw, OpStore);
+}
+inline uint32_t beq(unsigned Rs1, unsigned Rs2, int32_t Off) {
+  return encB(Off, Rs2, Rs1, F3Beq, OpBranch);
+}
+inline uint32_t bne(unsigned Rs1, unsigned Rs2, int32_t Off) {
+  return encB(Off, Rs2, Rs1, F3Bne, OpBranch);
+}
+inline uint32_t jal(unsigned Rd, int32_t Off) { return encJ(Off, Rd, OpJal); }
+inline uint32_t lui(unsigned Rd, int32_t Imm) { return encU(Imm, Rd, OpLui); }
+inline uint32_t mul(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return encR(1, Rs2, Rs1, F3Mul, Rd, OpReg);
+}
+inline uint32_t div(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return encR(1, Rs2, Rs1, F3Div, Rd, OpReg);
+}
+
+} // namespace riscv
+} // namespace pdl
+
+#endif // PDL_RISCV_ENCODING_H

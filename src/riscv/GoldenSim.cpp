@@ -1,0 +1,231 @@
+//===- GoldenSim.cpp - Architectural RV32I/M reference simulator ------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "riscv/GoldenSim.h"
+
+#include "riscv/Encoding.h"
+
+#include <cassert>
+
+using namespace pdl;
+using namespace pdl::riscv;
+
+GoldenSim::GoldenSim(unsigned ImemAddrBits, unsigned DmemAddrBits)
+    : ImemBits(ImemAddrBits), DmemBits(DmemAddrBits),
+      Imem(size_t(1) << ImemAddrBits, 0), Dmem(size_t(1) << DmemAddrBits,
+                                               0) {}
+
+void GoldenSim::loadProgram(const std::vector<uint32_t> &Words,
+                            uint32_t ByteBase) {
+  assert(ByteBase % 4 == 0 && "program base must be word-aligned");
+  for (size_t I = 0; I != Words.size(); ++I) {
+    size_t W = (ByteBase / 4) + I;
+    assert(W < Imem.size() && "program exceeds instruction memory");
+    Imem[W] = Words[I];
+  }
+}
+
+void GoldenSim::storeData(uint32_t WordAddr, uint32_t Value) {
+  assert(WordAddr < Dmem.size() && "data address out of range");
+  Dmem[WordAddr] = Value;
+}
+
+uint32_t GoldenSim::loadData(uint32_t WordAddr) const {
+  assert(WordAddr < Dmem.size() && "data address out of range");
+  return Dmem[WordAddr];
+}
+
+void GoldenSim::setReg(unsigned R, uint32_t V) {
+  assert(R < 32);
+  if (R != 0)
+    Regs[R] = V;
+}
+
+uint32_t GoldenSim::fetch(uint32_t ByteAddr) const {
+  uint32_t W = (ByteAddr >> 2) & ((1u << ImemBits) - 1);
+  return Imem[W];
+}
+
+uint64_t GoldenSim::run(uint64_t MaxInstrs, std::vector<CommitRecord> *Log) {
+  uint64_t Done = 0;
+  while (Done < MaxInstrs && !Halted) {
+    uint32_t I = fetch(Pc);
+    CommitRecord Rec;
+    Rec.Pc = Pc;
+    Rec.Insn = I;
+
+    uint32_t Op = fieldOpcode(I);
+    unsigned Rd = fieldRd(I), Rs1 = fieldRs1(I), Rs2 = fieldRs2(I);
+    uint32_t F3 = fieldF3(I), F7 = fieldF7(I);
+    uint32_t A = Regs[Rs1], B = Regs[Rs2];
+    uint32_t Next = Pc + 4;
+
+    auto WriteRd = [&](uint32_t V) {
+      if (Rd != 0) {
+        Regs[Rd] = V;
+        Rec.RegWrite = {Rd, V};
+      }
+    };
+    auto AluOp = [&](uint32_t F3v, bool Alt, uint32_t X,
+                     uint32_t Y) -> uint32_t {
+      switch (F3v) {
+      case F3AddSub:
+        return Alt ? X - Y : X + Y;
+      case F3Sll:
+        return X << (Y & 31);
+      case F3Slt:
+        return static_cast<int32_t>(X) < static_cast<int32_t>(Y);
+      case F3Sltu:
+        return X < Y;
+      case F3Xor:
+        return X ^ Y;
+      case F3SrlSra:
+        return Alt ? static_cast<uint32_t>(static_cast<int32_t>(X) >>
+                                           (Y & 31))
+                   : X >> (Y & 31);
+      case F3Or:
+        return X | Y;
+      case F3And:
+        return X & Y;
+      }
+      return 0;
+    };
+
+    switch (Op) {
+    case OpLui:
+      WriteRd(static_cast<uint32_t>(immU(I)));
+      break;
+    case OpAuipc:
+      WriteRd(Pc + static_cast<uint32_t>(immU(I)));
+      break;
+    case OpJal:
+      WriteRd(Pc + 4);
+      Next = Pc + static_cast<uint32_t>(immJ(I));
+      ++TakenBranches;
+      break;
+    case OpJalr:
+      WriteRd(Pc + 4);
+      Next = (A + static_cast<uint32_t>(immI(I))) & ~1u;
+      ++TakenBranches;
+      break;
+    case OpBranch: {
+      bool Taken = false;
+      switch (F3) {
+      case F3Beq:
+        Taken = A == B;
+        break;
+      case F3Bne:
+        Taken = A != B;
+        break;
+      case F3Blt:
+        Taken = static_cast<int32_t>(A) < static_cast<int32_t>(B);
+        break;
+      case F3Bge:
+        Taken = static_cast<int32_t>(A) >= static_cast<int32_t>(B);
+        break;
+      case F3Bltu:
+        Taken = A < B;
+        break;
+      case F3Bgeu:
+        Taken = A >= B;
+        break;
+      }
+      if (Taken) {
+        Next = Pc + static_cast<uint32_t>(immB(I));
+        ++TakenBranches;
+      }
+      break;
+    }
+    case OpLoad: {
+      assert(F3 == F3Lw && "only word loads are in the ISA subset");
+      uint32_t Addr = A + static_cast<uint32_t>(immI(I));
+      assert(Addr % 4 == 0 && "misaligned load");
+      uint32_t W = (Addr >> 2) & ((1u << DmemBits) - 1);
+      WriteRd(Dmem[W]);
+      ++Loads;
+      break;
+    }
+    case OpStore: {
+      assert(F3 == F3Sw && "only word stores are in the ISA subset");
+      uint32_t Addr = A + static_cast<uint32_t>(immS(I));
+      assert(Addr % 4 == 0 && "misaligned store");
+      uint32_t W = (Addr >> 2) & ((1u << DmemBits) - 1);
+      Dmem[W] = B;
+      Rec.MemWrite = {W, B};
+      if (HaltAddr && Addr == *HaltAddr)
+        Halted = true;
+      break;
+    }
+    case OpImm: {
+      int32_t Imm = immI(I);
+      bool Alt = F3 == F3SrlSra && (I & (1u << 30));
+      uint32_t Y = (F3 == F3Sll || F3 == F3SrlSra)
+                       ? (static_cast<uint32_t>(Imm) & 31)
+                       : static_cast<uint32_t>(Imm);
+      if (F3 == F3AddSub)
+        WriteRd(A + static_cast<uint32_t>(Imm)); // no subi
+      else
+        WriteRd(AluOp(F3, Alt, A, Y));
+      break;
+    }
+    case OpReg: {
+      if (F7 == 1) {
+        // M extension.
+        int64_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+        uint64_t UA = A, UB = B;
+        uint32_t V = 0;
+        switch (F3) {
+        case F3Mul:
+          V = A * B;
+          break;
+        case F3Mulh:
+          V = static_cast<uint32_t>((SA * SB) >> 32);
+          break;
+        case F3Mulhsu:
+          V = static_cast<uint32_t>(
+              (SA * static_cast<int64_t>(UB)) >> 32);
+          break;
+        case F3Mulhu:
+          V = static_cast<uint32_t>((UA * UB) >> 32);
+          break;
+        case F3Div:
+          V = B == 0 ? ~0u
+              : (A == 0x80000000u && B == ~0u)
+                  ? A
+                  : static_cast<uint32_t>(static_cast<int32_t>(A) /
+                                          static_cast<int32_t>(B));
+          break;
+        case F3Divu:
+          V = B == 0 ? ~0u : A / B;
+          break;
+        case F3Rem:
+          V = B == 0 ? A
+              : (A == 0x80000000u && B == ~0u)
+                  ? 0
+                  : static_cast<uint32_t>(static_cast<int32_t>(A) %
+                                          static_cast<int32_t>(B));
+          break;
+        case F3Remu:
+          V = B == 0 ? A : A % B;
+          break;
+        }
+        WriteRd(V);
+      } else {
+        WriteRd(AluOp(F3, F7 == 0x20, A, B));
+      }
+      break;
+    }
+    default:
+      assert(false && "illegal instruction in the ISA subset");
+    }
+
+    Pc = Next;
+    ++Done;
+    if (Log)
+      Log->push_back(Rec);
+  }
+  return Done;
+}

@@ -1,0 +1,78 @@
+//===- GoldenSim.h - Architectural RV32I/M reference simulator -*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A one-instruction-at-a-time RV32I/M interpreter over word-addressed
+/// memories, matching the geometry of the PDL cores (separate instruction
+/// and data word memories, single-cycle "always hit" semantics). It is the
+/// architectural oracle for the processor-equivalence tests: each executed
+/// instruction's register and memory writebacks are logged and compared
+/// against the pipelined cores' committed traces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_RISCV_GOLDENSIM_H
+#define PDL_RISCV_GOLDENSIM_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace pdl {
+namespace riscv {
+
+/// What one retired instruction did.
+struct CommitRecord {
+  uint32_t Pc = 0;
+  uint32_t Insn = 0;
+  /// (rd, value) when the instruction wrote a register (rd != 0).
+  std::optional<std::pair<unsigned, uint32_t>> RegWrite;
+  /// (word address, value) when the instruction stored.
+  std::optional<std::pair<uint32_t, uint32_t>> MemWrite;
+};
+
+class GoldenSim {
+public:
+  /// Word-memory sizes as address-bit widths (2^N words each).
+  GoldenSim(unsigned ImemAddrBits = 12, unsigned DmemAddrBits = 14);
+
+  void loadProgram(const std::vector<uint32_t> &Words, uint32_t ByteBase = 0);
+  void storeData(uint32_t WordAddr, uint32_t Value);
+  uint32_t loadData(uint32_t WordAddr) const;
+  uint32_t reg(unsigned R) const { return Regs[R]; }
+  void setReg(unsigned R, uint32_t V);
+
+  /// Execution stops when a store hits this byte address.
+  void setHaltStore(uint32_t ByteAddr) { HaltAddr = ByteAddr; }
+
+  /// Executes up to \p MaxInstrs; returns the number retired. When
+  /// \p Log is non-null, appends one CommitRecord per instruction.
+  uint64_t run(uint64_t MaxInstrs, std::vector<CommitRecord> *Log = nullptr);
+
+  bool halted() const { return Halted; }
+  uint32_t pc() const { return Pc; }
+  void setPc(uint32_t NewPc) { Pc = NewPc; }
+
+  /// Dynamic mix counters (used by the benchmark harness narrative).
+  uint64_t takenBranches() const { return TakenBranches; }
+  uint64_t loads() const { return Loads; }
+
+private:
+  uint32_t fetch(uint32_t ByteAddr) const;
+
+  unsigned ImemBits, DmemBits;
+  std::vector<uint32_t> Imem, Dmem;
+  uint32_t Regs[32] = {};
+  uint32_t Pc = 0;
+  std::optional<uint32_t> HaltAddr;
+  bool Halted = false;
+  uint64_t TakenBranches = 0, Loads = 0;
+};
+
+} // namespace riscv
+} // namespace pdl
+
+#endif // PDL_RISCV_GOLDENSIM_H

@@ -1,0 +1,143 @@
+//===- Formula.h - Propositional + equality formulas -----------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formula representation for the PDL compiler's path-sensitive checks
+/// (Section 4.3 of the paper). The fragment is deliberately small: boolean
+/// program variables, equalities between program variables and constants,
+/// and the propositional connectives. This is exactly the abstraction the
+/// paper asks designers to stay within ("simplify branch conditions into
+/// booleans or comparisons between variables") and it is decided by the
+/// DPLL(T) solver in Solver.h, standing in for Z3.
+///
+/// Formulas are hash-consed: structurally equal formulas are pointer-equal.
+/// All nodes are owned by a FormulaContext and live as long as it does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SMT_FORMULA_H
+#define PDL_SMT_FORMULA_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdl {
+namespace smt {
+
+/// A first-order term: either an interned program variable or an integer
+/// constant. Terms are identified by a small integer handle.
+struct Term {
+  enum class Kind { Variable, Constant };
+  Kind TermKind;
+  /// Variable name for variables; empty for constants.
+  std::string Name;
+  /// Constant value for constants.
+  uint64_t Value = 0;
+};
+
+using TermId = unsigned;
+
+class FormulaContext;
+
+/// Base class for hash-consed formula nodes.
+class Formula {
+public:
+  enum class Kind { True, False, BoolVar, Eq, Not, And, Or };
+
+  Kind kind() const { return FKind; }
+
+  /// Prints a human-readable rendering (for diagnostics and tests).
+  std::string str(const FormulaContext &Ctx) const;
+
+  virtual ~Formula();
+
+protected:
+  explicit Formula(Kind K) : FKind(K) {}
+
+private:
+  Kind FKind;
+};
+
+/// The constants `true` / `false`.
+class ConstFormula : public Formula {
+public:
+  explicit ConstFormula(bool Value)
+      : Formula(Value ? Kind::True : Kind::False) {}
+
+  bool value() const { return kind() == Kind::True; }
+
+  static bool classof(const Formula *F) {
+    return F->kind() == Kind::True || F->kind() == Kind::False;
+  }
+};
+
+/// A boolean program variable used as an atom.
+class BoolVarFormula : public Formula {
+public:
+  explicit BoolVarFormula(TermId Var) : Formula(Kind::BoolVar), Var(Var) {}
+
+  TermId var() const { return Var; }
+
+  static bool classof(const Formula *F) { return F->kind() == Kind::BoolVar; }
+
+private:
+  TermId Var;
+};
+
+/// Equality between two terms. Operands are stored in canonical (sorted)
+/// order so Eq(a,b) and Eq(b,a) hash-cons to the same node.
+class EqFormula : public Formula {
+public:
+  EqFormula(TermId Lhs, TermId Rhs) : Formula(Kind::Eq), Lhs(Lhs), Rhs(Rhs) {}
+
+  TermId lhs() const { return Lhs; }
+  TermId rhs() const { return Rhs; }
+
+  static bool classof(const Formula *F) { return F->kind() == Kind::Eq; }
+
+private:
+  TermId Lhs, Rhs;
+};
+
+/// Logical negation.
+class NotFormula : public Formula {
+public:
+  explicit NotFormula(const Formula *Operand)
+      : Formula(Kind::Not), Operand(Operand) {}
+
+  const Formula *operand() const { return Operand; }
+
+  static bool classof(const Formula *F) { return F->kind() == Kind::Not; }
+
+private:
+  const Formula *Operand;
+};
+
+/// N-ary conjunction or disjunction (operands deduplicated and sorted).
+class NaryFormula : public Formula {
+public:
+  NaryFormula(Kind K, std::vector<const Formula *> Operands)
+      : Formula(K), Operands(std::move(Operands)) {
+    assert((kind() == Kind::And || kind() == Kind::Or) && "bad n-ary kind");
+  }
+
+  const std::vector<const Formula *> &operands() const { return Operands; }
+
+  static bool classof(const Formula *F) {
+    return F->kind() == Kind::And || F->kind() == Kind::Or;
+  }
+
+private:
+  std::vector<const Formula *> Operands;
+};
+
+} // namespace smt
+} // namespace pdl
+
+#endif // PDL_SMT_FORMULA_H

@@ -1,0 +1,193 @@
+//===- FormulaContext.cpp - Formula arena and builders --------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/FormulaContext.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace pdl;
+using namespace pdl::smt;
+
+// Out-of-line virtual anchor.
+Formula::~Formula() = default;
+
+/// Builds a structural key unique per canonical node. Operand identity is
+/// encoded by pointer value, which is stable because nodes are arena-owned.
+static std::string keyFor(Formula::Kind K, const void *A, const void *B) {
+  std::ostringstream OS;
+  OS << static_cast<int>(K) << ':' << A << ':' << B;
+  return OS.str();
+}
+
+FormulaContext::FormulaContext() {
+  auto T = std::make_unique<ConstFormula>(true);
+  auto F = std::make_unique<ConstFormula>(false);
+  TrueF = T.get();
+  FalseF = F.get();
+  Nodes.push_back(std::move(T));
+  Nodes.push_back(std::move(F));
+}
+
+TermId FormulaContext::variable(const std::string &Name) {
+  auto It = VarIds.find(Name);
+  if (It != VarIds.end())
+    return It->second;
+  TermId Id = Terms.size();
+  Terms.push_back({Term::Kind::Variable, Name, 0});
+  VarIds.emplace(Name, Id);
+  return Id;
+}
+
+TermId FormulaContext::constant(uint64_t Value) {
+  auto It = ConstIds.find(Value);
+  if (It != ConstIds.end())
+    return It->second;
+  TermId Id = Terms.size();
+  Terms.push_back({Term::Kind::Constant, "", Value});
+  ConstIds.emplace(Value, Id);
+  return Id;
+}
+
+const Formula *FormulaContext::intern(std::unique_ptr<Formula> F,
+                                      const std::string &Key) {
+  auto It = Interned.find(Key);
+  if (It != Interned.end())
+    return It->second;
+  const Formula *Raw = F.get();
+  Nodes.push_back(std::move(F));
+  Interned.emplace(Key, Raw);
+  return Raw;
+}
+
+const Formula *FormulaContext::boolVar(TermId Var) {
+  assert(Terms[Var].TermKind == Term::Kind::Variable &&
+         "boolVar requires a variable term");
+  std::string Key = "b:" + std::to_string(Var);
+  auto It = Interned.find(Key);
+  if (It != Interned.end())
+    return It->second;
+  return intern(std::make_unique<BoolVarFormula>(Var), Key);
+}
+
+const Formula *FormulaContext::eq(TermId Lhs, TermId Rhs) {
+  if (Lhs == Rhs)
+    return TrueF;
+  // Distinct constants can never be equal.
+  const Term &L = Terms[Lhs], &R = Terms[Rhs];
+  if (L.TermKind == Term::Kind::Constant && R.TermKind == Term::Kind::Constant)
+    return L.Value == R.Value ? TrueF : FalseF;
+  if (Lhs > Rhs)
+    std::swap(Lhs, Rhs);
+  std::string Key = "e:" + std::to_string(Lhs) + ":" + std::to_string(Rhs);
+  auto It = Interned.find(Key);
+  if (It != Interned.end())
+    return It->second;
+  return intern(std::make_unique<EqFormula>(Lhs, Rhs), Key);
+}
+
+const Formula *FormulaContext::notF(const Formula *F) {
+  if (F == TrueF)
+    return FalseF;
+  if (F == FalseF)
+    return TrueF;
+  if (const auto *N = dyn_cast<NotFormula>(F))
+    return N->operand();
+  return intern(std::make_unique<NotFormula>(F),
+                keyFor(Formula::Kind::Not, F, nullptr));
+}
+
+const Formula *FormulaContext::makeNary(Formula::Kind K,
+                                        std::vector<const Formula *> Fs) {
+  const Formula *Unit = K == Formula::Kind::And ? TrueF : FalseF;
+  const Formula *Zero = K == Formula::Kind::And ? FalseF : TrueF;
+
+  // Flatten nested nodes of the same kind and drop units.
+  std::vector<const Formula *> Flat;
+  for (const Formula *F : Fs) {
+    if (F == Unit)
+      continue;
+    if (F == Zero)
+      return Zero;
+    if (const auto *N = dyn_cast<NaryFormula>(F); N && N->kind() == K) {
+      for (const Formula *Op : N->operands())
+        Flat.push_back(Op);
+      continue;
+    }
+    Flat.push_back(F);
+  }
+  std::sort(Flat.begin(), Flat.end());
+  Flat.erase(std::unique(Flat.begin(), Flat.end()), Flat.end());
+
+  // x AND NOT x => false; x OR NOT x => true.
+  for (const Formula *F : Flat) {
+    const auto *N = dyn_cast<NotFormula>(F);
+    if (N && std::binary_search(Flat.begin(), Flat.end(), N->operand()))
+      return Zero;
+  }
+
+  if (Flat.empty())
+    return Unit;
+  if (Flat.size() == 1)
+    return Flat.front();
+
+  std::ostringstream OS;
+  OS << static_cast<int>(K);
+  for (const Formula *F : Flat)
+    OS << ':' << F;
+  return intern(std::make_unique<NaryFormula>(K, std::move(Flat)), OS.str());
+}
+
+const Formula *FormulaContext::andF(const Formula *A, const Formula *B) {
+  return makeNary(Formula::Kind::And, {A, B});
+}
+
+const Formula *FormulaContext::orF(const Formula *A, const Formula *B) {
+  return makeNary(Formula::Kind::Or, {A, B});
+}
+
+const Formula *FormulaContext::andF(std::vector<const Formula *> Fs) {
+  return makeNary(Formula::Kind::And, std::move(Fs));
+}
+
+const Formula *FormulaContext::orF(std::vector<const Formula *> Fs) {
+  return makeNary(Formula::Kind::Or, std::move(Fs));
+}
+
+std::string Formula::str(const FormulaContext &Ctx) const {
+  auto TermStr = [&](TermId Id) {
+    const Term &T = Ctx.term(Id);
+    return T.TermKind == Term::Kind::Variable ? T.Name
+                                              : std::to_string(T.Value);
+  };
+  switch (FKind) {
+  case Kind::True:
+    return "true";
+  case Kind::False:
+    return "false";
+  case Kind::BoolVar:
+    return TermStr(cast<BoolVarFormula>(this)->var());
+  case Kind::Eq: {
+    const auto *E = cast<EqFormula>(this);
+    return TermStr(E->lhs()) + " == " + TermStr(E->rhs());
+  }
+  case Kind::Not:
+    return "!(" + cast<NotFormula>(this)->operand()->str(Ctx) + ")";
+  case Kind::And:
+  case Kind::Or: {
+    const auto *N = cast<NaryFormula>(this);
+    std::string Sep = FKind == Kind::And ? " && " : " || ";
+    std::string Out = "(";
+    for (unsigned I = 0, E = N->operands().size(); I != E; ++I) {
+      if (I)
+        Out += Sep;
+      Out += N->operands()[I]->str(Ctx);
+    }
+    return Out + ")";
+  }
+  }
+  return "<?>";
+}

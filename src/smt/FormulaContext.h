@@ -1,0 +1,77 @@
+//===- FormulaContext.h - Formula arena and builders -----------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns all Formula nodes and Terms, hash-consing on construction and
+/// applying cheap local simplifications (constant folding, flattening,
+/// deduplication, complement detection) so client code can build formulas
+/// freely without bloating solver input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SMT_FORMULACONTEXT_H
+#define PDL_SMT_FORMULACONTEXT_H
+
+#include "smt/Formula.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdl {
+namespace smt {
+
+/// Arena + factory for terms and formulas. The returned Formula pointers are
+/// canonical: structural equality implies pointer equality.
+class FormulaContext {
+public:
+  FormulaContext();
+
+  // Terms.
+  TermId variable(const std::string &Name);
+  TermId constant(uint64_t Value);
+  const Term &term(TermId Id) const { return Terms[Id]; }
+
+  // Formula builders (simplifying).
+  const Formula *trueF() const { return TrueF; }
+  const Formula *falseF() const { return FalseF; }
+  const Formula *boolOf(bool B) const { return B ? TrueF : FalseF; }
+  const Formula *boolVar(TermId Var);
+  const Formula *eq(TermId Lhs, TermId Rhs);
+  const Formula *neq(TermId Lhs, TermId Rhs) { return notF(eq(Lhs, Rhs)); }
+  const Formula *notF(const Formula *F);
+  const Formula *andF(const Formula *A, const Formula *B);
+  const Formula *orF(const Formula *A, const Formula *B);
+  const Formula *andF(std::vector<const Formula *> Fs);
+  const Formula *orF(std::vector<const Formula *> Fs);
+  const Formula *implies(const Formula *A, const Formula *B) {
+    return orF(notF(A), B);
+  }
+  const Formula *iff(const Formula *A, const Formula *B) {
+    return andF(implies(A, B), implies(B, A));
+  }
+
+private:
+  const Formula *intern(std::unique_ptr<Formula> F, const std::string &Key);
+  const Formula *makeNary(Formula::Kind K, std::vector<const Formula *> Fs);
+
+  std::vector<Term> Terms;
+  std::map<std::string, TermId> VarIds;
+  std::map<uint64_t, TermId> ConstIds;
+
+  std::vector<std::unique_ptr<Formula>> Nodes;
+  /// Structural-key -> canonical node map implementing hash-consing.
+  std::map<std::string, const Formula *> Interned;
+
+  const Formula *TrueF;
+  const Formula *FalseF;
+};
+
+} // namespace smt
+} // namespace pdl
+
+#endif // PDL_SMT_FORMULACONTEXT_H

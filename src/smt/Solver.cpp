@@ -1,0 +1,250 @@
+//===- Solver.cpp - DPLL(T) satisfiability/validity solver ----------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <numeric>
+
+using namespace pdl;
+using namespace pdl::smt;
+
+namespace {
+
+/// Literal encoding: variable index V (1-based) becomes +V / -V.
+using Lit = int;
+using Clause = std::vector<Lit>;
+
+/// Tseitin transformation: every distinct subformula gets a SAT variable;
+/// clauses constrain each gate variable to equal its definition. Atom
+/// variables (BoolVar / Eq) are recorded so the theory checker can interpret
+/// them.
+class CnfBuilder {
+public:
+  explicit CnfBuilder(const FormulaContext &Ctx) : Ctx(Ctx) {}
+
+  /// Converts \p F, returning the literal representing it. Clauses accumulate
+  /// in clauses().
+  Lit convert(const Formula *F) {
+    auto It = Cache.find(F);
+    if (It != Cache.end())
+      return It->second;
+    Lit Result = convertUncached(F);
+    Cache.emplace(F, Result);
+    return Result;
+  }
+
+  std::vector<Clause> &clauses() { return Clauses; }
+  unsigned numVars() const { return NumVars; }
+
+  /// Eq atoms by SAT variable: (lhs term, rhs term), or {~0,~0} for non-Eq.
+  struct AtomInfo {
+    bool IsEq = false;
+    TermId Lhs = 0, Rhs = 0;
+  };
+  const std::vector<AtomInfo> &atoms() const { return Atoms; }
+
+private:
+  Lit freshVar() {
+    Atoms.push_back({});
+    return static_cast<Lit>(++NumVars);
+  }
+
+  Lit convertUncached(const Formula *F) {
+    switch (F->kind()) {
+    case Formula::Kind::True: {
+      Lit V = freshVar();
+      Clauses.push_back({V});
+      return V;
+    }
+    case Formula::Kind::False: {
+      Lit V = freshVar();
+      Clauses.push_back({-V});
+      return V;
+    }
+    case Formula::Kind::BoolVar:
+      return freshVar();
+    case Formula::Kind::Eq: {
+      const auto *E = cast<EqFormula>(F);
+      Lit V = freshVar();
+      Atoms[V - 1] = {true, E->lhs(), E->rhs()};
+      return V;
+    }
+    case Formula::Kind::Not:
+      return -convert(cast<NotFormula>(F)->operand());
+    case Formula::Kind::And:
+    case Formula::Kind::Or: {
+      const auto *N = cast<NaryFormula>(F);
+      std::vector<Lit> Ops;
+      for (const Formula *Op : N->operands())
+        Ops.push_back(convert(Op));
+      Lit V = freshVar();
+      bool IsAnd = F->kind() == Formula::Kind::And;
+      // AND: V -> op_i for all i; (op_1 & ... & op_n) -> V.
+      // OR is the dual.
+      Clause Long;
+      Long.push_back(IsAnd ? V : -V);
+      for (Lit Op : Ops) {
+        Clauses.push_back({IsAnd ? -V : V, IsAnd ? Op : -Op});
+        Long.push_back(IsAnd ? -Op : Op);
+      }
+      Clauses.push_back(std::move(Long));
+      return V;
+    }
+    }
+    assert(false && "unknown formula kind");
+    return 0;
+  }
+
+  const FormulaContext &Ctx;
+  std::map<const Formula *, Lit> Cache;
+  std::vector<Clause> Clauses;
+  std::vector<AtomInfo> Atoms;
+  unsigned NumVars = 0;
+};
+
+/// Straightforward DPLL over the Tseitin CNF with a union-find equality
+/// theory consulted at full assignments.
+class Dpll {
+public:
+  Dpll(const FormulaContext &Ctx, CnfBuilder &Cnf, unsigned &DecisionCounter)
+      : Ctx(Ctx), Cnf(Cnf), NumDecisions(DecisionCounter) {}
+
+  bool solve() {
+    std::vector<int8_t> Assignment(Cnf.numVars(), -1);
+    return search(Assignment);
+  }
+
+private:
+  /// Unit-propagates in place. Returns false on an empty clause.
+  bool propagate(std::vector<int8_t> &A) {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const Clause &C : Cnf.clauses()) {
+        Lit Unit = 0;
+        bool Satisfied = false;
+        unsigned Unassigned = 0;
+        for (Lit L : C) {
+          unsigned V = std::abs(L) - 1;
+          if (A[V] == -1) {
+            ++Unassigned;
+            Unit = L;
+          } else if (A[V] == (L > 0 ? 1 : 0)) {
+            Satisfied = true;
+            break;
+          }
+        }
+        if (Satisfied)
+          continue;
+        if (Unassigned == 0)
+          return false;
+        if (Unassigned == 1) {
+          A[std::abs(Unit) - 1] = Unit > 0 ? 1 : 0;
+          Changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool search(std::vector<int8_t> A) {
+    if (!propagate(A))
+      return false;
+    for (unsigned V = 0, E = A.size(); V != E; ++V) {
+      if (A[V] != -1)
+        continue;
+      ++NumDecisions;
+      for (int8_t Try : {int8_t(1), int8_t(0)}) {
+        std::vector<int8_t> Next = A;
+        Next[V] = Try;
+        if (search(std::move(Next)))
+          return true;
+      }
+      return false;
+    }
+    // Full assignment: consult the equality theory.
+    if (theoryConsistent(A))
+      return true;
+    // Block this combination of equality-atom values and keep searching.
+    Clause Blocking;
+    for (unsigned V = 0, E = A.size(); V != E; ++V)
+      if (Cnf.atoms()[V].IsEq)
+        Blocking.push_back(A[V] ? -(Lit)(V + 1) : (Lit)(V + 1));
+    assert(!Blocking.empty() && "theory conflict without equality atoms");
+    Cnf.clauses().push_back(std::move(Blocking));
+    std::vector<int8_t> Fresh(Cnf.numVars(), -1);
+    return search(std::move(Fresh));
+  }
+
+  /// Union-find over terms: merge classes for true equalities; reject if a
+  /// class acquires two distinct constants or a false equality's operands
+  /// are in one class. Complete for equality over variables and constants.
+  bool theoryConsistent(const std::vector<int8_t> &A) {
+    unsigned NumTerms = 0;
+    for (unsigned V = 0, E = A.size(); V != E; ++V)
+      if (Cnf.atoms()[V].IsEq)
+        NumTerms = std::max(
+            {NumTerms, Cnf.atoms()[V].Lhs + 1, Cnf.atoms()[V].Rhs + 1});
+    if (NumTerms == 0)
+      return true;
+
+    std::vector<unsigned> Parent(NumTerms);
+    std::iota(Parent.begin(), Parent.end(), 0u);
+    auto Find = [&](unsigned X) {
+      while (Parent[X] != X)
+        X = Parent[X] = Parent[Parent[X]];
+      return X;
+    };
+
+    for (unsigned V = 0, E = A.size(); V != E; ++V) {
+      const auto &Atom = Cnf.atoms()[V];
+      if (Atom.IsEq && A[V] == 1)
+        Parent[Find(Atom.Lhs)] = Find(Atom.Rhs);
+    }
+
+    // A class may contain at most one constant value.
+    std::map<unsigned, uint64_t> ClassConst;
+    for (unsigned T = 0; T != NumTerms; ++T) {
+      if (Ctx.term(T).TermKind != Term::Kind::Constant)
+        continue;
+      unsigned Root = Find(T);
+      auto It = ClassConst.find(Root);
+      if (It != ClassConst.end() && It->second != Ctx.term(T).Value)
+        return false;
+      ClassConst.emplace(Root, Ctx.term(T).Value);
+    }
+
+    for (unsigned V = 0, E = A.size(); V != E; ++V) {
+      const auto &Atom = Cnf.atoms()[V];
+      if (Atom.IsEq && A[V] == 0 && Find(Atom.Lhs) == Find(Atom.Rhs))
+        return false;
+    }
+    return true;
+  }
+
+  const FormulaContext &Ctx;
+  CnfBuilder &Cnf;
+  unsigned &NumDecisions;
+};
+
+} // namespace
+
+bool Solver::isSatisfiable(const Formula *F) {
+  ++NumQueries;
+  if (F->kind() == Formula::Kind::True)
+    return true;
+  if (F->kind() == Formula::Kind::False)
+    return false;
+
+  CnfBuilder Cnf(Ctx);
+  Lit Root = Cnf.convert(F);
+  Cnf.clauses().push_back({Root});
+  Dpll Engine(Ctx, Cnf, NumDecisions);
+  return Engine.solve();
+}

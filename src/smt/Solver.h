@@ -1,0 +1,62 @@
+//===- Solver.h - DPLL(T) satisfiability/validity solver -------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small DPLL(T) solver standing in for Z3 in the PDL compiler (Figure 4).
+/// The propositional skeleton is solved with Tseitin CNF conversion + DPLL
+/// with unit propagation; equality atoms are checked against a union-find
+/// theory of uninterpreted variables and integer constants, with theory
+/// conflicts fed back as blocking clauses.
+///
+/// The fragment (booleans + variable/constant equalities) matches the
+/// abstraction the paper's compiler uses for branch conditions, so the
+/// solver is complete for every query the checkers pose.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SMT_SOLVER_H
+#define PDL_SMT_SOLVER_H
+
+#include "smt/FormulaContext.h"
+
+#include <vector>
+
+namespace pdl {
+namespace smt {
+
+/// Decides satisfiability and validity of formulas built in a
+/// FormulaContext. Stateless between queries apart from statistics.
+class Solver {
+public:
+  explicit Solver(FormulaContext &Ctx) : Ctx(Ctx) {}
+
+  /// True if some assignment to boolean atoms and term values satisfies \p F.
+  bool isSatisfiable(const Formula *F);
+
+  /// True if \p F holds under every assignment.
+  bool isValid(const Formula *F) { return !isSatisfiable(Ctx.notF(F)); }
+
+  /// True if \p Assumption entails \p Goal.
+  bool proves(const Formula *Assumption, const Formula *Goal) {
+    return isValid(Ctx.implies(Assumption, Goal));
+  }
+
+  /// Number of top-level satisfiability queries answered so far.
+  unsigned queryCount() const { return NumQueries; }
+
+  /// Total DPLL decisions across all queries (for the compile-cost bench).
+  unsigned decisionCount() const { return NumDecisions; }
+
+private:
+  FormulaContext &Ctx;
+  unsigned NumQueries = 0;
+  unsigned NumDecisions = 0;
+};
+
+} // namespace smt
+} // namespace pdl
+
+#endif // PDL_SMT_SOLVER_H

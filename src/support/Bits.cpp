@@ -1,0 +1,41 @@
+//===- Bits.cpp - Sized two's-complement hardware values -----------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bits.h"
+
+#include <cstdio>
+
+using namespace pdl;
+
+Bits Bits::sdiv(const Bits &O) const {
+  assert(Width == O.Width && "width mismatch in Bits operation");
+  int64_t A = sext(), B = O.sext();
+  if (B == 0)
+    return Bits(~uint64_t(0), Width);
+  int64_t Min = Width == 64 ? INT64_MIN : -(int64_t(1) << (Width - 1));
+  if (A == Min && B == -1)
+    return fromSigned(Min, Width);
+  return fromSigned(A / B, Width);
+}
+
+Bits Bits::srem(const Bits &O) const {
+  assert(Width == O.Width && "width mismatch in Bits operation");
+  int64_t A = sext(), B = O.sext();
+  if (B == 0)
+    return *this;
+  int64_t Min = Width == 64 ? INT64_MIN : -(int64_t(1) << (Width - 1));
+  if (A == Min && B == -1)
+    return Bits(0, Width);
+  return fromSigned(A % B, Width);
+}
+
+std::string Bits::str() const {
+  char Buf[32];
+  unsigned HexDigits = (Width + 3) / 4;
+  std::snprintf(Buf, sizeof(Buf), "%u'h%0*llx", Width, HexDigits,
+                static_cast<unsigned long long>(Value));
+  return Buf;
+}

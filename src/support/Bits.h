@@ -1,0 +1,165 @@
+//===- Bits.h - Sized two's-complement hardware values ---------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulation value domain: a bit vector of explicit width (1..64 bits)
+/// with two's-complement arithmetic, matching PDL's `int<N>` / `uint<N>`
+/// combinational semantics (wrap-around arithmetic, logical/arithmetic
+/// shifts, bit slicing `x{hi:lo}` and concatenation `a ++ b`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SUPPORT_BITS_H
+#define PDL_SUPPORT_BITS_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace pdl {
+
+/// A value of an explicit bit width, stored zero-extended in a uint64_t.
+///
+/// All operators require matching widths (asserted); use zext/sext/trunc for
+/// explicit resizing. Signedness is not a property of the value: signed
+/// comparison and arithmetic-shift variants are provided as named methods and
+/// selected by the evaluator based on the static type of the operands.
+class Bits {
+public:
+  Bits() : Value(0), Width(1) {}
+
+  Bits(uint64_t Value, unsigned Width) : Width(Width) {
+    assert(Width >= 1 && Width <= 64 && "unsupported bit width");
+    this->Value = Value & mask();
+  }
+
+  /// Builds a Bits from a signed integer, truncating to \p Width.
+  static Bits fromSigned(int64_t Value, unsigned Width) {
+    return Bits(static_cast<uint64_t>(Value), Width);
+  }
+
+  uint64_t zext() const { return Value; }
+
+  /// Sign-extends the value to a full int64_t.
+  int64_t sext() const {
+    if (Width == 64)
+      return static_cast<int64_t>(Value);
+    uint64_t SignBit = uint64_t(1) << (Width - 1);
+    return static_cast<int64_t>((Value ^ SignBit) - SignBit);
+  }
+
+  unsigned width() const { return Width; }
+  bool isZero() const { return Value == 0; }
+  bool toBool() const { return Value != 0; }
+
+  /// Returns bit \p Idx (0 = LSB) as a bool.
+  bool bit(unsigned Idx) const {
+    assert(Idx < Width && "bit index out of range");
+    return (Value >> Idx) & 1;
+  }
+
+  // Arithmetic (wrap-around, same-width).
+  Bits add(const Bits &O) const { return binop(O, Value + O.Value); }
+  Bits sub(const Bits &O) const { return binop(O, Value - O.Value); }
+  Bits mul(const Bits &O) const { return binop(O, Value * O.Value); }
+
+  /// Unsigned division; division by zero yields all-ones (RISC-V semantics).
+  Bits udiv(const Bits &O) const {
+    return binop(O, O.Value == 0 ? ~uint64_t(0) : Value / O.Value);
+  }
+
+  /// Signed division with RISC-V semantics (div-by-zero => -1; overflow of
+  /// INT_MIN / -1 => INT_MIN).
+  Bits sdiv(const Bits &O) const;
+
+  /// Unsigned remainder; remainder by zero yields the dividend.
+  Bits urem(const Bits &O) const {
+    return binop(O, O.Value == 0 ? Value : Value % O.Value);
+  }
+
+  /// Signed remainder with RISC-V semantics.
+  Bits srem(const Bits &O) const;
+
+  // Bitwise.
+  Bits and_(const Bits &O) const { return binop(O, Value & O.Value); }
+  Bits or_(const Bits &O) const { return binop(O, Value | O.Value); }
+  Bits xor_(const Bits &O) const { return binop(O, Value ^ O.Value); }
+  Bits not_() const { return Bits(~Value, Width); }
+
+  /// Logical left shift; shift amounts >= width yield zero.
+  Bits shl(const Bits &O) const {
+    uint64_t Amt = O.Value;
+    return Bits(Amt >= Width ? 0 : Value << Amt, Width);
+  }
+
+  /// Logical right shift; shift amounts >= width yield zero.
+  Bits lshr(const Bits &O) const {
+    uint64_t Amt = O.Value;
+    return Bits(Amt >= Width ? 0 : Value >> Amt, Width);
+  }
+
+  /// Arithmetic right shift; shift amounts >= width yield the sign fill.
+  Bits ashr(const Bits &O) const {
+    uint64_t Amt = O.Value >= Width ? Width - 1 : O.Value;
+    return fromSigned(sext() >> Amt, Width);
+  }
+
+  // Comparisons (result is always a 1-bit Bits).
+  Bits eq(const Bits &O) const { return pred(Value == O.Value, O); }
+  Bits ne(const Bits &O) const { return pred(Value != O.Value, O); }
+  Bits ult(const Bits &O) const { return pred(Value < O.Value, O); }
+  Bits ule(const Bits &O) const { return pred(Value <= O.Value, O); }
+  Bits slt(const Bits &O) const { return pred(sext() < O.sext(), O); }
+  Bits sle(const Bits &O) const { return pred(sext() <= O.sext(), O); }
+
+  /// Extracts bits Hi..Lo inclusive, PDL's `x{hi:lo}` notation.
+  Bits slice(unsigned Hi, unsigned Lo) const {
+    assert(Hi >= Lo && Hi < Width && "bad slice bounds");
+    return Bits(Value >> Lo, Hi - Lo + 1);
+  }
+
+  /// Concatenation `a ++ b`: \p this forms the high bits.
+  Bits concat(const Bits &Low) const {
+    assert(Width + Low.Width <= 64 && "concat exceeds 64 bits");
+    return Bits((Value << Low.Width) | Low.Value, Width + Low.Width);
+  }
+
+  /// Zero-extend or truncate to \p NewWidth.
+  Bits zextTo(unsigned NewWidth) const { return Bits(Value, NewWidth); }
+
+  /// Sign-extend or truncate to \p NewWidth.
+  Bits sextTo(unsigned NewWidth) const {
+    return fromSigned(sext(), NewWidth);
+  }
+
+  bool operator==(const Bits &O) const {
+    return Width == O.Width && Value == O.Value;
+  }
+  bool operator!=(const Bits &O) const { return !(*this == O); }
+
+  /// Renders as e.g. "32'h0000002a".
+  std::string str() const;
+
+private:
+  uint64_t mask() const {
+    return Width == 64 ? ~uint64_t(0) : (uint64_t(1) << Width) - 1;
+  }
+  Bits binop(const Bits &O, uint64_t Raw) const {
+    assert(Width == O.Width && "width mismatch in Bits operation");
+    return Bits(Raw, Width);
+  }
+  Bits pred(bool B, const Bits &O) const {
+    assert(Width == O.Width && "width mismatch in Bits comparison");
+    return Bits(B ? 1 : 0, 1);
+  }
+
+  uint64_t Value;
+  unsigned Width;
+};
+
+} // namespace pdl
+
+#endif // PDL_SUPPORT_BITS_H

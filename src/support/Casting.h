@@ -1,0 +1,61 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast ----------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI helpers in the style of llvm/Support/Casting.h. A class
+/// hierarchy opts in by providing `static bool classof(const Base *)` on each
+/// derived class, typically implemented by inspecting a Kind discriminator
+/// stored in the base class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SUPPORT_CASTING_H
+#define PDL_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace pdl {
+
+/// Returns true if \p Val is an instance of the class \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates a null pointer (returning false).
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Like dyn_cast<>, but tolerates a null pointer (propagating it).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return Val && isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+} // namespace pdl
+
+#endif // PDL_SUPPORT_CASTING_H

@@ -1,0 +1,49 @@
+//===- Diagnostics.cpp - Compiler diagnostics -----------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace pdl;
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    LineCol LC = SM.resolve(D.Loc);
+    OS << SM.bufferName() << ':';
+    if (LC.Line)
+      OS << LC.Line << ':' << LC.Col << ':';
+    OS << ' ' << severityName(D.Severity) << ": " << D.Message << '\n';
+    if (LC.Line) {
+      OS << "  " << LC.LineText << '\n';
+      OS << "  ";
+      for (unsigned I = 1; I < LC.Col; ++I)
+        OS << (LC.LineText[I - 1] == '\t' ? '\t' : ' ');
+      OS << "^\n";
+    }
+  }
+  return OS.str();
+}
+
+bool DiagnosticEngine::contains(std::string_view Needle) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}

@@ -1,0 +1,70 @@
+//===- Diagnostics.h - Compiler diagnostics --------------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic collection for the PDL compiler. Errors are accumulated rather
+/// than thrown (the library is exception-free); clients inspect the engine
+/// after each phase and abort compilation on errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SUPPORT_DIAGNOSTICS_H
+#define PDL_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceMgr.h"
+
+#include <string>
+#include <vector>
+
+namespace pdl {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported issue, tied to a source location when known.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics emitted by compiler phases.
+class DiagnosticEngine {
+public:
+  explicit DiagnosticEngine(const SourceMgr &SM) : SM(SM) {}
+
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "name:line:col: severity: message" plus the
+  /// offending source line, one block per diagnostic.
+  std::string render() const;
+
+  /// True if some diagnostic message contains \p Needle (used by tests).
+  bool contains(std::string_view Needle) const;
+
+private:
+  const SourceMgr &SM;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace pdl
+
+#endif // PDL_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,36 @@
+//===- SourceMgr.cpp - Source buffers and locations -----------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceMgr.h"
+
+#include <algorithm>
+
+using namespace pdl;
+
+void SourceMgr::setBuffer(std::string NewText, std::string NewName) {
+  Text = std::move(NewText);
+  Name = std::move(NewName);
+  LineStarts.clear();
+  LineStarts.push_back(0);
+  for (unsigned I = 0, E = Text.size(); I != E; ++I)
+    if (Text[I] == '\n')
+      LineStarts.push_back(I + 1);
+}
+
+LineCol SourceMgr::resolve(SourceLoc Loc) const {
+  LineCol Result;
+  if (!Loc.isValid() || Loc.Offset > Text.size())
+    return Result;
+  auto It = std::upper_bound(LineStarts.begin(), LineStarts.end(), Loc.Offset);
+  unsigned LineIdx = static_cast<unsigned>(It - LineStarts.begin()) - 1;
+  unsigned Start = LineStarts[LineIdx];
+  unsigned End = LineIdx + 1 < LineStarts.size() ? LineStarts[LineIdx + 1] - 1
+                                                 : Text.size();
+  Result.Line = LineIdx + 1;
+  Result.Col = Loc.Offset - Start + 1;
+  Result.LineText = std::string_view(Text).substr(Start, End - Start);
+  return Result;
+}

@@ -1,0 +1,62 @@
+//===- SourceMgr.h - Source buffers and locations --------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns PDL source text and maps byte offsets to human-readable line/column
+/// locations for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SUPPORT_SOURCEMGR_H
+#define PDL_SUPPORT_SOURCEMGR_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdl {
+
+/// A position in the source buffer, stored as a byte offset. Offset ~0 is the
+/// invalid/unknown location.
+struct SourceLoc {
+  unsigned Offset = ~0u;
+
+  static SourceLoc invalid() { return SourceLoc(); }
+  bool isValid() const { return Offset != ~0u; }
+};
+
+/// A resolved location: 1-based line and column plus the line's text.
+struct LineCol {
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string_view LineText;
+};
+
+/// Owns one source buffer (this reproduction compiles one file at a time)
+/// and resolves SourceLocs within it.
+class SourceMgr {
+public:
+  SourceMgr() = default;
+
+  /// Installs the buffer to compile; \p Name is used in diagnostics.
+  void setBuffer(std::string Text, std::string Name = "<pdl>");
+
+  std::string_view buffer() const { return Text; }
+  const std::string &bufferName() const { return Name; }
+
+  /// Resolves \p Loc to line/column; returns a zeroed LineCol if invalid.
+  LineCol resolve(SourceLoc Loc) const;
+
+private:
+  std::string Text;
+  std::string Name = "<pdl>";
+  /// Byte offsets of the first character of each line.
+  std::vector<unsigned> LineStarts;
+};
+
+} // namespace pdl
+
+#endif // PDL_SUPPORT_SOURCEMGR_H

@@ -1,0 +1,702 @@
+//===- Workloads.cpp - Table 3 benchmark kernels ----------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "cores/CoreSources.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pdl;
+using namespace pdl::workloads;
+
+namespace {
+
+void replaceAll(std::string &S, const std::string &From,
+                const std::string &To) {
+  for (size_t Pos = 0; (Pos = S.find(From, Pos)) != std::string::npos;
+       Pos += To.size())
+    S.replace(Pos, From.size(), To);
+}
+
+/// Shared epilogue: store to the halt address, then spin.
+std::string haltEpilogue() {
+  return "halt: li t6, " + std::to_string(cores::HaltByteAddr) +
+         "\n  sw zero, 0(t6)\nspin: j spin\n";
+}
+
+/// Software shift-add multiply used by the RV32I variants:
+/// a0 = a0 * a1, clobbers t4/t5.
+const char *MulsoftRoutine = R"(
+mulsoft:
+  li   t5, 0
+mulchk:
+  beq  a1, zero, muldone
+  andi t4, a1, 1
+  beq  t4, zero, mulskip
+  add  t5, t5, a0
+mulskip:
+  slli a0, a0, 1
+  srli a1, a1, 1
+  j    mulchk
+muldone:
+  mv   a0, t5
+  ret
+)";
+
+Workload make(const char *Name, const std::string &Body) {
+  Workload W;
+  W.Name = Name;
+  W.UsesMulDiv = Body.find("MULCALL") != std::string::npos;
+  std::string I = Body, M = Body;
+  replaceAll(I, "MULCALL", "jal  ra, mulsoft");
+  replaceAll(M, "MULCALL", "mul  a0, a0, a1");
+  W.AsmI = I + haltEpilogue() + MulsoftRoutine;
+  W.AsmM = M + haltEpilogue() + MulsoftRoutine;
+  return W;
+}
+
+std::string coremarkBody() {
+  return R"(
+# --- coremark: linked-list walk + multiply phase + CRC bit loop ---
+  li   s0, 0x1000           # 32 list nodes: [next, val]
+  li   t0, 0
+  li   t1, 32
+cmbuild:
+  slli t2, t0, 3
+  add  t2, t2, s0
+  addi t3, t0, 1
+  slli t3, t3, 3
+  add  t3, t3, s0
+  sw   t3, 0(t2)
+  xori t4, t0, 21
+  addi t4, t4, 3
+  sw   t4, 4(t2)
+  addi t0, t0, 1
+  bne  t0, t1, cmbuild
+  sw   zero, 0(t2)          # terminate the list
+  li   s1, 0                # checksum
+  li   s2, 10               # walk repetitions
+cmwalkrep:
+  mv   t0, s0
+cmwalk:
+  lw   t1, 4(t0)            # value (load)
+  add  s1, s1, t1
+  lw   t0, 0(t0)            # next pointer (load-use into the branch)
+  bne  t0, zero, cmwalk
+  addi s2, s2, -1
+  bne  s2, zero, cmwalkrep
+  li   s3, 0                # multiply phase over 16 node values
+  li   s4, 16
+cmmul:
+  slli t0, s3, 3
+  add  t0, t0, s0
+  lw   a0, 4(t0)
+  andi a1, s3, 7
+  addi a1, a1, 3
+  MULCALL
+  add  s1, s1, a0
+  addi s3, s3, 1
+  bne  s3, s4, cmmul
+  li   s5, 64               # CRC bit loop
+  li   s6, 0xEDB88320
+cmcrc:
+  andi t1, s1, 1
+  srli s1, s1, 1
+  beq  t1, zero, cmnox
+  xor  s1, s1, s6
+cmnox:
+  addi s5, s5, -1
+  bne  s5, zero, cmcrc
+  li   t0, 0x800
+  sw   s1, 0(t0)
+)";
+}
+
+std::string aesBody() {
+  return R"(
+# --- aes: sbox substitution + rotate/xor mixing over a 16-word state ---
+  li   s0, 0x4000           # sbox (256 words)
+  li   s1, 0x5000           # state (16 words)
+  li   s2, 0x5100           # round key (16 words)
+  li   s3, 0x12345678       # xorshift seed
+  li   t0, 0
+  li   t1, 256
+aessb:
+  slli t2, s3, 13
+  xor  s3, s3, t2
+  srli t2, s3, 17
+  xor  s3, s3, t2
+  slli t2, s3, 5
+  xor  s3, s3, t2
+  slli t2, t0, 2
+  add  t2, t2, s0
+  sw   s3, 0(t2)
+  addi t0, t0, 1
+  bne  t0, t1, aessb
+  li   t0, 0
+  li   t1, 16
+aesin:
+  slli t2, t0, 2
+  add  t3, t2, s1
+  xori t4, t0, 9
+  sw   t4, 0(t3)
+  add  t3, t2, s2
+  addi t4, t0, 77
+  sw   t4, 0(t3)
+  addi t0, t0, 1
+  bne  t0, t1, aesin
+  li   s4, 8                # rounds
+aesrnd:
+  li   t0, 0
+  li   t1, 16
+aesw:
+  slli t2, t0, 2
+  add  t3, t2, s1
+  lw   t4, 0(t3)            # state word
+  add  t5, t2, s2
+  lw   t5, 0(t5)            # key word
+  xor  t4, t4, t5
+  andi t4, t4, 255
+  slli t4, t4, 2
+  add  t4, t4, s0
+  lw   t4, 0(t4)            # sbox lookup (load-use chain)
+  addi t5, t0, 15           # left neighbor index (mod 16)
+  andi t5, t5, 15
+  slli t5, t5, 2
+  add  t5, t5, s1
+  lw   t5, 0(t5)
+  slli a2, t5, 7            # rotate-left 7
+  srli a3, t5, 25
+  or   a2, a2, a3
+  xor  t4, t4, a2
+  sw   t4, 0(t3)
+  addi t0, t0, 1
+  bne  t0, t1, aesw
+  addi s4, s4, -1
+  bne  s4, zero, aesrnd
+  lw   t0, 0(s1)
+  li   t1, 0x800
+  sw   t0, 0(t1)
+)";
+}
+
+/// Shared matrix init for the gemm kernels: A[i]=i+1, B[i]=(i^5)&15.
+const char *GemmInit = R"(
+  li   s0, 0x1000           # A (6x6)
+  li   s1, 0x2000           # B
+  li   s2, 0x3000           # C
+  li   t0, 0
+  li   t1, 36
+gminit:
+  slli t2, t0, 2
+  add  t3, t2, s0
+  addi t4, t0, 1
+  sw   t4, 0(t3)
+  add  t3, t2, s1
+  xori t4, t0, 5
+  andi t4, t4, 15
+  sw   t4, 0(t3)
+  addi t0, t0, 1
+  bne  t0, t1, gminit
+)";
+
+std::string gemmBody() {
+  return std::string(GemmInit) + R"(
+# --- gemm: naive triple loop, C[i][j] += A[i][k] * B[k][j] ---
+  li   s3, 0                # i
+ggi:
+  li   s4, 0                # j
+ggj:
+  li   s5, 0                # k
+  li   s6, 0                # acc
+ggk:
+  slli t0, s3, 1            # i*6 = i*2 + i*4
+  slli t1, s3, 2
+  add  t0, t0, t1
+  add  t0, t0, s5
+  slli t0, t0, 2
+  add  t0, t0, s0
+  lw   a0, 0(t0)            # A[i][k]
+  slli t1, s5, 1
+  slli t2, s5, 2
+  add  t1, t1, t2
+  add  t1, t1, s4
+  slli t1, t1, 2
+  add  t1, t1, s1
+  lw   a1, 0(t1)            # B[k][j]
+  MULCALL
+  add  s6, s6, a0
+  addi s5, s5, 1
+  li   t2, 6
+  bne  s5, t2, ggk
+  slli t0, s3, 1
+  slli t1, s3, 2
+  add  t0, t0, t1
+  add  t0, t0, s4
+  slli t0, t0, 2
+  add  t0, t0, s2
+  sw   s6, 0(t0)            # C[i][j]
+  addi s4, s4, 1
+  li   t2, 6
+  bne  s4, t2, ggj
+  addi s3, s3, 1
+  li   t2, 6
+  bne  s3, t2, ggi
+)";
+}
+
+std::string gemmBlockBody() {
+  return std::string(GemmInit) + R"(
+# --- gemm-block: 2x2 register blocking (4 MACs per k-iteration) ---
+  li   s3, 0                # i (step 2)
+gbi:
+  li   s4, 0                # j (step 2)
+gbj:
+  li   s5, 0                # k
+  li   s6, 0                # acc00
+  li   s7, 0                # acc01
+  li   s8, 0                # acc10
+  li   s9, 0                # acc11
+gbk:
+  slli t0, s3, 1            # row i base
+  slli t1, s3, 2
+  add  t0, t0, t1
+  add  t0, t0, s5
+  slli t0, t0, 2
+  add  t0, t0, s0
+  lw   s10, 0(t0)           # A[i][k]
+  lw   s11, 24(t0)          # A[i+1][k] (next row, +6 words)
+  slli t1, s5, 1            # row k base in B
+  slli t2, s5, 2
+  add  t1, t1, t2
+  add  t1, t1, s4
+  slli t1, t1, 2
+  add  t1, t1, s1
+  lw   a2, 0(t1)            # B[k][j]
+  lw   a3, 4(t1)            # B[k][j+1]
+  mv   a0, s10
+  mv   a1, a2
+  MULCALL
+  add  s6, s6, a0
+  mv   a0, s10
+  mv   a1, a3
+  MULCALL
+  add  s7, s7, a0
+  mv   a0, s11
+  mv   a1, a2
+  MULCALL
+  add  s8, s8, a0
+  mv   a0, s11
+  mv   a1, a3
+  MULCALL
+  add  s9, s9, a0
+  addi s5, s5, 1
+  li   t2, 6
+  bne  s5, t2, gbk
+  slli t0, s3, 1
+  slli t1, s3, 2
+  add  t0, t0, t1
+  add  t0, t0, s4
+  slli t0, t0, 2
+  add  t0, t0, s2
+  sw   s6, 0(t0)
+  sw   s7, 4(t0)
+  sw   s8, 24(t0)
+  sw   s9, 28(t0)
+  addi s4, s4, 2
+  li   t2, 6
+  bne  s4, t2, gbj
+  addi s3, s3, 2
+  li   t2, 6
+  bne  s3, t2, gbi
+)";
+}
+
+std::string ellpackBody() {
+  return R"(
+# --- ellpack: sparse matrix-vector product, 16 rows x 4 nonzeros ---
+  li   s0, 0x1000           # cols (64)
+  li   s1, 0x1400           # vals (64)
+  li   s2, 0x1800           # x (16)
+  li   s3, 0x1c00           # y (16)
+  li   t0, 0
+  li   t1, 64
+elinit:
+  slli t2, t0, 2
+  srli t3, t0, 2            # row
+  andi t4, t0, 3            # entry
+  slli a2, t3, 3            # row*8... col = (row*7 + e*3) & 15
+  sub  a2, a2, t3           # row*7
+  slli a3, t4, 1
+  add  a3, a3, t4           # e*3
+  add  a2, a2, a3
+  andi a2, a2, 15
+  add  a3, t2, s0
+  sw   a2, 0(a3)
+  add  a2, t3, t4
+  addi a2, a2, 1
+  andi a2, a2, 7
+  add  a3, t2, s1
+  sw   a2, 0(a3)
+  addi t0, t0, 1
+  bne  t0, t1, elinit
+  li   t0, 0
+  li   t1, 16
+elx:
+  slli t2, t0, 2
+  add  t2, t2, s2
+  addi t3, t0, 1
+  sw   t3, 0(t2)
+  addi t0, t0, 1
+  bne  t0, t1, elx
+  li   s4, 0                # row
+elrow:
+  li   s5, 0                # entry
+  li   s6, 0                # acc
+elent:
+  slli t0, s4, 2
+  add  t0, t0, s5
+  slli t0, t0, 2
+  add  t1, t0, s0
+  lw   t2, 0(t1)            # column index (feeds address: load-use)
+  add  t1, t0, s1
+  lw   a0, 0(t1)            # value
+  slli t2, t2, 2
+  add  t2, t2, s2
+  lw   a1, 0(t2)            # x[col]
+  MULCALL
+  add  s6, s6, a0
+  addi s5, s5, 1
+  li   t3, 4
+  bne  s5, t3, elent
+  slli t0, s4, 2
+  add  t0, t0, s3
+  sw   s6, 0(t0)
+  addi s4, s4, 1
+  li   t3, 16
+  bne  s4, t3, elrow
+)";
+}
+
+std::string kmpBody() {
+  return R"(
+# --- kmp: failure-function string matching over a 256-symbol text ---
+  li   s0, 0x1000           # text (256 words, binary symbols)
+  li   s1, 0x2000           # pattern [0,1,0,1]
+  li   s2, 0x2100           # failure table [0,0,1,2]
+  li   s3, 0x13572468       # xorshift seed
+  li   t0, 0
+  li   t1, 256
+kmpinit:
+  slli t2, s3, 13
+  xor  s3, s3, t2
+  srli t2, s3, 17
+  xor  s3, s3, t2
+  slli t2, s3, 5
+  xor  s3, s3, t2
+  andi t3, s3, 1
+  slli t2, t0, 2
+  add  t2, t2, s0
+  sw   t3, 0(t2)
+  addi t0, t0, 1
+  bne  t0, t1, kmpinit
+  sw   zero, 0(s1)          # pattern = 0,1,0,1
+  li   t0, 1
+  sw   t0, 4(s1)
+  sw   zero, 8(s1)
+  li   t0, 1
+  sw   t0, 12(s1)
+  sw   zero, 0(s2)          # fail = 0,0,1,2
+  sw   zero, 4(s2)
+  li   t0, 1
+  sw   t0, 8(s2)
+  li   t0, 2
+  sw   t0, 12(s2)
+  li   s4, 0                # i
+  li   s5, 0                # j (match length)
+  li   s6, 0                # match count
+kmpscan:
+  slli t0, s4, 2
+  add  t0, t0, s0
+  lw   t1, 0(t0)            # t = text[i]
+kmpwhile:
+  beq  s5, zero, kmptest
+  slli t2, s5, 2
+  add  t2, t2, s1
+  lw   t3, 0(t2)            # pat[j]
+  beq  t1, t3, kmptest
+  addi t2, s5, -1           # j = fail[j-1]
+  slli t2, t2, 2
+  add  t2, t2, s2
+  lw   s5, 0(t2)
+  j    kmpwhile
+kmptest:
+  slli t2, s5, 2
+  add  t2, t2, s1
+  lw   t3, 0(t2)
+  bne  t1, t3, kmpnext
+  addi s5, s5, 1
+  li   t4, 4
+  bne  s5, t4, kmpnext
+  addi s6, s6, 1            # full match
+  lw   s5, 12(s2)           # j = fail[3]
+kmpnext:
+  addi s4, s4, 1
+  li   t4, 256
+  bne  s4, t4, kmpscan
+  li   t0, 0x800
+  sw   s6, 0(t0)
+)";
+}
+
+std::string nwBody() {
+  return R"(
+# --- nw: Needleman-Wunsch alignment DP over two length-10 sequences ---
+  li   s0, 0x1000           # seq a (10)
+  li   s1, 0x1100           # seq b (10)
+  li   s2, 0x2000           # score matrix (11x11 words)
+  li   t0, 0
+  li   t1, 10
+nwinit:
+  slli t2, t0, 2
+  andi t3, t0, 3
+  add  t4, t2, s0
+  sw   t3, 0(t4)
+  xori t3, t0, 2
+  andi t3, t3, 3
+  add  t4, t2, s1
+  sw   t3, 0(t4)
+  addi t0, t0, 1
+  bne  t0, t1, nwinit
+  li   t0, 0                # border: M[0][j] = -j, M[i][0] = -i
+  li   t1, 11
+nwbord:
+  sub  t2, zero, t0
+  slli t3, t0, 2
+  add  t3, t3, s2
+  sw   t2, 0(t3)            # M[0][t0]
+  slli t3, t0, 5            # t0*44 = t0*32 + t0*8 + t0*4
+  slli t4, t0, 3
+  add  t3, t3, t4
+  slli t4, t0, 2
+  add  t3, t3, t4
+  add  t3, t3, s2
+  sw   t2, 0(t3)            # M[t0][0]
+  addi t0, t0, 1
+  bne  t0, t1, nwbord
+  li   s3, 1                # i
+nwi:
+  li   s4, 1                # j
+nwj:
+  slli t0, s3, 5            # row i base = i*44
+  slli t1, s3, 3
+  add  t0, t0, t1
+  slli t1, s3, 2
+  add  t0, t0, t1
+  add  t0, t0, s2           # &M[i][0]
+  slli t1, s4, 2
+  add  t1, t1, t0           # &M[i][j]
+  lw   t2, -48(t1)          # M[i-1][j-1] (44+4 back)
+  lw   t3, -44(t1)          # M[i-1][j]
+  lw   t4, -4(t1)           # M[i][j-1]
+  addi t5, s3, -1
+  slli t5, t5, 2
+  add  t5, t5, s0
+  lw   a2, 0(t5)            # a[i-1]
+  addi t5, s4, -1
+  slli t5, t5, 2
+  add  t5, t5, s1
+  lw   a3, 0(t5)            # b[j-1]
+  addi a4, t2, -1           # mismatch score
+  bne  a2, a3, nwmis
+  addi a4, t2, 1            # match score
+nwmis:
+  addi t3, t3, -1           # up gap
+  addi t4, t4, -1           # left gap
+  blt  t3, a4, nwskip1      # max3 with branches
+  mv   a4, t3
+nwskip1:
+  blt  t4, a4, nwskip2
+  mv   a4, t4
+nwskip2:
+  sw   a4, 0(t1)
+  addi s4, s4, 1
+  li   t5, 11
+  bne  s4, t5, nwj
+  addi s3, s3, 1
+  li   t5, 11
+  bne  s3, t5, nwi
+  li   t0, 0x800
+  sw   a4, 0(t0)
+)";
+}
+
+std::string queueBody() {
+  return R"(
+# --- queue: circular buffer enqueue/dequeue with in-memory pointers ---
+  li   s0, 0x1000           # ring buffer (16 words)
+  li   s1, 0x1100           # [head, tail, count, sum]
+  sw   zero, 0(s1)
+  sw   zero, 4(s1)
+  sw   zero, 8(s1)
+  sw   zero, 12(s1)
+  li   s2, 0x77654321       # xorshift seed
+  li   s3, 0                # op index
+  li   s4, 256
+qloop:
+  andi t0, s3, 3
+  li   t1, 3
+  beq  t0, t1, qdeq         # every 4th op dequeues
+  lw   t2, 8(s1)            # count
+  li   t3, 16
+  beq  t2, t3, qdeq         # full -> dequeue instead
+  slli t0, s2, 13           # xorshift value
+  xor  s2, s2, t0
+  srli t0, s2, 17
+  xor  s2, s2, t0
+  slli t0, s2, 5
+  xor  s2, s2, t0
+  lw   t3, 4(s1)            # tail
+  slli t4, t3, 2
+  add  t4, t4, s0
+  sw   s2, 0(t4)            # buffer[tail] = v
+  addi t3, t3, 1
+  andi t3, t3, 15
+  sw   t3, 4(s1)            # tail'
+  addi t2, t2, 1
+  sw   t2, 8(s1)            # count'
+  j    qnext
+qdeq:
+  lw   t2, 8(s1)
+  beq  t2, zero, qnext      # empty -> skip
+  lw   t3, 0(s1)            # head
+  slli t4, t3, 2
+  add  t4, t4, s0
+  lw   t5, 0(t4)            # value (load-use)
+  lw   a2, 12(s1)
+  add  a2, a2, t5
+  sw   a2, 12(s1)           # sum +=
+  addi t3, t3, 1
+  andi t3, t3, 15
+  sw   t3, 0(s1)
+  addi t2, t2, -1
+  sw   t2, 8(s1)
+qnext:
+  addi s3, s3, 1
+  bne  s3, s4, qloop
+)";
+}
+
+std::string radixBody() {
+  return R"(
+# --- radix: two-pass 4-bit counting sort of 32 elements ---
+  li   s0, 0x1000           # src array
+  li   s1, 0x1200           # dst array
+  li   s2, 0x1400           # count[16]
+  li   s3, 0x2468ACE1       # xorshift seed
+  li   t0, 0
+  li   t1, 32
+rdinit:
+  slli t2, s3, 13
+  xor  s3, s3, t2
+  srli t2, s3, 17
+  xor  s3, s3, t2
+  slli t2, s3, 5
+  xor  s3, s3, t2
+  andi t3, s3, 255
+  slli t2, t0, 2
+  add  t2, t2, s0
+  sw   t3, 0(t2)
+  addi t0, t0, 1
+  bne  t0, t1, rdinit
+  li   s4, 0                # shift (0 then 4)
+rdpass:
+  li   t0, 0                # zero the counts
+  li   t1, 16
+rdzero:
+  slli t2, t0, 2
+  add  t2, t2, s2
+  sw   zero, 0(t2)
+  addi t0, t0, 1
+  bne  t0, t1, rdzero
+  li   t0, 0                # histogram
+  li   t1, 32
+rdcount:
+  slli t2, t0, 2
+  add  t2, t2, s0
+  lw   t3, 0(t2)
+  srl  t3, t3, s4
+  andi t3, t3, 15           # digit
+  slli t3, t3, 2
+  add  t3, t3, s2
+  lw   t4, 0(t3)            # count[d] (load-mod-store)
+  addi t4, t4, 1
+  sw   t4, 0(t3)
+  addi t0, t0, 1
+  bne  t0, t1, rdcount
+  li   t0, 1                # prefix sum
+rdpref:
+  slli t2, t0, 2
+  add  t2, t2, s2
+  lw   t3, 0(t2)
+  lw   t4, -4(t2)
+  add  t3, t3, t4
+  sw   t3, 0(t2)
+  addi t0, t0, 1
+  li   t1, 16
+  bne  t0, t1, rdpref
+  li   t0, 32               # scatter (backwards, stable)
+rdscat:
+  addi t0, t0, -1
+  slli t2, t0, 2
+  add  t2, t2, s0
+  lw   t3, 0(t2)            # v
+  srl  t4, t3, s4
+  andi t4, t4, 15
+  slli t4, t4, 2
+  add  t4, t4, s2
+  lw   t5, 0(t4)            # count[d]
+  addi t5, t5, -1
+  sw   t5, 0(t4)
+  slli t5, t5, 2
+  add  t5, t5, s1
+  sw   t3, 0(t5)            # dst[pos] = v
+  bne  t0, zero, rdscat
+  mv   t2, s0               # swap src/dst for the next pass
+  mv   s0, s1
+  mv   s1, t2
+  addi s4, s4, 4
+  li   t1, 8
+  bne  s4, t1, rdpass
+  lw   t0, 0(s0)            # checksum: smallest element
+  li   t1, 0x800
+  sw   t0, 0(t1)
+)";
+}
+
+} // namespace
+
+const std::vector<Workload> &workloads::allWorkloads() {
+  static const std::vector<Workload> All = {
+      make("coremark", coremarkBody()), make("aes", aesBody()),
+      make("gemm", gemmBody()),         make("gemm-block", gemmBlockBody()),
+      make("ellpack", ellpackBody()),   make("kmp", kmpBody()),
+      make("nw", nwBody()),             make("queue", queueBody()),
+      make("radix", radixBody()),
+  };
+  return All;
+}
+
+const Workload &workloads::workload(const std::string &Name) {
+  for (const Workload &W : allWorkloads())
+    if (W.Name == Name)
+      return W;
+  std::fprintf(stderr, "unknown workload '%s'\n", Name.c_str());
+  std::abort();
+}

@@ -1,0 +1,141 @@
+//===- AreaTest.cpp - Structural area model tests ----------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Pins the Figure 6 reproduction's qualitative claims: the calibrated
+/// Sodor baseline totals, PDL's moderate core-area overhead, bypassing
+/// being relatively costlier for PDL than for the hand-written design, and
+/// the <=5% bound once even tiny L1 caches are included.
+///
+//===----------------------------------------------------------------------===//
+
+#include "area/AreaModel.h"
+#include "cores/CoreSources.h"
+#include "passes/Liveness.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdl;
+using namespace pdl::area;
+using backend::LockKind;
+
+namespace {
+
+struct Fig6 {
+  double SodorNB, Sodor, PdlNB, Pdl;
+};
+
+Fig6 figure6() {
+  CompiledProgram P5 = compile(cores::rv32i5StageSource());
+  EXPECT_TRUE(P5.ok());
+  std::map<std::string, LockKind> Byp = {{"cpu.rf", LockKind::Bypass},
+                                         {"cpu.dmem", LockKind::Queue}};
+  std::map<std::string, LockKind> NoByp = {{"cpu.rf", LockKind::Queue},
+                                           {"cpu.dmem", LockKind::Queue}};
+  return {sodorArea(false).total(), sodorArea(true).total(),
+          estimatePdlArea(P5, NoByp).total(),
+          estimatePdlArea(P5, Byp).total()};
+}
+
+TEST(AreaTest, SodorCalibrationMatchesFigure6) {
+  Fig6 F = figure6();
+  // Calibrated against the published 14470 / 14624 um^2.
+  EXPECT_NEAR(F.SodorNB, 14470, 450);
+  EXPECT_NEAR(F.Sodor, 14624, 450);
+}
+
+TEST(AreaTest, PdlCoreIsModeratelyLarger) {
+  Fig6 F = figure6();
+  // Paper: 19018 / 19581 um^2 — roughly +30% over Sodor, not 2x.
+  EXPECT_GT(F.PdlNB, F.SodorNB * 1.15);
+  EXPECT_LT(F.PdlNB, F.SodorNB * 1.6);
+  EXPECT_NEAR(F.PdlNB, 19018, 1500);
+  EXPECT_NEAR(F.Pdl, 19581, 1500);
+}
+
+TEST(AreaTest, BypassOverheadLargerForPdl) {
+  Fig6 F = figure6();
+  double SodorOverhead = (F.Sodor - F.SodorNB) / F.SodorNB;
+  double PdlOverhead = (F.Pdl - F.PdlNB) / F.PdlNB;
+  // Paper: 1.06% vs 2.96% — both small, PDL's noticeably larger because
+  // the BypassQueue pays for generality.
+  EXPECT_LT(SodorOverhead, 0.02);
+  EXPECT_LT(PdlOverhead, 0.07);
+  EXPECT_GT(PdlOverhead, SodorOverhead * 1.8);
+}
+
+TEST(AreaTest, TinyCachesDominateCoreOverhead) {
+  Fig6 F = figure6();
+  // 4KB 2-way L1I + L1D: the PDL core overhead shrinks to ~5% of the
+  // core+caches total (the paper's upper bound).
+  double Caches = 2 * cacheArea(4096, 2, 32);
+  double Overhead = (F.Pdl - F.Sodor) / (F.Sodor + Caches);
+  EXPECT_LT(Overhead, 0.10);
+  EXPECT_GT(Caches, F.Pdl); // caches dwarf the core
+}
+
+TEST(AreaTest, RenameLockCostsMoreThanBypass) {
+  CompiledProgram P5 = compile(cores::rv32i5StageSource());
+  ASSERT_TRUE(P5.ok());
+  std::map<std::string, LockKind> Byp = {{"cpu.rf", LockKind::Bypass},
+                                         {"cpu.dmem", LockKind::Queue}};
+  std::map<std::string, LockKind> Ren = {{"cpu.rf", LockKind::Rename},
+                                         {"cpu.dmem", LockKind::Queue}};
+  // The renaming register file carries map tables, free lists, and
+  // checkpoint replicas: strictly more area than the bypass queue.
+  EXPECT_GT(estimatePdlArea(P5, Ren).total(),
+            estimatePdlArea(P5, Byp).total());
+}
+
+TEST(AreaTest, CactiModelScalesWithCapacity) {
+  EXPECT_GT(cacheArea(8192, 2, 32), 1.8 * cacheArea(4096, 2, 32));
+  EXPECT_GT(cacheArea(4096, 4, 32), cacheArea(4096, 2, 32)); // more tags
+}
+
+TEST(LivenessTest, EdgeCarriesOnlyNeededVariables) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      big = a ++ a ++ a ++ a;
+      small = a + 1;
+      ---
+      x = small + 2;
+      ---
+      call p(x);
+    }
+  )");
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  const CompiledPipe &P = CP.Pipes.at("p");
+  LivenessInfo L = computeLiveness(*P.Decl, P.Graph);
+  // Edge 0->1 carries `small` (8b) but not `big` (32b, dead) or `a`.
+  auto E01 = L.LiveOnEdge.at({0u, 1u});
+  EXPECT_TRUE(E01.count("small"));
+  EXPECT_FALSE(E01.count("big"));
+  EXPECT_FALSE(E01.count("a"));
+  EXPECT_EQ(L.edgeBits({0u, 1u}), 8u);
+  // Edge 1->2 carries only x.
+  auto E12 = L.LiveOnEdge.at({1u, 2u});
+  EXPECT_EQ(E12.size(), 1u);
+  EXPECT_TRUE(E12.count("x"));
+}
+
+TEST(LivenessTest, FiveStageCoreCarriesInsnAcrossDecode) {
+  CompiledProgram CP = compile(cores::rv32i5StageSource());
+  ASSERT_TRUE(CP.ok());
+  const CompiledPipe &P = CP.Pipes.at("cpu");
+  LivenessInfo L = computeLiveness(*P.Decl, P.Graph);
+  // FETCH->DECODE carries pc and insn.
+  auto E01 = L.LiveOnEdge.at({0u, 1u});
+  EXPECT_TRUE(E01.count("insn"));
+  EXPECT_TRUE(E01.count("pc"));
+  // DECODE->EXECUTE no longer needs imem's raw output once decoded...
+  // it still carries insn (immediates are formed in EXECUTE) plus the
+  // decoded control signals.
+  auto E12 = L.LiveOnEdge.at({1u, 2u});
+  EXPECT_TRUE(E12.count("wrd"));
+  EXPECT_TRUE(E12.count("rdst"));
+  EXPECT_GT(L.edgeBits({1u, 2u}), 64u);
+}
+
+} // namespace

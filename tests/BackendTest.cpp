@@ -1,0 +1,399 @@
+//===- BackendTest.cpp - Pipelined executor tests ---------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests the elaborated circuit executor: cycle-accurate pipelining (one
+/// instruction per cycle when nothing stalls), speculation kill/rollback
+/// timing, out-of-order regions with coordination tags, cross-pipe calls —
+/// and above all the paper's headline property: the pipelined circuit's
+/// committed behaviour equals the sequential specification's, thread by
+/// thread (one-instruction-at-a-time semantics).
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/System.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace pdl;
+using namespace pdl::backend;
+
+namespace {
+
+/// Asserts that the pipelined traces equal the sequential oracle's, thread
+/// by thread, and returns the number of compared threads.
+size_t expectEquivalent(const std::vector<ThreadTrace> &Pipelined,
+                        std::vector<ThreadTrace> Seq) {
+  size_t N = std::min(Pipelined.size(), Seq.size());
+  for (size_t I = 0; I != N; ++I) {
+    ThreadTrace P = Pipelined[I];
+    ThreadTrace &S = Seq[I];
+    EXPECT_EQ(P.Args.size(), S.Args.size()) << "thread " << I;
+    if (P.Args.size() != S.Args.size())
+      continue;
+    for (size_t A = 0; A != P.Args.size(); ++A)
+      EXPECT_EQ(P.Args[A], S.Args[A]) << "thread " << I << " arg " << A;
+    std::sort(P.Writes.begin(), P.Writes.end());
+    std::sort(S.Writes.begin(), S.Writes.end());
+    EXPECT_EQ(P.Writes, S.Writes) << "thread " << I;
+    EXPECT_EQ(P.Output.has_value(), S.Output.has_value()) << "thread " << I;
+    if (P.Output && S.Output) {
+      EXPECT_EQ(*P.Output, *S.Output) << "thread " << I;
+    }
+  }
+  return N;
+}
+
+TEST(BackendTest, SingleStageCounterRunsOneIpc) {
+  CompiledProgram CP = compile(R"(
+    pipe count(i: uint<8>)[m: uint<8>[2]] {
+      acquire(m[i{1:0}], W);
+      m[i{1:0}] <- i;
+      release(m[i{1:0}]);
+      call count(i + 1);
+    }
+  )");
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  System Sys(CP, {});
+  Sys.start("count", {Bits(0, 8)});
+  Sys.run(20);
+  // One thread retires per cycle after the pipeline warms up.
+  EXPECT_GE(Sys.stats().Retired.at("count"), 18u);
+  EXPECT_FALSE(Sys.stats().Deadlocked);
+  // Architectural state: m[x] holds the newest committed value for x.
+  EXPECT_EQ(Sys.archRead("count", "m", 1).zext() % 4, 1u);
+
+  SeqInterpreter Seq(*CP.AST);
+  auto SeqTraces = Seq.run("count", {Bits(0, 8)}, 25);
+  expectEquivalent(Sys.trace("count"), std::move(SeqTraces));
+}
+
+TEST(BackendTest, TwoStagePipelineOverlapsThreads) {
+  CompiledProgram CP = compile(R"(
+    pipe p(i: uint<8>)[m: uint<8>[2]] {
+      x = i + 1;
+      call p(x);
+      ---
+      acquire(m[i{1:0}], W);
+      m[i{1:0}] <- x;
+      release(m[i{1:0}]);
+    }
+  )");
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  System Sys(CP, {});
+  Sys.start("p", {Bits(0, 8)});
+  Sys.run(22);
+  // Depth-2 pipeline at 1 IPC: ~20 retirements in 22 cycles.
+  EXPECT_GE(Sys.stats().Retired.at("p"), 19u);
+
+  SeqInterpreter Seq(*CP.AST);
+  expectEquivalent(Sys.trace("p"), Seq.run("p", {Bits(0, 8)}, 30));
+}
+
+/// Figure 3's ex1: both R and W locks on the same location, split across
+/// stages, with speculation on every thread.
+TEST(BackendTest, Figure3Ex1MatchesSequentialSemantics) {
+  CompiledProgram CP = compile(R"(
+    pipe ex1(in: uint<4>)[m: uint<4>[4]] {
+      spec_barrier();
+      s <- spec call ex1(in + 1);
+      reserve(m[in], R);
+      acquire(m[in], W);
+      m[in] <- in;
+      release(m[in], W);
+      ---
+      block(m[in], R);
+      a1 = m[in];
+      release(m[in], R);
+      verify(s, a1);
+    }
+  )");
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  System Sys(CP, {});
+  Sys.start("ex1", {Bits(0, 4)});
+  Sys.run(60);
+  EXPECT_FALSE(Sys.stats().Deadlocked);
+  EXPECT_GT(Sys.stats().Retired.at("ex1"), 10u);
+
+  SeqInterpreter Seq(*CP.AST);
+  size_t N = expectEquivalent(Sys.trace("ex1"),
+                              Seq.run("ex1", {Bits(0, 4)}, 100));
+  EXPECT_GT(N, 10u);
+}
+
+TEST(BackendTest, MispredictKillsWrongPathAndRespawns) {
+  // Predict i+1; odd threads actually jump to i+3.
+  CompiledProgram CP = compile(R"(
+    pipe spec1(i: uint<8>)[] {
+      spec_check();
+      s <- spec call spec1(i + 1);
+      ---
+      spec_barrier();
+      npc = (i{0:0} == 1) ? i + 3 : i + 1;
+      verify(s, npc);
+    }
+  )");
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  System Sys(CP, {});
+  Sys.start("spec1", {Bits(0, 8)});
+  Sys.run(40);
+  EXPECT_FALSE(Sys.stats().Deadlocked);
+  EXPECT_GT(Sys.stats().Killed.at("spec1"), 0u);
+
+  // The retired sequence must be exactly the sequential one: 0,1,4,5,8,...
+  SeqInterpreter Seq(*CP.AST);
+  auto SeqTraces = Seq.run("spec1", {Bits(0, 8)}, 100);
+  size_t N = expectEquivalent(Sys.trace("spec1"), std::move(SeqTraces));
+  EXPECT_GT(N, 8u);
+
+  // Taken "branches" cost 2 bubbles; the steady-state pattern is two
+  // instructions per three cycles (CPI 1.5).
+  double Cpi = double(Sys.stats().Cycles) /
+               double(Sys.stats().Retired.at("spec1"));
+  EXPECT_GT(Cpi, 1.2);
+  EXPECT_LT(Cpi, 1.8);
+}
+
+TEST(BackendTest, SpeculativeWritesRollBack) {
+  // Every thread reserves a write; odd threads mispredict, so speculative
+  // wrong-path threads must have their reservations rolled back.
+  CompiledProgram CP = compile(R"(
+    pipe p(i: uint<8>)[m: uint<8>[2]] {
+      spec_check();
+      s <- spec call p(i + 1);
+      reserve(m[i{1:0}], W);
+      ---
+      spec_barrier();
+      npc = (i{0:0} == 1) ? i + 5 : i + 1;
+      block(m[i{1:0}]);
+      m[i{1:0}] <- npc;
+      release(m[i{1:0}]);
+      verify(s, npc);
+    }
+  )");
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  System Sys(CP, {});
+  Sys.start("p", {Bits(0, 8)});
+  Sys.run(60);
+  EXPECT_FALSE(Sys.stats().Deadlocked);
+  EXPECT_GT(Sys.stats().Killed.at("p"), 0u);
+
+  SeqInterpreter Seq(*CP.AST);
+  size_t N = expectEquivalent(Sys.trace("p"), Seq.run("p", {Bits(0, 8)}, 80));
+  EXPECT_GT(N, 8u);
+  // Final architectural state agrees with the oracle.
+  SeqInterpreter Seq2(*CP.AST);
+  Seq2.run("p", {Bits(0, 8)}, Sys.stats().Retired.at("p"));
+  for (uint64_t A = 0; A < 4; ++A)
+    EXPECT_EQ(Sys.archRead("p", "m", A), Seq2.memory("p", "m").read(A))
+        << "m[" << A << "]";
+}
+
+TEST(BackendTest, CrossPipeCallWaitsForResponse) {
+  CompiledProgram CP = compile(R"(
+    pipe triple(a: uint<8>)[]: uint<8> {
+      output(a + a + a);
+    }
+    pipe main(i: uint<8>)[m: uint<8>[2]] {
+      uint<8> t <- call triple(i);
+      ---
+      acquire(m[i{1:0}], W);
+      m[i{1:0}] <- t;
+      release(m[i{1:0}]);
+      call main(i + 1);
+    }
+  )");
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  System Sys(CP, {});
+  Sys.start("main", {Bits(1, 8)});
+  Sys.run(50);
+  EXPECT_FALSE(Sys.stats().Deadlocked);
+  EXPECT_GT(Sys.stats().Retired.at("main"), 5u);
+  // The callee runs at most a couple of requests ahead of its callers.
+  EXPECT_GE(Sys.stats().Retired.at("triple"),
+            Sys.stats().Retired.at("main"));
+  EXPECT_LE(Sys.stats().Retired.at("triple"),
+            Sys.stats().Retired.at("main") + 2);
+
+  SeqInterpreter Seq(*CP.AST);
+  expectEquivalent(Sys.trace("main"), Seq.run("main", {Bits(1, 8)}, 40));
+}
+
+TEST(BackendTest, Figure2OutOfOrderRegionPreservesOrder) {
+  // Odd threads take a long (3-stage) path; even threads a short one. The
+  // join must still retire threads in program order.
+  CompiledProgram CP = compile(R"(
+    pipe slowp(a: uint<8>)[]: uint<8> {
+      x = a + 1;
+      ---
+      y = x + 1;
+      ---
+      output(y);
+    }
+    pipe p(i: uint<8>)[m: uint<8>[2]] {
+      odd = i{0:0} == 1;
+      call p(i + 1);
+      if (odd) {
+        ---
+        uint<8> r1 <- call slowp(i);
+      } else {
+        r0 = i + 7;
+        ---
+        z = r0 + 0;
+      }
+      ---
+      acquire(m[i{1:0}], W);
+      m[i{1:0}] <- (odd ? r1 : z);
+      release(m[i{1:0}]);
+    }
+  )");
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  System Sys(CP, {});
+  Sys.start("p", {Bits(0, 8)});
+  Sys.run(120);
+  EXPECT_FALSE(Sys.stats().Deadlocked);
+  ASSERT_GT(Sys.stats().Retired.at("p"), 10u);
+
+  // Retirement order == thread order (args strictly consecutive).
+  const auto &Tr = Sys.trace("p");
+  for (size_t I = 0; I != Tr.size(); ++I)
+    EXPECT_EQ(Tr[I].Args[0].zext(), I) << "retired out of order";
+
+  SeqInterpreter Seq(*CP.AST);
+  expectEquivalent(Tr, Seq.run("p", {Bits(0, 8)}, 60));
+}
+
+TEST(BackendTest, QueueLockSerializesConflicts) {
+  // Same program under QueueLock vs BypassQueue: both must be correct;
+  // the bypassing version must be at least as fast.
+  const char *Src = R"(
+    pipe p(i: uint<8>)[m: uint<8>[1]] {
+      reserve(m[i{0:0}], W);
+      call p(i + 1);
+      ---
+      ---
+      block(m[i{0:0}]);
+      m[i{0:0}] <- i;
+      release(m[i{0:0}]);
+    }
+  )";
+  CompiledProgram CP = compile(Src);
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+
+  ElabConfig QCfg;
+  QCfg.DefaultLock = LockKind::Queue;
+  System QSys(CP, QCfg);
+  QSys.start("p", {Bits(0, 8)});
+  QSys.run(60);
+
+  ElabConfig BCfg;
+  BCfg.DefaultLock = LockKind::Bypass;
+  System BSys(CP, BCfg);
+  BSys.start("p", {Bits(0, 8)});
+  BSys.run(60);
+
+  EXPECT_FALSE(QSys.stats().Deadlocked);
+  EXPECT_FALSE(BSys.stats().Deadlocked);
+  EXPECT_GE(BSys.stats().Retired.at("p"), QSys.stats().Retired.at("p"));
+
+  SeqInterpreter Seq(*CP.AST);
+  auto SeqTraces = Seq.run("p", {Bits(0, 8)}, 80);
+  expectEquivalent(QSys.trace("p"), SeqTraces);
+  expectEquivalent(BSys.trace("p"), SeqTraces);
+}
+
+TEST(BackendTest, HaltOnWriteStopsTheSystem) {
+  CompiledProgram CP = compile(R"(
+    pipe p(i: uint<8>)[m: uint<8>[2]] {
+      acquire(m[3], W);
+      m[3] <- i;
+      release(m[3]);
+      call p(i + 1);
+    }
+  )");
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  System Sys(CP, {});
+  Sys.setHaltOnWrite("p", "m", 3);
+  Sys.start("p", {Bits(0, 8)});
+  Sys.run(100);
+  EXPECT_TRUE(Sys.halted());
+  EXPECT_LT(Sys.stats().Cycles, 10u);
+}
+
+TEST(BackendTest, RenameLockRunsTheSpeculativeCore) {
+  CompiledProgram CP = compile(R"(
+    pipe p(i: uint<8>)[m: uint<8>[2]] {
+      spec_check();
+      s <- spec call p(i + 1);
+      reserve(m[i{1:0}], W);
+      ---
+      spec_barrier();
+      npc = (i{1:0} == 3) ? i + 9 : i + 1;
+      block(m[i{1:0}]);
+      m[i{1:0}] <- npc;
+      release(m[i{1:0}]);
+      verify(s, npc);
+    }
+  )");
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  ElabConfig Cfg;
+  Cfg.DefaultLock = LockKind::Rename;
+  System Sys(CP, Cfg);
+  Sys.start("p", {Bits(0, 8)});
+  Sys.run(80);
+  EXPECT_FALSE(Sys.stats().Deadlocked);
+
+  SeqInterpreter Seq(*CP.AST);
+  size_t N =
+      expectEquivalent(Sys.trace("p"), Seq.run("p", {Bits(0, 8)}, 100));
+  EXPECT_GT(N, 10u);
+}
+
+TEST(SeqInterpTest, NoThreadReadsItsOwnWrites) {
+  // ex1 semantics: a1 = m[in] must see the value *before* this thread's
+  // write (Section 3.1's delayed-write rule).
+  CompiledProgram CP = compile(R"(
+    pipe ex1(in: uint<4>)[m: uint<4>[4]] {
+      acquire(m[in], R);
+      acquire(m[in], W);
+      m[in] <- in;
+      release(m[in], W);
+      a1 = m[in];
+      release(m[in], R);
+      call ex1(a1);
+    }
+  )");
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  SeqInterpreter Seq(*CP.AST);
+  Seq.memory("ex1", "m").write(5, Bits(9, 4));
+  auto Traces = Seq.run("ex1", {Bits(5, 4)}, 3);
+  ASSERT_EQ(Traces.size(), 3u);
+  // Thread 0 at m[5]: reads the OLD value 9 (not its own write of 5),
+  // so the next thread starts at 9.
+  EXPECT_EQ(Traces[1].Args[0].zext(), 9u);
+  // Thread 0's write of 5 to m[5] is visible to later threads.
+  EXPECT_EQ(std::get<2>(Traces[0].Writes[0]), 5u);
+}
+
+TEST(SeqInterpTest, StopsAtHaltAddress) {
+  CompiledProgram CP = compile(R"(
+    pipe p(i: uint<8>)[m: uint<8>[2]] {
+      acquire(m[i{1:0}], W);
+      m[i{1:0}] <- i;
+      release(m[i{1:0}]);
+      call p(i + 1);
+    }
+  )");
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  SeqInterpreter Seq(*CP.AST);
+  Seq.setHaltOnWrite("p", "m", 2);
+  auto Traces = Seq.run("p", {Bits(0, 8)}, 100);
+  EXPECT_TRUE(Seq.halted());
+  EXPECT_EQ(Traces.size(), 3u); // threads 0, 1, 2
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+//===- BitsTest.cpp - Unit tests for the Bits value type ------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bits.h"
+
+#include <gtest/gtest.h>
+
+using pdl::Bits;
+
+TEST(BitsTest, ConstructionMasksToWidth) {
+  EXPECT_EQ(Bits(0x1ff, 8).zext(), 0xffu);
+  EXPECT_EQ(Bits(0x100, 8).zext(), 0u);
+  EXPECT_EQ(Bits(~uint64_t(0), 64).zext(), ~uint64_t(0));
+  EXPECT_EQ(Bits(3, 1).zext(), 1u);
+}
+
+TEST(BitsTest, SignExtension) {
+  EXPECT_EQ(Bits(0xff, 8).sext(), -1);
+  EXPECT_EQ(Bits(0x7f, 8).sext(), 127);
+  EXPECT_EQ(Bits(0x80, 8).sext(), -128);
+  EXPECT_EQ(Bits(1, 1).sext(), -1);
+  EXPECT_EQ(Bits::fromSigned(-1, 32).zext(), 0xffffffffu);
+}
+
+TEST(BitsTest, ArithmeticWrapsAtWidth) {
+  Bits A(250, 8), B(10, 8);
+  EXPECT_EQ(A.add(B).zext(), 4u);
+  EXPECT_EQ(B.sub(A).zext(), 16u);
+  EXPECT_EQ(Bits(16, 8).mul(Bits(16, 8)).zext(), 0u);
+}
+
+TEST(BitsTest, DivisionRiscvSemantics) {
+  // Division by zero yields all-ones (unsigned) / -1 (signed).
+  EXPECT_EQ(Bits(7, 32).udiv(Bits(0, 32)).zext(), 0xffffffffu);
+  EXPECT_EQ(Bits(7, 32).sdiv(Bits(0, 32)).sext(), -1);
+  // Remainder by zero yields the dividend.
+  EXPECT_EQ(Bits(7, 32).urem(Bits(0, 32)).zext(), 7u);
+  EXPECT_EQ(Bits::fromSigned(-7, 32).srem(Bits(0, 32)).sext(), -7);
+  // INT_MIN / -1 overflows to INT_MIN, remainder 0.
+  Bits Min = Bits::fromSigned(INT32_MIN, 32);
+  Bits MinusOne = Bits::fromSigned(-1, 32);
+  EXPECT_EQ(Min.sdiv(MinusOne).sext(), INT32_MIN);
+  EXPECT_EQ(Min.srem(MinusOne).sext(), 0);
+  // Ordinary signed division truncates toward zero.
+  EXPECT_EQ(Bits::fromSigned(-7, 32).sdiv(Bits(2, 32)).sext(), -3);
+  EXPECT_EQ(Bits::fromSigned(-7, 32).srem(Bits(2, 32)).sext(), -1);
+}
+
+TEST(BitsTest, Shifts) {
+  EXPECT_EQ(Bits(1, 8).shl(Bits(3, 8)).zext(), 8u);
+  EXPECT_EQ(Bits(1, 8).shl(Bits(8, 8)).zext(), 0u);
+  EXPECT_EQ(Bits(0x80, 8).lshr(Bits(7, 8)).zext(), 1u);
+  EXPECT_EQ(Bits(0x80, 8).ashr(Bits(7, 8)).zext(), 0xffu);
+  EXPECT_EQ(Bits(0x80, 8).ashr(Bits(100, 8)).zext(), 0xffu);
+  EXPECT_EQ(Bits(0x40, 8).ashr(Bits(100, 8)).zext(), 0u);
+}
+
+TEST(BitsTest, Comparisons) {
+  Bits A = Bits::fromSigned(-1, 8), B(1, 8);
+  EXPECT_TRUE(A.ult(B).isZero());   // 255 < 1 unsigned: false
+  EXPECT_FALSE(A.slt(B).isZero()); // -1 < 1 signed: true
+  EXPECT_FALSE(A.eq(A).isZero());
+  EXPECT_TRUE(A.ne(A).isZero());
+  EXPECT_FALSE(B.ule(B).isZero());
+  EXPECT_FALSE(A.sle(A).isZero());
+  EXPECT_EQ(A.eq(B).width(), 1u);
+}
+
+TEST(BitsTest, SliceAndConcat) {
+  Bits Insn(0b1101'0110, 8);
+  EXPECT_EQ(Insn.slice(3, 1).zext(), 0b011u);
+  EXPECT_EQ(Insn.slice(7, 4).zext(), 0b1101u);
+  EXPECT_EQ(Insn.slice(0, 0).width(), 1u);
+  Bits Hi(0xab, 8), Lo(0xcd, 8);
+  Bits Cat = Hi.concat(Lo);
+  EXPECT_EQ(Cat.width(), 16u);
+  EXPECT_EQ(Cat.zext(), 0xabcdu);
+}
+
+TEST(BitsTest, ResizeOps) {
+  EXPECT_EQ(Bits(0xff, 8).zextTo(16).zext(), 0xffu);
+  EXPECT_EQ(Bits(0xff, 8).sextTo(16).zext(), 0xffffu);
+  EXPECT_EQ(Bits(0xabcd, 16).zextTo(8).zext(), 0xcdu);
+}
+
+TEST(BitsTest, Printing) {
+  EXPECT_EQ(Bits(42, 32).str(), "32'h0000002a");
+  EXPECT_EQ(Bits(1, 1).str(), "1'h1");
+}

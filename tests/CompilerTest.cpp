@@ -1,0 +1,431 @@
+//===- CompilerTest.cpp - End-to-end front-half compiler tests ------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Exercises the full checking pipeline (types -> stage graph -> locks ->
+/// speculation) on programs drawn from the paper's figures plus targeted
+/// error cases for each rule in Table 1 / Section 4.
+///
+//===----------------------------------------------------------------------===//
+
+#include "passes/Compiler.h"
+#include "passes/SeqExtract.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdl;
+
+namespace {
+
+/// Figure 3a, adapted to this implementation's concrete syntax.
+const char *Ex1 = R"(
+  pipe ex1(in: uint<4>)[m: uint<4>[4]] {
+    spec_barrier();
+    s <- spec call ex1(in + 1);
+    reserve(m[in], R);
+    acquire(m[in], W);
+    m[in] <- in;
+    release(m[in], W);
+    ---
+    block(m[in], R);
+    a1 = m[in];
+    release(m[in], R);
+    verify(s, a1);
+  }
+)";
+
+TEST(CompilerTest, Figure3PipeChecks) {
+  CompiledProgram CP = compile(Ex1);
+  EXPECT_TRUE(CP.ok()) << CP.Diags->render();
+  ASSERT_TRUE(CP.Pipes.count("ex1"));
+  const CompiledPipe &P = CP.Pipes.at("ex1");
+  EXPECT_EQ(P.Graph.Stages.size(), 2u);
+  EXPECT_TRUE(P.Spec.UsesSpeculation);
+  EXPECT_TRUE(P.Locks.WriteLocked.count("m"));
+  EXPECT_TRUE(P.Locks.ReadLocked.count("m"));
+  // Checkpoint for m in stage 0 (the stage holding the last reservation).
+  ASSERT_TRUE(P.Spec.CheckpointStage.count("m"));
+  EXPECT_EQ(P.Spec.CheckpointStage.at("m"), 0u);
+  EXPECT_GT(CP.SolverQueries, 0u);
+}
+
+TEST(CompilerTest, Figure3SequentialExtraction) {
+  CompiledProgram CP = compile(Ex1);
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  std::string Seq = extractSequential(*CP.Pipes.at("ex1").Decl);
+  // Retained: the read. Delayed: the write and the tail call from verify.
+  EXPECT_NE(Seq.find("a1 = m[in];"), std::string::npos) << Seq;
+  EXPECT_NE(Seq.find("delayed"), std::string::npos) << Seq;
+  EXPECT_NE(Seq.find("m[in] <- in;"), std::string::npos) << Seq;
+  EXPECT_NE(Seq.find("call ex1(a1);"), std::string::npos) << Seq;
+  // Erased: locks, speculation, stage separators.
+  EXPECT_EQ(Seq.find("reserve"), std::string::npos) << Seq;
+  EXPECT_EQ(Seq.find("spec"), std::string::npos) << Seq;
+  EXPECT_EQ(Seq.find("---"), std::string::npos) << Seq;
+}
+
+/// Figure 2: out-of-order DIV/DMEM region rejoined by a coordination tag.
+const char *OoO = R"(
+  pipe divp(a: uint<32>)[]: uint<32> {
+    output(a + 1);
+  }
+  pipe cpu(pc: uint<32>)[rf: uint<32>[5], dmem: uint<32>[10] sync] {
+    isdiv = pc{0:0} == 1;
+    rd = pc{6:2};
+    reserve(rf[rd], W);
+    call cpu(pc + 4);
+    if (isdiv) {
+      ---
+      res <- call divp(pc);
+    } else {
+      addr = pc{11:2};
+      ---
+      res2 <- dmem[addr];
+    }
+    ---
+    block(rf[rd]);
+    rf[rd] <- (isdiv ? res : res2);
+    release(rf[rd]);
+  }
+)";
+
+TEST(CompilerTest, Figure2UnorderedStages) {
+  CompiledProgram CP = compile(OoO);
+  EXPECT_TRUE(CP.ok()) << CP.Diags->render();
+  const StageGraph &G = CP.Pipes.at("cpu").Graph;
+  // Stages: dispatch, DIV, DMEM, join, WB.
+  ASSERT_EQ(G.Stages.size(), 5u);
+  EXPECT_TRUE(G.Stages[0].Ordered);
+  EXPECT_FALSE(G.Stages[1].Ordered); // DIV
+  EXPECT_FALSE(G.Stages[2].Ordered); // DMEM
+  const Stage &Join = G.Stages[3];
+  EXPECT_TRUE(Join.Ordered);
+  EXPECT_TRUE(Join.isJoin());
+  EXPECT_EQ(Join.ForkStage, 0u);
+  ASSERT_EQ(Join.TagRules.size(), 2u);
+  EXPECT_TRUE(G.Stages[4].Ordered);
+  // dmem accessed without locks is allowed (unlocked memory).
+}
+
+TEST(CompilerTest, RejectsReadWithoutAcquire) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<4>)[m: uint<8>[4]] {
+      acquire(m[a], R);
+      x = m[a];
+      release(m[a]);
+      y = m[a + 1];
+      call p(a);
+    }
+  )");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("acquire missing")) << CP.Diags->render();
+}
+
+TEST(CompilerTest, RejectsBlockWithoutReserve) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<4>)[m: uint<8>[4]] {
+      block(m[a]);
+      x = m[a];
+      release(m[a]);
+      call p(a);
+    }
+  )");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("no outstanding reservation"))
+      << CP.Diags->render();
+}
+
+TEST(CompilerTest, RejectsUnreleasedLock) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<4>)[m: uint<8>[4]] {
+      acquire(m[a], R);
+      x = m[a];
+      call p(a);
+    }
+  )");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("left unreleased")) << CP.Diags->render();
+}
+
+TEST(CompilerTest, RejectsReleaseBeforeAccess) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<4>)[m: uint<8>[4]] {
+      acquire(m[a], W);
+      release(m[a]);
+      call p(a);
+    }
+  )");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("before the associated memory operation"))
+      << CP.Diags->render();
+}
+
+TEST(CompilerTest, AcceptsSection43SplitReservation) {
+  // The path-sensitive example from Section 4.3: reserve and block guarded
+  // by the same condition in different stages.
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[rf: uint<8>[2]] {
+      writerd = a{0:0} == 1;
+      rd = a{2:1};
+      wdata = a;
+      if (writerd) { reserve(rf[rd], W); }
+      call p(a + 1);
+      ---
+      if (writerd) {
+        block(rf[rd]);
+        rf[rd] <- wdata;
+        release(rf[rd]);
+      }
+    }
+  )");
+  EXPECT_TRUE(CP.ok()) << CP.Diags->render();
+}
+
+TEST(CompilerTest, RejectsMismatchedGuards) {
+  // block guarded by a *different* condition than the reserve: the solver
+  // must find the path where the lock was never reserved.
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[rf: uint<8>[2]] {
+      writerd = a{0:0} == 1;
+      other = a{1:1} == 1;
+      rd = a{2:1};
+      if (writerd) { reserve(rf[rd], W); }
+      call p(a + 1);
+      ---
+      if (other) {
+        block(rf[rd]);
+        rf[rd] <- a;
+        release(rf[rd]);
+      }
+    }
+  )");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("prior reservation")) << CP.Diags->render();
+}
+
+TEST(CompilerTest, RejectsDoubleReserve) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<4>)[m: uint<8>[4]] {
+      reserve(m[a], W);
+      reserve(m[a], W);
+      block(m[a]);
+      m[a] <- a ++ a;
+      release(m[a]);
+      call p(a);
+    }
+  )");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("already be reserved"))
+      << CP.Diags->render();
+}
+
+TEST(CompilerTest, RejectsUnverifiedSpeculation) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      spec_barrier();
+      s <- spec call p(a + 1);
+    }
+  )");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("not verified on every path"))
+      << CP.Diags->render();
+}
+
+TEST(CompilerTest, RejectsSpecCallFromUnknown) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      s <- spec call p(a + 1);
+      ---
+      spec_barrier();
+      verify(s, a + 1);
+    }
+  )");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("Unknown state")) << CP.Diags->render();
+}
+
+TEST(CompilerTest, RejectsVerifyFromSpeculativeThread) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      spec_check();
+      s <- spec call p(a + 1);
+      verify(s, a + 1);
+    }
+  )");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("only non-speculative threads may resolve"))
+      << CP.Diags->render();
+}
+
+TEST(CompilerTest, RejectsDoubleContinuation) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      call p(a + 1);
+      call p(a + 2);
+    }
+  )");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("two successors")) << CP.Diags->render();
+}
+
+TEST(CompilerTest, RejectsMissingContinuation) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      c = a == 0;
+      if (c) { call p(a + 1); }
+    }
+  )");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("neither makes a recursive call"))
+      << CP.Diags->render();
+}
+
+TEST(CompilerTest, AcceptsBranchExclusiveContinuations) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      c = a == 0;
+      if (c) { call p(a + 1); } else { call p(a + 2); }
+    }
+  )");
+  EXPECT_TRUE(CP.ok()) << CP.Diags->render();
+}
+
+TEST(CompilerTest, RejectsReservationsInBothArms) {
+  // Lock reservations in both branches of an out-of-order region violate
+  // thread-order reservation (Section 4.1).
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[m: uint<8>[2]] {
+      c = a == 0;
+      ad = a{1:0};
+      call p(a + 1);
+      if (c) {
+        ---
+        acquire(m[ad], W);
+        m[ad] <- a;
+        release(m[ad]);
+      } else {
+        ---
+        acquire(m[ad], W);
+        m[ad] <- a + 1;
+        release(m[ad]);
+      }
+    }
+  )");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("more than one branch"))
+      << CP.Diags->render();
+}
+
+TEST(CompilerTest, AcceptsReservationInOneArm) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[m: uint<8>[2]] {
+      c = a == 0;
+      ad = a{1:0};
+      call p(a + 1);
+      if (c) {
+        ---
+        x = a + 1;
+      } else {
+        ---
+        acquire(m[ad], W);
+        m[ad] <- a;
+        release(m[ad]);
+      }
+    }
+  )");
+  EXPECT_TRUE(CP.ok()) << CP.Diags->render();
+}
+
+TEST(CompilerTest, TypeErrors) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      b = a + 1;
+      b = a + 2;
+      call p(b);
+    }
+  )");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("assigned more than once"))
+      << CP.Diags->render();
+
+  CP = compile("pipe p(a: uint<8>)[] { x = a + y; call p(a); }");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("undefined variable"));
+
+  CP = compile("pipe p(a: uint<8>)[] { uint<16> x = a; call p(a); }");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("expected uint<16>"));
+
+  CP = compile("pipe p(a: uint<8>)[] { x = 5; call p(a); }");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("cannot infer the width"));
+
+  CP = compile("pipe p(a: uint<8>)[] { x = a{9:0}; call p(a); }");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("exceeds operand width"));
+}
+
+TEST(CompilerTest, SyncMemoryModeErrors) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<4>)[m: uint<8>[4] sync] {
+      x = m[a];
+      call p(a);
+    }
+  )");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("is synchronous")) << CP.Diags->render();
+
+  CP = compile(R"(
+    pipe p(a: uint<4>)[m: uint<8>[4]] {
+      x <- m[a];
+      ---
+      call p(a);
+    }
+  )");
+  EXPECT_FALSE(CP.ok());
+  EXPECT_TRUE(CP.Diags->contains("is combinational")) << CP.Diags->render();
+}
+
+TEST(CompilerTest, MaybeDefinedIsAllowed) {
+  // Hardware don't-care: y is defined only when c holds, and consumed
+  // under the same condition. The type checker must accept this.
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[m: uint<8>[2]] {
+      c = a == 0;
+      if (c) { y = a + 1; }
+      ---
+      if (c) {
+        acquire(m[a{1:0}], W);
+        m[a{1:0}] <- y;
+        release(m[a{1:0}]);
+      }
+      call p(a + 1);
+    }
+  )");
+  EXPECT_TRUE(CP.ok()) << CP.Diags->render();
+}
+
+TEST(CompilerTest, StageGraphLinearStructure) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      x = a + 1;
+      ---
+      y = x + 1;
+      ---
+      call p(y);
+    }
+  )");
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  const StageGraph &G = CP.Pipes.at("p").Graph;
+  ASSERT_EQ(G.Stages.size(), 3u);
+  for (const Stage &S : G.Stages) {
+    EXPECT_TRUE(S.Ordered);
+    EXPECT_FALSE(S.isJoin());
+  }
+  EXPECT_EQ(G.Stages[0].Succs.size(), 1u);
+  EXPECT_EQ(G.Stages[0].Succs[0].To, 1u);
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+//===- DiagnosticsTest.cpp - Unit tests for diagnostics/source mgmt -------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdl;
+
+TEST(SourceMgrTest, ResolvesLineAndColumn) {
+  SourceMgr SM;
+  SM.setBuffer("abc\ndef\n\nghi", "test.pdl");
+  LineCol LC = SM.resolve({0});
+  EXPECT_EQ(LC.Line, 1u);
+  EXPECT_EQ(LC.Col, 1u);
+  EXPECT_EQ(LC.LineText, "abc");
+
+  LC = SM.resolve({5});
+  EXPECT_EQ(LC.Line, 2u);
+  EXPECT_EQ(LC.Col, 2u);
+  EXPECT_EQ(LC.LineText, "def");
+
+  LC = SM.resolve({8}); // the empty line
+  EXPECT_EQ(LC.Line, 3u);
+  EXPECT_EQ(LC.Col, 1u);
+  EXPECT_EQ(LC.LineText, "");
+
+  LC = SM.resolve({11});
+  EXPECT_EQ(LC.Line, 4u);
+  EXPECT_EQ(LC.LineText, "ghi");
+}
+
+TEST(SourceMgrTest, InvalidLocationResolvesToZero) {
+  SourceMgr SM;
+  SM.setBuffer("abc");
+  EXPECT_EQ(SM.resolve(SourceLoc::invalid()).Line, 0u);
+}
+
+TEST(DiagnosticsTest, CountsOnlyErrors) {
+  SourceMgr SM;
+  SM.setBuffer("pipe p() [] {}");
+  DiagnosticEngine Diags(SM);
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning({0}, "suspicious");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error({5}, "bad pipe");
+  Diags.note({5}, "declared here");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.diagnostics().size(), 3u);
+}
+
+TEST(DiagnosticsTest, RenderIncludesCaretAndLine) {
+  SourceMgr SM;
+  SM.setBuffer("x = rf[rs1];", "core.pdl");
+  DiagnosticEngine Diags(SM);
+  Diags.error({4}, "acquire missing");
+  std::string Out = Diags.render();
+  EXPECT_NE(Out.find("core.pdl:1:5: error: acquire missing"),
+            std::string::npos);
+  EXPECT_NE(Out.find("x = rf[rs1];"), std::string::npos);
+  EXPECT_NE(Out.find("    ^"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, ContainsSearchesMessages) {
+  SourceMgr SM;
+  SM.setBuffer("");
+  DiagnosticEngine Diags(SM);
+  Diags.error(SourceLoc::invalid(), "lock must be reserved before block");
+  EXPECT_TRUE(Diags.contains("reserved before block"));
+  EXPECT_FALSE(Diags.contains("speculative"));
+}

@@ -1,0 +1,176 @@
+//===- FuzzTest.cpp - Randomized differential testing of the cores ----------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property-based testing of the headline guarantee: for *random* RISC-V
+/// programs (dense RAW/WAW hazards, random forward branches, loads/stores
+/// over a small aliasing region), every core's committed instruction trace
+/// equals the golden architectural simulator's, under every lock choice
+/// and under deliberately starved resource configurations (tiny FIFOs,
+/// tiny speculation table) that maximize stall/backpressure interleavings.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cores/Core.h"
+#include "riscv/Encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+using namespace pdl;
+using namespace pdl::cores;
+using namespace pdl::riscv;
+
+namespace {
+
+/// Generates a terminating random program: blocks of random ALU and memory
+/// instructions with occasional forward branches (taken and not-taken),
+/// ending in the halt store. Registers x1..x9; memory within one 16-word
+/// window so loads/stores alias heavily.
+std::vector<uint32_t> randomProgram(uint32_t Seed, unsigned Blocks) {
+  std::mt19937 Rng(Seed);
+  auto R = [&](unsigned Lo, unsigned Hi) {
+    return Lo + Rng() % (Hi - Lo + 1);
+  };
+  std::vector<uint32_t> P;
+  // x1 = base address 0x100; x2..x9 seeded with small values.
+  P.push_back(addi(1, 0, 0x100));
+  for (unsigned I = 2; I <= 9; ++I)
+    P.push_back(addi(I, 0, static_cast<int32_t>(Rng() % 64)));
+
+  for (unsigned B = 0; B != Blocks; ++B) {
+    unsigned Len = R(3, 8);
+    std::vector<uint32_t> Body;
+    for (unsigned I = 0; I != Len; ++I) {
+      unsigned Rd = R(2, 9), Rs1 = R(2, 9), Rs2 = R(2, 9);
+      switch (Rng() % 8) {
+      case 0:
+        Body.push_back(add(Rd, Rs1, Rs2));
+        break;
+      case 1:
+        Body.push_back(sub(Rd, Rs1, Rs2));
+        break;
+      case 2:
+        Body.push_back(addi(Rd, Rs1, static_cast<int32_t>(Rng() % 256) - 128));
+        break;
+      case 3:
+        Body.push_back(encR(0, Rs2, Rs1, F3Xor, Rd, OpReg));
+        break;
+      case 4:
+        Body.push_back(encI(static_cast<int32_t>(Rng() % 31), Rs1, F3And,
+                            Rd, OpImm)); // andi keeps values bounded
+        break;
+      case 5: // store to the aliasing window
+        Body.push_back(encI(static_cast<int32_t>((Rng() % 16) * 4), 1,
+                            F3And, Rd, OpImm)); // rd = window offset
+        Body.push_back(sw(Rs2, 1, static_cast<int32_t>((Rng() % 16) * 4)));
+        break;
+      case 6: // load (often of a just-stored value)
+        Body.push_back(lw(Rd, 1, static_cast<int32_t>((Rng() % 16) * 4)));
+        break;
+      case 7: // load-use pair
+        Body.push_back(lw(Rd, 1, static_cast<int32_t>((Rng() % 16) * 4)));
+        Body.push_back(add(R(2, 9), Rd, Rd));
+        break;
+      }
+    }
+    // A forward branch over the next 1..3 instructions (sometimes taken).
+    unsigned Skip = R(1, 3);
+    if (Rng() % 2)
+      P.push_back(beq(R(2, 9), R(2, 9), static_cast<int32_t>(4 * (Skip + 1))));
+    else
+      P.push_back(bne(R(2, 9), R(2, 9), static_cast<int32_t>(4 * (Skip + 1))));
+    for (unsigned I = 0; I != Skip; ++I)
+      P.push_back(I < Body.size() ? Body[I] : addi(0, 0, 0));
+    for (uint32_t W : Body)
+      P.push_back(W);
+  }
+  // Halt: x31 = HaltByteAddr; sw x0, 0(x31); spin.
+  P.push_back(lui(31, static_cast<int32_t>(HaltByteAddr + 0x1000)));
+  P.push_back(addi(31, 31, static_cast<int32_t>((HaltByteAddr << 20)) >> 20));
+  P.push_back(sw(0, 31, 0));
+  uint32_t SpinPc = static_cast<uint32_t>(P.size()) * 4;
+  (void)SpinPc;
+  P.push_back(jal(0, 0)); // jump-to-self
+  return P;
+}
+
+struct FuzzParam {
+  CoreKind Kind;
+  uint32_t Seed;
+};
+
+class CoreFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(CoreFuzzTest, RandomProgramMatchesGolden) {
+  auto Words = randomProgram(GetParam().Seed, 24);
+  Core C(GetParam().Kind);
+  C.loadProgram(Words);
+  Core::RunResult R = C.run(200000, /*CheckGolden=*/true);
+  EXPECT_TRUE(R.Halted) << "seed " << GetParam().Seed;
+  EXPECT_FALSE(R.Deadlocked);
+  EXPECT_TRUE(R.TraceMatches) << "seed " << GetParam().Seed << ": "
+                              << R.TraceMismatch;
+  EXPECT_GT(R.Instrs, 50u);
+}
+
+std::vector<FuzzParam> fuzzMatrix() {
+  std::vector<FuzzParam> Out;
+  for (CoreKind K : {CoreKind::Pdl5Stage, CoreKind::Pdl5StageNoBypass,
+                     CoreKind::Pdl3Stage, CoreKind::Pdl5StageBht,
+                     CoreKind::PdlRv32im, CoreKind::Pdl5StageRename})
+    for (uint32_t Seed : {11u, 22u, 33u, 44u, 55u, 66u, 77u, 88u})
+      Out.push_back({K, Seed});
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, CoreFuzzTest,
+                         ::testing::ValuesIn(fuzzMatrix()),
+                         [](const auto &Info) {
+                           std::ostringstream OS;
+                           OS << "k" << static_cast<int>(Info.param.Kind)
+                              << "s" << Info.param.Seed;
+                           return OS.str();
+                         });
+
+/// Failure injection: starve every resource the executor can stall on and
+/// re-check equivalence on the 5-stage core. Exercises back-pressure,
+/// spec-table exhaustion, and lock-capacity stalls together.
+TEST(StressConfigTest, StarvedResourcesStayCorrect) {
+  auto Words = randomProgram(1234, 24);
+  CompiledProgram CP = compile(cores::rv32i5StageSource());
+  ASSERT_TRUE(CP.ok());
+
+  backend::ElabConfig Cfg;
+  Cfg.FifoDepth = 1;      // single pipeline registers
+  Cfg.EntryDepth = 2;     // minimal entry queue
+  Cfg.SpecCapacity = 3;   // tiny speculation table
+  Cfg.TagDepth = 2;
+  Cfg.LockChoice["cpu.rf"] = backend::LockKind::Bypass;
+  Cfg.LockChoice["cpu.dmem"] = backend::LockKind::Queue;
+  backend::System Sys(CP, Cfg);
+  for (size_t I = 0; I != Words.size(); ++I)
+    Sys.memory("cpu", "imem").write(I, Bits(Words[I], 32));
+  Sys.setHaltOnWrite("cpu", "dmem", HaltByteAddr >> 2);
+  Sys.start("cpu", {Bits(0, 32)});
+  Sys.run(500000);
+  EXPECT_TRUE(Sys.halted());
+  EXPECT_FALSE(Sys.stats().Deadlocked);
+
+  riscv::GoldenSim Golden(ImemAddrBits, DmemAddrBits);
+  Golden.loadProgram(Words);
+  Golden.setHaltStore(HaltByteAddr);
+  std::vector<riscv::CommitRecord> Log;
+  Golden.run(Sys.stats().Retired.at("cpu") + 8, &Log);
+  const auto &Trace = Sys.trace("cpu");
+  size_t N = std::min(Trace.size(), Log.size());
+  ASSERT_GT(N, 50u);
+  for (size_t I = 0; I != N; ++I)
+    ASSERT_EQ(Trace[I].Args[0].zext(), Log[I].Pc) << "instr " << I;
+}
+
+} // namespace

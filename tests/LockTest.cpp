@@ -1,0 +1,376 @@
+//===- LockTest.cpp - Hazard-lock implementation tests ---------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Table 1 behaviour, tested uniformly across all three lock designs with
+/// parameterized tests, plus design-specific tests (queue exhaustion,
+/// combinational bypassing, renaming free-list behaviour, rollback).
+///
+//===----------------------------------------------------------------------===//
+
+#include "hw/BypassQueue.h"
+#include "hw/QueueLock.h"
+#include "hw/RenameLock.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+using namespace pdl;
+using namespace pdl::hw;
+
+namespace {
+
+struct LockParam {
+  const char *Name;
+  std::function<std::unique_ptr<HazardLock>(Memory &)> Make;
+};
+
+class AnyLockTest : public ::testing::TestWithParam<LockParam> {
+protected:
+  AnyLockTest() : Mem("rf", 32, 5, false) {
+    for (uint64_t A = 0; A < 32; ++A)
+      Mem.write(A, Bits(100 + A, 32));
+    Lock = GetParam().Make(Mem);
+  }
+
+  Memory Mem;
+  std::unique_ptr<HazardLock> Lock;
+};
+
+TEST_P(AnyLockTest, ReadSeesInitialValue) {
+  ASSERT_TRUE(Lock->canReserve(3, Access::Read));
+  ResId R = Lock->reserve(3, Access::Read);
+  ASSERT_TRUE(Lock->ready(R));
+  EXPECT_EQ(Lock->read(R).zext(), 103u);
+  Lock->release(R);
+}
+
+TEST_P(AnyLockTest, WriteThenDependentRead) {
+  ResId W = Lock->reserve(7, Access::Write);
+  ResId R = Lock->reserve(7, Access::Read);
+  // The read depends on the unexecuted write: it must not be ready.
+  EXPECT_FALSE(Lock->ready(R));
+  Lock->write(W, Bits(42, 32));
+  Lock->release(W);
+  // After the producer commits, every design must let the read through
+  // (bypassing designs were ready even before the release).
+  ASSERT_TRUE(Lock->ready(R));
+  EXPECT_EQ(Lock->read(R).zext(), 42u);
+  Lock->release(R);
+  EXPECT_EQ(Lock->archRead(7).zext(), 42u);
+}
+
+TEST_P(AnyLockTest, IndependentAddressesDontConflict) {
+  ResId W = Lock->reserve(1, Access::Write);
+  ResId R = Lock->reserve(2, Access::Read);
+  EXPECT_TRUE(Lock->ready(R));
+  EXPECT_EQ(Lock->read(R).zext(), 102u);
+  Lock->write(W, Bits(1, 32));
+  Lock->release(W);
+  Lock->release(R);
+}
+
+TEST_P(AnyLockTest, WriteReachesArchStateAfterRelease) {
+  ResId W = Lock->reserve(4, Access::Write);
+  Lock->write(W, Bits(77, 32));
+  Lock->release(W);
+  EXPECT_EQ(Lock->archRead(4).zext(), 77u);
+}
+
+TEST_P(AnyLockTest, ChainedWritesForwardNewest) {
+  ResId W1 = Lock->reserve(9, Access::Write);
+  ResId W2 = Lock->reserve(9, Access::Write);
+  ResId R = Lock->reserve(9, Access::Read);
+  // Queue lock: each writer executes at the queue head, so write/release
+  // pairs proceed in order. Bypassing locks allow both writes up front and
+  // forward the newest. Either way the read must observe 22.
+  Lock->write(W1, Bits(11, 32));
+  Lock->release(W1);
+  Lock->write(W2, Bits(22, 32));
+  Lock->release(W2);
+  ASSERT_TRUE(Lock->ready(R));
+  EXPECT_EQ(Lock->read(R).zext(), 22u);
+  Lock->release(R);
+  EXPECT_EQ(Lock->archRead(9).zext(), 22u);
+}
+
+TEST_P(AnyLockTest, RollbackUndoesSpeculativeReservations) {
+  ResId W1 = Lock->reserve(5, Access::Write); // parent's reservation
+  CkptId C = Lock->checkpoint();
+  ResId W2 = Lock->reserve(5, Access::Write); // speculative child's
+  (void)W2;
+  Lock->rollback(C);
+  // Parent commits; the speculative write is gone.
+  Lock->write(W1, Bits(55, 32));
+  Lock->release(W1);
+  EXPECT_EQ(Lock->archRead(5).zext(), 55u);
+  ResId R = Lock->reserve(5, Access::Read);
+  ASSERT_TRUE(Lock->ready(R));
+  EXPECT_EQ(Lock->read(R).zext(), 55u);
+  Lock->release(R);
+}
+
+TEST_P(AnyLockTest, CommitCheckpointKeepsState) {
+  CkptId C = Lock->checkpoint();
+  ResId W = Lock->reserve(6, Access::Write);
+  Lock->commitCheckpoint(C);
+  Lock->write(W, Bits(13, 32));
+  Lock->release(W);
+  EXPECT_EQ(Lock->archRead(6).zext(), 13u);
+}
+
+TEST_P(AnyLockTest, ExclusiveReservationReadsAndWrites) {
+  ResId RW = Lock->reserve(8, Access::ReadWrite);
+  ASSERT_TRUE(Lock->ready(RW));
+  EXPECT_EQ(Lock->read(RW).zext(), 108u);
+  Lock->write(RW, Bits(200, 32));
+  Lock->release(RW);
+  EXPECT_EQ(Lock->archRead(8).zext(), 200u);
+}
+
+TEST_P(AnyLockTest, ExclusiveWaitsForOlderWrite) {
+  ResId W = Lock->reserve(10, Access::Write);
+  ResId RW = Lock->reserve(10, Access::ReadWrite);
+  EXPECT_FALSE(Lock->ready(RW));
+  Lock->write(W, Bits(31, 32));
+  Lock->release(W);
+  ASSERT_TRUE(Lock->ready(RW));
+  EXPECT_EQ(Lock->read(RW).zext(), 31u);
+  Lock->write(RW, Bits(32, 32));
+  Lock->release(RW);
+  EXPECT_EQ(Lock->archRead(10).zext(), 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLocks, AnyLockTest,
+    ::testing::Values(
+        LockParam{"queue",
+                  [](Memory &M) -> std::unique_ptr<HazardLock> {
+                    return std::make_unique<QueueLock>(M, 8, 4);
+                  }},
+        LockParam{"bypass",
+                  [](Memory &M) -> std::unique_ptr<HazardLock> {
+                    return std::make_unique<BypassQueueLock>(M);
+                  }},
+        LockParam{"rename",
+                  [](Memory &M) -> std::unique_ptr<HazardLock> {
+                    return std::make_unique<RenameLock>(M, 8);
+                  }}),
+    [](const ::testing::TestParamInfo<LockParam> &Info) {
+      return Info.param.Name;
+    });
+
+/// Checkpointing designs (Section 2.5 extends BypassQueue and RenameLock):
+/// speculatively *written* data must vanish on rollback, and writes must
+/// stay invisible to architectural state until release.
+class CheckpointingLockTest : public AnyLockTest {};
+
+TEST_P(CheckpointingLockTest, WriteInvisibleBeforeRelease) {
+  ResId W = Lock->reserve(4, Access::Write);
+  Lock->write(W, Bits(77, 32));
+  EXPECT_EQ(Lock->archRead(4).zext(), 104u) << "write leaked before release";
+  Lock->release(W);
+  EXPECT_EQ(Lock->archRead(4).zext(), 77u);
+}
+
+TEST_P(CheckpointingLockTest, RollbackDiscardsSpeculativeWriteData) {
+  CkptId C = Lock->checkpoint();
+  ResId W = Lock->reserve(5, Access::Write);
+  Lock->write(W, Bits(99, 32));
+  Lock->rollback(C);
+  EXPECT_EQ(Lock->archRead(5).zext(), 105u);
+  ResId R = Lock->reserve(5, Access::Read);
+  ASSERT_TRUE(Lock->ready(R));
+  EXPECT_EQ(Lock->read(R).zext(), 105u);
+  Lock->release(R);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BypassAndRename, CheckpointingLockTest,
+    ::testing::Values(
+        LockParam{"bypass",
+                  [](Memory &M) -> std::unique_ptr<HazardLock> {
+                    return std::make_unique<BypassQueueLock>(M);
+                  }},
+        LockParam{"rename",
+                  [](Memory &M) -> std::unique_ptr<HazardLock> {
+                    return std::make_unique<RenameLock>(M, 8);
+                  }}),
+    [](const ::testing::TestParamInfo<LockParam> &Info) {
+      return Info.param.Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Design-specific behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(QueueLockTest, QueueLockStallsReadersUntilWriteReleases) {
+  Memory Mem("m", 32, 4, false);
+  QueueLock L(Mem, 4, 4);
+  ResId W = L.reserve(1, Access::Write);
+  ResId R = L.reserve(1, Access::Read);
+  L.write(W, Bits(5, 32));
+  // No bypassing: even after the write executes, the reader waits for the
+  // release (the write holds the queue head).
+  EXPECT_FALSE(L.ready(R));
+  L.release(W);
+  EXPECT_TRUE(L.ready(R));
+  EXPECT_EQ(L.read(R).zext(), 5u);
+  L.release(R);
+}
+
+TEST(QueueLockTest, ExhaustsAssociativeQueues) {
+  Memory Mem("m", 32, 4, false);
+  QueueLock L(Mem, 2, 4);
+  ResId A = L.reserve(1, Access::Read);
+  ResId B = L.reserve(2, Access::Read);
+  // Two queues bound to addresses 1 and 2; a third address must stall.
+  EXPECT_FALSE(L.canReserve(3, Access::Read));
+  // But another reservation for a bound address is fine.
+  EXPECT_TRUE(L.canReserve(1, Access::Read));
+  L.read(A);
+  L.release(A);
+  EXPECT_TRUE(L.canReserve(3, Access::Read));
+  L.read(B);
+  L.release(B);
+}
+
+TEST(QueueLockTest, ExhaustsQueueDepth) {
+  Memory Mem("m", 32, 4, false);
+  QueueLock L(Mem, 2, 2);
+  ResId A = L.reserve(1, Access::Read);
+  ResId B = L.reserve(1, Access::Read);
+  EXPECT_FALSE(L.canReserve(1, Access::Read));
+  L.read(A);
+  L.release(A);
+  EXPECT_TRUE(L.canReserve(1, Access::Read));
+  L.read(B);
+  L.release(B);
+}
+
+TEST(BypassQueueTest, ForwardsWithoutWaitingForCommit) {
+  Memory Mem("m", 32, 4, false);
+  BypassQueueLock L(Mem);
+  ResId W = L.reserve(1, Access::Write);
+  ResId R = L.reserve(1, Access::Read);
+  L.write(W, Bits(5, 32));
+  // Bypass: data is forwarded before the write commits.
+  EXPECT_TRUE(L.ready(R));
+  EXPECT_EQ(L.read(R).zext(), 5u);
+  EXPECT_EQ(Mem.read(1).zext(), 0u) << "write must not be committed yet";
+  L.release(W);
+  L.release(R);
+}
+
+TEST(BypassQueueTest, ReadBuffersMemoryAtReservation) {
+  Memory Mem("m", 32, 4, false);
+  Mem.write(2, Bits(10, 32));
+  BypassQueueLock L(Mem);
+  ResId R = L.reserve(2, Access::Read);
+  // A raw memory change after reservation is invisible (the lock buffered
+  // the data; only lock-mediated writes can forward).
+  Mem.write(2, Bits(20, 32));
+  EXPECT_EQ(L.read(R).zext(), 10u);
+  L.release(R);
+}
+
+TEST(BypassQueueTest, CommitForwardsToPendingReads) {
+  Memory Mem("m", 32, 4, false);
+  BypassQueueLock L(Mem);
+  ResId W = L.reserve(3, Access::Write);
+  ResId R = L.reserve(3, Access::Read);
+  L.write(W, Bits(9, 32));
+  L.release(W); // commits and forwards to R, whose dep entry is now gone
+  ASSERT_TRUE(L.ready(R));
+  EXPECT_EQ(L.read(R).zext(), 9u);
+  L.release(R);
+}
+
+TEST(BypassQueueTest, CapacityExhaustion) {
+  Memory Mem("m", 32, 4, false);
+  BypassQueueLock L(Mem, /*WriteDepth=*/2, /*ReadDepth=*/1);
+  ResId W1 = L.reserve(0, Access::Write);
+  ResId W2 = L.reserve(1, Access::Write);
+  EXPECT_FALSE(L.canReserve(2, Access::Write));
+  EXPECT_TRUE(L.canReserve(2, Access::Read));
+  ResId R = L.reserve(2, Access::Read);
+  EXPECT_FALSE(L.canReserve(3, Access::Read));
+  L.write(W1, Bits(1, 32));
+  L.release(W1);
+  EXPECT_TRUE(L.canReserve(2, Access::Write));
+  L.write(W2, Bits(2, 32));
+  L.release(W2);
+  L.read(R);
+  L.release(R);
+}
+
+TEST(RenameLockTest, AllocatesAndFreesPhysicalRegisters) {
+  Memory Mem("rf", 32, 3, false); // 8 arch regs
+  RenameLock L(Mem, 4);           // 12 physical
+  EXPECT_EQ(L.physCount(), 12u);
+  EXPECT_EQ(L.freeRegs(), 4u);
+  ResId W = L.reserve(1, Access::Write);
+  EXPECT_EQ(L.freeRegs(), 3u);
+  L.write(W, Bits(5, 32));
+  L.release(W);
+  // The *previous* mapping is freed at release.
+  EXPECT_EQ(L.freeRegs(), 4u);
+  EXPECT_EQ(L.archRead(1).zext(), 5u);
+}
+
+TEST(RenameLockTest, FreeListExhaustionStallsWrites) {
+  Memory Mem("rf", 32, 3, false);
+  RenameLock L(Mem, 2);
+  ResId W1 = L.reserve(0, Access::Write);
+  ResId W2 = L.reserve(1, Access::Write);
+  EXPECT_FALSE(L.canReserve(2, Access::Write));
+  EXPECT_TRUE(L.canReserve(2, Access::Read));
+  L.write(W1, Bits(1, 32));
+  L.release(W1);
+  EXPECT_TRUE(L.canReserve(2, Access::Write));
+  L.write(W2, Bits(2, 32));
+  L.release(W2);
+}
+
+TEST(RenameLockTest, ReadersBindToProducerAtReserveTime) {
+  Memory Mem("rf", 32, 3, false);
+  Mem.write(2, Bits(7, 32));
+  RenameLock L(Mem, 4);
+  ResId R1 = L.reserve(2, Access::Read); // binds to committed value
+  ResId W = L.reserve(2, Access::Write);
+  ResId R2 = L.reserve(2, Access::Read); // binds to the pending write
+  EXPECT_TRUE(L.ready(R1));
+  EXPECT_FALSE(L.ready(R2));
+  EXPECT_EQ(L.read(R1).zext(), 7u);
+  L.write(W, Bits(8, 32));
+  EXPECT_TRUE(L.ready(R2));
+  EXPECT_EQ(L.read(R2).zext(), 8u);
+  L.release(R1);
+  L.release(W);
+  L.release(R2);
+  EXPECT_EQ(L.archRead(2).zext(), 8u);
+}
+
+TEST(RenameLockTest, RollbackRestoresMapTableAndFreeList) {
+  Memory Mem("rf", 32, 3, false);
+  Mem.write(1, Bits(50, 32));
+  RenameLock L(Mem, 4);
+  size_t FreeBefore = L.freeRegs();
+  CkptId C = L.checkpoint();
+  ResId W = L.reserve(1, Access::Write);
+  L.write(W, Bits(60, 32));
+  L.rollback(C);
+  EXPECT_EQ(L.freeRegs(), FreeBefore);
+  // The speculative mapping is gone: a fresh read sees the old value.
+  ResId R = L.reserve(1, Access::Read);
+  ASSERT_TRUE(L.ready(R));
+  EXPECT_EQ(L.read(R).zext(), 50u);
+  L.release(R);
+  EXPECT_EQ(L.archRead(1).zext(), 50u);
+}
+
+} // namespace

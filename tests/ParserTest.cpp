@@ -1,0 +1,291 @@
+//===- ParserTest.cpp - Unit tests for the PDL lexer and parser -----------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pdl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdl;
+using namespace pdl::ast;
+
+namespace {
+
+struct ParseResult {
+  SourceMgr SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  Program P;
+};
+
+ParseResult parse(const std::string &Src) {
+  ParseResult R;
+  R.SM.setBuffer(Src, "test.pdl");
+  R.Diags = std::make_unique<DiagnosticEngine>(R.SM);
+  R.P = Parser::parse(R.SM, *R.Diags);
+  return R;
+}
+
+TEST(LexerTest, TokensAndComments) {
+  SourceMgr SM;
+  SM.setBuffer("x <- 0x1f; // comment\n--- /* block\n */ y << 0b101");
+  DiagnosticEngine Diags(SM);
+  Lexer Lex(SM, Diags);
+  std::vector<Token> Toks = Lex.lexAll();
+  ASSERT_EQ(Toks.size(), 9u);
+  EXPECT_TRUE(Toks[0].isIdent("x"));
+  EXPECT_TRUE(Toks[1].is(TokKind::LeftArrow));
+  EXPECT_TRUE(Toks[2].is(TokKind::Number));
+  EXPECT_EQ(Toks[2].Value, 0x1fu);
+  EXPECT_TRUE(Toks[3].is(TokKind::Semicolon));
+  EXPECT_TRUE(Toks[4].is(TokKind::StageSep));
+  EXPECT_TRUE(Toks[5].isIdent("y"));
+  EXPECT_TRUE(Toks[6].is(TokKind::Shl));
+  EXPECT_EQ(Toks[7].Value, 5u);
+  EXPECT_TRUE(Toks[8].is(TokKind::Eof));
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(LexerTest, ManyDashesIsOneSeparator) {
+  SourceMgr SM;
+  SM.setBuffer("----- a - b");
+  DiagnosticEngine Diags(SM);
+  std::vector<Token> Toks = Lexer(SM, Diags).lexAll();
+  ASSERT_EQ(Toks.size(), 5u);
+  EXPECT_TRUE(Toks[0].is(TokKind::StageSep));
+  EXPECT_TRUE(Toks[2].is(TokKind::Minus));
+}
+
+TEST(LexerTest, ReportsBadCharacters) {
+  SourceMgr SM;
+  SM.setBuffer("a @ b");
+  DiagnosticEngine Diags(SM);
+  Lexer(SM, Diags).lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.contains("unexpected character"));
+}
+
+TEST(ParserTest, ParsesFigure1StylePipe) {
+  auto R = parse(R"(
+    pipe cpu(pc: uint<32>)[rf: uint<32>[5], imem: uint<32>[10] sync,
+                           dmem: uint<32>[10] sync] {
+      insn <- imem[pc{11:2}];
+      --- // DECODE
+      op = insn{6:0};
+      rs1 = insn{19:15};
+      acquire(rf[rs1], R);
+      rf1 = rf[rs1];
+      release(rf[rs1]);
+      writerd = op == 51;
+      if (writerd) { reserve(rf[insn{11:7}], W); }
+      --- // EXEC
+      alu_out = rf1 + 1;
+      call cpu(pc + 4);
+      --- // WB
+      if (writerd) {
+        block(rf[insn{11:7}]);
+        rf[insn{11:7}] <- alu_out;
+        release(rf[insn{11:7}]);
+      }
+    }
+  )");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  ASSERT_EQ(R.P.Pipes.size(), 1u);
+  const PipeDecl &Pipe = R.P.Pipes[0];
+  EXPECT_EQ(Pipe.Name, "cpu");
+  ASSERT_EQ(Pipe.Params.size(), 1u);
+  EXPECT_EQ(Pipe.Params[0].Ty, Type::intTy(32, false));
+  ASSERT_EQ(Pipe.Mems.size(), 3u);
+  EXPECT_FALSE(Pipe.Mems[0].IsSync);
+  EXPECT_TRUE(Pipe.Mems[1].IsSync);
+  EXPECT_EQ(Pipe.Mems[1].AddrWidth, 10u);
+  EXPECT_TRUE(Pipe.RetType.isVoid());
+
+  // The body contains two stage separators at the top level plus one
+  // inside no branch; count statement kinds.
+  unsigned Seps = 0, Locks = 0, Calls = 0;
+  std::function<void(const StmtList &)> Walk = [&](const StmtList &L) {
+    for (const StmtPtr &S : L) {
+      if (isa<StageSepStmt>(S.get()))
+        ++Seps;
+      if (isa<LockStmt>(S.get()))
+        ++Locks;
+      if (isa<PipeCallStmt>(S.get()))
+        ++Calls;
+      if (const auto *I = dyn_cast<IfStmt>(S.get())) {
+        Walk(I->thenBody());
+        Walk(I->elseBody());
+      }
+    }
+  };
+  Walk(Pipe.Body);
+  EXPECT_EQ(Seps, 3u);
+  EXPECT_EQ(Locks, 5u); // acquire, release, reserve, block, release
+  EXPECT_EQ(Calls, 1u);
+}
+
+TEST(ParserTest, ParsesSpeculationForms) {
+  auto R = parse(R"(
+    extern bht {
+      def req(pc: uint<32>): bool;
+      def upd(pc: uint<32>, taken: bool);
+    }
+    pipe cpu(pc: uint<32>)[] {
+      spec_check();
+      s <- spec call cpu(pc + (bht.req(pc) ? 8 : 4));
+      ---
+      spec_barrier();
+      update(s, pc + 8);
+      verify(s, pc + 4) { bht.upd(pc, true) }
+    }
+  )");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  ASSERT_EQ(R.P.Externs.size(), 1u);
+  EXPECT_EQ(R.P.Externs[0].Methods.size(), 2u);
+  EXPECT_TRUE(R.P.Externs[0].Methods[1].RetType.isVoid());
+
+  const PipeDecl &Pipe = R.P.Pipes[0];
+  const auto *Check = cast<SpecCheckStmt>(Pipe.Body[0].get());
+  EXPECT_FALSE(Check->isBlocking());
+  const auto *Spawn = cast<PipeCallStmt>(Pipe.Body[1].get());
+  EXPECT_TRUE(Spawn->isSpec());
+  EXPECT_EQ(Spawn->resultName(), "s");
+  const auto *Barrier = cast<SpecCheckStmt>(Pipe.Body[3].get());
+  EXPECT_TRUE(Barrier->isBlocking());
+  const auto *Upd = cast<UpdateStmt>(Pipe.Body[4].get());
+  EXPECT_EQ(Upd->handle(), "s");
+  const auto *Ver = cast<VerifyStmt>(Pipe.Body[5].get());
+  EXPECT_EQ(Ver->handle(), "s");
+  ASSERT_NE(Ver->predictorUpdate(), nullptr);
+  EXPECT_EQ(Ver->predictorUpdate()->module(), "bht");
+  EXPECT_EQ(Ver->predictorUpdate()->method(), "upd");
+}
+
+TEST(ParserTest, ParsesFuncDecls) {
+  auto R = parse(R"(
+    def alu(op: uint<4>, a: int<32>, b: int<32>): int<32> {
+      sum = a + b;
+      diff = a - b;
+      return op == 0 ? sum : diff;
+    }
+  )");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  ASSERT_EQ(R.P.Funcs.size(), 1u);
+  const FuncDecl &F = R.P.Funcs[0];
+  EXPECT_EQ(F.Name, "alu");
+  EXPECT_EQ(F.Params.size(), 3u);
+  EXPECT_EQ(F.RetType, Type::intTy(32, true));
+  ASSERT_EQ(F.Body.size(), 3u);
+  EXPECT_TRUE(isa<ReturnStmt>(F.Body[2].get()));
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto R = parse("def f(a: uint<8>, b: uint<8>): uint<8> {"
+                 "  return a + b * 2 ++ a{3:0} == b ? a : b;"
+                 "}");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  const auto *Ret = cast<ReturnStmt>(R.P.Funcs[0].Body[0].get());
+  // Top node is the ternary; its condition is the == comparison.
+  const auto *T = cast<TernaryExpr>(Ret->value());
+  const auto *EqE = cast<BinaryExpr>(T->cond());
+  EXPECT_EQ(EqE->op(), BinaryOp::Eq);
+  // LHS of ==: (a + (b*2)) ++ a{3:0} — concat binds looser than +.
+  const auto *Cat = cast<BinaryExpr>(EqE->lhs());
+  EXPECT_EQ(Cat->op(), BinaryOp::Concat);
+  const auto *Add = cast<BinaryExpr>(Cat->lhs());
+  EXPECT_EQ(Add->op(), BinaryOp::Add);
+  const auto *MulE = cast<BinaryExpr>(Add->rhs());
+  EXPECT_EQ(MulE->op(), BinaryOp::Mul);
+  EXPECT_TRUE(isa<SliceExpr>(Cat->rhs()));
+}
+
+TEST(ParserTest, ParsesCasts) {
+  auto R = parse("def f(a: uint<8>): uint<16> { return uint<16>(a) + 1; }");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  const auto *Ret = cast<ReturnStmt>(R.P.Funcs[0].Body[0].get());
+  const auto *Add = cast<BinaryExpr>(Ret->value());
+  const auto *C = cast<CastExpr>(Add->lhs());
+  EXPECT_EQ(C->target(), Type::intTy(16, false));
+}
+
+TEST(ParserTest, ParsesSyncCallWithResult) {
+  auto R = parse(R"(
+    pipe divider(a: uint<32>, b: uint<32>)[]: uint<32> {
+      output(a / b);
+    }
+    pipe cpu(pc: uint<32>)[] {
+      uint<32> res <- call divider(pc, 3);
+      ---
+      call cpu(res);
+    }
+  )");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  EXPECT_EQ(R.P.Pipes[0].RetType, Type::intTy(32, false));
+  const auto *C = cast<PipeCallStmt>(R.P.Pipes[1].Body[0].get());
+  EXPECT_FALSE(C->isSpec());
+  EXPECT_TRUE(C->hasResult());
+  EXPECT_EQ(C->pipe(), "divider");
+  ASSERT_TRUE(C->declaredType().has_value());
+}
+
+TEST(ParserTest, RoundTripPrinting) {
+  const char *Src = R"(
+    pipe ex1(in: uint<8>)[m: uint<8>[4]] {
+      spec_barrier();
+      s <- spec call ex1(in + 1);
+      reserve(m[in{3:0}], R);
+      acquire(m[in{3:0}], W);
+      m[in{3:0}] <- in;
+      release(m[in{3:0}], W);
+      ---
+      block(m[in{3:0}]);
+      a1 = m[in{3:0}];
+      release(m[in{3:0}], R);
+      verify(s, a1);
+    }
+  )";
+  auto R = parse(Src);
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  std::string Printed = printProgram(R.P);
+  // Reparse the printed form; it must parse cleanly and print identically.
+  auto R2 = parse(Printed);
+  ASSERT_FALSE(R2.Diags->hasErrors()) << R2.Diags->render() << Printed;
+  EXPECT_EQ(printProgram(R2.P), Printed);
+}
+
+TEST(ParserTest, ReportsMissingSemicolon) {
+  auto R = parse("pipe p(a: uint<8>)[] { x = a + 1 }");
+  EXPECT_TRUE(R.Diags->hasErrors());
+  EXPECT_TRUE(R.Diags->contains("expected ';'"));
+}
+
+TEST(ParserTest, ReportsBadSliceBounds) {
+  auto R = parse("pipe p(a: uint<8>)[] { x = a{0:3}; }");
+  EXPECT_TRUE(R.Diags->hasErrors());
+  EXPECT_TRUE(R.Diags->contains("high bound below low bound"));
+}
+
+TEST(ParserTest, ReportsBadMemoryWidth) {
+  auto R = parse("pipe p(a: uint<8>)[m: uint<8>[40]] { x = a; }");
+  EXPECT_TRUE(R.Diags->hasErrors());
+  EXPECT_TRUE(R.Diags->contains("address width"));
+}
+
+TEST(ParserTest, ElseIfChains) {
+  auto R = parse(R"(
+    pipe p(a: uint<8>)[] {
+      if (a == 0) { x = 1; }
+      else if (a == 1) { x = 2; }
+      else { x = 3; }
+      call p(x);
+    }
+  )");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  const auto *I = cast<IfStmt>(R.P.Pipes[0].Body[0].get());
+  ASSERT_EQ(I->elseBody().size(), 1u);
+  const auto *Nested = cast<IfStmt>(I->elseBody()[0].get());
+  EXPECT_EQ(Nested->elseBody().size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,282 @@
+//===- PropertyTest.cpp - Property-based tests for Bits and the solver ------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property sweeps over the foundation layers:
+///  * Bits: algebraic laws of two's-complement arithmetic at every width,
+///    checked against wide reference arithmetic on random values;
+///  * the DPLL(T) solver: satisfiability of random propositional formulas
+///    must agree with brute-force truth-table evaluation, and equality
+///    reasoning must agree with brute-force small-domain enumeration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+#include "support/Bits.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace pdl;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Bits properties, parameterized over width
+//===----------------------------------------------------------------------===//
+
+class BitsWidthTest : public ::testing::TestWithParam<unsigned> {
+protected:
+  unsigned W = GetParam();
+  std::mt19937_64 Rng{GetParam() * 977u};
+
+  Bits rand() { return Bits(Rng(), W); }
+  uint64_t mask() const {
+    return W == 64 ? ~uint64_t(0) : (uint64_t(1) << W) - 1;
+  }
+};
+
+TEST_P(BitsWidthTest, AddSubRoundTrip) {
+  for (int I = 0; I < 200; ++I) {
+    Bits A = rand(), B = rand();
+    EXPECT_EQ(A.add(B).sub(B), A);
+    EXPECT_EQ(A.sub(B).add(B), A);
+  }
+}
+
+TEST_P(BitsWidthTest, AddMatchesReferenceModulo) {
+  for (int I = 0; I < 200; ++I) {
+    Bits A = rand(), B = rand();
+    EXPECT_EQ(A.add(B).zext(), (A.zext() + B.zext()) & mask());
+    EXPECT_EQ(A.mul(B).zext(), (A.zext() * B.zext()) & mask());
+  }
+}
+
+TEST_P(BitsWidthTest, DivRemIdentity) {
+  for (int I = 0; I < 200; ++I) {
+    Bits A = rand(), B = rand();
+    if (B.isZero())
+      continue;
+    // a == (a/b)*b + a%b for both signednesses.
+    EXPECT_EQ(A.udiv(B).mul(B).add(A.urem(B)), A);
+    EXPECT_EQ(A.sdiv(B).mul(B).add(A.srem(B)), A);
+  }
+}
+
+TEST_P(BitsWidthTest, NegationIsSubFromZero) {
+  for (int I = 0; I < 100; ++I) {
+    Bits A = rand();
+    Bits Neg = Bits(0, W).sub(A);
+    EXPECT_EQ(Neg.add(A).zext(), 0u);
+    EXPECT_EQ(A.not_().add(Bits(1, W)), Neg) << "~a + 1 == -a";
+  }
+}
+
+TEST_P(BitsWidthTest, ComparisonTrichotomy) {
+  for (int I = 0; I < 200; ++I) {
+    Bits A = rand(), B = rand();
+    unsigned UTrue = A.ult(B).zext() + B.ult(A).zext() + A.eq(B).zext();
+    EXPECT_EQ(UTrue, 1u);
+    unsigned STrue = A.slt(B).zext() + B.slt(A).zext() + A.eq(B).zext();
+    EXPECT_EQ(STrue, 1u);
+  }
+}
+
+TEST_P(BitsWidthTest, SliceConcatRoundTrip) {
+  if (W < 2 || W > 32)
+    return;
+  for (int I = 0; I < 100; ++I) {
+    Bits A = rand();
+    unsigned Cut = 1 + static_cast<unsigned>(Rng() % (W - 1));
+    Bits Hi = A.slice(W - 1, Cut);
+    Bits Lo = A.slice(Cut - 1, 0);
+    EXPECT_EQ(Hi.concat(Lo), A);
+  }
+}
+
+TEST_P(BitsWidthTest, ShiftsMatchMultiplication) {
+  for (int I = 0; I < 100; ++I) {
+    Bits A = rand();
+    unsigned Sh = static_cast<unsigned>(Rng() % W);
+    EXPECT_EQ(A.shl(Bits(Sh, W)).zext(), (A.zext() << Sh) & mask());
+    EXPECT_EQ(A.lshr(Bits(Sh, W)).zext(), A.zext() >> Sh);
+    EXPECT_EQ(A.ashr(Bits(Sh, W)).sext(), A.sext() >> Sh);
+  }
+}
+
+TEST_P(BitsWidthTest, SextZextAgreeOnNonNegative) {
+  for (int I = 0; I < 100; ++I) {
+    Bits A = rand();
+    if (W < 64 && !A.bit(W - 1))
+      EXPECT_EQ(A.sextTo(64).zext(), A.zextTo(64).zext());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitsWidthTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 12u, 16u,
+                                           21u, 32u, 33u, 48u, 63u, 64u));
+
+//===----------------------------------------------------------------------===//
+// Solver vs brute force
+//===----------------------------------------------------------------------===//
+
+/// Random propositional formula over NumVars boolean variables.
+const smt::Formula *randomProp(smt::FormulaContext &Ctx, std::mt19937 &Rng,
+                               unsigned NumVars, unsigned Depth) {
+  if (Depth == 0 || Rng() % 4 == 0)
+    return Ctx.boolVar(Ctx.variable("v" + std::to_string(Rng() % NumVars)));
+  switch (Rng() % 4) {
+  case 0:
+    return Ctx.notF(randomProp(Ctx, Rng, NumVars, Depth - 1));
+  case 1:
+    return Ctx.andF(randomProp(Ctx, Rng, NumVars, Depth - 1),
+                    randomProp(Ctx, Rng, NumVars, Depth - 1));
+  case 2:
+    return Ctx.orF(randomProp(Ctx, Rng, NumVars, Depth - 1),
+                   randomProp(Ctx, Rng, NumVars, Depth - 1));
+  default:
+    return Ctx.implies(randomProp(Ctx, Rng, NumVars, Depth - 1),
+                       randomProp(Ctx, Rng, NumVars, Depth - 1));
+  }
+}
+
+/// Truth-table evaluation with variable assignment bits in \p Assign.
+bool evalProp(const smt::Formula *F, const smt::FormulaContext &Ctx,
+              uint32_t Assign) {
+  using K = smt::Formula::Kind;
+  switch (F->kind()) {
+  case K::True:
+    return true;
+  case K::False:
+    return false;
+  case K::BoolVar: {
+    const auto *B = cast<smt::BoolVarFormula>(F);
+    // Variable names are "v<N>".
+    unsigned Idx = std::stoul(Ctx.term(B->var()).Name.substr(1));
+    return (Assign >> Idx) & 1;
+  }
+  case K::Not:
+    return !evalProp(cast<smt::NotFormula>(F)->operand(), Ctx, Assign);
+  case K::And: {
+    for (const smt::Formula *Op : cast<smt::NaryFormula>(F)->operands())
+      if (!evalProp(Op, Ctx, Assign))
+        return false;
+    return true;
+  }
+  case K::Or: {
+    for (const smt::Formula *Op : cast<smt::NaryFormula>(F)->operands())
+      if (evalProp(Op, Ctx, Assign))
+        return true;
+    return false;
+  }
+  case K::Eq:
+    ADD_FAILURE() << "no equality atoms in propositional formulas";
+    return false;
+  }
+  return false;
+}
+
+TEST(SolverPropertyTest, AgreesWithTruthTables) {
+  std::mt19937 Rng(42);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    smt::FormulaContext Ctx;
+    smt::Solver S(Ctx);
+    unsigned NumVars = 2 + Rng() % 4;
+    const smt::Formula *F = randomProp(Ctx, Rng, NumVars, 4);
+
+    bool BruteSat = false;
+    for (uint32_t A = 0; A < (1u << NumVars); ++A)
+      BruteSat |= evalProp(F, Ctx, A);
+
+    EXPECT_EQ(S.isSatisfiable(F), BruteSat)
+        << "trial " << Trial << ": " << F->str(Ctx);
+  }
+}
+
+TEST(SolverPropertyTest, EqualityAgreesWithSmallDomainEnumeration) {
+  // Formulas over 3 integer variables and constants {0,1,2}: enumerate all
+  // assignments over a 4-value domain (3 constants + one fresh value) and
+  // compare with the solver. A 4-value domain is sufficient because each
+  // formula mentions at most 3 distinct constants.
+  std::mt19937 Rng(7);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    smt::FormulaContext Ctx;
+    smt::Solver S(Ctx);
+    smt::TermId Vars[3] = {Ctx.variable("x"), Ctx.variable("y"),
+                           Ctx.variable("z")};
+    smt::TermId Consts[3] = {Ctx.constant(0), Ctx.constant(1),
+                             Ctx.constant(2)};
+    auto RandomAtom = [&]() -> const smt::Formula * {
+      smt::TermId L = Vars[Rng() % 3];
+      smt::TermId R = Rng() % 2 ? Vars[Rng() % 3] : Consts[Rng() % 3];
+      const smt::Formula *E = Ctx.eq(L, R);
+      return Rng() % 2 ? E : Ctx.notF(E);
+    };
+    // Conjunction/disjunction tree of 4 atoms.
+    const smt::Formula *F =
+        Rng() % 2
+            ? Ctx.andF(Ctx.orF(RandomAtom(), RandomAtom()),
+                       Ctx.orF(RandomAtom(), RandomAtom()))
+            : Ctx.orF(Ctx.andF(RandomAtom(), RandomAtom()),
+                      Ctx.andF(RandomAtom(), RandomAtom()));
+
+    // Brute force: x,y,z each over {0,1,2,3}.
+    bool BruteSat = false;
+    for (unsigned X = 0; X < 4 && !BruteSat; ++X)
+      for (unsigned Y = 0; Y < 4 && !BruteSat; ++Y)
+        for (unsigned Z = 0; Z < 4 && !BruteSat; ++Z) {
+          unsigned Val[3] = {X, Y, Z};
+          std::function<bool(const smt::Formula *)> Ev =
+              [&](const smt::Formula *G) -> bool {
+            using K = smt::Formula::Kind;
+            switch (G->kind()) {
+            case K::True:
+              return true;
+            case K::False:
+              return false;
+            case K::Eq: {
+              const auto *E = cast<smt::EqFormula>(G);
+              auto ValueOf = [&](smt::TermId T) -> unsigned {
+                const smt::Term &Tm = Ctx.term(T);
+                if (Tm.TermKind == smt::Term::Kind::Constant)
+                  return static_cast<unsigned>(Tm.Value);
+                return Tm.Name == "x" ? Val[0]
+                       : Tm.Name == "y" ? Val[1]
+                                        : Val[2];
+              };
+              return ValueOf(E->lhs()) == ValueOf(E->rhs());
+            }
+            case K::Not:
+              return !Ev(cast<smt::NotFormula>(G)->operand());
+            case K::And: {
+              for (const smt::Formula *Op :
+                   cast<smt::NaryFormula>(G)->operands())
+                if (!Ev(Op))
+                  return false;
+              return true;
+            }
+            case K::Or: {
+              for (const smt::Formula *Op :
+                   cast<smt::NaryFormula>(G)->operands())
+                if (Ev(Op))
+                  return true;
+              return false;
+            }
+            case K::BoolVar:
+              ADD_FAILURE() << "no bool vars here";
+              return false;
+            }
+            return false;
+          };
+          BruteSat = Ev(F);
+        }
+
+    EXPECT_EQ(S.isSatisfiable(F), BruteSat)
+        << "trial " << Trial << ": " << F->str(Ctx);
+  }
+}
+
+} // namespace

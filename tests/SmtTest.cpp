@@ -1,0 +1,135 @@
+//===- SmtTest.cpp - Unit tests for the DPLL(T) solver --------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdl::smt;
+
+namespace {
+
+class SmtTest : public ::testing::Test {
+protected:
+  FormulaContext Ctx;
+  Solver S{Ctx};
+
+  const Formula *bvar(const std::string &Name) {
+    return Ctx.boolVar(Ctx.variable(Name));
+  }
+};
+
+TEST_F(SmtTest, Constants) {
+  EXPECT_TRUE(S.isSatisfiable(Ctx.trueF()));
+  EXPECT_FALSE(S.isSatisfiable(Ctx.falseF()));
+  EXPECT_TRUE(S.isValid(Ctx.trueF()));
+  EXPECT_FALSE(S.isValid(Ctx.falseF()));
+}
+
+TEST_F(SmtTest, HashConsing) {
+  const Formula *A = bvar("a"), *B = bvar("b");
+  EXPECT_EQ(bvar("a"), A);
+  EXPECT_EQ(Ctx.andF(A, B), Ctx.andF(B, A));
+  EXPECT_EQ(Ctx.notF(Ctx.notF(A)), A);
+  EXPECT_EQ(Ctx.andF(A, Ctx.trueF()), A);
+  EXPECT_EQ(Ctx.andF(A, Ctx.falseF()), Ctx.falseF());
+  EXPECT_EQ(Ctx.orF(A, Ctx.trueF()), Ctx.trueF());
+  EXPECT_EQ(Ctx.andF(A, Ctx.notF(A)), Ctx.falseF());
+  EXPECT_EQ(Ctx.orF(A, Ctx.notF(A)), Ctx.trueF());
+}
+
+TEST_F(SmtTest, PropositionalReasoning) {
+  const Formula *A = bvar("a"), *B = bvar("b"), *C = bvar("c");
+  // Modus ponens chain: (a & (a->b) & (b->c)) -> c.
+  const Formula *Premise =
+      Ctx.andF({A, Ctx.implies(A, B), Ctx.implies(B, C)});
+  EXPECT_TRUE(S.proves(Premise, C));
+  EXPECT_FALSE(S.proves(Premise, Ctx.notF(C)));
+  // a | b alone proves neither.
+  EXPECT_FALSE(S.proves(Ctx.orF(A, B), A));
+  // De Morgan validity.
+  EXPECT_TRUE(S.isValid(
+      Ctx.iff(Ctx.notF(Ctx.andF(A, B)), Ctx.orF(Ctx.notF(A), Ctx.notF(B)))));
+}
+
+TEST_F(SmtTest, DistinctConstantsFoldAtConstruction) {
+  TermId C1 = Ctx.constant(1), C2 = Ctx.constant(2);
+  EXPECT_EQ(Ctx.eq(C1, C2), Ctx.falseF());
+  EXPECT_EQ(Ctx.eq(C1, C1), Ctx.trueF());
+}
+
+TEST_F(SmtTest, EqualityTransitivity) {
+  TermId X = Ctx.variable("x"), Y = Ctx.variable("y"), Z = Ctx.variable("z");
+  const Formula *Chain = Ctx.andF(Ctx.eq(X, Y), Ctx.eq(Y, Z));
+  EXPECT_TRUE(S.proves(Chain, Ctx.eq(X, Z)));
+  // x==y && y==z && x!=z is unsatisfiable.
+  EXPECT_FALSE(S.isSatisfiable(Ctx.andF(Chain, Ctx.neq(X, Z))));
+  // x==y alone does not force y==z.
+  EXPECT_FALSE(S.proves(Ctx.eq(X, Y), Ctx.eq(Y, Z)));
+}
+
+TEST_F(SmtTest, ConstantPropagationThroughClasses) {
+  TermId X = Ctx.variable("x"), Y = Ctx.variable("y");
+  TermId C1 = Ctx.constant(1), C2 = Ctx.constant(2);
+  // x==1 && y==2 => x!=y.
+  const Formula *Premise = Ctx.andF(Ctx.eq(X, C1), Ctx.eq(Y, C2));
+  EXPECT_TRUE(S.proves(Premise, Ctx.neq(X, Y)));
+  // x==1 && x==2 is unsatisfiable.
+  EXPECT_FALSE(S.isSatisfiable(Ctx.andF(Ctx.eq(X, C1), Ctx.eq(X, C2))));
+  // x==1 && y==1 => x==y.
+  EXPECT_TRUE(
+      S.proves(Ctx.andF(Ctx.eq(X, C1), Ctx.eq(Y, C1)), Ctx.eq(X, Y)));
+}
+
+TEST_F(SmtTest, MixedBooleanAndEquality) {
+  // The shape the lock checker emits: (wr => reserved) & (!wr => free),
+  // with "reserved"/"free" tracked as equalities on a state variable.
+  TermId St = Ctx.variable("lockstate");
+  TermId Free = Ctx.constant(0), Reserved = Ctx.constant(1);
+  const Formula *Wr = bvar("writerd");
+  const Formula *Inv = Ctx.andF(Ctx.implies(Wr, Ctx.eq(St, Reserved)),
+                                Ctx.implies(Ctx.notF(Wr), Ctx.eq(St, Free)));
+  // Under the writerd branch the lock must be reserved.
+  EXPECT_TRUE(S.proves(Ctx.andF(Inv, Wr), Ctx.eq(St, Reserved)));
+  EXPECT_FALSE(S.proves(Inv, Ctx.eq(St, Reserved)));
+  // The invariant plus writerd rules out the free state.
+  EXPECT_FALSE(
+      S.isSatisfiable(Ctx.andF({Inv, Wr, Ctx.eq(St, Free)})));
+}
+
+TEST_F(SmtTest, PigeonholeSmall) {
+  // Three pigeons in two holes is unsatisfiable: stresses DPLL search.
+  const Formula *P[3][2];
+  for (int I = 0; I < 3; ++I)
+    for (int H = 0; H < 2; ++H)
+      P[I][H] = bvar("p" + std::to_string(I) + std::to_string(H));
+  std::vector<const Formula *> Cs;
+  for (int I = 0; I < 3; ++I)
+    Cs.push_back(Ctx.orF(P[I][0], P[I][1]));
+  for (int H = 0; H < 2; ++H)
+    for (int I = 0; I < 3; ++I)
+      for (int J = I + 1; J < 3; ++J)
+        Cs.push_back(Ctx.orF(Ctx.notF(P[I][H]), Ctx.notF(P[J][H])));
+  EXPECT_FALSE(S.isSatisfiable(Ctx.andF(Cs)));
+}
+
+TEST_F(SmtTest, QueryCountAccumulates) {
+  unsigned Before = S.queryCount();
+  S.isSatisfiable(bvar("a"));
+  S.isValid(bvar("a"));
+  EXPECT_EQ(S.queryCount(), Before + 2);
+}
+
+TEST_F(SmtTest, FormulaPrinting) {
+  TermId X = Ctx.variable("x");
+  TermId C = Ctx.constant(4);
+  const Formula *F = Ctx.andF(bvar("taken"), Ctx.eq(X, C));
+  std::string Str = F->str(Ctx);
+  EXPECT_NE(Str.find("taken"), std::string::npos);
+  EXPECT_NE(Str.find("x == 4"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+//===- SpecTableTest.cpp - Speculation table + FIFO + predictor tests -----===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/Extern.h"
+#include "hw/Fifo.h"
+#include "hw/SpecTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdl;
+using namespace pdl::hw;
+
+namespace {
+
+TEST(SpecTableTest, VerifyCorrect) {
+  SpecTable T(4);
+  SpecId S = T.alloc(Bits(0x104, 32));
+  EXPECT_EQ(T.status(S), SpecStatus::Pending);
+  EXPECT_TRUE(T.verify(S, Bits(0x104, 32)));
+  EXPECT_EQ(T.status(S), SpecStatus::Correct);
+  T.free(S);
+  EXPECT_EQ(T.live(), 0u);
+}
+
+TEST(SpecTableTest, VerifyMispredictCascades) {
+  SpecTable T(4);
+  SpecId S1 = T.alloc(Bits(0x104, 32));
+  SpecId S2 = T.alloc(Bits(0x108, 32)); // child of the child
+  SpecId S3 = T.alloc(Bits(0x10c, 32));
+  EXPECT_FALSE(T.verify(S1, Bits(0x200, 32)));
+  // All newer entries are mispredicted too (their parents may die before
+  // verifying them).
+  EXPECT_EQ(T.status(S1), SpecStatus::Mispredicted);
+  EXPECT_EQ(T.status(S2), SpecStatus::Mispredicted);
+  EXPECT_EQ(T.status(S3), SpecStatus::Mispredicted);
+}
+
+TEST(SpecTableTest, MispredictDoesNotAffectOlder) {
+  SpecTable T(4);
+  SpecId S1 = T.alloc(Bits(4, 32));
+  SpecId S2 = T.alloc(Bits(8, 32));
+  EXPECT_FALSE(T.verify(S2, Bits(99, 32)));
+  EXPECT_EQ(T.status(S1), SpecStatus::Pending);
+}
+
+TEST(SpecTableTest, UpdateWithSamePredictionIsNoop) {
+  SpecTable T(4);
+  SpecId S = T.alloc(Bits(4, 32));
+  EXPECT_FALSE(T.update(S, Bits(4, 32)).has_value());
+  EXPECT_EQ(T.status(S), SpecStatus::Pending);
+}
+
+TEST(SpecTableTest, UpdateResteersAndKillsOldChild) {
+  SpecTable T(4);
+  SpecId S = T.alloc(Bits(4, 32));
+  auto NewS = T.update(S, Bits(8, 32));
+  ASSERT_TRUE(NewS.has_value());
+  EXPECT_EQ(T.status(S), SpecStatus::Mispredicted);
+  EXPECT_EQ(T.status(*NewS), SpecStatus::Pending);
+  EXPECT_EQ(T.prediction(*NewS).zext(), 8u);
+  // The re-steered child can still be verified correct later.
+  EXPECT_TRUE(T.verify(*NewS, Bits(8, 32)));
+}
+
+TEST(SpecTableTest, CapacityGatesAllocation) {
+  SpecTable T(2);
+  T.alloc(Bits(1, 32));
+  T.alloc(Bits(2, 32));
+  EXPECT_FALSE(T.canAlloc());
+}
+
+TEST(FifoTest, BasicOrderingAndCapacity) {
+  Fifo<int> F(2);
+  EXPECT_TRUE(F.canEnq());
+  F.enq(1);
+  F.enq(2);
+  EXPECT_FALSE(F.canEnq());
+  EXPECT_EQ(F.front(), 1);
+  EXPECT_EQ(F.deq(), 1);
+  EXPECT_TRUE(F.canEnq());
+  EXPECT_EQ(F.deq(), 2);
+  EXPECT_TRUE(F.empty());
+}
+
+TEST(FifoTest, RemoveIfSquashesSelectedItems) {
+  Fifo<int> F(4);
+  F.enq(1);
+  F.enq(2);
+  F.enq(3);
+  F.removeIf([](int X) { return X % 2 == 0; });
+  EXPECT_EQ(F.size(), 2u);
+  EXPECT_EQ(F.deq(), 1);
+  EXPECT_EQ(F.deq(), 3);
+}
+
+TEST(BhtTest, LearnsTakenBranches) {
+  Bht B(4);
+  Bits Pc(0x400, 32);
+  Bits Br(1, 1);
+  // Weakly not-taken initially.
+  EXPECT_FALSE(B.invoke("req", {Pc})->toBool());
+  B.invoke("upd", {Pc, Br, Bits(1, 1)});
+  EXPECT_TRUE(B.invoke("req", {Pc})->toBool());
+  // Saturates: two not-taken to flip back past the weak state.
+  B.invoke("upd", {Pc, Br, Bits(1, 1)});
+  B.invoke("upd", {Pc, Br, Bits(0, 1)});
+  EXPECT_TRUE(B.invoke("req", {Pc})->toBool());
+  B.invoke("upd", {Pc, Br, Bits(0, 1)});
+  EXPECT_FALSE(B.invoke("req", {Pc})->toBool());
+}
+
+TEST(BhtTest, DistinctIndexesAreIndependent) {
+  Bht B(4);
+  Bits PcA(0x400, 32), PcB(0x404, 32);
+  Bits Br(1, 1);
+  B.invoke("upd", {PcA, Br, Bits(1, 1)});
+  EXPECT_TRUE(B.invoke("req", {PcA})->toBool());
+  EXPECT_FALSE(B.invoke("req", {PcB})->toBool());
+}
+
+TEST(GshareTest, HistoryDisambiguatesPatterns) {
+  // An alternating taken/not-taken branch defeats a plain 2-bit counter
+  // but is learned by gshare's global history after warmup.
+  Gshare G(6);
+  Bits Pc(0x200, 32);
+  Bits Br(1, 1);
+  unsigned Correct = 0, Total = 0;
+  for (int I = 0; I < 200; ++I) {
+    bool Taken = I % 2 == 0;
+    bool Pred = G.invoke("req", {Pc})->toBool();
+    if (I >= 100) {
+      ++Total;
+      Correct += Pred == Taken;
+    }
+    G.invoke("upd", {Pc, Br, Bits(Taken ? 1 : 0, 1)});
+  }
+  EXPECT_GT(Correct * 100, Total * 90) << "gshare should learn alternation";
+}
+
+TEST(BhtTest, NonBranchesDontTrain) {
+  Bht B(4);
+  Bits Pc(0x400, 32);
+  B.invoke("upd", {Pc, Bits(0, 1), Bits(1, 1)});
+  B.invoke("upd", {Pc, Bits(0, 1), Bits(1, 1)});
+  EXPECT_FALSE(B.invoke("req", {Pc})->toBool());
+}
+
+} // namespace

@@ -1,0 +1,196 @@
+//===- StageGraphTest.cpp - Stage-DAG construction coverage -----------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Structural tests for the stage splitter: predication vs forking,
+/// nested fork/join regions, arm paths, tag rules, guards on edges, and
+/// orderedness — the §2.1/Figure 2 machinery, independent of execution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "passes/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdl;
+
+namespace {
+
+const StageGraph &graphOf(const CompiledProgram &CP, const char *Pipe) {
+  EXPECT_TRUE(CP.ok()) << CP.Diags->render();
+  return CP.Pipes.at(Pipe).Graph;
+}
+
+TEST(StageGraphTest, IfWithoutSeparatorIsPredication) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      c = a == 0;
+      if (c) { x = a + 1; } else { x = a + 2; }
+      call p(x);
+    }
+  )");
+  const StageGraph &G = graphOf(CP, "p");
+  ASSERT_EQ(G.Stages.size(), 1u);
+  // Both arms' assigns live in stage 0 with opposite guards.
+  unsigned Guarded = 0;
+  for (const StagedOp &Op : G.Stages[0].Ops)
+    if (!Op.G.empty())
+      ++Guarded;
+  EXPECT_EQ(Guarded, 2u);
+}
+
+TEST(StageGraphTest, SeparatorInOneArmForksAndJoins) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      c = a == 0;
+      call p(a + 1);
+      if (c) {
+        ---
+        x = a + 1;
+      } else {
+        y = a + 2;
+      }
+      z = a + 3;
+    }
+  )");
+  const StageGraph &G = graphOf(CP, "p");
+  // Stage 0 (fork), stage 1 (then-arm), stage 2 (join).
+  ASSERT_EQ(G.Stages.size(), 3u);
+  EXPECT_FALSE(G.Stages[1].Ordered);
+  ASSERT_TRUE(G.Stages[2].isJoin());
+  EXPECT_TRUE(G.Stages[2].Ordered);
+  EXPECT_EQ(G.Stages[2].ForkStage, 0u);
+  // The else arm's assign stays in the fork stage (guarded); the join
+  // holds the post-if code.
+  EXPECT_EQ(G.Stages[2].Ops.size(), 1u);
+  // Fork has two successor edges with complementary guards.
+  ASSERT_EQ(G.Stages[0].Succs.size(), 2u);
+  EXPECT_FALSE(G.Stages[0].Succs[0].G.empty());
+  EXPECT_FALSE(G.Stages[0].Succs[1].G.empty());
+  EXPECT_NE(G.Stages[0].Succs[0].G[0].Polarity,
+            G.Stages[0].Succs[1].G[0].Polarity);
+}
+
+TEST(StageGraphTest, NestedForksShareTheForkStage) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      c1 = a{0:0} == 1;
+      c2 = a{1:1} == 1;
+      call p(a + 1);
+      if (c1) {
+        if (c2) {
+          ---
+          x = a + 1;
+        } else {
+          ---
+          y = a + 2;
+        }
+        w = a + 9;
+      } else {
+        ---
+        z = a + 3;
+      }
+      q = a + 4;
+    }
+  )");
+  const StageGraph &G = graphOf(CP, "p");
+  // S0 fork, S1 (c1&&c2 arm), S2 (c1&&!c2 arm), S3 inner join,
+  // S4 (!c1 arm), S5 outer join.
+  ASSERT_EQ(G.Stages.size(), 6u);
+  const Stage &InnerJoin = G.Stages[3];
+  const Stage &OuterJoin = G.Stages[5];
+  ASSERT_TRUE(InnerJoin.isJoin());
+  ASSERT_TRUE(OuterJoin.isJoin());
+  EXPECT_EQ(InnerJoin.ForkStage, 0u);
+  EXPECT_EQ(OuterJoin.ForkStage, 0u);
+  // The inner join is itself inside the outer arm: unordered.
+  EXPECT_FALSE(InnerJoin.Ordered);
+  EXPECT_TRUE(OuterJoin.Ordered);
+  // Inner-join tag rules carry both branch conditions (c1 and c2).
+  ASSERT_EQ(InnerJoin.TagRules.size(), 2u);
+  EXPECT_EQ(InnerJoin.TagRules[0].G.size(), 2u);
+  // Arm paths: S1 is nested two forks deep.
+  EXPECT_EQ(G.Stages[1].ArmPath.size(), 2u);
+  EXPECT_EQ(G.Stages[4].ArmPath.size(), 1u);
+}
+
+TEST(StageGraphTest, GuardsAccumulateThroughNestedPredication) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      c1 = a{0:0} == 1;
+      c2 = a{1:1} == 1;
+      if (c1) { if (c2) { x = a + 1; } }
+      call p(a);
+    }
+  )");
+  const StageGraph &G = graphOf(CP, "p");
+  ASSERT_EQ(G.Stages.size(), 1u);
+  // Find the doubly-guarded op.
+  bool Found = false;
+  for (const StagedOp &Op : G.Stages[0].Ops)
+    Found |= Op.G.size() == 2;
+  EXPECT_TRUE(Found);
+}
+
+TEST(StageGraphTest, SeparatorsInsideArmsCreateChains) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      c = a == 0;
+      call p(a + 1);
+      if (c) {
+        ---
+        x1 = a + 1;
+        ---
+        x2 = x1 + 1;
+        ---
+        x3 = x2 + 1;
+      } else {
+        ---
+        y = a + 2;
+      }
+    }
+  )");
+  const StageGraph &G = graphOf(CP, "p");
+  // fork + 3-stage then-arm + 1-stage else-arm + join.
+  ASSERT_EQ(G.Stages.size(), 6u);
+  unsigned Unordered = 0;
+  for (const Stage &S : G.Stages)
+    Unordered += !S.Ordered;
+  EXPECT_EQ(Unordered, 4u);
+  // The then-arm chain is linear: S1 -> S2 -> S3 -> join.
+  EXPECT_EQ(G.Stages[1].Succs.size(), 1u);
+  EXPECT_EQ(G.Stages[2].Succs.size(), 1u);
+}
+
+TEST(StageGraphTest, StrRenderingIsStable) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      x = a + 1;
+      ---
+      call p(x);
+    }
+  )");
+  EXPECT_EQ(graphOf(CP, "p").str(),
+            "S0 ordered ops=1 -> S1\n"
+            "S1 ordered ops=1\n");
+}
+
+TEST(StageGraphTest, StageOfMapsStatementsToStages) {
+  CompiledProgram CP = compile(R"(
+    pipe p(a: uint<8>)[] {
+      x = a + 1;
+      ---
+      y = x + 1;
+      call p(y);
+    }
+  )");
+  const StageGraph &G = graphOf(CP, "p");
+  const ast::PipeDecl *Decl = CP.Pipes.at("p").Decl;
+  EXPECT_EQ(G.StageOf.at(Decl->Body[0].get()), 0u); // x = ...
+  EXPECT_EQ(G.StageOf.at(Decl->Body[2].get()), 1u); // y = ...
+  EXPECT_EQ(G.StageOf.at(Decl->Body[3].get()), 1u); // call
+}
+
+} // namespace

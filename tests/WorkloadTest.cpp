@@ -1,0 +1,94 @@
+//===- WorkloadTest.cpp - Benchmark kernel sanity + core equivalence -------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cores/Core.h"
+#include "riscv/Assembler.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdl;
+using namespace pdl::cores;
+using namespace pdl::workloads;
+
+namespace {
+
+class EveryWorkloadTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(EveryWorkloadTest, GoldenSimHaltsOnBothVariants) {
+  const Workload &W = workload(GetParam());
+  for (const std::string &Asm : {W.AsmI, W.AsmM}) {
+    riscv::GoldenSim Sim;
+    Sim.loadProgram(riscv::assemble(Asm));
+    Sim.setHaltStore(HaltByteAddr);
+    uint64_t N = Sim.run(2000000);
+    EXPECT_TRUE(Sim.halted()) << W.Name << " did not halt";
+    EXPECT_GT(N, 500u) << W.Name << " too short to be meaningful";
+    EXPECT_LT(N, 1000000u) << W.Name << " ran away";
+  }
+}
+
+TEST_P(EveryWorkloadTest, MulVariantsProduceSameChecksum) {
+  const Workload &W = workload(GetParam());
+  riscv::GoldenSim I, M;
+  I.loadProgram(riscv::assemble(W.AsmI));
+  M.loadProgram(riscv::assemble(W.AsmM));
+  I.setHaltStore(HaltByteAddr);
+  M.setHaltStore(HaltByteAddr);
+  I.run(2000000);
+  M.run(2000000);
+  // Same final data memory (the kernels are functionally identical).
+  for (uint32_t A = 0; A < 0x6000 / 4; ++A)
+    ASSERT_EQ(I.loadData(A), M.loadData(A)) << W.Name << " word " << A;
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, EveryWorkloadTest,
+                         ::testing::Values("coremark", "aes", "gemm",
+                                           "gemm-block", "ellpack", "kmp",
+                                           "nw", "queue", "radix"),
+                         [](const auto &Info) {
+                           std::string N = Info.param;
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+TEST(WorkloadOnCoreTest, NwRunsOnFiveStageAndMatchesGolden) {
+  Core C(CoreKind::Pdl5Stage);
+  C.loadProgram(riscv::assemble(workload("nw").AsmI));
+  Core::RunResult R = C.run(2000000, /*CheckGolden=*/true);
+  EXPECT_TRUE(R.Halted);
+  EXPECT_TRUE(R.TraceMatches) << R.TraceMismatch;
+  EXPECT_GT(R.Cpi, 1.0);
+  EXPECT_LT(R.Cpi, 2.0);
+}
+
+TEST(WorkloadOnCoreTest, QueueRunsOnThreeStageAndMatchesGolden) {
+  Core C(CoreKind::Pdl3Stage);
+  C.loadProgram(riscv::assemble(workload("queue").AsmI));
+  Core::RunResult R = C.run(2000000, /*CheckGolden=*/true);
+  EXPECT_TRUE(R.Halted);
+  EXPECT_TRUE(R.TraceMatches) << R.TraceMismatch;
+}
+
+TEST(WorkloadOnCoreTest, GemmMulVariantRunsOnRv32im) {
+  Core C(CoreKind::PdlRv32im);
+  C.loadProgram(riscv::assemble(workload("gemm").AsmM));
+  Core::RunResult R = C.run(2000000, /*CheckGolden=*/true);
+  EXPECT_TRUE(R.Halted);
+  EXPECT_TRUE(R.TraceMatches) << R.TraceMismatch;
+}
+
+TEST(WorkloadOnCoreTest, RadixRunsOnBhtCore) {
+  Core C(CoreKind::Pdl5StageBht);
+  C.loadProgram(riscv::assemble(workload("radix").AsmI));
+  Core::RunResult R = C.run(2000000, /*CheckGolden=*/true);
+  EXPECT_TRUE(R.Halted);
+  EXPECT_TRUE(R.TraceMatches) << R.TraceMismatch;
+}
+
+} // namespace

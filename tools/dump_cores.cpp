@@ -1,0 +1,42 @@
+//===- dump_cores.cpp - Write the evaluated PDL core sources to disk ---------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the .pdl files under cores_pdl/ from the canonical embedded
+// sources in src/cores/CoreSources.cpp (run from the repository root).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cores/CoreSources.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace pdl;
+
+int main() {
+  struct Entry {
+    const char *Path;
+    std::string Text;
+  };
+  const Entry Entries[] = {
+      {"cores_pdl/rv32i_5stage.pdl", cores::rv32i5StageSource()},
+      {"cores_pdl/rv32i_3stage.pdl", cores::rv32i3StageSource()},
+      {"cores_pdl/rv32i_5stage_bht.pdl", cores::rv32i5StageBhtSource()},
+      {"cores_pdl/rv32im.pdl", cores::rv32imSource()},
+      {"cores_pdl/cache.pdl", cores::cacheSource()},
+  };
+  for (const Entry &E : Entries) {
+    std::ofstream Out(E.Path);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s (run from the repo root)\n",
+                   E.Path);
+      return 1;
+    }
+    Out << E.Text;
+    std::printf("wrote %s\n", E.Path);
+  }
+  return 0;
+}

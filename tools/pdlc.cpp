@@ -1,0 +1,138 @@
+//===- pdlc.cpp - PDL compiler driver -----------------------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Command-line front end for the PDL compiler:
+//
+//   pdlc file.pdl                 check the program (types, locks, speculation)
+//   pdlc --dump-stages file.pdl   also print each pipe's stage graph
+//   pdlc --dump-seq file.pdl      print the sequential specification (Sec. 3.1)
+//   pdlc --dump-ast file.pdl      print the parsed program
+//   pdlc --run pipe arg file.pdl  elaborate and simulate `pipe` for
+//                                 --cycles N cycles starting from `arg`
+//
+// Diagnostics go to stderr in compiler style (file:line:col: error: ...).
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/System.h"
+#include "passes/SeqExtract.h"
+#include "pdl/AST.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace pdl;
+
+static void usage() {
+  std::fprintf(stderr,
+               "usage: pdlc [--dump-stages] [--dump-seq] [--dump-ast]\n"
+               "            [--run PIPE ARG] [--cycles N] FILE.pdl\n");
+}
+
+int main(int argc, char **argv) {
+  bool DumpStages = false, DumpSeq = false, DumpAst = false;
+  std::string RunPipe;
+  uint64_t RunArg = 0, Cycles = 100;
+  std::string File;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--dump-stages") {
+      DumpStages = true;
+    } else if (A == "--dump-seq") {
+      DumpSeq = true;
+    } else if (A == "--dump-ast") {
+      DumpAst = true;
+    } else if (A == "--run" && I + 2 < argc) {
+      RunPipe = argv[++I];
+      RunArg = std::strtoull(argv[++I], nullptr, 0);
+    } else if (A == "--cycles" && I + 1 < argc) {
+      Cycles = std::strtoull(argv[++I], nullptr, 0);
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "pdlc: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    } else {
+      File = A;
+    }
+  }
+  if (File.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream In(File);
+  if (!In) {
+    std::fprintf(stderr, "pdlc: cannot open '%s'\n", File.c_str());
+    return 2;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  CompiledProgram Program = compile(Buf.str(), File);
+  std::fprintf(stderr, "%s", Program.Diags->render().c_str());
+  if (!Program.ok())
+    return 1;
+
+  std::printf("%s: %zu pipe(s) checked, %u SMT queries\n", File.c_str(),
+              Program.Pipes.size(), Program.SolverQueries);
+
+  if (DumpAst)
+    std::printf("\n%s", ast::printProgram(*Program.AST).c_str());
+
+  for (const auto &[Name, Pipe] : Program.Pipes) {
+    if (DumpStages) {
+      std::printf("\npipe %s stage graph:\n%s", Name.c_str(),
+                  Pipe.Graph.str().c_str());
+      if (Pipe.Spec.UsesSpeculation)
+        std::printf("  (speculating pipe; %zu checkpointed memories)\n",
+                    Pipe.Spec.CheckpointStage.size());
+    }
+    if (DumpSeq)
+      std::printf("\npipe %s sequential specification:\n%s", Name.c_str(),
+                  extractSequential(*Pipe.Decl).c_str());
+  }
+
+  if (!RunPipe.empty()) {
+    if (!Program.Pipes.count(RunPipe)) {
+      std::fprintf(stderr, "pdlc: no pipe named '%s'\n", RunPipe.c_str());
+      return 1;
+    }
+    const ast::PipeDecl *Decl = Program.Pipes.at(RunPipe).Decl;
+    if (Decl->Params.size() != 1) {
+      std::fprintf(stderr, "pdlc: --run needs a single-parameter pipe\n");
+      return 1;
+    }
+    backend::System Sys(Program, backend::ElabConfig{});
+    Sys.start(RunPipe, {Bits(RunArg, Decl->Params[0].Ty.width())});
+    Sys.run(Cycles);
+    const auto &St = Sys.stats();
+    std::printf("\nran %llu cycles: %llu thread(s) retired",
+                static_cast<unsigned long long>(St.Cycles),
+                static_cast<unsigned long long>(
+                    St.Retired.count(RunPipe) ? St.Retired.at(RunPipe) : 0));
+    if (St.Killed.count(RunPipe))
+      std::printf(", %llu squashed",
+                  static_cast<unsigned long long>(St.Killed.at(RunPipe)));
+    std::printf("%s\n", St.Deadlocked ? " [DEADLOCK]" : "");
+    for (const ast::MemDecl &M : Decl->Mems) {
+      if (M.AddrWidth > 4)
+        continue; // print only small memories
+      std::printf("  %s =", M.Name.c_str());
+      for (uint64_t A = 0; A < (uint64_t(1) << M.AddrWidth); ++A)
+        std::printf(" %s", Sys.archRead(RunPipe, M.Name, A).str().c_str());
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
