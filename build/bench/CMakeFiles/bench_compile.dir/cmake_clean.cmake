@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compile.dir/bench_compile.cpp.o"
+  "CMakeFiles/bench_compile.dir/bench_compile.cpp.o.d"
+  "bench_compile"
+  "bench_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expressivity.dir/bench_expressivity.cpp.o"
+  "CMakeFiles/bench_expressivity.dir/bench_expressivity.cpp.o.d"
+  "bench_expressivity"
+  "bench_expressivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expressivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

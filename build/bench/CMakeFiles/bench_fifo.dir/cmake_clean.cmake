@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fifo.dir/bench_fifo.cpp.o"
+  "CMakeFiles/bench_fifo.dir/bench_fifo.cpp.o.d"
+  "bench_fifo"
+  "bench_fifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

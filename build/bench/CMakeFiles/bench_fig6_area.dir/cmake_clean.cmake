@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_area.dir/bench_fig6_area.cpp.o"
+  "CMakeFiles/bench_fig6_area.dir/bench_fig6_area.cpp.o.d"
+  "bench_fig6_area"
+  "bench_fig6_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_locks.dir/bench_locks.cpp.o"
+  "CMakeFiles/bench_locks.dir/bench_locks.cpp.o.d"
+  "bench_locks"
+  "bench_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

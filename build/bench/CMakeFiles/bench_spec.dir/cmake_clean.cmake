@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spec.dir/bench_spec.cpp.o"
+  "CMakeFiles/bench_spec.dir/bench_spec.cpp.o.d"
+  "bench_spec"
+  "bench_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

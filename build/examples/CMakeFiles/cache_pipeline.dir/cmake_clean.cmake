@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_pipeline.dir/cache_pipeline.cpp.o"
+  "CMakeFiles/cache_pipeline.dir/cache_pipeline.cpp.o.d"
+  "cache_pipeline"
+  "cache_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooo_pipeline.dir/ooo_pipeline.cpp.o"
+  "CMakeFiles/ooo_pipeline.dir/ooo_pipeline.cpp.o.d"
+  "ooo_pipeline"
+  "ooo_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooo_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_core.dir/riscv_core.cpp.o"
+  "CMakeFiles/riscv_core.dir/riscv_core.cpp.o.d"
+  "riscv_core"
+  "riscv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

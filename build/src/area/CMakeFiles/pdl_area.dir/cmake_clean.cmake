@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdl_area.dir/AreaModel.cpp.o"
+  "CMakeFiles/pdl_area.dir/AreaModel.cpp.o.d"
+  "libpdl_area.a"
+  "libpdl_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdl_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

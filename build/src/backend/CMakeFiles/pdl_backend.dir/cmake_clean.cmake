@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdl_backend.dir/Eval.cpp.o"
+  "CMakeFiles/pdl_backend.dir/Eval.cpp.o.d"
+  "CMakeFiles/pdl_backend.dir/SeqInterp.cpp.o"
+  "CMakeFiles/pdl_backend.dir/SeqInterp.cpp.o.d"
+  "CMakeFiles/pdl_backend.dir/System.cpp.o"
+  "CMakeFiles/pdl_backend.dir/System.cpp.o.d"
+  "libpdl_backend.a"
+  "libpdl_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdl_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

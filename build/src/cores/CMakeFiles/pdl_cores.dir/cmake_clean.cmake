@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdl_cores.dir/Core.cpp.o"
+  "CMakeFiles/pdl_cores.dir/Core.cpp.o.d"
+  "CMakeFiles/pdl_cores.dir/CoreSources.cpp.o"
+  "CMakeFiles/pdl_cores.dir/CoreSources.cpp.o.d"
+  "CMakeFiles/pdl_cores.dir/SodorModel.cpp.o"
+  "CMakeFiles/pdl_cores.dir/SodorModel.cpp.o.d"
+  "libpdl_cores.a"
+  "libpdl_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdl_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

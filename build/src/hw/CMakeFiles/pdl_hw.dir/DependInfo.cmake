@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/BypassQueue.cpp" "src/hw/CMakeFiles/pdl_hw.dir/BypassQueue.cpp.o" "gcc" "src/hw/CMakeFiles/pdl_hw.dir/BypassQueue.cpp.o.d"
+  "/root/repo/src/hw/Extern.cpp" "src/hw/CMakeFiles/pdl_hw.dir/Extern.cpp.o" "gcc" "src/hw/CMakeFiles/pdl_hw.dir/Extern.cpp.o.d"
+  "/root/repo/src/hw/QueueLock.cpp" "src/hw/CMakeFiles/pdl_hw.dir/QueueLock.cpp.o" "gcc" "src/hw/CMakeFiles/pdl_hw.dir/QueueLock.cpp.o.d"
+  "/root/repo/src/hw/RenameLock.cpp" "src/hw/CMakeFiles/pdl_hw.dir/RenameLock.cpp.o" "gcc" "src/hw/CMakeFiles/pdl_hw.dir/RenameLock.cpp.o.d"
+  "/root/repo/src/hw/SpecTable.cpp" "src/hw/CMakeFiles/pdl_hw.dir/SpecTable.cpp.o" "gcc" "src/hw/CMakeFiles/pdl_hw.dir/SpecTable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdl_hw.dir/BypassQueue.cpp.o"
+  "CMakeFiles/pdl_hw.dir/BypassQueue.cpp.o.d"
+  "CMakeFiles/pdl_hw.dir/Extern.cpp.o"
+  "CMakeFiles/pdl_hw.dir/Extern.cpp.o.d"
+  "CMakeFiles/pdl_hw.dir/QueueLock.cpp.o"
+  "CMakeFiles/pdl_hw.dir/QueueLock.cpp.o.d"
+  "CMakeFiles/pdl_hw.dir/RenameLock.cpp.o"
+  "CMakeFiles/pdl_hw.dir/RenameLock.cpp.o.d"
+  "CMakeFiles/pdl_hw.dir/SpecTable.cpp.o"
+  "CMakeFiles/pdl_hw.dir/SpecTable.cpp.o.d"
+  "libpdl_hw.a"
+  "libpdl_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdl_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

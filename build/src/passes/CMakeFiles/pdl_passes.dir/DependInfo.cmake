@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/Compiler.cpp" "src/passes/CMakeFiles/pdl_passes.dir/Compiler.cpp.o" "gcc" "src/passes/CMakeFiles/pdl_passes.dir/Compiler.cpp.o.d"
+  "/root/repo/src/passes/Liveness.cpp" "src/passes/CMakeFiles/pdl_passes.dir/Liveness.cpp.o" "gcc" "src/passes/CMakeFiles/pdl_passes.dir/Liveness.cpp.o.d"
+  "/root/repo/src/passes/LockChecker.cpp" "src/passes/CMakeFiles/pdl_passes.dir/LockChecker.cpp.o" "gcc" "src/passes/CMakeFiles/pdl_passes.dir/LockChecker.cpp.o.d"
+  "/root/repo/src/passes/PathCondition.cpp" "src/passes/CMakeFiles/pdl_passes.dir/PathCondition.cpp.o" "gcc" "src/passes/CMakeFiles/pdl_passes.dir/PathCondition.cpp.o.d"
+  "/root/repo/src/passes/SeqExtract.cpp" "src/passes/CMakeFiles/pdl_passes.dir/SeqExtract.cpp.o" "gcc" "src/passes/CMakeFiles/pdl_passes.dir/SeqExtract.cpp.o.d"
+  "/root/repo/src/passes/SpecChecker.cpp" "src/passes/CMakeFiles/pdl_passes.dir/SpecChecker.cpp.o" "gcc" "src/passes/CMakeFiles/pdl_passes.dir/SpecChecker.cpp.o.d"
+  "/root/repo/src/passes/StageGraph.cpp" "src/passes/CMakeFiles/pdl_passes.dir/StageGraph.cpp.o" "gcc" "src/passes/CMakeFiles/pdl_passes.dir/StageGraph.cpp.o.d"
+  "/root/repo/src/passes/TypeChecker.cpp" "src/passes/CMakeFiles/pdl_passes.dir/TypeChecker.cpp.o" "gcc" "src/passes/CMakeFiles/pdl_passes.dir/TypeChecker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdl/CMakeFiles/pdl_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/pdl_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

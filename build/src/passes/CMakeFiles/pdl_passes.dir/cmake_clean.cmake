@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdl_passes.dir/Compiler.cpp.o"
+  "CMakeFiles/pdl_passes.dir/Compiler.cpp.o.d"
+  "CMakeFiles/pdl_passes.dir/Liveness.cpp.o"
+  "CMakeFiles/pdl_passes.dir/Liveness.cpp.o.d"
+  "CMakeFiles/pdl_passes.dir/LockChecker.cpp.o"
+  "CMakeFiles/pdl_passes.dir/LockChecker.cpp.o.d"
+  "CMakeFiles/pdl_passes.dir/PathCondition.cpp.o"
+  "CMakeFiles/pdl_passes.dir/PathCondition.cpp.o.d"
+  "CMakeFiles/pdl_passes.dir/SeqExtract.cpp.o"
+  "CMakeFiles/pdl_passes.dir/SeqExtract.cpp.o.d"
+  "CMakeFiles/pdl_passes.dir/SpecChecker.cpp.o"
+  "CMakeFiles/pdl_passes.dir/SpecChecker.cpp.o.d"
+  "CMakeFiles/pdl_passes.dir/StageGraph.cpp.o"
+  "CMakeFiles/pdl_passes.dir/StageGraph.cpp.o.d"
+  "CMakeFiles/pdl_passes.dir/TypeChecker.cpp.o"
+  "CMakeFiles/pdl_passes.dir/TypeChecker.cpp.o.d"
+  "libpdl_passes.a"
+  "libpdl_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdl_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

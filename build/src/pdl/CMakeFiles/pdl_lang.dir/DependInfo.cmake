@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdl/AST.cpp" "src/pdl/CMakeFiles/pdl_lang.dir/AST.cpp.o" "gcc" "src/pdl/CMakeFiles/pdl_lang.dir/AST.cpp.o.d"
+  "/root/repo/src/pdl/Lexer.cpp" "src/pdl/CMakeFiles/pdl_lang.dir/Lexer.cpp.o" "gcc" "src/pdl/CMakeFiles/pdl_lang.dir/Lexer.cpp.o.d"
+  "/root/repo/src/pdl/Parser.cpp" "src/pdl/CMakeFiles/pdl_lang.dir/Parser.cpp.o" "gcc" "src/pdl/CMakeFiles/pdl_lang.dir/Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

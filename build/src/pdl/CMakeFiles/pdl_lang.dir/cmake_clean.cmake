@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdl_lang.dir/AST.cpp.o"
+  "CMakeFiles/pdl_lang.dir/AST.cpp.o.d"
+  "CMakeFiles/pdl_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/pdl_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/pdl_lang.dir/Parser.cpp.o"
+  "CMakeFiles/pdl_lang.dir/Parser.cpp.o.d"
+  "libpdl_lang.a"
+  "libpdl_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdl_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

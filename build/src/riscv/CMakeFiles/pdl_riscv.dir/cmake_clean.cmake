@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdl_riscv.dir/Assembler.cpp.o"
+  "CMakeFiles/pdl_riscv.dir/Assembler.cpp.o.d"
+  "CMakeFiles/pdl_riscv.dir/GoldenSim.cpp.o"
+  "CMakeFiles/pdl_riscv.dir/GoldenSim.cpp.o.d"
+  "libpdl_riscv.a"
+  "libpdl_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdl_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

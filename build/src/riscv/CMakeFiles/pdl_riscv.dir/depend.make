@@ -1,0 +1,2 @@
+# Empty dependencies file for pdl_riscv.
+# This may be replaced when dependencies are built.

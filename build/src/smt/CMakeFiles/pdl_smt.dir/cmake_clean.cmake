@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdl_smt.dir/FormulaContext.cpp.o"
+  "CMakeFiles/pdl_smt.dir/FormulaContext.cpp.o.d"
+  "CMakeFiles/pdl_smt.dir/Solver.cpp.o"
+  "CMakeFiles/pdl_smt.dir/Solver.cpp.o.d"
+  "libpdl_smt.a"
+  "libpdl_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdl_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdl_support.dir/Bits.cpp.o"
+  "CMakeFiles/pdl_support.dir/Bits.cpp.o.d"
+  "CMakeFiles/pdl_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/pdl_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/pdl_support.dir/SourceMgr.cpp.o"
+  "CMakeFiles/pdl_support.dir/SourceMgr.cpp.o.d"
+  "libpdl_support.a"
+  "libpdl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdl_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/pdl_workloads.dir/Workloads.cpp.o.d"
+  "libpdl_workloads.a"
+  "libpdl_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdl_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "AreaTest"
+  "AreaTest.pdb"
+  "AreaTest[1]_tests.cmake"
+  "CMakeFiles/AreaTest.dir/AreaTest.cpp.o"
+  "CMakeFiles/AreaTest.dir/AreaTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AreaTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "BackendTest"
+  "BackendTest.pdb"
+  "BackendTest[1]_tests.cmake"
+  "CMakeFiles/BackendTest.dir/BackendTest.cpp.o"
+  "CMakeFiles/BackendTest.dir/BackendTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BackendTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for BackendTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "BitsTest"
+  "BitsTest.pdb"
+  "BitsTest[1]_tests.cmake"
+  "CMakeFiles/BitsTest.dir/BitsTest.cpp.o"
+  "CMakeFiles/BitsTest.dir/BitsTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BitsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CompilerTest.dir/CompilerTest.cpp.o"
+  "CMakeFiles/CompilerTest.dir/CompilerTest.cpp.o.d"
+  "CompilerTest"
+  "CompilerTest.pdb"
+  "CompilerTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CompilerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

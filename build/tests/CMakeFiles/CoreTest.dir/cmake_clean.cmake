@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CoreTest.dir/CoreTest.cpp.o"
+  "CMakeFiles/CoreTest.dir/CoreTest.cpp.o.d"
+  "CoreTest"
+  "CoreTest.pdb"
+  "CoreTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CoreTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DiagnosticsTest.dir/DiagnosticsTest.cpp.o"
+  "CMakeFiles/DiagnosticsTest.dir/DiagnosticsTest.cpp.o.d"
+  "DiagnosticsTest"
+  "DiagnosticsTest.pdb"
+  "DiagnosticsTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DiagnosticsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

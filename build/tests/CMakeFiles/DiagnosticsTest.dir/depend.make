@@ -1,0 +1,2 @@
+# Empty dependencies file for DiagnosticsTest.
+# This may be replaced when dependencies are built.

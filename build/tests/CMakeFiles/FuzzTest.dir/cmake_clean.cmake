@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FuzzTest.dir/FuzzTest.cpp.o"
+  "CMakeFiles/FuzzTest.dir/FuzzTest.cpp.o.d"
+  "FuzzTest"
+  "FuzzTest.pdb"
+  "FuzzTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FuzzTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LockTest.dir/LockTest.cpp.o"
+  "CMakeFiles/LockTest.dir/LockTest.cpp.o.d"
+  "LockTest"
+  "LockTest.pdb"
+  "LockTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LockTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

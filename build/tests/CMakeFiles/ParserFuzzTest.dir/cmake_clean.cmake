@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ParserFuzzTest.dir/ParserFuzzTest.cpp.o"
+  "CMakeFiles/ParserFuzzTest.dir/ParserFuzzTest.cpp.o.d"
+  "ParserFuzzTest"
+  "ParserFuzzTest.pdb"
+  "ParserFuzzTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ParserFuzzTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ParserTest.dir/ParserTest.cpp.o"
+  "CMakeFiles/ParserTest.dir/ParserTest.cpp.o.d"
+  "ParserTest"
+  "ParserTest.pdb"
+  "ParserTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ParserTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RegionTest.dir/RegionTest.cpp.o"
+  "CMakeFiles/RegionTest.dir/RegionTest.cpp.o.d"
+  "RegionTest"
+  "RegionTest.pdb"
+  "RegionTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RegionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for RegionTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RiscvTest.dir/RiscvTest.cpp.o"
+  "CMakeFiles/RiscvTest.dir/RiscvTest.cpp.o.d"
+  "RiscvTest"
+  "RiscvTest.pdb"
+  "RiscvTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RiscvTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SeqCoreTest.dir/SeqCoreTest.cpp.o"
+  "CMakeFiles/SeqCoreTest.dir/SeqCoreTest.cpp.o.d"
+  "SeqCoreTest"
+  "SeqCoreTest.pdb"
+  "SeqCoreTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SeqCoreTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SmtTest.dir/SmtTest.cpp.o"
+  "CMakeFiles/SmtTest.dir/SmtTest.cpp.o.d"
+  "SmtTest"
+  "SmtTest.pdb"
+  "SmtTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SmtTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

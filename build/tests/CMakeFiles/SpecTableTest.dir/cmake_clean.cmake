@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SpecTableTest.dir/SpecTableTest.cpp.o"
+  "CMakeFiles/SpecTableTest.dir/SpecTableTest.cpp.o.d"
+  "SpecTableTest"
+  "SpecTableTest.pdb"
+  "SpecTableTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SpecTableTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/StageGraphTest.cpp" "tests/CMakeFiles/StageGraphTest.dir/StageGraphTest.cpp.o" "gcc" "tests/CMakeFiles/StageGraphTest.dir/StageGraphTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/passes/CMakeFiles/pdl_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdl/CMakeFiles/pdl_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/pdl_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

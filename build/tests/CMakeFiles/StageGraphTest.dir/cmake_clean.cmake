@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StageGraphTest.dir/StageGraphTest.cpp.o"
+  "CMakeFiles/StageGraphTest.dir/StageGraphTest.cpp.o.d"
+  "StageGraphTest"
+  "StageGraphTest.pdb"
+  "StageGraphTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StageGraphTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

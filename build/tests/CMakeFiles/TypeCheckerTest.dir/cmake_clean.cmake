@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TypeCheckerTest.dir/TypeCheckerTest.cpp.o"
+  "CMakeFiles/TypeCheckerTest.dir/TypeCheckerTest.cpp.o.d"
+  "TypeCheckerTest"
+  "TypeCheckerTest.pdb"
+  "TypeCheckerTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TypeCheckerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/WorkloadTest.dir/WorkloadTest.cpp.o"
+  "CMakeFiles/WorkloadTest.dir/WorkloadTest.cpp.o.d"
+  "WorkloadTest"
+  "WorkloadTest.pdb"
+  "WorkloadTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/WorkloadTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

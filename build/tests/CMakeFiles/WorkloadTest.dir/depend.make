@@ -1,0 +1,2 @@
+# Empty dependencies file for WorkloadTest.
+# This may be replaced when dependencies are built.

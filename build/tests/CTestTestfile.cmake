@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/BitsTest[1]_include.cmake")
+include("/root/repo/build/tests/DiagnosticsTest[1]_include.cmake")
+include("/root/repo/build/tests/SmtTest[1]_include.cmake")
+include("/root/repo/build/tests/ParserTest[1]_include.cmake")
+include("/root/repo/build/tests/CompilerTest[1]_include.cmake")
+include("/root/repo/build/tests/LockTest[1]_include.cmake")
+include("/root/repo/build/tests/SpecTableTest[1]_include.cmake")
+include("/root/repo/build/tests/BackendTest[1]_include.cmake")
+include("/root/repo/build/tests/CoreTest[1]_include.cmake")
+include("/root/repo/build/tests/WorkloadTest[1]_include.cmake")
+include("/root/repo/build/tests/AreaTest[1]_include.cmake")
+include("/root/repo/build/tests/FuzzTest[1]_include.cmake")
+include("/root/repo/build/tests/RegionTest[1]_include.cmake")
+include("/root/repo/build/tests/TypeCheckerTest[1]_include.cmake")
+include("/root/repo/build/tests/PropertyTest[1]_include.cmake")
+include("/root/repo/build/tests/StageGraphTest[1]_include.cmake")
+include("/root/repo/build/tests/RiscvTest[1]_include.cmake")
+include("/root/repo/build/tests/SeqCoreTest[1]_include.cmake")
+include("/root/repo/build/tests/ParserFuzzTest[1]_include.cmake")

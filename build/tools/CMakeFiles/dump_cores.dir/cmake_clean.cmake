@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_cores.dir/dump_cores.cpp.o"
+  "CMakeFiles/dump_cores.dir/dump_cores.cpp.o.d"
+  "dump_cores"
+  "dump_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

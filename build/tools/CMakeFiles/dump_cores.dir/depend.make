@@ -1,0 +1,2 @@
+# Empty dependencies file for dump_cores.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdlc.dir/pdlc.cpp.o"
+  "CMakeFiles/pdlc.dir/pdlc.cpp.o.d"
+  "pdlc"
+  "pdlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
