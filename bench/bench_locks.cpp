@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cores/Core.h"
+#include "obs/Sinks.h"
 #include "riscv/Assembler.h"
 #include "workloads/Workloads.h"
 
@@ -24,14 +25,24 @@ using namespace pdl::cores;
 
 namespace {
 
-double cpiOn(CoreKind K, const std::string &Program) {
+double cpiOn(CoreKind K, const std::string &Program,
+             obs::Json *JsonRow = nullptr) {
   Core C(K);
+  obs::CounterSink Counters;
+  if (JsonRow)
+    C.system().attachSink(Counters);
   C.loadProgram(riscv::assemble(Program));
   Core::RunResult R = C.run(5000000, /*CheckGolden=*/true);
   if (!R.Halted || !R.TraceMatches || R.Deadlocked) {
     std::fprintf(stderr, "%s failed (halted=%d match=%d dead=%d)\n",
                  coreName(K), R.Halted, R.TraceMatches, R.Deadlocked);
     return -1;
+  }
+  if (JsonRow) {
+    JsonRow->set("cpi", R.Cpi);
+    JsonRow->set("cycles", R.Cycles);
+    JsonRow->set("instrs", R.Instrs);
+    JsonRow->set("report", Counters.report().toJsonValue());
   }
   return R.Cpi;
 }
@@ -43,7 +54,8 @@ std::string haltSuffix() {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bool JsonOut = argc > 1 && std::string(argv[1]) == "--json";
   // Dependence-heavy: a serial add chain.
   std::string Chain = "li t1, 1\n";
   for (int I = 0; I < 64; ++I)
@@ -74,6 +86,32 @@ int main() {
       {"BypassQueue", CoreKind::Pdl5Stage},
       {"RenamingRegFile", CoreKind::Pdl5StageRename},
   };
+
+  if (JsonOut) {
+    struct Prog {
+      const char *Name;
+      const std::string *Text;
+    };
+    const Prog Progs[] = {{"add-chain", &Chain},
+                          {"indep", &Indep},
+                          {"load-use", &LoadUse},
+                          {"kmp", &Kmp}};
+    obs::Json Doc = obs::Json::object();
+    Doc.set("bench", "locks");
+    obs::Json JRows = obs::Json::array();
+    for (const Row &R : Rows) {
+      for (const Prog &P : Progs) {
+        obs::Json JRow = obs::Json::object();
+        JRow.set("config", R.Name);
+        JRow.set("kernel", P.Name);
+        cpiOn(R.Kind, *P.Text, &JRow);
+        JRows.push(std::move(JRow));
+      }
+    }
+    Doc.set("rows", std::move(JRows));
+    std::printf("%s\n", Doc.dump(2).c_str());
+    return 0;
+  }
 
   std::printf("=== Lock-implementation ablation: CPI on the same 5-stage "
               "PDL source ===\n\n");

@@ -12,16 +12,19 @@
 //===----------------------------------------------------------------------===//
 
 #include "cores/Core.h"
+#include "obs/Sinks.h"
 #include "riscv/Assembler.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <string>
 
 using namespace pdl;
 using namespace pdl::cores;
 using namespace pdl::workloads;
 
-int main() {
+int main(int argc, char **argv) {
+  bool JsonOut = argc > 1 && std::string(argv[1]) == "--json";
   const char *Kernels[] = {"kmp", "nw", "queue", "radix", "coremark"};
   struct Cfg {
     const char *Name;
@@ -34,6 +37,36 @@ int main() {
       {"5Stg gshare", CoreKind::Pdl5StageBht, PredictorKind::Gshare},
       {"3Stg", CoreKind::Pdl3Stage, PredictorKind::Bht2Bit},
   };
+
+  if (JsonOut) {
+    obs::Json Doc = obs::Json::object();
+    Doc.set("bench", "spec");
+    obs::Json Rows = obs::Json::array();
+    for (const Cfg &C : Cfgs) {
+      for (const char *KName : Kernels) {
+        Core Cpu(C.Kind, C.Pred);
+        obs::CounterSink Counters;
+        Cpu.system().attachSink(Counters);
+        Cpu.loadProgram(riscv::assemble(workload(KName).AsmI));
+        Core::RunResult R = Cpu.run(5000000, /*CheckGolden=*/true);
+        const auto &St = Cpu.system().stats();
+        uint64_t Killed = St.Killed.count("cpu") ? St.Killed.at("cpu") : 0;
+        obs::Json Row = obs::Json::object();
+        Row.set("config", C.Name);
+        Row.set("kernel", KName);
+        Row.set("cpi", R.Cpi);
+        Row.set("cycles", R.Cycles);
+        Row.set("instrs", R.Instrs);
+        Row.set("squashed", Killed);
+        Row.set("seq_equiv", R.Halted && R.TraceMatches && !R.Deadlocked);
+        Row.set("report", Counters.report().toJsonValue());
+        Rows.push(std::move(Row));
+      }
+    }
+    Doc.set("rows", std::move(Rows));
+    std::printf("%s\n", Doc.dump(2).c_str());
+    return 0;
+  }
 
   std::printf("=== Speculation ablation: CPI and squashed threads ===\n\n");
   std::printf("%-16s", "config");

@@ -19,11 +19,14 @@
 
 #include "cores/Core.h"
 #include "cores/SodorModel.h"
+#include "obs/Sinks.h"
 #include "riscv/Assembler.h"
 #include "workloads/Workloads.h"
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 using namespace pdl;
@@ -62,10 +65,104 @@ void printRow(const char *Name, const std::vector<double> &Cpis,
   std::printf(" %7.3f  %s\n", geomean(Cpis), SeqOk ? "yes" : "NO!");
 }
 
+/// One machine-readable bench row: CPI plus the full per-stage stall
+/// attribution report (when a CounterSink was attached to the run).
+obs::Json jsonRow(const char *Config, const std::string &Kernel, double Cpi,
+                  uint64_t Cycles, uint64_t Instrs, bool SeqOk,
+                  const obs::CounterSink *Counters) {
+  obs::Json Row = obs::Json::object();
+  Row.set("config", Config);
+  Row.set("kernel", Kernel);
+  Row.set("cpi", Cpi);
+  Row.set("cycles", Cycles);
+  Row.set("instrs", Instrs);
+  Row.set("seq_equiv", SeqOk);
+  if (Counters)
+    Row.set("report", Counters->report().toJsonValue());
+  return Row;
+}
+
 } // namespace
 
-int main() {
-  const auto &Kernels = allWorkloads();
+int main(int argc, char **argv) {
+  bool JsonOut = false;
+  std::string KernelFilter;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--json")
+      JsonOut = true;
+    else if (A.rfind("--kernels=", 0) == 0)
+      KernelFilter = A.substr(10);
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_table3 [--json] [--kernels=a,b,...]\n");
+      return 2;
+    }
+  }
+  auto KernelEnabled = [&](const std::string &Name) {
+    if (KernelFilter.empty())
+      return true;
+    size_t Pos = 0;
+    while (Pos < KernelFilter.size()) {
+      size_t Comma = KernelFilter.find(',', Pos);
+      if (Comma == std::string::npos)
+        Comma = KernelFilter.size();
+      if (KernelFilter.compare(Pos, Comma - Pos, Name) == 0)
+        return true;
+      Pos = Comma + 1;
+    }
+    return false;
+  };
+
+  std::vector<Workload> Kernels;
+  for (const Workload &W : allWorkloads())
+    if (KernelEnabled(W.Name))
+      Kernels.push_back(W);
+  if (Kernels.empty()) {
+    std::fprintf(stderr, "bench_table3: no kernels match '%s'\n",
+                 KernelFilter.c_str());
+    return 2;
+  }
+
+  if (JsonOut) {
+    obs::Json Doc = obs::Json::object();
+    Doc.set("bench", "table3");
+    obs::Json Rows = obs::Json::array();
+
+    for (const Workload &W : Kernels) {
+      SodorResult R = runSodor(riscv::assemble(W.AsmI), {}, HaltByteAddr,
+                               5000000);
+      Rows.push(jsonRow("Sodor", W.Name, R.Cpi, R.Cycles, R.Instrs, true,
+                        nullptr));
+    }
+
+    struct Config {
+      const char *Name;
+      CoreKind Kind;
+      bool UseM;
+    };
+    const Config Configs[] = {
+        {"PDL 5Stg", CoreKind::Pdl5Stage, false},
+        {"PDL 3Stg", CoreKind::Pdl3Stage, false},
+        {"PDL 5Stg BHT", CoreKind::Pdl5StageBht, false},
+        {"PDL 5Stg RV32IM", CoreKind::PdlRv32im, true},
+    };
+    for (const Config &C : Configs) {
+      for (const Workload &W : Kernels) {
+        Core Cpu(C.Kind);
+        obs::CounterSink Counters;
+        Cpu.system().attachSink(Counters);
+        Cpu.loadProgram(riscv::assemble(C.UseM ? W.AsmM : W.AsmI));
+        Core::RunResult R = Cpu.run(5000000, /*CheckGolden=*/true);
+        bool SeqOk = R.Halted && !R.Deadlocked && R.TraceMatches;
+        Rows.push(jsonRow(C.Name, W.Name, R.Cpi, R.Cycles, R.Instrs, SeqOk,
+                          &Counters));
+      }
+    }
+    Doc.set("rows", std::move(Rows));
+    std::printf("%s\n", Doc.dump(2).c_str());
+    return 0;
+  }
 
   std::printf("=== Table 3: CPI per processor configuration ===\n");
   std::printf("(kernels regenerated in RV32 assembly; shape comparison "

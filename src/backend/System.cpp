@@ -23,6 +23,7 @@ static bool traceOn() {
 using namespace pdl;
 using namespace pdl::ast;
 using namespace pdl::backend;
+using obs::StallCause;
 
 namespace {
 
@@ -64,10 +65,16 @@ System::System(const CompiledProgram &CP, ElabConfig Cfg)
     auto PI = std::make_unique<PipeInstance>(this->Cfg.EntryDepth,
                                              this->Cfg.SpecCapacity);
     PI->CP = &Pipe;
-    for (const MemDecl &M : Pipe.Decl->Mems)
+    PI->Name = Name;
+    for (const MemDecl &M : Pipe.Decl->Mems) {
       PI->Mems.emplace(M.Name, std::make_unique<hw::Memory>(
                                    M.Name, M.ElemType.width(), M.AddrWidth,
                                    M.IsSync));
+      PI->MemIdx.emplace(M.Name, PI->MemNames.size());
+      PI->MemNames.push_back(M.Name);
+      PI->MemByIdx.push_back(PI->Mems.at(M.Name).get());
+    }
+    PI->LockByIdx.assign(PI->MemNames.size(), nullptr);
     for (const Stage &S : Pipe.Graph.Stages) {
       for (const StageEdge &E : S.Succs)
         PI->EdgeFifos.emplace(std::make_pair(E.From, E.To),
@@ -86,9 +93,32 @@ System::System(const CompiledProgram &CP, ElabConfig Cfg)
     }
     Pipes.emplace(Name, std::move(PI));
   }
+  for (auto &[Name, PI] : Pipes) {
+    PI->Index = static_cast<unsigned>(PipeSeq.size());
+    PipeSeq.push_back(PI.get());
+    obs::TraceMeta::PipeMeta PM;
+    PM.Name = Name;
+    for (const Stage &S : PI->CP->Graph.Stages)
+      PM.Stages.push_back(S.Name);
+    PM.Mems = PI->MemNames;
+    for (const auto &[Edge, F] : PI->EdgeFifos) {
+      (void)F;
+      PM.Edges.push_back(Edge);
+    }
+    Meta.Pipes.push_back(std::move(PM));
+  }
+  for (obs::TraceSink *S : this->Cfg.Sinks)
+    if (S)
+      attachSink(*S);
 }
 
-System::~System() = default;
+System::~System() { Bus.finish(); }
+
+void System::finishTrace() { Bus.finish(); }
+
+//===----------------------------------------------------------------------===//
+// Handle resolution and accessors
+//===----------------------------------------------------------------------===//
 
 System::PipeInstance &System::pipe(const std::string &Name) {
   auto It = Pipes.find(Name);
@@ -96,28 +126,59 @@ System::PipeInstance &System::pipe(const std::string &Name) {
   return *It->second;
 }
 
-hw::Memory &System::memory(const std::string &Pipe, const std::string &Mem) {
-  auto &P = pipe(Pipe);
-  auto It = P.Mems.find(Mem);
-  assert(It != P.Mems.end() && "unknown memory");
-  return *It->second;
+const System::PipeInstance &System::pipeFor(PipeHandle P) const {
+  assert(P.valid() && P.Idx < PipeSeq.size() && "invalid pipe handle");
+  return *PipeSeq[P.Idx];
 }
 
-hw::HazardLock &System::lock(const std::string &Pipe,
-                             const std::string &Mem) {
-  auto &P = pipe(Pipe);
-  auto It = P.Locks.find(Mem);
-  assert(It != P.Locks.end() && "memory has no lock (or start() not called)");
-  return *It->second;
+PipeHandle System::pipeHandle(const std::string &Pipe) const {
+  auto It = Pipes.find(Pipe);
+  assert(It != Pipes.end() && "unknown pipe");
+  return PipeHandle(It->second->Index);
+}
+
+MemHandle System::memHandle(const std::string &Pipe,
+                            const std::string &Mem) const {
+  return memHandle(pipeHandle(Pipe), Mem);
+}
+
+MemHandle System::memHandle(PipeHandle P, const std::string &Mem) const {
+  const PipeInstance &PI = pipeFor(P);
+  auto It = PI.MemIdx.find(Mem);
+  assert(It != PI.MemIdx.end() && "unknown memory");
+  return MemHandle(P.Idx, It->second);
+}
+
+const std::string &System::pipeName(PipeHandle P) const {
+  return pipeFor(P).Name;
+}
+
+const std::string &System::memName(MemHandle M) const {
+  const PipeInstance &PI = pipeFor(M.pipe());
+  assert(M.Mem < PI.MemNames.size() && "invalid memory handle");
+  return PI.MemNames[M.Mem];
+}
+
+hw::Memory &System::memory(MemHandle M) {
+  const PipeInstance &PI = pipeFor(M.pipe());
+  assert(M.Mem < PI.MemByIdx.size() && "invalid memory handle");
+  return *PI.MemByIdx[M.Mem];
+}
+
+hw::HazardLock &System::lock(MemHandle M) {
+  const PipeInstance &PI = pipeFor(M.pipe());
+  assert(M.Mem < PI.LockByIdx.size() && "invalid memory handle");
+  hw::HazardLock *L = PI.LockByIdx[M.Mem];
+  assert(L && "memory has no lock (or start() not called)");
+  return *L;
 }
 
 void System::bindExtern(const std::string &Name, hw::ExternModule *Module) {
   Externs[Name] = Module;
 }
 
-void System::setHaltOnWrite(const std::string &Pipe, const std::string &Mem,
-                            uint64_t Addr) {
-  HaltWatch = {Pipe, Mem, Addr};
+void System::setHaltOnWrite(MemHandle M, uint64_t Addr) {
+  HaltWatch = {M.Pipe, memName(M), Addr};
 }
 
 void System::elaborateLocks() {
@@ -149,6 +210,7 @@ void System::elaborateLocks() {
         L = std::make_unique<hw::RenameLock>(Mem);
         break;
       }
+      PI->LockByIdx[PI->MemIdx.at(M.Name)] = L.get();
       PI->Locks.emplace(M.Name, std::move(L));
     }
   }
@@ -159,15 +221,15 @@ hw::HazardLock *System::lockFor(PipeInstance &P, const std::string &Mem) {
   return It == P.Locks.end() ? nullptr : It->second.get();
 }
 
-bool System::canAccept(const std::string &PipeName) {
-  PipeInstance &P = pipe(PipeName);
+bool System::canAccept(PipeHandle H) {
+  PipeInstance &P = *PipeSeq[H.index()];
   return P.Entry.size() + pendingEnqCount(P, /*ToEntry=*/true, {}) <
          P.Entry.capacity();
 }
 
-void System::start(const std::string &PipeName, std::vector<Bits> Args) {
+void System::start(PipeHandle H, std::vector<Bits> Args) {
   elaborateLocks();
-  PipeInstance &P = pipe(PipeName);
+  PipeInstance &P = *PipeSeq[H.index()];
   const PipeDecl *Decl = P.CP->Decl;
   assert(Args.size() == Decl->Params.size() && "argument count mismatch");
   Thread T;
@@ -175,22 +237,122 @@ void System::start(const std::string &PipeName, std::vector<Bits> Args) {
   for (unsigned I = 0, N = Args.size(); I != N; ++I)
     T.Vars[Decl->Params[I].Name] = Args[I];
   T.Trace.Args = Args;
+  emitThreadEvent(obs::Event::Kind::ThreadSpawn, P, T.Tid);
   P.Entry.enq(std::move(T));
 }
 
-Bits System::archRead(const std::string &Pipe, const std::string &Mem,
-                      uint64_t Addr) {
-  PipeInstance &P = pipe(Pipe);
-  if (hw::HazardLock *L = lockFor(P, Mem))
+Bits System::archRead(MemHandle M, uint64_t Addr) {
+  PipeInstance &P = *PipeSeq[M.Pipe];
+  if (hw::HazardLock *L = P.LockByIdx[M.Mem])
     return L->archRead(Addr);
-  return P.Mems.at(Mem)->read(Addr);
+  return P.MemByIdx[M.Mem]->read(Addr);
 }
 
-const std::vector<ThreadTrace> &
-System::trace(const std::string &Pipe) const {
-  auto It = Pipes.find(Pipe);
-  assert(It != Pipes.end() && "unknown pipe");
-  return It->second->Retired;
+const std::vector<ThreadTrace> &System::trace(PipeHandle P) const {
+  return pipeFor(P).Retired;
+}
+
+//===----------------------------------------------------------------------===//
+// Observability
+//===----------------------------------------------------------------------===//
+
+void System::FifoTap::onEnq(const Thread &T, size_t Depth) {
+  Sys->Bus.emit(obs::Event::fifo(obs::Event::Kind::FifoEnq,
+                                 Sys->Stats.Cycles, Pipe, From, To, T.Tid,
+                                 Depth));
+}
+
+void System::FifoTap::onDeq(const Thread &T, size_t Depth) {
+  Sys->Bus.emit(obs::Event::fifo(obs::Event::Kind::FifoDeq,
+                                 Sys->Stats.Cycles, Pipe, From, To, T.Tid,
+                                 Depth));
+}
+
+void System::installTaps() {
+  if (TapsInstalled)
+    return;
+  TapsInstalled = true;
+  for (PipeInstance *PI : PipeSeq) {
+    auto MakeTap = [&](uint16_t From, uint16_t To) {
+      auto Tap = std::make_unique<FifoTap>();
+      Tap->Sys = this;
+      Tap->Pipe = static_cast<uint16_t>(PI->Index);
+      Tap->From = From;
+      Tap->To = To;
+      Taps.push_back(std::move(Tap));
+      return Taps.back().get();
+    };
+    PI->Entry.setListener(MakeTap(obs::NoEdge, obs::NoEdge));
+    for (auto &[Edge, F] : PI->EdgeFifos)
+      F.setListener(MakeTap(static_cast<uint16_t>(Edge.first),
+                            static_cast<uint16_t>(Edge.second)));
+    unsigned Idx = PI->Index;
+    PI->Spec.setObserver([this, Idx](hw::SpecId Id, hw::SpecStatus St) {
+      Bus.emit(obs::Event::specResolve(Stats.Cycles,
+                                       static_cast<uint16_t>(Idx), Id,
+                                       St == hw::SpecStatus::Correct));
+    });
+  }
+}
+
+void System::attachSink(obs::TraceSink &S) {
+  installTaps();
+  Bus.attach(&S);
+  S.begin(Meta);
+}
+
+void System::emitThreadEvent(obs::Event::Kind K, PipeInstance &P,
+                             uint64_t Tid) {
+  if (Bus.enabled())
+    Bus.emit(obs::Event::thread(K, Stats.Cycles,
+                                static_cast<uint16_t>(P.Index), Tid));
+}
+
+void System::noteOutcome(PipeInstance &P, const Stage &S, StallCause C,
+                         uint64_t Tid, const std::string *CauseMem) {
+  switch (C) {
+  case StallCause::None:
+    ++Stats.StageFires;
+    ++Stats.ProbeAttempts;
+    break;
+  case StallCause::Idle:
+    break;
+  case StallCause::Kill:
+    ++Stats.StageKills;
+    ++Stats.ProbeAttempts;
+    break;
+  case StallCause::Lock:
+    ++Stats.StallLock;
+    ++Stats.ProbeAttempts;
+    break;
+  case StallCause::Spec:
+    ++Stats.StallSpec;
+    ++Stats.ProbeAttempts;
+    break;
+  case StallCause::Response:
+    ++Stats.StallResponse;
+    ++Stats.ProbeAttempts;
+    break;
+  case StallCause::Backpressure:
+    ++Stats.StallBackpressure;
+    ++Stats.ProbeAttempts;
+    break;
+  }
+  if (Bus.enabled()) {
+    uint16_t Mem = obs::NoMem;
+    if (C == StallCause::Lock && CauseMem) {
+      auto It = P.MemIdx.find(*CauseMem);
+      if (It != P.MemIdx.end())
+        Mem = static_cast<uint16_t>(It->second);
+    }
+    Bus.emit(obs::Event::stageOutcome(Stats.Cycles,
+                                      static_cast<uint16_t>(P.Index),
+                                      static_cast<uint16_t>(S.Id), C, Tid,
+                                      Mem));
+  }
+  if (traceOn() && C != StallCause::Idle)
+    std::fprintf(stderr, "  %s %s/%s tid=%llu\n", obs::stallCauseName(C),
+                 P.Name.c_str(), S.Name.c_str(), (unsigned long long)Tid);
 }
 
 //===----------------------------------------------------------------------===//
@@ -318,6 +480,14 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
   EvalHooks H = hooksFor(P, T, Ctx);
   auto Eval = [&](const Expr &E) { return evalExpr(E, Ctx.Vars, *CP.AST, H); };
 
+  // Records the stall cause for the probe pass's outcome attribution (one
+  // cause per stall; the first failing op wins since the walk stops).
+  auto Stall = [&](StallCause C, const std::string *Mem = nullptr) {
+    Ctx.Cause = C;
+    Ctx.CauseMem = Mem;
+    return FireResult::Stall;
+  };
+
   // Resolves a lock operand to its reservation key, trying the exact mode
   // first, then the others (mode-less block/release).
   auto ResolveKey = [&](const std::string &Mem, const std::string &Text,
@@ -359,14 +529,10 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       std::string Key = resKey(L->mem(), Text, M);
       if (!Commit) {
         hw::LockProbe &Probe = Ctx.Probes[Lock];
-        if (!Lock->canReserveP(Probe, Addr, M)) {
-          ++Stats.StallLock;
-          return FireResult::Stall;
-        }
-        if (L->op() == LockOp::Acquire && !Lock->readyNowP(Probe, Addr, M)) {
-          ++Stats.StallLock;
-          return FireResult::Stall;
-        }
+        if (!Lock->canReserveP(Probe, Addr, M))
+          return Stall(StallCause::Lock, &L->mem());
+        if (L->op() == LockOp::Acquire && !Lock->readyNowP(Probe, Addr, M))
+          return Stall(StallCause::Lock, &L->mem());
         Ctx.ProbeReserved[Key] = {Lock, Addr, M};
         Probe.Reserved.emplace_back(Addr, M);
         return FireResult::Fire;
@@ -374,6 +540,13 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       hw::ResId R = Lock->reserve(Addr, M);
       T.Res[Key] = R;
       T.ResInfo[R] = {L->mem(), Key, Addr, M, false, 0};
+      if (Bus.enabled())
+        Bus.emit(obs::Event::lock(obs::Event::Kind::LockReserve,
+                                  Stats.Cycles,
+                                  static_cast<uint16_t>(P.Index),
+                                  static_cast<uint16_t>(
+                                      P.MemIdx.at(L->mem())),
+                                  T.Tid, Addr));
       return FireResult::Fire;
     }
     case LockOp::Block: {
@@ -399,10 +572,8 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
           }
           Ready = Lock->readyNowP(Minus, std::get<1>(PR), std::get<2>(PR));
         }
-        if (!Ready) {
-          ++Stats.StallLock;
-          return FireResult::Stall;
-        }
+        if (!Ready)
+          return Stall(StallCause::Lock, &L->mem());
       }
       return FireResult::Fire;
     }
@@ -434,6 +605,13 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       hw::ResId R = It->second;
       ResRec Rec = T.ResInfo.at(R);
       Lock->release(R);
+      if (Bus.enabled())
+        Bus.emit(obs::Event::lock(obs::Event::Kind::LockRelease,
+                                  Stats.Cycles,
+                                  static_cast<uint16_t>(P.Index),
+                                  static_cast<uint16_t>(
+                                      P.MemIdx.at(Rec.Mem)),
+                                  T.Tid, Rec.Addr));
       if (Rec.Mode != hw::Access::Read && Rec.Written)
         recordCommit(P, Rec.Mem, Rec.Addr, Rec.WrittenVal, T);
       T.Res.erase(It);
@@ -517,15 +695,11 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
     PipeInstance &Callee = pipe(C->pipe());
 
     if (!Commit) {
-      if (C->isSpec() && !P.Spec.canAlloc()) {
-        ++Stats.StallSpec;
-        return FireResult::Stall;
-      }
+      if (C->isSpec() && !P.Spec.canAlloc())
+        return Stall(StallCause::Spec);
       unsigned Pending = pendingEnqCount(Callee, /*ToEntry=*/true, {});
-      if (Callee.Entry.size() + Pending >= Callee.Entry.capacity()) {
-        ++Stats.StallBackpressure;
-        return FireResult::Stall;
-      }
+      if (Callee.Entry.size() + Pending >= Callee.Entry.capacity())
+        return Stall(StallCause::Backpressure);
       for (const ExprPtr &A : C->args())
         Eval(*A);
       return FireResult::Fire;
@@ -553,6 +727,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       Child.CallerVar = C->resultName();
       ++T.PendingResp;
     }
+    emitThreadEvent(obs::Event::Kind::ThreadSpawn, Callee, Child.Tid);
     PendingEnqs.push_back({&Callee, /*ToEntry=*/true, {}, std::move(Child)});
     return FireResult::Fire;
   }
@@ -579,8 +754,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
     if (St == hw::SpecStatus::Mispredicted)
       return FireResult::Kill;
     if (St == hw::SpecStatus::Pending)
-      return C->isBlocking() ? (++Stats.StallSpec, FireResult::Stall)
-                             : FireResult::Fire;
+      return C->isBlocking() ? Stall(StallCause::Spec) : FireResult::Fire;
     // Correct: the thread learns it is non-speculative; free the entry.
     if (Commit) {
       P.Spec.free(T.MySpec);
@@ -594,10 +768,8 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
     if (!Commit) {
       // A mispredict respawns a corrected thread: require entry space.
       unsigned Pending = pendingEnqCount(P, /*ToEntry=*/true, {});
-      if (P.Entry.size() + Pending >= P.Entry.capacity()) {
-        ++Stats.StallBackpressure;
-        return FireResult::Stall;
-      }
+      if (P.Entry.size() + Pending >= P.Entry.capacity())
+        return Stall(StallCause::Backpressure);
       Eval(*V->actual());
       return FireResult::Fire;
     }
@@ -617,6 +789,10 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       for (auto &[Mem, Ck] : T.Ckpts) {
         lockFor(P, Mem)->rollback(Ck);
         lockFor(P, Mem)->commitCheckpoint(Ck);
+        if (Bus.enabled())
+          Bus.emit(obs::Event::specRollback(
+              Stats.Cycles, static_cast<uint16_t>(P.Index),
+              static_cast<uint16_t>(P.MemIdx.at(Mem)), T.Tid));
       }
       T.Ckpts.clear();
       // Respawn the corrected, non-speculative thread.
@@ -624,6 +800,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       Child.Tid = NextTid++;
       Child.Vars[P.CP->Decl->Params[0].Name] = Actual;
       Child.Trace.Args = {Actual};
+      emitThreadEvent(obs::Event::Kind::ThreadSpawn, P, Child.Tid);
       PendingEnqs.push_back({&P, /*ToEntry=*/true, {}, std::move(Child)});
     }
     if (const ExternCallExpr *U = V->predictorUpdate()) {
@@ -640,15 +817,11 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
   case Stmt::Kind::Update: {
     const auto *U = cast<UpdateStmt>(&S);
     if (!Commit) {
-      if (!P.Spec.canAlloc()) {
-        ++Stats.StallSpec;
-        return FireResult::Stall;
-      }
+      if (!P.Spec.canAlloc())
+        return Stall(StallCause::Spec);
       unsigned Pending = pendingEnqCount(P, /*ToEntry=*/true, {});
-      if (P.Entry.size() + Pending >= P.Entry.capacity()) {
-        ++Stats.StallBackpressure;
-        return FireResult::Stall;
-      }
+      if (P.Entry.size() + Pending >= P.Entry.capacity())
+        return Stall(StallCause::Backpressure);
       Eval(*U->newPred());
       return FireResult::Fire;
     }
@@ -661,13 +834,19 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
     HIt->second = *NewSid;
     // Undo the old child's speculative lock state but keep the
     // checkpoints alive for the re-steered child.
-    for (auto &[Mem, Ck] : T.Ckpts)
+    for (auto &[Mem, Ck] : T.Ckpts) {
       lockFor(P, Mem)->rollback(Ck);
+      if (Bus.enabled())
+        Bus.emit(obs::Event::specRollback(
+            Stats.Cycles, static_cast<uint16_t>(P.Index),
+            static_cast<uint16_t>(P.MemIdx.at(Mem)), T.Tid));
+    }
     Thread Child;
     Child.Tid = NextTid++;
     Child.MySpec = *NewSid;
     Child.Vars[P.CP->Decl->Params[0].Name] = NewPred;
     Child.Trace.Args = {NewPred};
+    emitThreadEvent(obs::Event::Kind::ThreadSpawn, P, Child.Tid);
     PendingEnqs.push_back({&P, /*ToEntry=*/true, {}, std::move(Child)});
     return FireResult::Fire;
   }
@@ -694,13 +873,14 @@ System::FireResult System::walkStage(PipeInstance &P, const Stage &S,
 void System::recordCommit(PipeInstance &P, const std::string &Mem,
                           uint64_t Addr, uint64_t Val, Thread &T) {
   T.Trace.Writes.emplace_back(Mem, Addr, Val);
-  if (HaltWatch && std::get<0>(*HaltWatch) == P.CP->Decl->Name &&
+  if (HaltWatch && std::get<0>(*HaltWatch) == P.Index &&
       std::get<1>(*HaltWatch) == Mem && std::get<2>(*HaltWatch) == Addr)
     Halted = true;
 }
 
 void System::killThread(PipeInstance &P, Thread &&T) {
   ++Stats.Killed[P.CP->Decl->Name];
+  emitThreadEvent(obs::Event::Kind::ThreadSquash, P, T.Tid);
   for (LockRegion &Reg : P.Regions)
     if (Reg.OccupantTid == T.Tid)
       Reg.OccupantTid.reset();
@@ -723,6 +903,7 @@ void System::retireThread(PipeInstance &P, Thread &&T) {
   assert(T.PendingResp == 0 && "thread retired with outstanding responses");
   assert(T.Handles.empty() && "thread retired with unresolved speculation");
   ++Stats.Retired[P.CP->Decl->Name];
+  emitThreadEvent(obs::Event::Kind::ThreadRetire, P, T.Tid);
   P.Retired.push_back(std::move(T.Trace));
 }
 
@@ -740,11 +921,13 @@ System::Thread System::dequeueInput(PipeInstance &P, const Stage &S,
 void System::tryFireStage(PipeInstance &P, const Stage &S) {
   unsigned PredIdx = 0;
   Thread *T = stageInput(P, S, PredIdx);
-  if (!T)
+  if (!T) {
+    noteOutcome(P, S, StallCause::Idle, 0, nullptr);
     return;
+  }
 
   if (T->PendingResp > 0) {
-    ++Stats.StallResponse;
+    noteOutcome(P, S, StallCause::Response, T->Tid, nullptr);
     return;
   }
 
@@ -752,7 +935,7 @@ void System::tryFireStage(PipeInstance &P, const Stage &S) {
   // reservation region while another thread occupies it.
   for (const LockRegion &Reg : P.Regions) {
     if (S.Id == Reg.First && Reg.OccupantTid && *Reg.OccupantTid != T->Tid) {
-      ++Stats.StallLock;
+      noteOutcome(P, S, StallCause::Lock, T->Tid, &Reg.Mem);
       return;
     }
   }
@@ -763,14 +946,13 @@ void System::tryFireStage(PipeInstance &P, const Stage &S) {
   Probe.Vars = T->Vars;
   FireResult R = walkStage(P, S, *T, Probe);
   if (R == FireResult::Stall) {
-    if (traceOn())
-      std::fprintf(stderr, "  stall %s/%s tid=%llu (lock/spec/resp)\n",
-                   P.CP->Decl->Name.c_str(), S.Name.c_str(),
-                   (unsigned long long)T->Tid);
+    assert(Probe.Cause != StallCause::None && "stall without a cause");
+    noteOutcome(P, S, Probe.Cause, T->Tid, Probe.CauseMem);
     return;
   }
 
   if (R == FireResult::Kill) {
+    noteOutcome(P, S, StallCause::Kill, T->Tid, nullptr);
     Thread Dead = dequeueInput(P, S, PredIdx);
     killThread(P, std::move(Dead));
     return;
@@ -782,11 +964,7 @@ void System::tryFireStage(PipeInstance &P, const Stage &S) {
     auto Key = std::make_pair(Succ->From, Succ->To);
     auto &F = P.EdgeFifos.at(Key);
     if (F.size() + pendingEnqCount(P, false, Key) >= F.capacity()) {
-      ++Stats.StallBackpressure;
-      if (traceOn())
-        std::fprintf(stderr, "  bp %s/%s tid=%llu edge %u->%u\n",
-                     P.CP->Decl->Name.c_str(), S.Name.c_str(),
-                     (unsigned long long)T->Tid, Succ->From, Succ->To);
+      noteOutcome(P, S, StallCause::Backpressure, T->Tid, nullptr);
       return;
     }
   }
@@ -799,7 +977,7 @@ void System::tryFireStage(PipeInstance &P, const Stage &S) {
       if (PT.P == &P && PT.Join == J.Id)
         ++Pending;
     if (Q.size() + Pending >= Cfg.TagDepth) {
-      ++Stats.StallBackpressure;
+      noteOutcome(P, S, StallCause::Backpressure, T->Tid, nullptr);
       return;
     }
   }
@@ -842,12 +1020,8 @@ void System::tryFireStage(PipeInstance &P, const Stage &S) {
       Reg.OccupantTid.reset();
   }
 
-  ++Stats.StageFires;
+  noteOutcome(P, S, StallCause::None, Live.Tid, nullptr);
   FiredThisCycle = true;
-  if (traceOn())
-    std::fprintf(stderr, "  fire %s/%s tid=%llu\n",
-                 P.CP->Decl->Name.c_str(), S.Name.c_str(),
-                 (unsigned long long)Live.Tid);
 
   if (Succ) {
     PendingEnqs.push_back(
@@ -902,15 +1076,26 @@ void System::applyEndOfCycle() {
     It = Deliveries.erase(It);
     FiredThisCycle = true;
   }
+
+  // Attribution exactness: every probe attempt (a stage with an input
+  // thread) resolved to exactly one of fire / kill / a typed stall cause.
+  // Keeping this exact is what makes the per-stage matrix rows sum to
+  // (cycles - fires); it must stay balanced as stall causes are added.
+  assert(Stats.StallLock + Stats.StallSpec + Stats.StallResponse +
+                 Stats.StallBackpressure ==
+             Stats.ProbeAttempts - Stats.StageFires - Stats.StageKills &&
+         "per-cause stall counters out of sync with probe attempts");
 }
 
 void System::cycle() {
   assert(LocksBuilt && "call start() before cycling");
   FiredThisCycle = false;
+  if (Bus.enabled())
+    Bus.emit(obs::Event::cycleBegin(Stats.Cycles));
   if (traceOn())
     std::fprintf(stderr, "-- cycle %llu --\n",
                  (unsigned long long)Stats.Cycles);
-  for (auto &[Name, PI] : Pipes) {
+  for (PipeInstance *PI : PipeSeq) {
     const StageGraph &G = PI->CP->Graph;
     for (unsigned Id = G.Stages.size(); Id-- > 0;)
       tryFireStage(*PI, G.Stages[Id]);
@@ -930,7 +1115,7 @@ uint64_t System::run(uint64_t MaxCycles) {
     }
     // Nothing fired: either the system drained or it deadlocked.
     bool InFlight = !Deliveries.empty() || !PendingEnqs.empty();
-    for (auto &[Name, PI] : Pipes) {
+    for (PipeInstance *PI : PipeSeq) {
       if (!PI->Entry.empty())
         InFlight = true;
       for (auto &[K, F] : PI->EdgeFifos)
@@ -941,6 +1126,8 @@ uint64_t System::run(uint64_t MaxCycles) {
       break; // drained
     if (++IdleStreak > 8) {
       Stats.Deadlocked = true;
+      if (Bus.enabled())
+        Bus.emit(obs::Event::deadlock(Stats.Cycles));
       break;
     }
   }

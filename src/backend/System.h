@@ -27,6 +27,14 @@
 ///  * misspeculated threads are squashed at stage entry and speculative
 ///    lock state is rolled back to the parent's checkpoint (Section 2.5).
 ///
+/// Observability: every stage outcome (fire or a typed StallCause), thread
+/// lifecycle step, FIFO move, lock reserve/release and speculation
+/// resolution is emitted as a structured obs::Event to attached
+/// obs::TraceSinks. With no sink attached emission is a single predictable
+/// branch per site. Pipes and memories are addressed by interned
+/// PipeHandle/MemHandle resolved once at elaboration; the string-keyed
+/// accessors are retained as thin shims.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PDL_BACKEND_SYSTEM_H
@@ -38,6 +46,7 @@
 #include "hw/Fifo.h"
 #include "hw/Lock.h"
 #include "hw/SpecTable.h"
+#include "obs/TraceSink.h"
 #include "passes/Compiler.h"
 
 #include <deque>
@@ -51,8 +60,46 @@ namespace backend {
 
 enum class LockKind { Queue, Bypass, Rename };
 
+class System;
+
+/// An interned reference to an elaborated pipe: resolved from its name
+/// once, then O(1) to use. Obtained from System::pipeHandle().
+class PipeHandle {
+public:
+  PipeHandle() = default;
+  bool valid() const { return Idx != ~0u; }
+  unsigned index() const { return Idx; }
+  bool operator==(const PipeHandle &O) const { return Idx == O.Idx; }
+
+private:
+  friend class System;
+  friend class MemHandle;
+  explicit PipeHandle(unsigned Idx) : Idx(Idx) {}
+  unsigned Idx = ~0u;
+};
+
+/// An interned reference to one memory of one pipe. Obtained from
+/// System::memHandle().
+class MemHandle {
+public:
+  MemHandle() = default;
+  bool valid() const { return Pipe != ~0u; }
+  PipeHandle pipe() const { return PipeHandle(Pipe); }
+  unsigned index() const { return Mem; }
+  bool operator==(const MemHandle &O) const {
+    return Pipe == O.Pipe && Mem == O.Mem;
+  }
+
+private:
+  friend class System;
+  MemHandle(unsigned Pipe, unsigned Mem) : Pipe(Pipe), Mem(Mem) {}
+  unsigned Pipe = ~0u;
+  unsigned Mem = ~0u;
+};
+
 /// Elaboration parameters (the microarchitectural knobs outside the PDL
-/// source: lock implementation choice, FIFO depths, table sizes).
+/// source: lock implementation choice, FIFO depths, table sizes) plus the
+/// observability knobs.
 struct ElabConfig {
   /// Lock implementation per "pipe.mem"; memories not listed get Default.
   std::map<std::string, LockKind> LockChoice;
@@ -64,13 +111,26 @@ struct ElabConfig {
   /// Response latency (cycles) per synchronous "pipe.mem"; default 1
   /// (every access is a cache hit, as in the paper's evaluation).
   std::map<std::string, unsigned> MemLatency;
+  /// Trace sinks attached at construction (equivalent to calling
+  /// attachSink() on each). Caller-owned; must outlive the System.
+  std::vector<obs::TraceSink *> Sinks;
 };
 
+/// Cheap always-on global counters. Retained for compatibility and for the
+/// executor's internal attribution invariant; the structured per-pipe /
+/// per-stage / per-cause view is obs::StatsReport, produced by an attached
+/// obs::CounterSink.
 struct SystemStats {
   uint64_t Cycles = 0;
   std::map<std::string, uint64_t> Retired; // per pipe
   std::map<std::string, uint64_t> Killed;  // squashed threads per pipe
   uint64_t StageFires = 0;
+  /// Stage probes that had an input thread (fires + kills + stalls). The
+  /// per-cause stall counters below must sum to
+  /// ProbeAttempts - StageFires - StageKills every cycle; applyEndOfCycle
+  /// asserts it so attribution stays exact as causes are added.
+  uint64_t ProbeAttempts = 0;
+  uint64_t StageKills = 0;    // input thread squashed at stage entry
   uint64_t StallLock = 0;     // block()/reserve resources
   uint64_t StallSpec = 0;     // spec_barrier / spec-table capacity
   uint64_t StallResponse = 0; // outstanding synchronous responses
@@ -84,23 +144,72 @@ public:
   System(const CompiledProgram &CP, ElabConfig Cfg);
   ~System();
 
+  //===--------------------------------------------------------------------===//
+  // Interned-handle API (primary): resolve names once at elaboration.
+  //===--------------------------------------------------------------------===//
+
+  /// Resolves a pipe name. Asserts the pipe exists.
+  PipeHandle pipeHandle(const std::string &Pipe) const;
+
+  /// Resolves one memory of a pipe. Asserts both exist.
+  MemHandle memHandle(const std::string &Pipe, const std::string &Mem) const;
+  MemHandle memHandle(PipeHandle P, const std::string &Mem) const;
+
+  const std::string &pipeName(PipeHandle P) const;
+  const std::string &memName(MemHandle M) const;
+
   /// Storage access (load programs before calling start()).
-  hw::Memory &memory(const std::string &Pipe, const std::string &Mem);
+  hw::Memory &memory(MemHandle M);
 
   /// The lock instance guarding a memory (valid after start()).
-  hw::HazardLock &lock(const std::string &Pipe, const std::string &Mem);
-
-  void bindExtern(const std::string &Name, hw::ExternModule *Module);
+  hw::HazardLock &lock(MemHandle M);
 
   /// Stops the simulation when a committed write hits this location.
+  void setHaltOnWrite(MemHandle M, uint64_t Addr);
+
+  /// True when \p P's entry queue can accept another start() request.
+  bool canAccept(PipeHandle P);
+
+  /// Spawns the initial thread of \p P (elaborates locks on first use).
+  void start(PipeHandle P, std::vector<Bits> Args);
+
+  /// Committed (retired) thread traces of \p P, oldest first.
+  const std::vector<ThreadTrace> &trace(PipeHandle P) const;
+
+  /// Reads committed architectural state through the lock (if any).
+  Bits archRead(MemHandle M, uint64_t Addr);
+
+  //===--------------------------------------------------------------------===//
+  // String-keyed shims (deprecated): resolve the handle per call and
+  // delegate. Kept so existing tests/benches keep compiling; new code
+  // should intern handles once.
+  //===--------------------------------------------------------------------===//
+
+  hw::Memory &memory(const std::string &Pipe, const std::string &Mem) {
+    return memory(memHandle(Pipe, Mem));
+  }
+  hw::HazardLock &lock(const std::string &Pipe, const std::string &Mem) {
+    return lock(memHandle(Pipe, Mem));
+  }
   void setHaltOnWrite(const std::string &Pipe, const std::string &Mem,
-                      uint64_t Addr);
+                      uint64_t Addr) {
+    setHaltOnWrite(memHandle(Pipe, Mem), Addr);
+  }
+  bool canAccept(const std::string &Pipe) {
+    return canAccept(pipeHandle(Pipe));
+  }
+  void start(const std::string &Pipe, std::vector<Bits> Args) {
+    start(pipeHandle(Pipe), std::move(Args));
+  }
+  const std::vector<ThreadTrace> &trace(const std::string &Pipe) const {
+    return trace(pipeHandle(Pipe));
+  }
+  Bits archRead(const std::string &Pipe, const std::string &Mem,
+                uint64_t Addr) {
+    return archRead(memHandle(Pipe, Mem), Addr);
+  }
 
-  /// True when \p Pipe's entry queue can accept another start() request.
-  bool canAccept(const std::string &Pipe);
-
-  /// Spawns the initial thread of \p Pipe (elaborates locks on first use).
-  void start(const std::string &Pipe, std::vector<Bits> Args);
+  void bindExtern(const std::string &Name, hw::ExternModule *Module);
 
   /// Advances one clock cycle.
   void cycle();
@@ -111,12 +220,20 @@ public:
   bool halted() const { return Halted; }
   const SystemStats &stats() const { return Stats; }
 
-  /// Committed (retired) thread traces of \p Pipe, oldest first.
-  const std::vector<ThreadTrace> &trace(const std::string &Pipe) const;
+  //===--------------------------------------------------------------------===//
+  // Observability
+  //===--------------------------------------------------------------------===//
 
-  /// Reads committed architectural state through the lock (if any).
-  Bits archRead(const std::string &Pipe, const std::string &Mem,
-                uint64_t Addr);
+  /// The interning table events are expressed against.
+  const obs::TraceMeta &traceMeta() const { return Meta; }
+
+  /// Attaches \p S for the rest of this System's life: it receives
+  /// begin(traceMeta()) now and every subsequent event. Caller-owned; must
+  /// outlive the System (or outlive finishTrace()).
+  void attachSink(obs::TraceSink &S);
+
+  /// Delivers end() to attached sinks (idempotent; also run by ~System).
+  void finishTrace();
 
 private:
   struct ResRec {
@@ -164,17 +281,34 @@ private:
 
   struct PipeInstance {
     const CompiledPipe *CP = nullptr;
+    std::string Name;
+    unsigned Index = 0; // position in PipeSeq == PipeHandle::index()
     std::vector<LockRegion> Regions;
     hw::Fifo<Thread> Entry;
     std::map<std::pair<unsigned, unsigned>, hw::Fifo<Thread>> EdgeFifos;
     std::map<unsigned, std::deque<TagTok>> TagQueues; // join id -> tags
     std::map<std::string, std::unique_ptr<hw::Memory>> Mems;
     std::map<std::string, std::unique_ptr<hw::HazardLock>> Locks;
+    /// Interning tables for the handle API and event emission.
+    std::vector<std::string> MemNames;       // by interned index
+    std::map<std::string, unsigned> MemIdx;  // name -> interned index
+    std::vector<hw::Memory *> MemByIdx;      // by interned index
+    std::vector<hw::HazardLock *> LockByIdx; // by interned index (or null)
     hw::SpecTable Spec;
     std::vector<ThreadTrace> Retired;
 
     PipeInstance(unsigned EntryDepth, unsigned SpecCap)
         : Entry(EntryDepth), Spec(SpecCap) {}
+  };
+
+  /// Forwards one FIFO's enq/deq activity to the trace bus (installed only
+  /// once a sink is attached).
+  struct FifoTap : hw::Fifo<Thread>::Listener {
+    System *Sys = nullptr;
+    uint16_t Pipe = 0;
+    uint16_t From = obs::NoEdge, To = obs::NoEdge;
+    void onEnq(const Thread &T, size_t Depth) override;
+    void onDeq(const Thread &T, size_t Depth) override;
   };
 
   enum class WalkMode { Probe, Commit };
@@ -183,6 +317,10 @@ private:
   struct WalkCtx {
     WalkMode Mode;
     Env Vars; // working environment
+    /// Probe pass only: why the stage stalled (set exactly when an op
+    /// returns Stall) and, for lock stalls, the memory responsible.
+    obs::StallCause Cause = obs::StallCause::None;
+    const std::string *CauseMem = nullptr;
     /// Probe pass only: reservation keys created earlier in this stage,
     /// with their lock/address/mode, and per-lock probe state (same-stage
     /// releases and reserves) for stall computation.
@@ -192,6 +330,7 @@ private:
   };
 
   PipeInstance &pipe(const std::string &Name);
+  const PipeInstance &pipeFor(PipeHandle P) const;
   void elaborateLocks();
   hw::HazardLock *lockFor(PipeInstance &P, const std::string &Mem);
 
@@ -213,10 +352,20 @@ private:
                                  const Env &Vars);
 
   void tryFireStage(PipeInstance &P, const Stage &S);
+
+  /// Books the single per-stage per-cycle outcome: updates the legacy
+  /// counters and, when tracing, emits the StageOutcome event. \p CauseMem
+  /// names the memory responsible for a Lock stall (may be null).
+  void noteOutcome(PipeInstance &P, const Stage &S, obs::StallCause C,
+                   uint64_t Tid, const std::string *CauseMem);
+
   void killThread(PipeInstance &P, Thread &&T);
   void retireThread(PipeInstance &P, Thread &&T);
   void recordCommit(PipeInstance &P, const std::string &Mem, uint64_t Addr,
                     uint64_t Val, Thread &T);
+
+  void emitThreadEvent(obs::Event::Kind K, PipeInstance &P, uint64_t Tid);
+  void installTaps();
 
   EvalHooks hooksFor(PipeInstance &P, Thread &T, WalkCtx &Ctx);
 
@@ -249,12 +398,17 @@ private:
   const CompiledProgram &CP;
   ElabConfig Cfg;
   std::map<std::string, std::unique_ptr<PipeInstance>> Pipes;
+  std::vector<PipeInstance *> PipeSeq; // by PipeHandle index (map order)
   std::map<std::string, hw::ExternModule *> Externs;
   std::vector<PendingEnq> PendingEnqs;
   std::vector<PendingTag> PendingTags;
   std::deque<Delivery> Deliveries;
-  std::optional<std::tuple<std::string, std::string, uint64_t>> HaltWatch;
+  std::optional<std::tuple<unsigned, std::string, uint64_t>> HaltWatch;
   SystemStats Stats;
+  obs::TraceBus Bus;
+  obs::TraceMeta Meta;
+  std::vector<std::unique_ptr<FifoTap>> Taps;
+  bool TapsInstalled = false;
   bool Halted = false;
   bool LocksBuilt = false;
   uint64_t NextTid = 1;

@@ -75,6 +75,9 @@ Core::Core(CoreKind Kind, PredictorKind Predictor) : Kind(Kind) {
   }
   Cfg.LockChoice["cpu.dmem"] = LockKind::Queue;
   Sys = std::make_unique<backend::System>(*Program, Cfg);
+  Cpu = Sys->pipeHandle("cpu");
+  Imem = Sys->memHandle(Cpu, "imem");
+  Dmem = Sys->memHandle(Cpu, "dmem");
 
   if (Kind == CoreKind::Pdl5StageBht) {
     if (Predictor == PredictorKind::Gshare)
@@ -83,23 +86,23 @@ Core::Core(CoreKind Kind, PredictorKind Predictor) : Kind(Kind) {
       this->Predictor = std::make_unique<hw::Bht>(/*IndexBits=*/8);
     Sys->bindExtern("bht", this->Predictor.get());
   }
-  Sys->setHaltOnWrite("cpu", "dmem", HaltByteAddr >> 2);
+  Sys->setHaltOnWrite(Dmem, HaltByteAddr >> 2);
 }
 
 void Core::loadProgram(const std::vector<uint32_t> &Words) {
-  hw::Memory &Imem = Sys->memory("cpu", "imem");
+  hw::Memory &Mem = Sys->memory(Imem);
   for (size_t I = 0; I != Words.size(); ++I)
-    Imem.write(I, Bits(Words[I], 32));
+    Mem.write(I, Bits(Words[I], 32));
   ProgramWords = Words;
 }
 
 void Core::storeData(uint32_t WordAddr, uint32_t Value) {
-  Sys->memory("cpu", "dmem").write(WordAddr, Bits(Value, 32));
+  Sys->memory(Dmem).write(WordAddr, Bits(Value, 32));
   DataInit.emplace_back(WordAddr, Value);
 }
 
 Core::RunResult Core::run(uint64_t MaxCycles, bool CheckGolden) {
-  Sys->start("cpu", {Bits(0, 32)});
+  Sys->start(Cpu, {Bits(0, 32)});
   Sys->run(MaxCycles);
 
   RunResult R;
@@ -121,7 +124,7 @@ Core::RunResult Core::run(uint64_t MaxCycles, bool CheckGolden) {
   std::vector<riscv::CommitRecord> Log;
   Golden.run(R.Instrs + 16, &Log);
 
-  const auto &Trace = Sys->trace("cpu");
+  const auto &Trace = Sys->trace(Cpu);
   size_t N = std::min(Trace.size(), Log.size());
   for (size_t I = 0; I != N && R.TraceMatches; ++I) {
     const backend::ThreadTrace &T = Trace[I];

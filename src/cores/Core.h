@@ -52,6 +52,12 @@ public:
   const CompiledProgram &program() const { return *Program; }
   backend::System &system() { return *Sys; }
 
+  /// Interned handles, resolved once at construction (the redesigned
+  /// System API); use these instead of the deprecated string lookups.
+  backend::PipeHandle cpu() const { return Cpu; }
+  backend::MemHandle imem() const { return Imem; }
+  backend::MemHandle dmem() const { return Dmem; }
+
   /// Loads \p Words at byte address 0 of instruction memory.
   void loadProgram(const std::vector<uint32_t> &Words);
   void storeData(uint32_t WordAddr, uint32_t Value);
@@ -76,6 +82,8 @@ private:
   CoreKind Kind;
   std::unique_ptr<CompiledProgram> Program;
   std::unique_ptr<backend::System> Sys;
+  backend::PipeHandle Cpu;
+  backend::MemHandle Imem, Dmem;
   std::unique_ptr<hw::ExternModule> Predictor;
   std::vector<uint32_t> ProgramWords;
   std::vector<std::pair<uint32_t, uint32_t>> DataInit;

@@ -23,9 +23,21 @@ namespace hw {
 
 template <typename T> class Fifo {
 public:
+  /// Observability hook: notified after every enqueue/dequeue with the item
+  /// and the resulting depth. Null (the default) costs one branch per
+  /// operation. The executor installs adapters that forward to the trace
+  /// bus; see src/obs.
+  struct Listener {
+    virtual ~Listener() = default;
+    virtual void onEnq(const T &Item, size_t Depth) = 0;
+    virtual void onDeq(const T &Item, size_t Depth) = 0;
+  };
+
   explicit Fifo(unsigned Capacity = 2) : Capacity(Capacity) {
     assert(Capacity >= 1 && "FIFO capacity must be positive");
   }
+
+  void setListener(Listener *NewListener) { L = NewListener; }
 
   bool canEnq() const { return Items.size() < Capacity; }
   bool empty() const { return Items.empty(); }
@@ -35,6 +47,8 @@ public:
   void enq(T Item) {
     assert(canEnq() && "FIFO overflow");
     Items.push_back(std::move(Item));
+    if (L)
+      L->onEnq(Items.back(), Items.size());
   }
 
   T &front() {
@@ -50,6 +64,8 @@ public:
     assert(!empty() && "dequeue of an empty FIFO");
     T Item = std::move(Items.front());
     Items.pop_front();
+    if (L)
+      L->onDeq(Item, Items.size());
     return Item;
   }
 
@@ -69,6 +85,7 @@ public:
 private:
   unsigned Capacity;
   std::deque<T> Items;
+  Listener *L = nullptr;
 };
 
 } // namespace hw

@@ -20,8 +20,11 @@ SpecId SpecTable::alloc(Bits Prediction) {
 
 void SpecTable::cascadeMispredict(SpecId From) {
   for (auto &[Id, E] : Entries)
-    if (Id >= From)
+    if (Id >= From && E.St != SpecStatus::Mispredicted) {
       E.St = SpecStatus::Mispredicted;
+      if (Obs)
+        Obs(Id, SpecStatus::Mispredicted);
+    }
 }
 
 bool SpecTable::verify(SpecId Id, Bits Actual) {
@@ -29,6 +32,8 @@ bool SpecTable::verify(SpecId Id, Bits Actual) {
   assert(It != Entries.end() && "verify of an unknown speculation");
   if (It->second.Prediction == Actual) {
     It->second.St = SpecStatus::Correct;
+    if (Obs)
+      Obs(Id, SpecStatus::Correct);
     return true;
   }
   cascadeMispredict(Id);

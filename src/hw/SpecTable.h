@@ -21,6 +21,7 @@
 #include "support/Bits.h"
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 
@@ -33,7 +34,14 @@ using SpecId = uint64_t;
 
 class SpecTable {
 public:
+  /// Observability hook: called whenever an entry's status resolves away
+  /// from Pending — once per entry, including entries mispredicted by
+  /// cascade. Null by default; the executor wires it to the trace bus.
+  using Observer = std::function<void(SpecId, SpecStatus)>;
+
   explicit SpecTable(unsigned Capacity = 8) : Capacity(Capacity) {}
+
+  void setObserver(Observer O) { Obs = std::move(O); }
 
   bool canAlloc() const { return Entries.size() < Capacity; }
 
@@ -72,6 +80,7 @@ private:
   unsigned Capacity;
   std::map<SpecId, Entry> Entries; // key order = age order
   SpecId NextId = 1;
+  Observer Obs;
 };
 
 } // namespace hw

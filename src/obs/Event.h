@@ -1,0 +1,172 @@
+//===- Event.h - Structured simulation trace events ------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intermediate event model of the observability layer: everything the
+/// cycle-accurate executor does that costs or explains a cycle is emitted
+/// as one flat `Event` record. Sinks (counters, timelines, VCD) consume the
+/// stream without knowing executor internals, so new tooling composes
+/// against this model rather than against `System`.
+///
+/// Identities are interned: pipes, stages and memories are small indices
+/// into the `TraceMeta` table handed to every sink at `begin()`. Events are
+/// PODs; emission sites construct them with the factory helpers below.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_OBS_EVENT_H
+#define PDL_OBS_EVENT_H
+
+#include <cstdint>
+
+namespace pdl {
+namespace obs {
+
+/// Why a stage did not fire this cycle. `None` means it fired. The causes
+/// mirror the stall conditions of the paper's rule-per-stage circuits
+/// (Section 5.1): lock readiness/resources, unresolved speculation,
+/// outstanding synchronous responses, and full downstream FIFOs — plus
+/// `Idle` (no input thread) and `Kill` (the input was squashed at entry),
+/// so that per stage, fires + every-other-outcome sums to total cycles.
+enum class StallCause : uint8_t {
+  None = 0,     // the stage fired
+  Idle,         // no input thread available
+  Lock,         // block()/acquire not ready, reserve resources, lock region
+  Spec,         // spec_barrier unresolved or spec-table capacity
+  Response,     // outstanding synchronous memory/call response
+  Backpressure, // downstream FIFO / entry queue / tag queue full
+  Kill,         // input thread was squashed at stage entry
+};
+
+/// Number of non-fire outcomes (the columns of the stall attribution
+/// matrix, StallCause::Idle .. StallCause::Kill).
+constexpr unsigned NumMatrixCauses = 6;
+
+/// Matrix column for a non-fire cause (Idle -> 0 .. Kill -> 5).
+inline unsigned matrixIndex(StallCause C) {
+  return static_cast<unsigned>(C) - 1;
+}
+
+const char *stallCauseName(StallCause C);
+
+/// Sentinels for the optional identity fields of Event.
+constexpr uint16_t NoStage = 0xffff;
+constexpr uint16_t NoMem = 0xffff;
+constexpr uint16_t NoEdge = 0xffff; // Event::From for entry-queue events
+
+/// One observation from the executor. Field meaning depends on `K`; unused
+/// fields keep their sentinel/zero defaults.
+struct Event {
+  enum class Kind : uint8_t {
+    CycleBegin,   // Cycle
+    StageOutcome, // Pipe, Stage, Cause, Tid (0 when Idle), Mem (lock stalls)
+    ThreadSpawn,  // Pipe, Tid
+    ThreadRetire, // Pipe, Tid
+    ThreadSquash, // Pipe, Tid
+    FifoEnq,      // Pipe, From/To (From==NoEdge: entry queue), Tid, Value=depth
+    FifoDeq,      // same fields as FifoEnq
+    LockReserve,  // Pipe, Mem, Tid, Value=address
+    LockRelease,  // Pipe, Mem, Tid, Value=address
+    SpecResolve,  // Pipe, Value=spec id, Flag=prediction was correct
+    SpecRollback, // Pipe, Mem, Tid (the verifying thread)
+    Deadlock,     // Cycle (no rule can ever fire again)
+  };
+
+  Kind K = Kind::CycleBegin;
+  uint16_t Pipe = 0;
+  uint16_t Stage = NoStage;
+  uint16_t Mem = NoMem;
+  uint16_t From = NoEdge, To = NoEdge;
+  StallCause Cause = StallCause::None;
+  bool Flag = false;
+  uint64_t Cycle = 0;
+  uint64_t Tid = 0;
+  uint64_t Value = 0;
+
+  static Event cycleBegin(uint64_t Cycle) {
+    Event E;
+    E.K = Kind::CycleBegin;
+    E.Cycle = Cycle;
+    return E;
+  }
+  static Event stageOutcome(uint64_t Cycle, uint16_t Pipe, uint16_t Stage,
+                            StallCause Cause, uint64_t Tid,
+                            uint16_t Mem = NoMem) {
+    Event E;
+    E.K = Kind::StageOutcome;
+    E.Cycle = Cycle;
+    E.Pipe = Pipe;
+    E.Stage = Stage;
+    E.Cause = Cause;
+    E.Tid = Tid;
+    E.Mem = Mem;
+    return E;
+  }
+  static Event thread(Kind K, uint64_t Cycle, uint16_t Pipe, uint64_t Tid) {
+    Event E;
+    E.K = K;
+    E.Cycle = Cycle;
+    E.Pipe = Pipe;
+    E.Tid = Tid;
+    return E;
+  }
+  static Event fifo(Kind K, uint64_t Cycle, uint16_t Pipe, uint16_t From,
+                    uint16_t To, uint64_t Tid, uint64_t Depth) {
+    Event E;
+    E.K = K;
+    E.Cycle = Cycle;
+    E.Pipe = Pipe;
+    E.From = From;
+    E.To = To;
+    E.Tid = Tid;
+    E.Value = Depth;
+    return E;
+  }
+  static Event lock(Kind K, uint64_t Cycle, uint16_t Pipe, uint16_t Mem,
+                    uint64_t Tid, uint64_t Addr) {
+    Event E;
+    E.K = K;
+    E.Cycle = Cycle;
+    E.Pipe = Pipe;
+    E.Mem = Mem;
+    E.Tid = Tid;
+    E.Value = Addr;
+    return E;
+  }
+  static Event specResolve(uint64_t Cycle, uint16_t Pipe, uint64_t SpecId,
+                           bool Correct) {
+    Event E;
+    E.K = Kind::SpecResolve;
+    E.Cycle = Cycle;
+    E.Pipe = Pipe;
+    E.Value = SpecId;
+    E.Flag = Correct;
+    return E;
+  }
+  static Event specRollback(uint64_t Cycle, uint16_t Pipe, uint16_t Mem,
+                            uint64_t Tid) {
+    Event E;
+    E.K = Kind::SpecRollback;
+    E.Cycle = Cycle;
+    E.Pipe = Pipe;
+    E.Mem = Mem;
+    E.Tid = Tid;
+    return E;
+  }
+  static Event deadlock(uint64_t Cycle) {
+    Event E;
+    E.K = Kind::Deadlock;
+    E.Cycle = Cycle;
+    return E;
+  }
+};
+
+const char *eventKindName(Event::Kind K);
+
+} // namespace obs
+} // namespace pdl
+
+#endif // PDL_OBS_EVENT_H

@@ -1,0 +1,446 @@
+//===- Json.cpp - Minimal JSON value, writer and parser ---------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pdl;
+using namespace pdl::obs;
+
+uint64_t Json::asU64() const {
+  switch (K) {
+  case Kind::UInt:
+    return U;
+  case Kind::Int:
+    return static_cast<uint64_t>(I);
+  case Kind::Double:
+    return static_cast<uint64_t>(D);
+  default:
+    return 0;
+  }
+}
+
+int64_t Json::asI64() const {
+  switch (K) {
+  case Kind::UInt:
+    return static_cast<int64_t>(U);
+  case Kind::Int:
+    return I;
+  case Kind::Double:
+    return static_cast<int64_t>(D);
+  default:
+    return 0;
+  }
+}
+
+double Json::asDouble() const {
+  switch (K) {
+  case Kind::UInt:
+    return static_cast<double>(U);
+  case Kind::Int:
+    return static_cast<double>(I);
+  case Kind::Double:
+    return D;
+  default:
+    return 0;
+  }
+}
+
+void Json::set(const std::string &Key, Json V) {
+  for (auto &[K2, V2] : Obj) {
+    if (K2 == Key) {
+      V2 = std::move(V);
+      return;
+    }
+  }
+  Obj.emplace_back(Key, std::move(V));
+}
+
+const Json *Json::get(const std::string &Key) const {
+  for (const auto &[K2, V2] : Obj)
+    if (K2 == Key)
+      return &V2;
+  return nullptr;
+}
+
+bool Json::operator==(const Json &O) const {
+  if (isNumber() && O.isNumber()) {
+    // Integer kinds compare by value so a round-trip through the parser
+    // (which re-derives signedness from the lexeme) stays equal.
+    if (K != Kind::Double && O.K != Kind::Double)
+      return asI64() == O.asI64() && asU64() == O.asU64();
+    return asDouble() == O.asDouble();
+  }
+  if (K != O.K)
+    return false;
+  switch (K) {
+  case Kind::Null:
+    return true;
+  case Kind::Bool:
+    return B == O.B;
+  case Kind::String:
+    return Str == O.Str;
+  case Kind::Array:
+    return Arr == O.Arr;
+  case Kind::Object:
+    return Obj == O.Obj;
+  default:
+    return true; // numbers handled above
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+static void escapeTo(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void Json::dumpTo(std::string &Out, int Indent, int Depth) const {
+  auto Newline = [&](int D) {
+    if (Indent < 0)
+      return;
+    Out += '\n';
+    Out.append(static_cast<size_t>(Indent) * D, ' ');
+  };
+  char Buf[64];
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += B ? "true" : "false";
+    break;
+  case Kind::UInt:
+    std::snprintf(Buf, sizeof(Buf), "%llu", (unsigned long long)U);
+    Out += Buf;
+    break;
+  case Kind::Int:
+    std::snprintf(Buf, sizeof(Buf), "%lld", (long long)I);
+    Out += Buf;
+    break;
+  case Kind::Double:
+    if (std::isfinite(D)) {
+      std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+      Out += Buf;
+    } else {
+      Out += "null"; // JSON has no inf/nan
+    }
+    break;
+  case Kind::String:
+    escapeTo(Out, Str);
+    break;
+  case Kind::Array: {
+    if (Arr.empty()) {
+      Out += "[]";
+      break;
+    }
+    Out += '[';
+    for (size_t I2 = 0; I2 != Arr.size(); ++I2) {
+      if (I2)
+        Out += Indent < 0 ? "," : ",";
+      Newline(Depth + 1);
+      Arr[I2].dumpTo(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += ']';
+    break;
+  }
+  case Kind::Object: {
+    if (Obj.empty()) {
+      Out += "{}";
+      break;
+    }
+    Out += '{';
+    bool First = true;
+    for (const auto &[Key, Val] : Obj) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Newline(Depth + 1);
+      escapeTo(Out, Key);
+      Out += Indent < 0 ? ":" : ": ";
+      Val.dumpTo(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += '}';
+    break;
+  }
+  }
+}
+
+std::string Json::dump(int Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Parser {
+  const std::string &S;
+  size_t P = 0;
+  std::string Err;
+
+  explicit Parser(const std::string &S) : S(S) {}
+
+  bool fail(const std::string &Msg) {
+    if (Err.empty()) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), " at offset %zu", P);
+      Err = Msg + Buf;
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (P < S.size() &&
+           (S[P] == ' ' || S[P] == '\t' || S[P] == '\n' || S[P] == '\r'))
+      ++P;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (P < S.size() && S[P] == C) {
+      ++P;
+      return true;
+    }
+    return fail(std::string("expected '") + C + "'");
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    while (P < S.size() && S[P] != '"') {
+      char C = S[P++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (P >= S.size())
+        return fail("truncated escape");
+      char E = S[P++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (P + 4 > S.size())
+          return fail("truncated \\u escape");
+        unsigned V = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = S[P++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            V |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            V |= H - 'A' + 10;
+          else
+            return fail("bad \\u escape");
+        }
+        // Encode as UTF-8 (no surrogate-pair handling; the writer never
+        // emits them).
+        if (V < 0x80) {
+          Out += static_cast<char>(V);
+        } else if (V < 0x800) {
+          Out += static_cast<char>(0xc0 | (V >> 6));
+          Out += static_cast<char>(0x80 | (V & 0x3f));
+        } else {
+          Out += static_cast<char>(0xe0 | (V >> 12));
+          Out += static_cast<char>(0x80 | ((V >> 6) & 0x3f));
+          Out += static_cast<char>(0x80 | (V & 0x3f));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    if (P >= S.size())
+      return fail("unterminated string");
+    ++P; // closing quote
+    return true;
+  }
+
+  bool parseValue(Json &Out) {
+    skipWs();
+    if (P >= S.size())
+      return fail("unexpected end of input");
+    char C = S[P];
+    if (C == '{') {
+      ++P;
+      Out = Json::object();
+      skipWs();
+      if (P < S.size() && S[P] == '}') {
+        ++P;
+        return true;
+      }
+      while (true) {
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        if (!consume(':'))
+          return false;
+        Json V;
+        if (!parseValue(V))
+          return false;
+        Out.set(Key, std::move(V));
+        skipWs();
+        if (P < S.size() && S[P] == ',') {
+          ++P;
+          continue;
+        }
+        return consume('}');
+      }
+    }
+    if (C == '[') {
+      ++P;
+      Out = Json::array();
+      skipWs();
+      if (P < S.size() && S[P] == ']') {
+        ++P;
+        return true;
+      }
+      while (true) {
+        Json V;
+        if (!parseValue(V))
+          return false;
+        Out.push(std::move(V));
+        skipWs();
+        if (P < S.size() && S[P] == ',') {
+          ++P;
+          continue;
+        }
+        return consume(']');
+      }
+    }
+    if (C == '"') {
+      std::string Str;
+      if (!parseString(Str))
+        return false;
+      Out = Json(std::move(Str));
+      return true;
+    }
+    if (S.compare(P, 4, "true") == 0) {
+      P += 4;
+      Out = Json(true);
+      return true;
+    }
+    if (S.compare(P, 5, "false") == 0) {
+      P += 5;
+      Out = Json(false);
+      return true;
+    }
+    if (S.compare(P, 4, "null") == 0) {
+      P += 4;
+      Out = Json();
+      return true;
+    }
+    return parseNumber(Out);
+  }
+
+  bool parseNumber(Json &Out) {
+    size_t Start = P;
+    if (P < S.size() && S[P] == '-')
+      ++P;
+    bool IsFloat = false;
+    while (P < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[P])) || S[P] == '.' ||
+            S[P] == 'e' || S[P] == 'E' || S[P] == '+' || S[P] == '-')) {
+      if (S[P] == '.' || S[P] == 'e' || S[P] == 'E')
+        IsFloat = true;
+      ++P;
+    }
+    if (P == Start)
+      return fail("expected a value");
+    std::string Lex = S.substr(Start, P - Start);
+    if (IsFloat) {
+      Out = Json(std::strtod(Lex.c_str(), nullptr));
+      return true;
+    }
+    if (Lex[0] == '-')
+      Out = Json(static_cast<int64_t>(std::strtoll(Lex.c_str(), nullptr, 10)));
+    else
+      Out = Json(
+          static_cast<uint64_t>(std::strtoull(Lex.c_str(), nullptr, 10)));
+    return true;
+  }
+};
+
+} // namespace
+
+std::optional<Json> Json::parse(const std::string &Text, std::string *Err) {
+  Parser P(Text);
+  Json V;
+  if (!P.parseValue(V)) {
+    if (Err)
+      *Err = P.Err;
+    return std::nullopt;
+  }
+  P.skipWs();
+  if (P.P != Text.size()) {
+    if (Err)
+      *Err = "trailing garbage after JSON value";
+    return std::nullopt;
+  }
+  return V;
+}

@@ -1,0 +1,106 @@
+//===- Json.h - Minimal JSON value, writer and parser ----------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free JSON value type with a serializer and a recursive
+/// descent parser, sized for the observability layer's needs: machine
+/// readable stats reports and bench rows. Unsigned 64-bit integers are
+/// preserved exactly (cycle counts overflow doubles long before they
+/// overflow uint64_t); object keys keep insertion order so serialized
+/// output is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_OBS_JSON_H
+#define PDL_OBS_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pdl {
+namespace obs {
+
+class Json {
+public:
+  enum class Kind { Null, Bool, UInt, Int, Double, String, Array, Object };
+
+  Json() : K(Kind::Null) {}
+  Json(bool B) : K(Kind::Bool), B(B) {}
+  Json(uint64_t U) : K(Kind::UInt), U(U) {}
+  Json(int64_t I) : K(Kind::Int), I(I) {}
+  Json(int I) : K(Kind::Int), I(I) {}
+  Json(unsigned U) : K(Kind::UInt), U(U) {}
+  Json(double D) : K(Kind::Double), D(D) {}
+  Json(const char *S) : K(Kind::String), Str(S) {}
+  Json(std::string S) : K(Kind::String), Str(std::move(S)) {}
+
+  static Json array() {
+    Json J;
+    J.K = Kind::Array;
+    return J;
+  }
+  static Json object() {
+    Json J;
+    J.K = Kind::Object;
+    return J;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isNumber() const {
+    return K == Kind::UInt || K == Kind::Int || K == Kind::Double;
+  }
+
+  bool asBool() const { return B; }
+  uint64_t asU64() const;
+  int64_t asI64() const;
+  double asDouble() const;
+  const std::string &asString() const { return Str; }
+
+  /// Array access.
+  void push(Json V) { Arr.push_back(std::move(V)); }
+  const std::vector<Json> &items() const { return Arr; }
+  size_t size() const { return K == Kind::Object ? Obj.size() : Arr.size(); }
+
+  /// Object access (insertion-ordered).
+  void set(const std::string &Key, Json V);
+  const Json *get(const std::string &Key) const;
+  const std::vector<std::pair<std::string, Json>> &members() const {
+    return Obj;
+  }
+
+  /// Serializes. \p Indent < 0 means compact single-line output.
+  std::string dump(int Indent = -1) const;
+
+  /// Parses \p Text; returns std::nullopt (and sets \p Err if given) on
+  /// malformed input or trailing garbage.
+  static std::optional<Json> parse(const std::string &Text,
+                                   std::string *Err = nullptr);
+
+  bool operator==(const Json &O) const;
+  bool operator!=(const Json &O) const { return !(*this == O); }
+
+private:
+  void dumpTo(std::string &Out, int Indent, int Depth) const;
+
+  Kind K;
+  bool B = false;
+  uint64_t U = 0;
+  int64_t I = 0;
+  double D = 0;
+  std::string Str;
+  std::vector<Json> Arr;
+  std::vector<std::pair<std::string, Json>> Obj;
+};
+
+} // namespace obs
+} // namespace pdl
+
+#endif // PDL_OBS_JSON_H

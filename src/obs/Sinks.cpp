@@ -1,0 +1,241 @@
+//===- Sinks.cpp - Shipped trace sinks --------------------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Sinks.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace pdl;
+using namespace pdl::obs;
+
+//===----------------------------------------------------------------------===//
+// CounterSink
+//===----------------------------------------------------------------------===//
+
+void CounterSink::begin(const TraceMeta &Meta) {
+  R = StatsReport();
+  for (const TraceMeta::PipeMeta &PM : Meta.Pipes) {
+    PipeStats P;
+    P.Name = PM.Name;
+    for (const std::string &SN : PM.Stages) {
+      StageStats S;
+      S.Name = SN;
+      P.Stages.push_back(std::move(S));
+    }
+    for (const std::string &MN : PM.Mems) {
+      MemStats M;
+      M.Name = MN;
+      P.Mems.push_back(std::move(M));
+    }
+    R.Pipes.push_back(std::move(P));
+  }
+}
+
+void CounterSink::event(const Event &E) {
+  switch (E.K) {
+  case Event::Kind::CycleBegin:
+    ++R.Cycles;
+    return;
+  case Event::Kind::StageOutcome: {
+    assert(E.Pipe < R.Pipes.size());
+    PipeStats &P = R.Pipes[E.Pipe];
+    assert(E.Stage < P.Stages.size());
+    StageStats &S = P.Stages[E.Stage];
+    if (E.Cause == StallCause::None) {
+      ++S.Fires;
+    } else {
+      ++S.Stalls[matrixIndex(E.Cause)];
+      if (E.Cause == StallCause::Lock && E.Mem != NoMem)
+        ++P.Mems[E.Mem].LockStalls;
+    }
+    return;
+  }
+  case Event::Kind::ThreadSpawn:
+    ++R.Pipes[E.Pipe].Spawned;
+    return;
+  case Event::Kind::ThreadRetire:
+    ++R.Pipes[E.Pipe].Retired;
+    return;
+  case Event::Kind::ThreadSquash:
+    ++R.Pipes[E.Pipe].Squashed;
+    return;
+  case Event::Kind::LockReserve:
+    if (E.Mem != NoMem)
+      ++R.Pipes[E.Pipe].Mems[E.Mem].Reserves;
+    return;
+  case Event::Kind::LockRelease:
+    if (E.Mem != NoMem)
+      ++R.Pipes[E.Pipe].Mems[E.Mem].Releases;
+    return;
+  case Event::Kind::SpecResolve:
+    if (E.Flag)
+      ++R.Pipes[E.Pipe].SpecCorrect;
+    else
+      ++R.Pipes[E.Pipe].SpecMispredict;
+    return;
+  case Event::Kind::SpecRollback:
+    if (E.Mem != NoMem)
+      ++R.Pipes[E.Pipe].Mems[E.Mem].Rollbacks;
+    return;
+  case Event::Kind::Deadlock:
+    R.Deadlocked = true;
+    return;
+  case Event::Kind::FifoEnq:
+  case Event::Kind::FifoDeq:
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// TimelineSink
+//===----------------------------------------------------------------------===//
+
+char TimelineSink::outcomeChar(StallCause C) {
+  switch (C) {
+  case StallCause::None:
+    return '#';
+  case StallCause::Idle:
+    return '.';
+  case StallCause::Lock:
+    return 'L';
+  case StallCause::Spec:
+    return 'S';
+  case StallCause::Response:
+    return 'R';
+  case StallCause::Backpressure:
+    return 'B';
+  case StallCause::Kill:
+    return 'K';
+  }
+  return '?';
+}
+
+void TimelineSink::begin(const TraceMeta &M) {
+  Meta = M;
+  Rows.clear();
+  Rows.resize(Meta.Pipes.size());
+  for (size_t I = 0; I != Meta.Pipes.size(); ++I)
+    Rows[I].resize(Meta.Pipes[I].Stages.size());
+  Recorded = 0;
+}
+
+void TimelineSink::event(const Event &E) {
+  if (E.K == Event::Kind::CycleBegin) {
+    if (Recorded < MaxCycles)
+      ++Recorded;
+    return;
+  }
+  if (E.K != Event::Kind::StageOutcome || Recorded > MaxCycles)
+    return;
+  std::string &Row = Rows[E.Pipe][E.Stage];
+  if (Row.size() < MaxCycles)
+    Row += outcomeChar(E.Cause);
+}
+
+std::string TimelineSink::render() const {
+  std::string Out;
+  for (size_t PI = 0; PI != Rows.size(); ++PI) {
+    if (Rows.size() > 1 || PI == 0) {
+      Out += "pipe ";
+      Out += Meta.Pipes[PI].Name;
+      Out += " (#=fire .=idle L=lock S=spec R=response B=backpressure "
+             "K=kill)\n";
+    }
+    size_t Width = 0;
+    for (const std::string &SN : Meta.Pipes[PI].Stages)
+      Width = std::max(Width, SN.size());
+    for (size_t SI = 0; SI != Rows[PI].size(); ++SI) {
+      const std::string &Name = Meta.Pipes[PI].Stages[SI];
+      Out += Name;
+      Out.append(Width - Name.size() + 1, ' ');
+      Out += Rows[PI][SI];
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// LogSink
+//===----------------------------------------------------------------------===//
+
+void LogSink::begin(const TraceMeta &M) {
+  Meta = M;
+  Log.clear();
+}
+
+void LogSink::event(const Event &E) {
+  char Buf[192];
+  const TraceMeta::PipeMeta &PM = Meta.Pipes[E.Pipe];
+  const char *Pipe = PM.Name.c_str();
+  auto MemName = [&](uint16_t M) {
+    return M == NoMem ? "-" : PM.Mems[M].c_str();
+  };
+  switch (E.K) {
+  case Event::Kind::CycleBegin:
+    std::snprintf(Buf, sizeof(Buf), "-- cycle %llu\n",
+                  (unsigned long long)E.Cycle);
+    break;
+  case Event::Kind::StageOutcome:
+    if (E.Cause == StallCause::Idle)
+      return; // idle stages would dominate the log; counters keep them
+    std::snprintf(Buf, sizeof(Buf), "%s/%s %s tid=%llu%s%s\n", Pipe,
+                  PM.Stages[E.Stage].c_str(), stallCauseName(E.Cause),
+                  (unsigned long long)E.Tid,
+                  E.Cause == StallCause::Lock && E.Mem != NoMem ? " mem=" : "",
+                  E.Cause == StallCause::Lock && E.Mem != NoMem
+                      ? MemName(E.Mem)
+                      : "");
+    break;
+  case Event::Kind::ThreadSpawn:
+  case Event::Kind::ThreadRetire:
+  case Event::Kind::ThreadSquash:
+    std::snprintf(Buf, sizeof(Buf), "%s %s tid=%llu\n", Pipe,
+                  eventKindName(E.K), (unsigned long long)E.Tid);
+    break;
+  case Event::Kind::FifoEnq:
+  case Event::Kind::FifoDeq:
+    if (E.From == NoEdge)
+      std::snprintf(Buf, sizeof(Buf), "%s %s entry tid=%llu depth=%llu\n",
+                    Pipe, eventKindName(E.K), (unsigned long long)E.Tid,
+                    (unsigned long long)E.Value);
+    else
+      std::snprintf(Buf, sizeof(Buf), "%s %s %u->%u tid=%llu depth=%llu\n",
+                    Pipe, eventKindName(E.K), E.From, E.To,
+                    (unsigned long long)E.Tid, (unsigned long long)E.Value);
+    break;
+  case Event::Kind::LockReserve:
+  case Event::Kind::LockRelease:
+    std::snprintf(Buf, sizeof(Buf), "%s %s %s[%llu] tid=%llu\n", Pipe,
+                  eventKindName(E.K), MemName(E.Mem),
+                  (unsigned long long)E.Value, (unsigned long long)E.Tid);
+    break;
+  case Event::Kind::SpecResolve:
+    std::snprintf(Buf, sizeof(Buf), "%s spec-resolve id=%llu %s\n", Pipe,
+                  (unsigned long long)E.Value,
+                  E.Flag ? "correct" : "mispredict");
+    break;
+  case Event::Kind::SpecRollback:
+    std::snprintf(Buf, sizeof(Buf), "%s spec-rollback %s tid=%llu\n", Pipe,
+                  MemName(E.Mem), (unsigned long long)E.Tid);
+    break;
+  case Event::Kind::Deadlock:
+    std::snprintf(Buf, sizeof(Buf), "deadlock at cycle %llu\n",
+                  (unsigned long long)E.Cycle);
+    break;
+  }
+  Log += Buf;
+}
+
+uint64_t LogSink::digest() const {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (char C : Log) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}

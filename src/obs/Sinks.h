@@ -1,0 +1,90 @@
+//===- Sinks.h - Shipped trace sinks ---------------------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sinks shipped with the observability layer:
+///
+///  * CounterSink  — aggregates the event stream into a `StatsReport`: the
+///                   per-stage x per-cause stall attribution matrix plus
+///                   per-memory lock traffic and thread accounting.
+///  * TimelineSink — a pipeline-occupancy timeline: one character per stage
+///                   per cycle (fire / idle / stall cause / kill), rendered
+///                   as text for quick visual inspection.
+///  * LogSink      — renders every event as one deterministic text line;
+///                   the golden-trace tests digest this log.
+///
+/// The VCD writer lives in VcdWriter.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_OBS_SINKS_H
+#define PDL_OBS_SINKS_H
+
+#include "obs/StatsReport.h"
+#include "obs/TraceSink.h"
+
+#include <string>
+#include <vector>
+
+namespace pdl {
+namespace obs {
+
+class CounterSink : public TraceSink {
+public:
+  void begin(const TraceMeta &Meta) override;
+  void event(const Event &E) override;
+
+  /// The aggregated report. Valid any time; final after the run ends.
+  const StatsReport &report() const { return R; }
+
+private:
+  StatsReport R;
+};
+
+class TimelineSink : public TraceSink {
+public:
+  /// Records at most \p MaxCycles cycles (the timeline is O(stages x
+  /// cycles) memory; long runs keep the first window).
+  explicit TimelineSink(uint64_t MaxCycles = 4096) : MaxCycles(MaxCycles) {}
+
+  void begin(const TraceMeta &Meta) override;
+  void event(const Event &E) override;
+
+  /// One character per stage per cycle:
+  ///   '#' fire, '.' idle, 'L' lock, 'S' spec, 'R' response,
+  ///   'B' backpressure, 'K' kill.
+  static char outcomeChar(StallCause C);
+
+  /// Renders the recorded window as per-pipe stage rows.
+  std::string render() const;
+
+private:
+  TraceMeta Meta;
+  uint64_t MaxCycles;
+  uint64_t Recorded = 0;
+  /// Rows[pipe][stage] is a string of outcome chars, one per cycle.
+  std::vector<std::vector<std::string>> Rows;
+};
+
+class LogSink : public TraceSink {
+public:
+  void begin(const TraceMeta &Meta) override;
+  void event(const Event &E) override;
+
+  const std::string &log() const { return Log; }
+
+  /// FNV-1a 64-bit digest of the log text (the golden-trace fingerprint).
+  uint64_t digest() const;
+
+private:
+  TraceMeta Meta;
+  std::string Log;
+};
+
+} // namespace obs
+} // namespace pdl
+
+#endif // PDL_OBS_SINKS_H

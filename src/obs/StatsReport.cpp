@@ -1,0 +1,236 @@
+//===- StatsReport.cpp - Structured simulation statistics -------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/StatsReport.h"
+
+using namespace pdl;
+using namespace pdl::obs;
+
+const char *obs::stallCauseName(StallCause C) {
+  switch (C) {
+  case StallCause::None:
+    return "fire";
+  case StallCause::Idle:
+    return "idle";
+  case StallCause::Lock:
+    return "lock";
+  case StallCause::Spec:
+    return "spec";
+  case StallCause::Response:
+    return "response";
+  case StallCause::Backpressure:
+    return "backpressure";
+  case StallCause::Kill:
+    return "kill";
+  }
+  return "?";
+}
+
+const char *obs::eventKindName(Event::Kind K) {
+  switch (K) {
+  case Event::Kind::CycleBegin:
+    return "cycle";
+  case Event::Kind::StageOutcome:
+    return "stage";
+  case Event::Kind::ThreadSpawn:
+    return "spawn";
+  case Event::Kind::ThreadRetire:
+    return "retire";
+  case Event::Kind::ThreadSquash:
+    return "squash";
+  case Event::Kind::FifoEnq:
+    return "enq";
+  case Event::Kind::FifoDeq:
+    return "deq";
+  case Event::Kind::LockReserve:
+    return "reserve";
+  case Event::Kind::LockRelease:
+    return "release";
+  case Event::Kind::SpecResolve:
+    return "spec-resolve";
+  case Event::Kind::SpecRollback:
+    return "spec-rollback";
+  case Event::Kind::Deadlock:
+    return "deadlock";
+  }
+  return "?";
+}
+
+uint64_t StageStats::stallTotal() const {
+  uint64_t N = 0;
+  for (uint64_t S : Stalls)
+    N += S;
+  return N;
+}
+
+uint64_t PipeStats::fires() const {
+  uint64_t N = 0;
+  for (const StageStats &S : Stages)
+    N += S.Fires;
+  return N;
+}
+
+uint64_t PipeStats::stalls(StallCause C) const {
+  uint64_t N = 0;
+  for (const StageStats &S : Stages)
+    N += S.stalls(C);
+  return N;
+}
+
+uint64_t StatsReport::totalFires() const {
+  uint64_t N = 0;
+  for (const PipeStats &P : Pipes)
+    N += P.fires();
+  return N;
+}
+
+uint64_t StatsReport::totalStalls(StallCause C) const {
+  uint64_t N = 0;
+  for (const PipeStats &P : Pipes)
+    N += P.stalls(C);
+  return N;
+}
+
+const PipeStats *StatsReport::pipe(const std::string &Name) const {
+  for (const PipeStats &P : Pipes)
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+bool StatsReport::attributionExact() const {
+  for (const PipeStats &P : Pipes)
+    for (const StageStats &S : P.Stages)
+      if (S.Fires + S.stallTotal() != Cycles)
+        return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON serialization
+//===----------------------------------------------------------------------===//
+
+static StallCause matrixCause(unsigned I) {
+  return static_cast<StallCause>(I + 1);
+}
+
+Json StatsReport::toJsonValue() const {
+  Json Root = Json::object();
+  Root.set("cycles", Json(Cycles));
+  Root.set("deadlocked", Json(Deadlocked));
+  Json PipesJ = Json::array();
+  for (const PipeStats &P : Pipes) {
+    Json PJ = Json::object();
+    PJ.set("name", Json(P.Name));
+    PJ.set("spawned", Json(P.Spawned));
+    PJ.set("retired", Json(P.Retired));
+    PJ.set("squashed", Json(P.Squashed));
+    PJ.set("spec_correct", Json(P.SpecCorrect));
+    PJ.set("spec_mispredict", Json(P.SpecMispredict));
+    Json StagesJ = Json::array();
+    for (const StageStats &S : P.Stages) {
+      Json SJ = Json::object();
+      SJ.set("name", Json(S.Name));
+      SJ.set("fires", Json(S.Fires));
+      Json StallsJ = Json::object();
+      for (unsigned I = 0; I != NumMatrixCauses; ++I)
+        StallsJ.set(stallCauseName(matrixCause(I)), Json(S.Stalls[I]));
+      SJ.set("stalls", std::move(StallsJ));
+      StagesJ.push(std::move(SJ));
+    }
+    PJ.set("stages", std::move(StagesJ));
+    Json MemsJ = Json::array();
+    for (const MemStats &M : P.Mems) {
+      Json MJ = Json::object();
+      MJ.set("name", Json(M.Name));
+      MJ.set("lock_stalls", Json(M.LockStalls));
+      MJ.set("reserves", Json(M.Reserves));
+      MJ.set("releases", Json(M.Releases));
+      MJ.set("rollbacks", Json(M.Rollbacks));
+      MemsJ.push(std::move(MJ));
+    }
+    PJ.set("mems", std::move(MemsJ));
+    PipesJ.push(std::move(PJ));
+  }
+  Root.set("pipes", std::move(PipesJ));
+  return Root;
+}
+
+std::optional<StatsReport> StatsReport::fromJson(const std::string &Text,
+                                                 std::string *Err) {
+  auto Fail = [&](const char *Msg) -> std::optional<StatsReport> {
+    if (Err)
+      *Err = Msg;
+    return std::nullopt;
+  };
+  std::optional<Json> Root = Json::parse(Text, Err);
+  if (!Root)
+    return std::nullopt;
+  if (Root->kind() != Json::Kind::Object)
+    return Fail("report must be a JSON object");
+  StatsReport R;
+  const Json *Cycles = Root->get("cycles");
+  const Json *Dead = Root->get("deadlocked");
+  const Json *PipesJ = Root->get("pipes");
+  if (!Cycles || !Cycles->isNumber() || !Dead || !PipesJ ||
+      PipesJ->kind() != Json::Kind::Array)
+    return Fail("missing cycles/deadlocked/pipes");
+  R.Cycles = Cycles->asU64();
+  R.Deadlocked = Dead->asBool();
+  for (const Json &PJ : PipesJ->items()) {
+    PipeStats P;
+    const Json *Name = PJ.get("name");
+    if (!Name)
+      return Fail("pipe missing name");
+    P.Name = Name->asString();
+    auto U64 = [&](const char *Key) {
+      const Json *V = PJ.get(Key);
+      return V ? V->asU64() : 0;
+    };
+    P.Spawned = U64("spawned");
+    P.Retired = U64("retired");
+    P.Squashed = U64("squashed");
+    P.SpecCorrect = U64("spec_correct");
+    P.SpecMispredict = U64("spec_mispredict");
+    if (const Json *StagesJ = PJ.get("stages")) {
+      for (const Json &SJ : StagesJ->items()) {
+        StageStats S;
+        if (const Json *N = SJ.get("name"))
+          S.Name = N->asString();
+        if (const Json *F = SJ.get("fires"))
+          S.Fires = F->asU64();
+        const Json *StallsJ = SJ.get("stalls");
+        if (!StallsJ)
+          return Fail("stage missing stalls");
+        for (unsigned I = 0; I != NumMatrixCauses; ++I) {
+          const Json *V = StallsJ->get(stallCauseName(matrixCause(I)));
+          if (!V)
+            return Fail("stall matrix missing a cause column");
+          S.Stalls[I] = V->asU64();
+        }
+        P.Stages.push_back(std::move(S));
+      }
+    }
+    if (const Json *MemsJ = PJ.get("mems")) {
+      for (const Json &MJ : MemsJ->items()) {
+        MemStats M;
+        if (const Json *N = MJ.get("name"))
+          M.Name = N->asString();
+        auto MU64 = [&](const char *Key) {
+          const Json *V = MJ.get(Key);
+          return V ? V->asU64() : 0;
+        };
+        M.LockStalls = MU64("lock_stalls");
+        M.Reserves = MU64("reserves");
+        M.Releases = MU64("releases");
+        M.Rollbacks = MU64("rollbacks");
+        P.Mems.push_back(std::move(M));
+      }
+    }
+    R.Pipes.push_back(std::move(P));
+  }
+  return R;
+}

@@ -1,0 +1,92 @@
+//===- StatsReport.h - Structured simulation statistics --------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured successor of the old six-counter `SystemStats`: per-pipe,
+/// per-stage, per-cause cycle attribution plus thread accounting, with a
+/// JSON serializer/deserializer so benches and tools emit machine-readable
+/// rows. Produced by `CounterSink` from the event stream.
+///
+/// The core invariant (asserted by the executor and checked by tests): for
+/// every stage, `Fires + sum(Stalls[*]) == Cycles` — every cycle of every
+/// stage is attributed to exactly one outcome.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_OBS_STATSREPORT_H
+#define PDL_OBS_STATSREPORT_H
+
+#include "obs/Event.h"
+#include "obs/Json.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdl {
+namespace obs {
+
+struct StageStats {
+  std::string Name;
+  uint64_t Fires = 0;
+  /// Non-fire outcomes, indexed by matrixIndex(): Idle, Lock, Spec,
+  /// Response, Backpressure, Kill. Sums to Cycles - Fires.
+  std::array<uint64_t, NumMatrixCauses> Stalls{};
+
+  uint64_t stallTotal() const;
+  uint64_t stalls(StallCause C) const { return Stalls[matrixIndex(C)]; }
+};
+
+struct MemStats {
+  std::string Name;
+  /// Stage-stall cycles attributed to this memory's lock (readiness,
+  /// reservation resources, or its multi-stage lock region).
+  uint64_t LockStalls = 0;
+  uint64_t Reserves = 0;
+  uint64_t Releases = 0;
+  uint64_t Rollbacks = 0;
+};
+
+struct PipeStats {
+  std::string Name;
+  uint64_t Spawned = 0;
+  uint64_t Retired = 0;
+  uint64_t Squashed = 0;
+  uint64_t SpecCorrect = 0;
+  uint64_t SpecMispredict = 0;
+  std::vector<StageStats> Stages;
+  std::vector<MemStats> Mems;
+
+  uint64_t fires() const;
+  uint64_t stalls(StallCause C) const;
+};
+
+struct StatsReport {
+  uint64_t Cycles = 0;
+  bool Deadlocked = false;
+  std::vector<PipeStats> Pipes;
+
+  uint64_t totalFires() const;
+  uint64_t totalStalls(StallCause C) const;
+
+  const PipeStats *pipe(const std::string &Name) const;
+
+  /// True when every stage of every pipe satisfies
+  /// Fires + sum(Stalls) == Cycles.
+  bool attributionExact() const;
+
+  Json toJsonValue() const;
+  std::string toJson(int Indent = 2) const { return toJsonValue().dump(Indent); }
+
+  static std::optional<StatsReport> fromJson(const std::string &Text,
+                                             std::string *Err = nullptr);
+};
+
+} // namespace obs
+} // namespace pdl
+
+#endif // PDL_OBS_STATSREPORT_H

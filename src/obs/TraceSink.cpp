@@ -1,0 +1,11 @@
+//===- TraceSink.cpp - Trace sink interface ---------------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceSink.h"
+
+using namespace pdl::obs;
+
+TraceSink::~TraceSink() = default;

@@ -1,0 +1,93 @@
+//===- TraceSink.h - Trace sink interface and dispatch bus -----*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sink side of the observability layer. A `TraceSink` consumes the
+/// executor's `Event` stream; `TraceMeta` (handed to `begin()`) maps the
+/// interned pipe/stage/memory indices in events back to names. `TraceBus`
+/// is the dispatch point the executor owns: emission is guarded by
+/// `enabled()`, so a run with no attached sinks pays one branch per
+/// emission site and constructs no events.
+///
+/// Sinks are passive and caller-owned; one sink instance observes one
+/// System for one run (begin / events / end).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_OBS_TRACESINK_H
+#define PDL_OBS_TRACESINK_H
+
+#include "obs/Event.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pdl {
+namespace obs {
+
+/// Static description of the elaborated system: resolves the interned
+/// indices used in events. Built once at elaboration.
+struct TraceMeta {
+  struct PipeMeta {
+    std::string Name;
+    /// Stage names, indexed by stage id.
+    std::vector<std::string> Stages;
+    /// Memory names, indexed by the interned memory index.
+    std::vector<std::string> Mems;
+    /// Inter-stage FIFO edges as (from, to) stage ids. The entry queue is
+    /// implicit (every pipe has one; events use From == NoEdge for it).
+    std::vector<std::pair<unsigned, unsigned>> Edges;
+  };
+  std::vector<PipeMeta> Pipes;
+};
+
+class TraceSink {
+public:
+  virtual ~TraceSink();
+
+  /// Called once when the sink is attached, before any event.
+  virtual void begin(const TraceMeta &Meta) { (void)Meta; }
+
+  /// Called for every observed event, in deterministic execution order.
+  virtual void event(const Event &E) = 0;
+
+  /// Called when the observed System finishes (destruction or explicit
+  /// finishTrace()). Sinks that buffer (e.g. the VCD writer) flush here.
+  virtual void end() {}
+};
+
+/// The executor-side dispatcher. Emission sites check `enabled()` before
+/// building an event, keeping the disabled path free of work.
+class TraceBus {
+public:
+  bool enabled() const { return !Sinks.empty(); }
+
+  void attach(TraceSink *S) { Sinks.push_back(S); }
+
+  void emit(const Event &E) {
+    for (TraceSink *S : Sinks)
+      S->event(E);
+  }
+
+  /// Delivers end() to every sink once (idempotent).
+  void finish() {
+    if (Finished)
+      return;
+    Finished = true;
+    for (TraceSink *S : Sinks)
+      S->end();
+  }
+
+private:
+  std::vector<TraceSink *> Sinks;
+  bool Finished = false;
+};
+
+} // namespace obs
+} // namespace pdl
+
+#endif // PDL_OBS_TRACESINK_H

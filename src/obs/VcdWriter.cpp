@@ -1,0 +1,172 @@
+//===- VcdWriter.cpp - Value-change-dump trace sink -------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/VcdWriter.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace pdl;
+using namespace pdl::obs;
+
+/// VCD identifier codes: printable ASCII 33..126, shortest-first.
+static std::string vcdId(unsigned N) {
+  std::string Id;
+  do {
+    Id += static_cast<char>(33 + N % 94);
+    N /= 94;
+  } while (N);
+  return Id;
+}
+
+static std::string sanitize(const std::string &Name) {
+  std::string Out;
+  for (char C : Name)
+    Out += (std::isalnum(static_cast<unsigned char>(C)) || C == '_') ? C : '_';
+  if (Out.empty() || std::isdigit(static_cast<unsigned char>(Out[0])))
+    Out.insert(Out.begin(), 's');
+  return Out;
+}
+
+unsigned VcdWriter::newSignal(unsigned Width) {
+  Signal S;
+  S.Id = vcdId(static_cast<unsigned>(Signals.size()));
+  S.Width = Width;
+  Signals.push_back(std::move(S));
+  return static_cast<unsigned>(Signals.size() - 1);
+}
+
+void VcdWriter::declareVar(const std::string &Name, unsigned Sig) {
+  const Signal &S = Signals[Sig];
+  OS << "$var wire " << S.Width << " " << S.Id << " " << Name;
+  if (S.Width > 1)
+    OS << " [" << (S.Width - 1) << ":0]";
+  OS << " $end\n";
+}
+
+void VcdWriter::begin(const TraceMeta &Meta) {
+  OS << "$version PDL simulation observability layer $end\n"
+     << "$timescale 1ns $end\n"
+     << "$scope module pdl $end\n";
+  ClkSig = newSignal(1);
+  declareVar("clk", ClkSig);
+  StageSigs.resize(Meta.Pipes.size());
+  EntrySigs.resize(Meta.Pipes.size());
+  EdgeSigs.resize(Meta.Pipes.size());
+  for (size_t PI = 0; PI != Meta.Pipes.size(); ++PI) {
+    const TraceMeta::PipeMeta &PM = Meta.Pipes[PI];
+    OS << "$scope module " << sanitize(PM.Name) << " $end\n";
+    for (const std::string &SN : PM.Stages) {
+      std::array<unsigned, 3> Sigs = {newSignal(1), newSignal(3),
+                                      newSignal(32)};
+      std::string Base = sanitize(SN);
+      declareVar(Base + "_fire", Sigs[0]);
+      declareVar(Base + "_outcome", Sigs[1]);
+      declareVar(Base + "_tid", Sigs[2]);
+      StageSigs[PI].push_back(Sigs);
+    }
+    EntrySigs[PI] = newSignal(8);
+    declareVar("entry_depth", EntrySigs[PI]);
+    for (const auto &[From, To] : PM.Edges) {
+      unsigned Sig = newSignal(8);
+      declareVar("fifo_" + std::to_string(From) + "_" + std::to_string(To) +
+                     "_depth",
+                 Sig);
+      EdgeSigs[PI][{From, To}] = Sig;
+    }
+    OS << "$upscope $end\n";
+  }
+  OS << "$upscope $end\n$enddefinitions $end\n";
+  // Initial values: everything 0 at time 0.
+  OS << "#0\n$dumpvars\n";
+  for (Signal &S : Signals) {
+    // clk starts high in the first half-period written by flushCycle.
+    writeValue(static_cast<unsigned>(&S - Signals.data()), 0);
+    S.Dumped = true;
+  }
+  OS << "$end\n";
+}
+
+void VcdWriter::writeValue(unsigned Sig, uint64_t V) {
+  Signal &S = Signals[Sig];
+  if (S.Width == 1) {
+    OS << (V ? '1' : '0') << S.Id << "\n";
+    return;
+  }
+  OS << 'b';
+  bool Leading = true;
+  for (unsigned B = S.Width; B-- > 0;) {
+    bool Bit = (V >> B) & 1;
+    if (Leading && !Bit && B != 0)
+      continue; // VCD allows dropped leading zeros
+    Leading = false;
+    OS << (Bit ? '1' : '0');
+  }
+  OS << ' ' << S.Id << "\n";
+}
+
+void VcdWriter::flushCycle() {
+  if (!HavePending)
+    return;
+  uint64_t T = CurCycle * 10;
+  OS << '#' << T << "\n";
+  writeValue(ClkSig, 1);
+  for (unsigned I = 0; I != Signals.size(); ++I) {
+    Signal &S = Signals[I];
+    if (I == ClkSig)
+      continue;
+    if (!S.Dumped || S.Cur != S.Last) {
+      writeValue(I, S.Cur);
+      S.Last = S.Cur;
+      S.Dumped = true;
+    }
+  }
+  OS << '#' << (T + 5) << "\n";
+  writeValue(ClkSig, 0);
+  HavePending = false;
+}
+
+void VcdWriter::event(const Event &E) {
+  switch (E.K) {
+  case Event::Kind::CycleBegin:
+    flushCycle();
+    CurCycle = E.Cycle;
+    HavePending = true;
+    return;
+  case Event::Kind::StageOutcome: {
+    auto &Sigs = StageSigs[E.Pipe][E.Stage];
+    Signals[Sigs[0]].Cur = E.Cause == StallCause::None;
+    Signals[Sigs[1]].Cur = static_cast<uint64_t>(E.Cause);
+    Signals[Sigs[2]].Cur = E.Cause == StallCause::Idle ? 0 : E.Tid;
+    return;
+  }
+  case Event::Kind::FifoEnq:
+  case Event::Kind::FifoDeq: {
+    unsigned Sig;
+    if (E.From == NoEdge) {
+      Sig = EntrySigs[E.Pipe];
+    } else {
+      auto It = EdgeSigs[E.Pipe].find({E.From, E.To});
+      if (It == EdgeSigs[E.Pipe].end())
+        return;
+      Sig = It->second;
+    }
+    Signals[Sig].Cur = E.Value;
+    return;
+  }
+  default:
+    return; // thread/lock/spec events have no waveform representation
+  }
+}
+
+void VcdWriter::end() {
+  if (Ended)
+    return;
+  Ended = true;
+  flushCycle();
+  OS << '#' << ((CurCycle + 1) * 10) << "\n";
+  OS.flush();
+}

@@ -1,0 +1,74 @@
+//===- VcdWriter.h - Value-change-dump trace sink --------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A TraceSink that renders the event stream as a Value Change Dump (IEEE
+/// 1364), so a simulation can be inspected in any waveform viewer
+/// (GTKWave, Surfer, ...). One simulated cycle is 10 time units with a
+/// `clk` signal toggling at the half-period. Per pipe, each stage exposes
+/// a `fire` bit, a 3-bit `outcome` code (the StallCause numbering) and a
+/// 32-bit `tid`; each inter-stage FIFO (and the entry queue) exposes its
+/// end-of-cycle depth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_OBS_VCDWRITER_H
+#define PDL_OBS_VCDWRITER_H
+
+#include "obs/TraceSink.h"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pdl {
+namespace obs {
+
+class VcdWriter : public TraceSink {
+public:
+  /// Writes the dump to \p OS (caller keeps the stream alive and open
+  /// until after end()).
+  explicit VcdWriter(std::ostream &OS) : OS(OS) {}
+
+  void begin(const TraceMeta &Meta) override;
+  void event(const Event &E) override;
+  void end() override;
+
+private:
+  struct Signal {
+    std::string Id; // VCD identifier code
+    unsigned Width = 1;
+    uint64_t Cur = 0;
+    uint64_t Last = 0;
+    bool Dumped = false; // written at least once
+  };
+
+  unsigned newSignal(unsigned Width);
+  void declareVar(const std::string &Name, unsigned Sig);
+  void writeValue(unsigned Sig, uint64_t V);
+  void flushCycle();
+
+  std::ostream &OS;
+  std::vector<Signal> Signals;
+  unsigned ClkSig = 0;
+  /// Per pipe, per stage: {fire, outcome, tid} signal indices.
+  std::vector<std::vector<std::array<unsigned, 3>>> StageSigs;
+  /// Per pipe: entry-queue depth signal.
+  std::vector<unsigned> EntrySigs;
+  /// Per pipe: (from, to) -> depth signal.
+  std::vector<std::map<std::pair<unsigned, unsigned>, unsigned>> EdgeSigs;
+  uint64_t CurCycle = 0;
+  bool HavePending = false;
+  bool Ended = false;
+};
+
+} // namespace obs
+} // namespace pdl
+
+#endif // PDL_OBS_VCDWRITER_H

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build with warnings, run the test suite,
+# then smoke-check the machine-readable bench output. CI runs exactly this;
+# run it locally before pushing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_FLAGS="-Wall -Wextra"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# Bench JSON smoke: one fast kernel, schema + attribution row sums checked.
+"$BUILD_DIR"/bench/bench_table3 --json --kernels=kmp > "$BUILD_DIR"/table3.json
+python3 tools/check_bench_json.py "$BUILD_DIR"/table3.json
+
+echo "check.sh: all green"

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validates the machine-readable bench output (bench_table3/locks/spec
+--json) without third-party dependencies: a hand-rolled schema check plus
+the attribution invariant — for every stage, fires + sum(stalls) equals the
+report's cycle count (i.e. the stall matrix rows sum to cycles - fires).
+"""
+
+import json
+import sys
+
+STALL_CAUSES = ["idle", "lock", "spec", "response", "backpressure", "kill"]
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def uint(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_report(report, where):
+    expect(uint(report.get("cycles")), f"{where}: report.cycles")
+    expect(isinstance(report.get("deadlocked"), bool),
+           f"{where}: report.deadlocked")
+    expect(isinstance(report.get("pipes"), list) and report["pipes"],
+           f"{where}: report.pipes")
+    for pipe in report["pipes"]:
+        pname = pipe.get("name")
+        expect(isinstance(pname, str) and pname, f"{where}: pipe.name")
+        for key in ("spawned", "retired", "squashed", "spec_correct",
+                    "spec_mispredict"):
+            expect(uint(pipe.get(key)), f"{where}: pipe {pname}.{key}")
+        expect(isinstance(pipe.get("stages"), list) and pipe["stages"],
+               f"{where}: pipe {pname}.stages")
+        for stage in pipe["stages"]:
+            sname = stage.get("name")
+            expect(isinstance(sname, str) and sname,
+                   f"{where}: stage.name in {pname}")
+            expect(uint(stage.get("fires")),
+                   f"{where}: {pname}/{sname}.fires")
+            stalls = stage.get("stalls")
+            expect(isinstance(stalls, dict) and
+                   sorted(stalls) == sorted(STALL_CAUSES),
+                   f"{where}: {pname}/{sname}.stalls keys")
+            expect(all(uint(v) for v in stalls.values()),
+                   f"{where}: {pname}/{sname}.stalls values")
+            total = stage["fires"] + sum(stalls.values())
+            expect(total == report["cycles"],
+                   f"{where}: {pname}/{sname}: fires+stalls = {total} "
+                   f"!= cycles = {report['cycles']}")
+        for mem in pipe.get("mems", []):
+            expect(isinstance(mem.get("name"), str),
+                   f"{where}: mem.name in {pname}")
+            for key in ("lock_stalls", "reserves", "releases", "rollbacks"):
+                expect(uint(mem.get(key)),
+                       f"{where}: mem {mem.get('name')}.{key}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: check_bench_json.py FILE.json", file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    expect(isinstance(doc.get("bench"), str), "missing 'bench' name")
+    rows = doc.get("rows")
+    expect(isinstance(rows, list) and rows, "missing/empty 'rows'")
+    reports = 0
+    for i, row in enumerate(rows):
+        where = f"row {i} ({row.get('config')}/{row.get('kernel')})"
+        expect(isinstance(row.get("config"), str), f"{where}: config")
+        expect(isinstance(row.get("kernel"), str), f"{where}: kernel")
+        expect(isinstance(row.get("cpi"), (int, float)), f"{where}: cpi")
+        expect(uint(row.get("cycles")), f"{where}: cycles")
+        expect(uint(row.get("instrs")), f"{where}: instrs")
+        if "seq_equiv" in row:
+            expect(row["seq_equiv"] is True, f"{where}: seq_equiv is false")
+        if "report" in row:
+            check_report(row["report"], where)
+            reports += 1
+
+    print(f"check_bench_json: OK: {len(rows)} rows, {reports} attribution "
+          f"reports, all stage rows sum to cycles")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

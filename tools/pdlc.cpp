@@ -13,11 +13,21 @@
 //   pdlc --run pipe arg file.pdl  elaborate and simulate `pipe` for
 //                                 --cycles N cycles starting from `arg`
 //
+// Observability flags (with --run):
+//
+//   --trace=out.vcd   write a value-change dump of the run (waveform
+//                     viewable in GTKWave/Surfer)
+//   --stats=json      print the structured StatsReport (per-stage stall
+//                     attribution matrix) as JSON on stdout
+//   --timeline        print a per-stage occupancy timeline on stdout
+//
 // Diagnostics go to stderr in compiler style (file:line:col: error: ...).
 //
 //===----------------------------------------------------------------------===//
 
 #include "backend/System.h"
+#include "obs/Sinks.h"
+#include "obs/VcdWriter.h"
 #include "passes/SeqExtract.h"
 #include "pdl/AST.h"
 
@@ -25,6 +35,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -33,12 +44,15 @@ using namespace pdl;
 static void usage() {
   std::fprintf(stderr,
                "usage: pdlc [--dump-stages] [--dump-seq] [--dump-ast]\n"
-               "            [--run PIPE ARG] [--cycles N] FILE.pdl\n");
+               "            [--run PIPE ARG] [--cycles N]\n"
+               "            [--trace=OUT.vcd] [--stats=json] [--timeline]\n"
+               "            FILE.pdl\n");
 }
 
 int main(int argc, char **argv) {
   bool DumpStages = false, DumpSeq = false, DumpAst = false;
-  std::string RunPipe;
+  bool StatsJson = false, Timeline = false;
+  std::string RunPipe, TracePath;
   uint64_t RunArg = 0, Cycles = 100;
   std::string File;
 
@@ -55,6 +69,12 @@ int main(int argc, char **argv) {
       RunArg = std::strtoull(argv[++I], nullptr, 0);
     } else if (A == "--cycles" && I + 1 < argc) {
       Cycles = std::strtoull(argv[++I], nullptr, 0);
+    } else if (A.rfind("--trace=", 0) == 0) {
+      TracePath = A.substr(8);
+    } else if (A == "--stats=json") {
+      StatsJson = true;
+    } else if (A == "--timeline") {
+      Timeline = true;
     } else if (A == "--help" || A == "-h") {
       usage();
       return 0;
@@ -84,23 +104,33 @@ int main(int argc, char **argv) {
   if (!Program.ok())
     return 1;
 
-  std::printf("%s: %zu pipe(s) checked, %u SMT queries\n", File.c_str(),
-              Program.Pipes.size(), Program.SolverQueries);
+  // With --stats=json the JSON document must be the only thing on stdout;
+  // the human-readable commentary moves to stderr.
+  FILE *Msg = StatsJson ? stderr : stdout;
+
+  std::fprintf(Msg, "%s: %zu pipe(s) checked, %u SMT queries\n",
+               File.c_str(), Program.Pipes.size(), Program.SolverQueries);
 
   if (DumpAst)
-    std::printf("\n%s", ast::printProgram(*Program.AST).c_str());
+    std::fprintf(Msg, "\n%s", ast::printProgram(*Program.AST).c_str());
 
   for (const auto &[Name, Pipe] : Program.Pipes) {
     if (DumpStages) {
-      std::printf("\npipe %s stage graph:\n%s", Name.c_str(),
-                  Pipe.Graph.str().c_str());
+      std::fprintf(Msg, "\npipe %s stage graph:\n%s", Name.c_str(),
+                   Pipe.Graph.str().c_str());
       if (Pipe.Spec.UsesSpeculation)
-        std::printf("  (speculating pipe; %zu checkpointed memories)\n",
-                    Pipe.Spec.CheckpointStage.size());
+        std::fprintf(Msg, "  (speculating pipe; %zu checkpointed memories)\n",
+                     Pipe.Spec.CheckpointStage.size());
     }
     if (DumpSeq)
-      std::printf("\npipe %s sequential specification:\n%s", Name.c_str(),
-                  extractSequential(*Pipe.Decl).c_str());
+      std::fprintf(Msg, "\npipe %s sequential specification:\n%s",
+                   Name.c_str(), extractSequential(*Pipe.Decl).c_str());
+  }
+
+  if ((!TracePath.empty() || StatsJson || Timeline) && RunPipe.empty()) {
+    std::fprintf(stderr,
+                 "pdlc: --trace/--stats/--timeline require --run\n");
+    return 2;
   }
 
   if (!RunPipe.empty()) {
@@ -113,26 +143,56 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "pdlc: --run needs a single-parameter pipe\n");
       return 1;
     }
-    backend::System Sys(Program, backend::ElabConfig{});
+
+    std::ofstream VcdOut;
+    std::unique_ptr<obs::VcdWriter> Vcd;
+    if (!TracePath.empty()) {
+      VcdOut.open(TracePath);
+      if (!VcdOut) {
+        std::fprintf(stderr, "pdlc: cannot write '%s'\n", TracePath.c_str());
+        return 2;
+      }
+      Vcd = std::make_unique<obs::VcdWriter>(VcdOut);
+    }
+    obs::CounterSink Counters;
+    obs::TimelineSink Occupancy;
+
+    backend::ElabConfig Cfg;
+    if (Vcd)
+      Cfg.Sinks.push_back(Vcd.get());
+    if (StatsJson)
+      Cfg.Sinks.push_back(&Counters);
+    if (Timeline)
+      Cfg.Sinks.push_back(&Occupancy);
+
+    backend::System Sys(Program, Cfg);
     Sys.start(RunPipe, {Bits(RunArg, Decl->Params[0].Ty.width())});
     Sys.run(Cycles);
+    Sys.finishTrace();
     const auto &St = Sys.stats();
-    std::printf("\nran %llu cycles: %llu thread(s) retired",
-                static_cast<unsigned long long>(St.Cycles),
-                static_cast<unsigned long long>(
-                    St.Retired.count(RunPipe) ? St.Retired.at(RunPipe) : 0));
+    std::fprintf(Msg, "\nran %llu cycles: %llu thread(s) retired",
+                 static_cast<unsigned long long>(St.Cycles),
+                 static_cast<unsigned long long>(
+                     St.Retired.count(RunPipe) ? St.Retired.at(RunPipe) : 0));
     if (St.Killed.count(RunPipe))
-      std::printf(", %llu squashed",
-                  static_cast<unsigned long long>(St.Killed.at(RunPipe)));
-    std::printf("%s\n", St.Deadlocked ? " [DEADLOCK]" : "");
+      std::fprintf(Msg, ", %llu squashed",
+                   static_cast<unsigned long long>(St.Killed.at(RunPipe)));
+    std::fprintf(Msg, "%s\n", St.Deadlocked ? " [DEADLOCK]" : "");
     for (const ast::MemDecl &M : Decl->Mems) {
       if (M.AddrWidth > 4)
         continue; // print only small memories
-      std::printf("  %s =", M.Name.c_str());
+      std::fprintf(Msg, "  %s =", M.Name.c_str());
       for (uint64_t A = 0; A < (uint64_t(1) << M.AddrWidth); ++A)
-        std::printf(" %s", Sys.archRead(RunPipe, M.Name, A).str().c_str());
-      std::printf("\n");
+        std::fprintf(Msg, " %s",
+                     Sys.archRead(RunPipe, M.Name, A).str().c_str());
+      std::fprintf(Msg, "\n");
     }
+    if (Timeline)
+      std::fprintf(Msg, "\n%s", Occupancy.render().c_str());
+    if (StatsJson)
+      std::printf("%s\n", Counters.report().toJson().c_str());
+    if (Vcd)
+      std::fprintf(stderr, "pdlc: wrote %s\n", TracePath.c_str());
   }
   return 0;
 }
