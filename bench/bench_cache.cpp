@@ -14,8 +14,11 @@
 
 #include "backend/System.h"
 #include "cores/CoreSources.h"
+#include "obs/Sinks.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 using namespace pdl;
@@ -32,12 +35,20 @@ struct Req {
 struct Outcome {
   uint64_t Cycles = 0;
   std::vector<uint64_t> Responses;
+  /// PDL-cache-level accounting: every line fill reads `main`, so misses
+  /// (read misses + write-allocate fills) equal the main model's reads and
+  /// hits are the remaining requests.
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  obs::StatsReport Report;
 };
 
 Outcome drive(const CompiledProgram &CP, const std::vector<Req> &Reqs) {
   ElabConfig Cfg;
   Cfg.LockChoice["cache.entry"] = LockKind::Queue;
   Cfg.MemLatency["cache.main"] = 3; // DRAM-ish miss latency
+  obs::CounterSink Counters;
+  Cfg.Sinks.push_back(&Counters);
   System Sys(CP, Cfg);
   // Pre-fill main memory so misses return recognizable data.
   for (uint32_t W = 0; W < 4096; ++W)
@@ -60,6 +71,11 @@ Outcome drive(const CompiledProgram &CP, const std::vector<Req> &Reqs) {
   O.Cycles = Sys.stats().Cycles - Start;
   for (const ThreadTrace &T : Sys.trace("cache"))
     O.Responses.push_back(T.Output ? T.Output->zext() : ~0ull);
+  const mem::MemModel *Main = Sys.memModel(Sys.memHandle("cache", "main"));
+  O.Misses = Main ? Main->stats().Reads : 0;
+  O.Hits = Reqs.size() > O.Misses ? Reqs.size() - O.Misses : 0;
+  Sys.finishTrace();
+  O.Report = Counters.report();
   return O;
 }
 
@@ -81,7 +97,17 @@ std::vector<uint64_t> oracle(const CompiledProgram &CP,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bool JsonOut = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0) {
+      JsonOut = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_cache [--json]\n");
+      return 2;
+    }
+  }
+
   CompiledProgram CP = compile(cores::cacheSource(), "cache.pdl");
   if (!CP.ok()) {
     std::fprintf(stderr, "cache failed to compile:\n%s",
@@ -89,11 +115,9 @@ int main() {
     return 1;
   }
 
-  std::printf("=== Figure 7: 2-stage direct-mapped write-through cache "
-              "===\n\n");
-
   struct Pattern {
     const char *Name;
+    const char *Short; // JSON kernel id
     std::vector<Req> Reqs;
   };
   std::vector<Pattern> Patterns;
@@ -103,14 +127,14 @@ int main() {
     std::vector<Req> R;
     for (int I = 0; I < 32; ++I)
       R.push_back({0x140, 0, false});
-    Patterns.push_back({"repeat-line (1 miss + 31 hits)", R});
+    Patterns.push_back({"repeat-line (1 miss + 31 hits)", "repeat-line", R});
   }
   // Cold misses: 32 distinct lines.
   {
     std::vector<Req> R;
     for (int I = 0; I < 32; ++I)
       R.push_back({uint32_t(0x1000 + I * 4), 0, false});
-    Patterns.push_back({"streaming (32 cold misses)", R});
+    Patterns.push_back({"streaming (32 cold misses)", "streaming", R});
   }
   // Write-then-read conflicts on one line (queue lock serializes).
   {
@@ -119,17 +143,47 @@ int main() {
       R.push_back({0x80, uint32_t(0xAA00 + I), true});
       R.push_back({0x80, 0, false});
     }
-    Patterns.push_back({"write/read same line x16", R});
+    Patterns.push_back({"write/read same line x16", "write-read", R});
   }
+
+  if (JsonOut) {
+    obs::Json Doc = obs::Json::object();
+    Doc.set("bench", "cache");
+    obs::Json Rows = obs::Json::array();
+    for (const Pattern &P : Patterns) {
+      Outcome O = drive(CP, P.Reqs);
+      std::vector<uint64_t> Want = oracle(CP, P.Reqs);
+      obs::Json Row = obs::Json::object();
+      Row.set("config", "fig7-cache");
+      Row.set("kernel", P.Short);
+      Row.set("cpi", double(O.Cycles) / double(P.Reqs.size()));
+      Row.set("cycles", O.Cycles);
+      Row.set("instrs", uint64_t(P.Reqs.size()));
+      Row.set("seq_equiv", O.Responses == Want);
+      Row.set("hits", O.Hits);
+      Row.set("misses", O.Misses);
+      Row.set("report", O.Report.toJsonValue());
+      Rows.push(std::move(Row));
+    }
+    Doc.set("rows", std::move(Rows));
+    std::printf("%s\n", Doc.dump(2).c_str());
+    return 0;
+  }
+
+  std::printf("=== Figure 7: 2-stage direct-mapped write-through cache "
+              "===\n\n");
 
   for (const Pattern &P : Patterns) {
     Outcome O = drive(CP, P.Reqs);
     std::vector<uint64_t> Want = oracle(CP, P.Reqs);
     bool Match = O.Responses == Want;
-    std::printf("%-36s %5zu reqs %7llu cycles  %.2f cyc/req  seq-equiv:%s\n",
+    std::printf("%-36s %5zu reqs %7llu cycles  %.2f cyc/req  "
+                "%2llu hits %2llu misses  seq-equiv:%s\n",
                 P.Name, P.Reqs.size(),
                 static_cast<unsigned long long>(O.Cycles),
                 double(O.Cycles) / double(P.Reqs.size()),
+                static_cast<unsigned long long>(O.Hits),
+                static_cast<unsigned long long>(O.Misses),
                 Match ? "yes" : "NO!");
   }
 

@@ -1,0 +1,297 @@
+//===- bench_mem.cpp - Table 3 CPI under memory-hierarchy misses -----------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates the Table 3 CPI comparison under three memory hierarchies:
+/// the paper's always-hit assumption (Section 6), a realistic 4KiB split
+/// L1, and a deliberately tiny 256B L1 that thrashes — both cache configs
+/// over one shared single-ported backing bus. Every PDL run keeps the
+/// golden-simulator sequential-equivalence check enabled, demonstrating
+/// that variable-latency responses do not perturb one-instruction-at-a-time
+/// semantics.
+///
+/// Shape claims asserted (exit 1 on violation):
+///  * Sodor and PDL 5Stg produce the same CPI under always-hit (to the
+///    three decimals Table 3 prints);
+///  * 3Stg < BHT < 5Stg on the geometric mean under every hierarchy;
+///  * per core, geomean CPI is monotone: always-hit <= l1-4k <= l1-tiny;
+///  * every run is sequentially equivalent and its stall-attribution
+///    matrix stays exact (fires + stalls == cycles per stage).
+///
+//===----------------------------------------------------------------------===//
+
+#include "cores/Core.h"
+#include "cores/SodorModel.h"
+#include "mem/MemModel.h"
+#include "obs/Sinks.h"
+#include "riscv/Assembler.h"
+#include "workloads/Workloads.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace pdl;
+using namespace pdl::cores;
+using namespace pdl::workloads;
+
+namespace {
+
+double geomean(const std::vector<double> &Xs) {
+  double Log = 0;
+  for (double X : Xs)
+    Log += std::log(X);
+  return std::exp(Log / Xs.size());
+}
+
+/// The Sodor-side replica of a CoreMemProfile: the same split caches over
+/// the same shared bus, driven by the golden commit trace.
+struct SodorMem {
+  std::unique_ptr<mem::FixedLatency> Bus;
+  std::unique_ptr<mem::SetAssocCache> I, D;
+  SodorMemModels M;
+
+  explicit SodorMem(const CoreMemProfile &P) {
+    if (!P.Imem)
+      return; // always-hit: no models
+    Bus = std::make_unique<mem::FixedLatency>(P.Imem->ShareLatency,
+                                              /*SinglePorted=*/true);
+    I = std::make_unique<mem::SetAssocCache>(P.Imem->Cache, Bus.get());
+    D = std::make_unique<mem::SetAssocCache>(P.Dmem->Cache, Bus.get());
+    M.IFetch = I.get();
+    M.Data = D.get();
+  }
+};
+
+struct RowResult {
+  double Cpi = 0;
+  uint64_t Cycles = 0, Instrs = 0;
+  uint64_t Hits = 0, Misses = 0;
+  bool SeqOk = true;
+  bool AttribOk = true;
+};
+
+obs::Json jsonRow(const std::string &Config, const std::string &Kernel,
+                  const RowResult &R, const obs::CounterSink *Counters) {
+  obs::Json Row = obs::Json::object();
+  Row.set("config", Config);
+  Row.set("kernel", Kernel);
+  Row.set("cpi", R.Cpi);
+  Row.set("cycles", R.Cycles);
+  Row.set("instrs", R.Instrs);
+  Row.set("seq_equiv", R.SeqOk);
+  Row.set("hits", R.Hits);
+  Row.set("misses", R.Misses);
+  if (Counters)
+    Row.set("report", Counters->report().toJsonValue());
+  return Row;
+}
+
+struct CoreConfig {
+  const char *Name;
+  CoreKind Kind;
+};
+const CoreConfig CoreConfigs[] = {
+    {"PDL 5Stg", CoreKind::Pdl5Stage},
+    {"PDL 3Stg", CoreKind::Pdl3Stage},
+    {"PDL 5Stg BHT", CoreKind::Pdl5StageBht},
+};
+
+RowResult runPdl(CoreKind Kind, const CoreMemProfile &Profile,
+                 const Workload &W, obs::CounterSink &Counters) {
+  Core Cpu(Kind, PredictorKind::Bht2Bit, Profile);
+  Cpu.system().attachSink(Counters);
+  Cpu.loadProgram(riscv::assemble(W.AsmI));
+  Core::RunResult R = Cpu.run(20000000, /*CheckGolden=*/true);
+  RowResult Out;
+  Out.Cpi = R.Cpi;
+  Out.Cycles = R.Cycles;
+  Out.Instrs = R.Instrs;
+  Out.SeqOk = R.Halted && !R.Deadlocked && R.TraceMatches;
+  for (backend::MemHandle H : {Cpu.imem(), Cpu.dmem()}) {
+    if (const mem::MemModel *M = Cpu.system().memModel(H)) {
+      Out.Hits += M->stats().hits();
+      Out.Misses += M->stats().misses();
+    }
+  }
+  Cpu.system().finishTrace();
+  Out.AttribOk = Counters.report().attributionExact();
+  return Out;
+}
+
+RowResult runSodorRow(const CoreMemProfile &Profile, const Workload &W) {
+  SodorMem Mem(Profile);
+  SodorResult R =
+      runSodor(riscv::assemble(W.AsmI), {}, HaltByteAddr, 5000000,
+               /*Bypassed=*/true, Mem.M.IFetch ? &Mem.M : nullptr);
+  RowResult Out;
+  Out.Cpi = R.Cpi;
+  Out.Cycles = R.Cycles;
+  Out.Instrs = R.Instrs;
+  for (mem::SetAssocCache *C : {Mem.I.get(), Mem.D.get()}) {
+    if (C) {
+      Out.Hits += C->stats().hits();
+      Out.Misses += C->stats().misses();
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool JsonOut = false;
+  std::string KernelFilter;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--json")
+      JsonOut = true;
+    else if (A.rfind("--kernels=", 0) == 0)
+      KernelFilter = A.substr(10);
+    else {
+      std::fprintf(stderr, "usage: bench_mem [--json] [--kernels=a,b,...]\n");
+      return 2;
+    }
+  }
+  auto KernelEnabled = [&](const std::string &Name) {
+    if (KernelFilter.empty())
+      return true;
+    size_t Pos = 0;
+    while (Pos < KernelFilter.size()) {
+      size_t Comma = KernelFilter.find(',', Pos);
+      if (Comma == std::string::npos)
+        Comma = KernelFilter.size();
+      if (KernelFilter.compare(Pos, Comma - Pos, Name) == 0)
+        return true;
+      Pos = Comma + 1;
+    }
+    return false;
+  };
+
+  std::vector<Workload> Kernels;
+  for (const Workload &W : allWorkloads())
+    if (KernelEnabled(W.Name))
+      Kernels.push_back(W);
+  if (Kernels.empty()) {
+    std::fprintf(stderr, "bench_mem: no kernels match '%s'\n",
+                 KernelFilter.c_str());
+    return 2;
+  }
+
+  const CoreMemProfile Profiles[] = {memProfileAlwaysHit(), memProfileL1_4K(),
+                                     memProfileL1Tiny()};
+
+  bool Ok = true;
+  auto Check = [&](bool Cond, const char *Msg) {
+    if (!Cond) {
+      std::fprintf(stderr, "bench_mem: SHAPE VIOLATION: %s\n", Msg);
+      Ok = false;
+    }
+  };
+
+  obs::Json Doc = obs::Json::object();
+  Doc.set("bench", "mem");
+  obs::Json Rows = obs::Json::array();
+
+  // geomean CPI per (profile, core row); Sodor is row index 3.
+  std::vector<std::vector<double>> Geo(3, std::vector<double>(4, 0));
+
+  for (unsigned PI = 0; PI != 3; ++PI) {
+    const CoreMemProfile &Profile = Profiles[PI];
+    if (!JsonOut)
+      std::printf("=== CPI under '%s' ===\n%-14s %8s %10s %10s %10s  %s\n",
+                  Profile.Name.c_str(), "core", "geomean", "cycles", "hits",
+                  "misses", "seq-equiv");
+
+    std::vector<double> SodorCpis, FiveStgCpis;
+    for (unsigned CI = 0; CI != 3; ++CI) {
+      const CoreConfig &C = CoreConfigs[CI];
+      std::vector<double> Cpis;
+      uint64_t Cycles = 0, Hits = 0, Misses = 0;
+      bool SeqOk = true;
+      for (const Workload &W : Kernels) {
+        obs::CounterSink Counters;
+        RowResult R = runPdl(C.Kind, Profile, W, Counters);
+        Check(R.SeqOk, "a PDL run lost sequential equivalence");
+        Check(R.AttribOk, "stall-attribution matrix is not exact");
+        SeqOk &= R.SeqOk;
+        Cpis.push_back(R.Cpi);
+        Cycles += R.Cycles;
+        Hits += R.Hits;
+        Misses += R.Misses;
+        if (CI == 0)
+          FiveStgCpis.push_back(R.Cpi);
+        if (JsonOut)
+          Rows.push(jsonRow(std::string(C.Name) + " / " + Profile.Name,
+                            W.Name, R, &Counters));
+      }
+      Geo[PI][CI] = geomean(Cpis);
+      if (!JsonOut)
+        std::printf("%-14s %8.3f %10llu %10llu %10llu  %s\n", C.Name,
+                    Geo[PI][CI], (unsigned long long)Cycles,
+                    (unsigned long long)Hits, (unsigned long long)Misses,
+                    SeqOk ? "yes" : "NO!");
+      if (PI != 0)
+        Check(Misses > 0, "a cache profile recorded no misses");
+    }
+
+    // Sodor: analytic timing over the golden trace, same cache geometry.
+    {
+      uint64_t Cycles = 0, Hits = 0, Misses = 0;
+      for (const Workload &W : Kernels) {
+        RowResult R = runSodorRow(Profile, W);
+        SodorCpis.push_back(R.Cpi);
+        Cycles += R.Cycles;
+        Hits += R.Hits;
+        Misses += R.Misses;
+        if (JsonOut)
+          Rows.push(jsonRow(std::string("Sodor / ") + Profile.Name, W.Name,
+                            R, nullptr));
+      }
+      Geo[PI][3] = geomean(SodorCpis);
+      if (!JsonOut)
+        std::printf("%-14s %8.3f %10llu %10llu %10llu  %s\n", "Sodor",
+                    Geo[PI][3], (unsigned long long)Cycles,
+                    (unsigned long long)Hits, (unsigned long long)Misses,
+                    "n/a");
+    }
+
+    // Sodor == PDL 5Stg stall-for-stall only under always-hit (identical
+    // to the three decimals Table 3 prints; the analytic model counts the
+    // pipeline fill one cycle differently). With misses the pipelined core
+    // also pollutes the caches on wrong-path fetches, which the
+    // trace-driven model cannot see, so equality is only asserted here.
+    if (PI == 0)
+      for (size_t I = 0; I != Kernels.size(); ++I)
+        Check(std::fabs(SodorCpis[I] - FiveStgCpis[I]) < 0.005,
+              "Sodor != PDL 5Stg under always-hit");
+
+    // 3Stg < BHT < 5Stg must survive the miss latencies.
+    Check(Geo[PI][1] < Geo[PI][2], "3Stg geomean not below BHT");
+    Check(Geo[PI][2] < Geo[PI][0], "BHT geomean not below 5Stg");
+    if (!JsonOut)
+      std::printf("\n");
+  }
+
+  // Miss latencies only ever cost cycles: always-hit <= l1-4k <= l1-tiny.
+  for (unsigned CI = 0; CI != 4; ++CI) {
+    Check(Geo[0][CI] <= Geo[1][CI] + 1e-9,
+          "4KiB L1 geomean below always-hit");
+    Check(Geo[1][CI] <= Geo[2][CI] + 1e-9,
+          "tiny L1 geomean below 4KiB L1");
+  }
+
+  if (JsonOut) {
+    Doc.set("rows", std::move(Rows));
+    std::printf("%s\n", Doc.dump(2).c_str());
+  } else if (Ok) {
+    std::printf("Shape checks held under every hierarchy:\n"
+                " * Sodor == PDL 5Stg (always-hit), 3Stg < BHT < 5Stg,\n"
+                " * geomean CPI monotone in miss cost per core.\n");
+  }
+  return Ok ? 0 : 1;
+}

@@ -75,6 +75,7 @@ System::System(const CompiledProgram &CP, ElabConfig Cfg)
       PI->MemByIdx.push_back(PI->Mems.at(M.Name).get());
     }
     PI->LockByIdx.assign(PI->MemNames.size(), nullptr);
+    buildMemModels(*PI);
     for (const Stage &S : Pipe.Graph.Stages) {
       for (const StageEdge &E : S.Succs)
         PI->EdgeFifos.emplace(std::make_pair(E.From, E.To),
@@ -219,6 +220,53 @@ void System::elaborateLocks() {
 hw::HazardLock *System::lockFor(PipeInstance &P, const std::string &Mem) {
   auto It = P.Locks.find(Mem);
   return It == P.Locks.end() ? nullptr : It->second.get();
+}
+
+void System::buildMemModels(PipeInstance &P) {
+  P.ModelByIdx.assign(P.MemNames.size(), nullptr);
+  for (unsigned I = 0, N = P.MemNames.size(); I != N; ++I) {
+    // Combinational memories answer in-cycle; no hierarchy in front of them.
+    if (!P.MemByIdx[I]->isSync())
+      continue;
+    const std::string &MemName = P.MemNames[I];
+    auto CIt = Cfg.MemModels.find(P.Name + "." + MemName);
+    if (CIt == Cfg.MemModels.end())
+      CIt = Cfg.MemModels.find(MemName);
+    std::unique_ptr<mem::MemModel> M;
+    if (CIt != Cfg.MemModels.end()) {
+      const mem::MemConfig &C = CIt->second;
+      if (C.K == mem::MemConfig::Kind::Fixed) {
+        M = std::make_unique<mem::FixedLatency>(C.FixedLat, C.SinglePorted);
+      } else {
+        mem::MemModel *Next = nullptr;
+        if (!C.ShareTag.empty()) {
+          auto &Backing = SharedBackings[C.ShareTag];
+          if (!Backing)
+            Backing = std::make_unique<mem::FixedLatency>(
+                C.ShareLatency, /*SinglePorted=*/true);
+          Next = Backing.get();
+        }
+        M = std::make_unique<mem::SetAssocCache>(C.Cache, Next);
+      }
+    } else {
+      // Legacy MemLatency shim, else the paper's always-hit default.
+      unsigned Latency = 1;
+      auto LIt = Cfg.MemLatency.find(P.Name + "." + MemName);
+      if (LIt == Cfg.MemLatency.end())
+        LIt = Cfg.MemLatency.find(MemName);
+      if (LIt != Cfg.MemLatency.end())
+        Latency = LIt->second;
+      M = std::make_unique<mem::FixedLatency>(Latency);
+    }
+    P.ModelByIdx[I] = M.get();
+    OwnedModels.push_back(std::move(M));
+  }
+}
+
+const mem::MemModel *System::memModel(MemHandle M) const {
+  const PipeInstance &PI = pipeFor(M.pipe());
+  assert(M.Mem < PI.ModelByIdx.size() && "invalid memory handle");
+  return PI.ModelByIdx[M.Mem];
 }
 
 bool System::canAccept(PipeHandle H) {
@@ -624,14 +672,36 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
 
   case Stmt::Kind::MemWrite: {
     const auto *W = cast<MemWriteStmt>(&S);
+    unsigned MemI = P.MemIdx.at(W->mem());
+    mem::MemModel *Model = P.ModelByIdx[MemI];
     if (!Commit) {
-      // Evaluate for side-effect-free env consistency only.
-      Eval(*W->addr());
-      Eval(*W->value());
+      uint64_t Addr = Eval(*W->addr()).zext();
+      Eval(*W->value()); // env consistency only
+      if (Model && !Model->canAcceptWrite(Addr, Stats.Cycles)) {
+        if (Bus.enabled())
+          Bus.emit(obs::Event::memAccess(
+              obs::Event::Kind::MemBackpressure, Stats.Cycles,
+              static_cast<uint16_t>(P.Index), static_cast<uint16_t>(MemI),
+              T.Tid, Addr));
+        return Stall(StallCause::Backpressure, &W->mem());
+      }
       return FireResult::Fire;
     }
     uint64_t Addr = Eval(*W->addr()).zext();
     Bits V = Eval(*W->value());
+    // Stores are posted: the pipeline never waits on the returned latency,
+    // but the model's tags/LRU/miss queue advance and the outcome is traced.
+    if (Model) {
+      mem::Access A = Model->write(Addr, Stats.Cycles);
+      if (A.Out != mem::Outcome::Uncached && Bus.enabled())
+        Bus.emit(obs::Event::memAccess(A.Out == mem::Outcome::Hit
+                                           ? obs::Event::Kind::MemHit
+                                           : obs::Event::Kind::MemMiss,
+                                       Stats.Cycles,
+                                       static_cast<uint16_t>(P.Index),
+                                       static_cast<uint16_t>(MemI), T.Tid,
+                                       Addr));
+    }
     hw::HazardLock *Lock = lockFor(P, W->mem());
     if (!Lock) {
       P.Mems.at(W->mem())->write(Addr, V);
@@ -660,8 +730,22 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
   case Stmt::Kind::SyncRead: {
     const auto *Rd = cast<SyncReadStmt>(&S);
     uint64_t Addr = Eval(*Rd->addr()).zext();
-    if (!Commit)
+    unsigned MemI = P.MemIdx.at(Rd->mem());
+    mem::MemModel *Model = P.ModelByIdx[MemI];
+    if (!Commit) {
+      // The hierarchy may refuse the request (miss queue full): the stage
+      // stalls on backpressure and the memory is named in a dedicated event
+      // so per-memory attribution survives the shared Backpressure column.
+      if (Model && !Model->canAcceptRead(Addr, Stats.Cycles)) {
+        if (Bus.enabled())
+          Bus.emit(obs::Event::memAccess(
+              obs::Event::Kind::MemBackpressure, Stats.Cycles,
+              static_cast<uint16_t>(P.Index), static_cast<uint16_t>(MemI),
+              T.Tid, Addr));
+        return Stall(StallCause::Backpressure, &Rd->mem());
+      }
       return FireResult::Fire;
+    }
     hw::HazardLock *Lock = lockFor(P, Rd->mem());
     Bits V;
     if (Lock) {
@@ -680,9 +764,18 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       V = P.Mems.at(Rd->mem())->read(Addr);
     }
     unsigned Latency = 1;
-    auto LIt = Cfg.MemLatency.find(P.CP->Decl->Name + "." + Rd->mem());
-    if (LIt != Cfg.MemLatency.end())
-      Latency = LIt->second;
+    if (Model) {
+      mem::Access A = Model->read(Addr, Stats.Cycles);
+      Latency = A.Latency < 1 ? 1 : A.Latency;
+      if (A.Out != mem::Outcome::Uncached && Bus.enabled())
+        Bus.emit(obs::Event::memAccess(A.Out == mem::Outcome::Hit
+                                           ? obs::Event::Kind::MemHit
+                                           : obs::Event::Kind::MemMiss,
+                                       Stats.Cycles,
+                                       static_cast<uint16_t>(P.Index),
+                                       static_cast<uint16_t>(MemI), T.Tid,
+                                       Addr));
+    }
     Deliveries.push_back({Stats.Cycles + (Latency - 1), P.CP->Decl->Name,
                           T.Tid, Rd->name(), V});
     ++T.PendingResp;
@@ -1124,6 +1217,12 @@ uint64_t System::run(uint64_t MaxCycles) {
     }
     if (!InFlight)
       break; // drained
+    if (!Deliveries.empty()) {
+      // A long-latency memory response is still in flight (cache miss);
+      // the pipeline legitimately sits idle until it arrives.
+      IdleStreak = 0;
+      continue;
+    }
     if (++IdleStreak > 8) {
       Stats.Deadlocked = true;
       if (Bus.enabled())

@@ -46,6 +46,7 @@
 #include "hw/Fifo.h"
 #include "hw/Lock.h"
 #include "hw/SpecTable.h"
+#include "mem/MemModel.h"
 #include "obs/TraceSink.h"
 #include "passes/Compiler.h"
 
@@ -110,7 +111,14 @@ struct ElabConfig {
   unsigned SpecCapacity = 8;
   /// Response latency (cycles) per synchronous "pipe.mem"; default 1
   /// (every access is a cache hit, as in the paper's evaluation).
+  /// Deprecated shim: an entry here elaborates a mem::FixedLatency(N)
+  /// model; MemModels below is the full-fidelity knob and wins on overlap.
   std::map<std::string, unsigned> MemLatency;
+  /// Memory-hierarchy model per "pipe.mem" (falls back to the bare memory
+  /// name, then to FixedLatency(1) — the paper's always-hit assumption).
+  /// Cache configs sharing a non-empty ShareTag are elaborated over one
+  /// shared single-ported backing (the L1I/L1D Hierarchy composition).
+  std::map<std::string, mem::MemConfig> MemModels;
   /// Trace sinks attached at construction (equivalent to calling
   /// attachSink() on each). Caller-owned; must outlive the System.
   std::vector<obs::TraceSink *> Sinks;
@@ -160,6 +168,10 @@ public:
 
   /// Storage access (load programs before calling start()).
   hw::Memory &memory(MemHandle M);
+
+  /// The memory-hierarchy timing model behind a synchronous memory, for
+  /// reading its hit/miss/traffic stats; null for combinational memories.
+  const mem::MemModel *memModel(MemHandle M) const;
 
   /// The lock instance guarding a memory (valid after start()).
   hw::HazardLock &lock(MemHandle M);
@@ -294,6 +306,9 @@ private:
     std::map<std::string, unsigned> MemIdx;  // name -> interned index
     std::vector<hw::Memory *> MemByIdx;      // by interned index
     std::vector<hw::HazardLock *> LockByIdx; // by interned index (or null)
+    /// Timing model per interned memory index (null for combinational
+    /// memories, which answer in the same cycle and have no hierarchy).
+    std::vector<mem::MemModel *> ModelByIdx;
     hw::SpecTable Spec;
     std::vector<ThreadTrace> Retired;
 
@@ -332,6 +347,10 @@ private:
   PipeInstance &pipe(const std::string &Name);
   const PipeInstance &pipeFor(PipeHandle P) const;
   void elaborateLocks();
+
+  /// Instantiates the timing model for every synchronous memory of \p P
+  /// from Cfg.MemModels / Cfg.MemLatency (default FixedLatency(1)).
+  void buildMemModels(PipeInstance &P);
   hw::HazardLock *lockFor(PipeInstance &P, const std::string &Mem);
 
   /// Dequeues squashed threads at the front of the stage's input, then
@@ -403,6 +422,10 @@ private:
   std::vector<PendingEnq> PendingEnqs;
   std::vector<PendingTag> PendingTags;
   std::deque<Delivery> Deliveries;
+  /// Storage for the elaborated memory-hierarchy models, plus the shared
+  /// single-ported backings keyed by MemConfig::ShareTag.
+  std::vector<std::unique_ptr<mem::MemModel>> OwnedModels;
+  std::map<std::string, std::unique_ptr<mem::MemModel>> SharedBackings;
   std::optional<std::tuple<unsigned, std::string, uint64_t>> HaltWatch;
   SystemStats Stats;
   obs::TraceBus Bus;

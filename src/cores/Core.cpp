@@ -50,7 +50,42 @@ static std::string sourceFor(CoreKind K) {
   return "";
 }
 
-Core::Core(CoreKind Kind, PredictorKind Predictor) : Kind(Kind) {
+static mem::MemConfig l1Config(unsigned Sets, unsigned Ways,
+                               const char *ShareTag) {
+  mem::MemConfig C;
+  C.K = mem::MemConfig::Kind::Cache;
+  C.Cache.Sets = Sets;
+  C.Cache.Ways = Ways;
+  C.Cache.LineElems = 4;
+  C.Cache.HitLatency = 1;
+  C.Cache.MissPenalty = 4; // on top of the shared bus latency
+  C.Cache.MshrCount = 4;
+  C.Cache.WriteBack = false;
+  C.ShareTag = ShareTag;
+  C.ShareLatency = 12;
+  return C;
+}
+
+CoreMemProfile cores::memProfileAlwaysHit() { return CoreMemProfile(); }
+
+CoreMemProfile cores::memProfileL1_4K() {
+  CoreMemProfile P;
+  P.Name = "l1-4k";
+  P.Imem = l1Config(64, 4, "bus");
+  P.Dmem = l1Config(64, 4, "bus");
+  return P;
+}
+
+CoreMemProfile cores::memProfileL1Tiny() {
+  CoreMemProfile P;
+  P.Name = "l1-tiny";
+  P.Imem = l1Config(8, 2, "bus");
+  P.Dmem = l1Config(8, 2, "bus");
+  return P;
+}
+
+Core::Core(CoreKind Kind, PredictorKind Predictor, CoreMemProfile MemProfile)
+    : Kind(Kind), MemProfile(std::move(MemProfile)) {
   Program = std::make_unique<CompiledProgram>(
       compile(sourceFor(Kind), coreName(Kind)));
   if (!Program->ok()) {
@@ -74,6 +109,10 @@ Core::Core(CoreKind Kind, PredictorKind Predictor) : Kind(Kind) {
     break;
   }
   Cfg.LockChoice["cpu.dmem"] = LockKind::Queue;
+  if (this->MemProfile.Imem)
+    Cfg.MemModels["cpu.imem"] = *this->MemProfile.Imem;
+  if (this->MemProfile.Dmem)
+    Cfg.MemModels["cpu.dmem"] = *this->MemProfile.Dmem;
   Sys = std::make_unique<backend::System>(*Program, Cfg);
   Cpu = Sys->pipeHandle("cpu");
   Imem = Sys->memHandle(Cpu, "imem");

@@ -42,15 +42,34 @@ const char *coreName(CoreKind K);
 /// Which external predictor module backs the BHT core's `bht` extern.
 enum class PredictorKind { Bht2Bit, Gshare };
 
+/// The memory hierarchy a core is elaborated with: optional models for the
+/// instruction and data memories. Empty optionals keep the paper's default
+/// (FixedLatency(1), every access a hit — Section 6's assumption).
+struct CoreMemProfile {
+  std::string Name = "always-hit";
+  std::optional<mem::MemConfig> Imem;
+  std::optional<mem::MemConfig> Dmem;
+};
+
+/// Canonical profiles for the CPI-under-miss evaluation (bench_mem):
+/// always-hit (the seed behaviour), a 4KiB split L1 (64 sets x 4 ways x
+/// 4-word lines per side), and a deliberately tiny 256B L1 (8x2x4) that
+/// thrashes — both L1 profiles share one single-ported backing bus.
+CoreMemProfile memProfileAlwaysHit();
+CoreMemProfile memProfileL1_4K();
+CoreMemProfile memProfileL1Tiny();
+
 /// A ready-to-run processor instance.
 class Core {
 public:
   explicit Core(CoreKind Kind,
-                PredictorKind Predictor = PredictorKind::Bht2Bit);
+                PredictorKind Predictor = PredictorKind::Bht2Bit,
+                CoreMemProfile MemProfile = {});
 
   CoreKind kind() const { return Kind; }
   const CompiledProgram &program() const { return *Program; }
   backend::System &system() { return *Sys; }
+  const CoreMemProfile &memProfile() const { return MemProfile; }
 
   /// Interned handles, resolved once at construction (the redesigned
   /// System API); use these instead of the deprecated string lookups.
@@ -80,6 +99,7 @@ public:
 
 private:
   CoreKind Kind;
+  CoreMemProfile MemProfile;
   std::unique_ptr<CompiledProgram> Program;
   std::unique_ptr<backend::System> Sys;
   backend::PipeHandle Cpu;

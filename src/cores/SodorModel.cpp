@@ -33,18 +33,30 @@ bool isTakenControl(const CommitRecord &R, const CommitRecord *Next) {
 } // namespace
 
 SodorResult cores::runSodorTiming(const std::vector<CommitRecord> &Log,
-                                  bool Bypassed) {
+                                  bool Bypassed, const SodorMemModels *Mem) {
   SodorResult R;
   R.Instrs = Log.size();
   if (Log.empty())
     return R;
 
   // Issue-slot model: cycles = instructions + bubbles + pipeline fill.
+  // With memory models attached, fetch/load latency beyond one cycle also
+  // becomes bubbles; `Now` tracks the running issue cycle so the models'
+  // miss queues and LRU state age consistently with the bubbles they cause.
   uint64_t Bubbles = 0;
+  uint64_t Now = 0;
   for (size_t I = 0; I != Log.size(); ++I) {
     const CommitRecord &Cur = Log[I];
     uint32_t Op = fieldOpcode(Cur.Insn);
     unsigned Rs1 = fieldRs1(Cur.Insn), Rs2 = fieldRs2(Cur.Insn);
+
+    if (Mem && Mem->IFetch) {
+      mem::Access A = Mem->IFetch->read(Cur.Pc >> 2, Now);
+      if (A.Latency > 1) {
+        Bubbles += A.Latency - 1;
+        Now += A.Latency - 1;
+      }
+    }
 
     // Data-hazard stalls against up to the three preceding producers.
     uint64_t Stall = 0;
@@ -67,11 +79,28 @@ SodorResult cores::runSodorTiming(const std::vector<CommitRecord> &Log,
       }
     }
     Bubbles += Stall;
+    Now += Stall;
+
+    if (Mem && Mem->Data) {
+      if (Cur.MemRead) {
+        mem::Access A = Mem->Data->read(Cur.MemRead->first, Now);
+        if (A.Latency > 1) {
+          Bubbles += A.Latency - 1;
+          Now += A.Latency - 1;
+        }
+      } else if (Cur.MemWrite) {
+        // Stores are posted; the model still ages its tags/LRU state.
+        Mem->Data->write(Cur.MemWrite->first, Now);
+      }
+    }
 
     // Control: taken branches and jumps redirect in EXECUTE (2 bubbles).
     const CommitRecord *Next = I + 1 < Log.size() ? &Log[I + 1] : nullptr;
-    if (isTakenControl(Cur, Next))
+    if (isTakenControl(Cur, Next)) {
       Bubbles += 2;
+      Now += 2;
+    }
+    ++Now;
   }
 
   R.Cycles = Log.size() + Bubbles + 4; // +4: 5-stage pipeline fill
@@ -82,7 +111,8 @@ SodorResult cores::runSodorTiming(const std::vector<CommitRecord> &Log,
 SodorResult
 cores::runSodor(const std::vector<uint32_t> &Program,
                 const std::vector<std::pair<uint32_t, uint32_t>> &Data,
-                uint32_t HaltByteAddr, uint64_t MaxInstrs, bool Bypassed) {
+                uint32_t HaltByteAddr, uint64_t MaxInstrs, bool Bypassed,
+                const SodorMemModels *Mem) {
   GoldenSim Sim;
   Sim.loadProgram(Program);
   for (auto &[A, V] : Data)
@@ -90,5 +120,5 @@ cores::runSodor(const std::vector<uint32_t> &Program,
   Sim.setHaltStore(HaltByteAddr);
   std::vector<CommitRecord> Log;
   Sim.run(MaxInstrs, &Log);
-  return runSodorTiming(Log, Bypassed);
+  return runSodorTiming(Log, Bypassed, Mem);
 }

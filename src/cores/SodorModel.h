@@ -25,6 +25,7 @@
 #ifndef PDL_CORES_SODORMODEL_H
 #define PDL_CORES_SODORMODEL_H
 
+#include "mem/MemModel.h"
 #include "riscv/GoldenSim.h"
 
 #include <cstdint>
@@ -39,16 +40,28 @@ struct SodorResult {
   double Cpi = 0;
 };
 
+/// Optional memory-hierarchy timing for the Sodor model, lifting the
+/// always-hit assumption the same way the executor does: every fetch
+/// probes \p IFetch and every load probes \p Data (stores are posted);
+/// latency beyond one cycle becomes fetch/load bubbles. Models are
+/// caller-owned and consumed in trace order.
+struct SodorMemModels {
+  mem::MemModel *IFetch = nullptr;
+  mem::MemModel *Data = nullptr;
+};
+
 /// Runs the timing model over \p Log (a golden commit trace).
 SodorResult runSodorTiming(const std::vector<riscv::CommitRecord> &Log,
-                           bool Bypassed = true);
+                           bool Bypassed = true,
+                           const SodorMemModels *Mem = nullptr);
 
 /// Convenience: execute \p Program on the golden simulator (with \p Data
 /// preloaded into dmem) and time the resulting trace.
 SodorResult runSodor(const std::vector<uint32_t> &Program,
                      const std::vector<std::pair<uint32_t, uint32_t>> &Data,
                      uint32_t HaltByteAddr, uint64_t MaxInstrs,
-                     bool Bypassed = true);
+                     bool Bypassed = true,
+                     const SodorMemModels *Mem = nullptr);
 
 } // namespace cores
 } // namespace pdl

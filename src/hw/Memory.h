@@ -7,10 +7,12 @@
 /// \file
 /// The storage behind a PDL memory declaration: 2^AddrWidth elements of
 /// ElemWidth bits. Combinational memories respond in the same cycle;
-/// synchronous memories respond the next cycle (single-cycle latency — the
-/// paper's evaluation simulates cache hits on every access). The response
-/// scheduling itself is handled by the pipeline executor; this class is
-/// plain storage with sparse backing so large address spaces are cheap.
+/// synchronous memories respond after a model-determined latency (default
+/// one cycle — the paper's evaluation simulates cache hits on every
+/// access; see mem::MemModel for the hierarchy models that lift this).
+/// The response scheduling itself is handled by the pipeline executor;
+/// this class is plain storage with sparse backing so large address
+/// spaces are cheap.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +22,7 @@
 #include "support/Bits.h"
 
 #include <cassert>
+#include <cstdio>
 #include <string>
 #include <unordered_map>
 
@@ -33,7 +36,7 @@ public:
       : Name(std::move(Name)), ElemWidth(ElemWidth), AddrWidth(AddrWidth),
         IsSync(IsSync) {
     assert(ElemWidth >= 1 && ElemWidth <= 64 && "bad element width");
-    assert(AddrWidth >= 1 && AddrWidth <= 30 && "bad address width");
+    assert(AddrWidth >= 1 && AddrWidth <= 32 && "bad address width");
   }
 
   const std::string &name() const { return Name; }
@@ -43,14 +46,16 @@ public:
   uint64_t size() const { return uint64_t(1) << AddrWidth; }
 
   Bits read(uint64_t Addr) const {
-    assert(Addr < size() && "memory read out of range");
+    if (!inRange(Addr, "read"))
+      return Bits(0, ElemWidth); // reads of dropped range return zero
     auto It = Data.find(Addr);
     return Bits(It == Data.end() ? 0 : It->second, ElemWidth);
   }
 
   void write(uint64_t Addr, Bits V) {
-    assert(Addr < size() && "memory write out of range");
     assert(V.width() == ElemWidth && "memory write width mismatch");
+    if (!inRange(Addr, "write"))
+      return; // out-of-range writes are dropped
     Data[Addr] = V.zext();
   }
 
@@ -60,9 +65,27 @@ public:
   void clear() { Data.clear(); }
 
 private:
+  /// Debug builds assert on out-of-range accesses (a simulator bug or a
+  /// misbehaving program); release builds report once per memory to stderr
+  /// and drop the access instead of silently corrupting sparse storage.
+  bool inRange(uint64_t Addr, const char *What) const {
+    if (Addr < size())
+      return true;
+    assert(false && "memory access out of range");
+    if (!WarnedOutOfRange) {
+      WarnedOutOfRange = true;
+      std::fprintf(stderr,
+                   "pdl: memory '%s': out-of-range %s at address 0x%llx "
+                   "(address width %u bits); access dropped\n",
+                   Name.c_str(), What, (unsigned long long)Addr, AddrWidth);
+    }
+    return false;
+  }
+
   std::string Name;
   unsigned ElemWidth, AddrWidth;
   bool IsSync;
+  mutable bool WarnedOutOfRange = false;
   std::unordered_map<uint64_t, uint64_t> Data;
 };
 

@@ -1,0 +1,341 @@
+//===- MemModel.cpp - Memory-hierarchy timing models ------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/MemModel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+using namespace pdl;
+using namespace pdl::mem;
+
+MemModel::~MemModel() = default;
+
+//===----------------------------------------------------------------------===//
+// FixedLatency
+//===----------------------------------------------------------------------===//
+
+unsigned FixedLatency::occupyPort(uint64_t Now) {
+  if (!SinglePorted)
+    return Lat;
+  uint64_t Wait = FreeAt > Now ? FreeAt - Now : 0;
+  unsigned Total = static_cast<unsigned>(Wait) + Lat;
+  FreeAt = Now + Total;
+  return Total;
+}
+
+Access FixedLatency::read(uint64_t Addr, uint64_t Now) {
+  (void)Addr;
+  ++S.Reads;
+  return {Outcome::Uncached, occupyPort(Now)};
+}
+
+Access FixedLatency::write(uint64_t Addr, uint64_t Now) {
+  (void)Addr;
+  ++S.Writes;
+  // Posted store: it still occupies the single port, so a store burst
+  // delays the next line fill behind it.
+  return {Outcome::Uncached, occupyPort(Now)};
+}
+
+//===----------------------------------------------------------------------===//
+// SetAssocCache
+//===----------------------------------------------------------------------===//
+
+SetAssocCache::SetAssocCache(CacheParams P, MemModel *Next)
+    : P(P), Next(Next) {
+  assert(P.Sets >= 1 && P.Ways >= 1 && P.LineElems >= 1 &&
+         "degenerate cache geometry");
+  assert(P.MshrCount >= 1 && "cache needs at least one outstanding miss");
+  Lines.resize(size_t(P.Sets) * P.Ways);
+}
+
+const SetAssocCache::Line *SetAssocCache::findLine(uint64_t LineAddr) const {
+  uint64_t Set = LineAddr % P.Sets;
+  uint64_t Tag = LineAddr / P.Sets;
+  const Line *Base = &Lines[size_t(Set) * P.Ways];
+  for (unsigned W = 0; W != P.Ways; ++W)
+    if (Base[W].Valid && Base[W].Tag == Tag)
+      return &Base[W];
+  return nullptr;
+}
+
+SetAssocCache::Line *SetAssocCache::findLine(uint64_t LineAddr) {
+  return const_cast<Line *>(
+      static_cast<const SetAssocCache *>(this)->findLine(LineAddr));
+}
+
+const SetAssocCache::Mshr *SetAssocCache::findMshr(uint64_t LineAddr,
+                                                   uint64_t Now) const {
+  for (const Mshr &M : Mshrs)
+    if (M.CompleteAt > Now && M.LineAddr == LineAddr)
+      return &M;
+  return nullptr;
+}
+
+unsigned SetAssocCache::liveMshrs(uint64_t Now) const {
+  unsigned N = 0;
+  for (const Mshr &M : Mshrs)
+    if (M.CompleteAt > Now)
+      ++N;
+  return N;
+}
+
+unsigned SetAssocCache::missesInFlight(uint64_t Now) const {
+  return liveMshrs(Now);
+}
+
+bool SetAssocCache::probeLine(uint64_t Addr) const {
+  return findLine(lineAddr(Addr)) != nullptr;
+}
+
+bool SetAssocCache::canAcceptRead(uint64_t Addr, uint64_t Now) const {
+  uint64_t LA = lineAddr(Addr);
+  if (findLine(LA))
+    return true; // hit: no miss resources needed
+  if (findMshr(LA, Now))
+    return true; // merges into the outstanding miss for this line
+  return liveMshrs(Now) < P.MshrCount;
+}
+
+bool SetAssocCache::canAcceptWrite(uint64_t Addr, uint64_t Now) const {
+  if (!P.WriteBack)
+    return true; // write-through stores are posted past the cache
+  // Write-allocate: a write miss needs an MSHR slot just like a read miss.
+  return canAcceptRead(Addr, Now);
+}
+
+unsigned SetAssocCache::fillLine(uint64_t LineAddr, uint64_t Addr,
+                                 uint64_t Now) {
+  // Reclaim completed miss slots lazily.
+  Mshrs.erase(std::remove_if(Mshrs.begin(), Mshrs.end(),
+                             [&](const Mshr &M) {
+                               return M.CompleteAt <= Now;
+                             }),
+              Mshrs.end());
+  assert(Mshrs.size() < P.MshrCount &&
+         "fill with a full miss queue (probe pass must prevent this)");
+
+  uint64_t Set = LineAddr % P.Sets;
+  uint64_t Tag = LineAddr / P.Sets;
+  Line *Base = &Lines[size_t(Set) * P.Ways];
+  Line *Victim = nullptr;
+  for (unsigned W = 0; W != P.Ways; ++W) {
+    if (!Base[W].Valid) {
+      Victim = &Base[W];
+      break;
+    }
+    if (!Victim || Base[W].LastUse < Victim->LastUse)
+      Victim = &Base[W];
+  }
+
+  unsigned Lat = P.MissPenalty;
+  if (Victim->Valid) {
+    ++S.Evictions;
+    if (Victim->Dirty) {
+      ++S.Writebacks;
+      Lat += P.WritebackPenalty;
+      if (Next)
+        Next->write(Addr, Now); // the victim line drains to the next level
+    }
+  }
+  if (Next)
+    Lat += Next->read(Addr, Now).Latency;
+  if (Lat < 1)
+    Lat = 1;
+
+  Victim->Valid = true;
+  Victim->Dirty = false;
+  Victim->Tag = Tag;
+  Victim->LastUse = ++UseTick;
+  Mshrs.push_back({LineAddr, Now + Lat});
+  return Lat;
+}
+
+Access SetAssocCache::read(uint64_t Addr, uint64_t Now) {
+  ++S.Reads;
+  uint64_t LA = lineAddr(Addr);
+  if (Line *L = findLine(LA)) {
+    // A hit on a line whose fill is still in flight waits for the fill.
+    if (const Mshr *M = findMshr(LA, Now)) {
+      ++S.ReadMisses;
+      uint64_t Remaining = M->CompleteAt - Now;
+      L->LastUse = ++UseTick;
+      return {Outcome::Miss,
+              static_cast<unsigned>(Remaining < 1 ? 1 : Remaining)};
+    }
+    ++S.ReadHits;
+    L->LastUse = ++UseTick;
+    return {Outcome::Hit, P.HitLatency < 1 ? 1 : P.HitLatency};
+  }
+  ++S.ReadMisses;
+  return {Outcome::Miss, fillLine(LA, Addr, Now)};
+}
+
+Access SetAssocCache::write(uint64_t Addr, uint64_t Now) {
+  ++S.Writes;
+  uint64_t LA = lineAddr(Addr);
+  Line *L = findLine(LA);
+  if (!P.WriteBack) {
+    // Write-through, no-write-allocate: update the line if resident and
+    // forward the store to the next level either way.
+    if (L) {
+      ++S.WriteHits;
+      L->LastUse = ++UseTick;
+    } else {
+      ++S.WriteMisses;
+    }
+    if (Next)
+      Next->write(Addr, Now);
+    return {L ? Outcome::Hit : Outcome::Miss,
+            P.HitLatency < 1 ? 1 : P.HitLatency};
+  }
+  // Write-back, write-allocate.
+  if (L) {
+    ++S.WriteHits;
+    L->LastUse = ++UseTick;
+    L->Dirty = true;
+    return {Outcome::Hit, P.HitLatency < 1 ? 1 : P.HitLatency};
+  }
+  ++S.WriteMisses;
+  unsigned Lat = fillLine(LA, Addr, Now);
+  findLine(LA)->Dirty = true;
+  return {Outcome::Miss, Lat};
+}
+
+//===----------------------------------------------------------------------===//
+// Hierarchy
+//===----------------------------------------------------------------------===//
+
+Hierarchy::Hierarchy(CacheParams L1I, CacheParams L1D,
+                     unsigned BackingLatency)
+    : B(std::make_unique<FixedLatency>(BackingLatency,
+                                       /*SinglePorted=*/true)),
+      I(std::make_unique<SetAssocCache>(L1I, B.get())),
+      D(std::make_unique<SetAssocCache>(L1D, B.get())) {}
+
+//===----------------------------------------------------------------------===//
+// Configuration parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Splits "k=v" / bare-flag fields on commas.
+std::vector<std::string> splitFields(const std::string &S) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    if (Comma > Pos)
+      Out.push_back(S.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+  return Out;
+}
+
+bool parseUnsigned(const std::string &V, unsigned &Out) {
+  if (V.empty())
+    return false;
+  char *End = nullptr;
+  unsigned long N = std::strtoul(V.c_str(), &End, 0);
+  if (*End != '\0' || N > 0xffffffffUL)
+    return false;
+  Out = static_cast<unsigned>(N);
+  return true;
+}
+
+} // namespace
+
+std::optional<MemConfig> mem::parseMemConfig(const std::string &Spec,
+                                             std::string *Err) {
+  auto Fail = [&](const std::string &Msg) -> std::optional<MemConfig> {
+    if (Err)
+      *Err = Msg;
+    return std::nullopt;
+  };
+
+  size_t Colon = Spec.find(':');
+  std::string Head = Spec.substr(0, Colon);
+  std::string Rest = Colon == std::string::npos ? "" : Spec.substr(Colon + 1);
+
+  MemConfig C;
+  if (Head == "fixed") {
+    C.K = MemConfig::Kind::Fixed;
+    for (const std::string &F : splitFields(Rest)) {
+      size_t Eq = F.find('=');
+      std::string K = F.substr(0, Eq);
+      std::string V = Eq == std::string::npos ? "" : F.substr(Eq + 1);
+      unsigned N = 0;
+      if (K == "latency" && parseUnsigned(V, N) && N >= 1)
+        C.FixedLat = N;
+      else if (Eq == std::string::npos && parseUnsigned(K, N) && N >= 1)
+        C.FixedLat = N; // shorthand: fixed:3
+      else if (K == "port" && parseUnsigned(V, N))
+        C.SinglePorted = N == 1;
+      else
+        return Fail("bad fixed-latency field '" + F + "'");
+    }
+    return C;
+  }
+  if (Head != "cache")
+    return Fail("unknown memory model '" + Head + "' (fixed|cache)");
+
+  C.K = MemConfig::Kind::Cache;
+  for (const std::string &F : splitFields(Rest)) {
+    size_t Eq = F.find('=');
+    std::string K = F.substr(0, Eq);
+    std::string V = Eq == std::string::npos ? "" : F.substr(Eq + 1);
+    unsigned N = 0;
+    if (K == "wb" && Eq == std::string::npos)
+      C.Cache.WriteBack = true;
+    else if (K == "wt" && Eq == std::string::npos)
+      C.Cache.WriteBack = false;
+    else if (K == "share")
+      C.ShareTag = V;
+    else if (!parseUnsigned(V, N))
+      return Fail("bad cache field '" + F + "'");
+    else if (K == "sets" && N >= 1)
+      C.Cache.Sets = N;
+    else if (K == "ways" && N >= 1)
+      C.Cache.Ways = N;
+    else if (K == "line" && N >= 1)
+      C.Cache.LineElems = N;
+    else if (K == "hit" && N >= 1)
+      C.Cache.HitLatency = N;
+    else if (K == "miss")
+      C.Cache.MissPenalty = N;
+    else if (K == "mshr" && N >= 1)
+      C.Cache.MshrCount = N;
+    else if (K == "wbpen")
+      C.Cache.WritebackPenalty = N;
+    else if (K == "sharelat" && N >= 1)
+      C.ShareLatency = N;
+    else
+      return Fail("bad cache field '" + F + "'");
+  }
+  return C;
+}
+
+std::string mem::memConfigSummary(const MemConfig &C) {
+  if (C.K == MemConfig::Kind::Fixed)
+    return "fixed latency=" + std::to_string(C.FixedLat) +
+           (C.SinglePorted ? " single-ported" : "");
+  const CacheParams &P = C.Cache;
+  std::string S = "cache " + std::to_string(P.Sets) + "x" +
+                  std::to_string(P.Ways) + "x" +
+                  std::to_string(P.LineElems) + "w (" +
+                  std::to_string(P.sizeElems()) + " elems) " +
+                  (P.WriteBack ? "wb" : "wt") +
+                  " hit=" + std::to_string(P.HitLatency) +
+                  " miss=+" + std::to_string(P.MissPenalty) +
+                  " mshr=" + std::to_string(P.MshrCount);
+  if (!C.ShareTag.empty())
+    S += " share=" + C.ShareTag + "@" + std::to_string(C.ShareLatency);
+  return S;
+}

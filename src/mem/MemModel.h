@@ -1,0 +1,264 @@
+//===- MemModel.h - Memory-hierarchy timing models -------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory-hierarchy subsystem: timing models that sit between the
+/// pipeline executor and the `hw::Memory` backing storage. The paper's
+/// evaluation "assumes cache hits for every access" (Section 6); these
+/// models lift that assumption without touching value semantics — a
+/// `MemModel` never stores data, it only answers *when* a request completes
+/// and whether the hierarchy can accept another one:
+///
+///  * `FixedLatency`    — every access completes after a constant number of
+///                        cycles (latency 1 reproduces the paper's
+///                        always-hit behaviour bit-for-bit); optionally
+///                        single-ported so concurrent requests serialize.
+///  * `SetAssocCache`   — parameterized sets/ways/line size with LRU
+///                        replacement, write-through/no-allocate or
+///                        write-back/write-allocate policies, configurable
+///                        hit and miss latencies, and a bounded
+///                        outstanding-miss queue (MSHRs) that exerts
+///                        backpressure when full. Composes over an optional
+///                        next-level model.
+///  * `Hierarchy`       — the two-level composition used by the CPI-under-
+///                        miss evaluation: split L1I/L1D caches over one
+///                        shared single-ported backing memory.
+///
+/// The executor consults the model on every synchronous read (scheduling
+/// the response `Latency` cycles out and emitting `MemHit`/`MemMiss` obs
+/// events for cache models) and notifies it of every store; a rejected
+/// request (`canAcceptRead() == false`, miss queue full) becomes a
+/// `Backpressure` stall in the per-stage attribution matrix plus a
+/// `MemBackpressure` event naming the memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_MEM_MEMMODEL_H
+#define PDL_MEM_MEMMODEL_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pdl {
+namespace mem {
+
+/// How an access resolved. `Uncached` models have no hit/miss notion
+/// (plain storage timing); the executor emits no hit/miss events for them,
+/// which is what keeps the default `FixedLatency(1)` traces bit-identical
+/// to the pre-subsystem ones.
+enum class Outcome : uint8_t { Uncached, Hit, Miss };
+
+/// The timing answer for one accepted access.
+struct Access {
+  Outcome Out = Outcome::Uncached;
+  /// Cycles until the response value is available (>= 1): latency 1 means
+  /// "next cycle", the classic synchronous-SRAM behaviour.
+  unsigned Latency = 1;
+};
+
+/// Cheap always-on counters, one set per model instance.
+struct ModelStats {
+  uint64_t Reads = 0, Writes = 0;
+  uint64_t ReadHits = 0, ReadMisses = 0;
+  uint64_t WriteHits = 0, WriteMisses = 0;
+  uint64_t Evictions = 0, Writebacks = 0;
+
+  uint64_t hits() const { return ReadHits + WriteHits; }
+  uint64_t misses() const { return ReadMisses + WriteMisses; }
+};
+
+/// A request-in/response-after-N-cycles timing model over one memory.
+/// Addresses are element (word) addresses, exactly what the elaborated
+/// `hw::Memory` uses. Models are deterministic: the same access sequence
+/// at the same cycles produces the same latencies.
+class MemModel {
+public:
+  virtual ~MemModel();
+
+  virtual const char *kindName() const = 0;
+
+  /// Backpressure probes: can the model take one more read/write at cycle
+  /// \p Now? Pure (called from the executor's probe pass; must not change
+  /// model state). A model with no resource limits always returns true.
+  virtual bool canAcceptRead(uint64_t Addr, uint64_t Now) const {
+    (void)Addr;
+    (void)Now;
+    return true;
+  }
+  virtual bool canAcceptWrite(uint64_t Addr, uint64_t Now) const {
+    (void)Addr;
+    (void)Now;
+    return true;
+  }
+
+  /// A synchronous read issued at cycle \p Now. Updates model state (tags,
+  /// LRU, miss queue) and returns when the value arrives.
+  virtual Access read(uint64_t Addr, uint64_t Now) = 0;
+
+  /// A store issued at cycle \p Now. Stores are posted (the pipeline does
+  /// not wait for them); the returned Access carries the hit/miss outcome
+  /// for observability.
+  virtual Access write(uint64_t Addr, uint64_t Now) = 0;
+
+  const ModelStats &stats() const { return S; }
+
+protected:
+  ModelStats S;
+};
+
+/// Constant-latency storage: today's executor behaviour, parameterized.
+/// With \p SinglePorted set, overlapping requests serialize on the one
+/// port — the second requester waits until the first response completes
+/// (used as the shared backing memory of a `Hierarchy`).
+class FixedLatency : public MemModel {
+public:
+  explicit FixedLatency(unsigned Latency = 1, bool SinglePorted = false)
+      : Lat(Latency < 1 ? 1 : Latency), SinglePorted(SinglePorted) {}
+
+  const char *kindName() const override { return "fixed"; }
+  unsigned latency() const { return Lat; }
+
+  Access read(uint64_t Addr, uint64_t Now) override;
+  Access write(uint64_t Addr, uint64_t Now) override;
+
+private:
+  unsigned occupyPort(uint64_t Now);
+
+  unsigned Lat;
+  bool SinglePorted;
+  uint64_t FreeAt = 0; // single-ported: cycle the port frees up
+};
+
+/// Geometry and timing knobs for `SetAssocCache`.
+struct CacheParams {
+  unsigned Sets = 64;
+  unsigned Ways = 4;
+  unsigned LineElems = 4; ///< line size in memory elements (words)
+  unsigned HitLatency = 1;
+  /// Cycles a miss pays on top of the next level's latency (the full miss
+  /// latency when the cache has no next level).
+  unsigned MissPenalty = 10;
+  /// Extra cycles when a miss must first write back a dirty victim.
+  unsigned WritebackPenalty = 4;
+  /// Bounded outstanding-miss queue: misses in flight at once. A miss with
+  /// no free slot is refused (executor backpressure).
+  unsigned MshrCount = 4;
+  /// false: write-through + no-write-allocate; true: write-back +
+  /// write-allocate.
+  bool WriteBack = false;
+
+  uint64_t sizeElems() const {
+    return uint64_t(Sets) * Ways * LineElems;
+  }
+};
+
+/// An N-way set-associative cache timing model with LRU replacement and a
+/// bounded miss queue. Optionally composes over a next-level model (the
+/// next level sees one read per line fill and, for write-through, every
+/// store).
+class SetAssocCache : public MemModel {
+public:
+  /// \p Next is caller-owned and must outlive this cache; null means the
+  /// miss penalty alone covers the fill.
+  explicit SetAssocCache(CacheParams P, MemModel *Next = nullptr);
+
+  const char *kindName() const override { return "cache"; }
+  const CacheParams &params() const { return P; }
+
+  bool canAcceptRead(uint64_t Addr, uint64_t Now) const override;
+  bool canAcceptWrite(uint64_t Addr, uint64_t Now) const override;
+  Access read(uint64_t Addr, uint64_t Now) override;
+  Access write(uint64_t Addr, uint64_t Now) override;
+
+  /// Outstanding misses at cycle \p Now (for tests/debug).
+  unsigned missesInFlight(uint64_t Now) const;
+
+  /// True when \p Addr's line is resident (no LRU update; tests/debug).
+  bool probeLine(uint64_t Addr) const;
+
+private:
+  struct Line {
+    bool Valid = false;
+    bool Dirty = false;
+    uint64_t Tag = 0;
+    uint64_t LastUse = 0;
+  };
+  struct Mshr {
+    uint64_t LineAddr = 0;
+    uint64_t CompleteAt = 0; ///< first cycle the slot is free again
+  };
+
+  uint64_t lineAddr(uint64_t Addr) const { return Addr / P.LineElems; }
+  const Line *findLine(uint64_t LineAddr) const;
+  Line *findLine(uint64_t LineAddr);
+  /// The line fill shared by read misses and write-allocate write misses:
+  /// picks a victim, accounts eviction/writeback, installs the tag, books
+  /// the MSHR slot, and returns the total latency.
+  unsigned fillLine(uint64_t LineAddr, uint64_t Addr, uint64_t Now);
+  const Mshr *findMshr(uint64_t LineAddr, uint64_t Now) const;
+  unsigned liveMshrs(uint64_t Now) const;
+
+  CacheParams P;
+  MemModel *Next;
+  std::vector<Line> Lines; // Sets * Ways, row-major by set
+  std::vector<Mshr> Mshrs;
+  uint64_t UseTick = 0;
+};
+
+/// The two-level composition of the CPI-under-miss evaluation: split
+/// instruction/data L1 caches over one shared, single-ported backing
+/// memory. Owns all three models; the L1s are handed to the executor (one
+/// per memory handle) while the backing serializes their misses.
+class Hierarchy {
+public:
+  Hierarchy(CacheParams L1I, CacheParams L1D, unsigned BackingLatency);
+
+  SetAssocCache &l1i() { return *I; }
+  SetAssocCache &l1d() { return *D; }
+  FixedLatency &backing() { return *B; }
+
+private:
+  std::unique_ptr<FixedLatency> B;
+  std::unique_ptr<SetAssocCache> I, D;
+};
+
+//===----------------------------------------------------------------------===//
+// Configuration
+//===----------------------------------------------------------------------===//
+
+/// Declarative description of the model to build for one memory handle —
+/// the `ElabConfig`/`pdlc --mem-model=` surface. Caches carrying the same
+/// non-empty `ShareTag` are elaborated over one shared single-ported
+/// `FixedLatency(ShareLatency)` backing (the `Hierarchy` composition).
+struct MemConfig {
+  enum class Kind { Fixed, Cache } K = Kind::Fixed;
+  unsigned FixedLat = 1;
+  bool SinglePorted = false;
+  CacheParams Cache;
+  std::string ShareTag;
+  unsigned ShareLatency = 20;
+};
+
+/// Parses a `--mem-model` spec:
+///
+///   fixed[:latency=N][,port=1]
+///   cache:sets=N,ways=N,line=N[,hit=N][,miss=N][,mshr=N][,wbpen=N]
+///        [,wb|,wt][,share=TAG][,sharelat=N]
+///
+/// Returns nullopt and sets \p Err on malformed input.
+std::optional<MemConfig> parseMemConfig(const std::string &Spec,
+                                        std::string *Err = nullptr);
+
+/// One-line human summary ("cache 64x4x4w wb mshr=4 ...") for logs/benches.
+std::string memConfigSummary(const MemConfig &C);
+
+} // namespace mem
+} // namespace pdl
+
+#endif // PDL_MEM_MEMMODEL_H

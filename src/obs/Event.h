@@ -73,6 +73,9 @@ struct Event {
     SpecResolve,  // Pipe, Value=spec id, Flag=prediction was correct
     SpecRollback, // Pipe, Mem, Tid (the verifying thread)
     Deadlock,     // Cycle (no rule can ever fire again)
+    MemHit,       // Pipe, Mem, Tid, Value=address (cache models only)
+    MemMiss,      // same fields as MemHit
+    MemBackpressure, // Pipe, Mem, Tid, Value=address (miss queue full)
   };
 
   Kind K = Kind::CycleBegin;
@@ -154,6 +157,18 @@ struct Event {
     E.Pipe = Pipe;
     E.Mem = Mem;
     E.Tid = Tid;
+    return E;
+  }
+  /// MemHit / MemMiss / MemBackpressure: one memory-hierarchy observation.
+  static Event memAccess(Kind K, uint64_t Cycle, uint16_t Pipe, uint16_t Mem,
+                         uint64_t Tid, uint64_t Addr) {
+    Event E;
+    E.K = K;
+    E.Cycle = Cycle;
+    E.Pipe = Pipe;
+    E.Mem = Mem;
+    E.Tid = Tid;
+    E.Value = Addr;
     return E;
   }
   static Event deadlock(uint64_t Cycle) {

@@ -84,6 +84,18 @@ void CounterSink::event(const Event &E) {
   case Event::Kind::Deadlock:
     R.Deadlocked = true;
     return;
+  case Event::Kind::MemHit:
+    if (E.Mem != NoMem)
+      ++R.Pipes[E.Pipe].Mems[E.Mem].Hits;
+    return;
+  case Event::Kind::MemMiss:
+    if (E.Mem != NoMem)
+      ++R.Pipes[E.Pipe].Mems[E.Mem].Misses;
+    return;
+  case Event::Kind::MemBackpressure:
+    if (E.Mem != NoMem)
+      ++R.Pipes[E.Pipe].Mems[E.Mem].MemStalls;
+    return;
   case Event::Kind::FifoEnq:
   case Event::Kind::FifoDeq:
     return;
@@ -222,6 +234,13 @@ void LogSink::event(const Event &E) {
   case Event::Kind::SpecRollback:
     std::snprintf(Buf, sizeof(Buf), "%s spec-rollback %s tid=%llu\n", Pipe,
                   MemName(E.Mem), (unsigned long long)E.Tid);
+    break;
+  case Event::Kind::MemHit:
+  case Event::Kind::MemMiss:
+  case Event::Kind::MemBackpressure:
+    std::snprintf(Buf, sizeof(Buf), "%s %s %s[%llu] tid=%llu\n", Pipe,
+                  eventKindName(E.K), MemName(E.Mem),
+                  (unsigned long long)E.Value, (unsigned long long)E.Tid);
     break;
   case Event::Kind::Deadlock:
     std::snprintf(Buf, sizeof(Buf), "deadlock at cycle %llu\n",

@@ -55,6 +55,12 @@ const char *obs::eventKindName(Event::Kind K) {
     return "spec-rollback";
   case Event::Kind::Deadlock:
     return "deadlock";
+  case Event::Kind::MemHit:
+    return "mem-hit";
+  case Event::Kind::MemMiss:
+    return "mem-miss";
+  case Event::Kind::MemBackpressure:
+    return "mem-stall";
   }
   return "?";
 }
@@ -150,6 +156,9 @@ Json StatsReport::toJsonValue() const {
       MJ.set("reserves", Json(M.Reserves));
       MJ.set("releases", Json(M.Releases));
       MJ.set("rollbacks", Json(M.Rollbacks));
+      MJ.set("hits", Json(M.Hits));
+      MJ.set("misses", Json(M.Misses));
+      MJ.set("mem_stalls", Json(M.MemStalls));
       MemsJ.push(std::move(MJ));
     }
     PJ.set("mems", std::move(MemsJ));
@@ -227,6 +236,9 @@ std::optional<StatsReport> StatsReport::fromJson(const std::string &Text,
         M.Reserves = MU64("reserves");
         M.Releases = MU64("releases");
         M.Rollbacks = MU64("rollbacks");
+        M.Hits = MU64("hits");
+        M.Misses = MU64("misses");
+        M.MemStalls = MU64("mem_stalls");
         P.Mems.push_back(std::move(M));
       }
     }

@@ -49,6 +49,13 @@ struct MemStats {
   uint64_t Reserves = 0;
   uint64_t Releases = 0;
   uint64_t Rollbacks = 0;
+  /// Memory-hierarchy traffic (cache models only; zero under the default
+  /// FixedLatency model, which has no hit/miss notion).
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  /// Stage-stall cycles where this memory's miss queue refused a request
+  /// (counted in the matrix's Backpressure column).
+  uint64_t MemStalls = 0;
 };
 
 struct PipeStats {

@@ -214,8 +214,8 @@ void Parser::parsePipe(Program &P) {
       expect(TokKind::LBracket, "'[' before memory address width");
       if (tok().is(TokKind::Number)) {
         M.AddrWidth = static_cast<unsigned>(tok().Value);
-        if (M.AddrWidth < 1 || M.AddrWidth > 30) {
-          Diags.error(tok().Loc, "memory address width must be 1..30 bits");
+        if (M.AddrWidth < 1 || M.AddrWidth > 32) {
+          Diags.error(tok().Loc, "memory address width must be 1..32 bits");
           M.AddrWidth = 1;
         }
         advance();

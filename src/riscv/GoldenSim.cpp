@@ -145,6 +145,7 @@ uint64_t GoldenSim::run(uint64_t MaxInstrs, std::vector<CommitRecord> *Log) {
       assert(Addr % 4 == 0 && "misaligned load");
       uint32_t W = (Addr >> 2) & ((1u << DmemBits) - 1);
       WriteRd(Dmem[W]);
+      Rec.MemRead = {W, Dmem[W]};
       ++Loads;
       break;
     }

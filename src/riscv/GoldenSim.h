@@ -32,6 +32,9 @@ struct CommitRecord {
   std::optional<std::pair<unsigned, uint32_t>> RegWrite;
   /// (word address, value) when the instruction stored.
   std::optional<std::pair<uint32_t, uint32_t>> MemWrite;
+  /// (word address, value) when the instruction loaded — consumed by the
+  /// trace-driven timing models to replay data-memory traffic.
+  std::optional<std::pair<uint32_t, uint32_t>> MemRead;
 };
 
 class GoldenSim {

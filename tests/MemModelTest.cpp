@@ -1,0 +1,383 @@
+//===- MemModelTest.cpp - Memory-hierarchy subsystem tests ------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for the mem:: timing models (LRU eviction order, write-back
+/// dirtiness, MSHR backpressure, hierarchy composition, config parsing)
+/// plus executor integration tests: an explicit FixedLatency(1) model is
+/// bit-for-bit identical to the default, cache models change timing but
+/// never results, and a full miss queue surfaces as Backpressure stalls in
+/// the attribution matrix.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/System.h"
+#include "mem/MemModel.h"
+#include "obs/Sinks.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdl;
+using namespace pdl::backend;
+using namespace pdl::mem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// FixedLatency
+//===----------------------------------------------------------------------===//
+
+TEST(MemModelTest, FixedLatencyIsConstant) {
+  FixedLatency M(3);
+  EXPECT_EQ(M.read(0, 0).Latency, 3u);
+  EXPECT_EQ(M.read(7, 0).Latency, 3u); // dual-ported: no serialization
+  EXPECT_EQ(M.read(0, 0).Out, Outcome::Uncached);
+  EXPECT_TRUE(M.canAcceptRead(0, 0));
+  EXPECT_EQ(M.stats().Reads, 3u);
+  EXPECT_EQ(M.stats().hits() + M.stats().misses(), 0u);
+}
+
+TEST(MemModelTest, FixedLatencySinglePortSerializes) {
+  FixedLatency M(3, /*SinglePorted=*/true);
+  EXPECT_EQ(M.read(0, 0).Latency, 3u);  // port busy until cycle 3
+  EXPECT_EQ(M.read(1, 0).Latency, 6u);  // waits 3, then pays 3
+  EXPECT_EQ(M.write(2, 0).Latency, 9u); // stores occupy the port too
+  EXPECT_EQ(M.read(3, 20).Latency, 3u); // port long free again
+}
+
+//===----------------------------------------------------------------------===//
+// SetAssocCache
+//===----------------------------------------------------------------------===//
+
+/// A 1-set 2-way cache with one-word lines: eviction order is pure LRU.
+TEST(MemModelTest, LruEvictionOrder) {
+  CacheParams P;
+  P.Sets = 1;
+  P.Ways = 2;
+  P.LineElems = 1;
+  P.MissPenalty = 5;
+  SetAssocCache C(P);
+
+  // Fill both ways, spacing accesses so each fill completes.
+  EXPECT_EQ(C.read(0, 0).Out, Outcome::Miss);
+  EXPECT_EQ(C.read(1, 100).Out, Outcome::Miss);
+  EXPECT_TRUE(C.probeLine(0));
+  EXPECT_TRUE(C.probeLine(1));
+
+  // Touch 0 so 1 becomes least-recently used, then force an eviction.
+  EXPECT_EQ(C.read(0, 200).Out, Outcome::Hit);
+  EXPECT_EQ(C.read(2, 300).Out, Outcome::Miss);
+  EXPECT_TRUE(C.probeLine(0));  // recently used: survives
+  EXPECT_FALSE(C.probeLine(1)); // LRU: evicted
+  EXPECT_TRUE(C.probeLine(2));
+  EXPECT_EQ(C.stats().Evictions, 1u);
+  EXPECT_EQ(C.stats().Writebacks, 0u); // clean lines drop silently
+  EXPECT_EQ(C.stats().ReadHits, 1u);
+  EXPECT_EQ(C.stats().ReadMisses, 3u);
+}
+
+TEST(MemModelTest, LineGranularityMakesSpatialHits) {
+  CacheParams P;
+  P.Sets = 4;
+  P.Ways = 1;
+  P.LineElems = 4;
+  SetAssocCache C(P);
+  EXPECT_EQ(C.read(8, 0).Out, Outcome::Miss); // fills line [8..11]
+  EXPECT_EQ(C.read(9, 100).Out, Outcome::Hit);
+  EXPECT_EQ(C.read(11, 200).Out, Outcome::Hit);
+  EXPECT_EQ(C.read(12, 300).Out, Outcome::Miss); // next line
+}
+
+TEST(MemModelTest, WriteBackDirtyVictimPaysWriteback) {
+  FixedLatency Backing(2);
+  CacheParams P;
+  P.Sets = 1;
+  P.Ways = 1;
+  P.LineElems = 1;
+  P.MissPenalty = 10;
+  P.WritebackPenalty = 4;
+  P.WriteBack = true;
+  SetAssocCache C(P, &Backing);
+
+  // Write-allocate: the write miss fills the line and dirties it.
+  Access W = C.write(0, 0);
+  EXPECT_EQ(W.Out, Outcome::Miss);
+  EXPECT_EQ(W.Latency, 12u); // MissPenalty + backing read
+  EXPECT_EQ(C.stats().WriteMisses, 1u);
+
+  // Evicting the dirty line drains it to the backing and pays the penalty.
+  Access R = C.read(1, 100);
+  EXPECT_EQ(R.Out, Outcome::Miss);
+  EXPECT_EQ(R.Latency, 16u); // MissPenalty + WritebackPenalty + backing read
+  EXPECT_EQ(C.stats().Evictions, 1u);
+  EXPECT_EQ(C.stats().Writebacks, 1u);
+  EXPECT_EQ(Backing.stats().Writes, 1u); // the victim line
+  EXPECT_EQ(Backing.stats().Reads, 2u);  // two line fills
+
+  // A write hit just dirties the line; nothing reaches the backing.
+  EXPECT_EQ(C.write(1, 200).Out, Outcome::Hit);
+  EXPECT_EQ(Backing.stats().Writes, 1u);
+}
+
+TEST(MemModelTest, WriteThroughForwardsEveryStore) {
+  FixedLatency Backing(2);
+  CacheParams P;
+  P.Sets = 2;
+  P.Ways = 1;
+  P.LineElems = 1;
+  P.WriteBack = false;
+  SetAssocCache C(P, &Backing);
+
+  // No-write-allocate: a write miss does not install the line.
+  EXPECT_EQ(C.write(0, 0).Out, Outcome::Miss);
+  EXPECT_FALSE(C.probeLine(0));
+  EXPECT_EQ(Backing.stats().Writes, 1u);
+
+  // A write hit updates the line but still forwards the store.
+  EXPECT_EQ(C.read(0, 100).Out, Outcome::Miss);
+  EXPECT_EQ(C.write(0, 200).Out, Outcome::Hit);
+  EXPECT_EQ(Backing.stats().Writes, 2u);
+  EXPECT_EQ(C.stats().Writebacks, 0u); // write-through has no writebacks
+}
+
+TEST(MemModelTest, MshrQueueExertsBackpressure) {
+  CacheParams P;
+  P.Sets = 4;
+  P.Ways = 1;
+  P.LineElems = 1;
+  P.MissPenalty = 10;
+  P.MshrCount = 2;
+  SetAssocCache C(P);
+
+  EXPECT_EQ(C.read(0, 0).Latency, 10u);
+  EXPECT_EQ(C.read(1, 0).Latency, 10u);
+  EXPECT_EQ(C.missesInFlight(0), 2u);
+
+  // Queue full: a third distinct-line miss is refused...
+  EXPECT_FALSE(C.canAcceptRead(2, 0));
+  // ...but an access to a line already in flight merges in,
+  EXPECT_TRUE(C.canAcceptRead(0, 0));
+  // waiting only for the remaining fill time.
+  Access Merge = C.read(0, 4);
+  EXPECT_EQ(Merge.Out, Outcome::Miss);
+  EXPECT_EQ(Merge.Latency, 6u); // completes at 10, asked at 4
+
+  // Slots free as soon as the fills complete.
+  EXPECT_EQ(C.missesInFlight(10), 0u);
+  EXPECT_TRUE(C.canAcceptRead(2, 10));
+}
+
+//===----------------------------------------------------------------------===//
+// Hierarchy
+//===----------------------------------------------------------------------===//
+
+TEST(MemModelTest, HierarchyBackingSeesOneReadPerLineFill) {
+  CacheParams L1;
+  L1.Sets = 4;
+  L1.Ways = 1;
+  L1.LineElems = 4;
+  L1.MissPenalty = 2;
+  Hierarchy H(L1, L1, /*BackingLatency=*/20);
+
+  // 8 word reads over 2 lines: two fills, six spatial hits.
+  for (uint64_t A = 0; A != 8; ++A)
+    H.l1d().read(A, A * 100);
+  EXPECT_EQ(H.l1d().stats().ReadMisses, 2u);
+  EXPECT_EQ(H.l1d().stats().ReadHits, 6u);
+  EXPECT_EQ(H.backing().stats().Reads, 2u);
+
+  // Same-cycle misses from both L1s serialize on the single backing port.
+  Access I = H.l1i().read(100, 1000);
+  Access D = H.l1d().read(100, 1000);
+  EXPECT_EQ(I.Latency, 22u); // MissPenalty + backing latency
+  EXPECT_EQ(D.Latency, 42u); // waits for the instruction fill first
+}
+
+//===----------------------------------------------------------------------===//
+// Configuration parsing
+//===----------------------------------------------------------------------===//
+
+TEST(MemModelTest, ParseMemConfig) {
+  std::string Err;
+  auto F = parseMemConfig("fixed:latency=3,port=1", &Err);
+  ASSERT_TRUE(F.has_value()) << Err;
+  EXPECT_EQ(F->K, MemConfig::Kind::Fixed);
+  EXPECT_EQ(F->FixedLat, 3u);
+  EXPECT_TRUE(F->SinglePorted);
+
+  auto Short = parseMemConfig("fixed:5", &Err);
+  ASSERT_TRUE(Short.has_value()) << Err;
+  EXPECT_EQ(Short->FixedLat, 5u);
+
+  auto C = parseMemConfig(
+      "cache:sets=8,ways=2,line=4,hit=1,miss=12,mshr=3,wb,share=bus,"
+      "sharelat=25",
+      &Err);
+  ASSERT_TRUE(C.has_value()) << Err;
+  EXPECT_EQ(C->K, MemConfig::Kind::Cache);
+  EXPECT_EQ(C->Cache.Sets, 8u);
+  EXPECT_EQ(C->Cache.Ways, 2u);
+  EXPECT_EQ(C->Cache.LineElems, 4u);
+  EXPECT_EQ(C->Cache.MissPenalty, 12u);
+  EXPECT_EQ(C->Cache.MshrCount, 3u);
+  EXPECT_TRUE(C->Cache.WriteBack);
+  EXPECT_EQ(C->ShareTag, "bus");
+  EXPECT_EQ(C->ShareLatency, 25u);
+  EXPECT_NE(memConfigSummary(*C).find("share=bus"), std::string::npos);
+
+  EXPECT_FALSE(parseMemConfig("bogus", &Err).has_value());
+  EXPECT_NE(Err.find("unknown memory model"), std::string::npos);
+  EXPECT_FALSE(parseMemConfig("cache:sets=0", &Err).has_value());
+  EXPECT_FALSE(parseMemConfig("cache:frobs=2", &Err).has_value());
+  EXPECT_FALSE(parseMemConfig("fixed:latency=x", &Err).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Executor integration
+//===----------------------------------------------------------------------===//
+
+/// A two-stage pipeline around one synchronous read: thread `a` loads m[a]
+/// and outputs it, so the retired outputs fix the value semantics. The
+/// testbench issues one thread per cycle (like a load/store unit being fed
+/// requests).
+const char *kSyncReadKernel = R"(
+  pipe p(a: uint<4>)[m: uint<8>[4] sync]: uint<8> {
+    x <- m[a];
+    ---
+    output(x + 1);
+  }
+)";
+
+struct KernelRun {
+  SystemStats Stats;
+  std::vector<uint64_t> Outputs;
+  uint64_t Digest = 0;
+  obs::StatsReport Report;
+  ModelStats Mem;
+  const char *ModelKind = "";
+};
+
+KernelRun runSyncKernel(const CompiledProgram &CP, ElabConfig Cfg,
+                        unsigned Threads) {
+  obs::LogSink Log;
+  obs::CounterSink Counters;
+  Cfg.Sinks.push_back(&Log);
+  Cfg.Sinks.push_back(&Counters);
+  System Sys(CP, Cfg);
+  for (uint64_t W = 0; W != 16; ++W)
+    Sys.memory("p", "m").write(W, Bits(W * 3, 8));
+  unsigned Next = 0;
+  while (Sys.trace("p").size() < Threads && Sys.stats().Cycles < 100000) {
+    if (Next < Threads && Sys.canAccept("p")) {
+      Sys.start("p", {Bits(Next & 15, 4)});
+      ++Next;
+    }
+    Sys.cycle();
+  }
+  Sys.finishTrace();
+
+  KernelRun R;
+  R.Stats = Sys.stats();
+  for (const ThreadTrace &T : Sys.trace("p"))
+    R.Outputs.push_back(T.Output ? T.Output->zext() : ~0ull);
+  R.Digest = Log.digest();
+  R.Report = Counters.report();
+  if (const MemModel *M = Sys.memModel(Sys.memHandle("p", "m"))) {
+    R.Mem = M->stats();
+    R.ModelKind = M->kindName();
+  }
+  return R;
+}
+
+/// The subsystem's back-compat contract: an explicit FixedLatency(1) model
+/// is indistinguishable from the default — same event stream bit-for-bit.
+TEST(MemModelTest, ExplicitFixedLatencyOneMatchesDefaultBitForBit) {
+  CompiledProgram CP = compile(kSyncReadKernel);
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+
+  KernelRun Default = runSyncKernel(CP, ElabConfig(), 32);
+  ElabConfig Explicit;
+  Explicit.MemModels["p.m"] = MemConfig(); // fixed, latency 1
+  KernelRun Fixed1 = runSyncKernel(CP, Explicit, 32);
+
+  ASSERT_EQ(Default.Outputs.size(), 32u);
+  EXPECT_EQ(Default.Digest, Fixed1.Digest);
+  EXPECT_EQ(Default.Outputs, Fixed1.Outputs);
+  EXPECT_EQ(Default.Stats.Cycles, Fixed1.Stats.Cycles);
+  EXPECT_STREQ(Default.ModelKind, "fixed");
+  EXPECT_EQ(Default.Mem.Reads, Fixed1.Mem.Reads);
+  EXPECT_EQ(Default.Mem.hits() + Default.Mem.misses(), 0u); // uncached
+}
+
+/// A longer fixed latency must slow the pipe down but never change what
+/// retires: timing models answer "when", never "what".
+TEST(MemModelTest, SlowerFixedLatencyKeepsResults) {
+  CompiledProgram CP = compile(kSyncReadKernel);
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+
+  KernelRun Fast = runSyncKernel(CP, ElabConfig(), 32);
+  ElabConfig SlowCfg;
+  SlowCfg.MemModels["p.m"] = parseMemConfig("fixed:4").value();
+  KernelRun Slow = runSyncKernel(CP, SlowCfg, 32);
+
+  ASSERT_EQ(Slow.Outputs.size(), 32u);
+  EXPECT_EQ(Slow.Outputs, Fast.Outputs);
+  EXPECT_GT(Slow.Stats.Cycles, Fast.Stats.Cycles);
+  // The extra cycles show up as Response stalls, and the matrix stays
+  // exact while they do.
+  EXPECT_GT(Slow.Report.totalStalls(obs::StallCause::Response),
+            Fast.Report.totalStalls(obs::StallCause::Response));
+  EXPECT_TRUE(Slow.Report.attributionExact());
+}
+
+TEST(MemModelTest, CacheModelChangesTimingNotResults) {
+  CompiledProgram CP = compile(kSyncReadKernel);
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+
+  KernelRun Default = runSyncKernel(CP, ElabConfig(), 48);
+  ElabConfig CacheCfg;
+  CacheCfg.MemModels["p.m"] =
+      parseMemConfig("cache:sets=2,ways=1,line=1,miss=6").value();
+  KernelRun Cached = runSyncKernel(CP, CacheCfg, 48);
+
+  EXPECT_STREQ(Cached.ModelKind, "cache");
+  ASSERT_EQ(Cached.Outputs.size(), 48u);
+  EXPECT_EQ(Cached.Outputs, Default.Outputs);
+  EXPECT_GT(Cached.Stats.Cycles, Default.Stats.Cycles); // misses cost
+  EXPECT_GT(Cached.Mem.misses(), 0u);
+  EXPECT_TRUE(Cached.Report.attributionExact());
+
+  // The hit/miss traffic reaches the attribution report's mem row.
+  const obs::PipeStats *PS = Cached.Report.pipe("p");
+  ASSERT_NE(PS, nullptr);
+  ASSERT_FALSE(PS->Mems.empty());
+  EXPECT_EQ(PS->Mems[0].Hits + PS->Mems[0].Misses,
+            Cached.Mem.hits() + Cached.Mem.misses());
+}
+
+/// With a single MSHR and a streaming access pattern, the miss queue is
+/// full almost every cycle: the refusals must land in the matrix's
+/// Backpressure column and the per-mem MemStalls counter.
+TEST(MemModelTest, FullMissQueueBecomesBackpressureStalls) {
+  CompiledProgram CP = compile(kSyncReadKernel);
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+
+  ElabConfig Cfg;
+  Cfg.MemModels["p.m"] =
+      parseMemConfig("cache:sets=2,ways=1,line=1,miss=8,mshr=1").value();
+  KernelRun R = runSyncKernel(CP, Cfg, 32);
+
+  EXPECT_GT(R.Report.totalStalls(obs::StallCause::Backpressure), 0u);
+  EXPECT_TRUE(R.Report.attributionExact());
+  const obs::PipeStats *PS = R.Report.pipe("p");
+  ASSERT_NE(PS, nullptr);
+  ASSERT_FALSE(PS->Mems.empty());
+  EXPECT_EQ(PS->Mems[0].Name, "m");
+  EXPECT_GT(PS->Mems[0].MemStalls, 0u);
+  EXPECT_LE(PS->Mems[0].MemStalls,
+            R.Report.totalStalls(obs::StallCause::Backpressure));
+}
+
+} // namespace

@@ -17,4 +17,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 "$BUILD_DIR"/bench/bench_table3 --json --kernels=kmp > "$BUILD_DIR"/table3.json
 python3 tools/check_bench_json.py "$BUILD_DIR"/table3.json
 
+# Memory-hierarchy smoke: the same kernel under all three mem profiles
+# (shape checks run inside bench_mem), plus the Figure 7 cache rows.
+"$BUILD_DIR"/bench/bench_mem --json --kernels=kmp > "$BUILD_DIR"/mem.json
+python3 tools/check_bench_json.py "$BUILD_DIR"/mem.json
+"$BUILD_DIR"/bench/bench_cache --json > "$BUILD_DIR"/cache.json
+python3 tools/check_bench_json.py "$BUILD_DIR"/cache.json
+
 echo "check.sh: all green"

@@ -58,7 +58,8 @@ def check_report(report, where):
         for mem in pipe.get("mems", []):
             expect(isinstance(mem.get("name"), str),
                    f"{where}: mem.name in {pname}")
-            for key in ("lock_stalls", "reserves", "releases", "rollbacks"):
+            for key in ("lock_stalls", "reserves", "releases", "rollbacks",
+                        "hits", "misses", "mem_stalls"):
                 expect(uint(mem.get(key)),
                        f"{where}: mem {mem.get('name')}.{key}")
 
@@ -83,6 +84,9 @@ def main():
         expect(uint(row.get("instrs")), f"{where}: instrs")
         if "seq_equiv" in row:
             expect(row["seq_equiv"] is True, f"{where}: seq_equiv is false")
+        for key in ("hits", "misses"):
+            if key in row:
+                expect(uint(row[key]), f"{where}: {key}")
         if "report" in row:
             check_report(row["report"], where)
             reports += 1

@@ -20,6 +20,13 @@
 //   --stats=json      print the structured StatsReport (per-stage stall
 //                     attribution matrix) as JSON on stdout
 //   --timeline        print a per-stage occupancy timeline on stdout
+//   --mem-model=PIPE.MEM=SPEC
+//                     attach a memory-hierarchy timing model to one
+//                     synchronous memory (repeatable). SPEC grammar:
+//                       fixed[:latency=N][,port=1]
+//                       cache:sets=N,ways=N,line=N[,hit=N][,miss=N]
+//                            [,mshr=N][,wbpen=N][,wb|,wt][,share=TAG]
+//                            [,sharelat=N]
 //
 // Diagnostics go to stderr in compiler style (file:line:col: error: ...).
 //
@@ -35,7 +42,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -46,6 +55,7 @@ static void usage() {
                "usage: pdlc [--dump-stages] [--dump-seq] [--dump-ast]\n"
                "            [--run PIPE ARG] [--cycles N]\n"
                "            [--trace=OUT.vcd] [--stats=json] [--timeline]\n"
+               "            [--mem-model=PIPE.MEM=SPEC]...\n"
                "            FILE.pdl\n");
 }
 
@@ -55,6 +65,7 @@ int main(int argc, char **argv) {
   std::string RunPipe, TracePath;
   uint64_t RunArg = 0, Cycles = 100;
   std::string File;
+  std::map<std::string, mem::MemConfig> MemModels;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -73,6 +84,24 @@ int main(int argc, char **argv) {
       TracePath = A.substr(8);
     } else if (A == "--stats=json") {
       StatsJson = true;
+    } else if (A.rfind("--mem-model=", 0) == 0) {
+      std::string Rest = A.substr(12);
+      size_t Eq = Rest.find('=');
+      if (Eq == std::string::npos || Eq == 0) {
+        std::fprintf(stderr,
+                     "pdlc: --mem-model needs PIPE.MEM=SPEC, got '%s'\n",
+                     Rest.c_str());
+        return 2;
+      }
+      std::string Err;
+      std::optional<mem::MemConfig> C =
+          mem::parseMemConfig(Rest.substr(Eq + 1), &Err);
+      if (!C) {
+        std::fprintf(stderr, "pdlc: bad --mem-model spec: %s\n",
+                     Err.c_str());
+        return 2;
+      }
+      MemModels[Rest.substr(0, Eq)] = *C;
     } else if (A == "--timeline") {
       Timeline = true;
     } else if (A == "--help" || A == "-h") {
@@ -158,6 +187,10 @@ int main(int argc, char **argv) {
     obs::TimelineSink Occupancy;
 
     backend::ElabConfig Cfg;
+    Cfg.MemModels = MemModels;
+    for (const auto &[Key, C] : MemModels)
+      std::fprintf(Msg, "mem-model %s: %s\n", Key.c_str(),
+                   mem::memConfigSummary(C).c_str());
     if (Vcd)
       Cfg.Sinks.push_back(Vcd.get());
     if (StatsJson)
