@@ -358,6 +358,13 @@ void System::emitThreadEvent(obs::Event::Kind K, PipeInstance &P,
 
 void System::noteOutcome(PipeInstance &P, const Stage &S, StallCause C,
                          uint64_t Tid, const std::string *CauseMem) {
+  // Injected DropStageOutcome: the outcome never reaches the counters or
+  // the trace bus (all counters skip together, so the executor's internal
+  // balance assert stays consistent; the stall-balance monitor flags the
+  // missing per-cycle outcome).
+  if (C != StallCause::Idle &&
+      consumeFault(hw::FaultKind::DropStageOutcome, P, Tid))
+    return;
   switch (C) {
   case StallCause::None:
     ++Stats.StageFires;
@@ -401,6 +408,139 @@ void System::noteOutcome(PipeInstance &P, const Stage &S, StallCause C,
   if (traceOn() && C != StallCause::Idle)
     std::fprintf(stderr, "  %s %s/%s tid=%llu\n", obs::stallCauseName(C),
                  P.Name.c_str(), S.Name.c_str(), (unsigned long long)Tid);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection
+//===----------------------------------------------------------------------===//
+
+const char *backend::runOutcomeName(RunOutcome O) {
+  switch (O) {
+  case RunOutcome::Running:
+    return "running";
+  case RunOutcome::Halted:
+    return "halted";
+  case RunOutcome::Drained:
+    return "drained";
+  case RunOutcome::Deadlocked:
+    return "deadlocked";
+  case RunOutcome::TimedOut:
+    return "timed_out";
+  }
+  return "?";
+}
+
+void System::noteFault(PipeInstance &P, hw::FaultKind K, uint64_t Tid) {
+  ++Stats.FaultsInjected;
+  if (Bus.enabled())
+    Bus.emit(obs::Event::fault(Stats.Cycles, static_cast<uint16_t>(P.Index),
+                               static_cast<uint64_t>(K), Tid));
+}
+
+System::ArmedFault *System::armedFault(hw::FaultKind K,
+                                       const PipeInstance &P) {
+  for (ArmedFault &F : Faults)
+    if (!F.Fired && F.Plan.Kind == K &&
+        (F.Plan.Pipe.empty() || F.Plan.Pipe == P.Name))
+      return &F;
+  return nullptr;
+}
+
+bool System::consumeFault(hw::FaultKind K, PipeInstance &P, uint64_t Tid,
+                          const std::string *Mem) {
+  ArmedFault *F = armedFault(K, P);
+  if (!F)
+    return false;
+  if (Mem && !F->Plan.Mem.empty() && F->Plan.Mem != *Mem)
+    return false;
+  if (--F->Countdown > 0)
+    return false;
+  F->Fired = true;
+  noteFault(P, K, Tid);
+  return true;
+}
+
+bool System::rescueSquash(PipeInstance &P, uint64_t Tid) {
+  for (ArmedFault &F : Faults) {
+    if (F.Plan.Kind != hw::FaultKind::SkipSquash ||
+        (!F.Plan.Pipe.empty() && F.Plan.Pipe != P.Name))
+      continue;
+    if (F.Fired)
+      return F.RescuedTid == Tid;
+    if (--F.Countdown > 0)
+      return false;
+    F.Fired = true;
+    F.RescuedTid = Tid;
+    noteFault(P, hw::FaultKind::SkipSquash, Tid);
+    return true;
+  }
+  return false;
+}
+
+void System::armFault(const hw::FaultPlan &Plan) {
+  elaborateLocks();
+  PipeInstance &P = pipe(Plan.Pipe);
+  auto FireNote = [this, &P](hw::FaultKind K) {
+    return [this, &P, K] { noteFault(P, K, 0); };
+  };
+  switch (Plan.Kind) {
+  case hw::FaultKind::FifoDropThread:
+  case hw::FaultKind::FifoDupThread:
+  case hw::FaultKind::FifoCorruptPayload: {
+    hw::Fifo<Thread> *F = &P.Entry;
+    if (!Plan.FromStage.empty() || !Plan.ToStage.empty()) {
+      unsigned From = ~0u, To = ~0u;
+      for (const Stage &S : P.CP->Graph.Stages) {
+        if (S.Name == Plan.FromStage)
+          From = S.Id;
+        if (S.Name == Plan.ToStage)
+          To = S.Id;
+      }
+      auto It = P.EdgeFifos.find({From, To});
+      assert(It != P.EdgeFifos.end() && "fault plan names an unknown edge");
+      F = &It->second;
+    }
+    if (Plan.Kind == hw::FaultKind::FifoDropThread) {
+      F->armDropNext(Plan.Nth, FireNote(Plan.Kind));
+    } else if (Plan.Kind == hw::FaultKind::FifoDupThread) {
+      F->armDupNext(Plan.Nth, FireNote(Plan.Kind));
+    } else {
+      std::string Var = Plan.Var;
+      unsigned Bit = Plan.Bit;
+      F->armCorruptNext(Plan.Nth, [this, &P, Var, Bit](Thread &T) {
+        auto It = T.Vars.find(Var);
+        if (It != T.Vars.end())
+          It->second = Bits(It->second.zext() ^ (uint64_t(1) << Bit),
+                            It->second.width());
+        noteFault(P, hw::FaultKind::FifoCorruptPayload, T.Tid);
+      });
+    }
+    return;
+  }
+  case hw::FaultKind::HwDropLockRelease: {
+    hw::HazardLock *L = lockFor(P, Plan.Mem);
+    assert(L && "fault plan names a memory without a lock");
+    L->armDropRelease(Plan.Nth, FireNote(Plan.Kind));
+    return;
+  }
+  case hw::FaultKind::SuppressMispredict:
+    P.Spec.armSuppressMispredict(Plan.Nth, FireNote(Plan.Kind));
+    return;
+  case hw::FaultKind::SkipCascade:
+    P.Spec.armSkipCascade(Plan.Nth, FireNote(Plan.Kind));
+    return;
+  case hw::FaultKind::DropLockRelease:
+  case hw::FaultKind::SkipSquash:
+  case hw::FaultKind::DropMemResponse:
+  case hw::FaultKind::DoubleRollback:
+  case hw::FaultKind::DropStageOutcome: {
+    ArmedFault F;
+    F.Plan = Plan;
+    F.Countdown = Plan.Nth ? Plan.Nth : 1;
+    Faults.push_back(std::move(F));
+    return;
+  }
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -461,6 +601,8 @@ System::Thread *System::stageInput(PipeInstance &P, const Stage &S,
       Thread &T = F.front();
       if (T.MySpec != 0 &&
           P.Spec.status(T.MySpec) == hw::SpecStatus::Mispredicted) {
+        if (rescueSquash(P, T.Tid))
+          return &T; // injected SkipSquash: the dead thread sails on
         Thread Dead = F.deq();
         killThread(P, std::move(Dead));
         continue;
@@ -485,7 +627,8 @@ System::Thread *System::stageInput(PipeInstance &P, const Stage &S,
       Thread &T = F.front();
       assert(T.Tid == Tok.Tid && "coordination tag out of sync");
       if (T.MySpec != 0 &&
-          P.Spec.status(T.MySpec) == hw::SpecStatus::Mispredicted) {
+          P.Spec.status(T.MySpec) == hw::SpecStatus::Mispredicted &&
+          !rescueSquash(P, T.Tid)) {
         Thread Dead = F.deq();
         killThread(P, std::move(Dead)); // also purges its tag
         continue;
@@ -652,6 +795,18 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       assert(It != T.Res.end() && "release without a live reservation");
       hw::ResId R = It->second;
       ResRec Rec = T.ResInfo.at(R);
+      if (consumeFault(hw::FaultKind::DropLockRelease, P, T.Tid, &Rec.Mem)) {
+        // Injected fault: the release reaches the lock (the datapath stays
+        // live, so probe and commit keep agreeing) but the completion is
+        // lost on the way to the trace bus. The lock-discipline monitor
+        // flags the unbalanced reserve when the thread retires.
+        Lock->release(R);
+        if (Rec.Mode != hw::Access::Read && Rec.Written)
+          recordCommit(P, Rec.Mem, Rec.Addr, Rec.WrittenVal, T);
+        T.Res.erase(It);
+        T.ResInfo.erase(R);
+        return FireResult::Fire;
+      }
       Lock->release(R);
       if (Bus.enabled())
         Bus.emit(obs::Event::lock(obs::Event::Kind::LockRelease,
@@ -813,6 +968,10 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       Child.MySpec = Sid;
       T.Handles[C->resultName()] = Sid;
       ++T.UnresolvedSpec;
+      if (Bus.enabled())
+        Bus.emit(obs::Event::specAlloc(Stats.Cycles,
+                                       static_cast<uint16_t>(P.Index),
+                                       Child.Tid, Sid));
     } else if (!Recursive && C->hasResult()) {
       Child.HasCaller = true;
       Child.CallerPipe = P.CP->Decl->Name;
@@ -844,8 +1003,17 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
     if (T.MySpec == 0)
       return FireResult::Fire;
     hw::SpecStatus St = P.Spec.status(T.MySpec);
-    if (St == hw::SpecStatus::Mispredicted)
-      return FireResult::Kill;
+    if (St == hw::SpecStatus::Mispredicted) {
+      if (!rescueSquash(P, T.Tid))
+        return FireResult::Kill;
+      // Injected SkipSquash: the wrong-path thread treats its entry as
+      // resolved-correct and keeps executing.
+      if (Commit) {
+        P.Spec.free(T.MySpec);
+        T.MySpec = 0;
+      }
+      return FireResult::Fire;
+    }
     if (St == hw::SpecStatus::Pending)
       return C->isBlocking() ? Stall(StallCause::Spec) : FireResult::Fire;
     // Correct: the thread learns it is non-speculative; free the entry.
@@ -870,6 +1038,23 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
     auto HIt = T.Handles.find(V->handle());
     assert(HIt != T.Handles.end() && "verify of an unspawned speculation");
     hw::SpecId Sid = HIt->second;
+    if (!P.Spec.knows(Sid)) {
+      // The child's entry is already gone: only a wrong-path thread kept
+      // alive by an injected SkipSquash can get here, after its (squashed)
+      // child freed the entry. Drop the resolution but keep the thread's
+      // bookkeeping balanced so it can run on to retire, where the
+      // spec-tree monitor flags it.
+      bool Rescued = rescueSquash(P, T.Tid);
+      (void)Rescued;
+      assert(Rescued && "verify of an unknown speculation");
+      T.Handles.erase(HIt);
+      assert(T.UnresolvedSpec > 0);
+      --T.UnresolvedSpec;
+      for (auto &[Mem, Ck] : T.Ckpts)
+        lockFor(P, Mem)->commitCheckpoint(Ck);
+      T.Ckpts.clear();
+      return FireResult::Fire;
+    }
     bool Correct = P.Spec.verify(Sid, Actual);
     T.Handles.erase(HIt);
     assert(T.UnresolvedSpec > 0);
@@ -885,7 +1070,21 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
         if (Bus.enabled())
           Bus.emit(obs::Event::specRollback(
               Stats.Cycles, static_cast<uint16_t>(P.Index),
-              static_cast<uint16_t>(P.MemIdx.at(Mem)), T.Tid));
+              static_cast<uint16_t>(P.MemIdx.at(Mem)), T.Tid,
+              /*Final=*/true));
+      }
+      if (!T.Ckpts.empty() &&
+          consumeFault(hw::FaultKind::DoubleRollback, P, T.Tid)) {
+        // Injected fault: report each checkpoint rolled back a second time.
+        // The ckpt-once monitor must flag the repeated final rollback.
+        for (auto &[Mem, Ck] : T.Ckpts) {
+          (void)Ck;
+          if (Bus.enabled())
+            Bus.emit(obs::Event::specRollback(
+                Stats.Cycles, static_cast<uint16_t>(P.Index),
+                static_cast<uint16_t>(P.MemIdx.at(Mem)), T.Tid,
+                /*Final=*/true));
+        }
       }
       T.Ckpts.clear();
       // Respawn the corrected, non-speculative thread.
@@ -932,13 +1131,18 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       if (Bus.enabled())
         Bus.emit(obs::Event::specRollback(
             Stats.Cycles, static_cast<uint16_t>(P.Index),
-            static_cast<uint16_t>(P.MemIdx.at(Mem)), T.Tid));
+            static_cast<uint16_t>(P.MemIdx.at(Mem)), T.Tid,
+            /*Final=*/false));
     }
     Thread Child;
     Child.Tid = NextTid++;
     Child.MySpec = *NewSid;
     Child.Vars[P.CP->Decl->Params[0].Name] = NewPred;
     Child.Trace.Args = {NewPred};
+    if (Bus.enabled())
+      Bus.emit(obs::Event::specAlloc(Stats.Cycles,
+                                     static_cast<uint16_t>(P.Index),
+                                     Child.Tid, *NewSid));
     emitThreadEvent(obs::Event::Kind::ThreadSpawn, P, Child.Tid);
     PendingEnqs.push_back({&P, /*ToEntry=*/true, {}, std::move(Child)});
     return FireResult::Fire;
@@ -967,8 +1171,14 @@ void System::recordCommit(PipeInstance &P, const std::string &Mem,
                           uint64_t Addr, uint64_t Val, Thread &T) {
   T.Trace.Writes.emplace_back(Mem, Addr, Val);
   if (HaltWatch && std::get<0>(*HaltWatch) == P.Index &&
-      std::get<1>(*HaltWatch) == Mem && std::get<2>(*HaltWatch) == Addr)
-    Halted = true;
+      std::get<1>(*HaltWatch) == Mem && std::get<2>(*HaltWatch) == Addr) {
+    if (!DrainOnHalt) {
+      Halted = true;
+    } else if (!HaltTid) {
+      HaltTid = T.Tid;
+      HaltCycle = Stats.Cycles;
+    }
+  }
 }
 
 void System::killThread(PipeInstance &P, Thread &&T) {
@@ -995,8 +1205,12 @@ void System::retireThread(PipeInstance &P, Thread &&T) {
   assert(T.Res.empty() && "thread retired holding lock reservations");
   assert(T.PendingResp == 0 && "thread retired with outstanding responses");
   assert(T.Handles.empty() && "thread retired with unresolved speculation");
-  ++Stats.Retired[P.CP->Decl->Name];
   emitThreadEvent(obs::Event::Kind::ThreadRetire, P, T.Tid);
+  // Threads younger than a pending halt store are past the architectural
+  // end of the program: they drain, but neither count nor leave a trace.
+  if (HaltTid && T.Tid > *HaltTid)
+    return;
+  ++Stats.Retired[P.CP->Decl->Name];
   P.Retired.push_back(std::move(T.Trace));
 }
 
@@ -1160,6 +1374,13 @@ void System::applyEndOfCycle() {
       continue;
     }
     PipeInstance &P = pipe(It->Pipe);
+    if (consumeFault(hw::FaultKind::DropMemResponse, P, It->Tid)) {
+      // Injected fault: the response vanishes. PendingResp stays high, so
+      // the requester stalls on Response forever — an honest deadlock the
+      // wait-for diagnosis attributes to the memory response.
+      It = Deliveries.erase(It);
+      continue;
+    }
     if (Thread *T = findThread(P, It->Tid)) {
       T->Vars[It->Var] = It->Value;
       assert(T->PendingResp > 0);
@@ -1200,8 +1421,28 @@ void System::cycle() {
 uint64_t System::run(uint64_t MaxCycles) {
   uint64_t Start = Stats.Cycles;
   uint64_t IdleStreak = 0;
+  bool Drained = false;
   while (Stats.Cycles - Start < MaxCycles && !Halted) {
     cycle();
+    if (HaltTid && !Halted) {
+      // Drain mode: the halt store has committed; stop once no thread at
+      // least as old as it is still in flight. The bound keeps a wedged
+      // older thread from turning a halt into a timeout.
+      bool OlderInFlight = false;
+      for (PipeInstance *PI : PipeSeq) {
+        for (const Thread &T : PI->Entry)
+          OlderInFlight |= T.Tid <= *HaltTid;
+        for (auto &[Edge, F] : PI->EdgeFifos)
+          for (const Thread &T : F)
+            OlderInFlight |= T.Tid <= *HaltTid;
+      }
+      for (const PendingEnq &E : PendingEnqs)
+        OlderInFlight |= E.T.Tid <= *HaltTid;
+      if (!OlderInFlight || Stats.Cycles - HaltCycle > 1024) {
+        Halted = true;
+        continue;
+      }
+    }
     if (FiredThisCycle) {
       IdleStreak = 0;
       continue;
@@ -1215,8 +1456,10 @@ uint64_t System::run(uint64_t MaxCycles) {
         if (!F.empty())
           InFlight = true;
     }
-    if (!InFlight)
-      break; // drained
+    if (!InFlight) {
+      Drained = true;
+      break;
+    }
     if (!Deliveries.empty()) {
       // A long-latency memory response is still in flight (cache miss);
       // the pipeline legitimately sits idle until it arrives.
@@ -1225,10 +1468,254 @@ uint64_t System::run(uint64_t MaxCycles) {
     }
     if (++IdleStreak > 8) {
       Stats.Deadlocked = true;
+      Diag = diagnoseDeadlock();
       if (Bus.enabled())
         Bus.emit(obs::Event::deadlock(Stats.Cycles));
       break;
     }
   }
+  Stats.Outcome = Halted              ? RunOutcome::Halted
+                  : Stats.Deadlocked  ? RunOutcome::Deadlocked
+                  : Drained           ? RunOutcome::Drained
+                                      : RunOutcome::TimedOut;
   return Stats.Cycles - Start;
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlock diagnosis
+//===----------------------------------------------------------------------===//
+
+std::string System::stageOfThread(uint64_t Tid) const {
+  for (const PipeInstance *PI : PipeSeq) {
+    const StageGraph &G = PI->CP->Graph;
+    for (const Thread &T : PI->Entry)
+      if (T.Tid == Tid)
+        return PI->Name + "/" + G.Stages[G.Entry].Name;
+    for (const auto &[Edge, F] : PI->EdgeFifos)
+      for (const Thread &T : F)
+        if (T.Tid == Tid)
+          return PI->Name + "/" + G.Stages[Edge.second].Name;
+  }
+  return "";
+}
+
+DeadlockDiagnosis System::diagnoseDeadlock() {
+  DeadlockDiagnosis D;
+  D.Cycle = Stats.Cycles;
+  // Dead fronts were already drained during the idle streak, so probing the
+  // stages here re-derives each stall without perturbing state.
+  auto ForEachThread = [](PipeInstance &P, auto Fn) {
+    for (Thread &T : P.Entry)
+      Fn(T);
+    for (auto &[K, F] : P.EdgeFifos) {
+      (void)K;
+      for (Thread &T : F)
+        Fn(T);
+    }
+  };
+  for (PipeInstance *PI : PipeSeq) {
+    const StageGraph &G = PI->CP->Graph;
+    for (unsigned Id = G.Stages.size(); Id-- > 0;) {
+      const Stage &S = G.Stages[Id];
+      unsigned PredIdx = 0;
+      Thread *T = stageInput(*PI, S, PredIdx);
+      if (!T) {
+        // A join can be wedged with threads waiting on its predecessor
+        // FIFOs but no coordination tag to select one.
+        if (S.isJoin()) {
+          uint64_t WaitTid = 0;
+          for (unsigned PredId : S.Preds) {
+            auto &F = PI->EdgeFifos.at({PredId, S.Id});
+            if (!F.empty())
+              WaitTid = F.front().Tid;
+          }
+          if (WaitTid && PI->TagQueues[S.Id].empty()) {
+            WaitForEdge E;
+            E.Pipe = PI->Name;
+            E.Stage = S.Name;
+            E.Tid = WaitTid;
+            E.Cause = StallCause::Backpressure;
+            E.Resource = "coordination-tag";
+            D.Edges.push_back(std::move(E));
+          }
+        }
+        continue;
+      }
+      WaitForEdge E;
+      E.Pipe = PI->Name;
+      E.Stage = S.Name;
+      E.Tid = T->Tid;
+      if (T->PendingResp > 0) {
+        E.Cause = StallCause::Response;
+        E.Resource = "memory-response";
+        D.Edges.push_back(std::move(E));
+        continue;
+      }
+      bool RegionBlocked = false;
+      for (const LockRegion &Reg : PI->Regions) {
+        if (S.Id == Reg.First && Reg.OccupantTid &&
+            *Reg.OccupantTid != T->Tid) {
+          E.Cause = StallCause::Lock;
+          E.Resource = Reg.Mem;
+          E.HolderTid = *Reg.OccupantTid;
+          E.HolderStage = stageOfThread(E.HolderTid);
+          D.Edges.push_back(E);
+          RegionBlocked = true;
+          break;
+        }
+      }
+      if (RegionBlocked)
+        continue;
+      WalkCtx Probe;
+      Probe.Mode = WalkMode::Probe;
+      Probe.Vars = T->Vars;
+      FireResult R = walkStage(*PI, S, *T, Probe);
+      if (R != FireResult::Stall) {
+        if (R != FireResult::Fire)
+          continue; // killable input cannot wedge the stage
+        // The ops would fire: the block must be downstream backpressure.
+        const StageEdge *Succ = pickSuccessor(*PI, S, Probe.Vars);
+        if (Succ) {
+          auto &F = PI->EdgeFifos.at({Succ->From, Succ->To});
+          if (F.size() >= F.capacity()) {
+            E.Cause = StallCause::Backpressure;
+            E.Resource = "fifo " + S.Name + "->" + G.Stages[Succ->To].Name;
+            if (!F.empty()) {
+              E.HolderTid = F.front().Tid;
+              E.HolderStage = PI->Name + "/" + G.Stages[Succ->To].Name;
+            }
+            D.Edges.push_back(std::move(E));
+          }
+        }
+        continue;
+      }
+      E.Cause = Probe.Cause;
+      switch (Probe.Cause) {
+      case StallCause::Lock: {
+        E.Resource = Probe.CauseMem ? *Probe.CauseMem : "lock";
+        // The holder: another thread of the pipe with a live reservation
+        // on the same memory (the queue head blocking ours).
+        ForEachThread(*PI, [&](Thread &O) {
+          if (E.HolderTid || O.Tid == T->Tid)
+            return;
+          for (const auto &[R2, Rec] : O.ResInfo) {
+            (void)R2;
+            if (Rec.Mem == E.Resource) {
+              E.HolderTid = O.Tid;
+              E.HolderStage = stageOfThread(O.Tid);
+              return;
+            }
+          }
+        });
+        break;
+      }
+      case StallCause::Spec: {
+        E.Resource = "spec-table";
+        // The holder: the parent still holding an unresolved handle on
+        // this thread's speculation entry.
+        if (T->MySpec)
+          ForEachThread(*PI, [&](Thread &O) {
+            if (E.HolderTid)
+              return;
+            for (const auto &[H, Sid] : O.Handles) {
+              (void)H;
+              if (Sid == T->MySpec) {
+                E.HolderTid = O.Tid;
+                E.HolderStage = stageOfThread(O.Tid);
+                return;
+              }
+            }
+          });
+        break;
+      }
+      case StallCause::Backpressure:
+        E.Resource = Probe.CauseMem ? *Probe.CauseMem : "downstream";
+        break;
+      case StallCause::Response:
+        E.Resource = "memory-response";
+        break;
+      default:
+        E.Resource = obs::stallCauseName(Probe.Cause);
+        break;
+      }
+      D.Edges.push_back(std::move(E));
+    }
+  }
+
+  // Close the loop: follow blocked-stage -> holder-stage links and report
+  // the first cycle found.
+  std::map<std::string, std::string> Next;
+  for (const WaitForEdge &E : D.Edges)
+    if (!E.HolderStage.empty())
+      Next[E.Pipe + "/" + E.Stage] = E.HolderStage;
+  for (const auto &[StartNode, Ignored] : Next) {
+    (void)Ignored;
+    std::vector<std::string> Path{StartNode};
+    std::string Cur = StartNode;
+    while (true) {
+      auto It = Next.find(Cur);
+      if (It == Next.end())
+        break;
+      Cur = It->second;
+      if (Cur == StartNode) {
+        D.WaitCycle = Path;
+        break;
+      }
+      if (std::find(Path.begin(), Path.end(), Cur) != Path.end())
+        break;
+      Path.push_back(Cur);
+    }
+    if (!D.WaitCycle.empty())
+      break;
+  }
+  return D;
+}
+
+std::string DeadlockDiagnosis::render() const {
+  std::string Out =
+      "deadlock wait-for graph (cycle " + std::to_string(Cycle) + "):\n";
+  for (const WaitForEdge &E : Edges) {
+    Out += "  " + E.Pipe + "/" + E.Stage;
+    if (E.Tid)
+      Out += " tid=" + std::to_string(E.Tid);
+    Out += " blocked[";
+    Out += obs::stallCauseName(E.Cause);
+    Out += "] on " + E.Resource;
+    if (E.HolderTid) {
+      Out += " held by tid=" + std::to_string(E.HolderTid);
+      if (!E.HolderStage.empty())
+        Out += " at " + E.HolderStage;
+    }
+    Out += "\n";
+  }
+  if (!WaitCycle.empty()) {
+    Out += "  cycle:";
+    for (const std::string &N : WaitCycle)
+      Out += " " + N + " ->";
+    Out += " " + WaitCycle.front() + "\n";
+  }
+  return Out;
+}
+
+obs::Json DeadlockDiagnosis::toJsonValue() const {
+  obs::Json Root = obs::Json::object();
+  Root.set("cycle", obs::Json(Cycle));
+  obs::Json EdgesJ = obs::Json::array();
+  for (const WaitForEdge &E : Edges) {
+    obs::Json EJ = obs::Json::object();
+    EJ.set("pipe", obs::Json(E.Pipe));
+    EJ.set("stage", obs::Json(E.Stage));
+    EJ.set("tid", obs::Json(E.Tid));
+    EJ.set("cause", obs::Json(std::string(obs::stallCauseName(E.Cause))));
+    EJ.set("resource", obs::Json(E.Resource));
+    EJ.set("holder_tid", obs::Json(E.HolderTid));
+    EJ.set("holder_stage", obs::Json(E.HolderStage));
+    EdgesJ.push(std::move(EJ));
+  }
+  Root.set("edges", std::move(EdgesJ));
+  obs::Json CycleJ = obs::Json::array();
+  for (const std::string &N : WaitCycle)
+    CycleJ.push(obs::Json(N));
+  Root.set("wait_cycle", std::move(CycleJ));
+  return Root;
 }

@@ -43,10 +43,12 @@
 #include "backend/Eval.h"
 #include "backend/SeqInterp.h"
 #include "hw/Extern.h"
+#include "hw/Fault.h"
 #include "hw/Fifo.h"
 #include "hw/Lock.h"
 #include "hw/SpecTable.h"
 #include "mem/MemModel.h"
+#include "obs/Json.h"
 #include "obs/TraceSink.h"
 #include "passes/Compiler.h"
 
@@ -60,6 +62,40 @@ namespace pdl {
 namespace backend {
 
 enum class LockKind { Queue, Bypass, Rename };
+
+/// How a run ended: the structured successor of the Halted/Deadlocked
+/// booleans. `Running` until run() returns; `Drained` means every thread
+/// retired without a halt-watch write; `TimedOut` means MaxCycles elapsed
+/// with work still in flight.
+enum class RunOutcome : uint8_t { Running, Halted, Drained, Deadlocked,
+                                  TimedOut };
+
+const char *runOutcomeName(RunOutcome O);
+
+/// One blocked stage in the deadlock wait-for graph: which resource it
+/// waits on and, when resolvable, the thread (and its current stage)
+/// holding that resource.
+struct WaitForEdge {
+  std::string Pipe;
+  std::string Stage;
+  uint64_t Tid = 0; // the blocked thread (0 when no input thread)
+  obs::StallCause Cause = obs::StallCause::None;
+  std::string Resource;    // lock memory, "spec-table", a FIFO edge, ...
+  uint64_t HolderTid = 0;  // 0 = no specific holding thread resolved
+  std::string HolderStage; // "pipe/stage" where the holder sits
+};
+
+/// Captured by run() when it declares deadlock: every blocked stage, what
+/// it waits for, and (when the holder chain closes) the cycle in the graph.
+struct DeadlockDiagnosis {
+  uint64_t Cycle = 0;
+  std::vector<WaitForEdge> Edges;
+  std::vector<std::string> WaitCycle; // "pipe/stage" nodes forming a cycle
+
+  bool valid() const { return !Edges.empty(); }
+  std::string render() const;
+  obs::Json toJsonValue() const;
+};
 
 class System;
 
@@ -144,6 +180,10 @@ struct SystemStats {
   uint64_t StallResponse = 0; // outstanding synchronous responses
   uint64_t StallBackpressure = 0;
   bool Deadlocked = false;
+  /// Structured run outcome, set when run() returns.
+  RunOutcome Outcome = RunOutcome::Running;
+  /// Faults actually triggered by armed hw::FaultPlans (see armFault).
+  uint64_t FaultsInjected = 0;
 };
 
 /// An elaborated, runnable system of pipelines.
@@ -207,6 +247,14 @@ public:
                       uint64_t Addr) {
     setHaltOnWrite(memHandle(Pipe, Mem), Addr);
   }
+  /// With drain-on-halt, the halt store does not stop the clock at once:
+  /// the system keeps cycling (bounded) until every thread at least as old
+  /// as the halting one has left the pipeline, so that e.g. a load miss
+  /// still waiting in writeback lands its architectural result. Threads
+  /// younger than the halting store retire untraced and uncounted — they
+  /// are past the architectural end of the program. Off by default; the
+  /// differential harness enables it.
+  void setDrainOnHalt(bool B) { DrainOnHalt = B; }
   bool canAccept(const std::string &Pipe) {
     return canAccept(pipeHandle(Pipe));
   }
@@ -231,6 +279,20 @@ public:
 
   bool halted() const { return Halted; }
   const SystemStats &stats() const { return Stats; }
+
+  //===--------------------------------------------------------------------===//
+  // Verification harness
+  //===--------------------------------------------------------------------===//
+
+  /// Arms one seeded fault (src/hw/Fault.h) so the Nth matching operation
+  /// is perturbed. Forces lock elaboration; call after construction, before
+  /// or during the run. Triggered faults bump stats().FaultsInjected and
+  /// emit an obs FaultInjected event.
+  void armFault(const hw::FaultPlan &Plan);
+
+  /// The wait-for-graph diagnosis captured when run() declared deadlock
+  /// (invalid — no edges — otherwise).
+  const DeadlockDiagnosis &deadlockDiagnosis() const { return Diag; }
 
   //===--------------------------------------------------------------------===//
   // Observability
@@ -414,6 +476,30 @@ private:
   void applyEndOfCycle();
   Thread *findThread(PipeInstance &P, uint64_t Tid);
 
+  /// One armed executor-level fault (hw-level kinds are delegated to the
+  /// primitive's own arming hooks in armFault).
+  struct ArmedFault {
+    hw::FaultPlan Plan;
+    uint64_t Countdown = 1;
+    bool Fired = false;
+    uint64_t RescuedTid = 0; // SkipSquash: the thread spared its squash
+  };
+
+  /// Accounting for a fault that actually triggered.
+  void noteFault(PipeInstance &P, hw::FaultKind K, uint64_t Tid);
+  ArmedFault *armedFault(hw::FaultKind K, const PipeInstance &P);
+  /// Consumes one occurrence of \p K in \p P (commit-pass sites only, so
+  /// probe and commit never disagree). Optional \p Mem filters lock faults.
+  bool consumeFault(hw::FaultKind K, PipeInstance &P, uint64_t Tid,
+                    const std::string *Mem = nullptr);
+  /// SkipSquash: true when the squash of \p Tid should be suppressed.
+  /// Sticky per thread so every squash point sees the same answer.
+  bool rescueSquash(PipeInstance &P, uint64_t Tid);
+
+  DeadlockDiagnosis diagnoseDeadlock();
+  /// "pipe/stage" the thread would fire at next, or "" if not queued.
+  std::string stageOfThread(uint64_t Tid) const;
+
   const CompiledProgram &CP;
   ElabConfig Cfg;
   std::map<std::string, std::unique_ptr<PipeInstance>> Pipes;
@@ -427,12 +513,17 @@ private:
   std::vector<std::unique_ptr<mem::MemModel>> OwnedModels;
   std::map<std::string, std::unique_ptr<mem::MemModel>> SharedBackings;
   std::optional<std::tuple<unsigned, std::string, uint64_t>> HaltWatch;
+  std::vector<ArmedFault> Faults;
+  DeadlockDiagnosis Diag;
   SystemStats Stats;
   obs::TraceBus Bus;
   obs::TraceMeta Meta;
   std::vector<std::unique_ptr<FifoTap>> Taps;
   bool TapsInstalled = false;
   bool Halted = false;
+  bool DrainOnHalt = false;
+  std::optional<uint64_t> HaltTid; // drain mode: the halting thread
+  uint64_t HaltCycle = 0;          // cycle the halt store committed
   bool LocksBuilt = false;
   uint64_t NextTid = 1;
   bool FiredThisCycle = false;

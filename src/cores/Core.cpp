@@ -151,6 +151,7 @@ Core::RunResult Core::run(uint64_t MaxCycles, bool CheckGolden) {
   R.Cpi = R.Instrs ? double(R.Cycles) / double(R.Instrs) : 0.0;
   R.Halted = Sys->halted();
   R.Deadlocked = Sys->stats().Deadlocked;
+  R.Outcome = backend::runOutcomeName(Sys->stats().Outcome);
   if (!CheckGolden)
     return R;
 

@@ -87,6 +87,9 @@ public:
     double Cpi = 0;
     bool Halted = false;
     bool Deadlocked = false;
+    /// Structured outcome name ("halted" / "drained" / "deadlocked" /
+    /// "timed_out"), from backend::runOutcomeName.
+    std::string Outcome;
     /// Set by run() when \p Golden checking was requested.
     bool TraceMatches = true;
     std::string TraceMismatch; // first divergence, for diagnostics

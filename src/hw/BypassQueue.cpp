@@ -127,6 +127,8 @@ void BypassQueueLock::forwardCommit(const WriteEntry &E) {
 }
 
 void BypassQueueLock::release(ResId R) {
+  if (consumeDropRelease())
+    return;
   auto RIt = Reads.find(R);
   bool IsRead = RIt != Reads.end();
   WriteEntry *E = findEntry(R);

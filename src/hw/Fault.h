@@ -1,0 +1,85 @@
+//===- Fault.h - Seeded fault-injection plans ------------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fault-injection vocabulary for the dynamic verification harness. A
+/// FaultPlan names one perturbation of one hardware primitive; the executor
+/// (System::armFault) arms the primitive so the Nth matching operation is
+/// perturbed. Every kind must be caught by a runtime monitor, by golden-model
+/// divergence, or by the deadlock diagnosis — the (kind x detector) matrix is
+/// asserted in tests/VerifyTest.cpp and documented in docs/robustness.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_HW_FAULT_H
+#define PDL_HW_FAULT_H
+
+#include <cstdint>
+#include <string>
+
+namespace pdl {
+namespace hw {
+
+enum class FaultKind : uint8_t {
+  FifoDropThread,     // swallow the Nth enqueue onto a stage edge
+  FifoDupThread,      // duplicate the Nth enqueue (same thread twice)
+  FifoCorruptPayload, // flip bit `Bit` of variable `Var` in the Nth enqueue
+  DropLockRelease,    // a lock release completes but is lost to observers
+  HwDropLockRelease,  // the lock implementation itself swallows release()
+  SuppressMispredict, // SpecTable::verify marks a wrong prediction Correct
+  SkipSquash,         // a mispredicted thread escapes its kill
+  SkipCascade,        // cascadeMispredict leaves descendants Pending
+  DropMemResponse,    // a scheduled sync-memory delivery never arrives
+  DoubleRollback,     // lock checkpoints rolled back twice on one verify
+  DropStageOutcome,   // one non-idle stage outcome never reaches the stats
+};
+
+inline const char *faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::FifoDropThread:
+    return "fifo-drop-thread";
+  case FaultKind::FifoDupThread:
+    return "fifo-dup-thread";
+  case FaultKind::FifoCorruptPayload:
+    return "fifo-corrupt-payload";
+  case FaultKind::DropLockRelease:
+    return "drop-lock-release";
+  case FaultKind::HwDropLockRelease:
+    return "hw-drop-lock-release";
+  case FaultKind::SuppressMispredict:
+    return "suppress-mispredict";
+  case FaultKind::SkipSquash:
+    return "skip-squash";
+  case FaultKind::SkipCascade:
+    return "skip-cascade";
+  case FaultKind::DropMemResponse:
+    return "drop-mem-response";
+  case FaultKind::DoubleRollback:
+    return "double-rollback";
+  case FaultKind::DropStageOutcome:
+    return "drop-stage-outcome";
+  }
+  return "unknown-fault";
+}
+
+/// One armed perturbation. Stage and memory identities are by name so plans
+/// can be written in tests and repro bundles without elaboration indices;
+/// empty FromStage/ToStage selects the pipe's entry queue.
+struct FaultPlan {
+  FaultKind Kind;
+  std::string Pipe;      // pipeline the fault targets
+  std::string Mem;       // lock faults: the guarded memory's name
+  std::string FromStage; // FIFO faults: producing stage ("" = entry queue)
+  std::string ToStage;   // FIFO faults: consuming stage ("" = entry queue)
+  uint64_t Nth = 1;      // perturb the Nth matching operation (1-based)
+  unsigned Bit = 0;      // FifoCorruptPayload: bit to flip
+  std::string Var;       // FifoCorruptPayload: thread variable to corrupt
+};
+
+} // namespace hw
+} // namespace pdl
+
+#endif // PDL_HW_FAULT_H

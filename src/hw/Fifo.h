@@ -16,6 +16,8 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdio>
+#include <functional>
 #include <deque>
 
 namespace pdl {
@@ -45,23 +47,68 @@ public:
   unsigned capacity() const { return Capacity; }
 
   void enq(T Item) {
-    assert(canEnq() && "FIFO overflow");
+    if (!canEnq()) {
+      // Debug builds assert (the executor's backpressure checks should make
+      // overflow impossible); release builds report once and drop the item
+      // instead of growing past the modeled hardware capacity.
+      assert(false && "FIFO overflow");
+      if (!WarnedOverflow) {
+        WarnedOverflow = true;
+        std::fprintf(stderr, "pdl: FIFO overflow (capacity %u); "
+                             "enqueue dropped\n",
+                     Capacity);
+      }
+      return;
+    }
+    if (DropArm > 0 && --DropArm == 0) {
+      auto Fire = std::move(DropOnFire);
+      DropOnFire = nullptr;
+      if (Fire)
+        Fire();
+      return; // the item vanishes: no storage update, no listener event
+    }
+    if (CorruptArm > 0 && --CorruptArm == 0) {
+      auto Mut = std::move(CorruptFn);
+      CorruptFn = nullptr;
+      if (Mut)
+        Mut(Item);
+    }
+    bool Dup = DupArm > 0 && --DupArm == 0;
     Items.push_back(std::move(Item));
     if (L)
       L->onEnq(Items.back(), Items.size());
+    if (Dup) {
+      auto Fire = std::move(DupOnFire);
+      DupOnFire = nullptr;
+      if (Fire)
+        Fire();
+      if (canEnq()) {
+        Items.push_back(Items.back());
+        if (L)
+          L->onEnq(Items.back(), Items.size());
+      }
+    }
   }
 
   T &front() {
-    assert(!empty() && "front of an empty FIFO");
+    if (empty()) {
+      assert(false && "front of an empty FIFO");
+      warnUnderflow("front");
+      static T Dummy{};
+      return Dummy;
+    }
     return Items.front();
   }
   const T &front() const {
-    assert(!empty() && "front of an empty FIFO");
-    return Items.front();
+    return const_cast<Fifo *>(this)->front();
   }
 
   T deq() {
-    assert(!empty() && "dequeue of an empty FIFO");
+    if (empty()) {
+      assert(false && "dequeue of an empty FIFO");
+      warnUnderflow("dequeue");
+      return T{};
+    }
     T Item = std::move(Items.front());
     Items.pop_front();
     if (L)
@@ -82,10 +129,43 @@ public:
   auto begin() const { return Items.begin(); }
   auto end() const { return Items.end(); }
 
+  /// Fault injection (src/hw/Fault.h): swallow the \p Nth enqueue from now.
+  /// \p OnFire runs when the fault actually triggers (for accounting).
+  void armDropNext(uint64_t Nth, std::function<void()> OnFire = nullptr) {
+    DropArm = Nth;
+    DropOnFire = std::move(OnFire);
+  }
+
+  /// Fault injection: enqueue the \p Nth item twice (if capacity allows).
+  void armDupNext(uint64_t Nth, std::function<void()> OnFire = nullptr) {
+    DupArm = Nth;
+    DupOnFire = std::move(OnFire);
+  }
+
+  /// Fault injection: pass the \p Nth enqueued item through \p Mutate before
+  /// it is stored (e.g. flip one payload bit).
+  void armCorruptNext(uint64_t Nth, std::function<void(T &)> Mutate) {
+    CorruptArm = Nth;
+    CorruptFn = std::move(Mutate);
+  }
+
 private:
+  void warnUnderflow(const char *What) const {
+    if (WarnedUnderflow)
+      return;
+    WarnedUnderflow = true;
+    std::fprintf(stderr, "pdl: FIFO underflow (%s of an empty FIFO); "
+                         "returning a default item\n",
+                 What);
+  }
+
   unsigned Capacity;
   std::deque<T> Items;
   Listener *L = nullptr;
+  mutable bool WarnedOverflow = false, WarnedUnderflow = false;
+  uint64_t DropArm = 0, DupArm = 0, CorruptArm = 0;
+  std::function<void()> DropOnFire, DupOnFire;
+  std::function<void(T &)> CorruptFn;
 };
 
 } // namespace hw

@@ -30,6 +30,7 @@
 #include "support/Bits.h"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -136,8 +137,32 @@ public:
 
   Memory &memory() { return Mem; }
 
+  /// Fault injection (src/hw/Fault.h): make the implementation silently
+  /// swallow the \p Nth release() from now, leaking the reservation inside
+  /// the lock. Implementations call consumeDropRelease() at the top of
+  /// release(); \p OnFire runs when the fault actually triggers.
+  void armDropRelease(uint64_t Nth, std::function<void()> OnFire = nullptr) {
+    DropReleaseArm = Nth;
+    DropReleaseOnFire = std::move(OnFire);
+  }
+
 protected:
+  /// Returns true when this release() call should be swallowed.
+  bool consumeDropRelease() {
+    if (DropReleaseArm == 0 || --DropReleaseArm != 0)
+      return false;
+    auto Fire = std::move(DropReleaseOnFire);
+    DropReleaseOnFire = nullptr;
+    if (Fire)
+      Fire();
+    return true;
+  }
+
   Memory &Mem;
+
+private:
+  uint64_t DropReleaseArm = 0;
+  std::function<void()> DropReleaseOnFire;
 };
 
 } // namespace hw

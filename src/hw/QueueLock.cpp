@@ -80,6 +80,8 @@ void QueueLock::write(ResId R, Bits V) {
 }
 
 void QueueLock::release(ResId R) {
+  if (consumeDropRelease())
+    return;
   auto It = Reservations.find(R);
   assert(It != Reservations.end() && "unknown reservation");
   Queue &Q = Queues[It->second.QueueIdx];

@@ -97,6 +97,8 @@ void RenameLock::write(ResId R, Bits V) {
 }
 
 void RenameLock::release(ResId R) {
+  if (consumeDropRelease())
+    return;
   auto It = Reservations.find(R);
   assert(It != Reservations.end() && "unknown reservation");
   const Reservation &Res = It->second;

@@ -7,18 +7,52 @@
 #include "hw/SpecTable.h"
 
 #include <cassert>
+#include <cstdio>
 
 using namespace pdl;
 using namespace pdl::hw;
 
+bool SpecTable::consumeArm(uint64_t &Arm, std::function<void()> &OnFire) {
+  if (Arm == 0 || --Arm != 0)
+    return false;
+  auto Fire = std::move(OnFire);
+  OnFire = nullptr;
+  if (Fire)
+    Fire();
+  return true;
+}
+
 SpecId SpecTable::alloc(Bits Prediction) {
-  assert(canAlloc() && "speculation table full");
+  if (!canAlloc()) {
+    // Debug builds assert (callers gate on canAlloc, so this is an executor
+    // bug); release builds report once and allocate anyway rather than
+    // corrupting the entry map. The monitors flag the over-capacity state.
+    assert(false && "speculation table full");
+    if (!WarnedCapacity) {
+      WarnedCapacity = true;
+      std::fprintf(stderr,
+                   "pdl: speculation table over capacity (%u); "
+                   "allocating anyway\n",
+                   Capacity);
+    }
+  }
   SpecId Id = NextId++;
   Entries[Id] = {Prediction, SpecStatus::Pending};
   return Id;
 }
 
 void SpecTable::cascadeMispredict(SpecId From) {
+  if (consumeArm(SkipCascadeArm, SkipCascadeOnFire)) {
+    // Injected fault: only the verified entry flips; descendants stay
+    // Pending forever (orphaned speculation).
+    auto It = Entries.find(From);
+    if (It != Entries.end() && It->second.St != SpecStatus::Mispredicted) {
+      It->second.St = SpecStatus::Mispredicted;
+      if (Obs)
+        Obs(From, SpecStatus::Mispredicted);
+    }
+    return;
+  }
   for (auto &[Id, E] : Entries)
     if (Id >= From && E.St != SpecStatus::Mispredicted) {
       E.St = SpecStatus::Mispredicted;
@@ -30,7 +64,10 @@ void SpecTable::cascadeMispredict(SpecId From) {
 bool SpecTable::verify(SpecId Id, Bits Actual) {
   auto It = Entries.find(Id);
   assert(It != Entries.end() && "verify of an unknown speculation");
-  if (It->second.Prediction == Actual) {
+  bool Correct = It->second.Prediction == Actual;
+  if (!Correct && consumeArm(SuppressArm, SuppressOnFire))
+    Correct = true; // injected fault: wrong-path child sails on
+  if (Correct) {
     It->second.St = SpecStatus::Correct;
     if (Obs)
       Obs(Id, SpecStatus::Correct);

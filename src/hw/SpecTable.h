@@ -62,12 +62,32 @@ public:
 
   SpecStatus status(SpecId Id) const;
 
+  /// True while \p Id names a live (not yet freed) entry. Normally a parent
+  /// always outlives its child's entry; an injected SkipSquash can keep a
+  /// wrong-path parent running after its squashed child freed the entry.
+  bool knows(SpecId Id) const { return Entries.count(Id) != 0; }
+
   /// Frees the entry once the child thread has observed its status.
   void free(SpecId Id);
 
   Bits prediction(SpecId Id) const { return Entries.at(Id).Prediction; }
   size_t live() const { return Entries.size(); }
   unsigned capacity() const { return Capacity; }
+
+  /// Fault injection (src/hw/Fault.h): make the \p Nth verify() of a wrong
+  /// prediction report Correct instead of cascading a misprediction.
+  void armSuppressMispredict(uint64_t Nth,
+                             std::function<void()> OnFire = nullptr) {
+    SuppressArm = Nth;
+    SuppressOnFire = std::move(OnFire);
+  }
+
+  /// Fault injection: make the \p Nth cascadeMispredict() mark only the
+  /// directly-verified entry, leaving descendants Pending (orphans).
+  void armSkipCascade(uint64_t Nth, std::function<void()> OnFire = nullptr) {
+    SkipCascadeArm = Nth;
+    SkipCascadeOnFire = std::move(OnFire);
+  }
 
 private:
   struct Entry {
@@ -76,11 +96,15 @@ private:
   };
 
   void cascadeMispredict(SpecId From);
+  bool consumeArm(uint64_t &Arm, std::function<void()> &OnFire);
 
   unsigned Capacity;
   std::map<SpecId, Entry> Entries; // key order = age order
   SpecId NextId = 1;
   Observer Obs;
+  bool WarnedCapacity = false;
+  uint64_t SuppressArm = 0, SkipCascadeArm = 0;
+  std::function<void()> SuppressOnFire, SkipCascadeOnFire;
 };
 
 } // namespace hw

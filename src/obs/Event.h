@@ -76,6 +76,8 @@ struct Event {
     MemHit,       // Pipe, Mem, Tid, Value=address (cache models only)
     MemMiss,      // same fields as MemHit
     MemBackpressure, // Pipe, Mem, Tid, Value=address (miss queue full)
+    SpecAlloc,    // Pipe, Tid (the child), Value=spec id
+    FaultInjected, // Pipe, Tid, Value=hw::FaultKind (src/hw/Fault.h)
   };
 
   Kind K = Kind::CycleBegin;
@@ -149,13 +151,37 @@ struct Event {
     E.Flag = Correct;
     return E;
   }
+  /// \p Final is true when the checkpoint is also freed (a verify), false
+  /// when the rollback keeps checkpoints live (an update re-steer). The
+  /// ckpt-once monitor uses it to flag double rollbacks.
   static Event specRollback(uint64_t Cycle, uint16_t Pipe, uint16_t Mem,
-                            uint64_t Tid) {
+                            uint64_t Tid, bool Final = true) {
     Event E;
     E.K = Kind::SpecRollback;
     E.Cycle = Cycle;
     E.Pipe = Pipe;
     E.Mem = Mem;
+    E.Tid = Tid;
+    E.Flag = Final;
+    return E;
+  }
+  static Event specAlloc(uint64_t Cycle, uint16_t Pipe, uint64_t ChildTid,
+                         uint64_t SpecId) {
+    Event E;
+    E.K = Kind::SpecAlloc;
+    E.Cycle = Cycle;
+    E.Pipe = Pipe;
+    E.Tid = ChildTid;
+    E.Value = SpecId;
+    return E;
+  }
+  static Event fault(uint64_t Cycle, uint16_t Pipe, uint64_t FaultKind,
+                     uint64_t Tid) {
+    Event E;
+    E.K = Kind::FaultInjected;
+    E.Cycle = Cycle;
+    E.Pipe = Pipe;
+    E.Value = FaultKind;
     E.Tid = Tid;
     return E;
   }

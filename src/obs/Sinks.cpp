@@ -96,6 +96,10 @@ void CounterSink::event(const Event &E) {
     if (E.Mem != NoMem)
       ++R.Pipes[E.Pipe].Mems[E.Mem].MemStalls;
     return;
+  case Event::Kind::FaultInjected:
+    ++R.FaultsInjected;
+    return;
+  case Event::Kind::SpecAlloc:
   case Event::Kind::FifoEnq:
   case Event::Kind::FifoDeq:
     return;
@@ -245,6 +249,15 @@ void LogSink::event(const Event &E) {
   case Event::Kind::Deadlock:
     std::snprintf(Buf, sizeof(Buf), "deadlock at cycle %llu\n",
                   (unsigned long long)E.Cycle);
+    break;
+  case Event::Kind::SpecAlloc:
+    // Kept out of the log so golden digests pinned before this event kind
+    // existed stay bit-for-bit identical (same policy as Idle outcomes).
+    return;
+  case Event::Kind::FaultInjected:
+    std::snprintf(Buf, sizeof(Buf), "%s fault-injected kind=%llu tid=%llu\n",
+                  Pipe, (unsigned long long)E.Value,
+                  (unsigned long long)E.Tid);
     break;
   }
   Log += Buf;

@@ -61,6 +61,10 @@ const char *obs::eventKindName(Event::Kind K) {
     return "mem-miss";
   case Event::Kind::MemBackpressure:
     return "mem-stall";
+  case Event::Kind::SpecAlloc:
+    return "spec-alloc";
+  case Event::Kind::FaultInjected:
+    return "fault";
   }
   return "?";
 }
@@ -127,6 +131,10 @@ Json StatsReport::toJsonValue() const {
   Json Root = Json::object();
   Root.set("cycles", Json(Cycles));
   Root.set("deadlocked", Json(Deadlocked));
+  if (!Outcome.empty())
+    Root.set("outcome", Json(Outcome));
+  Root.set("faults_injected", Json(FaultsInjected));
+  Root.set("violations", Json(Violations));
   Json PipesJ = Json::array();
   for (const PipeStats &P : Pipes) {
     Json PJ = Json::object();
@@ -189,6 +197,12 @@ std::optional<StatsReport> StatsReport::fromJson(const std::string &Text,
     return Fail("missing cycles/deadlocked/pipes");
   R.Cycles = Cycles->asU64();
   R.Deadlocked = Dead->asBool();
+  if (const Json *Out = Root->get("outcome"))
+    R.Outcome = Out->asString();
+  if (const Json *F = Root->get("faults_injected"))
+    R.FaultsInjected = F->asU64();
+  if (const Json *V = Root->get("violations"))
+    R.Violations = V->asU64();
   for (const Json &PJ : PipesJ->items()) {
     PipeStats P;
     const Json *Name = PJ.get("name");

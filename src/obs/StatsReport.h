@@ -75,6 +75,15 @@ struct PipeStats {
 struct StatsReport {
   uint64_t Cycles = 0;
   bool Deadlocked = false;
+  /// Structured run outcome ("halted" / "drained" / "deadlocked" /
+  /// "timed_out"). Empty when the producer predates outcomes (old JSON) or
+  /// the system has not finished running; omitted from JSON when empty so
+  /// pre-existing serializations stay byte-identical.
+  std::string Outcome;
+  /// Verification-harness accounting: faults injected by an armed
+  /// hw::FaultPlan and invariant violations flagged by verify::MonitorSink.
+  uint64_t FaultsInjected = 0;
+  uint64_t Violations = 0;
   std::vector<PipeStats> Pipes;
 
   uint64_t totalFires() const;

@@ -1,0 +1,234 @@
+//===- Differ.cpp - Differential execution against the golden model ---------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Differ.h"
+
+#include "obs/Json.h"
+#include "obs/Sinks.h"
+#include "obs/VcdWriter.h"
+#include "riscv/Assembler.h"
+#include "riscv/GoldenSim.h"
+#include "verify/ProgGen.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace pdl;
+using namespace pdl::verify;
+
+DiffResult verify::runDiff(const std::string &AsmSource, const DiffConfig &C) {
+  DiffResult Res;
+  std::vector<uint32_t> Words = riscv::assemble(AsmSource);
+
+  // The architectural oracle: run to the halt store, keep the final state.
+  riscv::GoldenSim Golden(cores::ImemAddrBits, cores::DmemAddrBits);
+  Golden.loadProgram(Words);
+  Golden.setHaltStore(cores::HaltByteAddr);
+  uint64_t GoldenInstrs = Golden.run(4 * C.MaxCycles + 64);
+
+  cores::Core Core(C.Kind, cores::PredictorKind::Bht2Bit, C.Profile);
+  backend::System &Sys = Core.system();
+  // Let older in-flight work (e.g. a load miss parked in writeback behind
+  // the posted halt store) land before the clock stops, so the final
+  // architectural state is comparable against the golden model.
+  Sys.setDrainOnHalt(true);
+
+  obs::CounterSink Counters;
+  obs::LogSink Log;
+  MonitorSink Monitors;
+  std::ofstream VcdOS;
+  std::unique_ptr<obs::VcdWriter> Vcd;
+  Sys.attachSink(Counters);
+  if (C.WantDigest)
+    Sys.attachSink(Log);
+  if (C.WithMonitors)
+    Sys.attachSink(Monitors);
+  if (!C.VcdPath.empty()) {
+    VcdOS.open(C.VcdPath);
+    if (VcdOS) {
+      Vcd = std::make_unique<obs::VcdWriter>(VcdOS);
+      Sys.attachSink(*Vcd);
+    }
+  }
+  if (C.Fault)
+    Sys.armFault(*C.Fault);
+
+  Core.loadProgram(Words);
+  cores::Core::RunResult R = Core.run(C.MaxCycles, /*CheckGolden=*/true);
+  Sys.finishTrace();
+
+  Res.Outcome = R.Outcome;
+  Res.Cycles = R.Cycles;
+  Res.Instrs = R.Instrs;
+  Res.FaultsInjected = Sys.stats().FaultsInjected;
+  if (C.WithMonitors) {
+    Res.Violations = Monitors.count();
+    Res.ViolationList = Monitors.violations();
+  }
+  if (C.WantDigest)
+    Res.TraceDigest = Log.digest();
+  if (R.Deadlocked && Sys.deadlockDiagnosis().valid())
+    Res.DeadlockDiagnosis = Sys.deadlockDiagnosis().render();
+
+  Res.Report = Counters.report();
+  Res.Report.Outcome = Res.Outcome;
+  Res.Report.Violations = Res.Violations;
+
+  auto Diverge = [&](std::string Why) {
+    if (!Res.Divergent)
+      Res.Reason = std::move(Why);
+    Res.Divergent = true;
+  };
+
+  if (!Golden.halted()) {
+    Diverge("golden simulator did not halt (generator bug?)");
+    return Res;
+  }
+  if (!R.Halted) {
+    Diverge("core did not halt: outcome=" + Res.Outcome);
+    return Res;
+  }
+  if (!R.TraceMatches)
+    Diverge("commit trace mismatch: " + R.TraceMismatch);
+  // The golden model counts the halting store; the core stops simulating
+  // when that store commits, before the thread reaches retire — so an
+  // exact run retires GoldenInstrs or GoldenInstrs - 1 instructions.
+  // Dropped/duplicated instructions inside that window are still caught by
+  // the per-commit trace compare and the final-state diff below.
+  if (R.Instrs + 1 != GoldenInstrs && R.Instrs != GoldenInstrs)
+    Diverge("retired " + std::to_string(R.Instrs) + " instrs vs golden " +
+            std::to_string(GoldenInstrs));
+
+  // Final architectural state: the register file and the scratch window
+  // the generator's loads/stores alias.
+  backend::MemHandle Rf = Sys.memHandle(Core.cpu(), "rf");
+  for (unsigned Reg = 1; Reg != 32 && !Res.Divergent; ++Reg) {
+    uint64_t Got = Sys.archRead(Rf, Reg).zext();
+    if (Got != Golden.reg(Reg)) {
+      std::ostringstream OS;
+      OS << "final x" << Reg << " = 0x" << std::hex << Got << " vs golden 0x"
+         << Golden.reg(Reg);
+      Diverge(OS.str());
+    }
+  }
+  for (uint32_t W = ScratchBaseWord;
+       W != ScratchBaseWord + ScratchWords && !Res.Divergent; ++W) {
+    uint64_t Got = Sys.archRead(Core.dmem(), W).zext();
+    if (Got != Golden.loadData(W)) {
+      std::ostringstream OS;
+      OS << "final dmem[" << W << "] = 0x" << std::hex << Got
+         << " vs golden 0x" << Golden.loadData(W);
+      Diverge(OS.str());
+    }
+  }
+  return Res;
+}
+
+std::string verify::shrink(const std::string &AsmSource, const DiffConfig &C) {
+  // Re-runs during shrinking never need waveforms or digests.
+  DiffConfig SC = C;
+  SC.VcdPath.clear();
+  SC.WantDigest = false;
+
+  std::vector<std::string> Lines;
+  {
+    std::istringstream IS(AsmSource);
+    std::string L;
+    while (std::getline(IS, L))
+      Lines.push_back(L);
+  }
+  // Only plain instruction lines are removable: labels must survive for
+  // branch targets, and the halt epilogue (everything touching x31 plus
+  // the final spin loop) keeps every variant terminating.
+  auto Removable = [](const std::string &L) {
+    return L.size() > 2 && L[0] == ' ' && L.find(':') == std::string::npos &&
+           L.find("x31") == std::string::npos &&
+           L.find("j halt") == std::string::npos;
+  };
+  auto Join = [](const std::vector<std::string> &Ls) {
+    std::string Out;
+    for (const std::string &L : Ls) {
+      Out += L;
+      Out += '\n';
+    }
+    return Out;
+  };
+
+  unsigned Budget = 400; // cap on re-executions
+  bool Improved = true;
+  while (Improved && Budget) {
+    Improved = false;
+    for (size_t I = 0; I != Lines.size() && Budget; ++I) {
+      if (!Removable(Lines[I]))
+        continue;
+      std::vector<std::string> Cand = Lines;
+      Cand.erase(Cand.begin() + I);
+      --Budget;
+      if (runDiff(Join(Cand), SC).failed()) {
+        Lines = std::move(Cand);
+        Improved = true;
+        --I; // the next line shifted into this slot
+      }
+    }
+  }
+  return Join(Lines);
+}
+
+bool verify::writeReproBundle(const std::string &Dir,
+                              const std::string &AsmSource,
+                              const std::string &Shrunk, uint64_t Seed,
+                              const DiffConfig &C, const DiffResult &R) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC)
+    return false;
+
+  auto WriteFile = [&](const char *Name, const std::string &Text) {
+    std::ofstream OS(Dir + "/" + Name);
+    OS << Text;
+    return bool(OS);
+  };
+  if (!WriteFile("program.s", AsmSource))
+    return false;
+  if (!Shrunk.empty() && !WriteFile("shrunk.s", Shrunk))
+    return false;
+
+  obs::Json Repro = obs::Json::object();
+  Repro.set("seed", obs::Json(Seed));
+  Repro.set("core", obs::Json(cores::coreName(C.Kind)));
+  Repro.set("mem_profile", obs::Json(C.Profile.Name));
+  Repro.set("max_cycles", obs::Json(C.MaxCycles));
+  if (C.Fault)
+    Repro.set("fault", obs::Json(hw::faultKindName(C.Fault->Kind)));
+  Repro.set("outcome", obs::Json(R.Outcome));
+  Repro.set("divergent", obs::Json(R.Divergent));
+  Repro.set("reason", obs::Json(R.Reason));
+  Repro.set("cycles", obs::Json(R.Cycles));
+  Repro.set("instrs", obs::Json(R.Instrs));
+  Repro.set("faults_injected", obs::Json(R.FaultsInjected));
+  Repro.set("violations", obs::Json(R.Violations));
+  if (!R.ViolationList.empty()) {
+    obs::Json Vs = obs::Json::array();
+    for (const Violation &V : R.ViolationList)
+      Vs.push(obs::Json(V.str()));
+    Repro.set("violation_list", std::move(Vs));
+  }
+  if (!R.DeadlockDiagnosis.empty())
+    Repro.set("deadlock_diagnosis", obs::Json(R.DeadlockDiagnosis));
+  if (!WriteFile("repro.json", Repro.dump(2) + "\n"))
+    return false;
+  if (!WriteFile("stats.json", R.Report.toJson() + "\n"))
+    return false;
+
+  // Re-run once more with a waveform attached so the bundle is viewable.
+  DiffConfig VC = C;
+  VC.VcdPath = Dir + "/trace.vcd";
+  VC.WantDigest = false;
+  runDiff(AsmSource, VC);
+  return true;
+}

@@ -1,0 +1,88 @@
+//===- Differ.h - Differential execution against the golden model -*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison engine of the differential fuzzer: run one assembly
+/// program through a PDL core (any CoreKind x CoreMemProfile, optionally
+/// with invariant monitors attached and a fault armed) and diff it against
+/// the architectural golden simulator — per-commit writebacks, retired
+/// instruction count, final register file and scratch memory, and the
+/// structured run outcome. Divergences can be shrunk to a minimal
+/// instruction sequence and dumped as a self-contained repro bundle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_VERIFY_DIFFER_H
+#define PDL_VERIFY_DIFFER_H
+
+#include "cores/Core.h"
+#include "hw/Fault.h"
+#include "obs/StatsReport.h"
+#include "verify/Monitors.h"
+
+#include <optional>
+#include <string>
+
+namespace pdl {
+namespace verify {
+
+struct DiffConfig {
+  cores::CoreKind Kind = cores::CoreKind::Pdl5Stage;
+  cores::CoreMemProfile Profile; // default: always-hit
+  uint64_t MaxCycles = 50000;
+  /// Attach the MonitorSink and count invariant violations.
+  bool WithMonitors = true;
+  /// Attach a LogSink and record its FNV digest (determinism checks).
+  bool WantDigest = false;
+  /// When non-empty, write a VCD waveform of the run to this path.
+  std::string VcdPath;
+  /// When set, armed on the System before the run (fault injection).
+  std::optional<hw::FaultPlan> Fault;
+};
+
+struct DiffResult {
+  /// The pipelined core disagreed with the golden model (commit trace,
+  /// retired count, final architectural state) or failed to halt.
+  bool Divergent = false;
+  std::string Reason;
+  /// Structured run outcome ("halted" / "deadlocked" / "timed_out" / ...).
+  std::string Outcome;
+  uint64_t Cycles = 0;
+  uint64_t Instrs = 0;
+  uint64_t FaultsInjected = 0;
+  uint64_t Violations = 0;
+  std::vector<Violation> ViolationList;
+  /// FNV-1a digest of the textual event log (when WantDigest).
+  uint64_t TraceDigest = 0;
+  /// Full stats report with Outcome/FaultsInjected/Violations filled in.
+  obs::StatsReport Report;
+  /// Rendered wait-for-graph diagnosis when the run deadlocked.
+  std::string DeadlockDiagnosis;
+
+  /// A divergence or any invariant violation.
+  bool failed() const { return Divergent || Violations != 0; }
+};
+
+/// Assembles \p AsmSource, runs it under \p C, and diffs against the
+/// golden simulator.
+DiffResult runDiff(const std::string &AsmSource, const DiffConfig &C);
+
+/// Greedily removes instructions from \p AsmSource while the failure
+/// under \p C persists; returns the minimal failing program (or
+/// \p AsmSource itself if no line can be removed).
+std::string shrink(const std::string &AsmSource, const DiffConfig &C);
+
+/// Writes a self-contained repro bundle (program.s, shrunk.s, repro.json,
+/// stats.json, trace.vcd) into directory \p Dir. Returns false on I/O
+/// failure.
+bool writeReproBundle(const std::string &Dir, const std::string &AsmSource,
+                      const std::string &Shrunk, uint64_t Seed,
+                      const DiffConfig &C, const DiffResult &R);
+
+} // namespace verify
+} // namespace pdl
+
+#endif // PDL_VERIFY_DIFFER_H

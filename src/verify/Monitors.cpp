@@ -1,0 +1,232 @@
+//===- Monitors.cpp - Runtime invariant monitors ----------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Monitors.h"
+
+#include <sstream>
+
+using namespace pdl;
+using namespace pdl::verify;
+using obs::Event;
+
+std::string Violation::str() const {
+  std::ostringstream OS;
+  OS << Monitor << " violation at cycle " << Cycle << " (pipe " << Pipe
+     << ", tid " << Tid << "): " << Detail;
+  return OS.str();
+}
+
+void MonitorSink::begin(const obs::TraceMeta &M) {
+  Meta = M;
+  Found.clear();
+  Count = 0;
+  CurCycle = 0;
+  Held.clear();
+  SpecChild.clear();
+  Doomed.clear();
+  Fifos.clear();
+  Outcomes.clear();
+  Outcomes.resize(Meta.Pipes.size());
+  for (size_t I = 0; I != Meta.Pipes.size(); ++I)
+    Outcomes[I].resize(Meta.Pipes[I].Stages.size(), 0);
+  CycleOpen = false;
+  RolledBack.clear();
+}
+
+const std::string &MonitorSink::pipeName(uint16_t P) const {
+  static const std::string Unknown = "?";
+  return P < Meta.Pipes.size() ? Meta.Pipes[P].Name : Unknown;
+}
+
+std::string MonitorSink::memName(uint16_t P, uint16_t M) const {
+  if (P < Meta.Pipes.size() && M < Meta.Pipes[P].Mems.size())
+    return Meta.Pipes[P].Mems[M];
+  return "?";
+}
+
+void MonitorSink::flag(const char *Monitor, uint64_t Cycle, uint16_t Pipe,
+                       uint64_t Tid, std::string Detail) {
+  ++Count;
+  if (Found.size() >= MaxViolations)
+    return;
+  Violation V;
+  V.Monitor = Monitor;
+  V.Cycle = Cycle;
+  V.Pipe = pipeName(Pipe);
+  V.Tid = Tid;
+  V.Detail = std::move(Detail);
+  Found.push_back(std::move(V));
+}
+
+void MonitorSink::checkCycleBalance() {
+  for (size_t PI = 0; PI != Outcomes.size(); ++PI)
+    for (size_t SI = 0; SI != Outcomes[PI].size(); ++SI) {
+      if (Outcomes[PI][SI] == 0)
+        flag("stall-balance", CurCycle, uint16_t(PI), 0,
+             "stage '" + Meta.Pipes[PI].Stages[SI] +
+                 "' has no outcome this cycle");
+      // The >1 case is flagged eagerly at the second StageOutcome.
+      Outcomes[PI][SI] = 0;
+    }
+}
+
+void MonitorSink::event(const Event &E) {
+  switch (E.K) {
+  case Event::Kind::CycleBegin:
+    if (CycleOpen)
+      checkCycleBalance();
+    CycleOpen = true;
+    CurCycle = E.Cycle;
+    return;
+
+  case Event::Kind::StageOutcome: {
+    if (E.Pipe >= Outcomes.size() || E.Stage >= Outcomes[E.Pipe].size())
+      return;
+    uint32_t &N = Outcomes[E.Pipe][E.Stage];
+    if (++N == 2)
+      flag("stall-balance", E.Cycle, E.Pipe, E.Tid,
+           "stage '" + Meta.Pipes[E.Pipe].Stages[E.Stage] +
+               "' attributed more than one outcome this cycle");
+    return;
+  }
+
+  case Event::Kind::LockReserve:
+    if (E.Mem != obs::NoMem)
+      ++Held[{E.Pipe, E.Tid}][E.Mem];
+    return;
+
+  case Event::Kind::LockRelease: {
+    if (E.Mem == obs::NoMem)
+      return;
+    int64_t &N = Held[{E.Pipe, E.Tid}][E.Mem];
+    if (--N < 0) {
+      flag("lock-discipline", E.Cycle, E.Pipe, E.Tid,
+           "release of " + memName(E.Pipe, E.Mem) + " without a reserve");
+      N = 0;
+    }
+    return;
+  }
+
+  case Event::Kind::ThreadRetire: {
+    auto HeldIt = Held.find({E.Pipe, E.Tid});
+    if (HeldIt != Held.end()) {
+      for (auto &[Mem, N] : HeldIt->second)
+        if (N != 0)
+          flag("lock-discipline", E.Cycle, E.Pipe, E.Tid,
+               "retired still holding " + std::to_string(N) +
+                   " reservation(s) on " + memName(E.Pipe, Mem));
+      Held.erase(HeldIt);
+    }
+    if (Doomed.count({E.Pipe, E.Tid}))
+      flag("spec-tree", E.Cycle, E.Pipe, E.Tid,
+           "thread retired although its speculation resolved as "
+           "mispredicted (missing squash)");
+    Doomed.erase({E.Pipe, E.Tid});
+    for (auto It = RolledBack.begin(); It != RolledBack.end();)
+      if (std::get<0>(*It) == E.Pipe && std::get<1>(*It) == E.Tid)
+        It = RolledBack.erase(It);
+      else
+        ++It;
+    return;
+  }
+
+  case Event::Kind::ThreadSquash:
+    // A squash legitimately ends a doomed thread and voids its lock and
+    // checkpoint bookkeeping (the executor rolls those back separately).
+    Held.erase({E.Pipe, E.Tid});
+    Doomed.erase({E.Pipe, E.Tid});
+    for (auto It = RolledBack.begin(); It != RolledBack.end();)
+      if (std::get<0>(*It) == E.Pipe && std::get<1>(*It) == E.Tid)
+        It = RolledBack.erase(It);
+      else
+        ++It;
+    return;
+
+  case Event::Kind::SpecAlloc:
+    SpecChild[E.Value] = {E.Pipe, E.Tid};
+    return;
+
+  case Event::Kind::SpecResolve: {
+    auto It = SpecChild.find(E.Value);
+    if (It != SpecChild.end()) {
+      if (!E.Flag)
+        Doomed.insert(It->second);
+      SpecChild.erase(It);
+    }
+    return;
+  }
+
+  case Event::Kind::SpecRollback: {
+    if (!E.Flag || E.Mem == obs::NoMem)
+      return; // re-steer rollbacks keep the checkpoint live
+    auto Key = std::make_tuple(E.Pipe, E.Tid, E.Mem);
+    if (!RolledBack.insert(Key).second)
+      flag("ckpt-once", E.Cycle, E.Pipe, E.Tid,
+           "checkpoint on " + memName(E.Pipe, E.Mem) +
+               " finally rolled back twice");
+    return;
+  }
+
+  case Event::Kind::FifoEnq: {
+    auto &Q = Fifos[{E.Pipe, E.From, E.To}];
+    for (uint64_t T : Q)
+      if (T == E.Tid) {
+        flag("fifo-conservation", E.Cycle, E.Pipe, E.Tid,
+             "thread enqueued twice into the same FIFO");
+        break;
+      }
+    Q.push_back(E.Tid);
+    return;
+  }
+
+  case Event::Kind::FifoDeq: {
+    auto &Q = Fifos[{E.Pipe, E.From, E.To}];
+    if (Q.empty()) {
+      flag("fifo-conservation", E.Cycle, E.Pipe, E.Tid,
+           "dequeue from a FIFO the mirror believes is empty");
+      return;
+    }
+    if (Q.front() != E.Tid) {
+      flag("fifo-conservation", E.Cycle, E.Pipe, E.Tid,
+           "dequeued tid " + std::to_string(E.Tid) +
+               " but the mirror front is tid " + std::to_string(Q.front()));
+      // Resync so one fault yields one violation, not a cascade.
+      for (auto It = Q.begin(); It != Q.end(); ++It)
+        if (*It == E.Tid) {
+          Q.erase(It);
+          return;
+        }
+    }
+    Q.pop_front();
+    return;
+  }
+
+  case Event::Kind::ThreadSpawn:
+  case Event::Kind::Deadlock:
+  case Event::Kind::MemHit:
+  case Event::Kind::MemMiss:
+  case Event::Kind::MemBackpressure:
+  case Event::Kind::FaultInjected:
+    return;
+  }
+}
+
+void MonitorSink::end() {
+  if (CycleOpen)
+    checkCycleBalance();
+  CycleOpen = false;
+}
+
+std::string MonitorSink::render() const {
+  std::string Out;
+  for (const Violation &V : Found) {
+    Out += V.str();
+    Out += '\n';
+  }
+  if (Count > Found.size())
+    Out += "... and " + std::to_string(Count - Found.size()) + " more\n";
+  return Out;
+}

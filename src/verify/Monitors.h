@@ -1,0 +1,114 @@
+//===- Monitors.h - Runtime invariant monitors over the trace bus -*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic verification harness's invariant layer: `MonitorSink` is an
+/// `obs::TraceSink` that mirrors executor-visible state from the event
+/// stream and flags violations of the structural invariants the executor
+/// is supposed to maintain. Because it only consumes events, it works in
+/// release builds and on any System — attach it next to the counters and
+/// it re-checks, every cycle:
+///
+///   - lock-discipline:    every lock release matches a prior reserve by
+///                         the same thread, and no thread retires still
+///                         holding a reservation
+///   - spec-tree:          a thread spawned under a prediction that
+///                         resolved as mispredicted must be squashed, not
+///                         retired
+///   - fifo-conservation:  inter-stage FIFOs neither duplicate nor reorder
+///                         thread ids (mirror queues replayed from
+///                         enq/deq events)
+///   - stall-balance:      each stage is attributed exactly one outcome
+///                         per cycle (the Fires + Stalls == Cycles
+///                         invariant, checked cycle-by-cycle)
+///   - ckpt-once:          a thread's speculative checkpoint on a memory
+///                         is finally rolled back at most once
+///
+/// Violations are collected (up to MaxViolations) rather than aborting, so
+/// the fault-injection tests can assert that a given fault is caught by a
+/// given named monitor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_VERIFY_MONITORS_H
+#define PDL_VERIFY_MONITORS_H
+
+#include "obs/TraceSink.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pdl {
+namespace verify {
+
+/// One invariant violation, attributed to the monitor that caught it.
+struct Violation {
+  std::string Monitor; // "lock-discipline", "spec-tree", ...
+  uint64_t Cycle = 0;
+  std::string Pipe;
+  uint64_t Tid = 0;
+  std::string Detail;
+
+  std::string str() const;
+};
+
+class MonitorSink : public obs::TraceSink {
+public:
+  /// Stop recording (but keep counting) past this many violations.
+  size_t MaxViolations = 64;
+
+  void begin(const obs::TraceMeta &Meta) override;
+  void event(const obs::Event &E) override;
+  void end() override;
+
+  const std::vector<Violation> &violations() const { return Found; }
+  /// Total violations flagged (>= violations().size() once capped).
+  uint64_t count() const { return Count; }
+  bool clean() const { return Count == 0; }
+  /// Multi-line rendering of every recorded violation.
+  std::string render() const;
+
+private:
+  void flag(const char *Monitor, uint64_t Cycle, uint16_t Pipe, uint64_t Tid,
+            std::string Detail);
+  void checkCycleBalance();
+  const std::string &pipeName(uint16_t P) const;
+  std::string memName(uint16_t P, uint16_t M) const;
+
+  obs::TraceMeta Meta;
+  std::vector<Violation> Found;
+  uint64_t Count = 0;
+  uint64_t CurCycle = 0;
+
+  // lock-discipline: (pipe, tid) -> mem index -> outstanding reserves.
+  std::map<std::pair<uint16_t, uint64_t>, std::map<uint16_t, int64_t>> Held;
+
+  // spec-tree: live spec id -> (pipe, child tid); doomed (pipe, tid) pairs
+  // whose prediction resolved as mispredicted and must never retire.
+  std::map<uint64_t, std::pair<uint16_t, uint64_t>> SpecChild;
+  std::set<std::pair<uint16_t, uint64_t>> Doomed;
+
+  // fifo-conservation: mirror of every FIFO's thread-id order, keyed by
+  // (pipe, from, to); the entry queue uses from == obs::NoEdge.
+  std::map<std::tuple<uint16_t, uint16_t, uint16_t>, std::deque<uint64_t>>
+      Fifos;
+
+  // stall-balance: per pipe, per stage, outcomes seen this cycle.
+  std::vector<std::vector<uint32_t>> Outcomes;
+  bool CycleOpen = false;
+
+  // ckpt-once: (pipe, tid, mem) triples already finally rolled back.
+  std::set<std::tuple<uint16_t, uint64_t, uint16_t>> RolledBack;
+};
+
+} // namespace verify
+} // namespace pdl
+
+#endif // PDL_VERIFY_MONITORS_H

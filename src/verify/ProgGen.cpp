@@ -1,0 +1,124 @@
+//===- ProgGen.cpp - Seeded hazard-biased RISC-V program generator ----------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/ProgGen.h"
+
+#include <sstream>
+
+using namespace pdl;
+using namespace pdl::verify;
+
+namespace {
+
+/// Work registers the generator reads and writes. x20 is the scratch base
+/// pointer and x31 the halt pointer; both stay out of the pool.
+constexpr unsigned WorkRegs[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+constexpr unsigned NumWorkRegs = sizeof(WorkRegs) / sizeof(WorkRegs[0]);
+constexpr unsigned BaseReg = 20;
+
+class Emitter {
+public:
+  Emitter(const GenConfig &C) : C(C), R(C.Seed) {}
+
+  std::string run() {
+    OS << "# pdlfuzz generated program, seed " << C.Seed << "\n";
+    prologue();
+    for (unsigned B = 0; B != C.Blocks; ++B)
+      block(B);
+    epilogue();
+    return OS.str();
+  }
+
+private:
+  unsigned pickReg() { return WorkRegs[R.below(NumWorkRegs)]; }
+
+  /// Source register, biased toward the most recent destination so that
+  /// back-to-back RAW dependences exercise bypass/stall paths.
+  unsigned pickSrc() { return R.pct(C.RawHazardPct) ? LastRd : pickReg(); }
+
+  /// Scratch word offset, biased toward a few hot words so loads and
+  /// stores alias.
+  unsigned pickOffset() {
+    unsigned Word =
+        R.pct(50) ? unsigned(R.below(4)) : unsigned(R.below(ScratchWords));
+    return Word * 4;
+  }
+
+  void prologue() {
+    OS << "  li x" << BaseReg << ", " << (ScratchBaseWord * 4) << "\n";
+    for (unsigned I = 0; I != 6; ++I)
+      OS << "  li x" << WorkRegs[I] << ", " << R.below(0x10000) << "\n";
+    LastRd = WorkRegs[5];
+  }
+
+  void instr() {
+    if (R.pct(C.MemOpPct)) {
+      if (R.pct(50)) {
+        unsigned Rd = pickReg();
+        OS << "  lw x" << Rd << ", " << pickOffset() << "(x" << BaseReg
+           << ")\n";
+        LastRd = Rd;
+      } else {
+        OS << "  sw x" << pickSrc() << ", " << pickOffset() << "(x" << BaseReg
+           << ")\n";
+      }
+      return;
+    }
+    unsigned Rd = pickReg();
+    if (R.pct(40)) {
+      static const char *ImmOps[] = {"addi", "andi", "ori", "xori", "slti"};
+      const char *Op = ImmOps[R.below(5)];
+      int64_t Imm = int64_t(R.below(256)) - 128;
+      OS << "  " << Op << " x" << Rd << ", x" << pickSrc() << ", " << Imm
+         << "\n";
+    } else {
+      static const char *RegOps[] = {"add", "sub", "and", "or",  "xor",
+                                     "sll", "srl", "sra", "slt", "sltu"};
+      const char *Op = RegOps[R.below(10)];
+      OS << "  " << Op << " x" << Rd << ", x" << pickSrc() << ", x"
+         << pickReg() << "\n";
+    }
+    LastRd = Rd;
+  }
+
+  void block(unsigned B) {
+    OS << "b" << B << ":\n";
+    for (unsigned I = 0; I != C.InstrsPerBlock; ++I)
+      instr();
+    // Forward-only control flow keeps every program terminating.
+    if (B + 1 < C.Blocks && R.pct(C.BranchPct)) {
+      unsigned Target = B + 1 + unsigned(R.below(C.Blocks - B - 1));
+      if (R.pct(15)) {
+        // Unconditional forward jump; skipped blocks become dead code,
+        // which is fine (the assembler keeps them, execution never loops).
+        OS << "  j b" << Target << "\n";
+      } else {
+        static const char *Brs[] = {"beq", "bne", "blt", "bge", "bltu",
+                                    "bgeu"};
+        OS << "  " << Brs[R.below(6)] << " x" << pickSrc() << ", x"
+           << pickReg() << ", b" << Target << "\n";
+      }
+    }
+  }
+
+  void epilogue() {
+    OS << "  li x31, 65532\n";
+    OS << "  sw x0, 0(x31)\n";
+    OS << "halt:\n";
+    OS << "  j halt\n";
+  }
+
+  const GenConfig &C;
+  Rng R;
+  std::ostringstream OS;
+  unsigned LastRd = WorkRegs[0];
+};
+
+} // namespace
+
+std::string verify::generateProgram(const GenConfig &C) {
+  return Emitter(C).run();
+}

@@ -1,0 +1,78 @@
+//===- ProgGen.h - Seeded hazard-biased RISC-V program generator -*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random RV32I program generation for the differential
+/// fuzzer. Programs are emitted as assembly text for `riscv::assemble` and
+/// are guaranteed to terminate: control flow is a chain of basic blocks
+/// with forward-only conditional branches, ending in the standard halt
+/// epilogue (store to cores::HaltByteAddr).
+///
+/// The instruction mix is biased toward the situations that stress a
+/// pipelined implementation rather than uniform randomness: read-after-
+/// write chains on a small register window (bypass/stall paths), loads
+/// and stores aliasing a handful of scratch words (memory ordering and
+/// the dmem queue lock), and compare-branch pairs whose operands were
+/// just computed (speculation resolve/squash traffic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_VERIFY_PROGGEN_H
+#define PDL_VERIFY_PROGGEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace pdl {
+namespace verify {
+
+/// Scratch data region the generator's loads/stores alias (word
+/// addresses); the differ compares this window against the golden
+/// simulator after the run.
+constexpr uint32_t ScratchBaseWord = 64;
+constexpr uint32_t ScratchWords = 16;
+
+struct GenConfig {
+  uint64_t Seed = 1;
+  /// Basic blocks in the forward chain (each a potential branch target).
+  unsigned Blocks = 6;
+  /// Instructions per block before the optional block-ending branch.
+  unsigned InstrsPerBlock = 8;
+  /// Probability weights (percent) for the hazard-biased draws.
+  unsigned RawHazardPct = 60; // reuse the last written register
+  unsigned MemOpPct = 30;     // loads/stores vs ALU
+  unsigned BranchPct = 70;    // end a block with a conditional branch
+};
+
+/// Deterministic xorshift-based generator state (no libc rand, so the
+/// same seed produces the same program on every platform).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : S(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+  uint64_t next() {
+    // xorshift64*
+    S ^= S >> 12;
+    S ^= S << 25;
+    S ^= S >> 27;
+    return S * 0x2545f4914f6cdd1dull;
+  }
+  /// Uniform draw in [0, N).
+  uint64_t below(uint64_t N) { return N ? next() % N : 0; }
+  /// True with probability Pct/100.
+  bool pct(unsigned Pct) { return below(100) < Pct; }
+
+private:
+  uint64_t S;
+};
+
+/// Generates one seeded program as assembly text (ends with the halt
+/// epilogue; ready for riscv::assemble).
+std::string generateProgram(const GenConfig &C);
+
+} // namespace verify
+} // namespace pdl
+
+#endif // PDL_VERIFY_PROGGEN_H

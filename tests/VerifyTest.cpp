@@ -1,0 +1,341 @@
+//===- VerifyTest.cpp - Dynamic verification harness tests ------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests the dynamic verification harness: the runtime invariant monitors
+/// (clean on healthy runs, zero digest perturbation), the fault injector
+/// (every FaultKind is caught by its expected detector — the fault x
+/// detector matrix), the differential fuzzer plumbing (seeded program
+/// generation, golden diffing, determinism), and the wait-for-graph
+/// deadlock diagnosis.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/System.h"
+#include "obs/Sinks.h"
+#include "verify/Differ.h"
+#include "verify/Monitors.h"
+#include "verify/ProgGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdl;
+using namespace pdl::backend;
+
+namespace {
+
+/// The same Figure-3-shaped kernel ObsTest pins its golden digest on:
+/// split R/W locks plus speculation (and a checkpointed memory) on every
+/// thread.
+const char *kSpecLockKernel = R"(
+  pipe ex1(in: uint<4>)[m: uint<4>[4]] {
+    spec_barrier();
+    s <- spec call ex1(in + 1);
+    reserve(m[in], R);
+    acquire(m[in], W);
+    m[in] <- in;
+    release(m[in], W);
+    ---
+    block(m[in], R);
+    a1 = m[in];
+    release(m[in], R);
+    verify(s, a1);
+  }
+)";
+
+/// Pinned by ObsTest.GoldenTraceDigestIsStable; the monitors must observe
+/// without perturbing it.
+constexpr uint64_t kPinnedDigest = UINT64_C(0x87cf2443f7c19788);
+
+SystemStats runKernel(const CompiledProgram &CP,
+                      std::vector<obs::TraceSink *> Sinks,
+                      const std::optional<hw::FaultPlan> &Fault = {},
+                      uint64_t Cycles = 60) {
+  ElabConfig Cfg;
+  Cfg.Sinks = std::move(Sinks);
+  System Sys(CP, Cfg);
+  if (Fault)
+    Sys.armFault(*Fault);
+  Sys.start("ex1", {Bits(0, 4)});
+  Sys.run(Cycles);
+  Sys.finishTrace();
+  return Sys.stats();
+}
+
+/// A fixed program exercising every hazard class: RAW chains, aliasing
+/// store/load pairs on dmem, and a taken branch (a guaranteed mispredict
+/// under the pc+4 speculation) with two wrong-path instructions.
+const char *kMatrixProgram = R"(
+  li x1, 1
+  li x2, 2
+  li x20, 256
+  sw x1, 0(x20)
+  lw x3, 0(x20)
+  add x4, x3, x2
+  blt x1, x2, over
+  addi x5, x0, 99
+  addi x6, x0, 98
+over:
+  sw x4, 4(x20)
+  lw x7, 4(x20)
+  add x8, x7, x1
+  li x31, 65532
+  sw x0, 0(x31)
+halt:
+  j halt
+)";
+
+verify::DiffResult runWithFault(const hw::FaultPlan &Plan) {
+  verify::DiffConfig DC;
+  DC.Fault = Plan;
+  return verify::runDiff(kMatrixProgram, DC);
+}
+
+bool hasViolation(const verify::DiffResult &R, const std::string &Monitor) {
+  for (const verify::Violation &V : R.ViolationList)
+    if (V.Monitor == Monitor)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Monitors on healthy runs
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyTest, MonitorsCleanOnSpecLockKernel) {
+  CompiledProgram CP = compile(kSpecLockKernel);
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  verify::MonitorSink Monitors;
+  runKernel(CP, {&Monitors});
+  EXPECT_TRUE(Monitors.clean()) << Monitors.render();
+}
+
+TEST(VerifyTest, MonitorsDoNotPerturbGoldenDigest) {
+  CompiledProgram CP = compile(kSpecLockKernel);
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  obs::LogSink Alone, WithMonitors;
+  verify::MonitorSink Monitors;
+  runKernel(CP, {&Alone});
+  runKernel(CP, {&WithMonitors, &Monitors});
+  EXPECT_EQ(Alone.digest(), kPinnedDigest);
+  EXPECT_EQ(WithMonitors.digest(), kPinnedDigest);
+  EXPECT_TRUE(Monitors.clean()) << Monitors.render();
+}
+
+TEST(VerifyTest, MonitorsCleanOnCoreRun) {
+  verify::DiffConfig DC;
+  verify::DiffResult R = verify::runDiff(kMatrixProgram, DC);
+  EXPECT_FALSE(R.failed()) << R.Reason;
+  EXPECT_EQ(R.Outcome, "halted");
+  EXPECT_EQ(R.Violations, 0u);
+  EXPECT_EQ(R.FaultsInjected, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// The fault x detector matrix
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyTest, FaultMatrix) {
+  struct Entry {
+    hw::FaultKind Kind;
+    // "divergence", "deadlock", or the name of the monitor that must
+    // catch the fault.
+    const char *Detector;
+    hw::FaultPlan Plan;
+  };
+  auto P = [](hw::FaultKind K) {
+    hw::FaultPlan Plan;
+    Plan.Kind = K;
+    Plan.Pipe = "cpu";
+    return Plan;
+  };
+
+  std::vector<Entry> Matrix;
+  {
+    // Drop the second entry-queue enqueue (the first speculated fetch):
+    // everything after instruction 1 vanishes, the halt store never
+    // commits.
+    hw::FaultPlan Plan = P(hw::FaultKind::FifoDropThread);
+    Plan.Nth = 2;
+    Matrix.push_back({Plan.Kind, "divergence", Plan});
+  }
+  {
+    // Duplicate the 7th MEM->WB handoff (the first store, which holds no
+    // reservations in WB): the thread retires twice.
+    hw::FaultPlan Plan = P(hw::FaultKind::FifoDupThread);
+    Plan.FromStage = "S3";
+    Plan.ToStage = "S4";
+    Plan.Nth = 7;
+    Matrix.push_back({Plan.Kind, "fifo-conservation", Plan});
+  }
+  {
+    // Flip bit 0 of the store data ('rv2') on the EXECUTE->MEM edge of
+    // the first store: dmem and the golden model disagree.
+    hw::FaultPlan Plan = P(hw::FaultKind::FifoCorruptPayload);
+    Plan.FromStage = "S2";
+    Plan.ToStage = "S3";
+    Plan.Nth = 7;
+    Plan.Var = "rv2";
+    Plan.Bit = 0;
+    Matrix.push_back({Plan.Kind, "divergence", Plan});
+  }
+  {
+    // Executor forgets one register-file release: the thread retires
+    // still holding its read reservation.
+    hw::FaultPlan Plan = P(hw::FaultKind::DropLockRelease);
+    Plan.Mem = "rf";
+    Matrix.push_back({Plan.Kind, "lock-discipline", Plan});
+  }
+  {
+    // The dmem queue lock itself swallows a release: the aliasing load
+    // behind the store blocks forever.
+    hw::FaultPlan Plan = P(hw::FaultKind::HwDropLockRelease);
+    Plan.Mem = "dmem";
+    Matrix.push_back({Plan.Kind, "deadlock", Plan});
+  }
+  // Suppress the taken branch's mispredict: the wrong path commits.
+  Matrix.push_back(
+      {hw::FaultKind::SuppressMispredict, "divergence",
+       P(hw::FaultKind::SuppressMispredict)});
+  // Skip the squash of the mispredicted child: it retires.
+  Matrix.push_back({hw::FaultKind::SkipSquash, "spec-tree",
+                    P(hw::FaultKind::SkipSquash)});
+  // Skip the misprediction cascade: orphaned speculative descendants
+  // wait on a parent that never resolves.
+  Matrix.push_back({hw::FaultKind::SkipCascade, "deadlock",
+                    P(hw::FaultKind::SkipCascade)});
+  // Swallow a synchronous memory response: the waiting stage starves.
+  Matrix.push_back({hw::FaultKind::DropMemResponse, "deadlock",
+                    P(hw::FaultKind::DropMemResponse)});
+  // Drop one stage-outcome attribution: the per-cycle balance breaks.
+  Matrix.push_back({hw::FaultKind::DropStageOutcome, "stall-balance",
+                    P(hw::FaultKind::DropStageOutcome)});
+
+  for (const Entry &E : Matrix) {
+    SCOPED_TRACE(hw::faultKindName(E.Kind));
+    verify::DiffResult R = runWithFault(E.Plan);
+    EXPECT_GE(R.FaultsInjected, 1u) << "fault never triggered";
+    // Zero silent corruptions: every injected fault must be detected.
+    EXPECT_TRUE(R.failed()) << "fault escaped all detectors";
+    if (std::string(E.Detector) == "divergence")
+      EXPECT_TRUE(R.Divergent) << R.Reason;
+    else if (std::string(E.Detector) == "deadlock")
+      EXPECT_EQ(R.Outcome, "deadlocked") << R.Reason;
+    else
+      EXPECT_TRUE(hasViolation(R, E.Detector))
+          << "expected a " << E.Detector << " violation; got divergent="
+          << R.Divergent << " (" << R.Reason << "), violations:\n"
+          << [&] {
+               std::string S;
+               for (const verify::Violation &V : R.ViolationList)
+                 S += V.str() + "\n";
+               return S;
+             }();
+  }
+}
+
+TEST(VerifyTest, DoubleRollbackCaughtByCkptOnceMonitor) {
+  // The 5-stage cores only write memories after verify resolves, so the
+  // double-rollback fault needs the speculatively-updating ex1 kernel
+  // (its checkpointed memory rolls back on every mispredict).
+  CompiledProgram CP = compile(kSpecLockKernel);
+  ASSERT_TRUE(CP.ok()) << CP.Diags->render();
+  verify::MonitorSink Monitors;
+  hw::FaultPlan Plan;
+  Plan.Kind = hw::FaultKind::DoubleRollback;
+  Plan.Pipe = "ex1";
+  SystemStats St = runKernel(CP, {&Monitors}, Plan);
+  EXPECT_GE(St.FaultsInjected, 1u);
+  bool Caught = false;
+  for (const verify::Violation &V : Monitors.violations())
+    Caught |= V.Monitor == "ckpt-once";
+  EXPECT_TRUE(Caught) << Monitors.render();
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlock diagnosis
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyTest, DeadlockDiagnosisNamesTheLock) {
+  hw::FaultPlan Plan;
+  Plan.Kind = hw::FaultKind::HwDropLockRelease;
+  Plan.Pipe = "cpu";
+  Plan.Mem = "dmem";
+  verify::DiffResult R = runWithFault(Plan);
+  ASSERT_EQ(R.Outcome, "deadlocked");
+  ASSERT_FALSE(R.DeadlockDiagnosis.empty());
+  EXPECT_NE(R.DeadlockDiagnosis.find("dmem"), std::string::npos)
+      << R.DeadlockDiagnosis;
+  EXPECT_NE(R.DeadlockDiagnosis.find("lock"), std::string::npos)
+      << R.DeadlockDiagnosis;
+}
+
+//===----------------------------------------------------------------------===//
+// Differential fuzzing
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyTest, GeneratedProgramsAreDeterministic) {
+  verify::GenConfig G;
+  G.Seed = 42;
+  std::string A = verify::generateProgram(G);
+  std::string B = verify::generateProgram(G);
+  EXPECT_EQ(A, B);
+  G.Seed = 43;
+  EXPECT_NE(A, verify::generateProgram(G));
+}
+
+TEST(VerifyTest, IdenticalSeedGivesIdenticalDigestAndStats) {
+  verify::GenConfig G;
+  G.Seed = 7;
+  std::string Program = verify::generateProgram(G);
+  verify::DiffConfig DC;
+  DC.WantDigest = true;
+  verify::DiffResult A = verify::runDiff(Program, DC);
+  verify::DiffResult B = verify::runDiff(Program, DC);
+  EXPECT_FALSE(A.failed()) << A.Reason;
+  EXPECT_NE(A.TraceDigest, 0u);
+  EXPECT_EQ(A.TraceDigest, B.TraceDigest);
+  EXPECT_EQ(A.Report.toJson(), B.Report.toJson());
+}
+
+TEST(VerifyTest, FuzzSweepIsCleanAcrossCoresAndProfiles) {
+  const cores::CoreKind Kinds[] = {cores::CoreKind::Pdl5Stage,
+                                   cores::CoreKind::Pdl5StageBht};
+  const cores::CoreMemProfile Profiles[] = {cores::memProfileAlwaysHit(),
+                                            cores::memProfileL1Tiny()};
+  for (uint64_t Seed = 100; Seed != 106; ++Seed) {
+    verify::GenConfig G;
+    G.Seed = Seed;
+    std::string Program = verify::generateProgram(G);
+    for (cores::CoreKind K : Kinds)
+      for (const cores::CoreMemProfile &P : Profiles) {
+        verify::DiffConfig DC;
+        DC.Kind = K;
+        DC.Profile = P;
+        verify::DiffResult R = verify::runDiff(Program, DC);
+        EXPECT_FALSE(R.failed())
+            << "seed " << Seed << " " << cores::coreName(K) << "/" << P.Name
+            << ": " << R.Reason;
+      }
+  }
+}
+
+TEST(VerifyTest, ShrinkKeepsTheFailureAndTheEpilogue) {
+  // A known-divergent config (suppressed mispredict) must stay failing
+  // through shrinking, and the shrunk program keeps halting.
+  hw::FaultPlan Plan;
+  Plan.Kind = hw::FaultKind::SuppressMispredict;
+  Plan.Pipe = "cpu";
+  verify::DiffConfig DC;
+  DC.Fault = Plan;
+  ASSERT_TRUE(verify::runDiff(kMatrixProgram, DC).failed());
+  std::string Shrunk = verify::shrink(kMatrixProgram, DC);
+  EXPECT_LT(Shrunk.size(), std::string(kMatrixProgram).size());
+  EXPECT_NE(Shrunk.find("x31"), std::string::npos);
+  verify::DiffResult R = verify::runDiff(Shrunk, DC);
+  EXPECT_TRUE(R.failed());
+}
+
+} // namespace

@@ -24,4 +24,12 @@ python3 tools/check_bench_json.py "$BUILD_DIR"/mem.json
 "$BUILD_DIR"/bench/bench_cache --json > "$BUILD_DIR"/cache.json
 python3 tools/check_bench_json.py "$BUILD_DIR"/cache.json
 
+# Differential-fuzz smoke: 25 fixed-seed random programs through the
+# default core x mem-profile matrix, each diffed against the golden
+# simulator with the invariant monitors attached. Nonzero exit on any
+# divergence or violation; repro bundles land in $BUILD_DIR/fuzz-out.
+"$BUILD_DIR"/tools/pdlfuzz --seed=1 --count=25 --json \
+    --out="$BUILD_DIR"/fuzz-out > "$BUILD_DIR"/fuzz.json
+python3 tools/check_bench_json.py "$BUILD_DIR"/fuzz.json
+
 echo "check.sh: all green"

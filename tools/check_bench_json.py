@@ -10,6 +10,8 @@ import sys
 
 STALL_CAUSES = ["idle", "lock", "spec", "response", "backpressure", "kill"]
 
+OUTCOMES = ["running", "halted", "drained", "deadlocked", "timed_out"]
+
 
 def fail(msg):
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
@@ -25,10 +27,25 @@ def uint(v):
     return isinstance(v, int) and not isinstance(v, bool) and v >= 0
 
 
+def check_robustness(obj, where):
+    """Outcome/fault/violation fields emitted by the verification harness
+    (pdlc --stats=json, pdlfuzz --json). All optional: older producers
+    omit them; when present they must be well-formed."""
+    if "outcome" in obj:
+        expect(obj["outcome"] in OUTCOMES,
+               f"{where}: outcome '{obj['outcome']}' not in {OUTCOMES}")
+    for key in ("faults_injected", "violations"):
+        if key in obj:
+            expect(uint(obj[key]), f"{where}: {key}")
+    if "divergent" in obj:
+        expect(isinstance(obj["divergent"], bool), f"{where}: divergent")
+
+
 def check_report(report, where):
     expect(uint(report.get("cycles")), f"{where}: report.cycles")
     expect(isinstance(report.get("deadlocked"), bool),
            f"{where}: report.deadlocked")
+    check_robustness(report, where)
     expect(isinstance(report.get("pipes"), list) and report["pipes"],
            f"{where}: report.pipes")
     for pipe in report["pipes"]:
@@ -87,6 +104,7 @@ def main():
         for key in ("hits", "misses"):
             if key in row:
                 expect(uint(row[key]), f"{where}: {key}")
+        check_robustness(row, where)
         if "report" in row:
             check_report(row["report"], where)
             reports += 1

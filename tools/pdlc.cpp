@@ -222,10 +222,18 @@ int main(int argc, char **argv) {
     }
     if (Timeline)
       std::fprintf(Msg, "\n%s", Occupancy.render().c_str());
-    if (StatsJson)
-      std::printf("%s\n", Counters.report().toJson().c_str());
+    if (StatsJson) {
+      obs::StatsReport Report = Counters.report();
+      Report.Outcome = backend::runOutcomeName(St.Outcome);
+      std::printf("%s\n", Report.toJson().c_str());
+    }
     if (Vcd)
       std::fprintf(stderr, "pdlc: wrote %s\n", TracePath.c_str());
+    if (St.Deadlocked) {
+      if (Sys.deadlockDiagnosis().valid())
+        std::fprintf(stderr, "%s", Sys.deadlockDiagnosis().render().c_str());
+      return 3;
+    }
   }
   return 0;
 }
