@@ -20,17 +20,25 @@
 ///  * every run is sequentially equivalent and its stall-attribution
 ///    matrix stays exact (fires + stalls == cycles per stage).
 ///
+/// `--jobs=N` fans the (profile x core x kernel) runs out over N worker
+/// threads; the fold that prints rows and evaluates the shape checks runs
+/// serially in matrix order, so output and exit status are jobs-invariant.
+///
 //===----------------------------------------------------------------------===//
 
 #include "cores/Core.h"
 #include "cores/SodorModel.h"
 #include "mem/MemModel.h"
+#include "obs/Json.h"
 #include "obs/Sinks.h"
 #include "riscv/Assembler.h"
+#include "sim/WorkerPool.h"
 #include "workloads/Workloads.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,6 +54,12 @@ double geomean(const std::vector<double> &Xs) {
   for (double X : Xs)
     Log += std::log(X);
   return std::exp(Log / Xs.size());
+}
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
 }
 
 /// The Sodor-side replica of a CoreMemProfile: the same split caches over
@@ -73,10 +87,12 @@ struct RowResult {
   uint64_t Hits = 0, Misses = 0;
   bool SeqOk = true;
   bool AttribOk = true;
+  double WallMs = 0;
+  obs::Json Report; // null for Sodor rows (no attribution matrix)
 };
 
 obs::Json jsonRow(const std::string &Config, const std::string &Kernel,
-                  const RowResult &R, const obs::CounterSink *Counters) {
+                  const RowResult &R, uint64_t Jobs) {
   obs::Json Row = obs::Json::object();
   Row.set("config", Config);
   Row.set("kernel", Kernel);
@@ -86,8 +102,12 @@ obs::Json jsonRow(const std::string &Config, const std::string &Kernel,
   Row.set("seq_equiv", R.SeqOk);
   Row.set("hits", R.Hits);
   Row.set("misses", R.Misses);
-  if (Counters)
-    Row.set("report", Counters->report().toJsonValue());
+  double WallMs = R.WallMs > 1e-6 ? R.WallMs : 1e-6;
+  Row.set("wall_ms", R.WallMs);
+  Row.set("cycles_per_sec", double(R.Cycles) * 1000.0 / WallMs);
+  Row.set("jobs", Jobs);
+  if (!R.Report.isNull())
+    Row.set("report", R.Report);
   return Row;
 }
 
@@ -102,12 +122,15 @@ const CoreConfig CoreConfigs[] = {
 };
 
 RowResult runPdl(CoreKind Kind, const CoreMemProfile &Profile,
-                 const Workload &W, obs::CounterSink &Counters) {
+                 const Workload &W) {
+  obs::CounterSink Counters;
   Core Cpu(Kind, PredictorKind::Bht2Bit, Profile);
   Cpu.system().attachSink(Counters);
   Cpu.loadProgram(riscv::assemble(W.AsmI));
+  auto T0 = std::chrono::steady_clock::now();
   Core::RunResult R = Cpu.run(20000000, /*CheckGolden=*/true);
   RowResult Out;
+  Out.WallMs = msSince(T0);
   Out.Cpi = R.Cpi;
   Out.Cycles = R.Cycles;
   Out.Instrs = R.Instrs;
@@ -120,15 +143,18 @@ RowResult runPdl(CoreKind Kind, const CoreMemProfile &Profile,
   }
   Cpu.system().finishTrace();
   Out.AttribOk = Counters.report().attributionExact();
+  Out.Report = Counters.report().toJsonValue();
   return Out;
 }
 
 RowResult runSodorRow(const CoreMemProfile &Profile, const Workload &W) {
   SodorMem Mem(Profile);
-  SodorResult R =
-      runSodor(riscv::assemble(W.AsmI), {}, HaltByteAddr, 5000000,
-               /*Bypassed=*/true, Mem.M.IFetch ? &Mem.M : nullptr);
+  std::vector<uint32_t> Words = riscv::assemble(W.AsmI);
+  auto T0 = std::chrono::steady_clock::now();
+  SodorResult R = runSodor(Words, {}, HaltByteAddr, 5000000,
+                           /*Bypassed=*/true, Mem.M.IFetch ? &Mem.M : nullptr);
   RowResult Out;
+  Out.WallMs = msSince(T0);
   Out.Cpi = R.Cpi;
   Out.Cycles = R.Cycles;
   Out.Instrs = R.Instrs;
@@ -145,18 +171,24 @@ RowResult runSodorRow(const CoreMemProfile &Profile, const Workload &W) {
 
 int main(int argc, char **argv) {
   bool JsonOut = false;
+  uint64_t Jobs = 1;
   std::string KernelFilter;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "--json")
       JsonOut = true;
+    else if (A.rfind("--jobs=", 0) == 0)
+      Jobs = std::strtoull(A.c_str() + 7, nullptr, 0);
     else if (A.rfind("--kernels=", 0) == 0)
       KernelFilter = A.substr(10);
     else {
-      std::fprintf(stderr, "usage: bench_mem [--json] [--kernels=a,b,...]\n");
+      std::fprintf(stderr,
+                   "usage: bench_mem [--json] [--jobs=N] [--kernels=a,b,...]\n");
       return 2;
     }
   }
+  if (!Jobs)
+    Jobs = 1;
   auto KernelEnabled = [&](const std::string &Name) {
     if (KernelFilter.empty())
       return true;
@@ -185,6 +217,22 @@ int main(int argc, char **argv) {
   const CoreMemProfile Profiles[] = {memProfileAlwaysHit(), memProfileL1_4K(),
                                      memProfileL1Tiny()};
 
+  // Precompute every run over the worker pool. Index layout: for each
+  // profile, 3 core rows x kernels, then one Sodor row per kernel.
+  const size_t K = Kernels.size();
+  const size_t PerProfile = 4 * K; // 3 PDL cores + Sodor
+  std::vector<RowResult> Rows(3 * PerProfile);
+  sim::parallelForOrdered(unsigned(Jobs), Rows.size(), [&](size_t I) {
+    const size_t PI = I / PerProfile;
+    const size_t J = I % PerProfile;
+    const size_t CI = J / K, KI = J % K;
+    Rows[I] = CI < 3 ? runPdl(CoreConfigs[CI].Kind, Profiles[PI], Kernels[KI])
+                     : runSodorRow(Profiles[PI], Kernels[KI]);
+  });
+  auto RowAt = [&](size_t PI, size_t CI, size_t KI) -> const RowResult & {
+    return Rows[PI * PerProfile + CI * K + KI];
+  };
+
   bool Ok = true;
   auto Check = [&](bool Cond, const char *Msg) {
     if (!Cond) {
@@ -195,7 +243,7 @@ int main(int argc, char **argv) {
 
   obs::Json Doc = obs::Json::object();
   Doc.set("bench", "mem");
-  obs::Json Rows = obs::Json::array();
+  obs::Json JsonRows = obs::Json::array();
 
   // geomean CPI per (profile, core row); Sodor is row index 3.
   std::vector<std::vector<double>> Geo(3, std::vector<double>(4, 0));
@@ -213,9 +261,8 @@ int main(int argc, char **argv) {
       std::vector<double> Cpis;
       uint64_t Cycles = 0, Hits = 0, Misses = 0;
       bool SeqOk = true;
-      for (const Workload &W : Kernels) {
-        obs::CounterSink Counters;
-        RowResult R = runPdl(C.Kind, Profile, W, Counters);
+      for (size_t KI = 0; KI != K; ++KI) {
+        const RowResult &R = RowAt(PI, CI, KI);
         Check(R.SeqOk, "a PDL run lost sequential equivalence");
         Check(R.AttribOk, "stall-attribution matrix is not exact");
         SeqOk &= R.SeqOk;
@@ -226,8 +273,8 @@ int main(int argc, char **argv) {
         if (CI == 0)
           FiveStgCpis.push_back(R.Cpi);
         if (JsonOut)
-          Rows.push(jsonRow(std::string(C.Name) + " / " + Profile.Name,
-                            W.Name, R, &Counters));
+          JsonRows.push(jsonRow(std::string(C.Name) + " / " + Profile.Name,
+                                Kernels[KI].Name, R, Jobs));
       }
       Geo[PI][CI] = geomean(Cpis);
       if (!JsonOut)
@@ -242,15 +289,15 @@ int main(int argc, char **argv) {
     // Sodor: analytic timing over the golden trace, same cache geometry.
     {
       uint64_t Cycles = 0, Hits = 0, Misses = 0;
-      for (const Workload &W : Kernels) {
-        RowResult R = runSodorRow(Profile, W);
+      for (size_t KI = 0; KI != K; ++KI) {
+        const RowResult &R = RowAt(PI, 3, KI);
         SodorCpis.push_back(R.Cpi);
         Cycles += R.Cycles;
         Hits += R.Hits;
         Misses += R.Misses;
         if (JsonOut)
-          Rows.push(jsonRow(std::string("Sodor / ") + Profile.Name, W.Name,
-                            R, nullptr));
+          JsonRows.push(jsonRow(std::string("Sodor / ") + Profile.Name,
+                                Kernels[KI].Name, R, Jobs));
       }
       Geo[PI][3] = geomean(SodorCpis);
       if (!JsonOut)
@@ -286,7 +333,7 @@ int main(int argc, char **argv) {
   }
 
   if (JsonOut) {
-    Doc.set("rows", std::move(Rows));
+    Doc.set("rows", std::move(JsonRows));
     std::printf("%s\n", Doc.dump(2).c_str());
   } else if (Ok) {
     std::printf("Shape checks held under every hierarchy:\n"

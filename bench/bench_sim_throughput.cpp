@@ -1,0 +1,203 @@
+//===- bench_sim_throughput.cpp - Host simulation throughput ---------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures how fast the cycle-accurate executor runs on the host:
+/// simulated cycles per wall-clock second, per (core x kernel), plus one
+/// whole-matrix row run through the batch worker pool. This is the repo's
+/// perf canary — `BENCH_sim.json` at the repo root records the trajectory
+/// (see docs/performance.md for how to read and update it), and
+/// tools/check_bench_json.py validates the throughput fields.
+///
+/// Each per-row figure is the best of `--repeat=N` runs (default 3) to
+/// shed scheduler noise; rows fan out over `--jobs=N` workers. The golden
+/// sequential-equivalence check is off here — this bench times the
+/// executor alone, not the oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cores/Core.h"
+#include "obs/Json.h"
+#include "riscv/Assembler.h"
+#include "sim/WorkerPool.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace pdl;
+using namespace pdl::cores;
+using namespace pdl::workloads;
+
+namespace {
+
+struct Config {
+  const char *Name;
+  CoreKind Kind;
+};
+const Config Configs[] = {
+    {"PDL 5Stg", CoreKind::Pdl5Stage},
+    {"PDL 3Stg", CoreKind::Pdl3Stage},
+    {"PDL 5Stg BHT", CoreKind::Pdl5StageBht},
+};
+constexpr size_t NumConfigs = sizeof(Configs) / sizeof(Configs[0]);
+
+struct Measure {
+  uint64_t Cycles = 0, Instrs = 0;
+  double WallMs = 0;
+};
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+Measure runOnce(CoreKind Kind, const Workload &W) {
+  Core Cpu(Kind);
+  Cpu.loadProgram(riscv::assemble(W.AsmI));
+  auto T0 = std::chrono::steady_clock::now();
+  Core::RunResult R = Cpu.run(5000000, /*CheckGolden=*/false);
+  Measure M;
+  M.WallMs = msSince(T0);
+  M.Cycles = R.Cycles;
+  M.Instrs = R.Instrs;
+  return M;
+}
+
+double clampMs(double Ms) { return Ms > 1e-6 ? Ms : 1e-6; }
+
+obs::Json jsonRow(const std::string &Config, const std::string &Kernel,
+                  const Measure &M, uint64_t Jobs) {
+  obs::Json Row = obs::Json::object();
+  Row.set("config", Config);
+  Row.set("kernel", Kernel);
+  Row.set("cpi", M.Instrs ? double(M.Cycles) / double(M.Instrs) : 0.0);
+  Row.set("cycles", M.Cycles);
+  Row.set("instrs", M.Instrs);
+  Row.set("wall_ms", M.WallMs);
+  Row.set("cycles_per_sec", double(M.Cycles) * 1000.0 / clampMs(M.WallMs));
+  Row.set("jobs", Jobs);
+  return Row;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool JsonOut = false;
+  uint64_t Jobs = 1, Repeat = 3;
+  std::string KernelFilter;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--json")
+      JsonOut = true;
+    else if (A.rfind("--jobs=", 0) == 0)
+      Jobs = std::strtoull(A.c_str() + 7, nullptr, 0);
+    else if (A.rfind("--repeat=", 0) == 0)
+      Repeat = std::strtoull(A.c_str() + 9, nullptr, 0);
+    else if (A.rfind("--kernels=", 0) == 0)
+      KernelFilter = A.substr(10);
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_sim_throughput [--json] [--jobs=N] "
+                   "[--repeat=N] [--kernels=a,b,...]\n");
+      return 2;
+    }
+  }
+  if (!Jobs)
+    Jobs = 1;
+  if (!Repeat)
+    Repeat = 1;
+  auto KernelEnabled = [&](const std::string &Name) {
+    if (KernelFilter.empty())
+      return true;
+    size_t Pos = 0;
+    while (Pos < KernelFilter.size()) {
+      size_t Comma = KernelFilter.find(',', Pos);
+      if (Comma == std::string::npos)
+        Comma = KernelFilter.size();
+      if (KernelFilter.compare(Pos, Comma - Pos, Name) == 0)
+        return true;
+      Pos = Comma + 1;
+    }
+    return false;
+  };
+
+  std::vector<Workload> Kernels;
+  for (const Workload &W : allWorkloads())
+    if (KernelEnabled(W.Name))
+      Kernels.push_back(W);
+  if (Kernels.empty()) {
+    std::fprintf(stderr, "bench_sim_throughput: no kernels match '%s'\n",
+                 KernelFilter.c_str());
+    return 2;
+  }
+
+  // Every (config, kernel, repeat) run is independent; fan all of them out
+  // and keep the best (minimum wall) repeat per row.
+  const size_t K = Kernels.size();
+  std::vector<Measure> Runs(NumConfigs * K * Repeat);
+  sim::parallelForOrdered(unsigned(Jobs), Runs.size(), [&](size_t I) {
+    const size_t Row = I / Repeat;
+    Runs[I] = runOnce(Configs[Row / K].Kind, Kernels[Row % K]);
+  });
+  std::vector<Measure> Best(NumConfigs * K);
+  for (size_t Row = 0; Row != Best.size(); ++Row) {
+    Best[Row] = Runs[Row * Repeat];
+    for (size_t R = 1; R != Repeat; ++R)
+      if (Runs[Row * Repeat + R].WallMs < Best[Row].WallMs)
+        Best[Row] = Runs[Row * Repeat + R];
+  }
+
+  // One whole-matrix measurement through the pool: aggregate host
+  // throughput with `Jobs` concurrent single-threaded Systems.
+  Measure Batch;
+  {
+    std::vector<Measure> M(NumConfigs * K);
+    auto T0 = std::chrono::steady_clock::now();
+    sim::parallelForOrdered(unsigned(Jobs), M.size(), [&](size_t I) {
+      M[I] = runOnce(Configs[I / K].Kind, Kernels[I % K]);
+    });
+    Batch.WallMs = msSince(T0);
+    for (const Measure &R : M) {
+      Batch.Cycles += R.Cycles;
+      Batch.Instrs += R.Instrs;
+    }
+  }
+
+  if (JsonOut) {
+    obs::Json Doc = obs::Json::object();
+    Doc.set("bench", "sim_throughput");
+    obs::Json Rows = obs::Json::array();
+    for (size_t CI = 0; CI != NumConfigs; ++CI)
+      for (size_t KI = 0; KI != K; ++KI)
+        Rows.push(jsonRow(Configs[CI].Name, Kernels[KI].Name,
+                          Best[CI * K + KI], Jobs));
+    Rows.push(jsonRow("batch", "matrix", Batch, Jobs));
+    Doc.set("rows", std::move(Rows));
+    std::printf("%s\n", Doc.dump(2).c_str());
+    return 0;
+  }
+
+  std::printf("=== Host simulation throughput (best of %llu) ===\n",
+              (unsigned long long)Repeat);
+  std::printf("%-14s %-12s %12s %10s %14s\n", "core", "kernel", "cycles",
+              "wall_ms", "cycles/sec");
+  for (size_t CI = 0; CI != NumConfigs; ++CI)
+    for (size_t KI = 0; KI != K; ++KI) {
+      const Measure &M = Best[CI * K + KI];
+      std::printf("%-14s %-12s %12llu %10.2f %14.0f\n", Configs[CI].Name,
+                  Kernels[KI].Name.c_str(), (unsigned long long)M.Cycles,
+                  M.WallMs, double(M.Cycles) * 1000.0 / clampMs(M.WallMs));
+    }
+  std::printf("%-14s %-12s %12llu %10.2f %14.0f  (jobs=%llu)\n", "batch",
+              "matrix", (unsigned long long)Batch.Cycles, Batch.WallMs,
+              double(Batch.Cycles) * 1000.0 / clampMs(Batch.WallMs),
+              (unsigned long long)Jobs);
+  return 0;
+}

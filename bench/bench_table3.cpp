@@ -15,14 +15,21 @@
 /// claims are reproduced: Sodor == PDL 5Stg stall-for-stall, 3Stg < BHT <
 /// 5Stg, and RV32IM helping exactly the multiply-heavy kernels.
 ///
+/// `--jobs=N` fans the independent (config x kernel) runs out over N
+/// worker threads; rows are collected in matrix order so the table is
+/// identical for every N (only `wall_ms`/`cycles_per_sec` move).
+///
 //===----------------------------------------------------------------------===//
 
 #include "cores/Core.h"
 #include "cores/SodorModel.h"
+#include "obs/Json.h"
 #include "obs/Sinks.h"
 #include "riscv/Assembler.h"
+#include "sim/WorkerPool.h"
 #include "workloads/Workloads.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -50,6 +57,19 @@ const PaperRow PaperRows[] = {
     {"PDL 5Stg RV32IM", {1.384, 1.230, 1.421, 1.226, 1.280, 1.496, 1.376, 1.332, 1.282}, 1.32},
 };
 
+struct Config {
+  const char *Name;
+  CoreKind Kind;
+  bool UseM;
+};
+const Config Configs[] = {
+    {"PDL 5Stg", CoreKind::Pdl5Stage, false},
+    {"PDL 3Stg", CoreKind::Pdl3Stage, false},
+    {"PDL 5Stg BHT", CoreKind::Pdl5StageBht, false},
+    {"PDL 5Stg RV32IM", CoreKind::PdlRv32im, true},
+};
+constexpr size_t NumConfigs = sizeof(Configs) / sizeof(Configs[0]);
+
 double geomean(const std::vector<double> &Xs) {
   double Log = 0;
   for (double X : Xs)
@@ -65,40 +85,104 @@ void printRow(const char *Name, const std::vector<double> &Cpis,
   std::printf(" %7.3f  %s\n", geomean(Cpis), SeqOk ? "yes" : "NO!");
 }
 
-/// One machine-readable bench row: CPI plus the full per-stage stall
-/// attribution report (when a CounterSink was attached to the run).
-obs::Json jsonRow(const char *Config, const std::string &Kernel, double Cpi,
-                  uint64_t Cycles, uint64_t Instrs, bool SeqOk,
-                  const obs::CounterSink *Counters) {
+/// One precomputed run of the matrix: the Table 3 numbers plus host
+/// throughput, and (JSON mode) the full stall-attribution report.
+struct MeasuredRow {
+  double Cpi = 0;
+  uint64_t Cycles = 0, Instrs = 0;
+  bool SeqOk = true;
+  double WallMs = 0;
+  obs::Json Report; // null unless a CounterSink was attached
+  std::string Err;  // diagnostics when a PDL run lost equivalence
+};
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// One machine-readable bench row: CPI, host throughput, and the stall
+/// attribution report when one was recorded.
+obs::Json jsonRow(const char *Config, const std::string &Kernel,
+                  const MeasuredRow &R, uint64_t Jobs) {
   obs::Json Row = obs::Json::object();
   Row.set("config", Config);
   Row.set("kernel", Kernel);
-  Row.set("cpi", Cpi);
-  Row.set("cycles", Cycles);
-  Row.set("instrs", Instrs);
-  Row.set("seq_equiv", SeqOk);
-  if (Counters)
-    Row.set("report", Counters->report().toJsonValue());
+  Row.set("cpi", R.Cpi);
+  Row.set("cycles", R.Cycles);
+  Row.set("instrs", R.Instrs);
+  Row.set("seq_equiv", R.SeqOk);
+  double WallMs = R.WallMs > 1e-6 ? R.WallMs : 1e-6;
+  Row.set("wall_ms", R.WallMs);
+  Row.set("cycles_per_sec", double(R.Cycles) * 1000.0 / WallMs);
+  Row.set("jobs", Jobs);
+  if (!R.Report.isNull())
+    Row.set("report", R.Report);
   return Row;
+}
+
+MeasuredRow runSodorRow(const Workload &W) {
+  std::vector<uint32_t> Words = riscv::assemble(W.AsmI);
+  auto T0 = std::chrono::steady_clock::now();
+  SodorResult R = runSodor(Words, {}, HaltByteAddr, 5000000);
+  MeasuredRow Out;
+  Out.WallMs = msSince(T0);
+  Out.Cpi = R.Cpi;
+  Out.Cycles = R.Cycles;
+  Out.Instrs = R.Instrs;
+  return Out;
+}
+
+MeasuredRow runPdlRow(const Config &C, const Workload &W, bool WithReport) {
+  Core Cpu(C.Kind);
+  obs::CounterSink Counters;
+  if (WithReport)
+    Cpu.system().attachSink(Counters);
+  Cpu.loadProgram(riscv::assemble(C.UseM ? W.AsmM : W.AsmI));
+  auto T0 = std::chrono::steady_clock::now();
+  Core::RunResult R = Cpu.run(5000000, /*CheckGolden=*/true);
+  MeasuredRow Out;
+  Out.WallMs = msSince(T0);
+  Out.Cpi = R.Cpi;
+  Out.Cycles = R.Cycles;
+  Out.Instrs = R.Instrs;
+  Out.SeqOk = R.Halted && !R.Deadlocked && R.TraceMatches;
+  if (!Out.SeqOk) {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf), "%s on %s: halted=%d dead=%d match=%d %s\n",
+                  C.Name, W.Name.c_str(), R.Halted, R.Deadlocked,
+                  R.TraceMatches, R.TraceMismatch.c_str());
+    Out.Err = Buf;
+  }
+  if (WithReport)
+    Out.Report = Counters.report().toJsonValue();
+  return Out;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
   bool JsonOut = false;
+  uint64_t Jobs = 1;
   std::string KernelFilter;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "--json")
       JsonOut = true;
+    else if (A.rfind("--jobs=", 0) == 0)
+      Jobs = std::strtoull(A.c_str() + 7, nullptr, 0);
     else if (A.rfind("--kernels=", 0) == 0)
       KernelFilter = A.substr(10);
     else {
       std::fprintf(stderr,
-                   "usage: bench_table3 [--json] [--kernels=a,b,...]\n");
+                   "usage: bench_table3 [--json] [--jobs=N] "
+                   "[--kernels=a,b,...]\n");
       return 2;
     }
   }
+  if (!Jobs)
+    Jobs = 1;
   auto KernelEnabled = [&](const std::string &Name) {
     if (KernelFilter.empty())
       return true;
@@ -124,41 +208,32 @@ int main(int argc, char **argv) {
     return 2;
   }
 
+  // Run the whole matrix up front over the worker pool: Sodor rows first,
+  // then (config x kernel). Each run owns its Core/System; results land in
+  // their own slots, so the fold below is order-independent.
+  std::vector<MeasuredRow> Sodor(Kernels.size());
+  std::vector<MeasuredRow> Pdl(NumConfigs * Kernels.size());
+  sim::parallelForOrdered(
+      unsigned(Jobs), Sodor.size() + Pdl.size(), [&](size_t I) {
+        if (I < Sodor.size()) {
+          Sodor[I] = runSodorRow(Kernels[I]);
+        } else {
+          size_t J = I - Sodor.size();
+          Pdl[J] = runPdlRow(Configs[J / Kernels.size()],
+                             Kernels[J % Kernels.size()], JsonOut);
+        }
+      });
+
   if (JsonOut) {
     obs::Json Doc = obs::Json::object();
     Doc.set("bench", "table3");
     obs::Json Rows = obs::Json::array();
-
-    for (const Workload &W : Kernels) {
-      SodorResult R = runSodor(riscv::assemble(W.AsmI), {}, HaltByteAddr,
-                               5000000);
-      Rows.push(jsonRow("Sodor", W.Name, R.Cpi, R.Cycles, R.Instrs, true,
-                        nullptr));
-    }
-
-    struct Config {
-      const char *Name;
-      CoreKind Kind;
-      bool UseM;
-    };
-    const Config Configs[] = {
-        {"PDL 5Stg", CoreKind::Pdl5Stage, false},
-        {"PDL 3Stg", CoreKind::Pdl3Stage, false},
-        {"PDL 5Stg BHT", CoreKind::Pdl5StageBht, false},
-        {"PDL 5Stg RV32IM", CoreKind::PdlRv32im, true},
-    };
-    for (const Config &C : Configs) {
-      for (const Workload &W : Kernels) {
-        Core Cpu(C.Kind);
-        obs::CounterSink Counters;
-        Cpu.system().attachSink(Counters);
-        Cpu.loadProgram(riscv::assemble(C.UseM ? W.AsmM : W.AsmI));
-        Core::RunResult R = Cpu.run(5000000, /*CheckGolden=*/true);
-        bool SeqOk = R.Halted && !R.Deadlocked && R.TraceMatches;
-        Rows.push(jsonRow(C.Name, W.Name, R.Cpi, R.Cycles, R.Instrs, SeqOk,
-                          &Counters));
-      }
-    }
+    for (size_t KI = 0; KI != Kernels.size(); ++KI)
+      Rows.push(jsonRow("Sodor", Kernels[KI].Name, Sodor[KI], Jobs));
+    for (size_t CI = 0; CI != NumConfigs; ++CI)
+      for (size_t KI = 0; KI != Kernels.size(); ++KI)
+        Rows.push(jsonRow(Configs[CI].Name, Kernels[KI].Name,
+                          Pdl[CI * Kernels.size() + KI], Jobs));
     Doc.set("rows", std::move(Rows));
     std::printf("%s\n", Doc.dump(2).c_str());
     return 0;
@@ -175,42 +250,23 @@ int main(int argc, char **argv) {
   // Sodor baseline: golden trace + published stall rules.
   {
     std::vector<double> Cpis;
-    for (const Workload &W : Kernels) {
-      SodorResult R = runSodor(riscv::assemble(W.AsmI), {}, HaltByteAddr,
-                               5000000);
+    for (const MeasuredRow &R : Sodor)
       Cpis.push_back(R.Cpi);
-    }
     printRow("Sodor", Cpis, true);
   }
 
-  struct Config {
-    const char *Name;
-    CoreKind Kind;
-    bool UseM;
-  };
-  const Config Configs[] = {
-      {"PDL 5Stg", CoreKind::Pdl5Stage, false},
-      {"PDL 3Stg", CoreKind::Pdl3Stage, false},
-      {"PDL 5Stg BHT", CoreKind::Pdl5StageBht, false},
-      {"PDL 5Stg RV32IM", CoreKind::PdlRv32im, true},
-  };
-
-  for (const Config &C : Configs) {
+  for (size_t CI = 0; CI != NumConfigs; ++CI) {
     std::vector<double> Cpis;
     bool SeqOk = true;
-    for (const Workload &W : Kernels) {
-      Core Cpu(C.Kind);
-      Cpu.loadProgram(riscv::assemble(C.UseM ? W.AsmM : W.AsmI));
-      Core::RunResult R = Cpu.run(5000000, /*CheckGolden=*/true);
-      if (!R.Halted || R.Deadlocked || !R.TraceMatches) {
-        std::fprintf(stderr, "%s on %s: halted=%d dead=%d match=%d %s\n",
-                     C.Name, W.Name.c_str(), R.Halted, R.Deadlocked,
-                     R.TraceMatches, R.TraceMismatch.c_str());
+    for (size_t KI = 0; KI != Kernels.size(); ++KI) {
+      const MeasuredRow &R = Pdl[CI * Kernels.size() + KI];
+      if (!R.SeqOk) {
+        std::fprintf(stderr, "%s", R.Err.c_str());
         SeqOk = false;
       }
       Cpis.push_back(R.Cpi);
     }
-    printRow(C.Name, Cpis, SeqOk);
+    printRow(Configs[CI].Name, Cpis, SeqOk);
   }
 
   std::printf("\n%-18s", "paper");

@@ -20,15 +20,58 @@
 #include "support/Bits.h"
 
 #include <functional>
-#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace pdl {
 namespace backend {
 
 /// A thread's value environment. Reads of names with no binding evaluate to
 /// zero (hardware don't-care on paths that skipped the definition).
-using Env = std::map<std::string, Bits>;
+///
+/// Stored as a flat insertion-ordered vector rather than a tree map: a
+/// thread carries a handful of short (SSO) variable names, so a linear
+/// probe beats pointer-chasing — and, decisive for the executor's per-cycle
+/// probe pass which duplicates the environment, copying is one buffer
+/// allocation instead of one node allocation per binding.
+class Env {
+public:
+  using value_type = std::pair<std::string, Bits>;
+  using iterator = std::vector<value_type>::iterator;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  iterator begin() { return Slots.begin(); }
+  iterator end() { return Slots.end(); }
+  const_iterator begin() const { return Slots.begin(); }
+  const_iterator end() const { return Slots.end(); }
+  size_t size() const { return Slots.size(); }
+  bool empty() const { return Slots.empty(); }
+
+  iterator find(const std::string &K) {
+    iterator It = Slots.begin(), E = Slots.end();
+    for (; It != E; ++It)
+      if (It->first == K)
+        break;
+    return It;
+  }
+  const_iterator find(const std::string &K) const {
+    return const_cast<Env *>(this)->find(K);
+  }
+
+  /// Returns the binding for \p K, creating a zero-width default if absent
+  /// (same contract as the map it replaces).
+  Bits &operator[](const std::string &K) {
+    iterator It = find(K);
+    if (It != Slots.end())
+      return It->second;
+    Slots.emplace_back(K, Bits());
+    return Slots.back().second;
+  }
+
+private:
+  std::vector<value_type> Slots;
+};
 
 struct EvalHooks {
   /// Services a combinational memory read. The expression node identifies

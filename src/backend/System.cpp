@@ -108,6 +108,28 @@ System::System(const CompiledProgram &CP, ElabConfig Cfg)
     }
     Meta.Pipes.push_back(std::move(PM));
   }
+  // Resolve the per-cycle dense tables: per-stage FIFO views, fork->join
+  // lists, tag queues, and the global firing order (pipes in handle order,
+  // stages deepest-first). EdgeFifos map nodes and Stage storage are both
+  // address-stable for the System's lifetime.
+  for (PipeInstance *PI : PipeSeq) {
+    const StageGraph &G = PI->CP->Graph;
+    PI->TagQueues.resize(G.Stages.size());
+    PI->PredFifos.resize(G.Stages.size());
+    PI->SuccFifos.resize(G.Stages.size());
+    PI->ForkJoins.resize(G.Stages.size());
+    for (const Stage &S : G.Stages) {
+      if (S.Id != G.Entry)
+        for (unsigned PredId : S.Preds)
+          PI->PredFifos[S.Id].push_back(&PI->EdgeFifos.at({PredId, S.Id}));
+      for (const StageEdge &E : S.Succs)
+        PI->SuccFifos[S.Id].push_back(&PI->EdgeFifos.at({E.From, E.To}));
+      if (S.isJoin())
+        PI->ForkJoins[S.ForkStage].push_back(&S);
+    }
+    for (unsigned Id = G.Stages.size(); Id-- > 0;)
+      FireOrder.emplace_back(PI, &G.Stages[Id]);
+  }
   for (obs::TraceSink *S : this->Cfg.Sinks)
     if (S)
       attachSink(*S);
@@ -179,7 +201,7 @@ void System::bindExtern(const std::string &Name, hw::ExternModule *Module) {
 }
 
 void System::setHaltOnWrite(MemHandle M, uint64_t Addr) {
-  HaltWatch = {M.Pipe, memName(M), Addr};
+  HaltWatch = {M.Pipe, M.Mem, Addr};
 }
 
 void System::elaborateLocks() {
@@ -271,8 +293,7 @@ const mem::MemModel *System::memModel(MemHandle M) const {
 
 bool System::canAccept(PipeHandle H) {
   PipeInstance &P = *PipeSeq[H.index()];
-  return P.Entry.size() + pendingEnqCount(P, /*ToEntry=*/true, {}) <
-         P.Entry.capacity();
+  return P.Entry.size() + pendingEnqCount(&P.Entry) < P.Entry.capacity();
 }
 
 void System::start(PipeHandle H, std::vector<Bits> Args) {
@@ -547,16 +568,45 @@ void System::armFault(const hw::FaultPlan &Plan) {
 // Evaluation hooks
 //===----------------------------------------------------------------------===//
 
-EvalHooks System::hooksFor(PipeInstance &P, Thread &T, WalkCtx &Ctx) {
-  EvalHooks H;
-  H.ReadMem = [this, &P, &T, &Ctx](const MemReadExpr &Site, uint64_t Addr) {
-    hw::HazardLock *L = lockFor(P, Site.mem());
+System::MemSite &System::memSite(PipeInstance &P, const std::string &Mem) {
+  assert(LocksBuilt && "memory sites resolve after lock elaboration");
+  auto [It, New] = MemSiteCache.try_emplace(&Mem);
+  MemSite &MS = It->second;
+  if (New) {
+    MS.Idx = P.MemIdx.at(Mem);
+    MS.M = P.MemByIdx[MS.Idx];
+    MS.L = P.LockByIdx[MS.Idx];
+    MS.Model = P.ModelByIdx[MS.Idx];
+  }
+  return MS;
+}
+
+const std::string &System::siteResKey(const std::string &Mem,
+                                      const ast::Expr &Addr, hw::Access M) {
+  std::array<std::string, 3> &Keys = ResKeyCache[&Addr];
+  std::string &Key = Keys[static_cast<unsigned>(M)];
+  if (Key.empty())
+    Key = resKey(Mem, addrKey(Addr), M);
+  return Key;
+}
+
+const EvalHooks &System::hooksFor(PipeInstance &P, Thread &T, WalkCtx &Ctx) {
+  CurP = &P;
+  CurT = &T;
+  CurCtx = &Ctx;
+  if (HotHooks.ReadMem)
+    return HotHooks;
+  HotHooks.ReadMem = [this](const MemReadExpr &Site, uint64_t Addr) {
+    PipeInstance &P = *CurP;
+    Thread &T = *CurT;
+    WalkCtx &Ctx = *CurCtx;
+    MemSite &MS = memSite(P, Site.mem());
+    hw::HazardLock *L = MS.L;
     if (!L)
-      return P.Mems.at(Site.mem())->read(Addr);
-    std::string Text = addrKey(*Site.addr());
+      return MS.M->read(Addr);
     bool Probe = Ctx.Mode == WalkMode::Probe;
     for (hw::Access M : {hw::Access::Read, hw::Access::ReadWrite}) {
-      std::string Key = resKey(Site.mem(), Text, M);
+      const std::string &Key = siteResKey(Site.mem(), *Site.addr(), M);
       auto It = T.Res.find(Key);
       if (It != T.Res.end())
         return Probe ? L->readP(Ctx.Probes[L], It->second)
@@ -568,28 +618,27 @@ EvalHooks System::hooksFor(PipeInstance &P, Thread &T, WalkCtx &Ctx) {
     }
     assert(false && "combinational read of a locked memory without an "
                     "acquired reservation");
-    return Bits(0, P.Mems.at(Site.mem())->elemWidth());
+    return Bits(0, MS.M->elemWidth());
   };
-  H.CallExtern = [this](const ExternCallExpr &Site,
-                        const std::vector<Bits> &Args) {
+  HotHooks.CallExtern = [this](const ExternCallExpr &Site,
+                               const std::vector<Bits> &Args) {
     auto It = Externs.find(Site.module());
     assert(It != Externs.end() && "unbound extern module");
     auto R = It->second->invoke(Site.method(), Args);
     assert(R && "extern value method returned nothing");
     return *R;
   };
-  return H;
+  return HotHooks;
 }
 
 //===----------------------------------------------------------------------===//
 // Per-cycle stage firing
 //===----------------------------------------------------------------------===//
 
-unsigned System::pendingEnqCount(PipeInstance &P, bool ToEntry,
-                                 std::pair<unsigned, unsigned> Edge) const {
+unsigned System::pendingEnqCount(const hw::Fifo<Thread> *F) const {
   unsigned N = 0;
   for (const PendingEnq &E : PendingEnqs)
-    if (E.P == &P && E.ToEntry == ToEntry && (ToEntry || E.Edge == Edge))
+    if (E.F == F)
       ++N;
   return N;
 }
@@ -621,7 +670,7 @@ System::Thread *System::stageInput(PipeInstance &P, const Stage &S,
     while (!Tags.empty()) {
       TagTok Tok = Tags.front();
       assert(Tok.Tag < S.Preds.size() && "bad coordination tag");
-      auto &F = P.EdgeFifos.at({S.Preds[Tok.Tag], S.Id});
+      hw::Fifo<Thread> &F = *P.PredFifos[S.Id][Tok.Tag];
       if (F.empty())
         return nullptr; // the tagged thread has not arrived yet
       Thread &T = F.front();
@@ -640,19 +689,19 @@ System::Thread *System::stageInput(PipeInstance &P, const Stage &S,
   }
   assert(S.Preds.size() == 1 && "non-join stage with multiple predecessors");
   PredIdx = 0;
-  return DrainDead(P.EdgeFifos.at({S.Preds[0], S.Id}));
+  return DrainDead(*P.PredFifos[S.Id][0]);
 }
 
 const StageEdge *System::pickSuccessor(PipeInstance &P, const Stage &S,
                                        const Env &Vars) {
   if (S.Succs.empty())
     return nullptr;
+  Thread Scratch; // hooks need a thread; guards contain no mem reads
+  WalkCtx Ctx;
+  const EvalHooks &H = hooksFor(P, Scratch, Ctx);
   for (const StageEdge &E : S.Succs) {
     bool Taken = true;
     for (const GuardTerm &G : E.G) {
-      Thread Scratch; // hooks need a thread; guards contain no mem reads
-      WalkCtx Ctx;
-      EvalHooks H = hooksFor(P, Scratch, Ctx);
       if (evalExpr(*G.Cond, Vars, *CP.AST, H).toBool() != G.Polarity) {
         Taken = false;
         break;
@@ -668,7 +717,7 @@ const StageEdge *System::pickSuccessor(PipeInstance &P, const Stage &S,
 System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
                                   WalkCtx &Ctx) {
   bool Commit = Ctx.Mode == WalkMode::Commit;
-  EvalHooks H = hooksFor(P, T, Ctx);
+  const EvalHooks &H = HotHooks; // bound by the enclosing walkStage
   auto Eval = [&](const Expr &E) { return evalExpr(E, Ctx.Vars, *CP.AST, H); };
 
   // Records the stall cause for the probe pass's outcome attribution (one
@@ -681,22 +730,28 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
 
   // Resolves a lock operand to its reservation key, trying the exact mode
   // first, then the others (mode-less block/release).
-  auto ResolveKey = [&](const std::string &Mem, const std::string &Text,
-                        LockMode Mode) -> std::string {
-    std::vector<hw::Access> Try;
-    if (Mode == LockMode::Read)
-      Try = {hw::Access::Read};
-    else if (Mode == LockMode::Write)
-      Try = {hw::Access::Write};
-    else
-      Try = {hw::Access::ReadWrite, hw::Access::Read, hw::Access::Write};
-    for (hw::Access M : Try) {
-      std::string K = resKey(Mem, Text, M);
+  auto ResolveKey = [&](const std::string &Mem, const ast::Expr &Addr,
+                        LockMode Mode) -> const std::string & {
+    static const hw::Access TryRead[] = {hw::Access::Read};
+    static const hw::Access TryWrite[] = {hw::Access::Write};
+    static const hw::Access TryAll[] = {hw::Access::ReadWrite,
+                                        hw::Access::Read, hw::Access::Write};
+    const hw::Access *Try = TryAll;
+    size_t N = 3;
+    if (Mode == LockMode::Read) {
+      Try = TryRead;
+      N = 1;
+    } else if (Mode == LockMode::Write) {
+      Try = TryWrite;
+      N = 1;
+    }
+    for (size_t I = 0; I != N; ++I) {
+      const std::string &K = siteResKey(Mem, Addr, Try[I]);
       if (T.Res.count(K) || Ctx.ProbeReserved.count(K))
         return K;
     }
     assert(false && "lock operation without a matching reservation");
-    return "";
+    return siteResKey(Mem, Addr, Try[0]);
   };
 
   switch (S.kind()) {
@@ -708,16 +763,16 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
 
   case Stmt::Kind::Lock: {
     const auto *L = cast<LockStmt>(&S);
-    hw::HazardLock *Lock = lockFor(P, L->mem());
+    MemSite &MS = memSite(P, L->mem());
+    hw::HazardLock *Lock = MS.L;
     assert(Lock && "lock op on a memory without a lock");
-    std::string Text = addrKey(*L->addr());
     uint64_t Addr = Eval(*L->addr()).zext();
     hw::Access M = accessFor(L->mode());
 
     switch (L->op()) {
     case LockOp::Reserve:
     case LockOp::Acquire: {
-      std::string Key = resKey(L->mem(), Text, M);
+      const std::string &Key = siteResKey(L->mem(), *L->addr(), M);
       if (!Commit) {
         hw::LockProbe &Probe = Ctx.Probes[Lock];
         if (!Lock->canReserveP(Probe, Addr, M))
@@ -730,18 +785,17 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       }
       hw::ResId R = Lock->reserve(Addr, M);
       T.Res[Key] = R;
-      T.ResInfo[R] = {L->mem(), Key, Addr, M, false, 0};
+      T.ResInfo[R] = {L->mem(), Key, MS.Idx, Addr, M, false, 0};
       if (Bus.enabled())
         Bus.emit(obs::Event::lock(obs::Event::Kind::LockReserve,
                                   Stats.Cycles,
                                   static_cast<uint16_t>(P.Index),
-                                  static_cast<uint16_t>(
-                                      P.MemIdx.at(L->mem())),
-                                  T.Tid, Addr));
+                                  static_cast<uint16_t>(MS.Idx), T.Tid,
+                                  Addr));
       return FireResult::Fire;
     }
     case LockOp::Block: {
-      std::string Key = ResolveKey(L->mem(), Text, L->mode());
+      const std::string &Key = ResolveKey(L->mem(), *L->addr(), L->mode());
       if (!Commit) {
         hw::LockProbe &Probe = Ctx.Probes[Lock];
         auto It = T.Res.find(Key);
@@ -770,7 +824,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
     }
     case LockOp::Release: {
       if (!Commit) {
-        std::string Key = ResolveKey(L->mem(), Text, L->mode());
+        const std::string &Key = ResolveKey(L->mem(), *L->addr(), L->mode());
         hw::LockProbe &Probe = Ctx.Probes[Lock];
         auto It = T.Res.find(Key);
         if (It != T.Res.end()) {
@@ -790,7 +844,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
         }
         return FireResult::Fire;
       }
-      std::string Key = ResolveKey(L->mem(), Text, L->mode());
+      const std::string &Key = ResolveKey(L->mem(), *L->addr(), L->mode());
       auto It = T.Res.find(Key);
       assert(It != T.Res.end() && "release without a live reservation");
       hw::ResId R = It->second;
@@ -802,7 +856,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
         // flags the unbalanced reserve when the thread retires.
         Lock->release(R);
         if (Rec.Mode != hw::Access::Read && Rec.Written)
-          recordCommit(P, Rec.Mem, Rec.Addr, Rec.WrittenVal, T);
+          recordCommit(P, Rec.Mem, Rec.MemI, Rec.Addr, Rec.WrittenVal, T);
         T.Res.erase(It);
         T.ResInfo.erase(R);
         return FireResult::Fire;
@@ -812,11 +866,10 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
         Bus.emit(obs::Event::lock(obs::Event::Kind::LockRelease,
                                   Stats.Cycles,
                                   static_cast<uint16_t>(P.Index),
-                                  static_cast<uint16_t>(
-                                      P.MemIdx.at(Rec.Mem)),
-                                  T.Tid, Rec.Addr));
+                                  static_cast<uint16_t>(Rec.MemI), T.Tid,
+                                  Rec.Addr));
       if (Rec.Mode != hw::Access::Read && Rec.Written)
-        recordCommit(P, Rec.Mem, Rec.Addr, Rec.WrittenVal, T);
+        recordCommit(P, Rec.Mem, Rec.MemI, Rec.Addr, Rec.WrittenVal, T);
       T.Res.erase(It);
       T.ResInfo.erase(R);
       return FireResult::Fire;
@@ -827,8 +880,9 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
 
   case Stmt::Kind::MemWrite: {
     const auto *W = cast<MemWriteStmt>(&S);
-    unsigned MemI = P.MemIdx.at(W->mem());
-    mem::MemModel *Model = P.ModelByIdx[MemI];
+    MemSite &MS = memSite(P, W->mem());
+    unsigned MemI = MS.Idx;
+    mem::MemModel *Model = MS.Model;
     if (!Commit) {
       uint64_t Addr = Eval(*W->addr()).zext();
       Eval(*W->value()); // env consistency only
@@ -857,23 +911,22 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
                                        static_cast<uint16_t>(MemI), T.Tid,
                                        Addr));
     }
-    hw::HazardLock *Lock = lockFor(P, W->mem());
+    hw::HazardLock *Lock = MS.L;
     if (!Lock) {
-      P.Mems.at(W->mem())->write(Addr, V);
-      recordCommit(P, W->mem(), Addr, V.zext(), T);
+      MS.M->write(Addr, V);
+      recordCommit(P, W->mem(), MemI, Addr, V.zext(), T);
       return FireResult::Fire;
     }
-    std::string Text = addrKey(*W->addr());
-    std::string Key;
+    const std::string *Key = nullptr;
     for (hw::Access M : {hw::Access::Write, hw::Access::ReadWrite}) {
-      std::string K = resKey(W->mem(), Text, M);
+      const std::string &K = siteResKey(W->mem(), *W->addr(), M);
       if (T.Res.count(K)) {
-        Key = K;
+        Key = &K;
         break;
       }
     }
-    assert(!Key.empty() && "write to a locked memory without a write lock");
-    hw::ResId R = T.Res.at(Key);
+    assert(Key && "write to a locked memory without a write lock");
+    hw::ResId R = T.Res.at(*Key);
     Lock->write(R, V);
     ResRec &Rec = T.ResInfo.at(R);
     Rec.Written = true;
@@ -885,8 +938,9 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
   case Stmt::Kind::SyncRead: {
     const auto *Rd = cast<SyncReadStmt>(&S);
     uint64_t Addr = Eval(*Rd->addr()).zext();
-    unsigned MemI = P.MemIdx.at(Rd->mem());
-    mem::MemModel *Model = P.ModelByIdx[MemI];
+    MemSite &MS = memSite(P, Rd->mem());
+    unsigned MemI = MS.Idx;
+    mem::MemModel *Model = MS.Model;
     if (!Commit) {
       // The hierarchy may refuse the request (miss queue full): the stage
       // stalls on backpressure and the memory is named in a dedicated event
@@ -901,22 +955,21 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       }
       return FireResult::Fire;
     }
-    hw::HazardLock *Lock = lockFor(P, Rd->mem());
+    hw::HazardLock *Lock = MS.L;
     Bits V;
     if (Lock) {
-      std::string Text = addrKey(*Rd->addr());
-      std::string Key;
+      const std::string *Key = nullptr;
       for (hw::Access M : {hw::Access::Read, hw::Access::ReadWrite}) {
-        std::string K = resKey(Rd->mem(), Text, M);
+        const std::string &K = siteResKey(Rd->mem(), *Rd->addr(), M);
         if (T.Res.count(K)) {
-          Key = K;
+          Key = &K;
           break;
         }
       }
-      assert(!Key.empty() && "sync read of locked memory without a lock");
-      V = Lock->read(T.Res.at(Key));
+      assert(Key && "sync read of locked memory without a lock");
+      V = Lock->read(T.Res.at(*Key));
     } else {
-      V = P.Mems.at(Rd->mem())->read(Addr);
+      V = MS.M->read(Addr);
     }
     unsigned Latency = 1;
     if (Model) {
@@ -931,8 +984,8 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
                                        static_cast<uint16_t>(MemI), T.Tid,
                                        Addr));
     }
-    Deliveries.push_back({Stats.Cycles + (Latency - 1), P.CP->Decl->Name,
-                          T.Tid, Rd->name(), V});
+    Deliveries.push_back(
+        {Stats.Cycles + (Latency - 1), &P, T.Tid, Rd->name(), V});
     ++T.PendingResp;
     return FireResult::Fire;
   }
@@ -945,7 +998,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
     if (!Commit) {
       if (C->isSpec() && !P.Spec.canAlloc())
         return Stall(StallCause::Spec);
-      unsigned Pending = pendingEnqCount(Callee, /*ToEntry=*/true, {});
+      unsigned Pending = pendingEnqCount(&Callee.Entry);
       if (Callee.Entry.size() + Pending >= Callee.Entry.capacity())
         return Stall(StallCause::Backpressure);
       for (const ExprPtr &A : C->args())
@@ -974,13 +1027,13 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
                                        Child.Tid, Sid));
     } else if (!Recursive && C->hasResult()) {
       Child.HasCaller = true;
-      Child.CallerPipe = P.CP->Decl->Name;
+      Child.CallerP = &P;
       Child.CallerTid = T.Tid;
       Child.CallerVar = C->resultName();
       ++T.PendingResp;
     }
     emitThreadEvent(obs::Event::Kind::ThreadSpawn, Callee, Child.Tid);
-    PendingEnqs.push_back({&Callee, /*ToEntry=*/true, {}, std::move(Child)});
+    PendingEnqs.push_back({&Callee, &Callee.Entry, std::move(Child)});
     return FireResult::Fire;
   }
 
@@ -994,7 +1047,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
     T.Trace.Output = V;
     if (T.HasCaller)
       Deliveries.push_back(
-          {Stats.Cycles, T.CallerPipe, T.CallerTid, T.CallerVar, V});
+          {Stats.Cycles, T.CallerP, T.CallerTid, T.CallerVar, V});
     return FireResult::Fire;
   }
 
@@ -1028,7 +1081,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
     const auto *V = cast<VerifyStmt>(&S);
     if (!Commit) {
       // A mispredict respawns a corrected thread: require entry space.
-      unsigned Pending = pendingEnqCount(P, /*ToEntry=*/true, {});
+      unsigned Pending = pendingEnqCount(&P.Entry);
       if (P.Entry.size() + Pending >= P.Entry.capacity())
         return Stall(StallCause::Backpressure);
       Eval(*V->actual());
@@ -1093,7 +1146,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       Child.Vars[P.CP->Decl->Params[0].Name] = Actual;
       Child.Trace.Args = {Actual};
       emitThreadEvent(obs::Event::Kind::ThreadSpawn, P, Child.Tid);
-      PendingEnqs.push_back({&P, /*ToEntry=*/true, {}, std::move(Child)});
+      PendingEnqs.push_back({&P, &P.Entry, std::move(Child)});
     }
     if (const ExternCallExpr *U = V->predictorUpdate()) {
       std::vector<Bits> Args;
@@ -1111,7 +1164,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
     if (!Commit) {
       if (!P.Spec.canAlloc())
         return Stall(StallCause::Spec);
-      unsigned Pending = pendingEnqCount(P, /*ToEntry=*/true, {});
+      unsigned Pending = pendingEnqCount(&P.Entry);
       if (P.Entry.size() + Pending >= P.Entry.capacity())
         return Stall(StallCause::Backpressure);
       Eval(*U->newPred());
@@ -1144,7 +1197,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
                                      static_cast<uint16_t>(P.Index),
                                      Child.Tid, *NewSid));
     emitThreadEvent(obs::Event::Kind::ThreadSpawn, P, Child.Tid);
-    PendingEnqs.push_back({&P, /*ToEntry=*/true, {}, std::move(Child)});
+    PendingEnqs.push_back({&P, &P.Entry, std::move(Child)});
     return FireResult::Fire;
   }
 
@@ -1156,7 +1209,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
 
 System::FireResult System::walkStage(PipeInstance &P, const Stage &S,
                                      Thread &T, WalkCtx &Ctx) {
-  EvalHooks H = hooksFor(P, T, Ctx);
+  const EvalHooks &H = hooksFor(P, T, Ctx);
   for (const StagedOp &Op : S.Ops) {
     if (!evalGuard(Op.G, Ctx.Vars, *CP.AST, H))
       continue;
@@ -1168,10 +1221,11 @@ System::FireResult System::walkStage(PipeInstance &P, const Stage &S,
 }
 
 void System::recordCommit(PipeInstance &P, const std::string &Mem,
-                          uint64_t Addr, uint64_t Val, Thread &T) {
+                          unsigned MemI, uint64_t Addr, uint64_t Val,
+                          Thread &T) {
   T.Trace.Writes.emplace_back(Mem, Addr, Val);
   if (HaltWatch && std::get<0>(*HaltWatch) == P.Index &&
-      std::get<1>(*HaltWatch) == Mem && std::get<2>(*HaltWatch) == Addr) {
+      std::get<1>(*HaltWatch) == MemI && std::get<2>(*HaltWatch) == Addr) {
     if (!DrainOnHalt) {
       Halted = true;
     } else if (!HaltTid) {
@@ -1182,7 +1236,9 @@ void System::recordCommit(PipeInstance &P, const std::string &Mem,
 }
 
 void System::killThread(PipeInstance &P, Thread &&T) {
-  ++Stats.Killed[P.CP->Decl->Name];
+  if (!P.KilledCtr)
+    P.KilledCtr = &Stats.Killed[P.CP->Decl->Name];
+  ++*P.KilledCtr;
   emitThreadEvent(obs::Event::Kind::ThreadSquash, P, T.Tid);
   for (LockRegion &Reg : P.Regions)
     if (Reg.OccupantTid == T.Tid)
@@ -1193,7 +1249,7 @@ void System::killThread(PipeInstance &P, Thread &&T) {
   for (auto It = PendingTags.begin(); It != PendingTags.end();)
     It = (It->P == &P && It->Tid == T.Tid) ? PendingTags.erase(It)
                                            : std::next(It);
-  for (auto &[Join, Tags] : P.TagQueues)
+  for (std::deque<TagTok> &Tags : P.TagQueues)
     Tags.erase(std::remove_if(Tags.begin(), Tags.end(),
                               [&](const TagTok &Tok) {
                                 return Tok.Tid == T.Tid;
@@ -1210,7 +1266,9 @@ void System::retireThread(PipeInstance &P, Thread &&T) {
   // end of the program: they drain, but neither count nor leave a trace.
   if (HaltTid && T.Tid > *HaltTid)
     return;
-  ++Stats.Retired[P.CP->Decl->Name];
+  if (!P.RetiredCtr)
+    P.RetiredCtr = &Stats.Retired[P.CP->Decl->Name];
+  ++*P.RetiredCtr;
   P.Retired.push_back(std::move(T.Trace));
 }
 
@@ -1220,9 +1278,9 @@ System::Thread System::dequeueInput(PipeInstance &P, const Stage &S,
     return P.Entry.deq();
   if (S.isJoin()) {
     P.TagQueues[S.Id].pop_front();
-    return P.EdgeFifos.at({S.Preds[PredIdx], S.Id}).deq();
+    return P.PredFifos[S.Id][PredIdx]->deq();
   }
-  return P.EdgeFifos.at({S.Preds[0], S.Id}).deq();
+  return P.PredFifos[S.Id][0]->deq();
 }
 
 void System::tryFireStage(PipeInstance &P, const Stage &S) {
@@ -1267,21 +1325,19 @@ void System::tryFireStage(PipeInstance &P, const Stage &S) {
 
   // Back-pressure checks with the probe environment.
   const StageEdge *Succ = pickSuccessor(P, S, Probe.Vars);
+  hw::Fifo<Thread> *SuccF = nullptr;
   if (Succ) {
-    auto Key = std::make_pair(Succ->From, Succ->To);
-    auto &F = P.EdgeFifos.at(Key);
-    if (F.size() + pendingEnqCount(P, false, Key) >= F.capacity()) {
+    SuccF = P.SuccFifos[S.Id][Succ - S.Succs.data()];
+    if (SuccF->size() + pendingEnqCount(SuccF) >= SuccF->capacity()) {
       noteOutcome(P, S, StallCause::Backpressure, T->Tid, nullptr);
       return;
     }
   }
-  for (const Stage &J : P.CP->Graph.Stages) {
-    if (J.ForkStage != S.Id)
-      continue;
-    auto &Q = P.TagQueues[J.Id];
+  for (const Stage *J : P.ForkJoins[S.Id]) {
+    auto &Q = P.TagQueues[J->Id];
     unsigned Pending = 0;
     for (const PendingTag &PT : PendingTags)
-      if (PT.P == &P && PT.Join == J.Id)
+      if (PT.P == &P && PT.Join == J->Id)
         ++Pending;
     if (Q.size() + Pending >= Cfg.TagDepth) {
       noteOutcome(P, S, StallCause::Backpressure, T->Tid, nullptr);
@@ -1307,14 +1363,12 @@ void System::tryFireStage(PipeInstance &P, const Stage &S) {
       Live.Ckpts[Mem] = L->checkpoint();
   }
 
-  // Coordination tags for joins forked here.
-  EvalHooks H = hooksFor(P, Live, Commit);
-  for (const Stage &J : P.CP->Graph.Stages) {
-    if (J.ForkStage != S.Id)
-      continue;
-    for (const TagRule &TR : J.TagRules) {
-      if (evalGuard(TR.G, Live.Vars, *CP.AST, H)) {
-        PendingTags.push_back({&P, J.Id, TR.PredIndex, Live.Tid});
+  // Coordination tags for joins forked here (HotHooks are still bound to
+  // the commit walk: same pipe, thread, and context).
+  for (const Stage *J : P.ForkJoins[S.Id]) {
+    for (const TagRule &TR : J->TagRules) {
+      if (evalGuard(TR.G, Live.Vars, *CP.AST, HotHooks)) {
+        PendingTags.push_back({&P, J->Id, TR.PredIndex, Live.Tid});
         break;
       }
     }
@@ -1331,8 +1385,7 @@ void System::tryFireStage(PipeInstance &P, const Stage &S) {
   FiredThisCycle = true;
 
   if (Succ) {
-    PendingEnqs.push_back(
-        {&P, false, {Succ->From, Succ->To}, std::move(Live)});
+    PendingEnqs.push_back({&P, SuccF, std::move(Live)});
   } else {
     retireThread(P, std::move(Live));
   }
@@ -1357,12 +1410,8 @@ System::Thread *System::findThread(PipeInstance &P, uint64_t Tid) {
 }
 
 void System::applyEndOfCycle() {
-  for (PendingEnq &E : PendingEnqs) {
-    if (E.ToEntry)
-      E.P->Entry.enq(std::move(E.T));
-    else
-      E.P->EdgeFifos.at(E.Edge).enq(std::move(E.T));
-  }
+  for (PendingEnq &E : PendingEnqs)
+    E.F->enq(std::move(E.T));
   PendingEnqs.clear();
   for (PendingTag &T : PendingTags)
     T.P->TagQueues[T.Join].push_back({T.Tag, T.Tid});
@@ -1373,7 +1422,7 @@ void System::applyEndOfCycle() {
       ++It;
       continue;
     }
-    PipeInstance &P = pipe(It->Pipe);
+    PipeInstance &P = *It->P;
     if (consumeFault(hw::FaultKind::DropMemResponse, P, It->Tid)) {
       // Injected fault: the response vanishes. PendingResp stays high, so
       // the requester stalls on Response forever — an honest deadlock the
@@ -1409,11 +1458,8 @@ void System::cycle() {
   if (traceOn())
     std::fprintf(stderr, "-- cycle %llu --\n",
                  (unsigned long long)Stats.Cycles);
-  for (PipeInstance *PI : PipeSeq) {
-    const StageGraph &G = PI->CP->Graph;
-    for (unsigned Id = G.Stages.size(); Id-- > 0;)
-      tryFireStage(*PI, G.Stages[Id]);
-  }
+  for (const auto &[PI, S] : FireOrder)
+    tryFireStage(*PI, *S);
   applyEndOfCycle();
   ++Stats.Cycles;
 }

@@ -52,10 +52,12 @@
 #include "obs/TraceSink.h"
 #include "passes/Compiler.h"
 
+#include <array>
 #include <deque>
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace pdl {
@@ -310,9 +312,12 @@ public:
   void finishTrace();
 
 private:
+  struct PipeInstance;
+
   struct ResRec {
     std::string Mem;
     std::string Key; // full reservation key (mem#addrtext#mode)
+    unsigned MemI = 0; // interned memory index of Mem
     uint64_t Addr = 0;
     hw::Access Mode = hw::Access::Read;
     bool Written = false;
@@ -331,7 +336,7 @@ private:
     unsigned PendingResp = 0;
     ThreadTrace Trace;
     // Cross-pipe request bookkeeping (set on callee threads).
-    std::string CallerPipe;
+    PipeInstance *CallerP = nullptr;
     uint64_t CallerTid = 0;
     std::string CallerVar;
     bool HasCaller = false;
@@ -360,7 +365,20 @@ private:
     std::vector<LockRegion> Regions;
     hw::Fifo<Thread> Entry;
     std::map<std::pair<unsigned, unsigned>, hw::Fifo<Thread>> EdgeFifos;
-    std::map<unsigned, std::deque<TagTok>> TagQueues; // join id -> tags
+    std::vector<std::deque<TagTok>> TagQueues; // by join stage id
+    /// Dense per-stage views into EdgeFifos (which stays the owner),
+    /// resolved once at elaboration so the per-cycle path never touches
+    /// the pair-keyed map: input FIFO per predecessor index and output
+    /// FIFO per successor-edge index (matching Stage::Preds/Succs order).
+    std::vector<std::vector<hw::Fifo<Thread> *>> PredFifos;
+    std::vector<std::vector<hw::Fifo<Thread> *>> SuccFifos;
+    /// Join stages forked from each stage (J.ForkStage == stage id), in
+    /// stage-graph order — replaces the per-firing scan over all stages.
+    std::vector<std::vector<const Stage *>> ForkJoins;
+    /// Lazily bound Stats.Retired / Stats.Killed entries for this pipe
+    /// (node addresses are stable), so retire/kill skip the string map.
+    uint64_t *RetiredCtr = nullptr;
+    uint64_t *KilledCtr = nullptr;
     std::map<std::string, std::unique_ptr<hw::Memory>> Mems;
     std::map<std::string, std::unique_ptr<hw::HazardLock>> Locks;
     /// Interning tables for the handle API and event emission.
@@ -442,19 +460,39 @@ private:
 
   void killThread(PipeInstance &P, Thread &&T);
   void retireThread(PipeInstance &P, Thread &&T);
-  void recordCommit(PipeInstance &P, const std::string &Mem, uint64_t Addr,
-                    uint64_t Val, Thread &T);
+  void recordCommit(PipeInstance &P, const std::string &Mem, unsigned MemI,
+                    uint64_t Addr, uint64_t Val, Thread &T);
 
   void emitThreadEvent(obs::Event::Kind K, PipeInstance &P, uint64_t Tid);
   void installTaps();
 
-  EvalHooks hooksFor(PipeInstance &P, Thread &T, WalkCtx &Ctx);
+  /// Rebinds the persistent evaluation hooks (HotHooks) to this walk's
+  /// pipe/thread/context and returns them. The hooks close over the Cur*
+  /// members only, so rebinding is three pointer stores — not two
+  /// std::function heap allocations per stage walk.
+  const EvalHooks &hooksFor(PipeInstance &P, Thread &T, WalkCtx &Ctx);
+
+  /// Per-site memory resolution (interned index, storage, lock, timing
+  /// model), cached against the AST's memory-name string whose address is
+  /// stable and unique per site. Valid only after lock elaboration.
+  struct MemSite {
+    unsigned Idx = 0;
+    hw::Memory *M = nullptr;
+    hw::HazardLock *L = nullptr; // null when the memory is unlocked
+    mem::MemModel *Model = nullptr;
+  };
+  MemSite &memSite(PipeInstance &P, const std::string &Mem);
+
+  /// Reservation key for (mem, addr-expr, mode), built once per site and
+  /// access mode: the same site always yields the same key, so the per-op
+  /// string concatenations collapse into one cached lookup.
+  const std::string &siteResKey(const std::string &Mem, const ast::Expr &Addr,
+                                hw::Access M);
 
   // Deferred activity applied at end of cycle.
   struct PendingEnq {
     PipeInstance *P;
-    bool ToEntry;
-    std::pair<unsigned, unsigned> Edge;
+    hw::Fifo<Thread> *F; // &P->Entry or an edge FIFO of P
     Thread T;
   };
   struct PendingTag {
@@ -465,14 +503,13 @@ private:
   };
   struct Delivery {
     uint64_t DueCycle;
-    std::string Pipe;
+    PipeInstance *P;
     uint64_t Tid;
     std::string Var;
     Bits Value;
   };
 
-  unsigned pendingEnqCount(PipeInstance &P, bool ToEntry,
-                           std::pair<unsigned, unsigned> Edge) const;
+  unsigned pendingEnqCount(const hw::Fifo<Thread> *F) const;
   void applyEndOfCycle();
   Thread *findThread(PipeInstance &P, uint64_t Tid);
 
@@ -504,6 +541,20 @@ private:
   ElabConfig Cfg;
   std::map<std::string, std::unique_ptr<PipeInstance>> Pipes;
   std::vector<PipeInstance *> PipeSeq; // by PipeHandle index (map order)
+  /// The firing order, precomputed at elaboration: pipes in PipeSeq order,
+  /// stages deepest-first within each pipe (the §5.1 scheduling directive).
+  std::vector<std::pair<PipeInstance *, const Stage *>> FireOrder;
+  /// Memoized reservation-key text per address-expression site; see
+  /// siteResKey(). Indexed by hw::Access; empty string = not yet built.
+  std::unordered_map<const ast::Expr *, std::array<std::string, 3>>
+      ResKeyCache;
+  std::unordered_map<const std::string *, MemSite> MemSiteCache;
+  /// See hooksFor(): the lazily built hook pair and the walk they are
+  /// currently bound to.
+  EvalHooks HotHooks;
+  PipeInstance *CurP = nullptr;
+  Thread *CurT = nullptr;
+  WalkCtx *CurCtx = nullptr;
   std::map<std::string, hw::ExternModule *> Externs;
   std::vector<PendingEnq> PendingEnqs;
   std::vector<PendingTag> PendingTags;
@@ -512,7 +563,8 @@ private:
   /// single-ported backings keyed by MemConfig::ShareTag.
   std::vector<std::unique_ptr<mem::MemModel>> OwnedModels;
   std::map<std::string, std::unique_ptr<mem::MemModel>> SharedBackings;
-  std::optional<std::tuple<unsigned, std::string, uint64_t>> HaltWatch;
+  /// (pipe index, interned memory index, address) of the halt watch.
+  std::optional<std::tuple<unsigned, unsigned, uint64_t>> HaltWatch;
   std::vector<ArmedFault> Faults;
   DeadlockDiagnosis Diag;
   SystemStats Stats;

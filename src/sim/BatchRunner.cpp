@@ -1,0 +1,131 @@
+//===- BatchRunner.cpp - Parallel batch-simulation engine -------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/BatchRunner.h"
+
+#include "obs/Json.h"
+#include "sim/WorkerPool.h"
+#include "verify/ProgGen.h"
+
+using namespace pdl;
+using namespace pdl::sim;
+
+std::vector<verify::DiffResult> sim::runBatch(const std::vector<SimJob> &Jobs,
+                                              unsigned Workers) {
+  std::vector<verify::DiffResult> Results(Jobs.size());
+  parallelForOrdered(Workers, Jobs.size(), [&](size_t I) {
+    Results[I] = verify::runDiff(Jobs[I].Asm, Jobs[I].Cfg);
+  });
+  return Results;
+}
+
+FuzzBatchResult sim::runFuzzBatch(const FuzzOptions &O) {
+  FuzzBatchResult Out;
+  const size_t NumKinds = O.Kinds.size(), NumProfiles = O.Profiles.size();
+  if (!NumKinds || !NumProfiles || !O.Count)
+    return Out;
+
+  // Program generation is seeded and cheap; do it serially so job I of the
+  // matrix is fully determined before any worker starts.
+  std::vector<std::string> Programs(O.Count);
+  for (uint64_t N = 0; N != O.Count; ++N) {
+    verify::GenConfig G;
+    G.Seed = O.Seed + N;
+    Programs[N] = verify::generateProgram(G);
+  }
+
+  std::vector<SimJob> Batch;
+  Batch.reserve(O.Count * NumKinds * NumProfiles);
+  for (uint64_t N = 0; N != O.Count; ++N)
+    for (size_t KI = 0; KI != NumKinds; ++KI)
+      for (size_t PI = 0; PI != NumProfiles; ++PI) {
+        SimJob J;
+        J.Asm = Programs[N];
+        J.Seed = O.Seed + N;
+        J.Cfg.Kind = O.Kinds[KI];
+        J.Cfg.Profile = O.Profiles[PI];
+        J.Cfg.MaxCycles = O.MaxCycles;
+        J.Cfg.Fault = O.Fault;
+        J.Cfg.Jobs = O.Jobs; // shrink re-runs fan out over the same pool
+        Batch.push_back(std::move(J));
+      }
+
+  std::vector<verify::DiffResult> Results = runBatch(Batch, O.Jobs);
+
+  // Fold in matrix order. Under FailFast a serial run stops right after
+  // processing the first failure; reproduce that by truncating here (the
+  // extra completed runs are simply discarded).
+  size_t Upto = Results.size();
+  if (O.FailFast)
+    for (size_t I = 0; I != Results.size(); ++I)
+      if (Results[I].failed()) {
+        Upto = I + 1;
+        break;
+      }
+
+  auto Logf = [&Out](const std::string &Line) { Out.Log += Line; };
+  obs::Json Rows = obs::Json::array();
+  for (size_t I = 0; I != Upto; ++I) {
+    const size_t KI = (I / NumProfiles) % NumKinds;
+    const uint64_t N = I / (NumProfiles * NumKinds);
+    const uint64_t RunSeed = O.Seed + N;
+    const verify::DiffConfig &DC = Batch[I].Cfg;
+    const verify::DiffResult &R = Results[I];
+    ++Out.Runs;
+
+    std::string Config =
+        std::string(cores::coreName(DC.Kind)) + "/" + DC.Profile.Name;
+    if (O.Json) {
+      obs::Json Row = obs::Json::object();
+      Row.set("config", obs::Json(Config));
+      Row.set("kernel", obs::Json("seed-" + std::to_string(RunSeed)));
+      Row.set("cpi", obs::Json(R.Instrs ? double(R.Cycles) / double(R.Instrs)
+                                        : 0.0));
+      Row.set("cycles", obs::Json(R.Cycles));
+      Row.set("instrs", obs::Json(R.Instrs));
+      Row.set("outcome", obs::Json(R.Outcome));
+      Row.set("divergent", obs::Json(R.Divergent));
+      Row.set("faults_injected", obs::Json(R.FaultsInjected));
+      Row.set("violations", obs::Json(R.Violations));
+      if (N == 0) // one attribution report per config keeps files small
+        Row.set("report", R.Report.toJsonValue());
+      Rows.push(std::move(Row));
+    }
+
+    if (!R.failed())
+      continue;
+    ++Out.Failures;
+    Logf("pdlfuzz: FAIL seed=" + std::to_string(RunSeed) + " " + Config +
+         ": " +
+         (R.Divergent ? R.Reason : std::string("invariant violation(s)")) +
+         "\n");
+    for (const verify::Violation &V : R.ViolationList)
+      Logf("  " + V.str() + "\n");
+    if (!R.DeadlockDiagnosis.empty())
+      Logf(R.DeadlockDiagnosis);
+
+    Logf("pdlfuzz: shrinking...\n");
+    std::string Shrunk = verify::shrink(Programs[N], DC);
+    std::string Dir = O.OutDir + "/seed-" + std::to_string(RunSeed) + "-" +
+                      std::to_string(KI) + "-" + DC.Profile.Name;
+    if (verify::writeReproBundle(Dir, Programs[N], Shrunk, RunSeed, DC, R))
+      Logf("pdlfuzz: repro bundle in " + Dir + "\n");
+    else
+      Logf("pdlfuzz: could not write " + Dir + "\n");
+  }
+
+  if (O.Json) {
+    obs::Json Doc = obs::Json::object();
+    Doc.set("bench", obs::Json("pdlfuzz"));
+    Doc.set("seed", obs::Json(O.Seed));
+    Doc.set("programs", obs::Json(O.Count));
+    Doc.set("runs", obs::Json(Out.Runs));
+    Doc.set("failures", obs::Json(Out.Failures));
+    Doc.set("rows", std::move(Rows));
+    Out.JsonDoc = Doc.dump(2);
+  }
+  return Out;
+}

@@ -1,0 +1,91 @@
+//===- BatchRunner.h - Parallel batch-simulation engine --------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch-simulation engine: one job is (program x core x mem-profile x
+/// fault plan) -> DiffResult (stats report + trace digest), and a batch is
+/// N such jobs executed over a fixed-size worker pool with results
+/// collected in job order. Every `System` instance stays single-threaded —
+/// workers share nothing — so a parallel batch is bit-identical to running
+/// the same jobs serially, which BatchRunnerTest asserts byte-for-byte on
+/// the fuzzer's JSON, failure log, and repro bundles.
+///
+/// `runFuzzBatch` is the library form of the pdlfuzz matrix driver
+/// (seeds x cores x profiles): generation, diffing, shrinking, bundle
+/// writing, and row serialization all live here so the CLI stays a thin
+/// argument parser and tests can run the exact tool pipeline in-process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SIM_BATCHRUNNER_H
+#define PDL_SIM_BATCHRUNNER_H
+
+#include "verify/Differ.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pdl {
+namespace sim {
+
+/// One simulation job: a program and the full run configuration (core,
+/// memory profile, cycle limit, optional fault plan — see DiffConfig).
+struct SimJob {
+  std::string Asm;
+  verify::DiffConfig Cfg;
+  /// Provenance label carried through to reporting (e.g. "seed-7").
+  uint64_t Seed = 0;
+};
+
+/// Runs every job over at most \p Workers threads and returns the results
+/// in job order (result[I] belongs to Jobs[I] no matter which worker ran
+/// it or when it finished). Workers <= 1 runs serially on the caller.
+std::vector<verify::DiffResult> runBatch(const std::vector<SimJob> &Jobs,
+                                         unsigned Workers);
+
+/// Options for the full fuzz matrix — mirrors the pdlfuzz command line.
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  uint64_t Count = 100;
+  uint64_t MaxCycles = 50000;
+  std::vector<cores::CoreKind> Kinds = {cores::CoreKind::Pdl5Stage,
+                                        cores::CoreKind::Pdl5StageBht};
+  std::vector<cores::CoreMemProfile> Profiles = {cores::memProfileAlwaysHit(),
+                                                 cores::memProfileL1Tiny()};
+  std::string OutDir = "fuzz-out";
+  bool Json = false;
+  bool FailFast = false;
+  /// Worker threads for the run matrix and for shrink candidates. The
+  /// output is byte-identical for every value; see docs/performance.md.
+  unsigned Jobs = 1;
+  /// When set, armed on every pipelined run (never on the golden model).
+  /// Test hook: makes the whole matrix diverge deterministically.
+  std::optional<hw::FaultPlan> Fault;
+};
+
+struct FuzzBatchResult {
+  uint64_t Runs = 0;
+  uint64_t Failures = 0;
+  /// The `--json` document (empty unless FuzzOptions::Json). Identical for
+  /// every jobs count: rows are serialized in matrix order after the batch
+  /// completes and never mention the worker count.
+  std::string JsonDoc;
+  /// The failure/shrink/bundle log lines the CLI prints to stderr.
+  std::string Log;
+};
+
+/// Runs the seeds x cores x profiles diff matrix over the worker pool,
+/// then folds results in matrix order: JSON rows, failure logging,
+/// shrinking (itself parallel over candidates) and repro bundles. With
+/// FailFast, everything after the first failing run is discarded, so the
+/// result matches a serial run that stopped there.
+FuzzBatchResult runFuzzBatch(const FuzzOptions &O);
+
+} // namespace sim
+} // namespace pdl
+
+#endif // PDL_SIM_BATCHRUNNER_H

@@ -1,0 +1,62 @@
+//===- WorkerPool.h - Ordered parallel-for over independent jobs -*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrency primitive under the batch-simulation engine: run N
+/// independent closures across a fixed-size pool of worker threads. The
+/// caller owns a results vector indexed by job and each closure writes
+/// only its own slot, so completion order never leaks into observable
+/// output — the determinism contract docs/performance.md spells out.
+///
+/// Header-only (a function template over the job body) so the verifier's
+/// shrinker and the benches can fan out without linking the sim library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SIM_WORKERPOOL_H
+#define PDL_SIM_WORKERPOOL_H
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace pdl {
+namespace sim {
+
+/// Invokes `Body(I)` exactly once for every I in [0, N), spread over at
+/// most \p Jobs worker threads, and returns once all calls finished.
+///
+/// Jobs <= 1 degenerates to a plain loop on the calling thread — the
+/// serial and parallel paths share this one entry point, which is what
+/// lets tests assert `--jobs=8` output is byte-identical to `--jobs=1`.
+/// \p Body must not touch shared mutable state beyond its own index's
+/// result slot (each simulated System stays single-threaded).
+template <typename Fn> void parallelForOrdered(unsigned Jobs, size_t N, Fn &&Body) {
+  if (Jobs <= 1 || N <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  auto Work = [&] {
+    for (size_t I; (I = Next.fetch_add(1, std::memory_order_relaxed)) < N;)
+      Body(I);
+  };
+  size_t Workers = Jobs < N ? Jobs : N; // never spawn idle threads
+  std::vector<std::thread> Pool;
+  Pool.reserve(Workers - 1);
+  for (size_t W = 1; W != Workers; ++W)
+    Pool.emplace_back(Work);
+  Work(); // the calling thread is worker 0
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+} // namespace sim
+} // namespace pdl
+
+#endif // PDL_SIM_WORKERPOOL_H

@@ -11,6 +11,7 @@
 #include "obs/VcdWriter.h"
 #include "riscv/Assembler.h"
 #include "riscv/GoldenSim.h"
+#include "sim/WorkerPool.h"
 #include "verify/ProgGen.h"
 
 #include <filesystem>
@@ -158,22 +159,53 @@ std::string verify::shrink(const std::string &AsmSource, const DiffConfig &C) {
     return Out;
   };
 
+  // Round-based: evaluate every candidate's single-line removal against
+  // the current program — in parallel over C.Jobs workers — then decide
+  // from the whole round's results. The accept rule never looks at
+  // completion order, so the shrunk program is identical for every jobs
+  // count (pdlfuzz --jobs byte-identity covers the repro bundles too).
   unsigned Budget = 400; // cap on re-executions
   bool Improved = true;
   while (Improved && Budget) {
     Improved = false;
-    for (size_t I = 0; I != Lines.size() && Budget; ++I) {
-      if (!Removable(Lines[I]))
-        continue;
-      std::vector<std::string> Cand = Lines;
-      Cand.erase(Cand.begin() + I);
+    std::vector<size_t> Cand;
+    for (size_t I = 0; I != Lines.size(); ++I)
+      if (Removable(Lines[I]))
+        Cand.push_back(I);
+    if (Cand.size() > Budget)
+      Cand.resize(Budget);
+    if (Cand.empty())
+      break;
+    Budget -= Cand.size();
+    std::vector<char> StillFails(Cand.size(), 0);
+    sim::parallelForOrdered(C.Jobs, Cand.size(), [&](size_t K) {
+      std::vector<std::string> Trial = Lines;
+      Trial.erase(Trial.begin() + Cand[K]);
+      StillFails[K] = runDiff(Join(Trial), SC).failed();
+    });
+    std::vector<size_t> Keep;
+    for (size_t K = 0; K != Cand.size(); ++K)
+      if (StillFails[K])
+        Keep.push_back(Cand[K]);
+    if (Keep.empty())
+      break;
+    if (Keep.size() > 1 && Budget) {
+      // Lines that are individually removable usually stay removable
+      // together; one verification run commits the whole set.
+      std::vector<std::string> Trial = Lines;
+      for (size_t J = Keep.size(); J-- > 0;)
+        Trial.erase(Trial.begin() + Keep[J]);
       --Budget;
-      if (runDiff(Join(Cand), SC).failed()) {
-        Lines = std::move(Cand);
+      if (runDiff(Join(Trial), SC).failed()) {
+        Lines = std::move(Trial);
         Improved = true;
-        --I; // the next line shifted into this slot
+        continue;
       }
     }
+    // The combined removal repaired the failure (or there was only one
+    // candidate): take the first line alone and re-evaluate next round.
+    Lines.erase(Lines.begin() + Keep.front());
+    Improved = true;
   }
   return Join(Lines);
 }
@@ -193,9 +225,25 @@ bool verify::writeReproBundle(const std::string &Dir,
     OS << Text;
     return bool(OS);
   };
-  if (!WriteFile("program.s", AsmSource))
+
+  // Files are written in sorted name order — config.json, program.s,
+  // repro.json, shrunk.s, stats.json, trace.vcd — so bundle listings and
+  // archives diff stably across producers.
+  //
+  // config.json pins the serial replay: seed plus the exact run
+  // configuration, with jobs fixed at 1 so a bundle produced under
+  // `pdlfuzz --jobs=N` replays one System on one thread.
+  obs::Json Config = obs::Json::object();
+  Config.set("seed", obs::Json(Seed));
+  Config.set("jobs", obs::Json(uint64_t(1)));
+  Config.set("core", obs::Json(cores::coreName(C.Kind)));
+  Config.set("mem_profile", obs::Json(C.Profile.Name));
+  Config.set("max_cycles", obs::Json(C.MaxCycles));
+  if (C.Fault)
+    Config.set("fault", obs::Json(hw::faultKindName(C.Fault->Kind)));
+  if (!WriteFile("config.json", Config.dump(2) + "\n"))
     return false;
-  if (!Shrunk.empty() && !WriteFile("shrunk.s", Shrunk))
+  if (!WriteFile("program.s", AsmSource))
     return false;
 
   obs::Json Repro = obs::Json::object();
@@ -221,6 +269,8 @@ bool verify::writeReproBundle(const std::string &Dir,
   if (!R.DeadlockDiagnosis.empty())
     Repro.set("deadlock_diagnosis", obs::Json(R.DeadlockDiagnosis));
   if (!WriteFile("repro.json", Repro.dump(2) + "\n"))
+    return false;
+  if (!Shrunk.empty() && !WriteFile("shrunk.s", Shrunk))
     return false;
   if (!WriteFile("stats.json", R.Report.toJson() + "\n"))
     return false;

@@ -41,6 +41,10 @@ struct DiffConfig {
   std::string VcdPath;
   /// When set, armed on the System before the run (fault injection).
   std::optional<hw::FaultPlan> Fault;
+  /// Worker threads for shrink candidate evaluation. The shrink result is
+  /// identical for every value (the accept rule reads a whole round's
+  /// results, never completion order); > 1 only changes wall-clock.
+  unsigned Jobs = 1;
 };
 
 struct DiffResult {
@@ -70,13 +74,15 @@ struct DiffResult {
 /// golden simulator.
 DiffResult runDiff(const std::string &AsmSource, const DiffConfig &C);
 
-/// Greedily removes instructions from \p AsmSource while the failure
-/// under \p C persists; returns the minimal failing program (or
-/// \p AsmSource itself if no line can be removed).
+/// Removes instructions from \p AsmSource while the failure under \p C
+/// persists; returns the minimal failing program (or \p AsmSource itself
+/// if no line can be removed). Candidate re-executions within a round run
+/// on C.Jobs workers; the result is jobs-invariant.
 std::string shrink(const std::string &AsmSource, const DiffConfig &C);
 
-/// Writes a self-contained repro bundle (program.s, shrunk.s, repro.json,
-/// stats.json, trace.vcd) into directory \p Dir. Returns false on I/O
+/// Writes a self-contained repro bundle into directory \p Dir, in sorted
+/// stable file order: config.json (seed + serial replay config), program.s,
+/// repro.json, shrunk.s, stats.json, trace.vcd. Returns false on I/O
 /// failure.
 bool writeReproBundle(const std::string &Dir, const std::string &AsmSource,
                       const std::string &Shrunk, uint64_t Seed,

@@ -1,0 +1,297 @@
+//===- BatchRunnerTest.cpp - Parallel batch-simulation engine tests ---------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests the batch-simulation engine's determinism contract: a parallel
+/// batch must be byte-identical to a serial one. Covers the worker-pool
+/// primitive (every index runs exactly once, edge cases around jobs/task
+/// counts), ordered result collection under divergence, and the full fuzz
+/// pipeline — JSON document, failure log, and repro bundles compared
+/// byte-for-byte between --jobs=1 and --jobs=N runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/BatchRunner.h"
+#include "sim/WorkerPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace pdl;
+namespace fs = std::filesystem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// WorkerPool
+//===----------------------------------------------------------------------===//
+
+/// Every index in [0, N) must be visited exactly once, whatever the
+/// jobs/task ratio — oversubscribed, undersubscribed, serial, or empty.
+TEST(BatchRunnerTest, WorkerPoolRunsEveryIndexOnce) {
+  const unsigned JobCounts[] = {0, 1, 2, 8};
+  const size_t TaskCounts[] = {0, 1, 3, 8, 100};
+  for (unsigned Jobs : JobCounts)
+    for (size_t N : TaskCounts) {
+      SCOPED_TRACE("jobs=" + std::to_string(Jobs) +
+                   " tasks=" + std::to_string(N));
+      std::vector<std::atomic<unsigned>> Hits(N);
+      sim::parallelForOrdered(Jobs, N, [&](size_t I) {
+        ASSERT_LT(I, N);
+        Hits[I].fetch_add(1);
+      });
+      for (size_t I = 0; I != N; ++I)
+        EXPECT_EQ(Hits[I].load(), 1u) << "index " << I;
+    }
+}
+
+/// Results land in job order even when workers finish out of order: stagger
+/// the work so later indices complete first.
+TEST(BatchRunnerTest, WorkerPoolWritesAreSlotOrdered) {
+  const size_t N = 16;
+  std::vector<size_t> Out(N, ~size_t(0));
+  sim::parallelForOrdered(4, N, [&](size_t I) { Out[I] = I * I; });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Out[I], I * I);
+}
+
+//===----------------------------------------------------------------------===//
+// runBatch
+//===----------------------------------------------------------------------===//
+
+/// A fixed program with a guaranteed mispredict (taken branch under pc+4
+/// speculation) — armed with SuppressMispredict it diverges deterministically.
+const char *kMatrixProgram = R"(
+  li x1, 1
+  li x2, 2
+  li x20, 256
+  sw x1, 0(x20)
+  lw x3, 0(x20)
+  add x4, x3, x2
+  blt x1, x2, over
+  addi x5, x0, 99
+  addi x6, x0, 98
+over:
+  sw x4, 4(x20)
+  lw x7, 4(x20)
+  add x8, x7, x1
+  li x31, 65532
+  sw x0, 0(x31)
+halt:
+  j halt
+)";
+
+hw::FaultPlan suppressMispredict() {
+  hw::FaultPlan Plan;
+  Plan.Kind = hw::FaultKind::SuppressMispredict;
+  Plan.Pipe = "cpu";
+  return Plan;
+}
+
+/// More workers than jobs, and only the middle job faulted: results must
+/// come back in job order with exactly that slot divergent.
+TEST(BatchRunnerTest, BatchReportsDivergingJobsInOrder) {
+  std::vector<sim::SimJob> Jobs(3);
+  for (sim::SimJob &J : Jobs)
+    J.Asm = kMatrixProgram;
+  Jobs[1].Cfg.Fault = suppressMispredict();
+
+  std::vector<verify::DiffResult> R = sim::runBatch(Jobs, 8);
+  ASSERT_EQ(R.size(), 3u);
+  EXPECT_FALSE(R[0].failed()) << R[0].Reason;
+  EXPECT_TRUE(R[1].Divergent) << "faulted job did not diverge";
+  EXPECT_FALSE(R[2].failed()) << R[2].Reason;
+  EXPECT_EQ(R[0].Outcome, "halted");
+  EXPECT_EQ(R[2].Outcome, "halted");
+}
+
+/// The parallel batch is bit-identical to the serial one, result by result.
+TEST(BatchRunnerTest, BatchMatchesSerialResultForResult) {
+  std::vector<sim::SimJob> Jobs(6);
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    Jobs[I].Asm = kMatrixProgram;
+    Jobs[I].Cfg.Kind = I % 2 ? cores::CoreKind::Pdl5StageBht
+                             : cores::CoreKind::Pdl5Stage;
+    Jobs[I].Cfg.Profile = I % 3 ? cores::memProfileL1Tiny()
+                                : cores::memProfileAlwaysHit();
+    Jobs[I].Cfg.WantDigest = true;
+  }
+  std::vector<verify::DiffResult> Serial = sim::runBatch(Jobs, 1);
+  std::vector<verify::DiffResult> Parallel = sim::runBatch(Jobs, 8);
+  ASSERT_EQ(Serial.size(), Parallel.size());
+  for (size_t I = 0; I != Serial.size(); ++I) {
+    SCOPED_TRACE("job " + std::to_string(I));
+    EXPECT_EQ(Serial[I].Cycles, Parallel[I].Cycles);
+    EXPECT_EQ(Serial[I].Instrs, Parallel[I].Instrs);
+    EXPECT_EQ(Serial[I].Outcome, Parallel[I].Outcome);
+    EXPECT_EQ(Serial[I].TraceDigest, Parallel[I].TraceDigest);
+    EXPECT_EQ(Serial[I].Report.toJson(), Parallel[I].Report.toJson());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// runFuzzBatch: the full pdlfuzz pipeline in-process
+//===----------------------------------------------------------------------===//
+
+/// Clean matrix: the --json document and the log are byte-identical for
+/// every jobs count (the document never mentions the worker count).
+TEST(BatchRunnerTest, FuzzBatchJsonIsJobsInvariant) {
+  sim::FuzzOptions O;
+  O.Seed = 1;
+  O.Count = 4;
+  O.Json = true;
+  O.OutDir = ::testing::TempDir() + "pdl-fuzz-clean";
+
+  O.Jobs = 1;
+  sim::FuzzBatchResult Serial = sim::runFuzzBatch(O);
+  O.Jobs = 8;
+  sim::FuzzBatchResult Parallel = sim::runFuzzBatch(O);
+
+  EXPECT_EQ(Serial.Runs, 16u); // 4 programs x 2 cores x 2 profiles
+  EXPECT_EQ(Serial.Failures, 0u);
+  EXPECT_EQ(Serial.Runs, Parallel.Runs);
+  EXPECT_EQ(Serial.Failures, Parallel.Failures);
+  EXPECT_EQ(Serial.JsonDoc, Parallel.JsonDoc);
+  EXPECT_EQ(Serial.Log, Parallel.Log);
+  EXPECT_TRUE(Serial.Log.empty()) << Serial.Log;
+  EXPECT_NE(Serial.JsonDoc.find("\"bench\": \"pdlfuzz\""), std::string::npos);
+  // The determinism contract forbids the worker count from appearing in
+  // the document — otherwise --jobs=N could never be byte-identical.
+  EXPECT_EQ(Serial.JsonDoc.find("jobs"), std::string::npos);
+}
+
+std::string readFile(const fs::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Map of bundle-relative path -> file bytes for everything under Dir.
+std::map<std::string, std::string> snapshotDir(const std::string &Dir) {
+  std::map<std::string, std::string> Files;
+  for (const fs::directory_entry &E : fs::recursive_directory_iterator(Dir))
+    if (E.is_regular_file())
+      Files[fs::relative(E.path(), Dir).generic_string()] =
+          readFile(E.path());
+  return Files;
+}
+
+/// Failing matrix: failures are logged in matrix order, shrunk (in
+/// parallel) and bundled — and every byte of every bundle matches the
+/// serial run's. Only the output directory name may differ in the log.
+TEST(BatchRunnerTest, FuzzBatchFailureBundlesAreJobsInvariant) {
+  sim::FuzzOptions O;
+  O.Seed = 1;
+  O.Count = 2;
+  O.Kinds = {cores::CoreKind::Pdl5Stage};
+  O.Profiles = {cores::memProfileAlwaysHit()};
+  O.Json = true;
+  O.Fault = suppressMispredict();
+
+  const std::string SerialDir = ::testing::TempDir() + "pdl-fuzz-serial";
+  const std::string ParallelDir = ::testing::TempDir() + "pdl-fuzz-par";
+  fs::remove_all(SerialDir);
+  fs::remove_all(ParallelDir);
+
+  O.Jobs = 1;
+  O.OutDir = SerialDir;
+  sim::FuzzBatchResult Serial = sim::runFuzzBatch(O);
+  O.Jobs = 4;
+  O.OutDir = ParallelDir;
+  sim::FuzzBatchResult Parallel = sim::runFuzzBatch(O);
+
+  ASSERT_GE(Serial.Failures, 1u) << "fault never caused a divergence";
+  EXPECT_EQ(Serial.Runs, Parallel.Runs);
+  EXPECT_EQ(Serial.Failures, Parallel.Failures);
+  EXPECT_EQ(Serial.JsonDoc, Parallel.JsonDoc);
+
+  // The logs differ only by the bundle directory they name.
+  auto Normalized = [](std::string Log, const std::string &Dir) {
+    for (size_t Pos; (Pos = Log.find(Dir)) != std::string::npos;)
+      Log.replace(Pos, Dir.size(), "OUT");
+    return Log;
+  };
+  EXPECT_EQ(Normalized(Serial.Log, SerialDir),
+            Normalized(Parallel.Log, ParallelDir));
+
+  // Same bundles, same file names, same bytes. config.json pins jobs=1 in
+  // both: a bundle is a serial replay recipe regardless of how many
+  // workers found the failure.
+  std::map<std::string, std::string> A = snapshotDir(SerialDir);
+  std::map<std::string, std::string> B = snapshotDir(ParallelDir);
+  ASSERT_FALSE(A.empty());
+  std::vector<std::string> NamesA, NamesB;
+  for (const auto &[Name, Bytes] : A)
+    NamesA.push_back(Name);
+  for (const auto &[Name, Bytes] : B)
+    NamesB.push_back(Name);
+  ASSERT_EQ(NamesA, NamesB);
+  for (const auto &[Name, Bytes] : A) {
+    SCOPED_TRACE(Name);
+    EXPECT_EQ(Bytes, B[Name]) << "bundle file differs between jobs counts";
+  }
+  for (const auto &[Name, Bytes] : A)
+    if (Name.size() > 11 &&
+        Name.compare(Name.size() - 11, 11, "config.json") == 0)
+      EXPECT_NE(Bytes.find("\"jobs\": 1"), std::string::npos) << Bytes;
+}
+
+/// FailFast truncates at the first failing run — identically for every
+/// jobs count, even though a parallel batch completed the later runs.
+TEST(BatchRunnerTest, FuzzBatchFailFastIsJobsInvariant) {
+  sim::FuzzOptions O;
+  O.Seed = 1;
+  O.Count = 3;
+  O.Kinds = {cores::CoreKind::Pdl5Stage};
+  O.Profiles = {cores::memProfileAlwaysHit()};
+  O.Json = true;
+  O.FailFast = true;
+  O.Fault = suppressMispredict();
+
+  O.Jobs = 1;
+  O.OutDir = ::testing::TempDir() + "pdl-fuzz-ff-serial";
+  fs::remove_all(O.OutDir);
+  sim::FuzzBatchResult Serial = sim::runFuzzBatch(O);
+  O.Jobs = 4;
+  O.OutDir = ::testing::TempDir() + "pdl-fuzz-ff-par";
+  fs::remove_all(O.OutDir);
+  sim::FuzzBatchResult Parallel = sim::runFuzzBatch(O);
+
+  ASSERT_GE(Serial.Failures, 1u);
+  EXPECT_EQ(Serial.Failures, 1u) << "fail-fast processed past the failure";
+  EXPECT_EQ(Serial.Runs, Parallel.Runs);
+  EXPECT_EQ(Serial.Failures, Parallel.Failures);
+  EXPECT_EQ(Serial.JsonDoc, Parallel.JsonDoc);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel shrink
+//===----------------------------------------------------------------------===//
+
+/// The shrinker's candidate evaluation fans out over the pool; the accept
+/// rule only reads whole-round results, so the minimal program is
+/// jobs-invariant.
+TEST(BatchRunnerTest, ShrinkResultIsJobsInvariant) {
+  verify::DiffConfig DC;
+  DC.Fault = suppressMispredict();
+  ASSERT_TRUE(verify::runDiff(kMatrixProgram, DC).failed());
+
+  DC.Jobs = 1;
+  std::string Serial = verify::shrink(kMatrixProgram, DC);
+  DC.Jobs = 8;
+  std::string Parallel = verify::shrink(kMatrixProgram, DC);
+  EXPECT_EQ(Serial, Parallel);
+  EXPECT_LT(Serial.size(), std::string(kMatrixProgram).size());
+  verify::DiffResult R = verify::runDiff(Serial, DC);
+  EXPECT_TRUE(R.failed()) << "shrunk program no longer fails";
+}
+
+} // namespace

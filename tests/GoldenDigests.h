@@ -1,0 +1,52 @@
+//===- GoldenDigests.h - Shared golden-digest fixtures ----------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fixed kernel whose event-log digest pins the executor's observable
+/// behaviour, shared by the suites that reference it. The absolute pin
+/// itself lives in one place — the table in GoldenDigestTest.cpp — so a
+/// behaviour change fails exactly one table row; other suites only assert
+/// relative properties (determinism, non-perturbation) against this
+/// kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_TESTS_GOLDENDIGESTS_H
+#define PDL_TESTS_GOLDENDIGESTS_H
+
+#include <cstdint>
+
+namespace pdl {
+namespace tests {
+
+/// Figure 3's ex1 shape: split R/W locks plus speculation on every thread —
+/// exercises lock stalls, spec stalls, kills, and rollbacks all at once.
+inline const char *kSpecLockKernel = R"(
+  pipe ex1(in: uint<4>)[m: uint<4>[4]] {
+    spec_barrier();
+    s <- spec call ex1(in + 1);
+    reserve(m[in], R);
+    acquire(m[in], W);
+    m[in] <- in;
+    release(m[in], W);
+    ---
+    block(m[in], R);
+    a1 = m[in];
+    release(m[in], R);
+    verify(s, a1);
+  }
+)";
+
+/// FNV-1a digest of kSpecLockKernel's event log over 60 cycles. Pinned by
+/// GoldenDigestTest.SpecLockKernelDigestIsStable; update deliberately,
+/// never to make the bot green.
+inline constexpr uint64_t kSpecLockKernelDigest =
+    UINT64_C(0x87cf2443f7c19788);
+
+} // namespace tests
+} // namespace pdl
+
+#endif // PDL_TESTS_GOLDENDIGESTS_H

@@ -13,6 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "GoldenDigests.h"
 #include "backend/System.h"
 #include "obs/Sinks.h"
 #include "verify/Differ.h"
@@ -23,31 +24,9 @@
 
 using namespace pdl;
 using namespace pdl::backend;
+using pdl::tests::kSpecLockKernel;
 
 namespace {
-
-/// The same Figure-3-shaped kernel ObsTest pins its golden digest on:
-/// split R/W locks plus speculation (and a checkpointed memory) on every
-/// thread.
-const char *kSpecLockKernel = R"(
-  pipe ex1(in: uint<4>)[m: uint<4>[4]] {
-    spec_barrier();
-    s <- spec call ex1(in + 1);
-    reserve(m[in], R);
-    acquire(m[in], W);
-    m[in] <- in;
-    release(m[in], W);
-    ---
-    block(m[in], R);
-    a1 = m[in];
-    release(m[in], R);
-    verify(s, a1);
-  }
-)";
-
-/// Pinned by ObsTest.GoldenTraceDigestIsStable; the monitors must observe
-/// without perturbing it.
-constexpr uint64_t kPinnedDigest = UINT64_C(0x87cf2443f7c19788);
 
 SystemStats runKernel(const CompiledProgram &CP,
                       std::vector<obs::TraceSink *> Sinks,
@@ -119,8 +98,8 @@ TEST(VerifyTest, MonitorsDoNotPerturbGoldenDigest) {
   verify::MonitorSink Monitors;
   runKernel(CP, {&Alone});
   runKernel(CP, {&WithMonitors, &Monitors});
-  EXPECT_EQ(Alone.digest(), kPinnedDigest);
-  EXPECT_EQ(WithMonitors.digest(), kPinnedDigest);
+  EXPECT_EQ(Alone.digest(), tests::kSpecLockKernelDigest);
+  EXPECT_EQ(WithMonitors.digest(), tests::kSpecLockKernelDigest);
   EXPECT_TRUE(Monitors.clean()) << Monitors.render();
 }
 

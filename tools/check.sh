@@ -28,8 +28,20 @@ python3 tools/check_bench_json.py "$BUILD_DIR"/cache.json
 # default core x mem-profile matrix, each diffed against the golden
 # simulator with the invariant monitors attached. Nonzero exit on any
 # divergence or violation; repro bundles land in $BUILD_DIR/fuzz-out.
-"$BUILD_DIR"/tools/pdlfuzz --seed=1 --count=25 --json \
+# Run the matrix over the worker pool, then prove the batch engine's
+# determinism contract: a serial run produces byte-identical JSON.
+"$BUILD_DIR"/tools/pdlfuzz --seed=1 --count=25 --json --jobs="$JOBS" \
     --out="$BUILD_DIR"/fuzz-out > "$BUILD_DIR"/fuzz.json
 python3 tools/check_bench_json.py "$BUILD_DIR"/fuzz.json
+"$BUILD_DIR"/tools/pdlfuzz --seed=1 --count=25 --json \
+    --out="$BUILD_DIR"/fuzz-out-serial > "$BUILD_DIR"/fuzz-serial.json
+cmp "$BUILD_DIR"/fuzz.json "$BUILD_DIR"/fuzz-serial.json
+
+# Host-throughput trajectory: cycles/sec rows for BENCH_sim.json (the
+# committed snapshot at the repo root is updated deliberately from a quiet
+# machine; see docs/performance.md).
+"$BUILD_DIR"/bench/bench_sim_throughput --json --kernels=kmp \
+    > "$BUILD_DIR"/BENCH_sim.json
+python3 tools/check_bench_json.py "$BUILD_DIR"/BENCH_sim.json
 
 echo "check.sh: all green"

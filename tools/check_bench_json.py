@@ -27,6 +27,27 @@ def uint(v):
     return isinstance(v, int) and not isinstance(v, bool) and v >= 0
 
 
+def number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_throughput(row, where):
+    """Host-throughput fields emitted by the timed benches
+    (bench_sim_throughput, bench_table3/bench_mem --json). Optional — the
+    fuzzer's jobs-invariant rows never carry them — but when present they
+    must be well-formed, and throughput must be strictly positive: a zero
+    or negative cycles_per_sec means a broken timer, not a slow host."""
+    if "wall_ms" in row:
+        expect(number(row["wall_ms"]) and row["wall_ms"] >= 0,
+               f"{where}: wall_ms must be a number >= 0")
+    if "cycles_per_sec" in row:
+        expect(number(row["cycles_per_sec"]) and row["cycles_per_sec"] > 0,
+               f"{where}: cycles_per_sec must be > 0")
+    if "jobs" in row:
+        expect(uint(row["jobs"]) and row["jobs"] >= 1,
+               f"{where}: jobs must be an int >= 1")
+
+
 def check_robustness(obj, where):
     """Outcome/fault/violation fields emitted by the verification harness
     (pdlc --stats=json, pdlfuzz --json). All optional: older producers
@@ -105,6 +126,7 @@ def main():
             if key in row:
                 expect(uint(row[key]), f"{where}: {key}")
         check_robustness(row, where)
+        check_throughput(row, where)
         if "report" in row:
             check_report(row["report"], where)
             reports += 1

@@ -12,8 +12,14 @@
 // instruction sequence and dumped as a repro bundle (program, seed,
 // config, VCD, stats JSON).
 //
+// The matrix itself runs on sim::runFuzzBatch — this file only parses
+// arguments. `--jobs=N` fans the independent runs out over N worker
+// threads; every byte of output (JSON, stderr, bundles) is identical for
+// every N.
+//
 //   pdlfuzz --seed=1 --count=100                      fuzz the default matrix
 //   pdlfuzz --cores=5stage,bht --profiles=always-hit,l1-tiny
+//   pdlfuzz --jobs=8                                  8 worker threads
 //   pdlfuzz --json                                    bench-schema rows on stdout
 //   pdlfuzz --out=DIR                                 repro bundles go here
 //   pdlfuzz --fail-fast                               stop at the first failure
@@ -23,9 +29,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "obs/Json.h"
-#include "verify/Differ.h"
-#include "verify/ProgGen.h"
+#include "sim/BatchRunner.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,7 +43,7 @@ using namespace pdl;
 static void usage() {
   std::fprintf(
       stderr,
-      "usage: pdlfuzz [--seed=N] [--count=N] [--cycles=N]\n"
+      "usage: pdlfuzz [--seed=N] [--count=N] [--cycles=N] [--jobs=N]\n"
       "               [--cores=LIST] [--profiles=LIST] [--out=DIR]\n"
       "               [--json] [--fail-fast]\n"
       "  cores:    5stage nobypass 3stage bht rv32im rename\n"
@@ -87,10 +91,9 @@ static std::vector<std::string> splitList(const std::string &S) {
 }
 
 int main(int argc, char **argv) {
-  uint64_t Seed = 1, Count = 100, Cycles = 50000;
+  sim::FuzzOptions O;
+  uint64_t Jobs = 1;
   std::string CoreList = "5stage,bht", ProfileList = "always-hit,l1-tiny";
-  std::string OutDir = "fuzz-out";
-  bool Json = false, FailFast = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -101,18 +104,18 @@ int main(int argc, char **argv) {
       V = std::strtoull(A.c_str() + N, nullptr, 0);
       return true;
     };
-    if (Num("--seed=", Seed) || Num("--count=", Count) ||
-        Num("--cycles=", Cycles)) {
+    if (Num("--seed=", O.Seed) || Num("--count=", O.Count) ||
+        Num("--cycles=", O.MaxCycles) || Num("--jobs=", Jobs)) {
     } else if (A.rfind("--cores=", 0) == 0) {
       CoreList = A.substr(8);
     } else if (A.rfind("--profiles=", 0) == 0) {
       ProfileList = A.substr(11);
     } else if (A.rfind("--out=", 0) == 0) {
-      OutDir = A.substr(6);
+      O.OutDir = A.substr(6);
     } else if (A == "--json") {
-      Json = true;
+      O.Json = true;
     } else if (A == "--fail-fast") {
-      FailFast = true;
+      O.FailFast = true;
     } else if (A == "--help" || A == "-h") {
       usage();
       return 0;
@@ -122,105 +125,38 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
+  O.Jobs = Jobs ? unsigned(Jobs) : 1u;
 
-  std::vector<cores::CoreKind> Kinds;
+  O.Kinds.clear();
   for (const std::string &S : splitList(CoreList)) {
     std::optional<cores::CoreKind> K = parseCore(S);
     if (!K) {
       std::fprintf(stderr, "pdlfuzz: unknown core '%s'\n", S.c_str());
       return 2;
     }
-    Kinds.push_back(*K);
+    O.Kinds.push_back(*K);
   }
-  std::vector<cores::CoreMemProfile> Profiles;
+  O.Profiles.clear();
   for (const std::string &S : splitList(ProfileList)) {
     std::optional<cores::CoreMemProfile> P = parseProfile(S);
     if (!P) {
       std::fprintf(stderr, "pdlfuzz: unknown profile '%s'\n", S.c_str());
       return 2;
     }
-    Profiles.push_back(*P);
+    O.Profiles.push_back(*P);
   }
-  if (Kinds.empty() || Profiles.empty() || !Count) {
+  if (O.Kinds.empty() || O.Profiles.empty() || !O.Count) {
     usage();
     return 2;
   }
 
-  obs::Json Rows = obs::Json::array();
-  uint64_t Runs = 0, Failures = 0;
-  bool Done = false;
-  for (uint64_t N = 0; N != Count && !Done; ++N) {
-    verify::GenConfig G;
-    G.Seed = Seed + N;
-    std::string Program = verify::generateProgram(G);
-    for (size_t KI = 0; KI != Kinds.size() && !Done; ++KI) {
-      for (size_t PI = 0; PI != Profiles.size() && !Done; ++PI) {
-        verify::DiffConfig DC;
-        DC.Kind = Kinds[KI];
-        DC.Profile = Profiles[PI];
-        DC.MaxCycles = Cycles;
-        verify::DiffResult R = verify::runDiff(Program, DC);
-        ++Runs;
-
-        std::string Config = std::string(cores::coreName(DC.Kind)) + "/" +
-                             DC.Profile.Name;
-        if (Json) {
-          obs::Json Row = obs::Json::object();
-          Row.set("config", obs::Json(Config));
-          Row.set("kernel", obs::Json("seed-" + std::to_string(G.Seed)));
-          Row.set("cpi", obs::Json(R.Instrs ? double(R.Cycles) /
-                                                  double(R.Instrs)
-                                            : 0.0));
-          Row.set("cycles", obs::Json(R.Cycles));
-          Row.set("instrs", obs::Json(R.Instrs));
-          Row.set("outcome", obs::Json(R.Outcome));
-          Row.set("divergent", obs::Json(R.Divergent));
-          Row.set("faults_injected", obs::Json(R.FaultsInjected));
-          Row.set("violations", obs::Json(R.Violations));
-          if (N == 0) // one attribution report per config keeps files small
-            Row.set("report", R.Report.toJsonValue());
-          Rows.push(std::move(Row));
-        }
-
-        if (!R.failed())
-          continue;
-        ++Failures;
-        std::fprintf(stderr, "pdlfuzz: FAIL seed=%llu %s: %s\n",
-                     (unsigned long long)G.Seed, Config.c_str(),
-                     R.Divergent ? R.Reason.c_str()
-                                 : "invariant violation(s)");
-        for (const verify::Violation &V : R.ViolationList)
-          std::fprintf(stderr, "  %s\n", V.str().c_str());
-        if (!R.DeadlockDiagnosis.empty())
-          std::fprintf(stderr, "%s", R.DeadlockDiagnosis.c_str());
-
-        std::fprintf(stderr, "pdlfuzz: shrinking...\n");
-        std::string Shrunk = verify::shrink(Program, DC);
-        std::string Dir = OutDir + "/seed-" + std::to_string(G.Seed) + "-" +
-                          std::to_string(KI) + "-" + DC.Profile.Name;
-        if (verify::writeReproBundle(Dir, Program, Shrunk, G.Seed, DC, R))
-          std::fprintf(stderr, "pdlfuzz: repro bundle in %s\n", Dir.c_str());
-        else
-          std::fprintf(stderr, "pdlfuzz: could not write %s\n", Dir.c_str());
-        if (FailFast)
-          Done = true;
-      }
-    }
-  }
-
-  if (Json) {
-    obs::Json Doc = obs::Json::object();
-    Doc.set("bench", obs::Json("pdlfuzz"));
-    Doc.set("seed", obs::Json(Seed));
-    Doc.set("programs", obs::Json(Count));
-    Doc.set("runs", obs::Json(Runs));
-    Doc.set("failures", obs::Json(Failures));
-    Doc.set("rows", std::move(Rows));
-    std::printf("%s\n", Doc.dump(2).c_str());
-  }
+  sim::FuzzBatchResult R = sim::runFuzzBatch(O);
+  std::fputs(R.Log.c_str(), stderr);
+  if (O.Json)
+    std::printf("%s\n", R.JsonDoc.c_str());
   std::fprintf(stderr,
                "pdlfuzz: %llu run(s) over %llu program(s), %llu failure(s)\n",
-               (unsigned long long)Runs, (unsigned long long)Count,
-               (unsigned long long)Failures);
-  return Failures ? 1 : 0;
+               (unsigned long long)R.Runs, (unsigned long long)O.Count,
+               (unsigned long long)R.Failures);
+  return R.Failures ? 1 : 0;
 }
