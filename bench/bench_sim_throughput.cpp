@@ -25,8 +25,12 @@
 #include "workloads/Workloads.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -73,7 +77,7 @@ Measure runOnce(CoreKind Kind, const Workload &W) {
 double clampMs(double Ms) { return Ms > 1e-6 ? Ms : 1e-6; }
 
 obs::Json jsonRow(const std::string &Config, const std::string &Kernel,
-                  const Measure &M, uint64_t Jobs) {
+                  const Measure &M, uint64_t Jobs, double Speedup) {
   obs::Json Row = obs::Json::object();
   Row.set("config", Config);
   Row.set("kernel", Kernel);
@@ -83,7 +87,42 @@ obs::Json jsonRow(const std::string &Config, const std::string &Kernel,
   Row.set("wall_ms", M.WallMs);
   Row.set("cycles_per_sec", double(M.Cycles) * 1000.0 / clampMs(M.WallMs));
   Row.set("jobs", Jobs);
+  if (Speedup > 0)
+    Row.set("speedup_vs_baseline", Speedup);
   return Row;
+}
+
+/// Baseline cycles/sec per (config, kernel) row, loaded from a committed
+/// snapshot (BENCH_sim.json). The jobs-dependent "batch" row is skipped:
+/// its wall clock measures pool contention, not per-System speed.
+std::map<std::pair<std::string, std::string>, double>
+loadBaseline(const std::string &Path) {
+  std::map<std::pair<std::string, std::string>, double> Base;
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "bench_sim_throughput: cannot open baseline '%s'\n",
+                 Path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Err;
+  std::optional<obs::Json> Doc = obs::Json::parse(Buf.str(), &Err);
+  const obs::Json *Rows = Doc ? Doc->get("rows") : nullptr;
+  if (!Rows) {
+    std::fprintf(stderr, "bench_sim_throughput: bad baseline '%s': %s\n",
+                 Path.c_str(), Doc ? "no rows array" : Err.c_str());
+    std::exit(2);
+  }
+  for (const obs::Json &Row : Rows->items()) {
+    const obs::Json *C = Row.get("config");
+    const obs::Json *K = Row.get("kernel");
+    const obs::Json *V = Row.get("cycles_per_sec");
+    if (!C || !K || !V || C->asString() == "batch")
+      continue;
+    Base[{C->asString(), K->asString()}] = V->asDouble();
+  }
+  return Base;
 }
 
 } // namespace
@@ -91,7 +130,7 @@ obs::Json jsonRow(const std::string &Config, const std::string &Kernel,
 int main(int argc, char **argv) {
   bool JsonOut = false;
   uint64_t Jobs = 1, Repeat = 3;
-  std::string KernelFilter;
+  std::string KernelFilter, BaselinePath;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "--json")
@@ -102,10 +141,13 @@ int main(int argc, char **argv) {
       Repeat = std::strtoull(A.c_str() + 9, nullptr, 0);
     else if (A.rfind("--kernels=", 0) == 0)
       KernelFilter = A.substr(10);
+    else if (A.rfind("--baseline=", 0) == 0)
+      BaselinePath = A.substr(11);
     else {
       std::fprintf(stderr,
                    "usage: bench_sim_throughput [--json] [--jobs=N] "
-                   "[--repeat=N] [--kernels=a,b,...]\n");
+                   "[--repeat=N] [--kernels=a,b,...] "
+                   "[--baseline=BENCH_sim.json]\n");
       return 2;
     }
   }
@@ -170,6 +212,37 @@ int main(int argc, char **argv) {
     }
   }
 
+  // Per-row speedup against the committed snapshot (when requested), and
+  // the geomean over every row the baseline knows about.
+  std::map<std::pair<std::string, std::string>, double> Base;
+  if (!BaselinePath.empty())
+    Base = loadBaseline(BaselinePath);
+  std::vector<double> Speedups(NumConfigs * K, 0.0);
+  double LogSum = 0.0;
+  size_t Compared = 0;
+  for (size_t CI = 0; CI != NumConfigs; ++CI)
+    for (size_t KI = 0; KI != K; ++KI) {
+      auto It = Base.find({Configs[CI].Name, Kernels[KI].Name});
+      if (It == Base.end() || It->second <= 0)
+        continue;
+      const Measure &M = Best[CI * K + KI];
+      double Fresh = double(M.Cycles) * 1000.0 / clampMs(M.WallMs);
+      double S = Fresh / It->second;
+      Speedups[CI * K + KI] = S;
+      LogSum += std::log(S);
+      ++Compared;
+    }
+  double Geomean = Compared ? std::exp(LogSum / double(Compared)) : 0.0;
+
+  int Exit = 0;
+  if (Compared && Geomean < 0.9) {
+    std::fprintf(stderr,
+                 "bench_sim_throughput: REGRESSION: geomean %.3fx of "
+                 "baseline '%s' (>10%% slower)\n",
+                 Geomean, BaselinePath.c_str());
+    Exit = 1;
+  }
+
   if (JsonOut) {
     obs::Json Doc = obs::Json::object();
     Doc.set("bench", "sim_throughput");
@@ -177,27 +250,35 @@ int main(int argc, char **argv) {
     for (size_t CI = 0; CI != NumConfigs; ++CI)
       for (size_t KI = 0; KI != K; ++KI)
         Rows.push(jsonRow(Configs[CI].Name, Kernels[KI].Name,
-                          Best[CI * K + KI], Jobs));
-    Rows.push(jsonRow("batch", "matrix", Batch, Jobs));
+                          Best[CI * K + KI], Jobs, Speedups[CI * K + KI]));
+    Rows.push(jsonRow("batch", "matrix", Batch, Jobs, 0.0));
     Doc.set("rows", std::move(Rows));
+    if (Compared)
+      Doc.set("geomean_speedup_vs_baseline", Geomean);
     std::printf("%s\n", Doc.dump(2).c_str());
-    return 0;
+    return Exit;
   }
 
   std::printf("=== Host simulation throughput (best of %llu) ===\n",
               (unsigned long long)Repeat);
-  std::printf("%-14s %-12s %12s %10s %14s\n", "core", "kernel", "cycles",
-              "wall_ms", "cycles/sec");
+  std::printf("%-14s %-12s %12s %10s %14s%s\n", "core", "kernel", "cycles",
+              "wall_ms", "cycles/sec", Compared ? "   speedup" : "");
   for (size_t CI = 0; CI != NumConfigs; ++CI)
     for (size_t KI = 0; KI != K; ++KI) {
       const Measure &M = Best[CI * K + KI];
-      std::printf("%-14s %-12s %12llu %10.2f %14.0f\n", Configs[CI].Name,
+      std::printf("%-14s %-12s %12llu %10.2f %14.0f", Configs[CI].Name,
                   Kernels[KI].Name.c_str(), (unsigned long long)M.Cycles,
                   M.WallMs, double(M.Cycles) * 1000.0 / clampMs(M.WallMs));
+      if (Speedups[CI * K + KI] > 0)
+        std::printf("   %6.2fx", Speedups[CI * K + KI]);
+      std::printf("\n");
     }
   std::printf("%-14s %-12s %12llu %10.2f %14.0f  (jobs=%llu)\n", "batch",
               "matrix", (unsigned long long)Batch.Cycles, Batch.WallMs,
               double(Batch.Cycles) * 1000.0 / clampMs(Batch.WallMs),
               (unsigned long long)Jobs);
-  return 0;
+  if (Compared)
+    std::printf("geomean speedup vs %s: %.2fx over %zu rows\n",
+                BaselinePath.c_str(), Geomean, Compared);
+  return Exit;
 }

@@ -1,0 +1,196 @@
+//===- Bytecode.h - Flat slot-indexed expression IR -------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A linear three-address bytecode for PDL expressions, produced once at
+/// elaboration time (see Compile.h) and executed every cycle by a tight
+/// interpreter loop. Values live in a dense frame of Bits slots: slot
+/// indices [0, NumVars) are the pipe's named variables (resolved from
+/// strings exactly once, at compile time), the rest is per-program scratch.
+/// Memory reads and extern calls dispatch through a two-method virtual
+/// interface instead of per-site std::function objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_BACKEND_BYTECODE_H
+#define PDL_BACKEND_BYTECODE_H
+
+#include "pdl/AST.h"
+#include "support/Bits.h"
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pdl {
+namespace backend {
+namespace bc {
+
+/// Opcodes. Three-address form: A is the destination slot, B and C are
+/// source slots unless noted otherwise.
+enum class Op : uint8_t {
+  Const,   // A = Pool[Imm]
+  Copy,    // A = B
+  Add,     // A = B + C           (width-checked, wrapping)
+  Sub,     // A = B - C
+  Mul,     // A = B * C
+  UDiv,    // A = B /u C          (RISC-V div-by-zero semantics)
+  SDiv,    // A = B /s C
+  URem,    // A = B %u C
+  SRem,    // A = B %s C
+  And,     // A = B & C
+  Or,      // A = B | C
+  Xor,     // A = B ^ C
+  Shl,     // A = B << C
+  LShr,    // A = B >>u C
+  AShr,    // A = B >>s C
+  Eq,      // A = (B == C)        (1-bit result)
+  Ne,      // A = (B != C)
+  ULt,     // A = (B <u C)
+  ULe,     // A = (B <=u C)
+  SLt,     // A = (B <s C)
+  SLe,     // A = (B <=s C)
+  LogAnd,  // A = (B != 0 && C != 0)   -- eager, like the tree walker
+  LogOr,   // A = (B != 0 || C != 0)
+  LogNot,  // A = (B == 0)
+  BitNot,  // A = ~B
+  Neg,     // A = 0 - B           (two's complement at B's width)
+  Slice,   // A = B{hi:lo}        (Imm = hi << 16 | lo)
+  ZExt,    // A = zext(B) to width C
+  SExt,    // A = sext(B) to width C
+  Concat,  // A = B ++ C          (B is the high part)
+  MemRead, // A = hooks.readMem(*MemSites[Imm], zext(B))
+  Extern,  // A = hooks.callExtern(*ExternSites[Imm], &frame[B], C)
+  BrFalse, // if (B == 0) goto Imm
+  BrTrue,  // if (B != 0) goto Imm
+  Jump,    // goto Imm
+  Ret,     // return frame[B]
+  RetTrue, // return Bits(1, 1)   (guard epilogue)
+  RetFalse // return Bits(0, 1)
+};
+
+/// Sentinel for "no slot" (e.g. a pipe call with no result binding).
+constexpr uint16_t NoSlot = 0xffff;
+
+struct Insn {
+  Op Opc;
+  uint16_t A = 0;
+  uint16_t B = 0;
+  uint16_t C = 0;
+  uint32_t Imm = 0;
+};
+
+/// One compiled expression (or fused guard conjunction). Self-contained:
+/// constant pool and hook-site tables travel with the code.
+struct ExprProgram {
+  std::vector<Insn> Code;
+  std::vector<Bits> Pool;
+  std::vector<const ast::MemReadExpr *> MemSites;
+  std::vector<const ast::ExternCallExpr *> ExternSites;
+};
+
+/// Services the two opcodes that escape the frame. One virtual dispatch per
+/// site replaces the per-call std::function indirection of EvalHooks.
+class Hooks {
+public:
+  virtual ~Hooks() = default;
+  virtual Bits readMem(const ast::MemReadExpr &Site, uint64_t Addr) = 0;
+  virtual Bits callExtern(const ast::ExternCallExpr &Site, const Bits *Args,
+                          unsigned NumArgs) = 0;
+};
+
+/// Runs \p P over \p Frame. The frame must be at least the owning
+/// PipeProgram's FrameSize; programs only write scratch slots (never named
+/// variable slots) and always define a scratch slot before reading it.
+Bits exec(const ExprProgram &P, Bits *Frame, Hooks &H);
+
+/// Runs a compiled guard; a null program is an always-true guard.
+inline bool execGuard(const ExprProgram *P, Bits *Frame, Hooks &H) {
+  return !P || exec(*P, Frame, H).toBool();
+}
+
+/// Compiled operand programs for one staged operation, aligned with the
+/// statement kind's evaluation sites in System::walkOp.
+struct OpProg {
+  const ExprProgram *Guard = nullptr; // fused op guard; null = always fires
+  const ExprProgram *E0 = nullptr;    // value / addr / actual / new-pred
+  const ExprProgram *E1 = nullptr;    // mem-write value / predictor update
+  std::vector<const ExprProgram *> Args; // pipe-call argument programs
+  uint16_t Dest = NoSlot; // assign/sync-read dest; pipe-call result slot
+};
+
+/// Per-stage mirror of the stage graph: programs are indexed positionally,
+/// aligned with Stage::Ops, Stage::Succs, and Stage::TagRules.
+struct StageProg {
+  std::vector<OpProg> Ops;
+  std::vector<const ExprProgram *> EdgeGuards;
+  std::vector<const ExprProgram *> TagGuards;
+};
+
+/// Everything compiled for one pipe.
+struct PipeProgram {
+  std::string Name;
+
+  /// Slot-index -> source-level variable name, for trace dumps, fault
+  /// diagnostics, and the tree-mode Env view. Size NumVars.
+  std::vector<std::string> SlotNames;
+  std::unordered_map<std::string, uint16_t> SlotIndex;
+  unsigned NumVars = 0;
+
+  /// Total frame size: NumVars variable slots plus the widest program's
+  /// scratch requirement.
+  unsigned FrameSize = 0;
+
+  /// Template for a fresh thread frame: per-variable zero defaults at the
+  /// declared widths (an unbound read in the tree walker yields zero at the
+  /// reference site's width; the dense frame bakes that in), scratch slots
+  /// default-initialised.
+  std::vector<Bits> InitFrame;
+
+  /// Slot of each pipe parameter, in declaration order.
+  std::vector<uint16_t> ParamSlots;
+
+  /// Stage mirrors indexed by Stage::Id. Empty for modules compiled without
+  /// a stage graph (the sequential oracle only needs statement programs).
+  std::vector<StageProg> Stages;
+
+  /// Program storage (deque: stable addresses as programs are appended).
+  std::deque<ExprProgram> Programs;
+
+  /// Statement-operand and if-condition programs keyed by AST node, for
+  /// callers that walk the statement list directly (SeqInterpreter).
+  std::unordered_map<const ast::Expr *, const ExprProgram *> ExprIndex;
+
+  uint16_t slotOf(const std::string &Name) const {
+    auto It = SlotIndex.find(Name);
+    return It == SlotIndex.end() ? NoSlot : It->second;
+  }
+  const ExprProgram *programFor(const ast::Expr *E) const {
+    auto It = ExprIndex.find(E);
+    return It == ExprIndex.end() ? nullptr : It->second;
+  }
+};
+
+/// An immutable compiled circuit: one PipeProgram per pipe. Safe to share
+/// across Systems and worker threads (construction happens-before use; all
+/// members are read-only afterwards).
+struct ModuleIR {
+  std::unordered_map<std::string, PipeProgram> Pipes;
+
+  const PipeProgram *pipe(const std::string &Name) const {
+    auto It = Pipes.find(Name);
+    return It == Pipes.end() ? nullptr : &It->second;
+  }
+};
+
+} // namespace bc
+} // namespace backend
+} // namespace pdl
+
+#endif // PDL_BACKEND_BYTECODE_H

@@ -1,0 +1,56 @@
+//===- Compile.h - AST -> bytecode expression compiler ---------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers type-checked PDL expressions to the flat slot-indexed bytecode of
+/// Bytecode.h, once per elaboration. The lowering is bit-for-bit faithful
+/// to the tree walker in Eval.cpp — same operator semantics, same unbound-
+/// read-as-zero rule, same hook-call sequence — with three optimisations
+/// the tree cannot express:
+///
+///  - constant folding (literal-only subtrees collapse at compile time;
+///    hooks never fold, so the observable call sequence is unchanged),
+///  - common-subexpression elimination by value numbering within one
+///    program (guard conjunctions and inlined `def` bodies are the big
+///    winners), invalidated across ternary arms,
+///  - guard short-circuiting: a stage-graph guard becomes one fused
+///    conjunction program that bails to RetFalse on the first failing term.
+///
+/// Ternaries compile to real branches so only the taken arm's hook sites
+/// execute, exactly like the tree walker. `def` functions are inlined with
+/// a compile-time scope map (their bodies resolve names in function scope
+/// only, matching Eval.cpp's Locals environment).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_BACKEND_COMPILE_H
+#define PDL_BACKEND_COMPILE_H
+
+#include "backend/Bytecode.h"
+#include "passes/Compiler.h"
+
+#include <memory>
+
+namespace pdl {
+namespace backend {
+namespace bc {
+
+/// Compiles every pipe of \p CP, including the stage-graph mirrors the
+/// pipelined executor walks (fused guards, per-op operand programs, edge
+/// and tag-rule guards). The result is immutable and safe to share across
+/// Systems and threads.
+std::shared_ptr<const ModuleIR> compileModule(const CompiledProgram &CP);
+
+/// Compiles statement-operand and if-condition programs only (no stage
+/// mirrors) — enough for the sequential oracle, which walks the raw
+/// statement lists.
+std::shared_ptr<const ModuleIR> compileModule(const ast::Program &AST);
+
+} // namespace bc
+} // namespace backend
+} // namespace pdl
+
+#endif // PDL_BACKEND_COMPILE_H

@@ -59,8 +59,8 @@ public:
     return const_cast<Env *>(this)->find(K);
   }
 
-  /// Returns the binding for \p K, creating a zero-width default if absent
-  /// (same contract as the map it replaces).
+  /// Returns the binding for \p K, creating a default-constructed Bits
+  /// (value 0, width 1) if absent — same contract as the map it replaces.
   Bits &operator[](const std::string &K) {
     iterator It = find(K);
     if (It != Slots.end())

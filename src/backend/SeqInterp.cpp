@@ -6,6 +6,10 @@
 
 #include "backend/SeqInterp.h"
 
+#include "backend/Compile.h"
+
+#include <cstdlib>
+
 using namespace pdl;
 using namespace pdl::ast;
 using namespace pdl::backend;
@@ -16,6 +20,24 @@ SeqInterpreter::SeqInterpreter(const Program &Prog) : Prog(Prog) {
       Mems.emplace(P.Name + "." + M.Name,
                    std::make_unique<hw::Memory>(M.Name, M.ElemType.width(),
                                                 M.AddrWidth, M.IsSync));
+  IR = bc::compileModule(Prog);
+  TreeMode = std::getenv("PDL_EVAL_TREE") != nullptr;
+}
+
+Bits SeqInterpreter::BcHooks::readMem(const MemReadExpr &Site,
+                                      uint64_t Addr) {
+  return S->memory(Pipe->Name, Site.mem()).read(Addr);
+}
+
+Bits SeqInterpreter::BcHooks::callExtern(const ExternCallExpr &Site,
+                                         const Bits *Args,
+                                         unsigned NumArgs) {
+  auto It = S->Externs.find(Site.module());
+  assert(It != S->Externs.end() && "unbound extern module");
+  std::vector<Bits> V(Args, Args + NumArgs);
+  auto Result = It->second->invoke(Site.method(), V);
+  assert(Result && "value method returned nothing");
+  return *Result;
 }
 
 void SeqInterpreter::bindExtern(const std::string &Name,
@@ -139,18 +161,129 @@ void SeqInterpreter::execList(
   }
 }
 
+void SeqInterpreter::execListC(
+    const PipeDecl &Pipe, const bc::PipeProgram &PP, const StmtList &Stmts,
+    std::vector<Bits> &Frame, ThreadResult &R, ThreadTrace &Trace,
+    std::vector<std::tuple<std::string, uint64_t, Bits>> &WBuf) {
+  BcHooks H;
+  H.S = this;
+  H.Pipe = &Pipe;
+  auto Run = [&](const Expr &E) {
+    const bc::ExprProgram *BP = PP.programFor(&E);
+    assert(BP && "expression missing a compiled program");
+    return bc::exec(*BP, Frame.data(), H);
+  };
+
+  for (const StmtPtr &SP : Stmts) {
+    const Stmt &S = *SP;
+    switch (S.kind()) {
+    case Stmt::Kind::StageSep:
+    case Stmt::Kind::Lock:
+    case Stmt::Kind::SpecCheck:
+    case Stmt::Kind::Update:
+      continue; // erased by the sequential semantics
+
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(&S);
+      Frame[PP.slotOf(A->name())] = Run(*A->value());
+      continue;
+    }
+    case Stmt::Kind::SyncRead: {
+      const auto *Rd = cast<SyncReadStmt>(&S);
+      uint64_t Addr = Run(*Rd->addr()).zext();
+      Frame[PP.slotOf(Rd->name())] = memory(Pipe.Name, Rd->mem()).read(Addr);
+      continue;
+    }
+    case Stmt::Kind::MemWrite: {
+      const auto *W = cast<MemWriteStmt>(&S);
+      uint64_t Addr = Run(*W->addr()).zext();
+      Bits V = Run(*W->value());
+      WBuf.emplace_back(W->mem(), Addr, V); // delayed to end of thread
+      continue;
+    }
+    case Stmt::Kind::Output: {
+      const auto *O = cast<OutputStmt>(&S);
+      assert(!R.Output && "thread produced two outputs");
+      R.Output = Run(*O->value());
+      continue;
+    }
+    case Stmt::Kind::PipeCall: {
+      const auto *C = cast<PipeCallStmt>(&S);
+      std::vector<Bits> Args;
+      for (const ExprPtr &A : C->args())
+        Args.push_back(Run(*A));
+      if (C->isSpec())
+        continue; // erased; the verify supplies the tail call
+      if (C->pipe() == Pipe.Name) {
+        assert(!R.NextArgs && "thread made two recursive calls");
+        R.NextArgs = std::move(Args);
+        continue;
+      }
+      // Cross-pipe request: run the callee's thread to completion now.
+      const PipeDecl *Callee = Prog.findPipe(C->pipe());
+      assert(Callee && "unknown callee pipe");
+      ThreadTrace SubTrace;
+      ThreadResult Sub = runThread(*Callee, std::move(Args), SubTrace);
+      assert(!Sub.NextArgs && "sub-pipes must not make recursive calls");
+      if (C->hasResult()) {
+        assert(Sub.Output && "callee produced no output");
+        Frame[PP.slotOf(C->resultName())] = *Sub.Output;
+      }
+      continue;
+    }
+    case Stmt::Kind::Verify: {
+      const auto *V = cast<VerifyStmt>(&S);
+      // verify == the tail call with the actual next value (Section 3.1).
+      Bits Actual = Run(*V->actual());
+      assert(!R.NextArgs && "thread made two recursive calls");
+      R.NextArgs = std::vector<Bits>{Actual};
+      if (const ExternCallExpr *U = V->predictorUpdate()) {
+        // The update method is void: run the per-argument programs and
+        // invoke the module directly (not via the value-asserting hook).
+        std::vector<Bits> Args;
+        for (const ExprPtr &A : U->args())
+          Args.push_back(Run(*A));
+        auto It = Externs.find(U->module());
+        assert(It != Externs.end() && "unbound extern module");
+        It->second->invoke(U->method(), Args);
+      }
+      continue;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(&S);
+      bool Taken = Run(*I->cond()).toBool();
+      execListC(Pipe, PP, Taken ? I->thenBody() : I->elseBody(), Frame, R,
+                Trace, WBuf);
+      continue;
+    }
+    case Stmt::Kind::Return:
+      assert(false && "return statement inside a pipe body");
+      continue;
+    }
+  }
+}
+
 SeqInterpreter::ThreadResult
 SeqInterpreter::runThread(const PipeDecl &Pipe, std::vector<Bits> Args,
                           ThreadTrace &Trace) {
   assert(Args.size() == Pipe.Params.size() && "argument count mismatch");
-  Env E;
-  for (unsigned I = 0, N = Args.size(); I != N; ++I)
-    E[Pipe.Params[I].Name] = Args[I];
   Trace.Args = Args;
 
   ThreadResult R;
   std::vector<std::tuple<std::string, uint64_t, Bits>> WBuf;
-  execList(Pipe, Pipe.Body, E, R, Trace, WBuf);
+  if (TreeMode) {
+    Env E;
+    for (unsigned I = 0, N = Args.size(); I != N; ++I)
+      E[Pipe.Params[I].Name] = Args[I];
+    execList(Pipe, Pipe.Body, E, R, Trace, WBuf);
+  } else {
+    const bc::PipeProgram *PP = IR->pipe(Pipe.Name);
+    assert(PP && "pipe missing from compiled circuit");
+    std::vector<Bits> Frame = PP->InitFrame;
+    for (unsigned I = 0, N = Args.size(); I != N; ++I)
+      Frame[PP->ParamSlots[I]] = Args[I];
+    execListC(Pipe, *PP, Pipe.Body, Frame, R, Trace, WBuf);
+  }
 
   // Commit delayed writes: visible to the next thread, not this one.
   for (auto &[Mem, Addr, V] : WBuf) {

@@ -17,6 +17,7 @@
 #ifndef PDL_BACKEND_SEQINTERP_H
 #define PDL_BACKEND_SEQINTERP_H
 
+#include "backend/Bytecode.h"
 #include "backend/Eval.h"
 #include "hw/Extern.h"
 #include "hw/Memory.h"
@@ -43,7 +44,9 @@ struct ThreadTrace {
 class SeqInterpreter {
 public:
   /// Builds storage for every memory of every pipe in \p Prog, namespaced
-  /// as "pipe.mem".
+  /// as "pipe.mem", and compiles every pipe to the slot-indexed bytecode
+  /// the interpreter runs (the tree walker remains available behind
+  /// PDL_EVAL_TREE as a differential escape hatch).
   explicit SeqInterpreter(const ast::Program &Prog);
 
   /// Binds \p Module to the extern declaration \p Name.
@@ -77,15 +80,34 @@ private:
   ThreadResult runThread(const ast::PipeDecl &Pipe, std::vector<Bits> Args,
                         ThreadTrace &Trace);
 
+  /// Legacy tree-walking statement loop (PDL_EVAL_TREE).
   void execList(const ast::PipeDecl &Pipe, const ast::StmtList &Stmts,
                 Env &E, ThreadResult &R, ThreadTrace &Trace,
                 std::vector<std::tuple<std::string, uint64_t, Bits>> &WBuf);
 
+  /// Bytecode statement loop: same semantics, compiled operand programs
+  /// over a dense frame.
+  void execListC(const ast::PipeDecl &Pipe, const bc::PipeProgram &PP,
+                 const ast::StmtList &Stmts, std::vector<Bits> &Frame,
+                 ThreadResult &R, ThreadTrace &Trace,
+                 std::vector<std::tuple<std::string, uint64_t, Bits>> &WBuf);
+
+  /// bc::Hooks for the oracle: direct memory reads, extern dispatch.
+  struct BcHooks final : bc::Hooks {
+    SeqInterpreter *S = nullptr;
+    const ast::PipeDecl *Pipe = nullptr;
+    Bits readMem(const ast::MemReadExpr &Site, uint64_t Addr) override;
+    Bits callExtern(const ast::ExternCallExpr &Site, const Bits *Args,
+                    unsigned NumArgs) override;
+  };
+
   const ast::Program &Prog;
+  std::shared_ptr<const bc::ModuleIR> IR;
   std::map<std::string, std::unique_ptr<hw::Memory>> Mems;
   std::map<std::string, hw::ExternModule *> Externs;
   std::optional<std::tuple<std::string, uint64_t>> HaltWatch;
   bool Halted = false;
+  bool TreeMode = false;
 };
 
 } // namespace backend

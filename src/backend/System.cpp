@@ -130,6 +130,18 @@ System::System(const CompiledProgram &CP, ElabConfig Cfg)
     for (unsigned Id = G.Stages.size(); Id-- > 0;)
       FireOrder.emplace_back(PI, &G.Stages[Id]);
   }
+  // Bind the compiled bytecode circuit: reuse a shared one when supplied
+  // (BatchRunner compiles once per core), otherwise compile now.
+  IR = this->Cfg.CompiledIR ? this->Cfg.CompiledIR : bc::compileModule(CP);
+  unsigned MaxFrame = 0;
+  for (PipeInstance *PI : PipeSeq) {
+    PI->Prog = IR->pipe(PI->Name);
+    assert(PI->Prog && "pipe missing from compiled circuit");
+    MaxFrame = std::max(MaxFrame, PI->Prog->FrameSize);
+  }
+  ProbeScratch.resize(MaxFrame);
+  Dispatch.Sys = this;
+  TreeMode = this->Cfg.EvalTree || std::getenv("PDL_EVAL_TREE") != nullptr;
   for (obs::TraceSink *S : this->Cfg.Sinks)
     if (S)
       attachSink(*S);
@@ -303,8 +315,9 @@ void System::start(PipeHandle H, std::vector<Bits> Args) {
   assert(Args.size() == Decl->Params.size() && "argument count mismatch");
   Thread T;
   T.Tid = NextTid++;
+  T.Frame = P.Prog->InitFrame;
   for (unsigned I = 0, N = Args.size(); I != N; ++I)
-    T.Vars[Decl->Params[I].Name] = Args[I];
+    T.Frame[P.Prog->ParamSlots[I]] = Args[I];
   T.Trace.Args = Args;
   emitThreadEvent(obs::Event::Kind::ThreadSpawn, P, T.Tid);
   P.Entry.enq(std::move(T));
@@ -526,13 +539,14 @@ void System::armFault(const hw::FaultPlan &Plan) {
     } else if (Plan.Kind == hw::FaultKind::FifoDupThread) {
       F->armDupNext(Plan.Nth, FireNote(Plan.Kind));
     } else {
-      std::string Var = Plan.Var;
+      // Resolve the variable to its frame slot once, at arm time.
+      uint16_t Slot = P.Prog->slotOf(Plan.Var);
       unsigned Bit = Plan.Bit;
-      F->armCorruptNext(Plan.Nth, [this, &P, Var, Bit](Thread &T) {
-        auto It = T.Vars.find(Var);
-        if (It != T.Vars.end())
-          It->second = Bits(It->second.zext() ^ (uint64_t(1) << Bit),
-                            It->second.width());
+      F->armCorruptNext(Plan.Nth, [this, &P, Slot, Bit](Thread &T) {
+        if (Slot != bc::NoSlot) {
+          Bits &V = T.Frame[Slot];
+          V = Bits(V.zext() ^ (uint64_t(1) << Bit), V.width());
+        }
         noteFault(P, hw::FaultKind::FifoCorruptPayload, T.Tid);
       });
     }
@@ -590,35 +604,51 @@ const std::string &System::siteResKey(const std::string &Mem,
   return Key;
 }
 
+Bits System::hookReadMem(const MemReadExpr &Site, uint64_t Addr) {
+  PipeInstance &P = *CurP;
+  Thread &T = *CurT;
+  WalkCtx &Ctx = *CurCtx;
+  MemSite &MS = memSite(P, Site.mem());
+  hw::HazardLock *L = MS.L;
+  if (!L)
+    return MS.M->read(Addr);
+  bool Probe = Ctx.Mode == WalkMode::Probe;
+  for (hw::Access M : {hw::Access::Read, hw::Access::ReadWrite}) {
+    const std::string &Key = siteResKey(Site.mem(), *Site.addr(), M);
+    auto It = T.Res.find(Key);
+    if (It != T.Res.end())
+      return Probe ? L->readP(Ctx.Probes[L], It->second)
+                   : L->read(It->second);
+    // Reserved earlier in this stage during the probe pass: peek the
+    // value a fresh reservation would see.
+    if (Probe && Ctx.ProbeReserved.count(Key))
+      return L->peek(Addr, M);
+  }
+  assert(false && "combinational read of a locked memory without an "
+                  "acquired reservation");
+  return Bits(0, MS.M->elemWidth());
+}
+
+Bits System::hookCallExtern(const ExternCallExpr &Site, const Bits *Args,
+                            unsigned NumArgs) {
+  auto It = Externs.find(Site.module());
+  assert(It != Externs.end() && "unbound extern module");
+  ArgScratch.assign(Args, Args + NumArgs);
+  auto R = It->second->invoke(Site.method(), ArgScratch);
+  assert(R && "extern value method returned nothing");
+  return *R;
+}
+
 const EvalHooks &System::hooksFor(PipeInstance &P, Thread &T, WalkCtx &Ctx) {
   CurP = &P;
   CurT = &T;
   CurCtx = &Ctx;
   if (HotHooks.ReadMem)
     return HotHooks;
+  // Tree-mode shims over the shared hook bodies (the bytecode interpreter
+  // reaches them through the virtual BcDispatch instead).
   HotHooks.ReadMem = [this](const MemReadExpr &Site, uint64_t Addr) {
-    PipeInstance &P = *CurP;
-    Thread &T = *CurT;
-    WalkCtx &Ctx = *CurCtx;
-    MemSite &MS = memSite(P, Site.mem());
-    hw::HazardLock *L = MS.L;
-    if (!L)
-      return MS.M->read(Addr);
-    bool Probe = Ctx.Mode == WalkMode::Probe;
-    for (hw::Access M : {hw::Access::Read, hw::Access::ReadWrite}) {
-      const std::string &Key = siteResKey(Site.mem(), *Site.addr(), M);
-      auto It = T.Res.find(Key);
-      if (It != T.Res.end())
-        return Probe ? L->readP(Ctx.Probes[L], It->second)
-                     : L->read(It->second);
-      // Reserved earlier in this stage during the probe pass: peek the
-      // value a fresh reservation would see.
-      if (Probe && Ctx.ProbeReserved.count(Key))
-        return L->peek(Addr, M);
-    }
-    assert(false && "combinational read of a locked memory without an "
-                    "acquired reservation");
-    return Bits(0, MS.M->elemWidth());
+    return hookReadMem(Site, Addr);
   };
   HotHooks.CallExtern = [this](const ExternCallExpr &Site,
                                const std::vector<Bits> &Args) {
@@ -693,16 +723,25 @@ System::Thread *System::stageInput(PipeInstance &P, const Stage &S,
 }
 
 const StageEdge *System::pickSuccessor(PipeInstance &P, const Stage &S,
-                                       const Env &Vars) {
+                                       WalkCtx &Ctx) {
   if (S.Succs.empty())
     return nullptr;
+  if (!TreeMode) {
+    const bc::StageProg &SP = P.Prog->Stages[S.Id];
+    for (size_t I = 0, N = S.Succs.size(); I != N; ++I)
+      if (bc::execGuard(SP.EdgeGuards[I], Ctx.Frame, Dispatch))
+        return &S.Succs[I];
+    assert(false && "no successor edge guard held (guards must partition)");
+    return nullptr;
+  }
   Thread Scratch; // hooks need a thread; guards contain no mem reads
-  WalkCtx Ctx;
-  const EvalHooks &H = hooksFor(P, Scratch, Ctx);
+  WalkCtx TCtx;
+  const EvalHooks &H = hooksFor(P, Scratch, TCtx);
   for (const StageEdge &E : S.Succs) {
     bool Taken = true;
     for (const GuardTerm &G : E.G) {
-      if (evalExpr(*G.Cond, Vars, *CP.AST, H).toBool() != G.Polarity) {
+      if (evalExpr(*G.Cond, Ctx.TreeVars, *CP.AST, H).toBool() !=
+          G.Polarity) {
         Taken = false;
         break;
       }
@@ -714,11 +753,54 @@ const StageEdge *System::pickSuccessor(PipeInstance &P, const Stage &S,
   return nullptr;
 }
 
-System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
+void System::bindWalkFrame(PipeInstance &P, Thread &T, WalkCtx &Ctx) {
+  if (Ctx.Mode == WalkMode::Commit) {
+    // The commit pass mutates architectural state, so it runs in place on
+    // the thread's own frame — no copy at all.
+    Ctx.Frame = T.Frame.data();
+  } else {
+    // The probe pass must leave the thread untouched on a stall: work on
+    // the reusable scratch frame. Only the named-variable prefix needs
+    // copying; scratch slots are defined before use by construction.
+    std::copy(T.Frame.begin(), T.Frame.begin() + P.Prog->NumVars,
+              ProbeScratch.begin());
+    Ctx.Frame = ProbeScratch.data();
+  }
+  if (TreeMode) {
+    Ctx.TreeVars = Env();
+    for (unsigned I = 0, N = P.Prog->NumVars; I != N; ++I)
+      Ctx.TreeVars[P.Prog->SlotNames[I]] = T.Frame[I];
+  }
+}
+
+void System::syncWalkFrame(PipeInstance &P, Thread &T, WalkCtx &Ctx) {
+  if (!TreeMode || Ctx.Mode != WalkMode::Commit)
+    return;
+  for (const auto &[Name, V] : Ctx.TreeVars) {
+    uint16_t Slot = P.Prog->slotOf(Name);
+    assert(Slot != bc::NoSlot && "tree walk bound an uncollected variable");
+    T.Frame[Slot] = V;
+  }
+}
+
+System::FireResult System::walkOp(PipeInstance &P, const Stmt &S,
+                                  const bc::OpProg &OP, Thread &T,
                                   WalkCtx &Ctx) {
   bool Commit = Ctx.Mode == WalkMode::Commit;
-  const EvalHooks &H = HotHooks; // bound by the enclosing walkStage
-  auto Eval = [&](const Expr &E) { return evalExpr(E, Ctx.Vars, *CP.AST, H); };
+  // Operand evaluation: the compiled bytecode program on the hot path, the
+  // legacy tree walker in tree mode (hooks were bound by walkStage).
+  auto Eval = [&](const bc::ExprProgram *BP, const Expr &E) {
+    if (!TreeMode)
+      return bc::exec(*BP, Ctx.Frame, Dispatch);
+    return evalExpr(E, Ctx.TreeVars, *CP.AST, HotHooks);
+  };
+  // Writes a named variable in the walk's working state.
+  auto Store = [&](uint16_t Slot, const std::string &Name, const Bits &V) {
+    if (!TreeMode)
+      Ctx.Frame[Slot] = V;
+    else
+      Ctx.TreeVars[Name] = V;
+  };
 
   // Records the stall cause for the probe pass's outcome attribution (one
   // cause per stall; the first failing op wins since the walk stops).
@@ -757,7 +839,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
   switch (S.kind()) {
   case Stmt::Kind::Assign: {
     const auto *A = cast<AssignStmt>(&S);
-    Ctx.Vars[A->name()] = Eval(*A->value());
+    Store(OP.Dest, A->name(), Eval(OP.E0, *A->value()));
     return FireResult::Fire;
   }
 
@@ -766,7 +848,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
     MemSite &MS = memSite(P, L->mem());
     hw::HazardLock *Lock = MS.L;
     assert(Lock && "lock op on a memory without a lock");
-    uint64_t Addr = Eval(*L->addr()).zext();
+    uint64_t Addr = Eval(OP.E0, *L->addr()).zext();
     hw::Access M = accessFor(L->mode());
 
     switch (L->op()) {
@@ -884,8 +966,8 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
     unsigned MemI = MS.Idx;
     mem::MemModel *Model = MS.Model;
     if (!Commit) {
-      uint64_t Addr = Eval(*W->addr()).zext();
-      Eval(*W->value()); // env consistency only
+      uint64_t Addr = Eval(OP.E0, *W->addr()).zext();
+      Eval(OP.E1, *W->value()); // hook-sequence consistency only
       if (Model && !Model->canAcceptWrite(Addr, Stats.Cycles)) {
         if (Bus.enabled())
           Bus.emit(obs::Event::memAccess(
@@ -896,8 +978,8 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       }
       return FireResult::Fire;
     }
-    uint64_t Addr = Eval(*W->addr()).zext();
-    Bits V = Eval(*W->value());
+    uint64_t Addr = Eval(OP.E0, *W->addr()).zext();
+    Bits V = Eval(OP.E1, *W->value());
     // Stores are posted: the pipeline never waits on the returned latency,
     // but the model's tags/LRU/miss queue advance and the outcome is traced.
     if (Model) {
@@ -937,7 +1019,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
 
   case Stmt::Kind::SyncRead: {
     const auto *Rd = cast<SyncReadStmt>(&S);
-    uint64_t Addr = Eval(*Rd->addr()).zext();
+    uint64_t Addr = Eval(OP.E0, *Rd->addr()).zext();
     MemSite &MS = memSite(P, Rd->mem());
     unsigned MemI = MS.Idx;
     mem::MemModel *Model = MS.Model;
@@ -985,7 +1067,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
                                        Addr));
     }
     Deliveries.push_back(
-        {Stats.Cycles + (Latency - 1), &P, T.Tid, Rd->name(), V});
+        {Stats.Cycles + (Latency - 1), &P, T.Tid, OP.Dest, V});
     ++T.PendingResp;
     return FireResult::Fire;
   }
@@ -1001,18 +1083,18 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       unsigned Pending = pendingEnqCount(&Callee.Entry);
       if (Callee.Entry.size() + Pending >= Callee.Entry.capacity())
         return Stall(StallCause::Backpressure);
-      for (const ExprPtr &A : C->args())
-        Eval(*A);
+      for (unsigned I = 0, N = C->args().size(); I != N; ++I)
+        Eval(OP.Args[I], *C->args()[I]);
       return FireResult::Fire;
     }
 
     Thread Child;
     Child.Tid = NextTid++;
-    const PipeDecl *CalleeDecl = Callee.CP->Decl;
+    Child.Frame = Callee.Prog->InitFrame;
     std::vector<Bits> ArgV;
     for (unsigned I = 0, N = C->args().size(); I != N; ++I) {
-      Bits V = Eval(*C->args()[I]);
-      Child.Vars[CalleeDecl->Params[I].Name] = V;
+      Bits V = Eval(OP.Args[I], *C->args()[I]);
+      Child.Frame[Callee.Prog->ParamSlots[I]] = V;
       ArgV.push_back(V);
     }
     Child.Trace.Args = ArgV;
@@ -1029,7 +1111,7 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       Child.HasCaller = true;
       Child.CallerP = &P;
       Child.CallerTid = T.Tid;
-      Child.CallerVar = C->resultName();
+      Child.CallerSlot = OP.Dest; // result slot in the caller's frame
       ++T.PendingResp;
     }
     emitThreadEvent(obs::Event::Kind::ThreadSpawn, Callee, Child.Tid);
@@ -1040,14 +1122,14 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
   case Stmt::Kind::Output: {
     const auto *O = cast<OutputStmt>(&S);
     if (!Commit) {
-      Eval(*O->value());
+      Eval(OP.E0, *O->value());
       return FireResult::Fire;
     }
-    Bits V = Eval(*O->value());
+    Bits V = Eval(OP.E0, *O->value());
     T.Trace.Output = V;
     if (T.HasCaller)
       Deliveries.push_back(
-          {Stats.Cycles, T.CallerP, T.CallerTid, T.CallerVar, V});
+          {Stats.Cycles, T.CallerP, T.CallerTid, T.CallerSlot, V});
     return FireResult::Fire;
   }
 
@@ -1084,10 +1166,10 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       unsigned Pending = pendingEnqCount(&P.Entry);
       if (P.Entry.size() + Pending >= P.Entry.capacity())
         return Stall(StallCause::Backpressure);
-      Eval(*V->actual());
+      Eval(OP.E0, *V->actual());
       return FireResult::Fire;
     }
-    Bits Actual = Eval(*V->actual());
+    Bits Actual = Eval(OP.E0, *V->actual());
     auto HIt = T.Handles.find(V->handle());
     assert(HIt != T.Handles.end() && "verify of an unspawned speculation");
     hw::SpecId Sid = HIt->second;
@@ -1143,15 +1225,19 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       // Respawn the corrected, non-speculative thread.
       Thread Child;
       Child.Tid = NextTid++;
-      Child.Vars[P.CP->Decl->Params[0].Name] = Actual;
+      Child.Frame = P.Prog->InitFrame;
+      Child.Frame[P.Prog->ParamSlots[0]] = Actual;
       Child.Trace.Args = {Actual};
       emitThreadEvent(obs::Event::Kind::ThreadSpawn, P, Child.Tid);
       PendingEnqs.push_back({&P, &P.Entry, std::move(Child)});
     }
     if (const ExternCallExpr *U = V->predictorUpdate()) {
+      // The update method is void, so it cannot flow through the hook used
+      // for value-producing extern calls: evaluate the compiled argument
+      // programs and invoke the module directly.
       std::vector<Bits> Args;
-      for (const ExprPtr &A : U->args())
-        Args.push_back(Eval(*A));
+      for (unsigned I = 0, N = U->args().size(); I != N; ++I)
+        Args.push_back(Eval(OP.Args[I], *U->args()[I]));
       auto It = Externs.find(U->module());
       assert(It != Externs.end() && "unbound extern module");
       It->second->invoke(U->method(), Args);
@@ -1167,10 +1253,10 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
       unsigned Pending = pendingEnqCount(&P.Entry);
       if (P.Entry.size() + Pending >= P.Entry.capacity())
         return Stall(StallCause::Backpressure);
-      Eval(*U->newPred());
+      Eval(OP.E0, *U->newPred());
       return FireResult::Fire;
     }
-    Bits NewPred = Eval(*U->newPred());
+    Bits NewPred = Eval(OP.E0, *U->newPred());
     auto HIt = T.Handles.find(U->handle());
     assert(HIt != T.Handles.end() && "update of an unspawned speculation");
     auto NewSid = P.Spec.update(HIt->second, NewPred);
@@ -1190,7 +1276,8 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
     Thread Child;
     Child.Tid = NextTid++;
     Child.MySpec = *NewSid;
-    Child.Vars[P.CP->Decl->Params[0].Name] = NewPred;
+    Child.Frame = P.Prog->InitFrame;
+    Child.Frame[P.Prog->ParamSlots[0]] = NewPred;
     Child.Trace.Args = {NewPred};
     if (Bus.enabled())
       Bus.emit(obs::Event::specAlloc(Stats.Cycles,
@@ -1209,11 +1296,22 @@ System::FireResult System::walkOp(PipeInstance &P, const Stmt &S, Thread &T,
 
 System::FireResult System::walkStage(PipeInstance &P, const Stage &S,
                                      Thread &T, WalkCtx &Ctx) {
-  const EvalHooks &H = hooksFor(P, T, Ctx);
-  for (const StagedOp &Op : S.Ops) {
-    if (!evalGuard(Op.G, Ctx.Vars, *CP.AST, H))
+  // Bind the hook dispatch to this walk (three pointer stores).
+  CurP = &P;
+  CurT = &T;
+  CurCtx = &Ctx;
+  if (TreeMode)
+    hooksFor(P, T, Ctx);
+  const bc::StageProg &SP = P.Prog->Stages[S.Id];
+  for (size_t I = 0, N = S.Ops.size(); I != N; ++I) {
+    const StagedOp &Op = S.Ops[I];
+    const bc::OpProg &OP = SP.Ops[I];
+    bool Holds = TreeMode
+                     ? evalGuard(Op.G, Ctx.TreeVars, *CP.AST, HotHooks)
+                     : bc::execGuard(OP.Guard, Ctx.Frame, Dispatch);
+    if (!Holds)
       continue;
-    FireResult R = walkOp(P, *Op.S, T, Ctx);
+    FireResult R = walkOp(P, *Op.S, OP, T, Ctx);
     if (R != FireResult::Fire)
       return R;
   }
@@ -1305,10 +1403,11 @@ void System::tryFireStage(PipeInstance &P, const Stage &S) {
     }
   }
 
-  // Probe pass: pure except for harmless lock-read bookkeeping.
+  // Probe pass: pure except for harmless lock-read bookkeeping. Runs on
+  // the reusable scratch frame so a stall leaves the thread untouched.
   WalkCtx Probe;
   Probe.Mode = WalkMode::Probe;
-  Probe.Vars = T->Vars;
+  bindWalkFrame(P, *T, Probe);
   FireResult R = walkStage(P, S, *T, Probe);
   if (R == FireResult::Stall) {
     assert(Probe.Cause != StallCause::None && "stall without a cause");
@@ -1323,8 +1422,8 @@ void System::tryFireStage(PipeInstance &P, const Stage &S) {
     return;
   }
 
-  // Back-pressure checks with the probe environment.
-  const StageEdge *Succ = pickSuccessor(P, S, Probe.Vars);
+  // Back-pressure checks with the probe frame.
+  const StageEdge *Succ = pickSuccessor(P, S, Probe);
   hw::Fifo<Thread> *SuccF = nullptr;
   if (Succ) {
     SuccF = P.SuccFifos[S.Id][Succ - S.Succs.data()];
@@ -1345,15 +1444,15 @@ void System::tryFireStage(PipeInstance &P, const Stage &S) {
     }
   }
 
-  // Commit pass.
+  // Commit pass: runs in place on the thread's own frame (zero copies).
   Thread Live = dequeueInput(P, S, PredIdx);
   WalkCtx Commit;
   Commit.Mode = WalkMode::Commit;
-  Commit.Vars = std::move(Live.Vars);
+  bindWalkFrame(P, Live, Commit);
   FireResult CR = walkStage(P, S, Live, Commit);
   assert(CR == FireResult::Fire && "probe and commit disagreed");
   (void)CR;
-  Live.Vars = std::move(Commit.Vars);
+  syncWalkFrame(P, Live, Commit);
 
   // Compiler-inserted checkpoints after the thread's final reservations.
   for (const auto &[Mem, CkStage] : P.CP->Spec.CheckpointStage) {
@@ -1363,11 +1462,17 @@ void System::tryFireStage(PipeInstance &P, const Stage &S) {
       Live.Ckpts[Mem] = L->checkpoint();
   }
 
-  // Coordination tags for joins forked here (HotHooks are still bound to
-  // the commit walk: same pipe, thread, and context).
+  // Coordination tags for joins forked here (the hook dispatch is still
+  // bound to the commit walk: same pipe, thread, and context).
   for (const Stage *J : P.ForkJoins[S.Id]) {
-    for (const TagRule &TR : J->TagRules) {
-      if (evalGuard(TR.G, Live.Vars, *CP.AST, HotHooks)) {
+    const bc::StageProg &JP = P.Prog->Stages[J->Id];
+    for (size_t I = 0, N = J->TagRules.size(); I != N; ++I) {
+      const TagRule &TR = J->TagRules[I];
+      bool Holds = TreeMode
+                       ? evalGuard(TR.G, Commit.TreeVars, *CP.AST, HotHooks)
+                       : bc::execGuard(JP.TagGuards[I], Commit.Frame,
+                                       Dispatch);
+      if (Holds) {
         PendingTags.push_back({&P, J->Id, TR.PredIndex, Live.Tid});
         break;
       }
@@ -1431,7 +1536,7 @@ void System::applyEndOfCycle() {
       continue;
     }
     if (Thread *T = findThread(P, It->Tid)) {
-      T->Vars[It->Var] = It->Value;
+      T->Frame[It->Slot] = It->Value;
       assert(T->PendingResp > 0);
       --T->PendingResp;
     }
@@ -1614,13 +1719,13 @@ DeadlockDiagnosis System::diagnoseDeadlock() {
         continue;
       WalkCtx Probe;
       Probe.Mode = WalkMode::Probe;
-      Probe.Vars = T->Vars;
+      bindWalkFrame(*PI, *T, Probe);
       FireResult R = walkStage(*PI, S, *T, Probe);
       if (R != FireResult::Stall) {
         if (R != FireResult::Fire)
           continue; // killable input cannot wedge the stage
         // The ops would fire: the block must be downstream backpressure.
-        const StageEdge *Succ = pickSuccessor(*PI, S, Probe.Vars);
+        const StageEdge *Succ = pickSuccessor(*PI, S, Probe);
         if (Succ) {
           auto &F = PI->EdgeFifos.at({Succ->From, Succ->To});
           if (F.size() >= F.capacity()) {

@@ -40,6 +40,7 @@
 #ifndef PDL_BACKEND_SYSTEM_H
 #define PDL_BACKEND_SYSTEM_H
 
+#include "backend/Compile.h"
 #include "backend/Eval.h"
 #include "backend/SeqInterp.h"
 #include "hw/Extern.h"
@@ -160,6 +161,15 @@ struct ElabConfig {
   /// Trace sinks attached at construction (equivalent to calling
   /// attachSink() on each). Caller-owned; must outlive the System.
   std::vector<obs::TraceSink *> Sinks;
+  /// Pre-compiled bytecode circuit to share across Systems elaborated from
+  /// the same CompiledProgram (sim::BatchRunner reuses one per core). When
+  /// null the System compiles its own at construction. Must have been
+  /// produced by bc::compileModule over the same CompiledProgram.
+  std::shared_ptr<const bc::ModuleIR> CompiledIR;
+  /// Evaluate expressions with the legacy tree walker instead of the
+  /// compiled bytecode (differential escape hatch; also enabled by the
+  /// PDL_EVAL_TREE environment variable).
+  bool EvalTree = false;
 };
 
 /// Cheap always-on global counters. Retained for compatibility and for the
@@ -326,7 +336,9 @@ private:
 
   struct Thread {
     uint64_t Tid = 0;
-    Env Vars;
+    /// Dense value frame, laid out by the pipe's bc::PipeProgram: slots
+    /// [0, NumVars) are the named variables, the rest per-walk scratch.
+    std::vector<Bits> Frame;
     hw::SpecId MySpec = 0; // 0 = spawned non-speculatively
     std::map<std::string, hw::ResId> Res; // reservation key -> id
     std::map<hw::ResId, ResRec> ResInfo;
@@ -338,7 +350,7 @@ private:
     // Cross-pipe request bookkeeping (set on callee threads).
     PipeInstance *CallerP = nullptr;
     uint64_t CallerTid = 0;
-    std::string CallerVar;
+    uint16_t CallerSlot = bc::NoSlot; // result slot in the caller's frame
     bool HasCaller = false;
   };
 
@@ -360,6 +372,7 @@ private:
 
   struct PipeInstance {
     const CompiledPipe *CP = nullptr;
+    const bc::PipeProgram *Prog = nullptr; // compiled circuit for this pipe
     std::string Name;
     unsigned Index = 0; // position in PipeSeq == PipeHandle::index()
     std::vector<LockRegion> Regions;
@@ -411,7 +424,12 @@ private:
 
   struct WalkCtx {
     WalkMode Mode;
-    Env Vars; // working environment
+    /// Working frame (the commit pass runs in place on the thread's own
+    /// frame; the probe pass on a reusable scratch copy).
+    Bits *Frame = nullptr;
+    /// Tree-mode only (ElabConfig::EvalTree): a name-keyed view of the
+    /// frame for the legacy evaluator; synced back by slot after commit.
+    Env TreeVars;
     /// Probe pass only: why the stage stalled (set exactly when an op
     /// returns Stall) and, for lock stalls, the memory responsible.
     obs::StallCause Cause = obs::StallCause::None;
@@ -443,12 +461,21 @@ private:
 
   FireResult walkStage(PipeInstance &P, const Stage &S, Thread &T,
                        WalkCtx &Ctx);
-  FireResult walkOp(PipeInstance &P, const ast::Stmt &S, Thread &T,
-                    WalkCtx &Ctx);
+  FireResult walkOp(PipeInstance &P, const ast::Stmt &S, const bc::OpProg &OP,
+                    Thread &T, WalkCtx &Ctx);
 
   /// Picks the successor edge whose guard holds (null if terminal stage).
+  /// \p Ctx must hold the thread's values (probe frame or tree Env).
   const StageEdge *pickSuccessor(PipeInstance &P, const Stage &S,
-                                 const Env &Vars);
+                                 WalkCtx &Ctx);
+
+  /// Points \p Ctx at the values of \p T: the probe pass copies the named
+  /// variables into the reusable probe scratch frame, the commit pass runs
+  /// in place on the thread's own frame. Tree mode builds the Env view.
+  void bindWalkFrame(PipeInstance &P, Thread &T, WalkCtx &Ctx);
+  /// Tree mode only: writes Ctx.TreeVars back into the thread frame after
+  /// a commit walk (bytecode mode commits in place and needs no sync).
+  void syncWalkFrame(PipeInstance &P, Thread &T, WalkCtx &Ctx);
 
   void tryFireStage(PipeInstance &P, const Stage &S);
 
@@ -505,7 +532,7 @@ private:
     uint64_t DueCycle;
     PipeInstance *P;
     uint64_t Tid;
-    std::string Var;
+    uint16_t Slot; // destination in the thread's frame
     Bits Value;
   };
 
@@ -555,6 +582,35 @@ private:
   PipeInstance *CurP = nullptr;
   Thread *CurT = nullptr;
   WalkCtx *CurCtx = nullptr;
+
+  /// Shared hook bodies behind both dispatch mechanisms (the bytecode
+  /// interpreter's virtual Hooks and tree mode's std::function EvalHooks).
+  Bits hookReadMem(const ast::MemReadExpr &Site, uint64_t Addr);
+  Bits hookCallExtern(const ast::ExternCallExpr &Site, const Bits *Args,
+                      unsigned NumArgs);
+
+  /// bc::Hooks impl for the bytecode interpreter: one virtual dispatch per
+  /// mem-read / extern-call site, no std::function on the hot path.
+  struct BcDispatch final : bc::Hooks {
+    System *Sys = nullptr;
+    Bits readMem(const ast::MemReadExpr &Site, uint64_t Addr) override {
+      return Sys->hookReadMem(Site, Addr);
+    }
+    Bits callExtern(const ast::ExternCallExpr &Site, const Bits *Args,
+                    unsigned NumArgs) override {
+      return Sys->hookCallExtern(Site, Args, NumArgs);
+    }
+  };
+  BcDispatch Dispatch;
+
+  /// The compiled circuit (shared via ElabConfig::CompiledIR or owned).
+  std::shared_ptr<const bc::ModuleIR> IR;
+  /// Reusable probe-pass frame, sized to the largest pipe FrameSize.
+  std::vector<Bits> ProbeScratch;
+  /// Reusable argument buffer for extern invocations.
+  std::vector<Bits> ArgScratch;
+  /// Legacy tree-walking evaluation (ElabConfig::EvalTree / PDL_EVAL_TREE).
+  bool TreeMode = false;
   std::map<std::string, hw::ExternModule *> Externs;
   std::vector<PendingEnq> PendingEnqs;
   std::vector<PendingTag> PendingTags;

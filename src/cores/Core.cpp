@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 #include <sstream>
 
 using namespace pdl;
@@ -84,17 +86,46 @@ CoreMemProfile cores::memProfileL1Tiny() {
   return P;
 }
 
+namespace {
+
+/// One compiled circuit per core kind: the front-end compile and the
+/// bytecode lowering both happen exactly once per process, no matter how
+/// many Cores (or BatchRunner jobs) instantiate that kind. Everything
+/// handed out is immutable, so concurrent Systems can share it freely; the
+/// mutex only guards the cache map itself.
+struct SharedCircuit {
+  std::shared_ptr<const CompiledProgram> Program;
+  std::shared_ptr<const backend::bc::ModuleIR> IR;
+};
+
+SharedCircuit sharedCircuit(CoreKind K) {
+  static std::mutex Lock;
+  static std::map<CoreKind, SharedCircuit> Cache;
+  std::lock_guard<std::mutex> Guard(Lock);
+  SharedCircuit &E = Cache[K];
+  if (!E.Program) {
+    auto P = std::make_shared<CompiledProgram>(
+        compile(sourceFor(K), coreName(K)));
+    if (!P->ok()) {
+      std::fprintf(stderr, "core '%s' failed to compile:\n%s", coreName(K),
+                   P->Diags->render().c_str());
+      std::abort();
+    }
+    E.IR = backend::bc::compileModule(*P);
+    E.Program = std::move(P);
+  }
+  return E;
+}
+
+} // namespace
+
 Core::Core(CoreKind Kind, PredictorKind Predictor, CoreMemProfile MemProfile)
     : Kind(Kind), MemProfile(std::move(MemProfile)) {
-  Program = std::make_unique<CompiledProgram>(
-      compile(sourceFor(Kind), coreName(Kind)));
-  if (!Program->ok()) {
-    std::fprintf(stderr, "core '%s' failed to compile:\n%s", coreName(Kind),
-                 Program->Diags->render().c_str());
-    std::abort();
-  }
+  SharedCircuit Circuit = sharedCircuit(Kind);
+  Program = Circuit.Program;
 
   ElabConfig Cfg;
+  Cfg.CompiledIR = Circuit.IR;
   // The register file carries the interesting lock choice; the data memory
   // is guarded by a queue lock (single-stage accesses never conflict).
   switch (Kind) {

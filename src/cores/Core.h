@@ -103,7 +103,11 @@ public:
 private:
   CoreKind Kind;
   CoreMemProfile MemProfile;
-  std::unique_ptr<CompiledProgram> Program;
+  /// Shared with every other Core of the same kind: the PDL source is
+  /// compiled and lowered to bytecode once per kind, then reference-counted
+  /// across instances (sim::BatchRunner's worker threads construct many
+  /// Cores concurrently; the circuit is immutable after construction).
+  std::shared_ptr<const CompiledProgram> Program;
   std::unique_ptr<backend::System> Sys;
   backend::PipeHandle Cpu;
   backend::MemHandle Imem, Dmem;

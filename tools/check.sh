@@ -37,6 +37,14 @@ python3 tools/check_bench_json.py "$BUILD_DIR"/fuzz.json
     --out="$BUILD_DIR"/fuzz-out-serial > "$BUILD_DIR"/fuzz-serial.json
 cmp "$BUILD_DIR"/fuzz.json "$BUILD_DIR"/fuzz-serial.json
 
+# Evaluator-equivalence smoke: the same fixed-seed fuzz matrix with the
+# legacy tree-walking evaluator (PDL_EVAL_TREE=1) must be byte-identical
+# to the default bytecode run — the compiled programs are a bit-for-bit
+# drop-in, not an approximation.
+PDL_EVAL_TREE=1 "$BUILD_DIR"/tools/pdlfuzz --seed=1 --count=25 --json \
+    --out="$BUILD_DIR"/fuzz-out-tree > "$BUILD_DIR"/fuzz-tree.json
+cmp "$BUILD_DIR"/fuzz.json "$BUILD_DIR"/fuzz-tree.json
+
 # Host-throughput trajectory: cycles/sec rows for BENCH_sim.json (the
 # committed snapshot at the repo root is updated deliberately from a quiet
 # machine; see docs/performance.md).

@@ -46,6 +46,10 @@ def check_throughput(row, where):
     if "jobs" in row:
         expect(uint(row["jobs"]) and row["jobs"] >= 1,
                f"{where}: jobs must be an int >= 1")
+    if "speedup_vs_baseline" in row:
+        expect(number(row["speedup_vs_baseline"]) and
+               row["speedup_vs_baseline"] > 0,
+               f"{where}: speedup_vs_baseline must be > 0")
 
 
 def check_robustness(obj, where):
@@ -110,6 +114,10 @@ def main():
         doc = json.load(f)
 
     expect(isinstance(doc.get("bench"), str), "missing 'bench' name")
+    if "geomean_speedup_vs_baseline" in doc:
+        expect(number(doc["geomean_speedup_vs_baseline"]) and
+               doc["geomean_speedup_vs_baseline"] > 0,
+               "geomean_speedup_vs_baseline must be > 0")
     rows = doc.get("rows")
     expect(isinstance(rows, list) and rows, "missing/empty 'rows'")
     reports = 0

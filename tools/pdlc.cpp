@@ -55,13 +55,16 @@ static void usage() {
                "usage: pdlc [--dump-stages] [--dump-seq] [--dump-ast]\n"
                "            [--run PIPE ARG] [--cycles N]\n"
                "            [--trace=OUT.vcd] [--stats=json] [--timeline]\n"
-               "            [--mem-model=PIPE.MEM=SPEC]...\n"
-               "            FILE.pdl\n");
+               "            [--mem-model=PIPE.MEM=SPEC]... [--eval=MODE]\n"
+               "            FILE.pdl\n"
+               "  --eval=MODE  expression evaluation: 'bytecode' (default)\n"
+               "               or 'tree' (legacy tree walker; also enabled\n"
+               "               by the PDL_EVAL_TREE environment variable)\n");
 }
 
 int main(int argc, char **argv) {
   bool DumpStages = false, DumpSeq = false, DumpAst = false;
-  bool StatsJson = false, Timeline = false;
+  bool StatsJson = false, Timeline = false, EvalTree = false;
   std::string RunPipe, TracePath;
   uint64_t RunArg = 0, Cycles = 100;
   std::string File;
@@ -102,6 +105,16 @@ int main(int argc, char **argv) {
         return 2;
       }
       MemModels[Rest.substr(0, Eq)] = *C;
+    } else if (A.rfind("--eval=", 0) == 0) {
+      std::string Mode = A.substr(7);
+      if (Mode == "tree") {
+        EvalTree = true;
+      } else if (Mode != "bytecode") {
+        std::fprintf(stderr,
+                     "pdlc: --eval wants 'bytecode' or 'tree', got '%s'\n",
+                     Mode.c_str());
+        return 2;
+      }
     } else if (A == "--timeline") {
       Timeline = true;
     } else if (A == "--help" || A == "-h") {
@@ -187,6 +200,7 @@ int main(int argc, char **argv) {
     obs::TimelineSink Occupancy;
 
     backend::ElabConfig Cfg;
+    Cfg.EvalTree = EvalTree;
     Cfg.MemModels = MemModels;
     for (const auto &[Key, C] : MemModels)
       std::fprintf(Msg, "mem-model %s: %s\n", Key.c_str(),
