@@ -111,15 +111,9 @@ obs::Json jsonRow(const std::string &Config, const std::string &Kernel,
   return Row;
 }
 
-struct CoreConfig {
-  const char *Name;
-  CoreKind Kind;
-};
-const CoreConfig CoreConfigs[] = {
-    {"PDL 5Stg", CoreKind::Pdl5Stage},
-    {"PDL 3Stg", CoreKind::Pdl3Stage},
-    {"PDL 5Stg BHT", CoreKind::Pdl5StageBht},
-};
+// Display names come from cores::coreName — one spelling repo-wide.
+const CoreKind CoreRows[] = {CoreKind::Pdl5Stage, CoreKind::Pdl3Stage,
+                             CoreKind::Pdl5StageBht};
 
 RowResult runPdl(CoreKind Kind, const CoreMemProfile &Profile,
                  const Workload &W) {
@@ -214,8 +208,11 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  const CoreMemProfile Profiles[] = {memProfileAlwaysHit(), memProfileL1_4K(),
-                                     memProfileL1Tiny()};
+  // The canonical profile list, round-tripped through the stable-name API
+  // (so bench rows and service requests agree on spellings by construction).
+  std::vector<CoreMemProfile> Profiles;
+  for (const std::string &Name : memProfileNames())
+    Profiles.push_back(*parseMemProfile(Name));
 
   // Precompute every run over the worker pool. Index layout: for each
   // profile, 3 core rows x kernels, then one Sodor row per kernel.
@@ -226,7 +223,7 @@ int main(int argc, char **argv) {
     const size_t PI = I / PerProfile;
     const size_t J = I % PerProfile;
     const size_t CI = J / K, KI = J % K;
-    Rows[I] = CI < 3 ? runPdl(CoreConfigs[CI].Kind, Profiles[PI], Kernels[KI])
+    Rows[I] = CI < 3 ? runPdl(CoreRows[CI], Profiles[PI], Kernels[KI])
                      : runSodorRow(Profiles[PI], Kernels[KI]);
   });
   auto RowAt = [&](size_t PI, size_t CI, size_t KI) -> const RowResult & {
@@ -257,7 +254,7 @@ int main(int argc, char **argv) {
 
     std::vector<double> SodorCpis, FiveStgCpis;
     for (unsigned CI = 0; CI != 3; ++CI) {
-      const CoreConfig &C = CoreConfigs[CI];
+      const char *Name = coreName(CoreRows[CI]);
       std::vector<double> Cpis;
       uint64_t Cycles = 0, Hits = 0, Misses = 0;
       bool SeqOk = true;
@@ -273,12 +270,12 @@ int main(int argc, char **argv) {
         if (CI == 0)
           FiveStgCpis.push_back(R.Cpi);
         if (JsonOut)
-          JsonRows.push(jsonRow(std::string(C.Name) + " / " + Profile.Name,
+          JsonRows.push(jsonRow(std::string(Name) + " / " + Profile.Name,
                                 Kernels[KI].Name, R, Jobs));
       }
       Geo[PI][CI] = geomean(Cpis);
       if (!JsonOut)
-        std::printf("%-14s %8.3f %10llu %10llu %10llu  %s\n", C.Name,
+        std::printf("%-14s %8.3f %10llu %10llu %10llu  %s\n", Name,
                     Geo[PI][CI], (unsigned long long)Cycles,
                     (unsigned long long)Hits, (unsigned long long)Misses,
                     SeqOk ? "yes" : "NO!");

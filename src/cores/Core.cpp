@@ -36,6 +36,55 @@ const char *cores::coreName(CoreKind K) {
   return "?";
 }
 
+const char *cores::coreKindId(CoreKind K) {
+  switch (K) {
+  case CoreKind::Pdl5Stage:
+    return "5stage";
+  case CoreKind::Pdl5StageNoBypass:
+    return "nobypass";
+  case CoreKind::Pdl3Stage:
+    return "3stage";
+  case CoreKind::Pdl5StageBht:
+    return "bht";
+  case CoreKind::PdlRv32im:
+    return "rv32im";
+  case CoreKind::Pdl5StageRename:
+    return "rename";
+  }
+  return "?";
+}
+
+const std::vector<CoreKind> &cores::allCoreKinds() {
+  static const std::vector<CoreKind> Kinds = {
+      CoreKind::Pdl5Stage,    CoreKind::Pdl5StageNoBypass,
+      CoreKind::Pdl3Stage,    CoreKind::Pdl5StageBht,
+      CoreKind::PdlRv32im,    CoreKind::Pdl5StageRename};
+  return Kinds;
+}
+
+std::optional<CoreKind> cores::parseCoreKind(const std::string &S) {
+  for (CoreKind K : allCoreKinds())
+    if (S == coreKindId(K))
+      return K;
+  return std::nullopt;
+}
+
+const std::vector<std::string> &cores::memProfileNames() {
+  static const std::vector<std::string> Names = {"always-hit", "l1-4k",
+                                                 "l1-tiny"};
+  return Names;
+}
+
+std::optional<CoreMemProfile> cores::parseMemProfile(const std::string &S) {
+  if (S == "always-hit")
+    return memProfileAlwaysHit();
+  if (S == "l1-4k")
+    return memProfileL1_4K();
+  if (S == "l1-tiny")
+    return memProfileL1Tiny();
+  return std::nullopt;
+}
+
 static std::string sourceFor(CoreKind K) {
   switch (K) {
   case CoreKind::Pdl5Stage:

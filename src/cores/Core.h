@@ -22,6 +22,7 @@
 #include "riscv/GoldenSim.h"
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,7 +38,17 @@ enum class CoreKind {
   Pdl5StageRename, // 5-stage with the renaming register file
 };
 
+/// Human-facing display name ("PDL 5Stg") — tables, logs, bench rows.
 const char *coreName(CoreKind K);
+
+/// Stable machine-readable identifier ("5stage", "bht", ...): the spelling
+/// used by CLI flags, the service wire protocol, and digest cache keys.
+/// parseCoreKind(coreKindId(K)) == K for every kind.
+const char *coreKindId(CoreKind K);
+std::optional<CoreKind> parseCoreKind(const std::string &S);
+
+/// Every CoreKind, in declaration order (CLI listings, round-trip tests).
+const std::vector<CoreKind> &allCoreKinds();
 
 /// Which external predictor module backs the BHT core's `bht` extern.
 enum class PredictorKind { Bht2Bit, Gshare };
@@ -58,6 +69,12 @@ struct CoreMemProfile {
 CoreMemProfile memProfileAlwaysHit();
 CoreMemProfile memProfileL1_4K();
 CoreMemProfile memProfileL1Tiny();
+
+/// The canonical profiles' stable names ("always-hit", "l1-4k", "l1-tiny"),
+/// in evaluation order. A profile's Name is its wire/cache-key spelling;
+/// parseMemProfile(P.Name).Name == P.Name for every canonical profile.
+const std::vector<std::string> &memProfileNames();
+std::optional<CoreMemProfile> parseMemProfile(const std::string &S);
 
 /// A ready-to-run processor instance.
 class Core {

@@ -1,0 +1,100 @@
+//===- Fault.cpp - Seeded fault-injection plans -----------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/Fault.h"
+
+#include <cstdlib>
+
+using namespace pdl;
+using namespace pdl::hw;
+
+std::optional<FaultKind> hw::parseFaultKind(const std::string &S) {
+  for (unsigned K = 0; K <= unsigned(FaultKind::DropStageOutcome); ++K)
+    if (S == faultKindName(FaultKind(K)))
+      return FaultKind(K);
+  return std::nullopt;
+}
+
+std::string hw::printFaultPlan(const FaultPlan &P) {
+  std::string Out = faultKindName(P.Kind);
+  std::string Fields;
+  auto Add = [&Fields](const char *Key, const std::string &Val) {
+    if (Val.empty())
+      return;
+    if (!Fields.empty())
+      Fields += ',';
+    Fields += Key;
+    Fields += '=';
+    Fields += Val;
+  };
+  Add("pipe", P.Pipe);
+  Add("mem", P.Mem);
+  Add("from", P.FromStage);
+  Add("to", P.ToStage);
+  if (P.Nth != 1)
+    Add("nth", std::to_string(P.Nth));
+  if (P.Bit != 0)
+    Add("bit", std::to_string(P.Bit));
+  Add("var", P.Var);
+  if (!Fields.empty()) {
+    Out += ':';
+    Out += Fields;
+  }
+  return Out;
+}
+
+std::optional<FaultPlan> hw::parseFaultPlan(const std::string &S,
+                                            std::string *Err) {
+  auto Fail = [Err](const std::string &Why) -> std::optional<FaultPlan> {
+    if (Err)
+      *Err = Why;
+    return std::nullopt;
+  };
+
+  size_t Colon = S.find(':');
+  std::string KindStr = S.substr(0, Colon);
+  std::optional<FaultKind> Kind = parseFaultKind(KindStr);
+  if (!Kind)
+    return Fail("unknown fault kind '" + KindStr + "'");
+
+  FaultPlan P;
+  P.Kind = *Kind;
+  if (Colon == std::string::npos)
+    return P;
+
+  size_t Pos = Colon + 1;
+  while (Pos <= S.size()) {
+    size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    std::string Field = S.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Field.empty())
+      continue;
+    size_t Eq = Field.find('=');
+    if (Eq == std::string::npos)
+      return Fail("fault field '" + Field + "' is not key=value");
+    std::string Key = Field.substr(0, Eq), Val = Field.substr(Eq + 1);
+    if (Key == "pipe") {
+      P.Pipe = Val;
+    } else if (Key == "mem") {
+      P.Mem = Val;
+    } else if (Key == "from") {
+      P.FromStage = Val;
+    } else if (Key == "to") {
+      P.ToStage = Val;
+    } else if (Key == "nth") {
+      P.Nth = std::strtoull(Val.c_str(), nullptr, 0);
+    } else if (Key == "bit") {
+      P.Bit = unsigned(std::strtoul(Val.c_str(), nullptr, 0));
+    } else if (Key == "var") {
+      P.Var = Val;
+    } else {
+      return Fail("unknown fault field '" + Key + "'");
+    }
+  }
+  return P;
+}

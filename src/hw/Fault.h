@@ -18,6 +18,7 @@
 #define PDL_HW_FAULT_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace pdl {
@@ -78,6 +79,22 @@ struct FaultPlan {
   unsigned Bit = 0;      // FifoCorruptPayload: bit to flip
   std::string Var;       // FifoCorruptPayload: thread variable to corrupt
 };
+
+/// Parses a faultKindName() spelling back to its kind.
+std::optional<FaultKind> parseFaultKind(const std::string &S);
+
+/// Stable single-token spelling of a full plan — the wire-protocol and
+/// cache-key form:
+///
+///   kind[:pipe=P,mem=M,from=S,to=S,nth=N,bit=N,var=V]
+///
+/// Fields at their default values are omitted, so the spelling is
+/// canonical: printFaultPlan(parseFaultPlan(S)) == S for any S the printer
+/// emits, and parseFaultPlan(printFaultPlan(P)) reproduces P field for
+/// field.
+std::string printFaultPlan(const FaultPlan &P);
+std::optional<FaultPlan> parseFaultPlan(const std::string &S,
+                                        std::string *Err = nullptr);
 
 } // namespace hw
 } // namespace pdl

@@ -1,0 +1,102 @@
+//===- Client.cpp - Thin synchronous client for pdlsimd ---------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace pdl;
+using namespace pdl::service;
+
+SimClient::~SimClient() { close(); }
+
+bool SimClient::connect(const std::string &SocketPath, std::string *Err) {
+  close();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path empty or longer than sun_path";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Err)
+      *Err = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    if (Err)
+      *Err = "connect(" + SocketPath + "): " + std::strerror(errno);
+    ::close(Fd);
+    Fd = -1;
+    return false;
+  }
+  return true;
+}
+
+void SimClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buf.clear();
+}
+
+bool SimClient::sendLine(const std::string &Line) {
+  if (Fd < 0)
+    return false;
+  std::string Out = Line + "\n";
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t W = ::write(Fd, Out.data() + Off, Out.size() - Off);
+    if (W <= 0)
+      return false;
+    Off += size_t(W);
+  }
+  return true;
+}
+
+std::optional<std::string> SimClient::recvLine() {
+  if (Fd < 0)
+    return std::nullopt;
+  for (;;) {
+    size_t Nl = Buf.find('\n');
+    if (Nl != std::string::npos) {
+      std::string Line = Buf.substr(0, Nl);
+      Buf.erase(0, Nl + 1);
+      return Line;
+    }
+    char Chunk[4096];
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N <= 0)
+      return std::nullopt;
+    Buf.append(Chunk, size_t(N));
+  }
+}
+
+std::optional<obs::Json> SimClient::call(const std::string &Line,
+                                         std::string *Err) {
+  if (!sendLine(Line)) {
+    if (Err)
+      *Err = "send failed (daemon gone?)";
+    return std::nullopt;
+  }
+  std::optional<std::string> Resp = recvLine();
+  if (!Resp) {
+    if (Err)
+      *Err = "connection closed before response";
+    return std::nullopt;
+  }
+  return obs::Json::parse(*Resp, Err);
+}

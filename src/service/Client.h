@@ -1,0 +1,62 @@
+//===- Client.h - Thin synchronous client for pdlsimd ----------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small blocking client for the pdlsimd wire protocol: connect to the
+/// daemon's Unix-domain socket, send newline-delimited request lines, read
+/// newline-delimited response lines. Request ids are assigned by the
+/// caller (the protocol echoes them back), so tests can pipeline many
+/// requests before reading any responses and still match them up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SERVICE_CLIENT_H
+#define PDL_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+
+#include <optional>
+#include <string>
+
+namespace pdl {
+namespace service {
+
+class SimClient {
+public:
+  SimClient() = default;
+  ~SimClient();
+  SimClient(const SimClient &) = delete;
+  SimClient &operator=(const SimClient &) = delete;
+
+  /// Connects to the daemon at \p SocketPath. False (with \p Err set) on
+  /// failure — e.g. no daemon is listening there.
+  bool connect(const std::string &SocketPath, std::string *Err = nullptr);
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// Sends one raw line (newline appended). False if the peer is gone.
+  bool sendLine(const std::string &Line);
+
+  /// Blocks for the next complete response line (newline stripped).
+  /// nullopt on EOF / error.
+  std::optional<std::string> recvLine();
+
+  /// Sends a request line and waits for the matching response — the
+  /// simple sequential mode used by the pdlsim tool. The response is
+  /// returned as parsed JSON; nullopt (with \p Err set) on transport
+  /// failure or unparseable response.
+  std::optional<obs::Json> call(const std::string &Line,
+                                std::string *Err = nullptr);
+
+private:
+  int Fd = -1;
+  std::string Buf; // bytes read past the last delivered line
+};
+
+} // namespace service
+} // namespace pdl
+
+#endif // PDL_SERVICE_CLIENT_H

@@ -1,0 +1,127 @@
+//===- Protocol.cpp - pdlsimd wire protocol ---------------------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+using namespace pdl;
+using namespace pdl::service;
+
+const char *service::opName(Op O) {
+  switch (O) {
+  case Op::Sim:
+    return "sim";
+  case Op::Stats:
+    return "stats";
+  case Op::Ping:
+    return "ping";
+  case Op::Drain:
+    return "drain";
+  case Op::Shutdown:
+    return "shutdown";
+  }
+  return "?";
+}
+
+std::optional<Op> service::parseOp(const std::string &S) {
+  for (Op O : {Op::Sim, Op::Stats, Op::Ping, Op::Drain, Op::Shutdown})
+    if (S == opName(O))
+      return O;
+  return std::nullopt;
+}
+
+std::optional<Request> service::parseRequestLine(const std::string &Line,
+                                                 std::string *Err,
+                                                 uint64_t *IdOut) {
+  if (IdOut)
+    *IdOut = 0;
+  auto Fail = [Err](const std::string &Why) -> std::optional<Request> {
+    if (Err)
+      *Err = Why;
+    return std::nullopt;
+  };
+
+  std::string ParseErr;
+  std::optional<obs::Json> V = obs::Json::parse(Line, &ParseErr);
+  if (!V)
+    return Fail("malformed request: " + ParseErr);
+  if (V->kind() != obs::Json::Kind::Object)
+    return Fail("request line is not a JSON object");
+
+  Request R;
+  if (const obs::Json *Id = V->get("id")) {
+    if (!Id->isNumber())
+      return Fail("request 'id' is not a number");
+    R.Id = Id->asU64();
+    if (IdOut)
+      *IdOut = R.Id;
+  }
+
+  const obs::Json *OpV = V->get("op");
+  if (!OpV)
+    return Fail("request has no 'op'");
+  std::optional<Op> O = parseOp(OpV->asString());
+  if (!O)
+    return Fail("unknown op '" + OpV->asString() + "'");
+  R.O = *O;
+
+  if (R.O == Op::Sim) {
+    const obs::Json *Req = V->get("request");
+    if (!Req)
+      return Fail("sim request has no 'request' object");
+    std::string SimErr;
+    std::optional<sim::SimRequest> S =
+        sim::SimRequest::fromJsonValue(*Req, &SimErr);
+    if (!S)
+      return Fail("bad sim request: " + SimErr);
+    R.Sim = std::move(*S);
+  }
+  return R;
+}
+
+std::string service::encodeSimRequest(uint64_t Id, const sim::SimRequest &R) {
+  obs::Json V = obs::Json::object();
+  V.set("id", obs::Json(Id));
+  V.set("op", obs::Json(opName(Op::Sim)));
+  V.set("request", R.toJsonValue());
+  return V.dump();
+}
+
+std::string service::encodeControlRequest(uint64_t Id, Op O) {
+  obs::Json V = obs::Json::object();
+  V.set("id", obs::Json(Id));
+  V.set("op", obs::Json(opName(O)));
+  return V.dump();
+}
+
+std::string service::encodeSimResponse(uint64_t Id, bool Cached,
+                                       const std::string &ResultJson) {
+  // Textual splice: the cached result bytes pass through untouched, which
+  // is what makes "a hit is byte-identical to the cold run" a guarantee
+  // about the wire, not just about parsed values.
+  std::string Out = "{\"id\":" + std::to_string(Id) + ",\"ok\":true";
+  Out += Cached ? ",\"cached\":true,\"result\":" : ",\"cached\":false,\"result\":";
+  Out += ResultJson;
+  Out += '}';
+  return Out;
+}
+
+std::string service::encodeErrorResponse(uint64_t Id,
+                                         const std::string &Error) {
+  obs::Json V = obs::Json::object();
+  V.set("id", obs::Json(Id));
+  V.set("ok", obs::Json(false));
+  V.set("error", obs::Json(Error));
+  return V.dump();
+}
+
+std::string service::encodeOkResponse(uint64_t Id, const char *Key,
+                                      const obs::Json &Body) {
+  obs::Json V = obs::Json::object();
+  V.set("id", obs::Json(Id));
+  V.set("ok", obs::Json(true));
+  V.set(Key, Body);
+  return V.dump();
+}

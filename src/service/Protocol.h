@@ -1,0 +1,77 @@
+//===- Protocol.h - pdlsimd wire protocol ----------------------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pdlsimd wire protocol: newline-delimited compact JSON over a
+/// Unix-domain socket, one request object per line, one response line per
+/// request (docs/service.md has the full schema).
+///
+/// Requests:
+///   {"id":N,"op":"sim","request":{...SimRequest::toJson...}}
+///   {"id":N,"op":"stats"} | {"id":N,"op":"ping"} | {"id":N,"op":"drain"}
+///   {"id":N,"op":"shutdown"}
+///
+/// Responses:
+///   {"id":N,"ok":true,"cached":B,"result":{...DiffResult::toJson...}}
+///   {"id":N,"ok":true,"stats":{...}} / {"id":N,"ok":true,"pong":true} ...
+///   {"id":N,"ok":false,"error":"..."}
+///
+/// Responses to one client always arrive in that client's submission
+/// order, whatever order the worker pool finishes in. A malformed line
+/// yields an ok:false response (id 0 when no id could be parsed), never a
+/// disconnect.
+///
+/// Response construction is deliberately textual: the serialized result
+/// payload is spliced into the response line verbatim, so a cache hit
+/// replays byte-identical result bytes (ServiceTest asserts this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SERVICE_PROTOCOL_H
+#define PDL_SERVICE_PROTOCOL_H
+
+#include "sim/SimRequest.h"
+
+#include <optional>
+#include <string>
+
+namespace pdl {
+namespace service {
+
+enum class Op { Sim, Stats, Ping, Drain, Shutdown };
+
+const char *opName(Op O);
+std::optional<Op> parseOp(const std::string &S);
+
+/// One parsed request line. Sim is meaningful only for Op::Sim.
+struct Request {
+  uint64_t Id = 0;
+  Op O = Op::Ping;
+  sim::SimRequest Sim;
+};
+
+/// Parses one wire line. On failure returns nullopt, sets \p Err, and
+/// stores whatever id could be salvaged in \p IdOut (0 otherwise) so the
+/// error response can still be correlated.
+std::optional<Request> parseRequestLine(const std::string &Line,
+                                        std::string *Err, uint64_t *IdOut);
+
+/// Client-side encoders (no trailing newline; the transport adds it).
+std::string encodeSimRequest(uint64_t Id, const sim::SimRequest &R);
+std::string encodeControlRequest(uint64_t Id, Op O);
+
+/// Server-side encoders. \p ResultJson is spliced in verbatim — it must be
+/// a serialized JSON value (DiffResult::toJson()).
+std::string encodeSimResponse(uint64_t Id, bool Cached,
+                              const std::string &ResultJson);
+std::string encodeErrorResponse(uint64_t Id, const std::string &Error);
+std::string encodeOkResponse(uint64_t Id, const char *Key,
+                             const obs::Json &Body);
+
+} // namespace service
+} // namespace pdl
+
+#endif // PDL_SERVICE_PROTOCOL_H

@@ -1,0 +1,54 @@
+//===- ResultCache.cpp - Digest-keyed LRU result cache ----------------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ResultCache.h"
+
+using namespace pdl;
+using namespace pdl::service;
+
+std::optional<std::string> ResultCache::lookup(const std::string &Key) {
+  std::lock_guard<std::mutex> Guard(M);
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    ++Misses;
+    return std::nullopt;
+  }
+  ++Hits;
+  Lru.splice(Lru.begin(), Lru, It->second); // refresh recency
+  return It->second->second;
+}
+
+void ResultCache::insert(const std::string &Key, std::string Payload) {
+  if (!Cap)
+    return;
+  std::lock_guard<std::mutex> Guard(M);
+  auto It = Map.find(Key);
+  if (It != Map.end()) {
+    // Concurrent identical misses both simulate; determinism makes their
+    // payloads identical, so refreshing is as good as first-wins.
+    It->second->second = std::move(Payload);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.emplace_front(Key, std::move(Payload));
+  Map[Key] = Lru.begin();
+  while (Map.size() > Cap) {
+    Map.erase(Lru.back().first);
+    Lru.pop_back();
+    ++Evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> Guard(M);
+  Stats S;
+  S.Hits = Hits;
+  S.Misses = Misses;
+  S.Evictions = Evictions;
+  S.Size = Map.size();
+  S.Capacity = Cap;
+  return S;
+}

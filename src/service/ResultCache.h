@@ -1,0 +1,66 @@
+//===- ResultCache.h - Digest-keyed LRU result cache -----------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's memoization table: serialized SimResult payloads keyed by
+/// SimRequest::cacheKey() (core kind, mem profile, program hash, cycle
+/// budget, monitor/digest flags, fault plan). Values are the exact bytes a
+/// cold run serialized — the jobs=N determinism contract makes every rerun
+/// of a key produce those same bytes, so replaying them from the cache is
+/// indistinguishable from re-simulating, only faster.
+///
+/// Bounded LRU: at capacity, an insert evicts the least-recently-used
+/// entry (lookups refresh recency). Thread-safe; one lock, held only for
+/// map/list surgery, never across a simulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SERVICE_RESULTCACHE_H
+#define PDL_SERVICE_RESULTCACHE_H
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace pdl {
+namespace service {
+
+class ResultCache {
+public:
+  /// \p Capacity 0 disables caching (every lookup misses, inserts drop).
+  explicit ResultCache(size_t Capacity) : Cap(Capacity) {}
+
+  /// Returns the payload for \p Key and refreshes its recency, or nullopt
+  /// on a miss. Counts a hit/miss either way.
+  std::optional<std::string> lookup(const std::string &Key);
+
+  /// Installs (or refreshes) \p Key -> \p Payload, evicting the LRU entry
+  /// when over capacity.
+  void insert(const std::string &Key, std::string Payload);
+
+  struct Stats {
+    uint64_t Hits = 0, Misses = 0, Evictions = 0;
+    uint64_t Size = 0, Capacity = 0;
+  };
+  Stats stats() const;
+
+private:
+  using Entry = std::pair<std::string, std::string>; // key, payload
+  mutable std::mutex M;
+  size_t Cap;
+  std::list<Entry> Lru; // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> Map;
+  uint64_t Hits = 0, Misses = 0, Evictions = 0;
+};
+
+} // namespace service
+} // namespace pdl
+
+#endif // PDL_SERVICE_RESULTCACHE_H

@@ -1,0 +1,155 @@
+//===- Server.cpp - Unix-domain socket front end for SimService -------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace pdl;
+using namespace pdl::service;
+
+SimServer::SimServer(Options O)
+    : Opts(std::move(O)),
+      Service({Opts.Workers, Opts.CacheEntries}) {}
+
+SimServer::~SimServer() {
+  requestStop();
+  waitAndDrain();
+}
+
+bool SimServer::start(std::string *Err) {
+  auto Fail = [&](const std::string &Why) {
+    if (Err)
+      *Err = Why + ": " + std::strerror(errno);
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    return false;
+  };
+
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.empty() ||
+      Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path empty or longer than sun_path ("
+             + std::to_string(sizeof(Addr.sun_path) - 1) + " bytes)";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size() + 1);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Fail("socket()");
+  ::unlink(Opts.SocketPath.c_str()); // stale socket from a dead daemon
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0)
+    return Fail("bind(" + Opts.SocketPath + ")");
+  if (::listen(ListenFd, 64) < 0)
+    return Fail("listen()");
+
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void SimServer::requestStop() { Stop.store(true); }
+
+void SimServer::acceptLoop() {
+  // Poll with a short timeout instead of blocking in accept() so the stop
+  // flag (set by a signal forwarder or the shutdown op) is noticed
+  // promptly without any async-signal trickery.
+  while (!Stop.load() && !Service.shutdownRequested()) {
+    pollfd P{ListenFd, POLLIN, 0};
+    int N = ::poll(&P, 1, /*timeout_ms=*/100);
+    if (N < 0 && errno != EINTR)
+      break;
+    if (N <= 0 || !(P.revents & POLLIN))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    std::lock_guard<std::mutex> Guard(ConnsM);
+    Conns.emplace_back([this, Fd] { serveConnection(Fd); });
+  }
+  Stop.store(true);
+}
+
+void SimServer::serveConnection(int Fd) {
+  // Writes come from worker threads (via Deliver) and must not interleave
+  // half-lines; one mutex per connection serializes them.
+  auto WriteM = std::make_shared<std::mutex>();
+  uint64_t Client = Service.openClient([Fd, WriteM](const std::string &Line) {
+    std::lock_guard<std::mutex> Guard(*WriteM);
+    std::string Out = Line + "\n";
+    size_t Off = 0;
+    while (Off < Out.size()) {
+      ssize_t W = ::write(Fd, Out.data() + Off, Out.size() - Off);
+      if (W <= 0)
+        return; // client went away; SimService keeps the job's cache entry
+      Off += size_t(W);
+    }
+  });
+
+  std::string Buf;
+  char Chunk[4096];
+  for (;;) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N <= 0)
+      break;
+    Buf.append(Chunk, size_t(N));
+    size_t Nl;
+    while ((Nl = Buf.find('\n')) != std::string::npos) {
+      std::string Line = Buf.substr(0, Nl);
+      Buf.erase(0, Nl + 1);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (!Line.empty())
+        Service.handleLine(Client, Line);
+    }
+    if (Service.shutdownRequested())
+      break;
+  }
+  // Let this connection's queued responses flush before unregistering:
+  // EOF from the client is a request to finish, not to abandon work.
+  Service.drain();
+  Service.closeClient(Client);
+  ::shutdown(Fd, SHUT_RDWR);
+  ::close(Fd);
+}
+
+void SimServer::waitAndDrain() {
+  while (!Stop.load() && !Service.shutdownRequested())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Stop.store(true);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  // In-flight jobs finish and their responses are delivered before the
+  // connection threads see EOF/close; join whatever connections remain.
+  Service.drain();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  std::vector<std::thread> ToJoin;
+  {
+    std::lock_guard<std::mutex> Guard(ConnsM);
+    ToJoin.swap(Conns);
+  }
+  for (std::thread &T : ToJoin)
+    if (T.joinable())
+      T.join();
+  ::unlink(Opts.SocketPath.c_str());
+}

@@ -1,0 +1,81 @@
+//===- Server.h - Unix-domain socket front end for SimService --*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport layer of pdlsimd: binds a Unix-domain socket, accepts
+/// connections, and pumps each connection's newline-delimited request
+/// lines into a shared SimService. One reader thread per connection;
+/// responses are written back from whatever thread completes them (the
+/// per-client ordering guarantee lives in SimService, the per-connection
+/// write atomicity here).
+///
+/// Lifecycle: start() binds and spawns the accept loop; the server runs
+/// until requestStop() (the daemon's SIGTERM/SIGINT path) or a client's
+/// shutdown op. Either way the wind-down is graceful: stop accepting,
+/// let in-flight jobs finish, deliver every queued response, then close
+/// — so a client that submitted before the signal always gets its
+/// results (docs/service.md, "drain semantics").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SERVICE_SERVER_H
+#define PDL_SERVICE_SERVER_H
+
+#include "service/Service.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pdl {
+namespace service {
+
+class SimServer {
+public:
+  struct Options {
+    std::string SocketPath;
+    unsigned Workers = 4;
+    size_t CacheEntries = 256;
+  };
+
+  explicit SimServer(Options O);
+  ~SimServer();
+
+  /// Binds + listens + spawns the accept loop. False (with \p Err set) if
+  /// the socket cannot be created; an existing socket file at the path is
+  /// removed first (stale daemons do not survive their socket).
+  bool start(std::string *Err);
+
+  /// Asynchronously requests a graceful stop. Safe to call from a signal
+  /// handler's forwarding thread, from any client thread, or repeatedly.
+  void requestStop();
+
+  /// Blocks until a stop was requested (signal or shutdown op), then
+  /// drains: stops accepting, waits for every in-flight job, delivers
+  /// every queued response, joins connection threads, unlinks the socket.
+  void waitAndDrain();
+
+  SimService &service() { return Service; }
+  const Options &options() const { return Opts; }
+
+private:
+  void acceptLoop();
+  void serveConnection(int Fd);
+
+  Options Opts;
+  SimService Service;
+  int ListenFd = -1;
+  std::atomic<bool> Stop{false};
+  std::thread Acceptor;
+  std::mutex ConnsM;
+  std::vector<std::thread> Conns;
+};
+
+} // namespace service
+} // namespace pdl
+
+#endif // PDL_SERVICE_SERVER_H

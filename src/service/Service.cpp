@@ -1,0 +1,180 @@
+//===- Service.cpp - In-process multi-tenant simulation service -------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+using namespace pdl;
+using namespace pdl::service;
+
+SimService::SimService(Config C)
+    : Cfg(C), Pool(C.Workers ? C.Workers : 1), Cache(C.CacheEntries) {}
+
+SimService::~SimService() { drain(); }
+
+uint64_t SimService::openClient(Deliver D) {
+  std::lock_guard<std::mutex> Guard(ClientsM);
+  uint64_t Id = NextClient++;
+  auto C = std::make_shared<ClientState>();
+  C->Id = Id;
+  C->D = std::move(D);
+  Clients[Id] = std::move(C);
+  return Id;
+}
+
+void SimService::closeClient(uint64_t Client) {
+  std::shared_ptr<ClientState> C;
+  {
+    std::lock_guard<std::mutex> Guard(ClientsM);
+    auto It = Clients.find(Client);
+    if (It == Clients.end())
+      return;
+    C = It->second;
+    Clients.erase(It);
+  }
+  std::lock_guard<std::mutex> Guard(C->M);
+  C->Closed = true;
+  C->D = nullptr;
+}
+
+std::shared_ptr<SimService::ClientState> SimService::client(uint64_t Id) {
+  std::lock_guard<std::mutex> Guard(ClientsM);
+  auto It = Clients.find(Id);
+  return It == Clients.end() ? nullptr : It->second;
+}
+
+std::shared_ptr<SimService::Slot>
+SimService::enqueue(const std::shared_ptr<ClientState> &C, bool Done,
+                    std::string Line) {
+  auto S = std::make_shared<Slot>();
+  S->Done = Done;
+  S->Line = std::move(Line);
+  {
+    std::lock_guard<std::mutex> Guard(C->M);
+    C->Fifo.push_back(S);
+    ++C->Submitted;
+  }
+  if (Done)
+    flush(C);
+  return S;
+}
+
+void SimService::finishSlot(const std::shared_ptr<ClientState> &C,
+                            const std::shared_ptr<Slot> &S, std::string Line) {
+  {
+    std::lock_guard<std::mutex> Guard(C->M);
+    S->Line = std::move(Line);
+    S->Done = true;
+  }
+  flush(C);
+}
+
+void SimService::flush(const std::shared_ptr<ClientState> &C) {
+  // Holding the client mutex across Deliver serializes delivery per
+  // client (the contract Deliver relies on); clients never share a lock,
+  // so one slow socket cannot stall another client's responses.
+  std::lock_guard<std::mutex> Guard(C->M);
+  while (!C->Fifo.empty() && C->Fifo.front()->Done) {
+    std::shared_ptr<Slot> S = C->Fifo.front();
+    C->Fifo.pop_front();
+    ++C->Completed;
+    if (!C->Closed && C->D)
+      C->D(S->Line);
+  }
+}
+
+obs::Json SimService::statsJson(const std::shared_ptr<ClientState> &C) {
+  ResultCache::Stats CS = Cache.stats();
+  obs::Json CacheV = obs::Json::object();
+  CacheV.set("hits", obs::Json(CS.Hits));
+  CacheV.set("misses", obs::Json(CS.Misses));
+  CacheV.set("evictions", obs::Json(CS.Evictions));
+  CacheV.set("size", obs::Json(CS.Size));
+  CacheV.set("capacity", obs::Json(CS.Capacity));
+
+  obs::Json ClientV = obs::Json::object();
+  {
+    std::lock_guard<std::mutex> Guard(C->M);
+    ClientV.set("id", obs::Json(C->Id));
+    ClientV.set("submitted", obs::Json(C->Submitted));
+    ClientV.set("completed", obs::Json(C->Completed));
+    ClientV.set("hits", obs::Json(C->Hits));
+    ClientV.set("misses", obs::Json(C->Misses));
+    ClientV.set("errors", obs::Json(C->Errors));
+    // Built before the stats line's own slot is enqueued, so the FIFO
+    // holds exactly the client's still-undelivered earlier submissions.
+    ClientV.set("inflight", obs::Json(uint64_t(C->Fifo.size())));
+  }
+
+  obs::Json V = obs::Json::object();
+  V.set("workers", obs::Json(uint64_t(Pool.workers())));
+  V.set("inflight", obs::Json(uint64_t(Pool.inflight())));
+  V.set("cache", std::move(CacheV));
+  V.set("client", std::move(ClientV));
+  return V;
+}
+
+void SimService::handleLine(uint64_t Client, const std::string &Line) {
+  std::shared_ptr<ClientState> C = client(Client);
+  if (!C)
+    return; // already closed; nothing to deliver to
+
+  std::string Err;
+  uint64_t Id = 0;
+  std::optional<Request> R = parseRequestLine(Line, &Err, &Id);
+  if (!R) {
+    {
+      std::lock_guard<std::mutex> Guard(C->M);
+      ++C->Errors;
+    }
+    enqueue(C, /*Done=*/true, encodeErrorResponse(Id, Err));
+    return;
+  }
+
+  switch (R->O) {
+  case Op::Ping:
+    enqueue(C, true, encodeOkResponse(R->Id, "pong", obs::Json(true)));
+    return;
+  case Op::Stats:
+    enqueue(C, true, encodeOkResponse(R->Id, "stats", statsJson(C)));
+    return;
+  case Op::Drain:
+    // One FIFO slot like any other: delivered only once every earlier
+    // slot of this client has completed — that is the drain semantics.
+    enqueue(C, true, encodeOkResponse(R->Id, "drained", obs::Json(true)));
+    return;
+  case Op::Shutdown:
+    enqueue(C, true, encodeOkResponse(R->Id, "shutting_down", obs::Json(true)));
+    Shutdown.store(true);
+    return;
+  case Op::Sim:
+    break;
+  }
+
+  const sim::SimRequest Req = std::move(R->Sim);
+  const uint64_t RespId = R->Id;
+  if (Req.cacheable()) {
+    if (std::optional<std::string> Cached = Cache.lookup(Req.cacheKey())) {
+      {
+        std::lock_guard<std::mutex> Guard(C->M);
+        ++C->Hits;
+      }
+      enqueue(C, true, encodeSimResponse(RespId, /*Cached=*/true, *Cached));
+      return;
+    }
+    std::lock_guard<std::mutex> Guard(C->M);
+    ++C->Misses;
+  }
+
+  std::shared_ptr<Slot> S = enqueue(C, /*Done=*/false, "");
+  Pool.submit([this, C, S, Req, RespId] {
+    std::string Payload = sim::runSim(Req).toJson();
+    if (Req.cacheable())
+      Cache.insert(Req.cacheKey(), Payload);
+    finishSlot(C, S, encodeSimResponse(RespId, /*Cached=*/false, Payload));
+  });
+}
+
+void SimService::drain() { Pool.drain(); }

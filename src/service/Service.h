@@ -1,0 +1,130 @@
+//===- Service.h - In-process multi-tenant simulation service -*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's engine, factored away from sockets so tests drive it
+/// in-process: N protocol clients submit request lines, jobs execute on a
+/// standing worker pool (sim::StandingPool), results come back through a
+/// digest-keyed LRU cache, and each client's responses are delivered — via
+/// its callback — in that client's submission order no matter how the pool
+/// interleaves completions.
+///
+/// Ordering: every accepted line occupies one slot in its client's FIFO.
+/// Immediately-answerable slots (cache hits, control ops, errors) are
+/// marked done on arrival; simulation slots are marked done by the worker
+/// that finishes them. Delivery always walks the FIFO from the front and
+/// stops at the first unfinished slot, so a cache hit behind a running
+/// miss waits its turn — per-client order is part of the API, wall-clock
+/// is not.
+///
+/// Caching: keyed by SimRequest::cacheKey(); the stored value is the
+/// serialized result payload of the cold run, replayed verbatim on a hit
+/// (byte-identical by the jobs=N determinism contract). Requests that
+/// write waveforms are uncacheable and always simulate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SERVICE_SERVICE_H
+#define PDL_SERVICE_SERVICE_H
+
+#include "service/Protocol.h"
+#include "service/ResultCache.h"
+#include "sim/StandingPool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace pdl {
+namespace service {
+
+class SimService {
+public:
+  struct Config {
+    unsigned Workers;
+    size_t CacheEntries;
+    // Constructor instead of member initializers so the enclosing class
+    // can default a Config argument while still incomplete.
+    Config(unsigned W = 4, size_t C = 256) : Workers(W), CacheEntries(C) {}
+  };
+
+  explicit SimService(Config C = Config());
+  ~SimService(); // drains in-flight work first
+
+  /// A client's response sink. Called with one complete response line (no
+  /// trailing newline), in that client's submission order; may be called
+  /// from worker threads or from inside handleLine, never concurrently
+  /// for the same client.
+  using Deliver = std::function<void(const std::string &Line)>;
+
+  /// Registers a client and returns its id (1-based, process-unique).
+  uint64_t openClient(Deliver D);
+
+  /// Unregisters a client. In-flight jobs keep running (their results
+  /// still warm the cache) but nothing more is delivered.
+  void closeClient(uint64_t Client);
+
+  /// Accepts one protocol line on behalf of \p Client. Every line —
+  /// including malformed ones — produces exactly one response through the
+  /// client's Deliver callback, in submission order.
+  void handleLine(uint64_t Client, const std::string &Line);
+
+  /// Blocks until every job submitted so far has finished and its
+  /// response has been delivered — the graceful-drain half of SIGTERM
+  /// handling (the daemon calls this before exiting).
+  void drain();
+
+  /// Set once a client issued the shutdown op (after its response was
+  /// queued). The transport layer polls this to stop accepting.
+  bool shutdownRequested() const { return Shutdown.load(); }
+
+  ResultCache::Stats cacheStats() const { return Cache.stats(); }
+  size_t inflight() const { return Pool.inflight(); }
+
+private:
+  struct Slot {
+    bool Done = false;
+    std::string Line;
+  };
+  struct ClientState {
+    uint64_t Id = 0;
+    Deliver D;
+    bool Closed = false;
+    std::mutex M; // guards everything in this struct
+    std::deque<std::shared_ptr<Slot>> Fifo;
+    // Per-client stats, reported by the stats op.
+    uint64_t Submitted = 0, Completed = 0, Hits = 0, Misses = 0, Errors = 0;
+  };
+
+  std::shared_ptr<ClientState> client(uint64_t Id);
+  /// Appends a slot to the client's FIFO; done slots may be deliverable
+  /// immediately. Returns the slot for asynchronous completion.
+  std::shared_ptr<Slot> enqueue(const std::shared_ptr<ClientState> &C,
+                                bool Done, std::string Line);
+  static void finishSlot(const std::shared_ptr<ClientState> &C,
+                         const std::shared_ptr<Slot> &S, std::string Line);
+  /// Delivers consecutive finished slots from the FIFO front.
+  static void flush(const std::shared_ptr<ClientState> &C);
+  obs::Json statsJson(const std::shared_ptr<ClientState> &C);
+
+  Config Cfg;
+  sim::StandingPool Pool;
+  ResultCache Cache;
+  std::atomic<bool> Shutdown{false};
+  std::mutex ClientsM;
+  std::map<uint64_t, std::shared_ptr<ClientState>> Clients;
+  uint64_t NextClient = 1;
+};
+
+} // namespace service
+} // namespace pdl
+
+#endif // PDL_SERVICE_SERVICE_H

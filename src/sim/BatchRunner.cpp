@@ -10,16 +10,56 @@
 #include "sim/WorkerPool.h"
 #include "verify/ProgGen.h"
 
+#include <algorithm>
+
 using namespace pdl;
 using namespace pdl::sim;
 
+std::vector<SimResult> sim::runBatch(const std::vector<SimRequest> &Reqs,
+                                     unsigned Workers) {
+  std::vector<SimResult> Results(Reqs.size());
+  parallelForOrdered(Workers, Reqs.size(),
+                     [&](size_t I) { Results[I] = runSim(Reqs[I]); });
+  return Results;
+}
+
 std::vector<verify::DiffResult> sim::runBatch(const std::vector<SimJob> &Jobs,
                                               unsigned Workers) {
-  std::vector<verify::DiffResult> Results(Jobs.size());
-  parallelForOrdered(Workers, Jobs.size(), [&](size_t I) {
-    Results[I] = verify::runDiff(Jobs[I].Asm, Jobs[I].Cfg);
-  });
-  return Results;
+  std::vector<SimRequest> Reqs(Jobs.size());
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    Reqs[I].Asm = Jobs[I].Asm;
+    Reqs[I].Seed = Jobs[I].Seed;
+    Reqs[I].Cfg = Jobs[I].Cfg;
+  }
+  return runBatch(Reqs, Workers);
+}
+
+std::vector<SimRequest> sim::expandFuzzMatrix(const FuzzOptions &O,
+                                              uint64_t Begin, uint64_t End) {
+  std::vector<SimRequest> Batch;
+  if (Begin >= End || O.Kinds.empty() || O.Profiles.empty())
+    return Batch;
+  Batch.reserve((End - Begin) * O.Kinds.size() * O.Profiles.size());
+  for (uint64_t N = Begin; N != End; ++N) {
+    // Program generation is seeded and cheap; do it serially so request I
+    // of the matrix is fully determined before any worker starts.
+    verify::GenConfig G;
+    G.Seed = O.Seed + N;
+    std::string Program = verify::generateProgram(G);
+    for (cores::CoreKind Kind : O.Kinds)
+      for (const cores::CoreMemProfile &Profile : O.Profiles) {
+        SimRequest R;
+        R.Asm = Program;
+        R.Seed = O.Seed + N;
+        R.Cfg.Kind = Kind;
+        R.Cfg.Profile = Profile;
+        R.Cfg.MaxCycles = O.MaxCycles;
+        R.Cfg.Fault = O.Fault;
+        R.Cfg.Jobs = O.Jobs; // shrink re-runs fan out over the same pool
+        Batch.push_back(std::move(R));
+      }
+  }
+  return Batch;
 }
 
 FuzzBatchResult sim::runFuzzBatch(const FuzzOptions &O) {
@@ -28,32 +68,34 @@ FuzzBatchResult sim::runFuzzBatch(const FuzzOptions &O) {
   if (!NumKinds || !NumProfiles || !O.Count)
     return Out;
 
-  // Program generation is seeded and cheap; do it serially so job I of the
-  // matrix is fully determined before any worker starts.
-  std::vector<std::string> Programs(O.Count);
-  for (uint64_t N = 0; N != O.Count; ++N) {
-    verify::GenConfig G;
-    G.Seed = O.Seed + N;
-    Programs[N] = verify::generateProgram(G);
+  std::vector<SimRequest> Batch;
+  std::vector<SimResult> Results;
+  if (!O.FailFast) {
+    Batch = expandFuzzMatrix(O);
+    Out.ProgramsGenerated = O.Count;
+    Results = runBatch(Batch, O.Jobs);
+  } else {
+    // Fail-fast: generate and run one wave of programs at a time (enough
+    // to keep every worker busy) and stop at the first failing run, so a
+    // failing matrix returns promptly instead of generating and running
+    // everything up front. The fold below only ever consumes results up
+    // to the first failure, so the output is byte-identical to a serial
+    // run that stopped there — whatever the wave size.
+    const uint64_t WaveProgs = std::max<uint64_t>(O.Jobs ? O.Jobs : 1, 1);
+    bool Failed = false;
+    for (uint64_t N = 0; N != O.Count && !Failed; ) {
+      uint64_t WaveEnd = std::min<uint64_t>(O.Count, N + WaveProgs);
+      std::vector<SimRequest> Wave = expandFuzzMatrix(O, N, WaveEnd);
+      std::vector<SimResult> WaveResults = runBatch(Wave, O.Jobs);
+      Out.ProgramsGenerated += WaveEnd - N;
+      for (const SimResult &R : WaveResults)
+        Failed = Failed || R.failed();
+      std::move(Wave.begin(), Wave.end(), std::back_inserter(Batch));
+      std::move(WaveResults.begin(), WaveResults.end(),
+                std::back_inserter(Results));
+      N = WaveEnd;
+    }
   }
-
-  std::vector<SimJob> Batch;
-  Batch.reserve(O.Count * NumKinds * NumProfiles);
-  for (uint64_t N = 0; N != O.Count; ++N)
-    for (size_t KI = 0; KI != NumKinds; ++KI)
-      for (size_t PI = 0; PI != NumProfiles; ++PI) {
-        SimJob J;
-        J.Asm = Programs[N];
-        J.Seed = O.Seed + N;
-        J.Cfg.Kind = O.Kinds[KI];
-        J.Cfg.Profile = O.Profiles[PI];
-        J.Cfg.MaxCycles = O.MaxCycles;
-        J.Cfg.Fault = O.Fault;
-        J.Cfg.Jobs = O.Jobs; // shrink re-runs fan out over the same pool
-        Batch.push_back(std::move(J));
-      }
-
-  std::vector<verify::DiffResult> Results = runBatch(Batch, O.Jobs);
 
   // Fold in matrix order. Under FailFast a serial run stops right after
   // processing the first failure; reproduce that by truncating here (the
@@ -71,9 +113,9 @@ FuzzBatchResult sim::runFuzzBatch(const FuzzOptions &O) {
   for (size_t I = 0; I != Upto; ++I) {
     const size_t KI = (I / NumProfiles) % NumKinds;
     const uint64_t N = I / (NumProfiles * NumKinds);
-    const uint64_t RunSeed = O.Seed + N;
+    const uint64_t RunSeed = Batch[I].Seed;
     const verify::DiffConfig &DC = Batch[I].Cfg;
-    const verify::DiffResult &R = Results[I];
+    const SimResult &R = Results[I];
     ++Out.Runs;
 
     std::string Config =
@@ -108,10 +150,10 @@ FuzzBatchResult sim::runFuzzBatch(const FuzzOptions &O) {
       Logf(R.DeadlockDiagnosis);
 
     Logf("pdlfuzz: shrinking...\n");
-    std::string Shrunk = verify::shrink(Programs[N], DC);
+    std::string Shrunk = verify::shrink(Batch[I].Asm, DC);
     std::string Dir = O.OutDir + "/seed-" + std::to_string(RunSeed) + "-" +
                       std::to_string(KI) + "-" + DC.Profile.Name;
-    if (verify::writeReproBundle(Dir, Programs[N], Shrunk, RunSeed, DC, R))
+    if (verify::writeReproBundle(Dir, Batch[I].Asm, Shrunk, RunSeed, DC, R))
       Logf("pdlfuzz: repro bundle in " + Dir + "\n");
     else
       Logf("pdlfuzz: could not write " + Dir + "\n");

@@ -5,25 +5,27 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The batch-simulation engine: one job is (program x core x mem-profile x
-/// fault plan) -> DiffResult (stats report + trace digest), and a batch is
-/// N such jobs executed over a fixed-size worker pool with results
-/// collected in job order. Every `System` instance stays single-threaded —
-/// workers share nothing — so a parallel batch is bit-identical to running
-/// the same jobs serially, which BatchRunnerTest asserts byte-for-byte on
-/// the fuzzer's JSON, failure log, and repro bundles.
+/// The batch-simulation engine: one SimRequest -> SimResult (stats report +
+/// trace digest), and a batch is N such requests executed over a fixed-size
+/// worker pool with results collected in request order. Every `System`
+/// instance stays single-threaded — workers share nothing — so a parallel
+/// batch is bit-identical to running the same requests serially, which
+/// BatchRunnerTest asserts byte-for-byte on the fuzzer's JSON, failure log,
+/// and repro bundles.
 ///
 /// `runFuzzBatch` is the library form of the pdlfuzz matrix driver
 /// (seeds x cores x profiles): generation, diffing, shrinking, bundle
 /// writing, and row serialization all live here so the CLI stays a thin
 /// argument parser and tests can run the exact tool pipeline in-process.
+/// The same expansion (`expandFuzzMatrix`) feeds the pdlsim client's
+/// matrix mode, so the service smoke submits exactly the fuzz matrix.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PDL_SIM_BATCHRUNNER_H
 #define PDL_SIM_BATCHRUNNER_H
 
-#include "verify/Differ.h"
+#include "sim/SimRequest.h"
 
 #include <optional>
 #include <string>
@@ -32,22 +34,28 @@
 namespace pdl {
 namespace sim {
 
-/// One simulation job: a program and the full run configuration (core,
-/// memory profile, cycle limit, optional fault plan — see DiffConfig).
+/// Runs every request over at most \p Workers threads and returns the
+/// results in request order (result[I] belongs to Reqs[I] no matter which
+/// worker ran it or when it finished). Workers <= 1 runs serially on the
+/// caller.
+std::vector<SimResult> runBatch(const std::vector<SimRequest> &Reqs,
+                                unsigned Workers);
+
+/// Deprecated shim (one release): the pre-SimRequest job type. Use
+/// SimRequest — same fields, with the configuration embedded as Cfg.
 struct SimJob {
   std::string Asm;
   verify::DiffConfig Cfg;
-  /// Provenance label carried through to reporting (e.g. "seed-7").
   uint64_t Seed = 0;
 };
 
-/// Runs every job over at most \p Workers threads and returns the results
-/// in job order (result[I] belongs to Jobs[I] no matter which worker ran
-/// it or when it finished). Workers <= 1 runs serially on the caller.
+/// Deprecated shim (one release): forwards to the SimRequest overload.
 std::vector<verify::DiffResult> runBatch(const std::vector<SimJob> &Jobs,
                                          unsigned Workers);
 
 /// Options for the full fuzz matrix — mirrors the pdlfuzz command line.
+/// A matrix-level shim over SimRequest: expandFuzzMatrix turns one of
+/// these into the canonical request list.
 struct FuzzOptions {
   uint64_t Seed = 1;
   uint64_t Count = 100;
@@ -67,9 +75,24 @@ struct FuzzOptions {
   std::optional<hw::FaultPlan> Fault;
 };
 
+/// Expands the seeds x cores x profiles matrix of programs [Begin, End)
+/// into the canonical request list, in matrix order (program-major, then
+/// core, then profile). Program N is generated from seed O.Seed + N, so
+/// any subrange is identical to the same slice of the full expansion.
+std::vector<SimRequest> expandFuzzMatrix(const FuzzOptions &O, uint64_t Begin,
+                                         uint64_t End);
+inline std::vector<SimRequest> expandFuzzMatrix(const FuzzOptions &O) {
+  return expandFuzzMatrix(O, 0, O.Count);
+}
+
 struct FuzzBatchResult {
   uint64_t Runs = 0;
   uint64_t Failures = 0;
+  /// Programs actually generated. Equal to FuzzOptions::Count except under
+  /// FailFast, where generation short-circuits after the first failing
+  /// wave of programs (fail-fast service jobs return promptly instead of
+  /// generating and running the whole matrix).
+  uint64_t ProgramsGenerated = 0;
   /// The `--json` document (empty unless FuzzOptions::Json). Identical for
   /// every jobs count: rows are serialized in matrix order after the batch
   /// completes and never mention the worker count.
@@ -81,8 +104,9 @@ struct FuzzBatchResult {
 /// Runs the seeds x cores x profiles diff matrix over the worker pool,
 /// then folds results in matrix order: JSON rows, failure logging,
 /// shrinking (itself parallel over candidates) and repro bundles. With
-/// FailFast, everything after the first failing run is discarded, so the
-/// result matches a serial run that stopped there.
+/// FailFast, generation and execution proceed in waves and stop at the
+/// first failing run; every observable byte matches a serial run that
+/// stopped there.
 FuzzBatchResult runFuzzBatch(const FuzzOptions &O);
 
 } // namespace sim

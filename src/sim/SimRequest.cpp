@@ -1,0 +1,92 @@
+//===- SimRequest.cpp - The canonical simulation request/result API ---------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SimRequest.h"
+
+#include <cstdio>
+
+using namespace pdl;
+using namespace pdl::sim;
+
+uint64_t sim::fnv1aHash(const std::string &Bytes) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+obs::Json SimRequest::toJsonValue() const {
+  obs::Json V = obs::Json::object();
+  V.set("asm", obs::Json(Asm));
+  V.set("seed", obs::Json(Seed));
+  obs::Json CfgV = Cfg.toJsonValue();
+  for (const auto &[Key, Val] : CfgV.members())
+    V.set(Key, Val);
+  return V;
+}
+
+std::optional<SimRequest> SimRequest::fromJsonValue(const obs::Json &V,
+                                                    std::string *Err) {
+  if (V.kind() != obs::Json::Kind::Object) {
+    if (Err)
+      *Err = "request is not an object";
+    return std::nullopt;
+  }
+  std::optional<verify::DiffConfig> Cfg = verify::DiffConfig::fromJsonValue(V, Err);
+  if (!Cfg)
+    return std::nullopt;
+
+  SimRequest R;
+  R.Cfg = std::move(*Cfg);
+  if (const obs::Json *A = V.get("asm"))
+    R.Asm = A->asString();
+  if (R.Asm.empty()) {
+    if (Err)
+      *Err = "request has no 'asm' program";
+    return std::nullopt;
+  }
+  if (const obs::Json *S = V.get("seed")) {
+    if (!S->isNumber()) {
+      if (Err)
+        *Err = "seed is not a number";
+      return std::nullopt;
+    }
+    R.Seed = S->asU64();
+  }
+  return R;
+}
+
+std::optional<SimRequest> SimRequest::fromJson(const std::string &Text,
+                                               std::string *Err) {
+  std::optional<obs::Json> V = obs::Json::parse(Text, Err);
+  if (!V)
+    return std::nullopt;
+  return fromJsonValue(*V, Err);
+}
+
+std::string SimRequest::cacheKey() const {
+  char Hash[32];
+  std::snprintf(Hash, sizeof(Hash), "%016llx",
+                (unsigned long long)fnv1aHash(Asm));
+  std::string Key = "core=";
+  Key += cores::coreKindId(Cfg.Kind);
+  Key += "|mem=";
+  Key += Cfg.Profile.Name;
+  Key += "|prog=";
+  Key += Hash;
+  Key += "|cycles=" + std::to_string(Cfg.MaxCycles);
+  Key += Cfg.WithMonitors ? "|mon=1" : "|mon=0";
+  Key += Cfg.WantDigest ? "|dig=1" : "|dig=0";
+  Key += "|fault=";
+  Key += Cfg.Fault ? hw::printFaultPlan(*Cfg.Fault) : "-";
+  return Key;
+}
+
+SimResult sim::runSim(const SimRequest &R) {
+  return verify::runDiff(R.Asm, R.Cfg);
+}

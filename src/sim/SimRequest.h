@@ -1,0 +1,83 @@
+//===- SimRequest.h - The canonical simulation request/result API -*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one run-configuration surface every simulation consumer speaks:
+/// `SimRequest` (a program plus its full run configuration) in,
+/// `SimResult` (the differ's structured verdict) out. `runBatch`,
+/// `runFuzzBatch`, the pdlfuzz CLI, and the pdlsimd service all consume
+/// this pair; the older `sim::SimJob` and the per-run fields of
+/// `sim::FuzzOptions` are thin shims over it (kept for one release), and
+/// `verify::DiffConfig` survives as the embedded engine configuration.
+///
+/// Requests have a stable JSON form (the wire protocol's "request" object,
+/// docs/service.md) and a canonical digest cache key, so a simulation is
+/// addressable by content: two requests with equal keys produce
+/// byte-identical serialized results (the jobs=N determinism contract,
+/// docs/performance.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SIM_SIMREQUEST_H
+#define PDL_SIM_SIMREQUEST_H
+
+#include "verify/Differ.h"
+
+#include <optional>
+#include <string>
+
+namespace pdl {
+namespace sim {
+
+/// One simulation: a RISC-V assembly program plus the full run
+/// configuration (core kind, memory profile, cycle budget, monitors,
+/// optional fault plan — see verify::DiffConfig).
+struct SimRequest {
+  std::string Asm;
+  /// Provenance label carried through to reporting (e.g. "seed-7").
+  /// Deliberately excluded from the cache key: the same program under the
+  /// same configuration is the same simulation whatever seed produced it.
+  uint64_t Seed = 0;
+  verify::DiffConfig Cfg;
+
+  /// Stable JSON form: the Cfg fields (DiffConfig::toJsonValue) plus
+  /// "asm" and "seed". fromJson* accepts anything toJson* produced;
+  /// missing fields keep their defaults, unknown names are errors.
+  obs::Json toJsonValue() const;
+  std::string toJson() const { return toJsonValue().dump(); }
+  static std::optional<SimRequest> fromJsonValue(const obs::Json &V,
+                                                 std::string *Err = nullptr);
+  static std::optional<SimRequest> fromJson(const std::string &Text,
+                                            std::string *Err = nullptr);
+
+  /// A request that writes a waveform is side-effectful and is never
+  /// served from (or stored in) the result cache.
+  bool cacheable() const { return Cfg.VcdPath.empty(); }
+
+  /// The canonical digest cache key: core kind id, mem profile name,
+  /// FNV-1a hash of the program text, cycle budget, monitor/digest flags,
+  /// and the fault plan spelling. Seed (provenance), Jobs (wall-clock
+  /// only) and VcdPath (uncacheable) are excluded by design — every field
+  /// that can change a result's bytes is in the key, nothing else is.
+  std::string cacheKey() const;
+};
+
+/// The canonical result type. A SimResult is exactly the differ's verdict;
+/// the service layer serializes it once (DiffResult::toJson) and caches
+/// those bytes verbatim.
+using SimResult = verify::DiffResult;
+
+/// Runs one request to completion on the calling thread.
+SimResult runSim(const SimRequest &R);
+
+/// FNV-1a over \p Bytes — the program-hash half of cacheKey(), exposed for
+/// tests and external key computation.
+uint64_t fnv1aHash(const std::string &Bytes);
+
+} // namespace sim
+} // namespace pdl
+
+#endif // PDL_SIM_SIMREQUEST_H

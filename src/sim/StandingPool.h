@@ -1,0 +1,120 @@
+//===- StandingPool.h - Long-lived worker pool over a standing queue -*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standing generalization of `parallelForOrdered`: where the one-shot
+/// primitive spins up workers for a single batch and joins them, this pool
+/// keeps its workers alive for the process lifetime and feeds them from a
+/// shared task queue — the execution engine of the pdlsimd service, where
+/// jobs arrive continuously from many clients rather than as one
+/// pre-sized batch.
+///
+/// Scheduling is self-service exactly like `parallelForOrdered`'s atomic
+/// counter: idle workers pull (steal) the next task from the shared queue,
+/// so a long job on one worker never blocks the others. Nothing about
+/// completion order is observable through the pool — ordering guarantees
+/// (per-client FIFO delivery) live in the service layer, which tags each
+/// submission and releases results in submission order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SIM_STANDINGPOOL_H
+#define PDL_SIM_STANDINGPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pdl {
+namespace sim {
+
+/// A fixed-size pool of long-lived worker threads draining one shared FIFO
+/// task queue. Tasks must not throw. Destruction drains: queued tasks
+/// still run, then the workers exit and join.
+class StandingPool {
+public:
+  explicit StandingPool(unsigned Workers) {
+    if (Workers < 1)
+      Workers = 1;
+    Threads.reserve(Workers);
+    for (unsigned W = 0; W != Workers; ++W)
+      Threads.emplace_back([this] { work(); });
+  }
+
+  StandingPool(const StandingPool &) = delete;
+  StandingPool &operator=(const StandingPool &) = delete;
+
+  ~StandingPool() {
+    {
+      std::lock_guard<std::mutex> Guard(M);
+      Stopping = true;
+    }
+    WorkCV.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  size_t workers() const { return Threads.size(); }
+
+  /// Enqueues one task; returns immediately. Tasks start in FIFO order on
+  /// the first idle worker.
+  void submit(std::function<void()> Task) {
+    {
+      std::lock_guard<std::mutex> Guard(M);
+      Q.push_back(std::move(Task));
+    }
+    WorkCV.notify_one();
+  }
+
+  /// Tasks submitted but not yet finished (queued + running).
+  size_t inflight() const {
+    std::lock_guard<std::mutex> Guard(M);
+    return Q.size() + Running;
+  }
+
+  /// Blocks until every task submitted so far has finished. Tasks may keep
+  /// arriving from other threads; drain only guarantees the queue was
+  /// empty and all workers idle at some instant after the call began.
+  void drain() {
+    std::unique_lock<std::mutex> Guard(M);
+    IdleCV.wait(Guard, [this] { return Q.empty() && Running == 0; });
+  }
+
+private:
+  void work() {
+    std::unique_lock<std::mutex> Guard(M);
+    for (;;) {
+      WorkCV.wait(Guard, [this] { return Stopping || !Q.empty(); });
+      if (Q.empty())
+        return; // Stopping and drained
+      std::function<void()> Task = std::move(Q.front());
+      Q.pop_front();
+      ++Running;
+      Guard.unlock();
+      Task();
+      Guard.lock();
+      --Running;
+      if (Q.empty() && Running == 0)
+        IdleCV.notify_all();
+    }
+  }
+
+  mutable std::mutex M;
+  std::condition_variable WorkCV, IdleCV;
+  std::deque<std::function<void()>> Q;
+  size_t Running = 0;
+  bool Stopping = false;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace sim
+} // namespace pdl
+
+#endif // PDL_SIM_STANDINGPOOL_H

@@ -21,6 +21,95 @@
 using namespace pdl;
 using namespace pdl::verify;
 
+obs::Json DiffConfig::toJsonValue() const {
+  obs::Json V = obs::Json::object();
+  V.set("core", obs::Json(cores::coreKindId(Kind)));
+  V.set("mem_profile", obs::Json(Profile.Name));
+  V.set("max_cycles", obs::Json(MaxCycles));
+  V.set("monitors", obs::Json(WithMonitors));
+  V.set("digest", obs::Json(WantDigest));
+  V.set("jobs", obs::Json(uint64_t(Jobs)));
+  if (!VcdPath.empty())
+    V.set("vcd_path", obs::Json(VcdPath));
+  if (Fault)
+    V.set("fault", obs::Json(hw::printFaultPlan(*Fault)));
+  return V;
+}
+
+std::optional<DiffConfig> DiffConfig::fromJsonValue(const obs::Json &V,
+                                                    std::string *Err) {
+  auto Fail = [Err](const std::string &Why) -> std::optional<DiffConfig> {
+    if (Err)
+      *Err = Why;
+    return std::nullopt;
+  };
+  if (V.kind() != obs::Json::Kind::Object)
+    return Fail("config is not an object");
+
+  DiffConfig C;
+  if (const obs::Json *Core = V.get("core")) {
+    std::optional<cores::CoreKind> K = cores::parseCoreKind(Core->asString());
+    if (!K)
+      return Fail("unknown core '" + Core->asString() + "'");
+    C.Kind = *K;
+  }
+  if (const obs::Json *Prof = V.get("mem_profile")) {
+    std::optional<cores::CoreMemProfile> P =
+        cores::parseMemProfile(Prof->asString());
+    if (!P)
+      return Fail("unknown mem_profile '" + Prof->asString() + "'");
+    C.Profile = *P;
+  }
+  if (const obs::Json *MC = V.get("max_cycles")) {
+    if (!MC->isNumber())
+      return Fail("max_cycles is not a number");
+    C.MaxCycles = MC->asU64();
+  }
+  if (const obs::Json *M = V.get("monitors"))
+    C.WithMonitors = M->asBool();
+  if (const obs::Json *D = V.get("digest"))
+    C.WantDigest = D->asBool();
+  if (const obs::Json *J = V.get("jobs")) {
+    if (!J->isNumber())
+      return Fail("jobs is not a number");
+    C.Jobs = unsigned(J->asU64());
+    if (!C.Jobs)
+      C.Jobs = 1;
+  }
+  if (const obs::Json *P = V.get("vcd_path"))
+    C.VcdPath = P->asString();
+  if (const obs::Json *F = V.get("fault")) {
+    std::string FErr;
+    std::optional<hw::FaultPlan> Plan = hw::parseFaultPlan(F->asString(), &FErr);
+    if (!Plan)
+      return Fail("bad fault plan: " + FErr);
+    C.Fault = *Plan;
+  }
+  return C;
+}
+
+obs::Json DiffResult::toJsonValue() const {
+  obs::Json V = obs::Json::object();
+  V.set("divergent", obs::Json(Divergent));
+  V.set("reason", obs::Json(Reason));
+  V.set("outcome", obs::Json(Outcome));
+  V.set("cycles", obs::Json(Cycles));
+  V.set("instrs", obs::Json(Instrs));
+  V.set("faults_injected", obs::Json(FaultsInjected));
+  V.set("violations", obs::Json(Violations));
+  V.set("trace_digest", obs::Json(TraceDigest));
+  if (!ViolationList.empty()) {
+    obs::Json Vs = obs::Json::array();
+    for (const Violation &Viol : ViolationList)
+      Vs.push(obs::Json(Viol.str()));
+    V.set("violation_list", std::move(Vs));
+  }
+  if (!DeadlockDiagnosis.empty())
+    V.set("deadlock_diagnosis", obs::Json(DeadlockDiagnosis));
+  V.set("report", Report.toJsonValue());
+  return V;
+}
+
 DiffResult verify::runDiff(const std::string &AsmSource, const DiffConfig &C) {
   DiffResult Res;
   std::vector<uint32_t> Words = riscv::assemble(AsmSource);

@@ -45,6 +45,16 @@ struct DiffConfig {
   /// identical for every value (the accept rule reads a whole round's
   /// results, never completion order); > 1 only changes wall-clock.
   unsigned Jobs = 1;
+
+  /// Stable JSON form — the config fields of the service wire protocol
+  /// (docs/service.md). Kind and Profile serialize as their stable string
+  /// names (cores::coreKindId, CoreMemProfile::Name), the fault plan as
+  /// its hw::printFaultPlan spelling; VcdPath and a fault are omitted when
+  /// unset. fromJsonValue accepts any object toJsonValue produced (missing
+  /// fields keep their defaults) and rejects unknown names with an error.
+  obs::Json toJsonValue() const;
+  static std::optional<DiffConfig> fromJsonValue(const obs::Json &V,
+                                                 std::string *Err = nullptr);
 };
 
 struct DiffResult {
@@ -68,6 +78,15 @@ struct DiffResult {
 
   /// A divergence or any invariant violation.
   bool failed() const { return Divergent || Violations != 0; }
+
+  /// Stable JSON form — the "result" payload of the service wire protocol.
+  /// Scalar fields always appear (in a fixed key order, so two identical
+  /// results serialize to identical bytes); violation_list and
+  /// deadlock_diagnosis appear only when non-empty. There is deliberately
+  /// no fromJsonValue: results travel as JSON documents, they are not
+  /// reconstructed into DiffResults on the client side.
+  obs::Json toJsonValue() const;
+  std::string toJson(int Indent = -1) const { return toJsonValue().dump(Indent); }
 };
 
 /// Assembles \p AsmSource, runs it under \p C, and diffs against the

@@ -238,10 +238,12 @@ TEST(BatchRunnerTest, FuzzBatchFailureBundlesAreJobsInvariant) {
     SCOPED_TRACE(Name);
     EXPECT_EQ(Bytes, B[Name]) << "bundle file differs between jobs counts";
   }
-  for (const auto &[Name, Bytes] : A)
+  for (const auto &[Name, Bytes] : A) {
     if (Name.size() > 11 &&
-        Name.compare(Name.size() - 11, 11, "config.json") == 0)
+        Name.compare(Name.size() - 11, 11, "config.json") == 0) {
       EXPECT_NE(Bytes.find("\"jobs\": 1"), std::string::npos) << Bytes;
+    }
+  }
 }
 
 /// FailFast truncates at the first failing run — identically for every
@@ -270,6 +272,52 @@ TEST(BatchRunnerTest, FuzzBatchFailFastIsJobsInvariant) {
   EXPECT_EQ(Serial.Runs, Parallel.Runs);
   EXPECT_EQ(Serial.Failures, Parallel.Failures);
   EXPECT_EQ(Serial.JsonDoc, Parallel.JsonDoc);
+}
+
+/// FailFast short-circuits *generation*, not just the fold: with every
+/// program failing, a large matrix stops after the first wave instead of
+/// generating all Count programs — and its output is still byte-identical
+/// to the serial run's stop point.
+TEST(BatchRunnerTest, FuzzBatchFailFastShortCircuitsGeneration) {
+  sim::FuzzOptions O;
+  O.Seed = 1;
+  O.Count = 64; // every program diverges under the fault
+  O.Kinds = {cores::CoreKind::Pdl5Stage};
+  O.Profiles = {cores::memProfileAlwaysHit()};
+  O.Json = true;
+  O.FailFast = true;
+  O.Fault = suppressMispredict();
+
+  O.Jobs = 1;
+  O.OutDir = ::testing::TempDir() + "pdl-fuzz-ffgen-serial";
+  fs::remove_all(O.OutDir);
+  sim::FuzzBatchResult Serial = sim::runFuzzBatch(O);
+  O.Jobs = 4;
+  O.OutDir = ::testing::TempDir() + "pdl-fuzz-ffgen-par";
+  fs::remove_all(O.OutDir);
+  sim::FuzzBatchResult Parallel = sim::runFuzzBatch(O);
+
+  // Serial generates exactly one program (its wave size is 1 and the
+  // first run fails); parallel generates at most one wave per worker
+  // count. Neither comes anywhere near the requested 64.
+  EXPECT_EQ(Serial.Failures, 1u);
+  EXPECT_EQ(Serial.ProgramsGenerated, 1u);
+  EXPECT_LE(Parallel.ProgramsGenerated, 4u);
+  EXPECT_LT(Parallel.ProgramsGenerated, O.Count);
+
+  // The wave size only changes how much speculative work is discarded —
+  // the observable output is the serial stop point, byte for byte.
+  EXPECT_EQ(Serial.Runs, Parallel.Runs);
+  EXPECT_EQ(Serial.Failures, Parallel.Failures);
+  EXPECT_EQ(Serial.JsonDoc, Parallel.JsonDoc);
+
+  // And a non-fail-fast run generates the full matrix.
+  O.FailFast = false;
+  O.Jobs = 1;
+  O.Count = 2;
+  O.OutDir = ::testing::TempDir() + "pdl-fuzz-ffgen-full";
+  fs::remove_all(O.OutDir);
+  EXPECT_EQ(sim::runFuzzBatch(O).ProgramsGenerated, 2u);
 }
 
 //===----------------------------------------------------------------------===//

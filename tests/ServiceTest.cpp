@@ -1,0 +1,482 @@
+//===- ServiceTest.cpp - Simulation-service subsystem tests -----------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests the simulation-as-a-service stack bottom-up: the stable-name
+/// codecs (core ids, memory profiles, fault-plan spellings, SimRequest
+/// JSON), the bounded-LRU result cache, the standing worker pool, the
+/// in-process SimService (per-client FIFO ordering, cache hits
+/// byte-identical to cold runs, malformed lines answered not dropped),
+/// and finally a real pdlsimd round trip over a Unix-domain socket.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "service/Server.h"
+#include "sim/StandingPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace pdl;
+
+namespace {
+
+/// Small program that halts cleanly (store to the halt address, then spin).
+const char *kProgram = R"(
+  li x1, 1
+  li x2, 2
+  add x3, x1, x2
+  li x20, 256
+  sw x3, 0(x20)
+  lw x4, 0(x20)
+  li x31, 65532
+  sw x0, 0(x31)
+halt:
+  j halt
+)";
+
+sim::SimRequest smallRequest(uint64_t MaxCycles = 50000) {
+  sim::SimRequest R;
+  R.Asm = kProgram;
+  R.Cfg.MaxCycles = MaxCycles;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Stable names: core ids, profiles, fault plans
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, CoreKindIdsRoundTrip) {
+  for (cores::CoreKind K : cores::allCoreKinds()) {
+    SCOPED_TRACE(cores::coreKindId(K));
+    std::optional<cores::CoreKind> Back =
+        cores::parseCoreKind(cores::coreKindId(K));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(*Back, K);
+  }
+  EXPECT_FALSE(cores::parseCoreKind("PDL 5Stg").has_value())
+      << "display names are not ids";
+  EXPECT_FALSE(cores::parseCoreKind("").has_value());
+}
+
+TEST(ServiceTest, MemProfileNamesRoundTrip) {
+  for (const std::string &Name : cores::memProfileNames()) {
+    SCOPED_TRACE(Name);
+    std::optional<cores::CoreMemProfile> P = cores::parseMemProfile(Name);
+    ASSERT_TRUE(P.has_value());
+    EXPECT_EQ(P->Name, Name) << "profile does not carry its own stable name";
+  }
+  EXPECT_FALSE(cores::parseMemProfile("l2-8m").has_value());
+}
+
+TEST(ServiceTest, FaultPlanSpellingRoundTrips) {
+  // Defaults omitted: a bare kind round-trips as just the kind.
+  hw::FaultPlan Bare;
+  Bare.Kind = hw::FaultKind::SuppressMispredict;
+  EXPECT_EQ(hw::printFaultPlan(Bare), "suppress-mispredict");
+
+  hw::FaultPlan Full;
+  Full.Kind = hw::FaultKind::FifoCorruptPayload;
+  Full.Pipe = "cpu";
+  Full.FromStage = "S1";
+  Full.ToStage = "S2";
+  Full.Nth = 3;
+  Full.Bit = 7;
+  Full.Var = "rd";
+  std::string Spec = hw::printFaultPlan(Full);
+  std::string Err;
+  std::optional<hw::FaultPlan> Back = hw::parseFaultPlan(Spec, &Err);
+  ASSERT_TRUE(Back.has_value()) << Err;
+  EXPECT_EQ(hw::printFaultPlan(*Back), Spec);
+
+  EXPECT_FALSE(hw::parseFaultPlan("not-a-kind", &Err).has_value());
+  EXPECT_FALSE(
+      hw::parseFaultPlan("suppress-mispredict:bogus=1", &Err).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// SimRequest JSON + cache key
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, SimRequestJsonRoundTrips) {
+  sim::SimRequest R = smallRequest(1234);
+  R.Seed = 42;
+  R.Cfg.Kind = cores::CoreKind::Pdl5StageBht;
+  R.Cfg.Profile = *cores::parseMemProfile("l1-tiny");
+  R.Cfg.WantDigest = true;
+  hw::FaultPlan Plan;
+  Plan.Kind = hw::FaultKind::SuppressMispredict;
+  Plan.Pipe = "cpu";
+  R.Cfg.Fault = Plan;
+
+  std::string Err;
+  std::optional<sim::SimRequest> Back = sim::SimRequest::fromJson(R.toJson(), &Err);
+  ASSERT_TRUE(Back.has_value()) << Err;
+  EXPECT_EQ(Back->Asm, R.Asm);
+  EXPECT_EQ(Back->Seed, R.Seed);
+  EXPECT_EQ(Back->toJson(), R.toJson()) << "round trip is not stable";
+  EXPECT_EQ(Back->cacheKey(), R.cacheKey());
+
+  EXPECT_FALSE(sim::SimRequest::fromJson("{\"op\":1}", &Err).has_value());
+  EXPECT_FALSE(
+      sim::SimRequest::fromJson("{\"asm\":\"nop\",\"core\":\"x\"}", &Err)
+          .has_value())
+      << "unknown core must be rejected";
+}
+
+TEST(ServiceTest, CacheKeyCoversResultsNotProvenance) {
+  sim::SimRequest A = smallRequest(), B = smallRequest();
+
+  // Seed and Jobs cannot change result bytes -> not in the key.
+  B.Seed = 99;
+  B.Cfg.Jobs = 8;
+  EXPECT_EQ(A.cacheKey(), B.cacheKey());
+
+  // Everything that can change result bytes is in the key.
+  sim::SimRequest C = smallRequest();
+  C.Cfg.Kind = cores::CoreKind::Pdl3Stage;
+  EXPECT_NE(A.cacheKey(), C.cacheKey());
+  sim::SimRequest D = smallRequest(777);
+  EXPECT_NE(A.cacheKey(), D.cacheKey());
+  sim::SimRequest E = smallRequest();
+  E.Asm = std::string(kProgram) + "\n  nop\n";
+  EXPECT_NE(A.cacheKey(), E.cacheKey());
+  sim::SimRequest F = smallRequest();
+  hw::FaultPlan Plan;
+  Plan.Kind = hw::FaultKind::SuppressMispredict;
+  F.Cfg.Fault = Plan;
+  EXPECT_NE(A.cacheKey(), F.cacheKey());
+
+  // A waveform is a side effect: never cacheable.
+  sim::SimRequest G = smallRequest();
+  EXPECT_TRUE(G.cacheable());
+  G.Cfg.VcdPath = "out.vcd";
+  EXPECT_FALSE(G.cacheable());
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol codec
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, ProtocolRequestsRoundTrip) {
+  sim::SimRequest R = smallRequest();
+  std::string Err;
+  uint64_t Id = 0;
+  std::optional<service::Request> P =
+      service::parseRequestLine(service::encodeSimRequest(7, R), &Err, &Id);
+  ASSERT_TRUE(P.has_value()) << Err;
+  EXPECT_EQ(P->Id, 7u);
+  EXPECT_EQ(P->O, service::Op::Sim);
+  EXPECT_EQ(P->Sim.toJson(), R.toJson());
+
+  for (service::Op O : {service::Op::Stats, service::Op::Ping,
+                        service::Op::Drain, service::Op::Shutdown}) {
+    std::optional<service::Request> C = service::parseRequestLine(
+        service::encodeControlRequest(3, O), &Err, &Id);
+    ASSERT_TRUE(C.has_value()) << Err;
+    EXPECT_EQ(C->O, O);
+    EXPECT_EQ(C->Id, 3u);
+  }
+
+  // Malformed lines fail with a reason but salvage the id for correlation.
+  EXPECT_FALSE(service::parseRequestLine("not json", &Err, &Id).has_value());
+  EXPECT_FALSE(
+      service::parseRequestLine("{\"id\":9,\"op\":\"warp\"}", &Err, &Id)
+          .has_value());
+  EXPECT_EQ(Id, 9u) << "id not salvaged from a bad request";
+}
+
+//===----------------------------------------------------------------------===//
+// ResultCache: bounded LRU
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, ResultCacheEvictsLeastRecentlyUsed) {
+  service::ResultCache Cache(2);
+  EXPECT_FALSE(Cache.lookup("a").has_value());
+  Cache.insert("a", "A");
+  Cache.insert("b", "B");
+  EXPECT_EQ(Cache.lookup("a").value_or(""), "A"); // refreshes a
+  Cache.insert("c", "C");                         // evicts b, the LRU entry
+  EXPECT_FALSE(Cache.lookup("b").has_value());
+  EXPECT_EQ(Cache.lookup("a").value_or(""), "A");
+  EXPECT_EQ(Cache.lookup("c").value_or(""), "C");
+
+  service::ResultCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Capacity, 2u);
+  EXPECT_EQ(S.Size, 2u);
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_EQ(S.Hits, 3u);
+  EXPECT_EQ(S.Misses, 2u);
+
+  // Capacity 0 disables caching entirely.
+  service::ResultCache Off(0);
+  Off.insert("a", "A");
+  EXPECT_FALSE(Off.lookup("a").has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// StandingPool
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, StandingPoolRunsEverythingAndDrains) {
+  sim::StandingPool Pool(4);
+  EXPECT_EQ(Pool.workers(), 4u);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&] { Ran.fetch_add(1); });
+  Pool.drain();
+  EXPECT_EQ(Ran.load(), 100);
+  EXPECT_EQ(Pool.inflight(), 0u);
+  // Reusable after a drain — it is a standing pool, not a one-shot batch.
+  Pool.submit([&] { Ran.fetch_add(1); });
+  Pool.drain();
+  EXPECT_EQ(Ran.load(), 101);
+}
+
+//===----------------------------------------------------------------------===//
+// SimService: in-process engine
+//===----------------------------------------------------------------------===//
+
+/// Delivery log for one in-process client.
+struct Sink {
+  std::mutex M;
+  std::vector<std::string> Lines;
+  service::SimService::Deliver deliver() {
+    return [this](const std::string &L) {
+      std::lock_guard<std::mutex> Guard(M);
+      Lines.push_back(L);
+    };
+  }
+  std::vector<std::string> lines() {
+    std::lock_guard<std::mutex> Guard(M);
+    return Lines;
+  }
+};
+
+TEST(ServiceTest, CacheHitIsByteIdenticalToColdRun) {
+  service::SimService S({2, 16});
+  Sink A;
+  uint64_t Client = S.openClient(A.deliver());
+
+  const std::string Line = service::encodeSimRequest(1, smallRequest());
+  S.handleLine(Client, Line);
+  S.drain();
+  S.handleLine(Client, Line);
+  S.drain();
+
+  std::vector<std::string> Got = A.lines();
+  ASSERT_EQ(Got.size(), 2u);
+  EXPECT_NE(Got[0].find("\"cached\":false"), std::string::npos) << Got[0];
+  EXPECT_NE(Got[1].find("\"cached\":true"), std::string::npos) << Got[1];
+  // The two responses are byte-identical modulo the cached flag — the
+  // replayed result payload is the cold run's exact bytes.
+  std::string Warm = Got[1];
+  size_t Pos = Warm.find("\"cached\":true");
+  Warm.replace(Pos, 13, "\"cached\":false");
+  EXPECT_EQ(Warm, Got[0]);
+
+  service::ResultCache::Stats CS = S.cacheStats();
+  EXPECT_EQ(CS.Hits, 1u);
+  EXPECT_EQ(CS.Misses, 1u);
+  S.closeClient(Client);
+}
+
+TEST(ServiceTest, PerClientResponsesAreFifoOrdered) {
+  service::SimService S({4, 16});
+  Sink A, B;
+  uint64_t CA = S.openClient(A.deliver());
+  uint64_t CB = S.openClient(B.deliver());
+
+  // Client A: a real simulation, then control ops that complete instantly.
+  // They must still be delivered after the simulation's response.
+  S.handleLine(CA, service::encodeSimRequest(1, smallRequest()));
+  S.handleLine(CA, service::encodeControlRequest(2, service::Op::Ping));
+  S.handleLine(CA, service::encodeControlRequest(3, service::Op::Drain));
+  // Client B is independent: its ping needn't wait for A's simulation.
+  S.handleLine(CB, service::encodeControlRequest(1, service::Op::Ping));
+  S.drain();
+
+  std::vector<std::string> GotA = A.lines();
+  ASSERT_EQ(GotA.size(), 3u);
+  EXPECT_NE(GotA[0].find("\"result\""), std::string::npos) << GotA[0];
+  EXPECT_NE(GotA[0].find("\"id\":1"), std::string::npos);
+  EXPECT_NE(GotA[1].find("\"pong\""), std::string::npos) << GotA[1];
+  EXPECT_NE(GotA[2].find("\"drained\""), std::string::npos) << GotA[2];
+
+  std::vector<std::string> GotB = B.lines();
+  ASSERT_EQ(GotB.size(), 1u);
+  EXPECT_NE(GotB[0].find("\"pong\""), std::string::npos);
+  S.closeClient(CA);
+  S.closeClient(CB);
+}
+
+TEST(ServiceTest, ConcurrentClientsShareTheCache) {
+  service::SimService S({4, 64});
+  const int NumClients = 6, PerClient = 4;
+  std::vector<Sink> Sinks(NumClients);
+  std::vector<uint64_t> Ids;
+  for (int C = 0; C != NumClients; ++C)
+    Ids.push_back(S.openClient(Sinks[C].deliver()));
+
+  // All clients hammer the same two requests from their own threads.
+  std::vector<std::thread> Threads;
+  for (int C = 0; C != NumClients; ++C)
+    Threads.emplace_back([&, C] {
+      for (int I = 0; I != PerClient; ++I)
+        S.handleLine(Ids[C], service::encodeSimRequest(
+                                 uint64_t(I + 1), smallRequest(I % 2 ? 40000 : 50000)));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  S.drain();
+
+  for (int C = 0; C != NumClients; ++C) {
+    std::vector<std::string> Got = Sinks[C].lines();
+    ASSERT_EQ(Got.size(), size_t(PerClient)) << "client " << C;
+    // FIFO: response ids echo submission order 1..PerClient.
+    for (int I = 0; I != PerClient; ++I)
+      EXPECT_NE(Got[I].find("\"id\":" + std::to_string(I + 1)),
+                std::string::npos)
+          << "client " << C << " line " << I << ": " << Got[I];
+  }
+  // Every request consulted the cache (two distinct keys exist; how many
+  // missed depends on arrival/completion interleaving, so only the sum is
+  // deterministic)...
+  service::ResultCache::Stats CS = S.cacheStats();
+  EXPECT_EQ(CS.Hits + CS.Misses, uint64_t(NumClients * PerClient));
+  EXPECT_GE(CS.Misses, 2u);
+  EXPECT_EQ(CS.Size, 2u);
+
+  // ...but after the drain both keys are warm: the next requests must hit.
+  S.handleLine(Ids[0], service::encodeSimRequest(100, smallRequest(50000)));
+  S.handleLine(Ids[0], service::encodeSimRequest(101, smallRequest(40000)));
+  S.drain();
+  std::vector<std::string> Warm = Sinks[0].lines();
+  ASSERT_EQ(Warm.size(), size_t(PerClient + 2));
+  EXPECT_NE(Warm[PerClient].find("\"cached\":true"), std::string::npos);
+  EXPECT_NE(Warm[PerClient + 1].find("\"cached\":true"), std::string::npos);
+  for (uint64_t Id : Ids)
+    S.closeClient(Id);
+}
+
+TEST(ServiceTest, MalformedLinesGetStructuredErrorsNotDisconnects) {
+  service::SimService S({1, 4});
+  Sink A;
+  uint64_t C = S.openClient(A.deliver());
+
+  S.handleLine(C, "this is not json");
+  S.handleLine(C, "{\"id\":5,\"op\":\"warp\"}");
+  S.handleLine(C, "{\"id\":6,\"op\":\"sim\"}"); // missing request object
+  S.handleLine(C, service::encodeControlRequest(7, service::Op::Ping));
+  S.drain();
+
+  std::vector<std::string> Got = A.lines();
+  ASSERT_EQ(Got.size(), 4u) << "every line, good or bad, gets a response";
+  EXPECT_NE(Got[0].find("\"ok\":false"), std::string::npos) << Got[0];
+  EXPECT_NE(Got[0].find("\"id\":0"), std::string::npos) << "no id to salvage";
+  EXPECT_NE(Got[1].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(Got[1].find("\"id\":5"), std::string::npos) << "salvaged id";
+  EXPECT_NE(Got[2].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(Got[3].find("\"pong\""), std::string::npos)
+      << "the client is still being served after errors";
+  S.closeClient(C);
+}
+
+TEST(ServiceTest, ServiceEvictsUnderTinyCap) {
+  service::SimService S({2, 2}); // 2-entry cache
+  Sink A;
+  uint64_t C = S.openClient(A.deliver());
+  // Three distinct keys through a 2-entry cache, then re-request the first:
+  // it must have been evicted and miss again.
+  for (uint64_t Cycles : {50000u, 40000u, 30000u, 50000u}) {
+    S.handleLine(C, service::encodeSimRequest(1, smallRequest(Cycles)));
+    S.drain();
+  }
+  service::ResultCache::Stats CS = S.cacheStats();
+  EXPECT_EQ(CS.Misses, 4u) << "the evicted key must miss on re-request";
+  EXPECT_EQ(CS.Hits, 0u);
+  EXPECT_GE(CS.Evictions, 1u);
+  EXPECT_EQ(CS.Size, 2u);
+  S.closeClient(C);
+}
+
+//===----------------------------------------------------------------------===//
+// SimServer: the real socket transport
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, SocketRoundTripWithWarmCache) {
+  service::SimServer::Options Opts;
+  Opts.SocketPath = ::testing::TempDir() + "pdlsvc-test.sock";
+  Opts.Workers = 2;
+  Opts.CacheEntries = 16;
+  ASSERT_LT(Opts.SocketPath.size(), size_t(100)) << Opts.SocketPath;
+
+  service::SimServer Server(Opts);
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  service::SimClient Client;
+  ASSERT_TRUE(Client.connect(Opts.SocketPath, &Err)) << Err;
+
+  // Ping.
+  std::optional<obs::Json> Pong =
+      Client.call(service::encodeControlRequest(1, service::Op::Ping), &Err);
+  ASSERT_TRUE(Pong.has_value()) << Err;
+  EXPECT_TRUE(Pong->get("ok") && Pong->get("ok")->asBool());
+
+  // Cold sim, then warm resubmission: byte-identical modulo cached flag.
+  const std::string SimLine = service::encodeSimRequest(2, smallRequest());
+  ASSERT_TRUE(Client.sendLine(SimLine));
+  std::optional<std::string> Cold = Client.recvLine();
+  ASSERT_TRUE(Cold.has_value());
+  EXPECT_NE(Cold->find("\"cached\":false"), std::string::npos) << *Cold;
+
+  ASSERT_TRUE(Client.sendLine(SimLine));
+  std::optional<std::string> Warm = Client.recvLine();
+  ASSERT_TRUE(Warm.has_value());
+  size_t Pos = Warm->find("\"cached\":true");
+  ASSERT_NE(Pos, std::string::npos) << *Warm;
+  std::string Normalized = *Warm;
+  Normalized.replace(Pos, 13, "\"cached\":false");
+  EXPECT_EQ(Normalized, *Cold);
+
+  // Stats reflect the hit, the miss, and this client's traffic.
+  std::optional<obs::Json> Stats =
+      Client.call(service::encodeControlRequest(3, service::Op::Stats), &Err);
+  ASSERT_TRUE(Stats.has_value()) << Err;
+  const obs::Json *SV = Stats->get("stats");
+  ASSERT_NE(SV, nullptr);
+  EXPECT_EQ(SV->get("cache")->get("hits")->asU64(), 1u);
+  EXPECT_EQ(SV->get("cache")->get("misses")->asU64(), 1u);
+  EXPECT_EQ(SV->get("client")->get("hits")->asU64(), 1u);
+
+  // A second client sees the same warm cache.
+  service::SimClient Other;
+  ASSERT_TRUE(Other.connect(Opts.SocketPath, &Err)) << Err;
+  ASSERT_TRUE(Other.sendLine(SimLine));
+  std::optional<std::string> OtherWarm = Other.recvLine();
+  ASSERT_TRUE(OtherWarm.has_value());
+  EXPECT_NE(OtherWarm->find("\"cached\":true"), std::string::npos);
+  Other.close();
+
+  // Shutdown op stops the daemon; waitAndDrain returns and the socket
+  // file is gone.
+  std::optional<obs::Json> Bye =
+      Client.call(service::encodeControlRequest(4, service::Op::Shutdown), &Err);
+  ASSERT_TRUE(Bye.has_value()) << Err;
+  Client.close();
+  Server.waitAndDrain();
+  EXPECT_NE(::access(Opts.SocketPath.c_str(), F_OK), 0)
+      << "socket file must be unlinked on shutdown";
+}
+
+} // namespace

@@ -45,6 +45,31 @@ PDL_EVAL_TREE=1 "$BUILD_DIR"/tools/pdlfuzz --seed=1 --count=25 --json \
     --out="$BUILD_DIR"/fuzz-out-tree > "$BUILD_DIR"/fuzz-tree.json
 cmp "$BUILD_DIR"/fuzz.json "$BUILD_DIR"/fuzz-tree.json
 
+# Simulation-service smoke: start pdlsimd, submit the fuzz smoke matrix
+# cold, resubmit it warm — at least 90% of the warm responses must come
+# from the result cache, and the response rows must be byte-identical to
+# the cold run's modulo the cached flag. SIGTERM must drain gracefully
+# (exit 0, socket unlinked).
+SVC_SOCK="$BUILD_DIR/pdlsimd-smoke.sock"
+rm -f "$SVC_SOCK"
+"$BUILD_DIR"/tools/pdlsimd --socket="$SVC_SOCK" --workers="$JOBS" \
+    --cache=256 2> "$BUILD_DIR"/pdlsimd-smoke.log &
+SVC_PID=$!
+trap 'kill "$SVC_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do [ -S "$SVC_SOCK" ] && break; sleep 0.1; done
+"$BUILD_DIR"/tools/pdlsim --socket="$SVC_SOCK" --seed=1 --count=10 --json \
+    > "$BUILD_DIR"/service-cold.jsonl
+"$BUILD_DIR"/tools/pdlsim --socket="$SVC_SOCK" --seed=1 --count=10 --json \
+    --min-cached=0.9 > "$BUILD_DIR"/service-warm.jsonl
+python3 tools/check_bench_json.py --service "$BUILD_DIR"/service-cold.jsonl
+python3 tools/check_bench_json.py --service "$BUILD_DIR"/service-warm.jsonl
+cmp <(sed 's/"cached":true/"cached":false/' "$BUILD_DIR"/service-warm.jsonl) \
+    "$BUILD_DIR"/service-cold.jsonl
+kill -TERM "$SVC_PID"
+wait "$SVC_PID"
+trap - EXIT
+[ ! -e "$SVC_SOCK" ] || { echo "pdlsimd left its socket behind"; exit 1; }
+
 # Host-throughput trajectory: cycles/sec rows for BENCH_sim.json (the
 # committed snapshot at the repo root is updated deliberately from a quiet
 # machine; see docs/performance.md).

@@ -3,6 +3,11 @@
 --json) without third-party dependencies: a hand-rolled schema check plus
 the attribution invariant — for every stage, fires + sum(stalls) equals the
 report's cycle count (i.e. the stall matrix rows sum to cycles - fires).
+
+With --service the input is pdlsim/pdlsimd response JSONL (one response
+object per line): sim responses are checked against the result schema
+(including the embedded attribution report), stats responses against the
+cache-stats schema, and the summary reports the cached/cold split.
 """
 
 import json
@@ -106,9 +111,83 @@ def check_report(report, where):
                        f"{where}: mem {mem.get('name')}.{key}")
 
 
+def check_sim_result(result, where):
+    """The 'result' payload of a service sim response (DiffResult JSON)."""
+    expect(isinstance(result, dict), f"{where}: result must be an object")
+    expect(isinstance(result.get("divergent"), bool), f"{where}: divergent")
+    expect(isinstance(result.get("reason"), str), f"{where}: reason")
+    expect(result.get("outcome") in OUTCOMES,
+           f"{where}: outcome '{result.get('outcome')}' not in {OUTCOMES}")
+    for key in ("cycles", "instrs", "faults_injected", "violations",
+                "trace_digest"):
+        expect(uint(result.get(key)), f"{where}: {key}")
+    expect("report" in result, f"{where}: missing report")
+    check_report(result["report"], where)
+
+
+def check_cache_stats(stats, where):
+    expect(isinstance(stats, dict), f"{where}: stats must be an object")
+    for key in ("workers", "inflight"):
+        expect(uint(stats.get(key)), f"{where}: stats.{key}")
+    cache = stats.get("cache")
+    expect(isinstance(cache, dict), f"{where}: stats.cache")
+    for key in ("hits", "misses", "evictions", "size", "capacity"):
+        expect(uint(cache.get(key)), f"{where}: cache.{key}")
+    expect(cache["size"] <= cache["capacity"] or cache["capacity"] == 0,
+           f"{where}: cache size {cache['size']} over capacity")
+    client = stats.get("client")
+    expect(isinstance(client, dict), f"{where}: stats.client")
+    for key in ("id", "submitted", "completed", "hits", "misses", "errors",
+                "inflight"):
+        expect(uint(client.get(key)), f"{where}: client.{key}")
+
+
+def check_service_lines(path):
+    """pdlsim/pdlsimd response JSONL: every line one well-formed response."""
+    cached = cold = stats_rows = control = errors = 0
+    with open(path) as f:
+        lines = [ln for ln in f if ln.strip()]
+    expect(lines, "service log has no response lines")
+    for i, line in enumerate(lines):
+        where = f"line {i}"
+        try:
+            resp = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{where}: not JSON: {e}")
+        expect(isinstance(resp, dict), f"{where}: response must be an object")
+        expect(uint(resp.get("id")), f"{where}: id")
+        expect(isinstance(resp.get("ok"), bool), f"{where}: ok")
+        if not resp["ok"]:
+            expect(isinstance(resp.get("error"), str) and resp["error"],
+                   f"{where}: error responses carry a reason")
+            errors += 1
+        elif "cached" in resp:
+            expect(isinstance(resp["cached"], bool), f"{where}: cached")
+            check_sim_result(resp.get("result"), where)
+            if resp["cached"]:
+                cached += 1
+            else:
+                cold += 1
+        elif "stats" in resp:
+            check_cache_stats(resp["stats"], where)
+            stats_rows += 1
+        else:
+            expect(any(k in resp for k in ("pong", "drained",
+                                           "shutting_down")),
+                   f"{where}: unrecognized ok response {sorted(resp)}")
+            control += 1
+    print(f"check_bench_json: OK: {len(lines)} service responses "
+          f"({cold} cold, {cached} cached, {stats_rows} stats, "
+          f"{control} control, {errors} errors)")
+    return 0
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--service":
+        return check_service_lines(sys.argv[2])
     if len(sys.argv) != 2:
-        print("usage: check_bench_json.py FILE.json", file=sys.stderr)
+        print("usage: check_bench_json.py [--service] FILE.json",
+              file=sys.stderr)
         return 2
     with open(sys.argv[1]) as f:
         doc = json.load(f)

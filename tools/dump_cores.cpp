@@ -5,12 +5,18 @@
 //===----------------------------------------------------------------------===//
 //
 // Regenerates the .pdl files under cores_pdl/ from the canonical embedded
-// sources in src/cores/CoreSources.cpp (run from the repository root).
+// sources in src/cores/CoreSources.cpp (run from the repository root),
+// plus cores_pdl/MANIFEST.json mapping every core's stable id (the
+// spelling pdlfuzz/pdlsim/the service accept) to its display name and the
+// memory profiles it can run under.
 //
 //===----------------------------------------------------------------------===//
 
+#include "cores/Core.h"
 #include "cores/CoreSources.h"
+#include "obs/Json.h"
 
+#include <cassert>
 #include <cstdio>
 #include <fstream>
 
@@ -38,5 +44,34 @@ int main() {
     Out << E.Text;
     std::printf("wrote %s\n", E.Path);
   }
+
+  obs::Json Cores = obs::Json::array();
+  for (cores::CoreKind K : cores::allCoreKinds()) {
+    // Every id must survive a parse round trip — the manifest documents
+    // the exact spellings the tools accept.
+    assert(cores::parseCoreKind(cores::coreKindId(K)) == K);
+    obs::Json C = obs::Json::object();
+    C.set("id", cores::coreKindId(K));
+    C.set("name", cores::coreName(K));
+    Cores.push(std::move(C));
+  }
+  obs::Json ProfilesV = obs::Json::array();
+  for (const std::string &Name : cores::memProfileNames()) {
+    assert(cores::parseMemProfile(Name).has_value());
+    ProfilesV.push(Name);
+  }
+  obs::Json Manifest = obs::Json::object();
+  Manifest.set("cores", std::move(Cores));
+  Manifest.set("mem_profiles", std::move(ProfilesV));
+
+  const char *ManifestPath = "cores_pdl/MANIFEST.json";
+  std::ofstream Out(ManifestPath);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s (run from the repo root)\n",
+                 ManifestPath);
+    return 1;
+  }
+  Out << Manifest.dump(2) << "\n";
+  std::printf("wrote %s\n", ManifestPath);
   return 0;
 }

@@ -45,35 +45,10 @@ static void usage() {
       stderr,
       "usage: pdlfuzz [--seed=N] [--count=N] [--cycles=N] [--jobs=N]\n"
       "               [--cores=LIST] [--profiles=LIST] [--out=DIR]\n"
-      "               [--json] [--fail-fast]\n"
+      "               [--fault=SPEC] [--json] [--fail-fast]\n"
       "  cores:    5stage nobypass 3stage bht rv32im rename\n"
-      "  profiles: always-hit l1-4k l1-tiny\n");
-}
-
-static std::optional<cores::CoreKind> parseCore(const std::string &S) {
-  if (S == "5stage")
-    return cores::CoreKind::Pdl5Stage;
-  if (S == "nobypass")
-    return cores::CoreKind::Pdl5StageNoBypass;
-  if (S == "3stage")
-    return cores::CoreKind::Pdl3Stage;
-  if (S == "bht")
-    return cores::CoreKind::Pdl5StageBht;
-  if (S == "rv32im")
-    return cores::CoreKind::PdlRv32im;
-  if (S == "rename")
-    return cores::CoreKind::Pdl5StageRename;
-  return std::nullopt;
-}
-
-static std::optional<cores::CoreMemProfile> parseProfile(const std::string &S) {
-  if (S == "always-hit")
-    return cores::memProfileAlwaysHit();
-  if (S == "l1-4k")
-    return cores::memProfileL1_4K();
-  if (S == "l1-tiny")
-    return cores::memProfileL1Tiny();
-  return std::nullopt;
+      "  profiles: always-hit l1-4k l1-tiny\n"
+      "  fault:    kind[:pipe=P,mem=M,from=S,to=S,nth=N,bit=N,var=V]\n");
 }
 
 static std::vector<std::string> splitList(const std::string &S) {
@@ -112,6 +87,13 @@ int main(int argc, char **argv) {
       ProfileList = A.substr(11);
     } else if (A.rfind("--out=", 0) == 0) {
       O.OutDir = A.substr(6);
+    } else if (A.rfind("--fault=", 0) == 0) {
+      std::string Err;
+      O.Fault = hw::parseFaultPlan(A.substr(8), &Err);
+      if (!O.Fault) {
+        std::fprintf(stderr, "pdlfuzz: bad --fault: %s\n", Err.c_str());
+        return 2;
+      }
     } else if (A == "--json") {
       O.Json = true;
     } else if (A == "--fail-fast") {
@@ -129,7 +111,7 @@ int main(int argc, char **argv) {
 
   O.Kinds.clear();
   for (const std::string &S : splitList(CoreList)) {
-    std::optional<cores::CoreKind> K = parseCore(S);
+    std::optional<cores::CoreKind> K = cores::parseCoreKind(S);
     if (!K) {
       std::fprintf(stderr, "pdlfuzz: unknown core '%s'\n", S.c_str());
       return 2;
@@ -138,7 +120,7 @@ int main(int argc, char **argv) {
   }
   O.Profiles.clear();
   for (const std::string &S : splitList(ProfileList)) {
-    std::optional<cores::CoreMemProfile> P = parseProfile(S);
+    std::optional<cores::CoreMemProfile> P = cores::parseMemProfile(S);
     if (!P) {
       std::fprintf(stderr, "pdlfuzz: unknown profile '%s'\n", S.c_str());
       return 2;
