@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <tuple>
 
@@ -224,10 +226,29 @@ struct Val {
 
 /// Compiles one pipe: slot table, statement/if-condition programs, and
 /// (when a stage graph is supplied) the executor's stage mirrors.
+/// Deliberate-miscompile switch for the translation validator's self-test
+/// (src/tv/): PDL_TV_MUTATE=cse-ternary keeps the then-arm's value numbers
+/// alive into the else arm (the classic dropped-invalidation bug — the else
+/// path then reads scratch slots only the then path wrote);
+/// PDL_TV_MUTATE=guard-drop neutralizes the last short-circuit branch of
+/// each fused guard program. Both must be rejected by tv::validateModule.
+enum class Mutation { None, CseTernary, GuardDrop };
+
+Mutation requestedMutation() {
+  const char *E = std::getenv("PDL_TV_MUTATE");
+  if (!E)
+    return Mutation::None;
+  if (std::strcmp(E, "cse-ternary") == 0)
+    return Mutation::CseTernary;
+  if (std::strcmp(E, "guard-drop") == 0)
+    return Mutation::GuardDrop;
+  return Mutation::None;
+}
+
 class PipeCompiler {
 public:
   PipeCompiler(const ast::Program &AST, const PipeDecl &Pipe, PipeProgram &PP)
-      : AST(AST), Pipe(Pipe), PP(PP) {}
+      : AST(AST), Pipe(Pipe), PP(PP), Mut(requestedMutation()) {}
 
   void run(const StageGraph *G) {
     // Pass 1: discover every named variable and its declared width.
@@ -259,6 +280,7 @@ private:
   const ast::Program &AST;
   const PipeDecl &Pipe;
   PipeProgram &PP;
+  Mutation Mut;
   std::vector<unsigned> VarWidths;
 
   // ---- per-program state ----
@@ -557,9 +579,11 @@ private:
     Cur->Code[BrIx].Imm = static_cast<uint32_t>(Cur->Code.size());
     // Each arm starts from the post-condition value-numbering state; arm
     // temporaries are dead after the join, so the else arm reuses them.
-    VN = Snapshot;
     uint16_t ThenHigh = NextTemp;
-    NextTemp = TempMark;
+    if (Mut != Mutation::CseTernary) {
+      VN = Snapshot;
+      NextTemp = TempMark;
+    }
     Val EV = compileExpr(*T.elseExpr(), Sc);
     emitMove(D, EV);
     Cur->Code[JmpIx].Imm = static_cast<uint32_t>(Cur->Code.size());
@@ -726,6 +750,11 @@ private:
       }
       uint16_t S = materialize(V);
       FailFixups.push_back(emit(T.Polarity ? Op::BrFalse : Op::BrTrue, 0, S));
+    }
+    if (Mut == Mutation::GuardDrop && !FailFixups.empty()) {
+      uint32_t Ix = FailFixups.back();
+      FailFixups.pop_back();
+      P.Code[Ix] = Insn{Op::Jump, 0, 0, 0, Ix + 1};
     }
     if (!ConstFalse)
       emit(Op::RetTrue);

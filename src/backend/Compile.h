@@ -24,6 +24,14 @@
 /// a compile-time scope map (their bodies resolve names in function scope
 /// only, matching Eval.cpp's Locals environment).
 ///
+/// Faithfulness is not taken on trust: src/tv/ re-proves every compiled
+/// program equal to its expression tree after each compilation. For
+/// self-testing that validator, the environment variable PDL_TV_MUTATE
+/// (values "cse-ternary", "guard-drop") seeds a deliberate miscompile —
+/// dropped value-numbering invalidation across ternary arms, or a
+/// neutralized guard short-circuit branch — which tv::validateModule must
+/// reject. It is read per compiled pipe and intended only for tests.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PDL_BACKEND_COMPILE_H

@@ -145,12 +145,18 @@ namespace {
 struct SharedCircuit {
   std::shared_ptr<const CompiledProgram> Program;
   std::shared_ptr<const backend::bc::ModuleIR> IR;
+  /// Filled lazily by cores::certify, then shared by every later caller.
+  std::shared_ptr<const tv::Certificate> Cert;
 };
 
-SharedCircuit sharedCircuit(CoreKind K) {
+std::mutex &circuitLock() {
   static std::mutex Lock;
+  return Lock;
+}
+
+/// Caller holds circuitLock().
+SharedCircuit &circuitFor(CoreKind K) {
   static std::map<CoreKind, SharedCircuit> Cache;
-  std::lock_guard<std::mutex> Guard(Lock);
   SharedCircuit &E = Cache[K];
   if (!E.Program) {
     auto P = std::make_shared<CompiledProgram>(
@@ -166,7 +172,31 @@ SharedCircuit sharedCircuit(CoreKind K) {
   return E;
 }
 
+SharedCircuit sharedCircuit(CoreKind K) {
+  std::lock_guard<std::mutex> Guard(circuitLock());
+  return circuitFor(K);
+}
+
 } // namespace
+
+std::shared_ptr<const tv::Certificate> cores::certify(CoreKind K) {
+  std::lock_guard<std::mutex> Guard(circuitLock());
+  SharedCircuit &E = circuitFor(K);
+  if (!E.Cert)
+    E.Cert = std::make_shared<tv::Certificate>(
+        tv::validateModule(*E.Program, *E.IR, coreKindId(K)));
+  return E.Cert;
+}
+
+std::shared_ptr<const CompiledProgram> cores::sharedProgram(CoreKind K) {
+  std::lock_guard<std::mutex> Guard(circuitLock());
+  return circuitFor(K).Program;
+}
+
+std::shared_ptr<const backend::bc::ModuleIR> cores::sharedModuleIR(CoreKind K) {
+  std::lock_guard<std::mutex> Guard(circuitLock());
+  return circuitFor(K).IR;
+}
 
 Core::Core(CoreKind Kind, PredictorKind Predictor, CoreMemProfile MemProfile)
     : Kind(Kind), MemProfile(std::move(MemProfile)) {

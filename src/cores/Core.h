@@ -20,6 +20,7 @@
 #include "cores/CoreSources.h"
 #include "hw/Extern.h"
 #include "riscv/GoldenSim.h"
+#include "tv/Tv.h"
 
 #include <memory>
 #include <optional>
@@ -49,6 +50,18 @@ std::optional<CoreKind> parseCoreKind(const std::string &S);
 
 /// Every CoreKind, in declaration order (CLI listings, round-trip tests).
 const std::vector<CoreKind> &allCoreKinds();
+
+/// Translation-validates the shared compiled circuit of \p K (tv::
+/// validateModule) and caches the certificate alongside the circuit for
+/// the life of the process: one proof per core kind, no matter how many
+/// Cores, fuzz jobs, or service requests ask for it.
+std::shared_ptr<const tv::Certificate> certify(CoreKind K);
+
+/// The process-shared compiled artifacts certificates refer to — exposed
+/// so certificate replay (tv::checkCertificate) can run against exactly
+/// the circuit that was certified.
+std::shared_ptr<const CompiledProgram> sharedProgram(CoreKind K);
+std::shared_ptr<const backend::bc::ModuleIR> sharedModuleIR(CoreKind K);
 
 /// Which external predictor module backs the BHT core's `bht` extern.
 enum class PredictorKind { Bht2Bit, Gshare };

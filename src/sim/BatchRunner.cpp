@@ -55,6 +55,7 @@ std::vector<SimRequest> sim::expandFuzzMatrix(const FuzzOptions &O,
         R.Cfg.Profile = Profile;
         R.Cfg.MaxCycles = O.MaxCycles;
         R.Cfg.Fault = O.Fault;
+        R.Cfg.Certify = O.Certify;
         R.Cfg.Jobs = O.Jobs; // shrink re-runs fan out over the same pool
         Batch.push_back(std::move(R));
       }
@@ -67,6 +68,14 @@ FuzzBatchResult sim::runFuzzBatch(const FuzzOptions &O) {
   const size_t NumKinds = O.Kinds.size(), NumProfiles = O.Profiles.size();
   if (!NumKinds || !NumProfiles || !O.Count)
     return Out;
+
+  // A run fails on a divergence/violation, or — under --certify — when the
+  // core's compiled bytecode was refuted against its expression tree. A
+  // rejected certificate is a property of the core, not the program, so it
+  // fails every run of that core.
+  auto RunFailed = [](const SimResult &R) {
+    return R.failed() || R.Tv == "rejected";
+  };
 
   std::vector<SimRequest> Batch;
   std::vector<SimResult> Results;
@@ -89,7 +98,7 @@ FuzzBatchResult sim::runFuzzBatch(const FuzzOptions &O) {
       std::vector<SimResult> WaveResults = runBatch(Wave, O.Jobs);
       Out.ProgramsGenerated += WaveEnd - N;
       for (const SimResult &R : WaveResults)
-        Failed = Failed || R.failed();
+        Failed = Failed || RunFailed(R);
       std::move(Wave.begin(), Wave.end(), std::back_inserter(Batch));
       std::move(WaveResults.begin(), WaveResults.end(),
                 std::back_inserter(Results));
@@ -103,7 +112,7 @@ FuzzBatchResult sim::runFuzzBatch(const FuzzOptions &O) {
   size_t Upto = Results.size();
   if (O.FailFast)
     for (size_t I = 0; I != Results.size(); ++I)
-      if (Results[I].failed()) {
+      if (RunFailed(Results[I])) {
         Upto = I + 1;
         break;
       }
@@ -130,6 +139,8 @@ FuzzBatchResult sim::runFuzzBatch(const FuzzOptions &O) {
       Row.set("instrs", obs::Json(R.Instrs));
       Row.set("outcome", obs::Json(R.Outcome));
       Row.set("divergent", obs::Json(R.Divergent));
+      if (!R.Tv.empty()) // only present under --certify
+        Row.set("tv", obs::Json(R.Tv));
       Row.set("faults_injected", obs::Json(R.FaultsInjected));
       Row.set("violations", obs::Json(R.Violations));
       if (N == 0) // one attribution report per config keeps files small
@@ -137,9 +148,17 @@ FuzzBatchResult sim::runFuzzBatch(const FuzzOptions &O) {
       Rows.push(std::move(Row));
     }
 
-    if (!R.failed())
+    if (!RunFailed(R))
       continue;
     ++Out.Failures;
+    if (!R.failed()) {
+      // Certification-only failure: the core's compiled bytecode was
+      // refuted against its expression tree. That is independent of the
+      // generated program, so there is nothing to shrink or bundle.
+      Logf("pdlfuzz: FAIL seed=" + std::to_string(RunSeed) + " " + Config +
+           ": bytecode certification rejected\n");
+      continue;
+    }
     Logf("pdlfuzz: FAIL seed=" + std::to_string(RunSeed) + " " + Config +
          ": " +
          (R.Divergent ? R.Reason : std::string("invariant violation(s)")) +

@@ -73,6 +73,11 @@ struct FuzzOptions {
   /// When set, armed on every pipelined run (never on the golden model).
   /// Test hook: makes the whole matrix diverge deterministically.
   std::optional<hw::FaultPlan> Fault;
+  /// Forwarded to every expanded request's DiffConfig: translation-validate
+  /// each core's compiled bytecode and carry the status in the row's "tv"
+  /// field. A "rejected" certificate counts as a run failure (there is no
+  /// program to shrink, so no repro bundle is written for it).
+  bool Certify = false;
 };
 
 /// Expands the seeds x cores x profiles matrix of programs [Begin, End)

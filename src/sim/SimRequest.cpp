@@ -84,6 +84,10 @@ std::string SimRequest::cacheKey() const {
   Key += Cfg.WantDigest ? "|dig=1" : "|dig=0";
   Key += "|fault=";
   Key += Cfg.Fault ? hw::printFaultPlan(*Cfg.Fault) : "-";
+  // Appended only when certification is requested, so every key minted
+  // before the flag existed still addresses the same cache entry.
+  if (Cfg.Certify)
+    Key += "|certify=1";
   return Key;
 }
 

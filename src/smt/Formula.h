@@ -30,15 +30,31 @@
 namespace pdl {
 namespace smt {
 
-/// A first-order term: either an interned program variable or an integer
-/// constant. Terms are identified by a small integer handle.
+/// A first-order term: an interned program variable, an integer constant,
+/// or an application of a named function symbol to other terms. Terms are
+/// identified by a small integer handle.
+///
+/// Applications carry the bit-vector vocabulary the translation validator
+/// (src/tv/) needs: the symbol is an opcode spelling like "add:32" or
+/// "slice:5:393216" ("name:resultwidth[:imm]"). The solver's theory layer
+/// ground-evaluates known symbols over constant arguments and treats
+/// everything else as uninterpreted (congruence only), which is sound for
+/// validity queries: an uninterpreted symbol can only make the solver say
+/// "not proved", never "proved" incorrectly.
 struct Term {
-  enum class Kind { Variable, Constant };
+  enum class Kind { Variable, Constant, Apply };
   Kind TermKind;
-  /// Variable name for variables; empty for constants.
+  /// Variable name for variables; function symbol for applications; empty
+  /// for constants.
   std::string Name;
   /// Constant value for constants.
   uint64_t Value = 0;
+  /// Bit width of a constant; 0 means "unsorted" (the legacy front-end
+  /// fragment, where constants are plain integers). Two constants are equal
+  /// iff both value and width match.
+  unsigned Width = 0;
+  /// Argument terms for applications.
+  std::vector<unsigned> Args;
 };
 
 using TermId = unsigned;

@@ -7,6 +7,7 @@
 #include "smt/FormulaContext.h"
 
 #include <algorithm>
+#include <functional>
 #include <sstream>
 
 using namespace pdl;
@@ -37,18 +38,36 @@ TermId FormulaContext::variable(const std::string &Name) {
   if (It != VarIds.end())
     return It->second;
   TermId Id = Terms.size();
-  Terms.push_back({Term::Kind::Variable, Name, 0});
+  Terms.push_back({Term::Kind::Variable, Name, 0, 0, {}});
   VarIds.emplace(Name, Id);
   return Id;
 }
 
-TermId FormulaContext::constant(uint64_t Value) {
-  auto It = ConstIds.find(Value);
+TermId FormulaContext::constant(uint64_t Value) { return constant(Value, 0); }
+
+TermId FormulaContext::constant(uint64_t Value, unsigned Width) {
+  auto Key = std::make_pair(Value, Width);
+  auto It = ConstIds.find(Key);
   if (It != ConstIds.end())
     return It->second;
   TermId Id = Terms.size();
-  Terms.push_back({Term::Kind::Constant, "", Value});
-  ConstIds.emplace(Value, Id);
+  Terms.push_back({Term::Kind::Constant, "", Value, Width, {}});
+  ConstIds.emplace(Key, Id);
+  return Id;
+}
+
+TermId FormulaContext::apply(const std::string &Fn, std::vector<TermId> Args) {
+  std::string Key = Fn;
+  for (TermId A : Args) {
+    Key += ',';
+    Key += std::to_string(A);
+  }
+  auto It = ApplyIds.find(Key);
+  if (It != ApplyIds.end())
+    return It->second;
+  TermId Id = Terms.size();
+  Terms.push_back({Term::Kind::Apply, Fn, 0, 0, std::move(Args)});
+  ApplyIds.emplace(std::move(Key), Id);
   return Id;
 }
 
@@ -76,10 +95,11 @@ const Formula *FormulaContext::boolVar(TermId Var) {
 const Formula *FormulaContext::eq(TermId Lhs, TermId Rhs) {
   if (Lhs == Rhs)
     return TrueF;
-  // Distinct constants can never be equal.
+  // Distinct constants can never be equal (width is part of the sort: a
+  // width-8 five and a width-16 five are different bit vectors).
   const Term &L = Terms[Lhs], &R = Terms[Rhs];
   if (L.TermKind == Term::Kind::Constant && R.TermKind == Term::Kind::Constant)
-    return L.Value == R.Value ? TrueF : FalseF;
+    return L.Value == R.Value && L.Width == R.Width ? TrueF : FalseF;
   if (Lhs > Rhs)
     std::swap(Lhs, Rhs);
   std::string Key = "e:" + std::to_string(Lhs) + ":" + std::to_string(Rhs);
@@ -158,10 +178,25 @@ const Formula *FormulaContext::orF(std::vector<const Formula *> Fs) {
 }
 
 std::string Formula::str(const FormulaContext &Ctx) const {
-  auto TermStr = [&](TermId Id) {
+  std::function<std::string(TermId)> TermStr = [&](TermId Id) -> std::string {
     const Term &T = Ctx.term(Id);
-    return T.TermKind == Term::Kind::Variable ? T.Name
-                                              : std::to_string(T.Value);
+    switch (T.TermKind) {
+    case Term::Kind::Variable:
+      return T.Name;
+    case Term::Kind::Constant:
+      return T.Width ? std::to_string(T.Width) + "'d" + std::to_string(T.Value)
+                     : std::to_string(T.Value);
+    case Term::Kind::Apply: {
+      std::string Out = T.Name + "(";
+      for (unsigned I = 0, E = T.Args.size(); I != E; ++I) {
+        if (I)
+          Out += ", ";
+        Out += TermStr(T.Args[I]);
+      }
+      return Out + ")";
+    }
+    }
+    return "<?>";
   };
   switch (FKind) {
   case Kind::True:

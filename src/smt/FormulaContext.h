@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pdl {
@@ -34,7 +35,14 @@ public:
   // Terms.
   TermId variable(const std::string &Name);
   TermId constant(uint64_t Value);
+  /// A width-sorted bit-vector constant (the tv fragment). Constants of
+  /// different widths are distinct terms and never compare equal.
+  TermId constant(uint64_t Value, unsigned Width);
+  /// An application of function symbol \p Fn to \p Args, hash-consed:
+  /// identical (Fn, Args) yields the same TermId.
+  TermId apply(const std::string &Fn, std::vector<TermId> Args);
   const Term &term(TermId Id) const { return Terms[Id]; }
+  unsigned numTerms() const { return static_cast<unsigned>(Terms.size()); }
 
   // Formula builders (simplifying).
   const Formula *trueF() const { return TrueF; }
@@ -61,7 +69,8 @@ private:
 
   std::vector<Term> Terms;
   std::map<std::string, TermId> VarIds;
-  std::map<uint64_t, TermId> ConstIds;
+  std::map<std::pair<uint64_t, unsigned>, TermId> ConstIds;
+  std::map<std::string, TermId> ApplyIds;
 
   std::vector<std::unique_ptr<Formula>> Nodes;
   /// Structural-key -> canonical node map implementing hash-consing.

@@ -14,6 +14,138 @@
 using namespace pdl;
 using namespace pdl::smt;
 
+std::optional<Bits> smt::groundEval(const std::string &Fn,
+                                    const std::vector<Bits> &Args) {
+  // Parse "name:resultwidth[:imm]".
+  size_t Colon = Fn.find(':');
+  if (Colon == std::string::npos)
+    return std::nullopt;
+  std::string Name = Fn.substr(0, Colon);
+  const char *S = Fn.c_str() + Colon + 1;
+  char *End = nullptr;
+  unsigned long WL = std::strtoul(S, &End, 10);
+  if (End == S || WL < 1 || WL > 64)
+    return std::nullopt;
+  unsigned W = static_cast<unsigned>(WL);
+  uint32_t Imm = 0;
+  bool HasImm = false;
+  if (*End == ':') {
+    const char *S2 = End + 1;
+    unsigned long IL = std::strtoul(S2, &End, 10);
+    if (End == S2 || *End != '\0')
+      return std::nullopt;
+    Imm = static_cast<uint32_t>(IL);
+    HasImm = true;
+  } else if (*End != '\0') {
+    return std::nullopt;
+  }
+  if (HasImm && Name != "slice")
+    return std::nullopt;
+
+  const Bits *A0 = Args.size() > 0 ? &Args[0] : nullptr;
+  const Bits *A1 = Args.size() > 1 ? &Args[1] : nullptr;
+
+  // Width-preserving binary ops over same-width operands.
+  if (Name == "add" || Name == "sub" || Name == "mul" || Name == "udiv" ||
+      Name == "sdiv" || Name == "urem" || Name == "srem" || Name == "and" ||
+      Name == "or" || Name == "xor") {
+    if (Args.size() != 2 || A0->width() != A1->width() || A0->width() != W)
+      return std::nullopt;
+    if (Name == "add")
+      return A0->add(*A1);
+    if (Name == "sub")
+      return A0->sub(*A1);
+    if (Name == "mul")
+      return A0->mul(*A1);
+    if (Name == "udiv")
+      return A0->udiv(*A1);
+    if (Name == "sdiv")
+      return A0->sdiv(*A1);
+    if (Name == "urem")
+      return A0->urem(*A1);
+    if (Name == "srem")
+      return A0->srem(*A1);
+    if (Name == "and")
+      return A0->and_(*A1);
+    if (Name == "or")
+      return A0->or_(*A1);
+    return A0->xor_(*A1);
+  }
+  // Shifts: the amount's width is unconstrained in the Bits domain.
+  if (Name == "shl" || Name == "lshr" || Name == "ashr") {
+    if (Args.size() != 2 || A0->width() != W)
+      return std::nullopt;
+    if (Name == "shl")
+      return A0->shl(*A1);
+    if (Name == "lshr")
+      return A0->lshr(*A1);
+    return A0->ashr(*A1);
+  }
+  // Comparisons: 1-bit results over same-width operands.
+  if (Name == "eq" || Name == "ne" || Name == "ult" || Name == "ule" ||
+      Name == "slt" || Name == "sle") {
+    if (Args.size() != 2 || A0->width() != A1->width() || W != 1)
+      return std::nullopt;
+    if (Name == "eq")
+      return A0->eq(*A1);
+    if (Name == "ne")
+      return A0->ne(*A1);
+    if (Name == "ult")
+      return A0->ult(*A1);
+    if (Name == "ule")
+      return A0->ule(*A1);
+    if (Name == "slt")
+      return A0->slt(*A1);
+    return A0->sle(*A1);
+  }
+  // Eager boolean connectives accept any operand widths.
+  if (Name == "logand" || Name == "logor") {
+    if (Args.size() != 2 || W != 1)
+      return std::nullopt;
+    bool B = Name == "logand" ? (A0->toBool() && A1->toBool())
+                              : (A0->toBool() || A1->toBool());
+    return Bits(B ? 1 : 0, 1);
+  }
+  if (Name == "lognot") {
+    if (Args.size() != 1 || W != 1)
+      return std::nullopt;
+    return Bits(A0->isZero() ? 1 : 0, 1);
+  }
+  if (Name == "bitnot") {
+    if (Args.size() != 1 || A0->width() != W)
+      return std::nullopt;
+    return A0->not_();
+  }
+  if (Name == "neg") {
+    if (Args.size() != 1 || A0->width() != W)
+      return std::nullopt;
+    return Bits(0, W).sub(*A0);
+  }
+  if (Name == "slice") {
+    unsigned Hi = Imm >> 16, Lo = Imm & 0xffff;
+    if (Args.size() != 1 || !HasImm || Hi < Lo || Hi >= A0->width() ||
+        W != Hi - Lo + 1)
+      return std::nullopt;
+    return A0->slice(Hi, Lo);
+  }
+  if (Name == "zext" || Name == "sext") {
+    if (Args.size() != 1)
+      return std::nullopt;
+    return Name == "zext" ? A0->zextTo(W) : A0->sextTo(W);
+  }
+  if (Name == "concat") {
+    if (Args.size() != 2 || W != A0->width() + A1->width())
+      return std::nullopt;
+    return A0->concat(*A1);
+  }
+  if (Name == "ite") {
+    if (Args.size() != 3 || Args[1].width() != W || Args[2].width() != W)
+      return std::nullopt;
+    return A0->toBool() ? Args[1] : Args[2];
+  }
+  return std::nullopt;
+}
+
 namespace {
 
 /// Literal encoding: variable index V (1-based) becomes +V / -V.
@@ -176,21 +308,31 @@ private:
     for (unsigned V = 0, E = A.size(); V != E; ++V)
       if (Cnf.atoms()[V].IsEq)
         Blocking.push_back(A[V] ? -(Lit)(V + 1) : (Lit)(V + 1));
-    assert(!Blocking.empty() && "theory conflict without equality atoms");
+    if (Blocking.empty())
+      // The conflict holds under every equality-atom valuation, so the
+      // formula has no model at all.
+      return false;
     Cnf.clauses().push_back(std::move(Blocking));
     std::vector<int8_t> Fresh(Cnf.numVars(), -1);
     return search(std::move(Fresh));
   }
 
-  /// Union-find over terms: merge classes for true equalities; reject if a
-  /// class acquires two distinct constants or a false equality's operands
-  /// are in one class. Complete for equality over variables and constants.
+  /// Congruence closure over every term in the context: merge classes for
+  /// true equalities, propagate known constant values, merge congruent
+  /// applications of the same symbol, and ground-evaluate interpreted
+  /// symbols whose arguments all have known values. Reject if a class
+  /// acquires two distinct values or a false equality's operands end up in
+  /// one class (or in classes with the same known value). Complete for the
+  /// front-end's variable/constant fragment; sound (SAT may be
+  /// over-approximated, never UNSAT) for the tv bit-vector fragment.
   bool theoryConsistent(const std::vector<int8_t> &A) {
-    unsigned NumTerms = 0;
+    bool AnyEq = false;
     for (unsigned V = 0, E = A.size(); V != E; ++V)
       if (Cnf.atoms()[V].IsEq)
-        NumTerms = std::max(
-            {NumTerms, Cnf.atoms()[V].Lhs + 1, Cnf.atoms()[V].Rhs + 1});
+        AnyEq = true;
+    if (!AnyEq)
+      return true;
+    const unsigned NumTerms = Ctx.numTerms();
     if (NumTerms == 0)
       return true;
 
@@ -202,27 +344,120 @@ private:
       return X;
     };
 
-    for (unsigned V = 0, E = A.size(); V != E; ++V) {
-      const auto &Atom = Cnf.atoms()[V];
-      if (Atom.IsEq && A[V] == 1)
-        Parent[Find(Atom.Lhs)] = Find(Atom.Rhs);
-    }
+    // Per-class known (value, width); width 0 is the legacy unsorted
+    // constant fragment.
+    std::vector<char> HasVal(NumTerms, 0);
+    std::vector<std::pair<uint64_t, unsigned>> Val(NumTerms);
+    auto Unite = [&](unsigned X, unsigned Y) {
+      X = Find(X);
+      Y = Find(Y);
+      if (X == Y)
+        return true;
+      Parent[X] = Y;
+      if (HasVal[X]) {
+        if (HasVal[Y] && Val[Y] != Val[X])
+          return false;
+        HasVal[Y] = 1;
+        Val[Y] = Val[X];
+      }
+      return true;
+    };
 
-    // A class may contain at most one constant value.
-    std::map<unsigned, uint64_t> ClassConst;
+    std::vector<unsigned> Applies;
     for (unsigned T = 0; T != NumTerms; ++T) {
-      if (Ctx.term(T).TermKind != Term::Kind::Constant)
-        continue;
-      unsigned Root = Find(T);
-      auto It = ClassConst.find(Root);
-      if (It != ClassConst.end() && It->second != Ctx.term(T).Value)
-        return false;
-      ClassConst.emplace(Root, Ctx.term(T).Value);
+      const Term &TT = Ctx.term(T);
+      if (TT.TermKind == Term::Kind::Apply)
+        Applies.push_back(T);
+      else if (TT.TermKind == Term::Kind::Constant) {
+        HasVal[T] = 1;
+        Val[T] = {TT.Value, TT.Width};
+      }
     }
 
     for (unsigned V = 0, E = A.size(); V != E; ++V) {
       const auto &Atom = Cnf.atoms()[V];
-      if (Atom.IsEq && A[V] == 0 && Find(Atom.Lhs) == Find(Atom.Rhs))
+      if (Atom.IsEq && A[V] == 1 && !Unite(Atom.Lhs, Atom.Rhs))
+        return false;
+    }
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (unsigned T : Applies) {
+        const Term &TT = Ctx.term(T);
+        // "ite" selects an arm as soon as its condition is known, even if
+        // the arms themselves are not.
+        if (TT.Name.compare(0, 4, "ite:") == 0 && TT.Args.size() == 3) {
+          unsigned CR = Find(TT.Args[0]);
+          if (HasVal[CR]) {
+            unsigned Arm = TT.Args[Val[CR].first != 0 ? 1 : 2];
+            if (Find(T) != Find(Arm)) {
+              if (!Unite(T, Arm))
+                return false;
+              Changed = true;
+            }
+            continue;
+          }
+        }
+        // Ground evaluation of interpreted symbols.
+        std::vector<Bits> ArgVals;
+        bool AllKnown = true;
+        for (unsigned Arg : TT.Args) {
+          unsigned R = Find(Arg);
+          if (!HasVal[R] || Val[R].second < 1 || Val[R].second > 64) {
+            AllKnown = false;
+            break;
+          }
+          ArgVals.emplace_back(Val[R].first, Val[R].second);
+        }
+        if (AllKnown && !TT.Args.empty()) {
+          if (std::optional<Bits> Res = groundEval(TT.Name, ArgVals)) {
+            unsigned R = Find(T);
+            std::pair<uint64_t, unsigned> RV{Res->zext(), Res->width()};
+            if (HasVal[R]) {
+              if (Val[R] != RV)
+                return false;
+            } else {
+              HasVal[R] = 1;
+              Val[R] = RV;
+              Changed = true;
+            }
+          }
+        }
+        // Congruence: f(a...) == f(b...) when the arguments are pairwise
+        // merged.
+        for (unsigned U : Applies) {
+          if (U <= T)
+            continue;
+          const Term &UT = Ctx.term(U);
+          if (UT.Name != TT.Name || UT.Args.size() != TT.Args.size() ||
+              Find(T) == Find(U))
+            continue;
+          bool ArgsEq = true;
+          for (size_t I = 0, N = TT.Args.size(); I != N; ++I)
+            if (Find(TT.Args[I]) != Find(UT.Args[I])) {
+              ArgsEq = false;
+              break;
+            }
+          if (!ArgsEq)
+            continue;
+          if (!Unite(T, U))
+            return false;
+          Changed = true;
+        }
+      }
+    }
+
+    for (unsigned V = 0, E = A.size(); V != E; ++V) {
+      const auto &Atom = Cnf.atoms()[V];
+      if (!Atom.IsEq || A[V] != 0)
+        continue;
+      unsigned L = Find(Atom.Lhs), R = Find(Atom.Rhs);
+      if (L == R)
+        return false;
+      // Two classes pinned to the same bit-vector value denote one value;
+      // a disequality between them has no model.
+      if (HasVal[L] && HasVal[R] && Val[L] == Val[R])
         return false;
     }
     return true;

@@ -7,13 +7,21 @@
 /// \file
 /// A small DPLL(T) solver standing in for Z3 in the PDL compiler (Figure 4).
 /// The propositional skeleton is solved with Tseitin CNF conversion + DPLL
-/// with unit propagation; equality atoms are checked against a union-find
-/// theory of uninterpreted variables and integer constants, with theory
-/// conflicts fed back as blocking clauses.
+/// with unit propagation; equality atoms are checked against a congruence
+/// closure over variables, width-sorted constants, and function
+/// applications, with theory conflicts fed back as blocking clauses.
 ///
-/// The fragment (booleans + variable/constant equalities) matches the
-/// abstraction the paper's compiler uses for branch conditions, so the
-/// solver is complete for every query the checkers pose.
+/// Interpreted function symbols ("add:32", "slice:5:196608", ... — see
+/// groundEval) are evaluated when all arguments are known constants, which
+/// gives the translation validator (src/tv/) real bit-vector reasoning on
+/// the ground fragment. Symbols the evaluator does not know stay
+/// uninterpreted: congruence still applies, and any resulting
+/// over-approximation of satisfiability only ever weakens validity answers
+/// from "proved" to "not proved" — never the reverse.
+///
+/// The original fragment (booleans + variable/constant equalities) matches
+/// the abstraction the paper's compiler uses for branch conditions, so the
+/// solver remains complete for every query the front-end checkers pose.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,11 +29,24 @@
 #define PDL_SMT_SOLVER_H
 
 #include "smt/FormulaContext.h"
+#include "support/Bits.h"
 
+#include <optional>
 #include <vector>
 
 namespace pdl {
 namespace smt {
+
+/// Evaluates the interpreted function symbol \p Fn over constant bit-vector
+/// arguments. The symbol grammar is "name:resultwidth[:imm]"; known names
+/// cover the bytecode opcode vocabulary (add, sub, mul, udiv, sdiv, urem,
+/// srem, and, or, xor, shl, lshr, ashr, eq, ne, ult, ule, slt, sle, logand,
+/// logor, lognot, bitnot, neg, slice, zext, sext, concat, ite). Returns
+/// std::nullopt for unknown symbols, arity mismatches, or width
+/// preconditions the Bits domain would assert on — callers must treat such
+/// applications as uninterpreted.
+std::optional<Bits> groundEval(const std::string &Fn,
+                               const std::vector<Bits> &Args);
 
 /// Decides satisfiability and validity of formulas built in a
 /// FormulaContext. Stateless between queries apart from statistics.

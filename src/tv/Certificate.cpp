@@ -1,0 +1,282 @@
+//===- Certificate.cpp - Certificate serialization and replay checking ----===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tv/Tv.h"
+
+#include <sstream>
+
+using namespace pdl;
+using namespace pdl::tv;
+
+namespace {
+
+obs::Json u64(uint64_t V) { return obs::Json(V); }
+
+/// Digests render as fixed-width hex so certificates diff cleanly and
+/// MANIFEST entries stay lexicographically stable.
+std::string hex64(uint64_t V) {
+  std::ostringstream OS;
+  OS << std::hex;
+  OS.width(16);
+  OS.fill('0');
+  OS << V;
+  return OS.str();
+}
+
+bool parseHex64(const obs::Json *J, uint64_t &Out) {
+  if (!J || J->kind() != obs::Json::Kind::String)
+    return false;
+  const std::string &S = J->asString();
+  if (S.size() != 16)
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    unsigned D;
+    if (C >= '0' && C <= '9')
+      D = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      D = C - 'a' + 10;
+    else
+      return false;
+    V = (V << 4) | D;
+  }
+  Out = V;
+  return true;
+}
+
+bool getU(const obs::Json &V, const char *Key, unsigned &Out) {
+  const obs::Json *J = V.get(Key);
+  if (!J || !J->isNumber())
+    return false;
+  Out = static_cast<unsigned>(J->asU64());
+  return true;
+}
+
+bool getS(const obs::Json &V, const char *Key, std::string &Out) {
+  const obs::Json *J = V.get(Key);
+  if (!J || J->kind() != obs::Json::Kind::String)
+    return false;
+  Out = J->asString();
+  return true;
+}
+
+bool getB(const obs::Json &V, const char *Key, bool &Out) {
+  const obs::Json *J = V.get(Key);
+  if (!J || J->kind() != obs::Json::Kind::Bool)
+    return false;
+  Out = J->asBool();
+  return true;
+}
+
+obs::Json programToJson(const ProgramCert &P) {
+  obs::Json O = obs::Json::object();
+  O.set("pipe", P.Pipe);
+  O.set("label", P.Label);
+  O.set("kind", P.Kind);
+  O.set("source", P.Source);
+  O.set("tree_digest", hex64(P.TreeDigest));
+  O.set("bc_digest", hex64(P.BcDigest));
+  O.set("obligations_digest", hex64(P.ObligationsDigest));
+  O.set("paths", P.Paths);
+  O.set("syntactic", P.Syntactic);
+  O.set("solver", P.Solver);
+  O.set("unproven", P.Unproven);
+  O.set("refuted", P.Refuted);
+  O.set("budget_exceeded", obs::Json(P.BudgetExceeded));
+  O.set("status", P.ProgStatus);
+  obs::Json Notes = obs::Json::array();
+  for (const std::string &N : P.Notes)
+    Notes.push(obs::Json(N));
+  O.set("notes", std::move(Notes));
+  return O;
+}
+
+bool programFromJson(const obs::Json &V, ProgramCert &P) {
+  if (V.kind() != obs::Json::Kind::Object)
+    return false;
+  if (!getS(V, "pipe", P.Pipe) || !getS(V, "label", P.Label) ||
+      !getS(V, "kind", P.Kind) || !getS(V, "source", P.Source) ||
+      !parseHex64(V.get("tree_digest"), P.TreeDigest) ||
+      !parseHex64(V.get("bc_digest"), P.BcDigest) ||
+      !parseHex64(V.get("obligations_digest"), P.ObligationsDigest) ||
+      !getU(V, "paths", P.Paths) || !getU(V, "syntactic", P.Syntactic) ||
+      !getU(V, "solver", P.Solver) || !getU(V, "unproven", P.Unproven) ||
+      !getU(V, "refuted", P.Refuted) ||
+      !getB(V, "budget_exceeded", P.BudgetExceeded) ||
+      !getS(V, "status", P.ProgStatus))
+    return false;
+  const obs::Json *Notes = V.get("notes");
+  if (!Notes || Notes->kind() != obs::Json::Kind::Array)
+    return false;
+  P.Notes.clear();
+  for (const obs::Json &N : Notes->items()) {
+    if (N.kind() != obs::Json::Kind::String)
+      return false;
+    P.Notes.push_back(N.asString());
+  }
+  return true;
+}
+
+} // namespace
+
+obs::Json Certificate::toJsonValue() const {
+  obs::Json O = obs::Json::object();
+  O.set("version", Version);
+  O.set("module", Module);
+  O.set("status", statusName(St));
+  obs::Json Progs = obs::Json::array();
+  for (const ProgramCert &P : Programs)
+    Progs.push(programToJson(P));
+  O.set("programs", std::move(Progs));
+  O.set("layout_checks", LayoutChecks);
+  O.set("layout_failures", LayoutFailures);
+  obs::Json LN = obs::Json::array();
+  for (const std::string &N : LayoutNotes)
+    LN.push(obs::Json(N));
+  O.set("layout_notes", std::move(LN));
+  O.set("smt_queries", SolverQueries);
+  O.set("smt_decisions", SolverDecisions);
+  O.set("wall_us", u64(WallUs));
+  return O;
+}
+
+bool Certificate::fromJsonValue(const obs::Json &V, Certificate &Out) {
+  if (V.kind() != obs::Json::Kind::Object)
+    return false;
+  if (!getU(V, "version", Out.Version) || Out.Version != 1)
+    return false;
+  if (!getS(V, "module", Out.Module))
+    return false;
+  std::string St;
+  if (!getS(V, "status", St))
+    return false;
+  if (St == "certified")
+    Out.St = Status::Certified;
+  else if (St == "fuzz-trusted")
+    Out.St = Status::FuzzTrusted;
+  else if (St == "rejected")
+    Out.St = Status::Rejected;
+  else
+    return false;
+  const obs::Json *Progs = V.get("programs");
+  if (!Progs || Progs->kind() != obs::Json::Kind::Array)
+    return false;
+  Out.Programs.clear();
+  for (const obs::Json &P : Progs->items()) {
+    ProgramCert PC;
+    if (!programFromJson(P, PC))
+      return false;
+    Out.Programs.push_back(std::move(PC));
+  }
+  if (!getU(V, "layout_checks", Out.LayoutChecks) ||
+      !getU(V, "layout_failures", Out.LayoutFailures) ||
+      !getU(V, "smt_queries", Out.SolverQueries) ||
+      !getU(V, "smt_decisions", Out.SolverDecisions))
+    return false;
+  const obs::Json *LN = V.get("layout_notes");
+  if (!LN || LN->kind() != obs::Json::Kind::Array)
+    return false;
+  Out.LayoutNotes.clear();
+  for (const obs::Json &N : LN->items()) {
+    if (N.kind() != obs::Json::Kind::String)
+      return false;
+    Out.LayoutNotes.push_back(N.asString());
+  }
+  const obs::Json *Wall = V.get("wall_us");
+  if (!Wall || !Wall->isNumber())
+    return false;
+  Out.WallUs = Wall->asU64();
+  return true;
+}
+
+uint64_t Certificate::digest() const {
+  Certificate Canon = *this;
+  Canon.WallUs = 0;
+  const std::string S = Canon.toJson();
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+CheckResult tv::checkCertificate(const Certificate &Cert,
+                                 const CompiledProgram &CP,
+                                 const backend::bc::ModuleIR &IR) {
+  CheckResult R;
+  auto fail = [&R](std::string Msg) {
+    R.Ok = false;
+    R.Error = std::move(Msg);
+    return R;
+  };
+
+  if (Cert.Version != 1)
+    return fail("unsupported certificate version");
+
+  // Solver-free replay of the deterministic co-execution.
+  ValidateOptions Opts;
+  Opts.UseSolver = false;
+  Certificate Re = validateModule(CP, IR, Cert.Module, Opts);
+
+  if (Re.Programs.size() != Cert.Programs.size())
+    return fail("program count differs: certificate " +
+                std::to_string(Cert.Programs.size()) + " vs replay " +
+                std::to_string(Re.Programs.size()));
+  if (Re.LayoutChecks != Cert.LayoutChecks ||
+      Re.LayoutFailures != Cert.LayoutFailures)
+    return fail("layout obligation tallies differ");
+
+  for (size_t I = 0; I != Re.Programs.size(); ++I) {
+    const ProgramCert &C = Cert.Programs[I];
+    const ProgramCert &P = Re.Programs[I];
+    std::string Id = C.Pipe + "/" + C.Label;
+    if (P.Pipe != C.Pipe || P.Label != C.Label || P.Kind != C.Kind)
+      return fail("program " + std::to_string(I) + " identity differs (" +
+                  Id + " vs " + P.Pipe + "/" + P.Label + ")");
+    if (P.TreeDigest != C.TreeDigest)
+      return fail(Id + ": tree digest differs");
+    if (P.BcDigest != C.BcDigest)
+      return fail(Id + ": bytecode digest differs");
+    if (P.ObligationsDigest != C.ObligationsDigest)
+      return fail(Id + ": obligations digest differs");
+    if (P.Paths != C.Paths || P.BudgetExceeded != C.BudgetExceeded)
+      return fail(Id + ": path exploration differs");
+    if (P.Syntactic != C.Syntactic)
+      return fail(Id + ": syntactic tally differs");
+    if (P.Refuted != C.Refuted)
+      return fail(Id + ": refuted tally differs");
+    // The replay counts every would-be-solver obligation as unproven; the
+    // certificate may have proved some of those, but never more than exist.
+    if (C.Solver + C.Unproven != P.Unproven)
+      return fail(Id + ": solver+unproven tally (" +
+                  std::to_string(C.Solver + C.Unproven) +
+                  ") does not match replay needs-solver count (" +
+                  std::to_string(P.Unproven) + ")");
+    // Status must be consistent with the claimed tallies.
+    std::string Want = C.Refuted              ? "rejected"
+                       : (C.Unproven || C.BudgetExceeded) ? "fuzz-trusted"
+                                                          : "proved";
+    if (C.ProgStatus != Want)
+      return fail(Id + ": status '" + C.ProgStatus +
+                  "' inconsistent with tallies (expect '" + Want + "')");
+  }
+
+  // Module status must follow from the parts.
+  Status Want = Status::Certified;
+  for (const ProgramCert &C : Cert.Programs) {
+    if (C.ProgStatus == "rejected")
+      Want = Status::Rejected;
+    else if (C.ProgStatus == "fuzz-trusted" && Want != Status::Rejected)
+      Want = Status::FuzzTrusted;
+  }
+  if (Cert.LayoutFailures)
+    Want = Status::Rejected;
+  if (Cert.St != Want)
+    return fail("module status inconsistent with program statuses");
+
+  return R;
+}

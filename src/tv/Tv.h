@@ -1,0 +1,153 @@
+//===- Tv.h - Translation validation of compiled bytecode ------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translation validation for the bytecode expression compiler
+/// (backend/Compile.h), in the Fe-Si "certified artifact" style: instead of
+/// trusting the compiler, every compiled program is re-proved equal to its
+/// type-checked expression tree after each compilation.
+///
+/// The validator co-executes both representations symbolically over a
+/// shared store of hash-consed terms (one Var term per frame slot, one Hook
+/// term per memory-read / extern-call event). Branches split the state
+/// space path by path: each completed path yields one equivalence
+/// obligation — same result term and the same hook-call trace (site, order,
+/// and arguments) on both sides. Obligations discharge three ways:
+///
+///   * syntactic  — both sides produced pointer-identical terms (the common
+///                  case for a faithful compile, since terms are interned);
+///   * solver     — the DPLL(T) solver (smt/Solver.h) proved the residual
+///                  equalities from the path condition, with the bytecode
+///                  opcode vocabulary as interpreted bit-vector symbols and
+///                  a sound uninterpreted fallback;
+///   * refuted    — a structural counterexample: constant results that
+///                  differ, diverging hook traces, a read of an
+///                  uninitialized scratch slot, a width violation, or a
+///                  runaway bytecode loop. Any refutation rejects the
+///                  module.
+///
+/// Everything else (solver gave up, path budget exhausted) stays a
+/// structured warning: the program is downgraded to "fuzz-trusted", the
+/// trust level the differential fuzzer already provides.
+///
+/// The result is a serializable Certificate. tv::checkCertificate replays a
+/// certificate against a freshly compiled module WITHOUT the solver: it
+/// re-runs the deterministic symbolic co-execution, recomputes every
+/// per-program obligations digest, and cross-checks the claimed verdict
+/// counts — an independent check in the sense that no solver verdict is
+/// taken on faith.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_TV_TV_H
+#define PDL_TV_TV_H
+
+#include "backend/Bytecode.h"
+#include "obs/Json.h"
+#include "passes/Compiler.h"
+
+#include <string>
+#include <vector>
+
+namespace pdl {
+namespace tv {
+
+/// Module-level certification status, ordered worst-last.
+enum class Status { Certified, FuzzTrusted, Rejected };
+
+/// "certified" / "fuzz-trusted" / "rejected".
+const char *statusName(Status S);
+
+/// The validation record for one compiled program (an expression program or
+/// a fused guard program).
+struct ProgramCert {
+  std::string Pipe;
+  std::string Label;  // stable unit name, e.g. "e3" or "s1.edge0"
+  std::string Kind;   // "expr" | "guard"
+  std::string Source; // truncated source rendering, for humans
+  uint64_t TreeDigest = 0;
+  uint64_t BcDigest = 0;
+  /// Digest over every path's decisions, result terms, and hook traces —
+  /// deliberately verdict-free so the replay checker can recompute it
+  /// without a solver.
+  uint64_t ObligationsDigest = 0;
+  unsigned Paths = 0;
+  unsigned Syntactic = 0;
+  unsigned Solver = 0;
+  unsigned Unproven = 0;
+  unsigned Refuted = 0;
+  bool BudgetExceeded = false;
+  std::string ProgStatus; // "proved" | "fuzz-trusted" | "rejected"
+  std::vector<std::string> Notes;
+};
+
+/// A machine-checkable certificate for one compiled module.
+struct Certificate {
+  unsigned Version = 1;
+  std::string Module;
+  Status St = Status::Certified;
+  std::vector<ProgramCert> Programs;
+  /// Structural layout obligations: the stage mirrors must point at the
+  /// same programs the statement walk compiled, and destinations must match
+  /// the slot table.
+  unsigned LayoutChecks = 0;
+  unsigned LayoutFailures = 0;
+  std::vector<std::string> LayoutNotes;
+  unsigned SolverQueries = 0;
+  unsigned SolverDecisions = 0;
+  /// Validation wall time in microseconds. Excluded from digest() and from
+  /// replay comparison.
+  uint64_t WallUs = 0;
+
+  obs::Json toJsonValue() const;
+  std::string toJson() const { return toJsonValue().dump(); }
+  /// Parses a certificate serialized by toJsonValue. Returns false on
+  /// missing or ill-typed fields.
+  static bool fromJsonValue(const obs::Json &V, Certificate &Out);
+
+  /// FNV-1a over the canonical serialization with WallUs zeroed, so equal
+  /// validation outcomes produce equal digests across runs.
+  uint64_t digest() const;
+};
+
+struct ValidateOptions {
+  /// When false, obligations that would need the solver are recorded as
+  /// "needs-solver" (counted unproven) instead of being discharged. The
+  /// replay checker runs in this mode.
+  bool UseSolver = true;
+  /// Per-program cap on explored paths; exceeding it downgrades the program
+  /// to fuzz-trusted (never to certified).
+  unsigned MaxPathsPerProgram = 20000;
+  /// Cap on human-readable notes kept per program.
+  unsigned MaxNotes = 4;
+};
+
+/// Validates every compiled program of \p IR against the expression trees
+/// in \p CP and returns the certificate. \p ModuleName labels the
+/// certificate (a file name or cores::coreKindId spelling).
+Certificate validateModule(const CompiledProgram &CP,
+                           const backend::bc::ModuleIR &IR,
+                           const std::string &ModuleName,
+                           const ValidateOptions &Opts = {});
+
+struct CheckResult {
+  bool Ok = true;
+  std::string Error;
+};
+
+/// Replays \p Cert against a fresh solver-free validation of (\p CP, \p IR)
+/// and cross-checks program identity, digests, path counts, and verdict
+/// tallies. A certificate that claims solver verdicts must have exactly as
+/// many solver+unproven obligations as the replay finds needs-solver paths;
+/// syntactic and refuted counts must match exactly.
+CheckResult checkCertificate(const Certificate &Cert,
+                             const CompiledProgram &CP,
+                             const backend::bc::ModuleIR &IR);
+
+} // namespace tv
+} // namespace pdl
+
+#endif // PDL_TV_TV_H

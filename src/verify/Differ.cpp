@@ -33,6 +33,10 @@ obs::Json DiffConfig::toJsonValue() const {
     V.set("vcd_path", obs::Json(VcdPath));
   if (Fault)
     V.set("fault", obs::Json(hw::printFaultPlan(*Fault)));
+  // Emitted only when set, so pre-certification configs serialize to the
+  // same bytes as before.
+  if (Certify)
+    V.set("certify", obs::Json(true));
   return V;
 }
 
@@ -85,6 +89,8 @@ std::optional<DiffConfig> DiffConfig::fromJsonValue(const obs::Json &V,
       return Fail("bad fault plan: " + FErr);
     C.Fault = *Plan;
   }
+  if (const obs::Json *Cy = V.get("certify"))
+    C.Certify = Cy->asBool();
   return C;
 }
 
@@ -98,6 +104,8 @@ obs::Json DiffResult::toJsonValue() const {
   V.set("faults_injected", obs::Json(FaultsInjected));
   V.set("violations", obs::Json(Violations));
   V.set("trace_digest", obs::Json(TraceDigest));
+  if (!Tv.empty())
+    V.set("tv", obs::Json(Tv));
   if (!ViolationList.empty()) {
     obs::Json Vs = obs::Json::array();
     for (const Violation &Viol : ViolationList)
@@ -112,6 +120,8 @@ obs::Json DiffResult::toJsonValue() const {
 
 DiffResult verify::runDiff(const std::string &AsmSource, const DiffConfig &C) {
   DiffResult Res;
+  if (C.Certify)
+    Res.Tv = tv::statusName(cores::certify(C.Kind)->St);
   std::vector<uint32_t> Words = riscv::assemble(AsmSource);
 
   // The architectural oracle: run to the halt store, keep the final state.

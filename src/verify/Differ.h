@@ -41,6 +41,11 @@ struct DiffConfig {
   std::string VcdPath;
   /// When set, armed on the System before the run (fault injection).
   std::optional<hw::FaultPlan> Fault;
+  /// Translation-validate the core's compiled bytecode (cores::certify)
+  /// and report the certification status in the result's "tv" field. The
+  /// proof is cached per core kind, so the per-run cost after the first
+  /// request is a map lookup.
+  bool Certify = false;
   /// Worker threads for shrink candidate evaluation. The shrink result is
   /// identical for every value (the accept rule reads a whole round's
   /// results, never completion order); > 1 only changes wall-clock.
@@ -71,6 +76,10 @@ struct DiffResult {
   std::vector<Violation> ViolationList;
   /// FNV-1a digest of the textual event log (when WantDigest).
   uint64_t TraceDigest = 0;
+  /// Certification status of the core's compiled circuit ("certified" /
+  /// "fuzz-trusted" / "rejected"), filled when DiffConfig::Certify is set;
+  /// empty (and absent from the JSON form) otherwise.
+  std::string Tv;
   /// Full stats report with Outcome/FaultsInjected/Violations filled in.
   obs::StatsReport Report;
   /// Rendered wait-for-graph diagnosis when the run deadlocked.

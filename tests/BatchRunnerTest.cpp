@@ -167,6 +167,31 @@ TEST(BatchRunnerTest, FuzzBatchJsonIsJobsInvariant) {
   EXPECT_EQ(Serial.JsonDoc.find("jobs"), std::string::npos);
 }
 
+TEST(BatchRunnerTest, FuzzBatchCertifyRowsCarryTvStatus) {
+  sim::FuzzOptions O;
+  O.Seed = 1;
+  O.Count = 2;
+  O.Kinds = {cores::CoreKind::Pdl5Stage};
+  O.Profiles = {cores::memProfileAlwaysHit()};
+  O.Json = true;
+  O.Certify = true;
+  O.OutDir = ::testing::TempDir() + "pdl-fuzz-certify";
+
+  sim::FuzzBatchResult R = sim::runFuzzBatch(O);
+  EXPECT_EQ(R.Runs, 2u);
+  // The committed cores certify, so certification adds no failures...
+  EXPECT_EQ(R.Failures, 0u);
+  // ...and every row carries the status (the proof is per core kind,
+  // cached after the first run).
+  EXPECT_NE(R.JsonDoc.find("\"tv\": \"certified\""), std::string::npos)
+      << R.JsonDoc;
+
+  // Without the flag the rows must not mention tv at all — the field is
+  // opt-in so pre-existing consumers see byte-identical documents.
+  O.Certify = false;
+  EXPECT_EQ(sim::runFuzzBatch(O).JsonDoc.find("\"tv\""), std::string::npos);
+}
+
 std::string readFile(const fs::path &P) {
   std::ifstream In(P, std::ios::binary);
   std::stringstream SS;

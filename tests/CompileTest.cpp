@@ -157,6 +157,124 @@ TEST(CompileTest, GuardConjunctionShortCircuits) {
   }
 }
 
+TEST(CompileTest, CseInvalidationAcrossTernaryArms) {
+  // (a + b) occurs under both arms of the branch. The value-numbering
+  // state is snapshotted before the then arm and restored before the else
+  // arm, so neither arm may reuse the other's temporaries: three Adds (two
+  // in the then arm, one in the else arm), not two. This is exactly the
+  // invalidation the tv mutation self-test (PDL_TV_MUTATE=cse-ternary)
+  // perturbs.
+  CompiledProgram CP = mustCompile(R"(
+    pipe p(a: uint<8>, b: uint<8>, c: bool)[] {
+      x = c ? (a + b) + b : (a + b) - b;
+      call p(x, b, c);
+    }
+  )");
+  auto IR = bc::compileModule(*CP.AST);
+  const bc::PipeProgram *PP = IR->pipe("p");
+  ASSERT_NE(PP, nullptr);
+  const bc::ExprProgram *P =
+      PP->programFor(rhsOf(*CP.AST->findPipe("p"), "x"));
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(countOps(*P, bc::Op::Add), 3u);
+  EXPECT_EQ(countOps(*P, bc::Op::Sub), 1u);
+
+  NoHooks H;
+  for (unsigned C : {0u, 1u}) {
+    std::vector<Bits> Frame = PP->InitFrame;
+    Frame[PP->slotOf("a")] = Bits(5, 8);
+    Frame[PP->slotOf("b")] = Bits(3, 8);
+    Frame[PP->slotOf("c")] = Bits(C, 1);
+    EXPECT_EQ(bc::exec(*P, Frame.data(), H).zext(), C ? 11u : 5u) << C;
+  }
+}
+
+TEST(CompileTest, TernaryJoinRestoresValueNumbering) {
+  // A value computed inside an arm is conditional, so a post-join
+  // occurrence of the same expression must be recomputed: the join
+  // restores the pre-conditional value-numbering snapshot. Reusing the
+  // then-arm's (a + b) would read a slot the else path never wrote.
+  CompiledProgram CP = mustCompile(R"(
+    pipe p(a: uint<8>, b: uint<8>, c: bool)[] {
+      x = (c ? (a + b) : a) + (a + b);
+      call p(x, b, c);
+    }
+  )");
+  auto IR = bc::compileModule(*CP.AST);
+  const bc::PipeProgram *PP = IR->pipe("p");
+  ASSERT_NE(PP, nullptr);
+  const bc::ExprProgram *P =
+      PP->programFor(rhsOf(*CP.AST->findPipe("p"), "x"));
+  ASSERT_NE(P, nullptr);
+  // Then-arm (a + b), post-join (a + b), and the outer +: three Adds.
+  EXPECT_EQ(countOps(*P, bc::Op::Add), 3u);
+
+  NoHooks H;
+  for (unsigned C : {0u, 1u}) {
+    std::vector<Bits> Frame = PP->InitFrame;
+    Frame[PP->slotOf("a")] = Bits(5, 8);
+    Frame[PP->slotOf("b")] = Bits(3, 8);
+    Frame[PP->slotOf("c")] = Bits(C, 1);
+    EXPECT_EQ(bc::exec(*P, Frame.data(), H).zext(), C ? 16u : 13u) << C;
+  }
+}
+
+TEST(CompileTest, GuardShortCircuitChecksEveryTerm) {
+  // Nested separators give stage 0 a three-way guarded fan-out: [c, d],
+  // [c, !d], and [!c]. The fused guard programs must check every term —
+  // including the last one, whose fail-branch is what the guard-drop
+  // mutation (PDL_TV_MUTATE=guard-drop) severs — so the edges partition
+  // for all four (c, d) slot combinations, even the ones no single `a`
+  // value can produce.
+  CompiledProgram CP = mustCompile(R"(
+    pipe p(a: uint<8>)[] {
+      c = a == 0;
+      d = a < 4;
+      call p(a + 1);
+      if (c) {
+        if (d) {
+          ---
+          x = a + 1;
+        } else {
+          y = a + 2;
+        }
+      } else {
+        z = a + 3;
+      }
+      w = a + 4;
+    }
+  )");
+  auto IR = bc::compileModule(CP);
+  const bc::PipeProgram *PP = IR->pipe("p");
+  ASSERT_NE(PP, nullptr);
+  ASSERT_FALSE(PP->Stages.empty());
+  const bc::StageProg &S0 = PP->Stages[0];
+  ASSERT_EQ(S0.EdgeGuards.size(), 3u);
+
+  unsigned Branching = 0;
+  for (const bc::ExprProgram *G : S0.EdgeGuards) {
+    ASSERT_NE(G, nullptr);
+    EXPECT_EQ(countOps(*G, bc::Op::RetTrue), 1u);
+    EXPECT_EQ(countOps(*G, bc::Op::RetFalse), 1u);
+    Branching += countOps(*G, bc::Op::BrFalse) + countOps(*G, bc::Op::BrTrue);
+  }
+  // One conditional branch per guard term: 2 + 2 + 1.
+  EXPECT_EQ(Branching, 5u);
+
+  NoHooks H;
+  for (unsigned C : {0u, 1u})
+    for (unsigned D : {0u, 1u}) {
+      std::vector<Bits> Frame = PP->InitFrame;
+      Frame[PP->ParamSlots[0]] = Bits(1, 8);
+      Frame[PP->slotOf("c")] = Bits(C, 1);
+      Frame[PP->slotOf("d")] = Bits(D, 1);
+      unsigned Holds = 0;
+      for (const bc::ExprProgram *G : S0.EdgeGuards)
+        Holds += bc::exec(*G, Frame.data(), H).toBool();
+      EXPECT_EQ(Holds, 1u) << "c=" << C << " d=" << D;
+    }
+}
+
 TEST(CompileTest, ConstantTernaryDropsUntakenArm) {
   CompiledProgram CP = mustCompile(R"(
     pipe p(i: uint<8>)[m: uint<8>[4]] {

@@ -163,6 +163,33 @@ TEST(ServiceTest, CacheKeyCoversResultsNotProvenance) {
   EXPECT_FALSE(G.cacheable());
 }
 
+TEST(ServiceTest, CertifiedRequestsRoundTripAndCarryTv) {
+  // Certification adds a "tv" field to the result, so a certified request
+  // must never be answered from an uncertified entry (and vice versa).
+  sim::SimRequest A = smallRequest(), B = smallRequest();
+  B.Cfg.Certify = true;
+  EXPECT_NE(A.cacheKey(), B.cacheKey());
+
+  // The flag survives the wire protocol...
+  std::string Err;
+  std::optional<sim::SimRequest> Back =
+      sim::SimRequest::fromJson(B.toJson(), &Err);
+  ASSERT_TRUE(Back.has_value()) << Err;
+  EXPECT_TRUE(Back->Cfg.Certify);
+  EXPECT_EQ(Back->cacheKey(), B.cacheKey());
+  // ...but is absent from an uncertified request's serialization, keeping
+  // pre-existing request and response bytes identical.
+  EXPECT_EQ(A.toJson().find("certify"), std::string::npos);
+
+  sim::SimResult Plain = sim::runSim(A);
+  EXPECT_EQ(Plain.Tv, "");
+  EXPECT_EQ(Plain.toJson().find("\"tv\""), std::string::npos);
+  sim::SimResult Certified = sim::runSim(B);
+  EXPECT_EQ(Certified.Tv, "certified");
+  EXPECT_NE(Certified.toJson().find("\"tv\":\"certified\""),
+            std::string::npos);
+}
+
 //===----------------------------------------------------------------------===//
 // Protocol codec
 //===----------------------------------------------------------------------===//

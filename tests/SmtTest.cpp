@@ -123,6 +123,83 @@ TEST_F(SmtTest, QueryCountAccumulates) {
   EXPECT_EQ(S.queryCount(), Before + 2);
 }
 
+//===----------------------------------------------------------------------===//
+// The tv fragment: applications, width-sorted constants, ground evaluation
+//===----------------------------------------------------------------------===//
+
+TEST_F(SmtTest, ApplyTermsAreHashConsed) {
+  TermId X = Ctx.variable("x");
+  TermId Y = Ctx.variable("y");
+  EXPECT_EQ(Ctx.apply("add:8", {X, Y}), Ctx.apply("add:8", {X, Y}));
+  EXPECT_NE(Ctx.apply("add:8", {X, Y}), Ctx.apply("add:8", {Y, X}));
+  EXPECT_NE(Ctx.apply("add:8", {X, Y}), Ctx.apply("sub:8", {X, Y}));
+}
+
+TEST_F(SmtTest, WidthSortedConstantsAreDistinct) {
+  // 0 at width 8 and 0 at width 16 are different bit-vectors: their
+  // equality folds to false at construction, not to true.
+  EXPECT_NE(Ctx.constant(0, 8), Ctx.constant(0, 16));
+  EXPECT_EQ(Ctx.eq(Ctx.constant(0, 8), Ctx.constant(0, 16)), Ctx.falseF());
+  EXPECT_EQ(Ctx.eq(Ctx.constant(7, 8), Ctx.constant(7, 8)), Ctx.trueF());
+}
+
+TEST_F(SmtTest, CongruenceProvesEqualApplications) {
+  // x == y |- f(x) == f(y), with f left uninterpreted.
+  TermId X = Ctx.variable("x");
+  TermId Y = Ctx.variable("y");
+  TermId FX = Ctx.apply("mystery:8", {X});
+  TermId FY = Ctx.apply("mystery:8", {Y});
+  EXPECT_TRUE(S.proves(Ctx.eq(X, Y), Ctx.eq(FX, FY)));
+  // ...and never the converse: f(x) == f(y) does not entail x == y.
+  EXPECT_FALSE(S.proves(Ctx.eq(FX, FY), Ctx.eq(X, Y)));
+}
+
+TEST_F(SmtTest, GroundEvaluationOfInterpretedSymbols) {
+  using pdl::Bits;
+  std::optional<Bits> Sum = groundEval("add:8", {Bits(200, 8), Bits(100, 8)});
+  ASSERT_TRUE(Sum.has_value());
+  EXPECT_EQ(Sum->zext(), 44u); // wraps at width 8
+  EXPECT_EQ(Sum->width(), 8u);
+
+  // Unknown symbols and arity mismatches stay uninterpreted.
+  EXPECT_FALSE(groundEval("mystery:8", {Bits(1, 8)}).has_value());
+  EXPECT_FALSE(groundEval("add:8", {Bits(1, 8)}).has_value());
+}
+
+TEST_F(SmtTest, InterpretedApplicationsProveArithmetic) {
+  // x == 3 |- x + 4 == 7 at width 8: the solver grounds add:8 once the
+  // congruence closure pins x to a constant.
+  TermId X = Ctx.variable("x");
+  TermId App = Ctx.apply("add:8", {X, Ctx.constant(4, 8)});
+  const Formula *Pre = Ctx.eq(X, Ctx.constant(3, 8));
+  EXPECT_TRUE(S.proves(Pre, Ctx.eq(App, Ctx.constant(7, 8))));
+  EXPECT_FALSE(S.proves(Pre, Ctx.eq(App, Ctx.constant(8, 8))));
+}
+
+TEST_F(SmtTest, IteSelectsByConditionConstant) {
+  // ite:8 with a known condition selects the matching arm.
+  TermId C = Ctx.variable("c");
+  TermId A = Ctx.constant(10, 8);
+  TermId B = Ctx.constant(20, 8);
+  TermId Ite = Ctx.apply("ite:8", {C, A, B});
+  EXPECT_TRUE(S.proves(Ctx.eq(C, Ctx.constant(1, 1)), Ctx.eq(Ite, A)));
+  EXPECT_TRUE(S.proves(Ctx.eq(C, Ctx.constant(0, 1)), Ctx.eq(Ite, B)));
+  // With the condition unconstrained neither arm is entailed.
+  EXPECT_FALSE(S.proves(Ctx.trueF(), Ctx.eq(Ite, A)));
+}
+
+TEST_F(SmtTest, UninterpretedFallbackNeverProvesValidity) {
+  // Soundness of the fallback: an unknown symbol over distinct variables
+  // could be anything, so no equation about it is valid — but assuming it
+  // is satisfiable (the over-approximation only weakens validity).
+  TermId X = Ctx.variable("x");
+  TermId Y = Ctx.variable("y");
+  TermId FX = Ctx.apply("mystery:8", {X});
+  TermId FY = Ctx.apply("mystery:8", {Y});
+  EXPECT_FALSE(S.isValid(Ctx.eq(FX, FY)));
+  EXPECT_TRUE(S.isSatisfiable(Ctx.eq(FX, FY)));
+}
+
 TEST_F(SmtTest, FormulaPrinting) {
   TermId X = Ctx.variable("x");
   TermId C = Ctx.constant(4);

@@ -45,6 +45,30 @@ PDL_EVAL_TREE=1 "$BUILD_DIR"/tools/pdlfuzz --seed=1 --count=25 --json \
     --out="$BUILD_DIR"/fuzz-out-tree > "$BUILD_DIR"/fuzz-tree.json
 cmp "$BUILD_DIR"/fuzz.json "$BUILD_DIR"/fuzz-tree.json
 
+# Translation-validation smoke (tv-smoke in CI): every committed core
+# source must certify in strict mode — all obligations proved, certificate
+# replayed by the solver-free checker — and the pdlc certification stats
+# document must pass the schema check. A seeded miscompile
+# (PDL_TV_MUTATE) must be rejected (exit 4); the fuller rejection
+# assertions live in TvTest.
+for f in cores_pdl/*.pdl; do
+    "$BUILD_DIR"/tools/pdlc --certify=strict "$f" > /dev/null
+done
+"$BUILD_DIR"/tools/pdlc --certify --stats=json cores_pdl/rv32i_5stage.pdl \
+    2> /dev/null > "$BUILD_DIR"/certify.json
+python3 tools/check_bench_json.py --certify "$BUILD_DIR"/certify.json
+if PDL_TV_MUTATE=cse-ternary "$BUILD_DIR"/tools/pdlc --certify \
+    cores_pdl/rv32i_5stage.pdl > /dev/null 2>&1; then
+    echo "check.sh: seeded miscompile was NOT rejected"; exit 1
+fi
+# Certified fuzz rows: the default matrix again, now with every core's
+# bytecode certified per run (cached after the first); rows carry tv.
+"$BUILD_DIR"/tools/pdlfuzz --seed=1 --count=5 --json --certify \
+    --out="$BUILD_DIR"/fuzz-out-certify > "$BUILD_DIR"/fuzz-certify.json
+python3 tools/check_bench_json.py "$BUILD_DIR"/fuzz-certify.json
+grep -q '"tv": "certified"' "$BUILD_DIR"/fuzz-certify.json || {
+    echo "check.sh: certified fuzz rows missing tv field"; exit 1; }
+
 # Simulation-service smoke: start pdlsimd, submit the fuzz smoke matrix
 # cold, resubmit it warm — at least 90% of the warm responses must come
 # from the result cache, and the response rows must be byte-identical to
@@ -69,6 +93,25 @@ kill -TERM "$SVC_PID"
 wait "$SVC_PID"
 trap - EXIT
 [ ! -e "$SVC_SOCK" ] || { echo "pdlsimd left its socket behind"; exit 1; }
+
+# Service-path evaluator equivalence: a fresh daemon in --eval=tree mode
+# (the PDL_EVAL_TREE escape hatch) must serve cold responses byte-identical
+# to the bytecode daemon's — same contract as the pdlfuzz cmp above, now
+# through the full socket/cache/worker-pool path.
+TREE_SOCK="$BUILD_DIR/pdlsimd-tree.sock"
+rm -f "$TREE_SOCK"
+"$BUILD_DIR"/tools/pdlsimd --socket="$TREE_SOCK" --workers="$JOBS" \
+    --cache=256 --eval=tree 2> "$BUILD_DIR"/pdlsimd-tree.log &
+TREE_PID=$!
+trap 'kill "$TREE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do [ -S "$TREE_SOCK" ] && break; sleep 0.1; done
+"$BUILD_DIR"/tools/pdlsim --socket="$TREE_SOCK" --seed=1 --count=10 --json \
+    > "$BUILD_DIR"/service-tree.jsonl
+cmp "$BUILD_DIR"/service-tree.jsonl "$BUILD_DIR"/service-cold.jsonl
+kill -TERM "$TREE_PID"
+wait "$TREE_PID"
+trap - EXIT
+[ ! -e "$TREE_SOCK" ] || { echo "pdlsimd left its socket behind"; exit 1; }
 
 # Host-throughput trajectory: cycles/sec rows for BENCH_sim.json (the
 # committed snapshot at the repo root is updated deliberately from a quiet

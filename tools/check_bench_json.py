@@ -8,6 +8,11 @@ With --service the input is pdlsim/pdlsimd response JSONL (one response
 object per line): sim responses are checked against the result schema
 (including the embedded attribution report), stats responses against the
 cache-stats schema, and the summary reports the cached/cold split.
+
+With --certify the input is the `pdlc --certify --stats=json` document:
+the compile-time SMT counters plus the translation-validation summary
+(docs/verification.md) are checked for shape and internal consistency —
+every explored path must carry exactly one verdict.
 """
 
 import json
@@ -16,6 +21,8 @@ import sys
 STALL_CAUSES = ["idle", "lock", "spec", "response", "backpressure", "kill"]
 
 OUTCOMES = ["running", "halted", "drained", "deadlocked", "timed_out"]
+
+TV_STATUSES = ["certified", "fuzz-trusted", "rejected"]
 
 
 def fail(msg):
@@ -69,6 +76,40 @@ def check_robustness(obj, where):
             expect(uint(obj[key]), f"{where}: {key}")
     if "divergent" in obj:
         expect(isinstance(obj["divergent"], bool), f"{where}: divergent")
+    if "tv" in obj and isinstance(obj["tv"], str):
+        # Certification status string (fuzzer rows, sim results). The pdlc
+        # stats document instead carries a full "tv" summary object,
+        # checked by check_tv_summary.
+        expect(obj["tv"] in TV_STATUSES,
+               f"{where}: tv '{obj['tv']}' not in {TV_STATUSES}")
+
+
+def check_tv_summary(tv, where):
+    """The 'tv' object of `pdlc --certify --stats=json`."""
+    expect(isinstance(tv, dict), f"{where}: tv must be an object")
+    expect(tv.get("status") in TV_STATUSES,
+           f"{where}: tv.status '{tv.get('status')}' not in {TV_STATUSES}")
+    for key in ("programs", "paths", "syntactic", "solver", "unproven",
+                "refuted", "budget_exceeded", "layout_checks",
+                "layout_failures", "smt_queries", "smt_decisions",
+                "wall_us"):
+        expect(uint(tv.get(key)), f"{where}: tv.{key}")
+    digest = tv.get("certificate_digest")
+    expect(isinstance(digest, str) and len(digest) == 16 and
+           all(c in "0123456789abcdef" for c in digest),
+           f"{where}: tv.certificate_digest must be 16 lowercase hex chars")
+    expect(isinstance(tv.get("replay_ok"), bool), f"{where}: tv.replay_ok")
+    # Every explored path gets exactly one verdict; only a blown path
+    # budget leaves paths unexplored (and unverdicted).
+    verdicts = (tv["syntactic"] + tv["solver"] + tv["unproven"] +
+                tv["refuted"])
+    if tv["budget_exceeded"] == 0:
+        expect(verdicts == tv["paths"],
+               f"{where}: tv verdicts {verdicts} != paths {tv['paths']}")
+    if tv["status"] == "certified":
+        expect(tv["refuted"] == 0 and tv["unproven"] == 0 and
+               tv["layout_failures"] == 0,
+               f"{where}: certified tv with outstanding obligations")
 
 
 def check_report(report, where):
@@ -121,6 +162,10 @@ def check_sim_result(result, where):
     for key in ("cycles", "instrs", "faults_injected", "violations",
                 "trace_digest"):
         expect(uint(result.get(key)), f"{where}: {key}")
+    if "tv" in result:
+        expect(isinstance(result["tv"], str) and
+               result["tv"] in TV_STATUSES,
+               f"{where}: tv '{result.get('tv')}' not in {TV_STATUSES}")
     expect("report" in result, f"{where}: missing report")
     check_report(result["report"], where)
 
@@ -182,11 +227,31 @@ def check_service_lines(path):
     return 0
 
 
+def check_certify_doc(path):
+    """`pdlc --certify --stats=json` document (no --run)."""
+    with open(path) as f:
+        doc = json.load(f)
+    expect(doc.get("bench") == "pdlc-certify",
+           f"bench '{doc.get('bench')}' != 'pdlc-certify'")
+    expect(isinstance(doc.get("file"), str) and doc["file"], "file")
+    for key in ("smt_queries", "smt_decisions"):
+        expect(uint(doc.get(key)), key)
+    expect("tv" in doc, "missing tv summary")
+    check_tv_summary(doc["tv"], "doc")
+    tv = doc["tv"]
+    print(f"check_bench_json: OK: {doc['file']}: {tv['status']}, "
+          f"{tv['programs']} program(s), {tv['paths']} path(s), "
+          f"{tv['smt_queries']} tv solver quer(ies)")
+    return 0
+
+
 def main():
     if len(sys.argv) == 3 and sys.argv[1] == "--service":
         return check_service_lines(sys.argv[2])
+    if len(sys.argv) == 3 and sys.argv[1] == "--certify":
+        return check_certify_doc(sys.argv[2])
     if len(sys.argv) != 2:
-        print("usage: check_bench_json.py [--service] FILE.json",
+        print("usage: check_bench_json.py [--service|--certify] FILE.json",
               file=sys.stderr)
         return 2
     with open(sys.argv[1]) as f:

@@ -10,17 +10,29 @@
 // spelling pdlfuzz/pdlsim/the service accept) to its display name and the
 // memory profiles it can run under.
 //
+// The manifest also pins each core's translation-validation outcome: the
+// certification status, the certificate digest, and one obligations digest
+// per compiled program (cores::certify). A compiler change that alters any
+// compiled program shows up as a manifest diff in review.
+//
 //===----------------------------------------------------------------------===//
 
 #include "cores/Core.h"
 #include "cores/CoreSources.h"
 #include "obs/Json.h"
+#include "tv/Tv.h"
 
 #include <cassert>
 #include <cstdio>
 #include <fstream>
 
 using namespace pdl;
+
+static std::string hex64(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx", (unsigned long long)V);
+  return Buf;
+}
 
 int main() {
   struct Entry {
@@ -53,6 +65,29 @@ int main() {
     obs::Json C = obs::Json::object();
     C.set("id", cores::coreKindId(K));
     C.set("name", cores::coreName(K));
+
+    // Certify the compiled circuit and pin the outcome in the manifest.
+    std::shared_ptr<const tv::Certificate> Cert = cores::certify(K);
+    tv::Certificate RoundTrip;
+    if (!tv::Certificate::fromJsonValue(Cert->toJsonValue(), RoundTrip) ||
+        RoundTrip.digest() != Cert->digest()) {
+      std::fprintf(stderr, "%s: certificate does not round-trip\n",
+                   cores::coreKindId(K));
+      return 1;
+    }
+    tv::CheckResult Replay = tv::checkCertificate(
+        *Cert, *cores::sharedProgram(K), *cores::sharedModuleIR(K));
+    if (!Replay.Ok) {
+      std::fprintf(stderr, "%s: certificate replay failed: %s\n",
+                   cores::coreKindId(K), Replay.Error.c_str());
+      return 1;
+    }
+    C.set("tv", tv::statusName(Cert->St));
+    C.set("certificate_digest", hex64(Cert->digest()));
+    obs::Json Digests = obs::Json::object();
+    for (const tv::ProgramCert &P : Cert->Programs)
+      Digests.set(P.Pipe + "/" + P.Label, hex64(P.ObligationsDigest));
+    C.set("program_digests", std::move(Digests));
     Cores.push(std::move(C));
   }
   obs::Json ProfilesV = obs::Json::array();

@@ -32,11 +32,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "backend/Compile.h"
 #include "backend/System.h"
 #include "obs/Sinks.h"
 #include "obs/VcdWriter.h"
 #include "passes/SeqExtract.h"
 #include "pdl/AST.h"
+#include "tv/Tv.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -56,15 +58,21 @@ static void usage() {
                "            [--run PIPE ARG] [--cycles N]\n"
                "            [--trace=OUT.vcd] [--stats=json] [--timeline]\n"
                "            [--mem-model=PIPE.MEM=SPEC]... [--eval=MODE]\n"
-               "            FILE.pdl\n"
+               "            [--certify[=strict]] FILE.pdl\n"
                "  --eval=MODE  expression evaluation: 'bytecode' (default)\n"
                "               or 'tree' (legacy tree walker; also enabled\n"
-               "               by the PDL_EVAL_TREE environment variable)\n");
+               "               by the PDL_EVAL_TREE environment variable)\n"
+               "  --certify    translation-validate the compiled bytecode\n"
+               "               against the expression tree and replay the\n"
+               "               certificate; exit 4 on a refutation. With\n"
+               "               =strict, unproven obligations also fail\n"
+               "               instead of downgrading to fuzz-trusted.\n");
 }
 
 int main(int argc, char **argv) {
   bool DumpStages = false, DumpSeq = false, DumpAst = false;
   bool StatsJson = false, Timeline = false, EvalTree = false;
+  bool Certify = false, CertifyStrict = false;
   std::string RunPipe, TracePath;
   uint64_t RunArg = 0, Cycles = 100;
   std::string File;
@@ -115,6 +123,10 @@ int main(int argc, char **argv) {
                      Mode.c_str());
         return 2;
       }
+    } else if (A == "--certify") {
+      Certify = true;
+    } else if (A == "--certify=strict") {
+      Certify = CertifyStrict = true;
     } else if (A == "--timeline") {
       Timeline = true;
     } else if (A == "--help" || A == "-h") {
@@ -153,6 +165,96 @@ int main(int argc, char **argv) {
   std::fprintf(Msg, "%s: %zu pipe(s) checked, %u SMT queries\n",
                File.c_str(), Program.Pipes.size(), Program.SolverQueries);
 
+  // Translation validation: re-prove every compiled bytecode program equal
+  // to its expression tree, then independently replay the certificate
+  // without the solver. Default mode lets unproven obligations through as
+  // fuzz-trusted (with a warning); =strict makes them fatal; a refuted
+  // program or a failed replay is fatal in both modes (exit 4).
+  int CertifyExit = 0;
+  obs::Json TvJson;
+  if (Certify) {
+    std::shared_ptr<const backend::bc::ModuleIR> IR =
+        backend::bc::compileModule(Program);
+    tv::Certificate Cert = tv::validateModule(Program, *IR, File);
+    tv::CheckResult Replay = tv::checkCertificate(Cert, Program, *IR);
+
+    uint64_t Paths = 0, Syn = 0, Slv = 0, Unp = 0, Ref = 0, Budget = 0;
+    for (const tv::ProgramCert &P : Cert.Programs) {
+      Paths += P.Paths;
+      Syn += P.Syntactic;
+      Slv += P.Solver;
+      Unp += P.Unproven;
+      Ref += P.Refuted;
+      Budget += P.BudgetExceeded ? 1 : 0;
+    }
+    std::fprintf(Msg,
+                 "%s: certification %s: %zu program(s), %llu path(s) "
+                 "(%llu syntactic, %llu solver, %llu unproven, %llu "
+                 "refuted), %u layout check(s), replay %s\n",
+                 File.c_str(), tv::statusName(Cert.St),
+                 Cert.Programs.size(), (unsigned long long)Paths,
+                 (unsigned long long)Syn, (unsigned long long)Slv,
+                 (unsigned long long)Unp, (unsigned long long)Ref,
+                 Cert.LayoutChecks, Replay.Ok ? "ok" : "FAILED");
+    for (const tv::ProgramCert &P : Cert.Programs) {
+      if (P.ProgStatus == "proved")
+        continue;
+      std::fprintf(stderr, "pdlc: %s: %s/%s (%s) is %s\n", File.c_str(),
+                   P.Pipe.c_str(), P.Label.c_str(), P.Kind.c_str(),
+                   P.ProgStatus.c_str());
+      for (const std::string &Note : P.Notes)
+        std::fprintf(stderr, "  note: %s\n", Note.c_str());
+    }
+    for (const std::string &Note : Cert.LayoutNotes)
+      std::fprintf(stderr, "pdlc: %s: layout: %s\n", File.c_str(),
+                   Note.c_str());
+    if (!Replay.Ok)
+      std::fprintf(stderr, "pdlc: %s: certificate replay failed: %s\n",
+                   File.c_str(), Replay.Error.c_str());
+
+    if (Cert.St == tv::Status::Rejected || !Replay.Ok)
+      CertifyExit = 4;
+    else if (Cert.St != tv::Status::Certified && CertifyStrict)
+      CertifyExit = 4;
+    else if (Cert.St != tv::Status::Certified)
+      std::fprintf(stderr,
+                   "pdlc: warning: %s not fully certified; falling back "
+                   "to fuzz-trusted (use --certify=strict to fail)\n",
+                   File.c_str());
+
+    TvJson = obs::Json::object();
+    TvJson.set("status", obs::Json(tv::statusName(Cert.St)));
+    TvJson.set("programs", obs::Json(uint64_t(Cert.Programs.size())));
+    TvJson.set("paths", obs::Json(Paths));
+    TvJson.set("syntactic", obs::Json(Syn));
+    TvJson.set("solver", obs::Json(Slv));
+    TvJson.set("unproven", obs::Json(Unp));
+    TvJson.set("refuted", obs::Json(Ref));
+    TvJson.set("budget_exceeded", obs::Json(Budget));
+    TvJson.set("layout_checks", obs::Json(uint64_t(Cert.LayoutChecks)));
+    TvJson.set("layout_failures", obs::Json(uint64_t(Cert.LayoutFailures)));
+    TvJson.set("smt_queries", obs::Json(uint64_t(Cert.SolverQueries)));
+    TvJson.set("smt_decisions", obs::Json(uint64_t(Cert.SolverDecisions)));
+    TvJson.set("wall_us", obs::Json(Cert.WallUs));
+    char Digest[32];
+    std::snprintf(Digest, sizeof(Digest), "%016llx",
+                  (unsigned long long)Cert.digest());
+    TvJson.set("certificate_digest", obs::Json(std::string(Digest)));
+    TvJson.set("replay_ok", obs::Json(Replay.Ok));
+  }
+
+  // --certify --stats=json without --run prints a standalone certification
+  // document (the only bytes on stdout, like the run-stats document).
+  if (Certify && StatsJson && RunPipe.empty()) {
+    obs::Json Doc = obs::Json::object();
+    Doc.set("bench", obs::Json("pdlc-certify"));
+    Doc.set("file", obs::Json(File));
+    Doc.set("smt_queries", obs::Json(uint64_t(Program.SolverQueries)));
+    Doc.set("smt_decisions", obs::Json(uint64_t(Program.SolverDecisions)));
+    Doc.set("tv", TvJson);
+    std::printf("%s\n", Doc.dump(2).c_str());
+  }
+
   if (DumpAst)
     std::fprintf(Msg, "\n%s", ast::printProgram(*Program.AST).c_str());
 
@@ -169,7 +271,11 @@ int main(int argc, char **argv) {
                    Name.c_str(), extractSequential(*Pipe.Decl).c_str());
   }
 
-  if ((!TracePath.empty() || StatsJson || Timeline) && RunPipe.empty()) {
+  // --stats=json is also meaningful without --run when certifying (the
+  // standalone certification document above); trace and timeline still
+  // need a simulation to observe.
+  if ((!TracePath.empty() || (StatsJson && !Certify) || Timeline) &&
+      RunPipe.empty()) {
     std::fprintf(stderr,
                  "pdlc: --trace/--stats/--timeline require --run\n");
     return 2;
@@ -239,7 +345,14 @@ int main(int argc, char **argv) {
     if (StatsJson) {
       obs::StatsReport Report = Counters.report();
       Report.Outcome = backend::runOutcomeName(St.Outcome);
-      std::printf("%s\n", Report.toJson().c_str());
+      obs::Json V = Report.toJsonValue();
+      if (Certify) {
+        V.set("smt_queries", obs::Json(uint64_t(Program.SolverQueries)));
+        V.set("smt_decisions",
+              obs::Json(uint64_t(Program.SolverDecisions)));
+        V.set("tv", TvJson);
+      }
+      std::printf("%s\n", V.dump(2).c_str());
     }
     if (Vcd)
       std::fprintf(stderr, "pdlc: wrote %s\n", TracePath.c_str());
@@ -249,5 +362,5 @@ int main(int argc, char **argv) {
       return 3;
     }
   }
-  return 0;
+  return CertifyExit;
 }

@@ -45,10 +45,13 @@ static void usage() {
       stderr,
       "usage: pdlfuzz [--seed=N] [--count=N] [--cycles=N] [--jobs=N]\n"
       "               [--cores=LIST] [--profiles=LIST] [--out=DIR]\n"
-      "               [--fault=SPEC] [--json] [--fail-fast]\n"
+      "               [--fault=SPEC] [--json] [--fail-fast] [--certify]\n"
       "  cores:    5stage nobypass 3stage bht rv32im rename\n"
       "  profiles: always-hit l1-4k l1-tiny\n"
-      "  fault:    kind[:pipe=P,mem=M,from=S,to=S,nth=N,bit=N,var=V]\n");
+      "  fault:    kind[:pipe=P,mem=M,from=S,to=S,nth=N,bit=N,var=V]\n"
+      "  certify:  translation-validate each core's compiled bytecode;\n"
+      "            rows carry a 'tv' field and a rejected certificate\n"
+      "            counts as a failure\n");
 }
 
 static std::vector<std::string> splitList(const std::string &S) {
@@ -98,6 +101,8 @@ int main(int argc, char **argv) {
       O.Json = true;
     } else if (A == "--fail-fast") {
       O.FailFast = true;
+    } else if (A == "--certify") {
+      O.Certify = true;
     } else if (A == "--help" || A == "-h") {
       usage();
       return 0;

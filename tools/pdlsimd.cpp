@@ -43,10 +43,15 @@ static void onSignal(int) {
 static void usage() {
   std::fprintf(stderr,
                "usage: pdlsimd --socket=PATH [--workers=N] [--cache=N]\n"
+               "               [--eval=MODE]\n"
                "  --socket=PATH   Unix-domain socket to listen on (required)\n"
                "  --workers=N     standing worker threads (default 4)\n"
                "  --cache=N       result-cache capacity in entries, 0 "
-               "disables (default 256)\n");
+               "disables (default 256)\n"
+               "  --eval=MODE     expression evaluation for every served\n"
+               "                  run: 'bytecode' (default) or 'tree' (the\n"
+               "                  PDL_EVAL_TREE escape hatch; results must\n"
+               "                  be byte-identical either way)\n");
 }
 
 int main(int argc, char **argv) {
@@ -67,6 +72,18 @@ int main(int argc, char **argv) {
       Opts.Workers = Workers ? unsigned(Workers) : 1u;
     } else if (Num("--cache=", CacheEntries)) {
       Opts.CacheEntries = size_t(CacheEntries);
+    } else if (A.rfind("--eval=", 0) == 0) {
+      std::string Mode = A.substr(7);
+      if (Mode == "tree") {
+        // Workers consult the environment when they elaborate a System, so
+        // setting it before start() covers every served run.
+        setenv("PDL_EVAL_TREE", "1", 1);
+      } else if (Mode != "bytecode") {
+        std::fprintf(stderr,
+                     "pdlsimd: --eval wants 'bytecode' or 'tree', got '%s'\n",
+                     Mode.c_str());
+        return 2;
+      }
     } else if (A == "--help" || A == "-h") {
       usage();
       return 0;
