@@ -310,6 +310,7 @@ bool System::canAccept(PipeHandle H) {
 
 void System::start(PipeHandle H, std::vector<Bits> Args) {
   elaborateLocks();
+  IdleStreak = 0; // fresh work: restart the no-progress countdown
   PipeInstance &P = *PipeSeq[H.index()];
   const PipeDecl *Decl = P.CP->Decl;
   assert(Args.size() == Decl->Params.size() && "argument count mismatch");
@@ -550,19 +551,23 @@ void System::armFault(const hw::FaultPlan &Plan) {
         noteFault(P, hw::FaultKind::FifoCorruptPayload, T.Tid);
       });
     }
+    HwArmedPlans.push_back(Plan);
     return;
   }
   case hw::FaultKind::HwDropLockRelease: {
     hw::HazardLock *L = lockFor(P, Plan.Mem);
     assert(L && "fault plan names a memory without a lock");
     L->armDropRelease(Plan.Nth, FireNote(Plan.Kind));
+    HwArmedPlans.push_back(Plan);
     return;
   }
   case hw::FaultKind::SuppressMispredict:
     P.Spec.armSuppressMispredict(Plan.Nth, FireNote(Plan.Kind));
+    HwArmedPlans.push_back(Plan);
     return;
   case hw::FaultKind::SkipCascade:
     P.Spec.armSkipCascade(Plan.Nth, FireNote(Plan.Kind));
+    HwArmedPlans.push_back(Plan);
     return;
   case hw::FaultKind::DropLockRelease:
   case hw::FaultKind::SkipSquash:
@@ -1571,9 +1576,13 @@ void System::cycle() {
 
 uint64_t System::run(uint64_t MaxCycles) {
   uint64_t Start = Stats.Cycles;
-  uint64_t IdleStreak = 0;
   bool Drained = false;
   while (Stats.Cycles - Start < MaxCycles && !Halted) {
+    // Checkpoint cadence: fires before the next cycle executes, i.e. after
+    // every post-cycle check for the previous cycle has run, so a restored
+    // snapshot resumes exactly where an uninterrupted run() would be.
+    if (CkptEvery && CkptHook && Stats.Cycles && Stats.Cycles % CkptEvery == 0)
+      CkptHook(Stats.Cycles);
     cycle();
     if (HaltTid && !Halted) {
       // Drain mode: the halt store has committed; stop once no thread at

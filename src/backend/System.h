@@ -52,9 +52,11 @@
 #include "obs/Json.h"
 #include "obs/TraceSink.h"
 #include "passes/Compiler.h"
+#include "support/BinIO.h"
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -291,6 +293,39 @@ public:
 
   bool halted() const { return Halted; }
   const SystemStats &stats() const { return Stats; }
+
+  //===--------------------------------------------------------------------===//
+  // Snapshot / restore (src/backend/Snapshot.cpp)
+  //===--------------------------------------------------------------------===//
+
+  /// Digest of the elaborated structure (pipes, stages, memories, lock and
+  /// model configuration). A snapshot only restores into a System whose
+  /// digest matches — same program, same ElabConfig.
+  uint64_t configDigest() const;
+
+  /// Serializes the complete dynamic state — every in-flight thread, FIFO,
+  /// lock, memory, spec table, timing model, predictor, pending delivery,
+  /// armed fault and counter — as a versioned, digest-stamped, CRC-guarded
+  /// blob. Must be taken at a cycle boundary (outside cycle()); resuming a
+  /// restored System is byte-for-byte equivalent to never having stopped.
+  std::string snapshot();
+
+  /// Inverse of snapshot(): overwrites this System's dynamic state from
+  /// \p Blob. The System must be freshly elaborated from the same program
+  /// and ElabConfig (configDigest() match is enforced) with the same
+  /// externs bound. Returns false — leaving no guarantees about partial
+  /// state — on a truncated, corrupt, or mismatched blob; \p Err, when
+  /// non-null, receives the reason.
+  bool restore(const std::string &Blob, std::string *Err = nullptr);
+
+  /// Arranges for \p Fn to run inside run() at every absolute-cycle
+  /// multiple of \p Every (checkpoint cadence for crash-safe services).
+  /// The hook must treat the System as read-only; taking a snapshot() is
+  /// the intended use. Every = 0 disables.
+  void setCheckpointHook(uint64_t Every, std::function<void(uint64_t)> Fn) {
+    CkptEvery = Every;
+    CkptHook = std::move(Fn);
+  }
 
   //===--------------------------------------------------------------------===//
   // Verification harness
@@ -564,6 +599,15 @@ private:
   /// "pipe/stage" the thread would fire at next, or "" if not queued.
   std::string stageOfThread(uint64_t Tid) const;
 
+  // Snapshot codec helpers (Snapshot.cpp).
+  void saveThread(support::BinWriter &W, const Thread &T) const;
+  bool loadThread(support::BinReader &R, Thread &T);
+  void saveStats(support::BinWriter &W) const;
+  bool loadStats(support::BinReader &R);
+  /// Remaining armed count of a hw-delegated fault plan, read back from the
+  /// primitive it was armed on (0 = already fired / disarmed).
+  uint64_t hwArmRemaining(const hw::FaultPlan &Plan);
+
   const CompiledProgram &CP;
   ElabConfig Cfg;
   std::map<std::string, std::unique_ptr<PipeInstance>> Pipes;
@@ -622,6 +666,10 @@ private:
   /// (pipe index, interned memory index, address) of the halt watch.
   std::optional<std::tuple<unsigned, unsigned, uint64_t>> HaltWatch;
   std::vector<ArmedFault> Faults;
+  /// Fault plans whose arming was delegated to a hardware primitive
+  /// (FIFO / lock / spec-table arms). Recorded so snapshot() can read the
+  /// remaining count back from the primitive and restore() can re-arm.
+  std::vector<hw::FaultPlan> HwArmedPlans;
   DeadlockDiagnosis Diag;
   SystemStats Stats;
   obs::TraceBus Bus;
@@ -635,6 +683,13 @@ private:
   bool LocksBuilt = false;
   uint64_t NextTid = 1;
   bool FiredThisCycle = false;
+  /// Consecutive no-progress cycles inside run(). A member (not a run()
+  /// local) so a snapshot taken mid-streak resumes the same countdown to
+  /// the deadlock declaration; reset by start().
+  uint64_t IdleStreak = 0;
+  /// Checkpoint cadence (setCheckpointHook): 0 = off.
+  uint64_t CkptEvery = 0;
+  std::function<void(uint64_t)> CkptHook;
 };
 
 } // namespace backend

@@ -250,8 +250,9 @@ void Core::storeData(uint32_t WordAddr, uint32_t Value) {
   DataInit.emplace_back(WordAddr, Value);
 }
 
-Core::RunResult Core::run(uint64_t MaxCycles, bool CheckGolden) {
-  Sys->start(Cpu, {Bits(0, 32)});
+Core::RunResult Core::run(uint64_t MaxCycles, bool CheckGolden, bool Resume) {
+  if (!Resume)
+    Sys->start(Cpu, {Bits(0, 32)});
   Sys->run(MaxCycles);
 
   RunResult R;

@@ -127,8 +127,12 @@ public:
 
   /// Runs until the halt store (a store to HaltByteAddr) or \p MaxCycles.
   /// When \p CheckGolden is set, replays the same program on the golden
-  /// simulator and compares every committed instruction.
-  RunResult run(uint64_t MaxCycles, bool CheckGolden = false);
+  /// simulator and compares every committed instruction. With \p Resume
+  /// the initial thread injection is skipped — the System is expected to
+  /// have been restored from a snapshot (backend::System::restore) and
+  /// continues exactly where the interrupted run left off.
+  RunResult run(uint64_t MaxCycles, bool CheckGolden = false,
+                bool Resume = false);
 
 private:
   CoreKind Kind;

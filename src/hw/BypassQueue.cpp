@@ -165,3 +165,67 @@ void BypassQueueLock::rollback(CkptId C) {
 }
 
 void BypassQueueLock::commitCheckpoint(CkptId C) { Checkpoints.erase(C); }
+
+void BypassQueueLock::saveState(support::BinWriter &W) const {
+  W.u32(static_cast<uint32_t>(WQ.size()));
+  for (const WriteEntry &E : WQ) {
+    W.u64(E.Seq);
+    W.u64(E.Addr);
+    W.bits(E.Data);
+    W.b(E.Valid);
+    W.b(E.Written);
+  }
+  W.u64(Reads.size());
+  for (const auto &[Id, Res] : Reads) {
+    W.u64(Id);
+    W.u64(Res.Addr);
+    W.bits(Res.Buffered);
+    W.u64(Res.DepSeq);
+    W.b(Res.HasDep);
+  }
+  W.u64(Checkpoints.size());
+  for (const auto &[C, Floor] : Checkpoints) {
+    W.u64(C);
+    W.u64(Floor);
+  }
+  W.u64(NextRes);
+  W.u64(NextCkpt);
+}
+
+bool BypassQueueLock::loadState(support::BinReader &R) {
+  uint32_t NW = R.u32();
+  if (!R.ok() || NW > WriteDepth)
+    return false;
+  WQ.clear();
+  for (uint32_t I = 0; I != NW; ++I) {
+    WriteEntry E;
+    E.Seq = R.u64();
+    E.Addr = R.u64();
+    E.Data = R.bits();
+    E.Valid = R.b();
+    E.Written = R.b();
+    WQ.push_back(E);
+  }
+  uint64_t NR = R.u64();
+  if (!R.ok() || NR > ReadDepth)
+    return false;
+  Reads.clear();
+  for (uint64_t I = 0; I != NR && R.ok(); ++I) {
+    ResId Id = R.u64();
+    ReadRes Res;
+    Res.Addr = R.u64();
+    Res.Buffered = R.bits();
+    Res.DepSeq = R.u64();
+    Res.HasDep = R.b();
+    Reads[Id] = Res;
+  }
+  uint64_t NCkpt = R.u64();
+  Checkpoints.clear();
+  for (uint64_t I = 0; I != NCkpt && R.ok(); ++I) {
+    CkptId C = R.u64();
+    Checkpoints[C] = R.u64();
+  }
+  NextRes = R.u64();
+  NextCkpt = R.u64();
+  return R.ok();
+}

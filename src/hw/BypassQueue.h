@@ -50,6 +50,8 @@ public:
   CkptId checkpoint() override;
   void rollback(CkptId C) override;
   void commitCheckpoint(CkptId C) override;
+  void saveState(support::BinWriter &W) const override;
+  bool loadState(support::BinReader &R) override;
   std::string name() const override { return "bypass"; }
 
   unsigned writeDepth() const { return WriteDepth; }

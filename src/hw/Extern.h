@@ -17,6 +17,7 @@
 #ifndef PDL_HW_EXTERN_H
 #define PDL_HW_EXTERN_H
 
+#include "support/BinIO.h"
 #include "support/Bits.h"
 
 #include <optional>
@@ -36,6 +37,12 @@ public:
                                      const std::vector<Bits> &Args) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Snapshot support. Stateless modules keep the no-op defaults; stateful
+  /// ones (predictors) serialize their training state so a restored run
+  /// predicts identically to an uninterrupted one.
+  virtual void saveState(support::BinWriter &) const {}
+  virtual bool loadState(support::BinReader &) { return true; }
 };
 
 /// A branch history table of 2-bit saturating counters, used by the PDL
@@ -50,6 +57,19 @@ public:
   std::optional<Bits> invoke(const std::string &Method,
                              const std::vector<Bits> &Args) override;
   std::string name() const override { return "bht"; }
+
+  void saveState(support::BinWriter &W) const override {
+    W.u32(static_cast<uint32_t>(Counters.size()));
+    for (uint8_t C : Counters)
+      W.u8(C);
+  }
+  bool loadState(support::BinReader &R) override {
+    if (R.u32() != Counters.size())
+      return false;
+    for (uint8_t &C : Counters)
+      C = R.u8();
+    return R.ok();
+  }
 
   unsigned indexBits() const { return IndexBits; }
 
@@ -73,6 +93,21 @@ public:
   std::optional<Bits> invoke(const std::string &Method,
                              const std::vector<Bits> &Args) override;
   std::string name() const override { return "gshare"; }
+
+  void saveState(support::BinWriter &W) const override {
+    W.u32(History);
+    W.u32(static_cast<uint32_t>(Counters.size()));
+    for (uint8_t C : Counters)
+      W.u8(C);
+  }
+  bool loadState(support::BinReader &R) override {
+    History = R.u32();
+    if (R.u32() != Counters.size())
+      return false;
+    for (uint8_t &C : Counters)
+      C = R.u8();
+    return R.ok();
+  }
 
 private:
   unsigned index(Bits Pc) const {

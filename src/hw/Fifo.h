@@ -149,6 +149,22 @@ public:
     CorruptFn = std::move(Mutate);
   }
 
+  /// Snapshot support: remaining armed-fault counters (0 = not armed or
+  /// already fired). The closures themselves are rebuilt by the restorer,
+  /// which re-arms with these counts.
+  uint64_t dropArm() const { return DropArm; }
+  uint64_t dupArm() const { return DupArm; }
+  uint64_t corruptArm() const { return CorruptArm; }
+
+  /// Snapshot support: replaces the stored items wholesale without firing
+  /// listeners or armed faults. Used by System::restore to rebuild a
+  /// snapshotted FIFO in place (the Fifo object itself — and any taps
+  /// pointing at it — stays alive).
+  void restoreItems(std::deque<T> NewItems) {
+    assert(NewItems.size() <= Capacity && "restored FIFO over capacity");
+    Items = std::move(NewItems);
+  }
+
 private:
   void warnUnderflow(const char *What) const {
     if (WarnedUnderflow)

@@ -27,6 +27,7 @@
 #define PDL_HW_LOCK_H
 
 #include "hw/Memory.h"
+#include "support/BinIO.h"
 #include "support/Bits.h"
 
 #include <cstdint>
@@ -145,6 +146,18 @@ public:
     DropReleaseArm = Nth;
     DropReleaseOnFire = std::move(OnFire);
   }
+
+  /// Snapshot support: remaining drop-release arm count (0 = unarmed).
+  uint64_t dropReleaseArm() const { return DropReleaseArm; }
+
+  /// Serializes the implementation's full dynamic state (reservations,
+  /// buffered data, checkpoints, id counters) — everything but the armed
+  /// fault closures, which the restorer re-arms separately.
+  virtual void saveState(support::BinWriter &W) const = 0;
+
+  /// Inverse of saveState into an already-elaborated lock of the same kind
+  /// over the same memory. Returns false on a malformed blob.
+  virtual bool loadState(support::BinReader &R) = 0;
 
 protected:
   /// Returns true when this release() call should be swallowed.

@@ -19,12 +19,16 @@
 #ifndef PDL_HW_MEMORY_H
 #define PDL_HW_MEMORY_H
 
+#include "support/BinIO.h"
 #include "support/Bits.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace pdl {
 namespace hw {
@@ -63,6 +67,34 @@ public:
   size_t population() const { return Data.size(); }
 
   void clear() { Data.clear(); }
+
+  /// Snapshot support: serializes the sparse contents with sorted
+  /// addresses, so identical logical state always yields identical bytes
+  /// (the backing map's iteration order is not deterministic).
+  void saveState(support::BinWriter &W) const {
+    std::vector<std::pair<uint64_t, uint64_t>> Sorted(Data.begin(),
+                                                      Data.end());
+    std::sort(Sorted.begin(), Sorted.end());
+    W.u64(Sorted.size());
+    for (const auto &[Addr, Val] : Sorted) {
+      W.u64(Addr);
+      W.u64(Val);
+    }
+  }
+
+  /// Inverse of saveState; replaces the contents wholesale.
+  bool loadState(support::BinReader &R) {
+    uint64_t N = R.u64();
+    std::unordered_map<uint64_t, uint64_t> New;
+    for (uint64_t I = 0; I != N && R.ok(); ++I) {
+      uint64_t Addr = R.u64(), Val = R.u64();
+      New[Addr] = Val;
+    }
+    if (!R.ok())
+      return false;
+    Data = std::move(New);
+    return true;
+  }
 
 private:
   /// Debug builds assert on out-of-range accesses (a simulator bug or a

@@ -204,3 +204,67 @@ void QueueLock::rollback(CkptId C) {
 }
 
 void QueueLock::commitCheckpoint(CkptId C) { Checkpoints.erase(C); }
+
+void QueueLock::saveState(support::BinWriter &W) const {
+  W.u32(static_cast<uint32_t>(Queues.size()));
+  for (const Queue &Q : Queues) {
+    W.b(Q.InUse);
+    W.u64(Q.Addr);
+    W.u32(static_cast<uint32_t>(Q.Waiters.size()));
+    for (ResId R : Q.Waiters)
+      W.u64(R);
+  }
+  W.u64(Reservations.size());
+  for (const auto &[R, Res] : Reservations) {
+    W.u64(R);
+    W.u64(Res.Addr);
+    W.u8(static_cast<uint8_t>(Res.M));
+    W.u32(Res.QueueIdx);
+    W.b(Res.Accessed);
+  }
+  W.u64(Checkpoints.size());
+  for (const auto &[C, Floor] : Checkpoints) {
+    W.u64(C);
+    W.u64(Floor);
+  }
+  W.u64(NextRes);
+  W.u64(NextCkpt);
+}
+
+bool QueueLock::loadState(support::BinReader &R) {
+  if (R.u32() != Queues.size())
+    return false; // geometry mismatch: not a snapshot of this lock
+  for (Queue &Q : Queues) {
+    Q.InUse = R.b();
+    Q.Addr = R.u64();
+    uint32_t NW = R.u32();
+    if (!R.ok() || NW > Depth)
+      return false;
+    Q.Waiters.clear();
+    for (uint32_t I = 0; I != NW; ++I)
+      Q.Waiters.push_back(R.u64());
+  }
+  uint64_t NRes = R.u64();
+  Reservations.clear();
+  for (uint64_t I = 0; I != NRes && R.ok(); ++I) {
+    ResId Id = R.u64();
+    Reservation Res;
+    Res.Addr = R.u64();
+    uint8_t M = R.u8();
+    Res.QueueIdx = R.u32();
+    Res.Accessed = R.b();
+    if (M > 2 || Res.QueueIdx >= Queues.size())
+      return false;
+    Res.M = static_cast<Access>(M);
+    Reservations[Id] = Res;
+  }
+  uint64_t NCkpt = R.u64();
+  Checkpoints.clear();
+  for (uint64_t I = 0; I != NCkpt && R.ok(); ++I) {
+    CkptId C = R.u64();
+    Checkpoints[C] = R.u64();
+  }
+  NextRes = R.u64();
+  NextCkpt = R.u64();
+  return R.ok();
+}

@@ -158,3 +158,102 @@ Bits RenameLock::archRead(uint64_t Addr) const {
   assert(Addr < ArchCount && "address out of range");
   return Phys[CommitTable[Addr]];
 }
+
+void RenameLock::saveState(support::BinWriter &W) const {
+  W.u32(static_cast<uint32_t>(Phys.size()));
+  for (const Bits &V : Phys)
+    W.bits(V);
+  for (bool V : Valid)
+    W.b(V);
+  W.u32(ArchCount);
+  for (unsigned P : MapTable)
+    W.u32(P);
+  for (unsigned P : CommitTable)
+    W.u32(P);
+  W.u32(static_cast<uint32_t>(FreeList.size()));
+  for (unsigned P : FreeList)
+    W.u32(P);
+  W.u64(Reservations.size());
+  for (const auto &[Id, Res] : Reservations) {
+    W.u64(Id);
+    W.u64(Res.Addr);
+    W.u8(static_cast<uint8_t>(Res.M));
+    W.u32(Res.PhysReg);
+    W.u32(Res.OldPhys);
+  }
+  W.u64(Checkpoints.size());
+  for (const auto &[C, Snap] : Checkpoints) {
+    W.u64(C);
+    for (unsigned P : Snap.MapTable)
+      W.u32(P);
+  }
+  W.u64(CheckpointFloors.size());
+  for (const auto &[C, Floor] : CheckpointFloors) {
+    W.u64(C);
+    W.u64(Floor);
+  }
+  W.u64(NextRes);
+  W.u64(NextCkpt);
+}
+
+bool RenameLock::loadState(support::BinReader &R) {
+  if (R.u32() != Phys.size())
+    return false; // geometry mismatch
+  for (Bits &V : Phys)
+    V = R.bits();
+  for (size_t I = 0, E = Valid.size(); I != E; ++I)
+    Valid[I] = R.b();
+  if (R.u32() != ArchCount)
+    return false;
+  auto LoadTable = [&](std::vector<unsigned> &T) {
+    for (unsigned &P : T) {
+      P = R.u32();
+      if (P >= Phys.size())
+        R.fail();
+    }
+  };
+  LoadTable(MapTable);
+  LoadTable(CommitTable);
+  uint32_t NFree = R.u32();
+  if (!R.ok() || NFree > Phys.size())
+    return false;
+  FreeList.clear();
+  for (uint32_t I = 0; I != NFree; ++I) {
+    unsigned P = R.u32();
+    if (P >= Phys.size())
+      return false;
+    FreeList.push_back(P);
+  }
+  uint64_t NRes = R.u64();
+  Reservations.clear();
+  for (uint64_t I = 0; I != NRes && R.ok(); ++I) {
+    ResId Id = R.u64();
+    Reservation Res;
+    Res.Addr = R.u64();
+    uint8_t M = R.u8();
+    Res.PhysReg = R.u32();
+    Res.OldPhys = R.u32();
+    if (M > 2 || Res.PhysReg >= Phys.size() || Res.OldPhys >= Phys.size())
+      return false;
+    Res.M = static_cast<Access>(M);
+    Reservations[Id] = Res;
+  }
+  uint64_t NCkpt = R.u64();
+  Checkpoints.clear();
+  for (uint64_t I = 0; I != NCkpt && R.ok(); ++I) {
+    CkptId C = R.u64();
+    Snapshot Snap;
+    Snap.MapTable.resize(ArchCount);
+    LoadTable(Snap.MapTable);
+    Checkpoints[C] = std::move(Snap);
+  }
+  uint64_t NFloor = R.u64();
+  CheckpointFloors.clear();
+  for (uint64_t I = 0; I != NFloor && R.ok(); ++I) {
+    CkptId C = R.u64();
+    CheckpointFloors[C] = R.u64();
+  }
+  NextRes = R.u64();
+  NextCkpt = R.u64();
+  return R.ok();
+}

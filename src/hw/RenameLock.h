@@ -48,6 +48,8 @@ public:
   CkptId checkpoint() override;
   void rollback(CkptId C) override;
   void commitCheckpoint(CkptId C) override;
+  void saveState(support::BinWriter &W) const override;
+  bool loadState(support::BinReader &R) override;
   Bits archRead(uint64_t Addr) const override;
   std::string name() const override { return "rename"; }
 

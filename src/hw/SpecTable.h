@@ -18,6 +18,7 @@
 #ifndef PDL_HW_SPECTABLE_H
 #define PDL_HW_SPECTABLE_H
 
+#include "support/BinIO.h"
 #include "support/Bits.h"
 
 #include <cstdint>
@@ -87,6 +88,42 @@ public:
   void armSkipCascade(uint64_t Nth, std::function<void()> OnFire = nullptr) {
     SkipCascadeArm = Nth;
     SkipCascadeOnFire = std::move(OnFire);
+  }
+
+  /// Snapshot support: remaining armed-fault counters (0 = unarmed).
+  uint64_t suppressArm() const { return SuppressArm; }
+  uint64_t skipCascadeArm() const { return SkipCascadeArm; }
+
+  /// Serializes entries and the id counter (not the observer or armed
+  /// fault closures — the restorer re-installs both).
+  void saveState(support::BinWriter &W) const {
+    W.u64(Entries.size());
+    for (const auto &[Id, E] : Entries) {
+      W.u64(Id);
+      W.bits(E.Prediction);
+      W.u8(static_cast<uint8_t>(E.St));
+    }
+    W.u64(NextId);
+  }
+
+  /// Inverse of saveState; does not fire the observer.
+  bool loadState(support::BinReader &R) {
+    uint64_t N = R.u64();
+    if (!R.ok() || N > Capacity)
+      return false;
+    Entries.clear();
+    for (uint64_t I = 0; I != N && R.ok(); ++I) {
+      SpecId Id = R.u64();
+      Entry E;
+      E.Prediction = R.bits();
+      uint8_t St = R.u8();
+      if (St > 2)
+        return false;
+      E.St = static_cast<SpecStatus>(St);
+      Entries[Id] = E;
+    }
+    NextId = R.u64();
+    return R.ok();
   }
 
 private:

@@ -39,6 +39,8 @@
 #ifndef PDL_MEM_MEMMODEL_H
 #define PDL_MEM_MEMMODEL_H
 
+#include "support/BinIO.h"
+
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -108,7 +110,36 @@ public:
 
   const ModelStats &stats() const { return S; }
 
+  /// Snapshot support: serializes the model's timing state (port
+  /// occupancy, tags, LRU, MSHRs) plus the counters. Composed models
+  /// (`Next` pointers) are NOT followed — every distinct model instance is
+  /// serialized exactly once by its owner.
+  virtual void saveState(support::BinWriter &W) const { saveStats(W); }
+  virtual bool loadState(support::BinReader &R) { return loadStats(R); }
+
 protected:
+  void saveStats(support::BinWriter &W) const {
+    W.u64(S.Reads);
+    W.u64(S.Writes);
+    W.u64(S.ReadHits);
+    W.u64(S.ReadMisses);
+    W.u64(S.WriteHits);
+    W.u64(S.WriteMisses);
+    W.u64(S.Evictions);
+    W.u64(S.Writebacks);
+  }
+  bool loadStats(support::BinReader &R) {
+    S.Reads = R.u64();
+    S.Writes = R.u64();
+    S.ReadHits = R.u64();
+    S.ReadMisses = R.u64();
+    S.WriteHits = R.u64();
+    S.WriteMisses = R.u64();
+    S.Evictions = R.u64();
+    S.Writebacks = R.u64();
+    return R.ok();
+  }
+
   ModelStats S;
 };
 
@@ -126,6 +157,17 @@ public:
 
   Access read(uint64_t Addr, uint64_t Now) override;
   Access write(uint64_t Addr, uint64_t Now) override;
+
+  void saveState(support::BinWriter &W) const override {
+    saveStats(W);
+    W.u64(FreeAt);
+  }
+  bool loadState(support::BinReader &R) override {
+    if (!loadStats(R))
+      return false;
+    FreeAt = R.u64();
+    return R.ok();
+  }
 
 private:
   unsigned occupyPort(uint64_t Now);
@@ -181,6 +223,47 @@ public:
 
   /// True when \p Addr's line is resident (no LRU update; tests/debug).
   bool probeLine(uint64_t Addr) const;
+
+  void saveState(support::BinWriter &W) const override {
+    saveStats(W);
+    W.u32(static_cast<uint32_t>(Lines.size()));
+    for (const Line &L : Lines) {
+      W.b(L.Valid);
+      W.b(L.Dirty);
+      W.u64(L.Tag);
+      W.u64(L.LastUse);
+    }
+    W.u32(static_cast<uint32_t>(Mshrs.size()));
+    for (const Mshr &M : Mshrs) {
+      W.u64(M.LineAddr);
+      W.u64(M.CompleteAt);
+    }
+    W.u64(UseTick);
+  }
+  bool loadState(support::BinReader &R) override {
+    if (!loadStats(R))
+      return false;
+    if (R.u32() != Lines.size())
+      return false; // geometry mismatch
+    for (Line &L : Lines) {
+      L.Valid = R.b();
+      L.Dirty = R.b();
+      L.Tag = R.u64();
+      L.LastUse = R.u64();
+    }
+    // The miss queue is a dynamic vector (completed slots are reclaimed
+    // lazily): restore its saved length, bounded by the MSHR capacity.
+    uint32_t NMshrs = R.u32();
+    if (!R.ok() || NMshrs > P.MshrCount)
+      return false;
+    Mshrs.resize(NMshrs);
+    for (Mshr &M : Mshrs) {
+      M.LineAddr = R.u64();
+      M.CompleteAt = R.u64();
+    }
+    UseTick = R.u64();
+    return R.ok();
+  }
 
 private:
   struct Line {

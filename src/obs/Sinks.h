@@ -25,6 +25,7 @@
 
 #include "obs/StatsReport.h"
 #include "obs/TraceSink.h"
+#include "support/BinIO.h"
 
 #include <string>
 #include <vector>
@@ -39,6 +40,21 @@ public:
 
   /// The aggregated report. Valid any time; final after the run ends.
   const StatsReport &report() const { return R; }
+
+  /// Snapshot support (checkpointed service jobs): serializes the
+  /// aggregated report so a resumed run continues counting where the
+  /// interrupted one stopped. Uses the StatsReport JSON codec.
+  void saveState(support::BinWriter &W) const { W.str(R.toJson(-1)); }
+  bool loadState(support::BinReader &Rd) {
+    std::string Text = Rd.str();
+    if (!Rd.ok())
+      return false;
+    std::optional<StatsReport> Loaded = StatsReport::fromJson(Text);
+    if (!Loaded)
+      return false;
+    R = std::move(*Loaded);
+    return true;
+  }
 
 private:
   StatsReport R;
@@ -78,6 +94,19 @@ public:
 
   /// FNV-1a 64-bit digest of the log text (the golden-trace fingerprint).
   uint64_t digest() const;
+
+  /// Snapshot support: the accumulated log text (Meta is rebuilt by
+  /// begin() when the sink re-attaches; it is derived from the System).
+  /// A resumed run's final digest covers the full event stream from cycle
+  /// 0, byte-identical to an uninterrupted run.
+  void saveState(support::BinWriter &W) const { W.str(Log); }
+  bool loadState(support::BinReader &R) {
+    std::string Text = R.str();
+    if (!R.ok())
+      return false;
+    Log = std::move(Text);
+    return true;
+  }
 
 private:
   TraceMeta Meta;

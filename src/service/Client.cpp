@@ -8,7 +8,11 @@
 
 #include <cerrno>
 #include <cstring>
+#include <chrono>
+#include <thread>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -18,8 +22,26 @@ using namespace pdl::service;
 
 SimClient::~SimClient() { close(); }
 
+const char *SimClient::transportName(Transport T) {
+  switch (T) {
+  case Transport::Ok:
+    return "ok";
+  case Transport::Refused:
+    return "refused";
+  case Transport::Timeout:
+    return "timeout";
+  case Transport::Closed:
+    return "closed";
+  case Transport::Error:
+    return "error";
+  }
+  return "?";
+}
+
 bool SimClient::connect(const std::string &SocketPath, std::string *Err) {
   close();
+  Path = SocketPath;
+  Status = Transport::Error;
   sockaddr_un Addr{};
   Addr.sun_family = AF_UNIX;
   if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
@@ -35,14 +57,73 @@ bool SimClient::connect(const std::string &SocketPath, std::string *Err) {
       *Err = std::string("socket(): ") + std::strerror(errno);
     return false;
   }
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+
+  // Non-blocking connect + poll so a wedged daemon cannot hang us past
+  // the configured timeout (Unix-socket connects normally complete
+  // immediately; EAGAIN means the listen backlog is full).
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+  int RC = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  if (RC < 0 && (errno == EINPROGRESS || errno == EAGAIN)) {
+    pollfd P{Fd, POLLOUT, 0};
+    int N = ::poll(&P, 1, TimeoutMs ? int(TimeoutMs) : -1);
+    if (N <= 0) {
+      Status = Transport::Timeout;
+      if (Err)
+        *Err = "connect(" + SocketPath + "): timed out";
+      ::close(Fd);
+      Fd = -1;
+      return false;
+    }
+    int SoErr = 0;
+    socklen_t Len = sizeof(SoErr);
+    ::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &Len);
+    RC = SoErr ? -1 : 0;
+    errno = SoErr;
+  }
+  if (RC < 0) {
+    Status = (errno == ECONNREFUSED || errno == ENOENT) ? Transport::Refused
+                                                        : Transport::Error;
     if (Err)
       *Err = "connect(" + SocketPath + "): " + std::strerror(errno);
     ::close(Fd);
     Fd = -1;
     return false;
   }
+  ::fcntl(Fd, F_SETFL, Flags);
+  Status = Transport::Ok;
   return true;
+}
+
+/// Deterministic jitter: a hash of the attempt number, scaled to a
+/// quarter of the base delay. Reproducible in drills, still spreads a
+/// thundering herd of distinct attempt sequences.
+static unsigned jitterMs(unsigned Attempt, unsigned BaseMs) {
+  uint64_t H = 1469598103934665603ull;
+  H = (H ^ (Attempt + 1)) * 1099511628211ull;
+  return BaseMs ? unsigned(H % (BaseMs / 4 + 1)) : 0;
+}
+
+bool SimClient::connectWithRetry(const std::string &SocketPath,
+                                 const RetryPolicy &P, std::string *Err) {
+  unsigned Delay = P.InitialDelayMs;
+  std::string LastErr;
+  for (unsigned A = 0; A < (P.Attempts ? P.Attempts : 1); ++A) {
+    if (A) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(Delay + jitterMs(A, Delay)));
+      Delay = Delay >= P.MaxDelayMs / 2 ? P.MaxDelayMs : Delay * 2;
+    }
+    if (connect(SocketPath, &LastErr))
+      return true;
+    if (Status == Transport::Error)
+      break; // not a liveness problem; retrying cannot help
+  }
+  if (Err)
+    *Err = LastErr +
+           " (after " + std::to_string(P.Attempts ? P.Attempts : 1) +
+           " attempts)";
+  return false;
 }
 
 void SimClient::close() {
@@ -59,28 +140,50 @@ bool SimClient::sendLine(const std::string &Line) {
   std::string Out = Line + "\n";
   size_t Off = 0;
   while (Off < Out.size()) {
-    ssize_t W = ::write(Fd, Out.data() + Off, Out.size() - Off);
-    if (W <= 0)
+    // MSG_NOSIGNAL: a daemon that died mid-batch must surface as a
+    // retryable failure, not kill the client with SIGPIPE.
+    ssize_t W = ::send(Fd, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
+    if (W <= 0) {
+      Status = Transport::Closed;
       return false;
+    }
     Off += size_t(W);
   }
+  Status = Transport::Ok;
   return true;
 }
 
+bool SimClient::waitReadable() {
+  if (!TimeoutMs)
+    return true; // block in read()
+  pollfd P{Fd, POLLIN, 0};
+  int N = ::poll(&P, 1, int(TimeoutMs));
+  return N > 0;
+}
+
 std::optional<std::string> SimClient::recvLine() {
-  if (Fd < 0)
+  if (Fd < 0) {
+    Status = Transport::Closed;
     return std::nullopt;
+  }
   for (;;) {
     size_t Nl = Buf.find('\n');
     if (Nl != std::string::npos) {
       std::string Line = Buf.substr(0, Nl);
       Buf.erase(0, Nl + 1);
+      Status = Transport::Ok;
       return Line;
+    }
+    if (!waitReadable()) {
+      Status = Transport::Timeout;
+      return std::nullopt;
     }
     char Chunk[4096];
     ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
-    if (N <= 0)
+    if (N <= 0) {
+      Status = Transport::Closed;
       return std::nullopt;
+    }
     Buf.append(Chunk, size_t(N));
   }
 }
@@ -95,8 +198,36 @@ std::optional<obs::Json> SimClient::call(const std::string &Line,
   std::optional<std::string> Resp = recvLine();
   if (!Resp) {
     if (Err)
-      *Err = "connection closed before response";
+      *Err = Status == Transport::Timeout ? "timed out waiting for response"
+                                          : "connection closed before response";
     return std::nullopt;
   }
-  return obs::Json::parse(*Resp, Err);
+  std::optional<obs::Json> V = obs::Json::parse(*Resp, Err);
+  if (!V)
+    Status = Transport::Error; // protocol, not liveness — do not retry
+  return V;
+}
+
+std::optional<obs::Json> SimClient::callWithRetry(const std::string &Line,
+                                                  const RetryPolicy &P,
+                                                  std::string *Err) {
+  std::string LastErr;
+  unsigned Attempts = P.Attempts ? P.Attempts : 1;
+  for (unsigned A = 0; A < Attempts; ++A) {
+    if (A) {
+      // The exchange failed mid-flight: reconnect (with the policy's
+      // backoff) and resubmit the identical line. Idempotent by digest —
+      // the daemon replays a finished job's bytes from its cache.
+      close();
+      if (!connectWithRetry(Path, P, &LastErr))
+        break;
+    }
+    if (std::optional<obs::Json> R = call(Line, &LastErr))
+      return R;
+    if (Status == Transport::Error)
+      break; // malformed response, not a transport wobble
+  }
+  if (Err)
+    *Err = LastErr;
+  return std::nullopt;
 }

@@ -11,6 +11,15 @@
 /// caller (the protocol echoes them back), so tests can pipeline many
 /// requests before reading any responses and still match them up.
 ///
+/// Robustness: every blocking operation honors an optional timeout
+/// (poll-based), failures are classified (refused / timed out / closed)
+/// so callers can pick distinct exit codes, and connectWithRetry wraps
+/// connect in bounded exponential backoff with deterministic jitter.
+/// callWithRetry goes one step further: on a dropped connection it
+/// reconnects and resubmits the same request line — safe because
+/// requests are content-addressed (same digest, same result bytes,
+/// usually straight from the daemon's persistent cache).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PDL_SERVICE_CLIENT_H
@@ -26,6 +35,19 @@ namespace service {
 
 class SimClient {
 public:
+  /// Why the last transport operation failed (Ok after a success).
+  enum class Transport { Ok, Refused, Timeout, Closed, Error };
+
+  /// Backoff schedule for connectWithRetry/callWithRetry: delays grow
+  /// InitialDelayMs, 2x, 4x, ... capped at MaxDelayMs, each widened by a
+  /// deterministic jitter derived from the attempt number (so drills are
+  /// reproducible and herds still spread).
+  struct RetryPolicy {
+    unsigned Attempts = 5;
+    unsigned InitialDelayMs = 50;
+    unsigned MaxDelayMs = 2000;
+  };
+
   SimClient() = default;
   ~SimClient();
   SimClient(const SimClient &) = delete;
@@ -34,14 +56,29 @@ public:
   /// Connects to the daemon at \p SocketPath. False (with \p Err set) on
   /// failure — e.g. no daemon is listening there.
   bool connect(const std::string &SocketPath, std::string *Err = nullptr);
+
+  /// connect() under \p P: retries refused/timed-out attempts with
+  /// bounded exponential backoff. False once the attempts are exhausted.
+  bool connectWithRetry(const std::string &SocketPath, const RetryPolicy &P,
+                        std::string *Err = nullptr);
+
   bool connected() const { return Fd >= 0; }
   void close();
+
+  /// Per-operation timeout for connect/recv, in milliseconds. 0 (the
+  /// default) blocks indefinitely.
+  void setTimeoutMs(unsigned Ms) { TimeoutMs = Ms; }
+
+  /// Classification of the most recent transport failure.
+  Transport status() const { return Status; }
+  static const char *transportName(Transport T);
 
   /// Sends one raw line (newline appended). False if the peer is gone.
   bool sendLine(const std::string &Line);
 
-  /// Blocks for the next complete response line (newline stripped).
-  /// nullopt on EOF / error.
+  /// Blocks (up to the configured timeout) for the next complete response
+  /// line (newline stripped). nullopt on EOF / error / timeout — status()
+  /// tells which.
   std::optional<std::string> recvLine();
 
   /// Sends a request line and waits for the matching response — the
@@ -51,9 +88,22 @@ public:
   std::optional<obs::Json> call(const std::string &Line,
                                 std::string *Err = nullptr);
 
+  /// call() with recovery: a dropped/timed-out exchange reconnects under
+  /// \p P and resubmits the identical line. The request's digest key makes
+  /// the resubmission idempotent (a completed-but-unacknowledged job is
+  /// replayed from the daemon's cache, byte-identical).
+  std::optional<obs::Json> callWithRetry(const std::string &Line,
+                                         const RetryPolicy &P,
+                                         std::string *Err = nullptr);
+
 private:
+  bool waitReadable(); // poll() honoring TimeoutMs
+
   int Fd = -1;
   std::string Buf; // bytes read past the last delivered line
+  std::string Path; // last socket path, for reconnects
+  unsigned TimeoutMs = 0;
+  Transport Status = Transport::Ok;
 };
 
 } // namespace service

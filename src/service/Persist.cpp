@@ -1,0 +1,213 @@
+//===- Persist.cpp - Crash-safe record files for the service ----------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Persist.h"
+
+#include "service/SvcFault.h"
+#include "support/BinIO.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace pdl;
+using namespace pdl::service;
+using support::BinReader;
+using support::BinWriter;
+
+static constexpr uint32_t kRecordVersion = 1;
+
+std::string persist::encodeRecord(uint32_t Magic,
+                                  const std::vector<std::string> &Sections) {
+  BinWriter W;
+  W.u32(Magic);
+  W.u32(kRecordVersion);
+  W.u32(static_cast<uint32_t>(Sections.size()));
+  for (const std::string &S : Sections)
+    W.str(S);
+  uint32_t Crc = support::crc32(W.buffer());
+  W.u32(Crc);
+  return W.take();
+}
+
+bool persist::decodeRecord(const std::string &Bytes, uint32_t Magic,
+                           std::vector<std::string> *SectionsOut,
+                           std::string *Err) {
+  auto Fail = [&](const char *Why) {
+    if (Err)
+      *Err = Why;
+    return false;
+  };
+  if (Bytes.size() < 16)
+    return Fail("record too short");
+  uint32_t Stored = support::crc32(Bytes.data(), Bytes.size() - 4);
+  BinReader Tail(Bytes.data() + Bytes.size() - 4, 4);
+  if (Tail.u32() != Stored)
+    return Fail("record checksum mismatch");
+  BinReader R(Bytes.data(), Bytes.size() - 4);
+  if (R.u32() != Magic)
+    return Fail("record magic mismatch");
+  if (R.u32() != kRecordVersion)
+    return Fail("unsupported record version");
+  uint32_t N = R.u32();
+  std::vector<std::string> Sections;
+  for (uint32_t I = 0; R.ok() && I != N; ++I)
+    Sections.push_back(R.str());
+  if (!R.done())
+    return Fail("record truncated or has trailing bytes");
+  if (SectionsOut)
+    *SectionsOut = std::move(Sections);
+  return true;
+}
+
+bool persist::writeFileAtomic(const std::string &Path,
+                              const std::string &Bytes, std::string *Err) {
+  auto Fail = [&](const std::string &Why) {
+    if (Err)
+      *Err = Why;
+    return false;
+  };
+
+  if (consumeSvcFault(SvcFaultKind::Enospc))
+    return Fail("write " + Path + ": no space left on device (injected)");
+
+  std::string Out = Bytes;
+  // Silent corruption: the write "succeeds" but one byte lies. Only the
+  // record CRC can catch this on the next read.
+  if (consumeSvcFault(SvcFaultKind::CorruptEntry) && !Out.empty())
+    Out[Out.size() / 2] ^= 0x40;
+
+  if (consumeSvcFault(SvcFaultKind::TornWrite)) {
+    // Power loss halfway through a non-atomic rewrite: a truncated final
+    // file is left behind and the caller is told the persist failed.
+    int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (Fd >= 0) {
+      ssize_t Ignored = ::write(Fd, Out.data(), Out.size() / 2);
+      (void)Ignored;
+      ::close(Fd);
+    }
+    return Fail("write " + Path + ": torn write (injected)");
+  }
+
+  std::string Tmp = Path + ".tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return Fail("open " + Tmp + ": " + std::strerror(errno));
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t W = ::write(Fd, Out.data() + Off, Out.size() - Off);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      std::string Why = std::strerror(errno);
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return Fail("write " + Tmp + ": " + Why);
+    }
+    Off += size_t(W);
+  }
+  if (::fsync(Fd) < 0) {
+    std::string Why = std::strerror(errno);
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return Fail("fsync " + Tmp + ": " + Why);
+  }
+  ::close(Fd);
+  if (::rename(Tmp.c_str(), Path.c_str()) < 0) {
+    std::string Why = std::strerror(errno);
+    ::unlink(Tmp.c_str());
+    return Fail("rename " + Tmp + " -> " + Path + ": " + Why);
+  }
+  return true;
+}
+
+std::optional<std::string> persist::readFileBytes(const std::string &Path) {
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return std::nullopt;
+  std::string Bytes;
+  char Chunk[65536];
+  for (;;) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      return std::nullopt;
+    }
+    if (N == 0)
+      break;
+    Bytes.append(Chunk, size_t(N));
+  }
+  ::close(Fd);
+  if (consumeSvcFault(SvcFaultKind::ShortRead))
+    Bytes.resize(Bytes.size() / 2);
+  return Bytes;
+}
+
+uint64_t persist::fnv1a64(const std::string &Bytes) {
+  uint64_t H = 1469598103934665603ull;
+  for (char C : Bytes) {
+    H ^= static_cast<uint8_t>(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string persist::hexDigest(uint64_t V) {
+  static const char *Hex = "0123456789abcdef";
+  std::string S(16, '0');
+  for (int I = 15; I >= 0; --I, V >>= 4)
+    S[size_t(I)] = Hex[V & 0xF];
+  return S;
+}
+
+bool persist::ensureDir(const std::string &Path, std::string *Err) {
+  std::string Prefix;
+  size_t Pos = 0;
+  while (Pos <= Path.size()) {
+    size_t Slash = Path.find('/', Pos);
+    Prefix = Slash == std::string::npos ? Path : Path.substr(0, Slash);
+    Pos = Slash == std::string::npos ? Path.size() + 1 : Slash + 1;
+    if (Prefix.empty())
+      continue; // leading '/'
+    if (::mkdir(Prefix.c_str(), 0755) < 0 && errno != EEXIST) {
+      if (Err)
+        *Err = "mkdir " + Prefix + ": " + std::strerror(errno);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<persist::DirEntry> persist::listDir(const std::string &Dir,
+                                                const std::string &Suffix) {
+  std::vector<DirEntry> Out;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return Out;
+  while (dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.size() < Suffix.size() ||
+        Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) != 0)
+      continue;
+    struct stat St;
+    if (::stat((Dir + "/" + Name).c_str(), &St) != 0 || !S_ISREG(St.st_mode))
+      continue;
+    Out.push_back(
+        {Name, int64_t(St.st_mtim.tv_sec) * 1000000000 + St.st_mtim.tv_nsec});
+  }
+  ::closedir(D);
+  std::sort(Out.begin(), Out.end(), [](const DirEntry &A, const DirEntry &B) {
+    return A.Mtime != B.Mtime ? A.Mtime < B.Mtime : A.Name < B.Name;
+  });
+  return Out;
+}

@@ -1,0 +1,86 @@
+//===- Persist.h - Crash-safe record files for the service -----*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one on-disk format the service layer persists through: a "record"
+/// is a magic-tagged, versioned, CRC-guarded sequence of length-prefixed
+/// sections (support/BinIO framing). The persistent result cache stores
+/// one record per entry ({key, payload}); the checkpointed job store
+/// stores one per in-flight job ({request line, checkpoint blob}).
+///
+/// Durability discipline: writeFileAtomic writes to `path.tmp`, fsyncs,
+/// then renames over the final path — a crash leaves either the old file
+/// or the new one, never a blend. decodeRecord trusts nothing: wrong
+/// magic, wrong version, short buffer, trailing bytes, or a CRC mismatch
+/// all fail cleanly, so a torn or bit-flipped file is detected, not
+/// replayed. Both ends host the SvcFault hooks (torn-write, enospc,
+/// corrupt-entry on write; short-read on read) so every recovery path is
+/// drill-testable without a real power cut.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SERVICE_PERSIST_H
+#define PDL_SERVICE_PERSIST_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pdl {
+namespace service {
+namespace persist {
+
+/// Record magics ("PDLE" / "PDLJ"): one persistent cache entry
+/// ({key, payload}) and one checkpointed in-flight job
+/// ({request JSON, snapshot blob}).
+constexpr uint32_t kCacheEntryMagic = 0x50444C45u;
+constexpr uint32_t kJobMagic = 0x50444C4Au;
+
+/// Encodes sections as: u32 magic, u32 version(=1), u32 count, count
+/// length-prefixed strings, u32 CRC-32 of everything prior.
+std::string encodeRecord(uint32_t Magic, const std::vector<std::string> &Sections);
+
+/// Inverse of encodeRecord. False (with \p Err set) on any mismatch:
+/// magic, version, truncation, trailing garbage, or CRC.
+bool decodeRecord(const std::string &Bytes, uint32_t Magic,
+                  std::vector<std::string> *SectionsOut, std::string *Err);
+
+/// Write-to-temp + fsync + atomic rename. False (with \p Err) when the
+/// bytes did not durably land — including the injected enospc (nothing
+/// written) and torn-write (a truncated final file left behind, as after
+/// a power cut) faults. The injected corrupt-entry fault flips one byte
+/// and then reports success: silent corruption the reader must catch.
+bool writeFileAtomic(const std::string &Path, const std::string &Bytes,
+                     std::string *Err);
+
+/// Whole-file read; nullopt if the file cannot be opened. The injected
+/// short-read fault returns only a prefix of the bytes.
+std::optional<std::string> readFileBytes(const std::string &Path);
+
+/// FNV-1a 64 over \p Bytes, and its fixed-width lowercase hex spelling —
+/// the digest that names cache entry and job files.
+uint64_t fnv1a64(const std::string &Bytes);
+std::string hexDigest(uint64_t V);
+
+/// mkdir -p. False (with \p Err) when a component cannot be created.
+bool ensureDir(const std::string &Path, std::string *Err);
+
+/// Lists regular files directly under \p Dir whose names end with
+/// \p Suffix, sorted by (mtime, name) so reload order follows write
+/// order. Missing directory yields an empty list.
+struct DirEntry {
+  std::string Name; // leaf name, not full path
+  int64_t Mtime = 0; // nanoseconds, so back-to-back writes still order
+};
+std::vector<DirEntry> listDir(const std::string &Dir,
+                              const std::string &Suffix);
+
+} // namespace persist
+} // namespace service
+} // namespace pdl
+
+#endif // PDL_SERVICE_PERSIST_H

@@ -6,8 +6,107 @@
 
 #include "service/ResultCache.h"
 
+#include "service/Persist.h"
+#include "support/BinIO.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include <unistd.h>
+
 using namespace pdl;
 using namespace pdl::service;
+
+using persist::kCacheEntryMagic;
+
+ResultCache::ResultCache(size_t Capacity, std::string StateDir)
+    : Cap(Capacity), Dir(std::move(StateDir)) {
+  if (Dir.empty())
+    return;
+  std::string Err;
+  if (!persist::ensureDir(Dir, &Err)) {
+    // Unusable state directory degrades to a memory-only cache rather
+    // than taking the daemon down.
+    std::fprintf(stderr, "pdl-service: cache persistence disabled: %s\n",
+                 Err.c_str());
+    Dir.clear();
+    return;
+  }
+  reload();
+}
+
+std::string ResultCache::entryPath(const std::string &Key) const {
+  return Dir + "/" + persist::hexDigest(persist::fnv1a64(Key)) + ".entry";
+}
+
+void ResultCache::installLocked(const std::string &Key, std::string Payload) {
+  auto It = Map.find(Key);
+  if (It != Map.end()) {
+    It->second->second = std::move(Payload);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.emplace_front(Key, std::move(Payload));
+  Map[Key] = Lru.begin();
+  while (Map.size() > Cap) {
+    // Unlink before forgetting: an evicted entry must not resurrect when
+    // a restarted daemon reloads the directory.
+    if (!Dir.empty())
+      ::unlink(entryPath(Lru.back().first).c_str());
+    Map.erase(Lru.back().first);
+    Lru.pop_back();
+    ++Evictions;
+  }
+}
+
+void ResultCache::reload() {
+  std::lock_guard<std::mutex> Guard(M);
+  struct Loaded {
+    uint64_t Seq;
+    std::string Name, Key, Payload;
+  };
+  std::vector<Loaded> Entries;
+  for (const persist::DirEntry &E : persist::listDir(Dir, ".entry")) {
+    std::string Path = Dir + "/" + E.Name;
+    std::optional<std::string> Bytes = persist::readFileBytes(Path);
+    std::vector<std::string> Sections;
+    std::string Err;
+    uint64_t Seq = 0;
+    bool Ok = Bytes &&
+              persist::decodeRecord(*Bytes, kCacheEntryMagic, &Sections,
+                                    &Err) &&
+              Sections.size() == 3 && Path == entryPath(Sections[0]);
+    if (Ok) {
+      support::BinReader R(Sections[2]);
+      Seq = R.u64();
+      Ok = R.done();
+    }
+    if (!Ok) {
+      // Detected, not trusted: move the damaged file aside so it is
+      // inspectable but never reloaded again.
+      ::rename(Path.c_str(), (Path + ".quarantined").c_str());
+      ++Quarantined;
+      continue;
+    }
+    Entries.push_back(
+        {Seq, E.Name, std::move(Sections[0]), std::move(Sections[1])});
+  }
+  // Install in write order so LRU recency survives the restart; capacity
+  // enforcement inside installLocked evicts (and unlinks) the oldest
+  // overflow when the cache reopened smaller.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Loaded &A, const Loaded &B) {
+              return A.Seq != B.Seq ? A.Seq < B.Seq : A.Name < B.Name;
+            });
+  for (Loaded &E : Entries) {
+    NextSeq = std::max(NextSeq, E.Seq + 1);
+    if (!Cap)
+      continue; // capacity 0 disables caching; leave files untouched
+    installLocked(std::move(E.Key), std::move(E.Payload));
+    ++Reloaded;
+  }
+}
 
 std::optional<std::string> ResultCache::lookup(const std::string &Key) {
   std::lock_guard<std::mutex> Guard(M);
@@ -25,21 +124,21 @@ void ResultCache::insert(const std::string &Key, std::string Payload) {
   if (!Cap)
     return;
   std::lock_guard<std::mutex> Guard(M);
-  auto It = Map.find(Key);
-  if (It != Map.end()) {
-    // Concurrent identical misses both simulate; determinism makes their
-    // payloads identical, so refreshing is as good as first-wins.
-    It->second->second = std::move(Payload);
-    Lru.splice(Lru.begin(), Lru, It->second);
-    return;
+  if (!Dir.empty()) {
+    support::BinWriter SeqW;
+    SeqW.u64(NextSeq++);
+    std::string Bytes =
+        persist::encodeRecord(kCacheEntryMagic, {Key, Payload, SeqW.take()});
+    std::string Err;
+    if (persist::writeFileAtomic(entryPath(Key), Bytes, &Err)) {
+      ++Persisted;
+    } else {
+      // Graceful degradation: the entry still serves from memory; only
+      // restart durability is lost, and the failure is visible in stats.
+      ++PersistErrors;
+    }
   }
-  Lru.emplace_front(Key, std::move(Payload));
-  Map[Key] = Lru.begin();
-  while (Map.size() > Cap) {
-    Map.erase(Lru.back().first);
-    Lru.pop_back();
-    ++Evictions;
-  }
+  installLocked(Key, std::move(Payload));
 }
 
 ResultCache::Stats ResultCache::stats() const {
@@ -50,5 +149,9 @@ ResultCache::Stats ResultCache::stats() const {
   S.Evictions = Evictions;
   S.Size = Map.size();
   S.Capacity = Cap;
+  S.Persisted = Persisted;
+  S.Reloaded = Reloaded;
+  S.Quarantined = Quarantined;
+  S.PersistErrors = PersistErrors;
   return S;
 }

@@ -14,7 +14,22 @@
 ///
 /// Bounded LRU: at capacity, an insert evicts the least-recently-used
 /// entry (lookups refresh recency). Thread-safe; one lock, held only for
-/// map/list surgery, never across a simulation.
+/// map/list surgery and small entry-file writes, never across a
+/// simulation.
+///
+/// Persistence (optional): give the constructor a state directory and the
+/// cache survives daemon restarts. Each entry is one CRC-guarded record
+/// file (persist::encodeRecord) named by the FNV-1a digest of its key,
+/// written via write-temp + fsync + atomic rename, carrying a monotonic
+/// write-sequence number (filesystem mtimes are too coarse to order
+/// back-to-back writes). On construction the directory is reloaded in
+/// sequence order — so LRU recency follows write order exactly — with
+/// capacity enforced and every undecodable or misnamed file renamed
+/// aside to `*.quarantined`: a torn or bit-flipped entry is detected and
+/// retired, never replayed. Evicting an entry unlinks its file, so an
+/// evicted result cannot resurrect on reload. A failed persist (e.g.
+/// disk full) only degrades: the entry stays usable in memory and the
+/// failure is counted, not fatal.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,29 +50,47 @@ namespace service {
 class ResultCache {
 public:
   /// \p Capacity 0 disables caching (every lookup misses, inserts drop).
-  explicit ResultCache(size_t Capacity) : Cap(Capacity) {}
+  /// A non-empty \p StateDir enables persistence: the directory is
+  /// created if needed and any entries already there are reloaded,
+  /// oldest first, up to capacity.
+  explicit ResultCache(size_t Capacity, std::string StateDir = "");
 
   /// Returns the payload for \p Key and refreshes its recency, or nullopt
   /// on a miss. Counts a hit/miss either way.
   std::optional<std::string> lookup(const std::string &Key);
 
   /// Installs (or refreshes) \p Key -> \p Payload, evicting the LRU entry
-  /// when over capacity.
+  /// when over capacity, and persists the entry when a state directory is
+  /// configured.
   void insert(const std::string &Key, std::string Payload);
 
   struct Stats {
     uint64_t Hits = 0, Misses = 0, Evictions = 0;
     uint64_t Size = 0, Capacity = 0;
+    /// Persistence counters (all 0 when no state directory).
+    uint64_t Persisted = 0, Reloaded = 0, Quarantined = 0, PersistErrors = 0;
   };
   Stats stats() const;
 
+  bool persistent() const { return !Dir.empty(); }
+  const std::string &stateDir() const { return Dir; }
+
 private:
   using Entry = std::pair<std::string, std::string>; // key, payload
+  std::string entryPath(const std::string &Key) const;
+  void reload();
+  /// Inserts without persisting; evicts (and unlinks) over capacity.
+  /// Caller holds M.
+  void installLocked(const std::string &Key, std::string Payload);
+
   mutable std::mutex M;
   size_t Cap;
+  std::string Dir;
+  uint64_t NextSeq = 1; // next write-sequence stamp for persisted entries
   std::list<Entry> Lru; // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> Map;
   uint64_t Hits = 0, Misses = 0, Evictions = 0;
+  uint64_t Persisted = 0, Reloaded = 0, Quarantined = 0, PersistErrors = 0;
 };
 
 } // namespace service

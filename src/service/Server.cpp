@@ -6,6 +6,8 @@
 
 #include "service/Server.h"
 
+#include "service/SvcFault.h"
+
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -14,6 +16,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -22,7 +25,8 @@ using namespace pdl::service;
 
 SimServer::SimServer(Options O)
     : Opts(std::move(O)),
-      Service({Opts.Workers, Opts.CacheEntries}) {}
+      Service({Opts.Workers, Opts.CacheEntries, Opts.StateDir,
+               Opts.CheckpointEvery}) {}
 
 SimServer::~SimServer() {
   requestStop();
@@ -55,11 +59,40 @@ bool SimServer::start(std::string *Err) {
   ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (ListenFd < 0)
     return Fail("socket()");
-  ::unlink(Opts.SocketPath.c_str()); // stale socket from a dead daemon
+
+  // A socket file may be left behind by a crashed daemon (stale, safe to
+  // remove) or owned by a live one (must not be stolen — two daemons on
+  // one path would strand the first's clients). Probe with a connect():
+  // only a refused/dead socket is unlinked.
+  struct stat St;
+  if (::lstat(Opts.SocketPath.c_str(), &St) == 0) {
+    int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    bool Alive = Probe >= 0 &&
+                 ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr),
+                           sizeof(Addr)) == 0;
+    if (Probe >= 0)
+      ::close(Probe);
+    if (Alive) {
+      if (Err)
+        *Err = "a daemon is already listening on " + Opts.SocketPath;
+      ::close(ListenFd);
+      ListenFd = -1;
+      return false;
+    }
+    ::unlink(Opts.SocketPath.c_str()); // stale socket from a dead daemon
+  }
+
   if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0)
     return Fail("bind(" + Opts.SocketPath + ")");
+  BoundSocket = true;
   if (::listen(ListenFd, 64) < 0)
     return Fail("listen()");
+
+  // Owning the socket also guards the state directory (the liveness
+  // probe above failed any second daemon), so it is now safe to finish
+  // the crashed predecessor's checkpointed jobs. Early connects queue in
+  // the listen backlog until the acceptor spawns.
+  Service.recoverOrphans();
 
   Acceptor = std::thread([this] { acceptLoop(); });
   return true;
@@ -93,6 +126,13 @@ void SimServer::serveConnection(int Fd) {
   auto WriteM = std::make_shared<std::mutex>();
   uint64_t Client = Service.openClient([Fd, WriteM](const std::string &Line) {
     std::lock_guard<std::mutex> Guard(*WriteM);
+    // Injected transport fault: sever the connection just before this
+    // response goes out. The result is already computed (and cached);
+    // the client's reconnect-and-resubmit path must recover it.
+    if (consumeSvcFault(SvcFaultKind::DropConnection)) {
+      ::shutdown(Fd, SHUT_RDWR);
+      return;
+    }
     std::string Out = Line + "\n";
     size_t Off = 0;
     while (Off < Out.size()) {
@@ -151,5 +191,8 @@ void SimServer::waitAndDrain() {
   for (std::thread &T : ToJoin)
     if (T.joinable())
       T.join();
-  ::unlink(Opts.SocketPath.c_str());
+  if (BoundSocket) {
+    ::unlink(Opts.SocketPath.c_str());
+    BoundSocket = false;
+  }
 }

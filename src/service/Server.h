@@ -40,14 +40,21 @@ public:
     std::string SocketPath;
     unsigned Workers = 4;
     size_t CacheEntries = 256;
+    /// Crash-safety root (SimService::Config::StateDir). Empty disables
+    /// cache persistence and job checkpointing.
+    std::string StateDir;
+    /// Job checkpoint cadence in cycles; 0 disables.
+    uint64_t CheckpointEvery = 0;
   };
 
   explicit SimServer(Options O);
   ~SimServer();
 
   /// Binds + listens + spawns the accept loop. False (with \p Err set) if
-  /// the socket cannot be created; an existing socket file at the path is
-  /// removed first (stale daemons do not survive their socket).
+  /// the socket cannot be created. An existing socket file at the path is
+  /// probed first: if a live daemon answers, start fails with a clear
+  /// "already running" error instead of stealing the path; only a dead
+  /// daemon's stale socket is removed.
   bool start(std::string *Err);
 
   /// Asynchronously requests a graceful stop. Safe to call from a signal
@@ -69,6 +76,9 @@ private:
   Options Opts;
   SimService Service;
   int ListenFd = -1;
+  /// True once we bound the socket path — only then may shutdown unlink
+  /// it (a start() that lost to a live daemon must not remove its socket).
+  bool BoundSocket = false;
   std::atomic<bool> Stop{false};
   std::thread Acceptor;
   std::mutex ConnsM;

@@ -6,11 +6,34 @@
 
 #include "service/Service.h"
 
+#include "service/Persist.h"
+
+#include <cstdio>
+
+#include <unistd.h>
+
 using namespace pdl;
 using namespace pdl::service;
 
+using persist::kJobMagic;
+
+static std::string jobsDirFor(const SimService::Config &C) {
+  if (C.StateDir.empty() || !C.CheckpointEvery)
+    return "";
+  std::string Dir = C.StateDir + "/jobs";
+  std::string Err;
+  if (!persist::ensureDir(Dir, &Err)) {
+    std::fprintf(stderr, "pdl-service: job checkpointing disabled: %s\n",
+                 Err.c_str());
+    return "";
+  }
+  return Dir;
+}
+
 SimService::SimService(Config C)
-    : Cfg(C), Pool(C.Workers ? C.Workers : 1), Cache(C.CacheEntries) {}
+    : Cfg(C), JobsDir(jobsDirFor(C)), Pool(C.Workers ? C.Workers : 1),
+      Cache(C.CacheEntries,
+            C.StateDir.empty() ? std::string() : C.StateDir + "/cache") {}
 
 SimService::~SimService() { drain(); }
 
@@ -93,6 +116,11 @@ obs::Json SimService::statsJson(const std::shared_ptr<ClientState> &C) {
   CacheV.set("evictions", obs::Json(CS.Evictions));
   CacheV.set("size", obs::Json(CS.Size));
   CacheV.set("capacity", obs::Json(CS.Capacity));
+  CacheV.set("persistent", obs::Json(Cache.persistent()));
+  CacheV.set("persisted", obs::Json(CS.Persisted));
+  CacheV.set("reloaded", obs::Json(CS.Reloaded));
+  CacheV.set("quarantined", obs::Json(CS.Quarantined));
+  CacheV.set("persist_errors", obs::Json(CS.PersistErrors));
 
   obs::Json ClientV = obs::Json::object();
   {
@@ -111,6 +139,7 @@ obs::Json SimService::statsJson(const std::shared_ptr<ClientState> &C) {
   obs::Json V = obs::Json::object();
   V.set("workers", obs::Json(uint64_t(Pool.workers())));
   V.set("inflight", obs::Json(uint64_t(Pool.inflight())));
+  V.set("checkpoint_every", obs::Json(Cfg.CheckpointEvery));
   V.set("cache", std::move(CacheV));
   V.set("client", std::move(ClientV));
   return V;
@@ -170,11 +199,73 @@ void SimService::handleLine(uint64_t Client, const std::string &Line) {
 
   std::shared_ptr<Slot> S = enqueue(C, /*Done=*/false, "");
   Pool.submit([this, C, S, Req, RespId] {
-    std::string Payload = sim::runSim(Req).toJson();
+    std::string Payload = runJob(Req, /*ResumeBlob=*/"");
     if (Req.cacheable())
       Cache.insert(Req.cacheKey(), Payload);
     finishSlot(C, S, encodeSimResponse(RespId, /*Cached=*/false, Payload));
   });
+}
+
+std::string SimService::runJob(const sim::SimRequest &Req,
+                               std::string ResumeBlob) {
+  sim::SimRequest R = Req;
+  std::string JobPath;
+  if (!JobsDir.empty() && Req.cacheable()) {
+    JobPath = JobsDir + "/" +
+              persist::hexDigest(persist::fnv1a64(Req.cacheKey())) + ".job";
+    const std::string ReqJson = Req.toJson();
+    R.Cfg.CkptEvery = Cfg.CheckpointEvery;
+    R.Cfg.CkptSave = [JobPath, ReqJson](uint64_t, const std::string &Blob) {
+      // A failed checkpoint write only costs resumability of this job;
+      // the simulation itself keeps running.
+      std::string Err;
+      persist::writeFileAtomic(
+          JobPath, persist::encodeRecord(kJobMagic, {ReqJson, Blob}), &Err);
+    };
+  }
+  R.Cfg.ResumeBlob = std::move(ResumeBlob);
+  sim::SimResult Res = sim::runSim(R);
+  if (Res.Outcome == "resume_rejected") {
+    // The checkpoint blob was torn or corrupt: detected, not trusted.
+    // Fall back to a cold run — correctness over saved cycles.
+    R.Cfg.ResumeBlob.clear();
+    Res = sim::runSim(R);
+  }
+  std::string Payload = Res.toJson();
+  // The job completed and its result is durable via the cache; retire
+  // the checkpoint so a restart does not replay finished work.
+  if (!JobPath.empty())
+    ::unlink(JobPath.c_str());
+  return Payload;
+}
+
+size_t SimService::recoverOrphans() {
+  if (JobsDir.empty())
+    return 0;
+  size_t N = 0;
+  for (const persist::DirEntry &E : persist::listDir(JobsDir, ".job")) {
+    std::string Path = JobsDir + "/" + E.Name;
+    std::optional<std::string> Bytes = persist::readFileBytes(Path);
+    std::vector<std::string> Sections;
+    std::string Err;
+    std::optional<sim::SimRequest> Req;
+    if (Bytes && persist::decodeRecord(*Bytes, kJobMagic, &Sections, &Err) &&
+        Sections.size() == 2)
+      Req = sim::SimRequest::fromJson(Sections[0], &Err);
+    if (!Req) {
+      // Undecodable job file (torn final write, bit rot): set it aside
+      // for inspection; the client's retry will resubmit the request.
+      ::rename(Path.c_str(), (Path + ".quarantined").c_str());
+      continue;
+    }
+    // runJob resumes from the snapshot (cold rerun if the blob fails
+    // restore validation), re-checkpoints, and unlinks the job file.
+    std::string Payload = runJob(*Req, std::move(Sections[1]));
+    if (Req->cacheable())
+      Cache.insert(Req->cacheKey(), Payload);
+    ++N;
+  }
+  return N;
 }
 
 void SimService::drain() { Pool.drain(); }

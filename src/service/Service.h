@@ -25,6 +25,12 @@
 /// (byte-identical by the jobs=N determinism contract). Requests that
 /// write waveforms are uncacheable and always simulate.
 ///
+/// Crash safety: with a state directory configured, cache entries persist
+/// across restarts (CRC-guarded record files, see ResultCache.h) and
+/// simulation jobs checkpoint their full System snapshot every N cycles
+/// into a job store; recoverOrphans() resumes whatever a crash stranded
+/// mid-run (docs/service.md, "Crash recovery & persistence").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PDL_SERVICE_SERVICE_H
@@ -51,13 +57,31 @@ public:
   struct Config {
     unsigned Workers;
     size_t CacheEntries;
+    /// Crash-safety root. Empty disables persistence entirely; otherwise
+    /// result-cache entries live under <StateDir>/cache and in-flight job
+    /// checkpoints under <StateDir>/jobs, and both survive a restart.
+    std::string StateDir;
+    /// Checkpoint cadence for simulation jobs, in cycles. 0 disables
+    /// checkpointing; requires StateDir to take effect.
+    uint64_t CheckpointEvery;
     // Constructor instead of member initializers so the enclosing class
     // can default a Config argument while still incomplete.
-    Config(unsigned W = 4, size_t C = 256) : Workers(W), CacheEntries(C) {}
+    Config(unsigned W = 4, size_t C = 256, std::string SD = "",
+           uint64_t CE = 0)
+        : Workers(W), CacheEntries(C), StateDir(std::move(SD)),
+          CheckpointEvery(CE) {}
   };
 
   explicit SimService(Config C = Config());
   ~SimService(); // drains in-flight work first
+
+  /// Replays whatever <StateDir>/jobs left behind after a crash: each
+  /// orphaned checkpoint file is resumed from its saved snapshot (or
+  /// rerun cold if the blob was damaged — a torn checkpoint is detected,
+  /// never trusted), its result is inserted into the cache, and the job
+  /// file is removed. Call once at startup, before serving clients.
+  /// Returns the number of jobs recovered.
+  size_t recoverOrphans();
 
   /// A client's response sink. Called with one complete response line (no
   /// trailing newline), in that client's submission order; may be called
@@ -114,8 +138,13 @@ private:
   /// Delivers consecutive finished slots from the FIFO front.
   static void flush(const std::shared_ptr<ClientState> &C);
   obs::Json statsJson(const std::shared_ptr<ClientState> &C);
+  /// Runs one simulation to completion, checkpointing to the job store
+  /// when configured and resuming from \p ResumeBlob when non-empty.
+  /// Returns the serialized result payload.
+  std::string runJob(const sim::SimRequest &Req, std::string ResumeBlob);
 
   Config Cfg;
+  std::string JobsDir; // empty when checkpointing is off
   sim::StandingPool Pool;
   ResultCache Cache;
   std::atomic<bool> Shutdown{false};

@@ -1,0 +1,122 @@
+//===- SvcFault.cpp - Service-layer fault injection vocabulary --------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/SvcFault.h"
+
+#include <cstdlib>
+#include <mutex>
+
+using namespace pdl;
+using namespace pdl::service;
+
+const char *pdl::service::svcFaultKindName(SvcFaultKind K) {
+  switch (K) {
+  case SvcFaultKind::TornWrite:
+    return "torn-write";
+  case SvcFaultKind::ShortRead:
+    return "short-read";
+  case SvcFaultKind::Enospc:
+    return "enospc";
+  case SvcFaultKind::CorruptEntry:
+    return "corrupt-entry";
+  case SvcFaultKind::DropConnection:
+    return "drop-connection";
+  }
+  return "?";
+}
+
+static std::optional<SvcFaultKind> parseKind(const std::string &S) {
+  for (SvcFaultKind K :
+       {SvcFaultKind::TornWrite, SvcFaultKind::ShortRead, SvcFaultKind::Enospc,
+        SvcFaultKind::CorruptEntry, SvcFaultKind::DropConnection})
+    if (S == svcFaultKindName(K))
+      return K;
+  return std::nullopt;
+}
+
+std::string pdl::service::printSvcFaultPlan(const SvcFaultPlan &P) {
+  std::string S = svcFaultKindName(P.Kind);
+  if (P.Nth != 1)
+    S += ":nth=" + std::to_string(P.Nth);
+  return S;
+}
+
+std::optional<SvcFaultPlan>
+pdl::service::parseSvcFaultPlan(const std::string &Text, std::string *Err) {
+  auto Fail = [&](const std::string &Why) -> std::optional<SvcFaultPlan> {
+    if (Err)
+      *Err = "bad service fault plan '" + Text + "': " + Why;
+    return std::nullopt;
+  };
+  size_t Colon = Text.find(':');
+  std::string KindStr = Text.substr(0, Colon);
+  std::optional<SvcFaultKind> K = parseKind(KindStr);
+  if (!K)
+    return Fail("unknown kind '" + KindStr +
+                "' (expected torn-write, short-read, enospc, corrupt-entry "
+                "or drop-connection)");
+  SvcFaultPlan P;
+  P.Kind = *K;
+  if (Colon != std::string::npos) {
+    std::string Opt = Text.substr(Colon + 1);
+    if (Opt.rfind("nth=", 0) != 0)
+      return Fail("expected ':nth=N', got ':" + Opt + "'");
+    std::string Num = Opt.substr(4);
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Num.c_str(), &End, 10);
+    if (Num.empty() || *End || V == 0)
+      return Fail("nth must be a positive integer, got '" + Num + "'");
+    P.Nth = V;
+  }
+  return P;
+}
+
+namespace {
+struct ArmedState {
+  std::mutex M;
+  std::optional<SvcFaultPlan> Plan;
+  uint64_t Seen = 0; // matching operations observed since arming
+};
+} // namespace
+
+static ArmedState &state() {
+  static ArmedState S;
+  return S;
+}
+
+void pdl::service::armSvcFault(std::optional<SvcFaultPlan> P) {
+  ArmedState &S = state();
+  std::lock_guard<std::mutex> Guard(S.M);
+  S.Plan = P;
+  S.Seen = 0;
+}
+
+std::optional<SvcFaultPlan> pdl::service::armSvcFaultFromEnv(std::string *Err) {
+  const char *Env = std::getenv("PDL_SVC_FAULT");
+  if (!Env || !*Env)
+    return std::nullopt;
+  std::optional<SvcFaultPlan> P = parseSvcFaultPlan(Env, Err);
+  if (P)
+    armSvcFault(P);
+  return P;
+}
+
+std::optional<SvcFaultPlan> pdl::service::armedSvcFault() {
+  ArmedState &S = state();
+  std::lock_guard<std::mutex> Guard(S.M);
+  return S.Plan;
+}
+
+bool pdl::service::consumeSvcFault(SvcFaultKind K) {
+  ArmedState &S = state();
+  std::lock_guard<std::mutex> Guard(S.M);
+  if (!S.Plan || S.Plan->Kind != K)
+    return false;
+  if (++S.Seen < S.Plan->Nth)
+    return false;
+  S.Plan.reset(); // single-shot
+  return true;
+}

@@ -1,0 +1,87 @@
+//===- SvcFault.h - Service-layer fault injection vocabulary ---*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Injectable storage/transport faults for the crash-safety layer, the
+/// service-side twin of the hardware FaultPlan vocabulary (hw/Fault.h):
+/// every recovery path in the persistent result cache, the checkpointed
+/// job store, and the client retry loop is exercised by arming one of
+/// these, never by hoping a real crash lands in the right place.
+///
+/// Kinds:
+///   torn-write     persist stops halfway through the final file (power
+///                  loss mid-write; no atomic rename happened)
+///   short-read     a reload sees only a prefix of the file's bytes
+///   enospc         the persist write fails outright (disk full); the
+///                  in-memory entry must survive, service degrades
+///   corrupt-entry  one payload byte is flipped before the (otherwise
+///                  atomic) persist completes — only the CRC can tell
+///   drop-connection the server closes a client's socket just before
+///                  writing a response (client must retry/resubmit)
+///
+/// Plans are spelled `kind[:nth=N]` (N counts matching operations,
+/// 1-based, default 1) and armed process-wide either programmatically
+/// (tests) or from the PDL_SVC_FAULT environment variable (the pdlsimd
+/// daemon, CI crash drills). A plan fires exactly once: consumeSvcFault()
+/// returns true on the Nth matching operation and never again.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SERVICE_SVCFAULT_H
+#define PDL_SERVICE_SVCFAULT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pdl {
+namespace service {
+
+enum class SvcFaultKind : uint8_t {
+  TornWrite,
+  ShortRead,
+  Enospc,
+  CorruptEntry,
+  DropConnection,
+};
+
+const char *svcFaultKindName(SvcFaultKind K);
+
+struct SvcFaultPlan {
+  SvcFaultKind Kind = SvcFaultKind::TornWrite;
+  /// Fire on the Nth matching operation (1-based).
+  uint64_t Nth = 1;
+};
+
+/// Canonical spelling: `kind[:nth=N]` (nth omitted when 1).
+std::string printSvcFaultPlan(const SvcFaultPlan &P);
+
+/// Parses printSvcFaultPlan()'s spelling. nullopt (with \p Err set) on an
+/// unknown kind or malformed nth.
+std::optional<SvcFaultPlan> parseSvcFaultPlan(const std::string &Text,
+                                              std::string *Err = nullptr);
+
+/// Arms \p P process-wide (resetting the operation counter), or disarms
+/// when nullopt. Thread-safe.
+void armSvcFault(std::optional<SvcFaultPlan> P);
+
+/// Arms from the PDL_SVC_FAULT environment variable if it is set and
+/// non-empty. Returns the armed plan, nullopt if unset; a malformed value
+/// sets \p Err and leaves the previous arming untouched.
+std::optional<SvcFaultPlan> armSvcFaultFromEnv(std::string *Err = nullptr);
+
+/// The currently armed, not-yet-fired plan (nullopt once fired/disarmed).
+std::optional<SvcFaultPlan> armedSvcFault();
+
+/// Called by fault sites: counts one operation of kind \p K and returns
+/// true iff the armed plan matches and this was its Nth occurrence. The
+/// plan disarms on firing — a fault is a single event, not a mode.
+bool consumeSvcFault(SvcFaultKind K);
+
+} // namespace service
+} // namespace pdl
+
+#endif // PDL_SERVICE_SVCFAULT_H

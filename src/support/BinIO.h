@@ -1,0 +1,166 @@
+//===- BinIO.h - Little-endian binary serialization helpers ----*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-width little-endian binary writers/readers plus a CRC32, shared by
+/// every snapshot/persistence producer in the tree: `System::snapshot()`
+/// (backend), the hw-primitive `saveState`/`loadState` hooks, the sink and
+/// monitor state codecs (obs/verify), and the on-disk result cache
+/// (service). The format is deliberately dumb — explicit widths, explicit
+/// ordering, length-prefixed strings — so the bytes are deterministic
+/// across hosts and a reader can never be tricked past the end of its
+/// buffer: every accessor bounds-checks and latches a failure flag instead
+/// of reading garbage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_SUPPORT_BINIO_H
+#define PDL_SUPPORT_BINIO_H
+
+#include "support/Bits.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace pdl {
+namespace support {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) over \p N bytes.
+/// Pass a previous result as \p Seed to continue an incremental checksum.
+inline uint32_t crc32(const void *Data, size_t N, uint32_t Seed = 0) {
+  static const auto Table = [] {
+    struct T {
+      uint32_t E[256];
+    } T;
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T.E[I] = C;
+    }
+    return T;
+  }();
+  uint32_t C = ~Seed;
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  for (size_t I = 0; I != N; ++I)
+    C = Table.E[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return ~C;
+}
+
+inline uint32_t crc32(const std::string &S, uint32_t Seed = 0) {
+  return crc32(S.data(), S.size(), Seed);
+}
+
+/// Appends fixed-width little-endian fields to a growing byte buffer.
+class BinWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(char(V)); }
+  void u16(uint16_t V) { le(V, 2); }
+  void u32(uint32_t V) { le(V, 4); }
+  void u64(uint64_t V) { le(V, 8); }
+  void i64(int64_t V) { le(static_cast<uint64_t>(V), 8); }
+  void b(bool V) { u8(V ? 1 : 0); }
+
+  /// u32 byte count followed by the raw bytes.
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Buf.append(S);
+  }
+
+  /// u8 width then u64 zero-extended value.
+  void bits(const Bits &V) {
+    u8(static_cast<uint8_t>(V.width()));
+    u64(V.zext());
+  }
+
+  void raw(const void *Data, size_t N) {
+    Buf.append(static_cast<const char *>(Data), N);
+  }
+
+  const std::string &buffer() const { return Buf; }
+  std::string take() { return std::move(Buf); }
+  size_t size() const { return Buf.size(); }
+
+private:
+  void le(uint64_t V, int Bytes) {
+    for (int I = 0; I != Bytes; ++I)
+      Buf.push_back(char((V >> (8 * I)) & 0xFF));
+  }
+
+  std::string Buf;
+};
+
+/// Reads fields back in write order. Overruns and malformed fields latch a
+/// failure flag (checked via ok()) and yield zero values; they never read
+/// out of bounds, so a truncated or corrupt blob is detected, not trusted.
+class BinReader {
+public:
+  explicit BinReader(const std::string &Data)
+      : Buf(Data.data()), Size(Data.size()) {}
+  BinReader(const char *Data, size_t N) : Buf(Data), Size(N) {}
+
+  uint8_t u8() { return static_cast<uint8_t>(le(1)); }
+  uint16_t u16() { return static_cast<uint16_t>(le(2)); }
+  uint32_t u32() { return static_cast<uint32_t>(le(4)); }
+  uint64_t u64() { return le(8); }
+  int64_t i64() { return static_cast<int64_t>(le(8)); }
+  bool b() { return u8() != 0; }
+
+  std::string str() {
+    uint32_t N = u32();
+    if (Failed || N > Size - Pos) {
+      Failed = true;
+      return {};
+    }
+    std::string S(Buf + Pos, N);
+    Pos += N;
+    return S;
+  }
+
+  Bits bits() {
+    uint8_t W = u8();
+    uint64_t V = u64();
+    if (Failed || W < 1 || W > 64) {
+      Failed = true;
+      return Bits();
+    }
+    return Bits(V, W);
+  }
+
+  bool ok() const { return !Failed; }
+  /// True iff every byte has been consumed without a failure.
+  bool done() const { return !Failed && Pos == Size; }
+  size_t pos() const { return Pos; }
+  size_t remaining() const { return Failed ? 0 : Size - Pos; }
+
+  /// Marks the blob bad explicitly (e.g. a semantic check failed).
+  void fail() { Failed = true; }
+
+private:
+  uint64_t le(int Bytes) {
+    if (Failed || size_t(Bytes) > Size - Pos) {
+      Failed = true;
+      return 0;
+    }
+    uint64_t V = 0;
+    for (int I = 0; I != Bytes; ++I)
+      V |= uint64_t(uint8_t(Buf[Pos + I])) << (8 * I);
+    Pos += Bytes;
+    return V;
+  }
+
+  const char *Buf;
+  size_t Size;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace support
+} // namespace pdl
+
+#endif // PDL_SUPPORT_BINIO_H

@@ -12,6 +12,7 @@
 #include "riscv/Assembler.h"
 #include "riscv/GoldenSim.h"
 #include "sim/WorkerPool.h"
+#include "support/BinIO.h"
 #include "verify/ProgGen.h"
 
 #include <filesystem>
@@ -154,11 +155,85 @@ DiffResult verify::runDiff(const std::string &AsmSource, const DiffConfig &C) {
       Sys.attachSink(*Vcd);
     }
   }
-  if (C.Fault)
-    Sys.armFault(*C.Fault);
-
   Core.loadProgram(Words);
-  cores::Core::RunResult R = Core.run(C.MaxCycles, /*CheckGolden=*/true);
+
+  // Job checkpoint blob: four length-prefixed sections — the System
+  // snapshot, then the CounterSink / LogSink / MonitorSink states. The
+  // blob is self-contained: restoring needs only a Core elaborated from
+  // the same DiffConfig (the snapshot embeds the config digest).
+  auto MakeCheckpoint = [&]() {
+    support::BinWriter W;
+    W.str(Sys.snapshot());
+    support::BinWriter CW;
+    Counters.saveState(CW);
+    W.str(CW.take());
+    support::BinWriter LW;
+    Log.saveState(LW);
+    W.str(LW.take());
+    support::BinWriter MW;
+    Monitors.saveState(MW);
+    W.str(MW.take());
+    return W.take();
+  };
+
+  bool Resumed = false;
+  if (!C.ResumeBlob.empty()) {
+    support::BinReader R(C.ResumeBlob);
+    std::string SysBlob = R.str();
+    std::string CtrBlob = R.str();
+    std::string LogBlob = R.str();
+    std::string MonBlob = R.str();
+    std::string RErr;
+    bool Ok = R.ok() && R.done();
+    if (!Ok)
+      RErr = "malformed job blob";
+    Ok = Ok && Sys.restore(SysBlob, &RErr);
+    if (Ok) {
+      support::BinReader CR(CtrBlob);
+      Ok = Counters.loadState(CR);
+      if (!Ok)
+        RErr = "counter state rejected";
+    }
+    if (Ok && C.WantDigest) {
+      support::BinReader LR(LogBlob);
+      Ok = Log.loadState(LR);
+      if (!Ok)
+        RErr = "log state rejected";
+    }
+    if (Ok && C.WithMonitors) {
+      support::BinReader MR(MonBlob);
+      Ok = Monitors.loadState(MR);
+      if (!Ok)
+        RErr = "monitor state rejected";
+    }
+    if (!Ok) {
+      // Never trust a damaged checkpoint: structured rejection, the caller
+      // discards the blob and re-runs from cycle 0.
+      Res.Outcome = "resume_rejected";
+      Res.Divergent = true;
+      Res.Reason = "resume blob rejected: " + RErr;
+      return Res;
+    }
+    Resumed = true;
+  }
+
+  // On resume the restore already re-armed whatever part of the fault plan
+  // had not fired; arming again would double-inject.
+  if (C.Fault && !Resumed)
+    Sys.armFault(*C.Fault);
+  if (C.CkptEvery && C.CkptSave)
+    Sys.setCheckpointHook(C.CkptEvery, [&](uint64_t Cycle) {
+      C.CkptSave(Cycle, MakeCheckpoint());
+    });
+
+  // MaxCycles is a total budget from cycle 0, resumed or not, so both
+  // paths stop at the same wall cycle.
+  uint64_t Budget = C.MaxCycles;
+  if (Resumed)
+    Budget = Sys.stats().Cycles < C.MaxCycles
+                 ? C.MaxCycles - Sys.stats().Cycles
+                 : 0;
+  cores::Core::RunResult R = Core.run(Budget, /*CheckGolden=*/true, Resumed);
   Sys.finishTrace();
 
   Res.Outcome = R.Outcome;

@@ -23,6 +23,7 @@
 #include "obs/StatsReport.h"
 #include "verify/Monitors.h"
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -50,6 +51,24 @@ struct DiffConfig {
   /// identical for every value (the accept rule reads a whole round's
   /// results, never completion order); > 1 only changes wall-clock.
   unsigned Jobs = 1;
+
+  /// --- Checkpoint / resume (crash-safe service jobs) -------------------
+  /// These are local execution policy, NOT part of the wire protocol:
+  /// toJsonValue never emits them, so the service cache key — and the
+  /// result bytes keyed by it — are identical with and without
+  /// checkpointing. A resumed run produces the same result as an
+  /// uninterrupted one (the snapshot layer's resume-equivalence guarantee).
+  ///
+  /// When CkptEvery > 0 and CkptSave is set, the run invokes CkptSave
+  /// every CkptEvery cycles with a self-contained job blob (System
+  /// snapshot + sink states, see makeJobCheckpoint/runDiff).
+  uint64_t CkptEvery = 0;
+  std::function<void(uint64_t Cycle, const std::string &Blob)> CkptSave;
+  /// When non-empty, a job blob from CkptSave: the run restores it and
+  /// continues instead of starting from cycle 0. A corrupt or mismatched
+  /// blob yields outcome "resume_rejected" (the caller re-runs cold —
+  /// never trust a damaged checkpoint).
+  std::string ResumeBlob;
 
   /// Stable JSON form — the config fields of the service wire protocol
   /// (docs/service.md). Kind and Profile serialize as their stable string

@@ -230,3 +230,135 @@ std::string MonitorSink::render() const {
     Out += "... and " + std::to_string(Count - Found.size()) + " more\n";
   return Out;
 }
+
+void MonitorSink::saveState(support::BinWriter &W) const {
+  W.u32(static_cast<uint32_t>(Found.size()));
+  for (const Violation &V : Found) {
+    W.str(V.Monitor);
+    W.u64(V.Cycle);
+    W.str(V.Pipe);
+    W.u64(V.Tid);
+    W.str(V.Detail);
+  }
+  W.u64(Count);
+  W.u64(CurCycle);
+  W.u32(static_cast<uint32_t>(Held.size()));
+  for (const auto &[Key, Mems] : Held) {
+    W.u16(Key.first);
+    W.u64(Key.second);
+    W.u32(static_cast<uint32_t>(Mems.size()));
+    for (const auto &[Mem, N] : Mems) {
+      W.u16(Mem);
+      W.i64(N);
+    }
+  }
+  W.u32(static_cast<uint32_t>(SpecChild.size()));
+  for (const auto &[Id, Child] : SpecChild) {
+    W.u64(Id);
+    W.u16(Child.first);
+    W.u64(Child.second);
+  }
+  W.u32(static_cast<uint32_t>(Doomed.size()));
+  for (const auto &[Pipe, Tid] : Doomed) {
+    W.u16(Pipe);
+    W.u64(Tid);
+  }
+  W.u32(static_cast<uint32_t>(Fifos.size()));
+  for (const auto &[Key, Tids] : Fifos) {
+    W.u16(std::get<0>(Key));
+    W.u16(std::get<1>(Key));
+    W.u16(std::get<2>(Key));
+    W.u32(static_cast<uint32_t>(Tids.size()));
+    for (uint64_t Tid : Tids)
+      W.u64(Tid);
+  }
+  W.u32(static_cast<uint32_t>(Outcomes.size()));
+  for (const std::vector<uint32_t> &Row : Outcomes) {
+    W.u32(static_cast<uint32_t>(Row.size()));
+    for (uint32_t N : Row)
+      W.u32(N);
+  }
+  W.b(CycleOpen);
+  W.u32(static_cast<uint32_t>(RolledBack.size()));
+  for (const auto &[Pipe, Tid, Mem] : RolledBack) {
+    W.u16(Pipe);
+    W.u64(Tid);
+    W.u16(Mem);
+  }
+}
+
+bool MonitorSink::loadState(support::BinReader &R) {
+  uint32_t NFound = R.u32();
+  Found.clear();
+  for (uint32_t I = 0; I != NFound && R.ok(); ++I) {
+    Violation V;
+    V.Monitor = R.str();
+    V.Cycle = R.u64();
+    V.Pipe = R.str();
+    V.Tid = R.u64();
+    V.Detail = R.str();
+    Found.push_back(std::move(V));
+  }
+  Count = R.u64();
+  CurCycle = R.u64();
+  uint32_t NHeld = R.u32();
+  Held.clear();
+  for (uint32_t I = 0; I != NHeld && R.ok(); ++I) {
+    uint16_t Pipe = R.u16();
+    uint64_t Tid = R.u64();
+    std::map<uint16_t, int64_t> Mems;
+    uint32_t NMems = R.u32();
+    for (uint32_t J = 0; J != NMems && R.ok(); ++J) {
+      uint16_t Mem = R.u16();
+      Mems[Mem] = R.i64();
+    }
+    Held[{Pipe, Tid}] = std::move(Mems);
+  }
+  uint32_t NSpec = R.u32();
+  SpecChild.clear();
+  for (uint32_t I = 0; I != NSpec && R.ok(); ++I) {
+    uint64_t Id = R.u64();
+    uint16_t Pipe = R.u16();
+    uint64_t Tid = R.u64();
+    SpecChild[Id] = {Pipe, Tid};
+  }
+  uint32_t NDoomed = R.u32();
+  Doomed.clear();
+  for (uint32_t I = 0; I != NDoomed && R.ok(); ++I) {
+    uint16_t Pipe = R.u16();
+    uint64_t Tid = R.u64();
+    Doomed.insert({Pipe, Tid});
+  }
+  uint32_t NFifos = R.u32();
+  Fifos.clear();
+  for (uint32_t I = 0; I != NFifos && R.ok(); ++I) {
+    uint16_t Pipe = R.u16(), From = R.u16(), To = R.u16();
+    std::deque<uint64_t> Tids;
+    uint32_t NTids = R.u32();
+    for (uint32_t J = 0; J != NTids && R.ok(); ++J)
+      Tids.push_back(R.u64());
+    Fifos[{Pipe, From, To}] = std::move(Tids);
+  }
+  // Outcomes was sized by begin() from the trace meta; a mismatched shape
+  // means the blob belongs to a different elaboration.
+  uint32_t NPipes = R.u32();
+  if (!R.ok() || NPipes != Outcomes.size())
+    return false;
+  for (std::vector<uint32_t> &Row : Outcomes) {
+    uint32_t NStages = R.u32();
+    if (!R.ok() || NStages != Row.size())
+      return false;
+    for (uint32_t &N : Row)
+      N = R.u32();
+  }
+  CycleOpen = R.b();
+  uint32_t NRolled = R.u32();
+  RolledBack.clear();
+  for (uint32_t I = 0; I != NRolled && R.ok(); ++I) {
+    uint16_t Pipe = R.u16();
+    uint64_t Tid = R.u64();
+    uint16_t Mem = R.u16();
+    RolledBack.insert({Pipe, Tid, Mem});
+  }
+  return R.ok();
+}

@@ -37,6 +37,7 @@
 #define PDL_VERIFY_MONITORS_H
 
 #include "obs/TraceSink.h"
+#include "support/BinIO.h"
 
 #include <cstdint>
 #include <deque>
@@ -74,6 +75,14 @@ public:
   bool clean() const { return Count == 0; }
   /// Multi-line rendering of every recorded violation.
   std::string render() const;
+
+  /// Snapshot support (checkpointed service jobs): serializes the mirrored
+  /// executor state and recorded violations so a resumed run keeps
+  /// checking invariants mid-stream (Meta is rebuilt by begin() when the
+  /// sink re-attaches). All containers are ordered, so identical state
+  /// yields identical bytes.
+  void saveState(support::BinWriter &W) const;
+  bool loadState(support::BinReader &R);
 
 private:
   void flag(const char *Monitor, uint64_t Cycle, uint16_t Pipe, uint64_t Tid,

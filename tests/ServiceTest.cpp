@@ -11,19 +11,33 @@
 /// byte-identical to cold runs, malformed lines answered not dropped),
 /// and finally a real pdlsimd round trip over a Unix-domain socket.
 ///
+/// The crash-safety half drills every PDL_SVC_FAULT recovery path: the
+/// persistent result cache survives restarts byte-identically, torn or
+/// corrupt entry files are quarantined (never trusted), evicted entries
+/// cannot resurrect, orphaned job checkpoints resume (or rerun cold when
+/// damaged), a live daemon's socket is never stolen while a stale one is
+/// reclaimed, and a dropped connection is recovered by the client's
+/// reconnect-and-resubmit loop.
+///
 //===----------------------------------------------------------------------===//
 
 #include "service/Client.h"
+#include "service/Persist.h"
 #include "service/Server.h"
+#include "service/SvcFault.h"
 #include "sim/StandingPool.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 using namespace pdl;
@@ -50,6 +64,25 @@ sim::SimRequest smallRequest(uint64_t MaxCycles = 50000) {
   R.Cfg.MaxCycles = MaxCycles;
   return R;
 }
+
+/// A fresh private directory for persistence tests.
+std::string freshDir() {
+  std::string Tmpl = ::testing::TempDir() + "pdlsvc-XXXXXX";
+  std::vector<char> Buf(Tmpl.begin(), Tmpl.end());
+  Buf.push_back('\0');
+  const char *D = ::mkdtemp(Buf.data());
+  EXPECT_NE(D, nullptr);
+  return D ? std::string(D) : std::string();
+}
+
+size_t countFiles(const std::string &Dir, const std::string &Suffix) {
+  return service::persist::listDir(Dir, Suffix).size();
+}
+
+/// Disarms any service fault when a test body exits, pass or fail.
+struct FaultGuard {
+  ~FaultGuard() { service::armSvcFault(std::nullopt); }
+};
 
 //===----------------------------------------------------------------------===//
 // Stable names: core ids, profiles, fault plans
@@ -504,6 +537,436 @@ TEST(ServiceTest, SocketRoundTripWithWarmCache) {
   Server.waitAndDrain();
   EXPECT_NE(::access(Opts.SocketPath.c_str(), F_OK), 0)
       << "socket file must be unlinked on shutdown";
+}
+
+//===----------------------------------------------------------------------===//
+// Service fault plans (PDL_SVC_FAULT)
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, SvcFaultPlanSpellingRoundTrips) {
+  FaultGuard Guard;
+  for (service::SvcFaultKind K :
+       {service::SvcFaultKind::TornWrite, service::SvcFaultKind::ShortRead,
+        service::SvcFaultKind::Enospc, service::SvcFaultKind::CorruptEntry,
+        service::SvcFaultKind::DropConnection}) {
+    service::SvcFaultPlan P;
+    P.Kind = K;
+    std::string Spec = service::printSvcFaultPlan(P);
+    SCOPED_TRACE(Spec);
+    std::string Err;
+    std::optional<service::SvcFaultPlan> Back =
+        service::parseSvcFaultPlan(Spec, &Err);
+    ASSERT_TRUE(Back.has_value()) << Err;
+    EXPECT_EQ(Back->Kind, K);
+    EXPECT_EQ(Back->Nth, 1u);
+  }
+  std::string Err;
+  std::optional<service::SvcFaultPlan> Nth =
+      service::parseSvcFaultPlan("torn-write:nth=3", &Err);
+  ASSERT_TRUE(Nth.has_value()) << Err;
+  EXPECT_EQ(Nth->Nth, 3u);
+  EXPECT_EQ(service::printSvcFaultPlan(*Nth), "torn-write:nth=3");
+
+  EXPECT_FALSE(service::parseSvcFaultPlan("disk-melt", &Err).has_value());
+  EXPECT_FALSE(service::parseSvcFaultPlan("enospc:nth=0", &Err).has_value());
+  EXPECT_FALSE(service::parseSvcFaultPlan("enospc:bogus=1", &Err).has_value());
+
+  // Single-shot semantics: fires on the Nth matching op, then disarms.
+  service::SvcFaultPlan P;
+  P.Kind = service::SvcFaultKind::TornWrite;
+  P.Nth = 2;
+  service::armSvcFault(P);
+  EXPECT_FALSE(service::consumeSvcFault(service::SvcFaultKind::ShortRead))
+      << "non-matching kinds must not count";
+  EXPECT_FALSE(service::consumeSvcFault(service::SvcFaultKind::TornWrite));
+  EXPECT_TRUE(service::consumeSvcFault(service::SvcFaultKind::TornWrite));
+  EXPECT_FALSE(service::consumeSvcFault(service::SvcFaultKind::TornWrite))
+      << "a fault is a single event, not a mode";
+  EXPECT_FALSE(service::armedSvcFault().has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Persist: CRC-guarded record files
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, PersistRecordRoundTripsAndRejectsDamage) {
+  namespace P = service::persist;
+  std::string Bytes =
+      P::encodeRecord(P::kCacheEntryMagic, {"key-bytes", "payload\0bytes"});
+  std::vector<std::string> Sections;
+  std::string Err;
+  ASSERT_TRUE(P::decodeRecord(Bytes, P::kCacheEntryMagic, &Sections, &Err))
+      << Err;
+  ASSERT_EQ(Sections.size(), 2u);
+  EXPECT_EQ(Sections[0], "key-bytes");
+
+  EXPECT_FALSE(P::decodeRecord(Bytes, P::kJobMagic, &Sections, &Err))
+      << "wrong magic accepted";
+  for (size_t Cut : {size_t(0), size_t(3), Bytes.size() / 2, Bytes.size() - 1})
+    EXPECT_FALSE(
+        P::decodeRecord(Bytes.substr(0, Cut), P::kCacheEntryMagic, &Sections,
+                        &Err))
+        << "truncation to " << Cut << " accepted";
+  EXPECT_FALSE(P::decodeRecord(Bytes + "x", P::kCacheEntryMagic, &Sections,
+                               &Err))
+      << "trailing garbage accepted";
+  for (size_t I = 0; I < Bytes.size(); I += 5) {
+    std::string Flipped = Bytes;
+    Flipped[I] = char(Flipped[I] ^ 0x20);
+    EXPECT_FALSE(
+        P::decodeRecord(Flipped, P::kCacheEntryMagic, &Sections, &Err))
+        << "bit flip at byte " << I << " accepted";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ResultCache persistence: restart, eviction, quarantine, degradation
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, PersistentCacheSurvivesRestartByteIdentically) {
+  std::string Dir = freshDir();
+  {
+    service::ResultCache A(16, Dir);
+    A.insert("k1", "payload-one");
+    A.insert("k2", std::string("binary\0payload", 14));
+    service::ResultCache::Stats S = A.stats();
+    EXPECT_EQ(S.Persisted, 2u);
+    EXPECT_EQ(S.PersistErrors, 0u);
+    EXPECT_EQ(countFiles(Dir, ".entry"), 2u);
+  }
+  // A "restarted daemon": a fresh cache on the same directory serves the
+  // same bytes without re-simulating.
+  service::ResultCache B(16, Dir);
+  service::ResultCache::Stats S = B.stats();
+  EXPECT_EQ(S.Reloaded, 2u);
+  EXPECT_EQ(S.Quarantined, 0u);
+  EXPECT_EQ(S.Size, 2u);
+  EXPECT_EQ(B.lookup("k1").value_or(""), "payload-one");
+  EXPECT_EQ(B.lookup("k2").value_or(""), std::string("binary\0payload", 14));
+}
+
+TEST(ServiceTest, EvictedEntriesDoNotResurrectAcrossRestart) {
+  std::string Dir = freshDir();
+  {
+    service::ResultCache A(2, Dir);
+    A.insert("a", "A");
+    A.insert("b", "B");
+    A.insert("c", "C"); // evicts a, the LRU entry
+    EXPECT_EQ(A.stats().Evictions, 1u);
+    EXPECT_EQ(countFiles(Dir, ".entry"), 2u)
+        << "eviction must unlink the entry file";
+  }
+  {
+    service::ResultCache B(2, Dir);
+    EXPECT_EQ(B.stats().Reloaded, 2u);
+    EXPECT_FALSE(B.lookup("a").has_value())
+        << "an evicted entry resurrected after restart";
+    EXPECT_EQ(B.lookup("b").value_or(""), "B");
+    EXPECT_EQ(B.lookup("c").value_or(""), "C");
+  }
+  // Restarting under a smaller --cache enforces the new capacity against
+  // the on-disk set: oldest entries are evicted (and unlinked) at reload.
+  {
+    service::ResultCache C(1, Dir);
+    service::ResultCache::Stats S = C.stats();
+    EXPECT_EQ(S.Size, 1u);
+    EXPECT_GE(S.Evictions, 1u);
+    EXPECT_EQ(countFiles(Dir, ".entry"), 1u);
+    EXPECT_EQ(C.lookup("c").value_or(""), "C")
+        << "the newest entry must be the survivor";
+  }
+}
+
+TEST(ServiceTest, TornWriteIsDetectedAndQuarantined) {
+  FaultGuard Guard;
+  std::string Dir = freshDir();
+  {
+    service::ResultCache A(8, Dir);
+    service::SvcFaultPlan P;
+    P.Kind = service::SvcFaultKind::TornWrite;
+    service::armSvcFault(P);
+    A.insert("k", "payload");
+    EXPECT_FALSE(service::armedSvcFault().has_value()) << "fault never fired";
+    service::ResultCache::Stats S = A.stats();
+    EXPECT_EQ(S.PersistErrors, 1u);
+    EXPECT_EQ(S.Persisted, 0u);
+    EXPECT_EQ(A.lookup("k").value_or(""), "payload")
+        << "a failed persist must not lose the in-memory entry";
+  }
+  service::ResultCache B(8, Dir);
+  service::ResultCache::Stats S = B.stats();
+  EXPECT_EQ(S.Quarantined, 1u) << "the half-written file must be quarantined";
+  EXPECT_EQ(S.Reloaded, 0u);
+  EXPECT_FALSE(B.lookup("k").has_value()) << "torn entry served";
+  EXPECT_EQ(countFiles(Dir, ".quarantined"), 1u);
+}
+
+TEST(ServiceTest, CorruptEntryIsCaughtByCrcOnReload) {
+  FaultGuard Guard;
+  std::string Dir = freshDir();
+  {
+    service::ResultCache A(8, Dir);
+    service::SvcFaultPlan P;
+    P.Kind = service::SvcFaultKind::CorruptEntry;
+    service::armSvcFault(P);
+    A.insert("k", "payload");
+    // The corruption is silent: the write itself reported success.
+    EXPECT_EQ(A.stats().Persisted, 1u);
+  }
+  service::ResultCache B(8, Dir);
+  EXPECT_EQ(B.stats().Quarantined, 1u)
+      << "a bit-flipped entry must fail its CRC";
+  EXPECT_FALSE(B.lookup("k").has_value());
+}
+
+TEST(ServiceTest, ShortReadQuarantinesInsteadOfTrusting) {
+  FaultGuard Guard;
+  std::string Dir = freshDir();
+  {
+    service::ResultCache A(8, Dir);
+    A.insert("k", "payload");
+    EXPECT_EQ(A.stats().Persisted, 1u);
+  }
+  service::SvcFaultPlan P;
+  P.Kind = service::SvcFaultKind::ShortRead;
+  service::armSvcFault(P);
+  service::ResultCache B(8, Dir);
+  EXPECT_EQ(B.stats().Quarantined, 1u)
+      << "a partial read must never be decoded as a whole entry";
+  EXPECT_FALSE(B.lookup("k").has_value());
+}
+
+TEST(ServiceTest, EnospcDegradesToMemoryOnlyService) {
+  FaultGuard Guard;
+  std::string Dir = freshDir();
+  {
+    service::ResultCache A(8, Dir);
+    service::SvcFaultPlan P;
+    P.Kind = service::SvcFaultKind::Enospc;
+    service::armSvcFault(P);
+    A.insert("k", "payload");
+    service::ResultCache::Stats S = A.stats();
+    EXPECT_EQ(S.PersistErrors, 1u);
+    EXPECT_EQ(S.Persisted, 0u);
+    EXPECT_EQ(A.lookup("k").value_or(""), "payload")
+        << "a full disk must degrade, not fail, the service";
+    EXPECT_EQ(countFiles(Dir, ".entry"), 0u);
+  }
+  service::ResultCache B(8, Dir);
+  EXPECT_EQ(B.stats().Reloaded, 0u);
+  EXPECT_FALSE(B.lookup("k").has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpointed jobs: orphan recovery after a crash
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, OrphanedJobCheckpointResumesAndWarmsTheCache) {
+  namespace P = service::persist;
+  std::string Dir = freshDir();
+  sim::SimRequest Req = smallRequest();
+  const std::string ColdPayload = sim::runSim(Req).toJson();
+
+  // Manufacture what a kill -9 mid-run leaves behind: run the same
+  // request with checkpointing and keep the last snapshot blob.
+  std::string Blob;
+  {
+    verify::DiffConfig Cfg = Req.Cfg;
+    Cfg.CkptEvery = 10;
+    Cfg.CkptSave = [&](uint64_t, const std::string &B) { Blob = B; };
+    verify::DiffResult R = verify::runDiff(Req.Asm, Cfg);
+    EXPECT_EQ(R.toJson(), ColdPayload)
+        << "checkpointing must not change results";
+  }
+  ASSERT_FALSE(Blob.empty());
+  std::string JobsDir = Dir + "/jobs";
+  std::string Err;
+  ASSERT_TRUE(P::ensureDir(JobsDir, &Err)) << Err;
+  std::string JobPath =
+      JobsDir + "/" + P::hexDigest(P::fnv1a64(Req.cacheKey())) + ".job";
+  ASSERT_TRUE(P::writeFileAtomic(
+      JobPath, P::encodeRecord(P::kJobMagic, {Req.toJson(), Blob}), &Err))
+      << Err;
+
+  service::SimService S({2, 16, Dir, 10});
+  EXPECT_EQ(S.recoverOrphans(), 1u);
+  EXPECT_EQ(countFiles(JobsDir, ".job"), 0u) << "finished job not retired";
+
+  // The resumed result is already cached: a client resubmitting the
+  // request hits and gets the cold run's exact bytes.
+  Sink A;
+  uint64_t Client = S.openClient(A.deliver());
+  S.handleLine(Client, service::encodeSimRequest(1, Req));
+  S.drain();
+  std::vector<std::string> Got = A.lines();
+  ASSERT_EQ(Got.size(), 1u);
+  EXPECT_NE(Got[0].find("\"cached\":true"), std::string::npos) << Got[0];
+  EXPECT_NE(Got[0].find(ColdPayload), std::string::npos)
+      << "resumed payload differs from the cold run";
+  S.closeClient(Client);
+}
+
+TEST(ServiceTest, DamagedOrphanJobsRerunColdOrAreQuarantined) {
+  namespace P = service::persist;
+  std::string Dir = freshDir();
+  sim::SimRequest Req = smallRequest();
+  const std::string ColdPayload = sim::runSim(Req).toJson();
+  std::string JobsDir = Dir + "/jobs";
+  std::string Err;
+  ASSERT_TRUE(P::ensureDir(JobsDir, &Err)) << Err;
+
+  // A well-formed job record whose snapshot blob is garbage: restore is
+  // rejected and the job reruns cold — correctness over saved cycles.
+  std::string JobPath =
+      JobsDir + "/" + P::hexDigest(P::fnv1a64(Req.cacheKey())) + ".job";
+  ASSERT_TRUE(P::writeFileAtomic(
+      JobPath, P::encodeRecord(P::kJobMagic, {Req.toJson(), "not a snapshot"}),
+      &Err))
+      << Err;
+  // A torn job file (no valid record at all): quarantined, not recovered.
+  ASSERT_TRUE(P::writeFileAtomic(JobsDir + "/0123456789abcdef.job",
+                                 "half a record", &Err))
+      << Err;
+
+  service::SimService S({2, 16, Dir, 10});
+  EXPECT_EQ(S.recoverOrphans(), 1u) << "only the decodable job is recovered";
+  EXPECT_EQ(countFiles(JobsDir, ".job"), 0u);
+  EXPECT_EQ(countFiles(JobsDir, ".quarantined"), 1u);
+
+  Sink A;
+  uint64_t Client = S.openClient(A.deliver());
+  S.handleLine(Client, service::encodeSimRequest(1, Req));
+  S.drain();
+  std::vector<std::string> Got = A.lines();
+  ASSERT_EQ(Got.size(), 1u);
+  EXPECT_NE(Got[0].find("\"cached\":true"), std::string::npos) << Got[0];
+  EXPECT_NE(Got[0].find(ColdPayload), std::string::npos)
+      << "cold rerun of a damaged job produced different bytes";
+  S.closeClient(Client);
+}
+
+//===----------------------------------------------------------------------===//
+// Socket robustness: stale sockets, dropped connections, timeouts
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, ServerReclaimsStaleSocketsButNeverLiveOnes) {
+  service::SimServer::Options Opts;
+  Opts.SocketPath = ::testing::TempDir() + "pdlsvc-stale.sock";
+  Opts.Workers = 1;
+  Opts.CacheEntries = 4;
+  ASSERT_LT(Opts.SocketPath.size(), size_t(100)) << Opts.SocketPath;
+  std::string Err;
+
+  {
+    // A live daemon owns the path: a second daemon must fail to start
+    // instead of stealing the socket out from under it.
+    service::SimServer A(Opts);
+    ASSERT_TRUE(A.start(&Err)) << Err;
+    {
+      service::SimServer B(Opts);
+      EXPECT_FALSE(B.start(&Err));
+      EXPECT_NE(Err.find("already listening"), std::string::npos) << Err;
+    }
+    // The loser's shutdown must not have unlinked the winner's socket.
+    EXPECT_EQ(::access(Opts.SocketPath.c_str(), F_OK), 0);
+    service::SimClient Probe;
+    EXPECT_TRUE(Probe.connect(Opts.SocketPath, &Err)) << Err;
+    Probe.close();
+    A.requestStop();
+    A.waitAndDrain();
+  }
+
+  // A stale socket file from a crashed daemon: bind it, close the fd
+  // without listening — connects are refused, exactly like a dead owner.
+  // start() must reclaim the path.
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  ASSERT_EQ(::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)), 0);
+  ::close(Fd);
+  ASSERT_EQ(::access(Opts.SocketPath.c_str(), F_OK), 0);
+
+  service::SimServer C(Opts);
+  EXPECT_TRUE(C.start(&Err)) << Err;
+  C.requestStop();
+  C.waitAndDrain();
+}
+
+TEST(ServiceTest, DroppedConnectionIsRecoveredByResubmit) {
+  FaultGuard Guard;
+  service::SimServer::Options Opts;
+  Opts.SocketPath = ::testing::TempDir() + "pdlsvc-drop.sock";
+  Opts.Workers = 2;
+  Opts.CacheEntries = 16;
+  service::SimServer Server(Opts);
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  service::SimClient Client;
+  Client.setTimeoutMs(60000);
+  service::SimClient::RetryPolicy P;
+  P.Attempts = 4;
+  P.InitialDelayMs = 10;
+  P.MaxDelayMs = 100;
+  ASSERT_TRUE(Client.connectWithRetry(Opts.SocketPath, P, &Err)) << Err;
+
+  // The server severs the connection just before delivering the first
+  // response; the job itself completed and warmed the cache. The client
+  // must reconnect, resubmit the digest-identical request, and get the
+  // replayed bytes.
+  service::SvcFaultPlan FP;
+  FP.Kind = service::SvcFaultKind::DropConnection;
+  service::armSvcFault(FP);
+  std::optional<obs::Json> R = Client.callWithRetry(
+      service::encodeSimRequest(1, smallRequest()), P, &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  const obs::Json *Ok = R->get("ok");
+  EXPECT_TRUE(Ok && Ok->asBool());
+  const obs::Json *C = R->get("cached");
+  EXPECT_TRUE(C && C->asBool())
+      << "the dropped attempt's completed job must replay from cache";
+
+  Client.close();
+  Server.requestStop();
+  Server.waitAndDrain();
+}
+
+TEST(ServiceTest, ClientClassifiesRefusedAndTimedOut) {
+  std::string None = ::testing::TempDir() + "pdlsvc-none.sock";
+  ::unlink(None.c_str());
+  service::SimClient C;
+  C.setTimeoutMs(200);
+  service::SimClient::RetryPolicy P;
+  P.Attempts = 2;
+  P.InitialDelayMs = 5;
+  P.MaxDelayMs = 10;
+  std::string Err;
+  EXPECT_FALSE(C.connectWithRetry(None, P, &Err));
+  EXPECT_EQ(C.status(), service::SimClient::Transport::Refused);
+  EXPECT_NE(Err.find("attempts"), std::string::npos) << Err;
+
+  // A listener that accepts but never answers: recv must time out with
+  // the Timeout classification, not hang the client forever.
+  std::string Mute = ::testing::TempDir() + "pdlsvc-mute.sock";
+  ::unlink(Mute.c_str());
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Mute.c_str(), Mute.size() + 1);
+  int L = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(L, 0);
+  ASSERT_EQ(::bind(L, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)), 0);
+  ASSERT_EQ(::listen(L, 4), 0);
+
+  ASSERT_TRUE(C.connect(Mute, &Err)) << Err;
+  EXPECT_TRUE(C.sendLine("{\"id\":1,\"op\":\"ping\"}"));
+  EXPECT_FALSE(C.recvLine().has_value());
+  EXPECT_EQ(C.status(), service::SimClient::Transport::Timeout);
+  C.close();
+  ::close(L);
+  ::unlink(Mute.c_str());
 }
 
 } // namespace

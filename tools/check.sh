@@ -94,6 +94,77 @@ wait "$SVC_PID"
 trap - EXIT
 [ ! -e "$SVC_SOCK" ] || { echo "pdlsimd left its socket behind"; exit 1; }
 
+# Crash-recovery smoke: a daemon with a state directory is killed with
+# SIGKILL after serving a cold batch; a restarted daemon on the same state
+# directory must answer the identical batch entirely from the reloaded
+# persistent cache, byte-identical modulo the cached flag. Then the
+# deterministic transport drill: a daemon armed with PDL_SVC_FAULT severs
+# one connection mid-batch and the client must reconnect, resubmit, and
+# still produce byte-identical rows. Finally the refused-connect class
+# must exit 4 with a structured transport row.
+CR_SOCK="$BUILD_DIR/pdlsimd-crash.sock"
+CR_STATE="$BUILD_DIR/pdlsimd-crash-state"
+rm -rf "$CR_SOCK" "$CR_STATE"
+"$BUILD_DIR"/tools/pdlsimd --socket="$CR_SOCK" --workers="$JOBS" \
+    --cache=256 --state-dir="$CR_STATE" --checkpoint-every=100 \
+    2> "$BUILD_DIR"/pdlsimd-crash.log &
+CR_PID=$!
+trap 'kill -9 "$CR_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do [ -S "$CR_SOCK" ] && break; sleep 0.1; done
+"$BUILD_DIR"/tools/pdlsim --socket="$CR_SOCK" --seed=1 --count=10 --json \
+    --retries=8 --retry-delay-ms=100 > "$BUILD_DIR"/crash-cold.jsonl
+kill -9 "$CR_PID"
+wait "$CR_PID" 2>/dev/null || true
+"$BUILD_DIR"/tools/pdlsimd --socket="$CR_SOCK" --workers="$JOBS" \
+    --cache=256 --state-dir="$CR_STATE" --checkpoint-every=100 \
+    2>> "$BUILD_DIR"/pdlsimd-crash.log &
+CR_PID=$!
+trap 'kill "$CR_PID" 2>/dev/null || true' EXIT
+# The stale socket file from the killed daemon still exists until the
+# restarted one reclaims it, so -S alone can pass early; the client's
+# refused-connect backoff bridges the gap.
+for _ in $(seq 1 50); do [ -S "$CR_SOCK" ] && break; sleep 0.1; done
+"$BUILD_DIR"/tools/pdlsim --socket="$CR_SOCK" --seed=1 --count=10 --json \
+    --retries=8 --retry-delay-ms=100 --min-cached=1.0 \
+    > "$BUILD_DIR"/crash-warm.jsonl
+python3 tools/check_bench_json.py --service "$BUILD_DIR"/crash-warm.jsonl
+cmp <(sed 's/"cached":true/"cached":false/' "$BUILD_DIR"/crash-warm.jsonl) \
+    <(sed 's/"cached":true/"cached":false/' "$BUILD_DIR"/crash-cold.jsonl)
+kill -TERM "$CR_PID"
+wait "$CR_PID"
+trap - EXIT
+rm -rf "$CR_STATE"
+
+DROP_SOCK="$BUILD_DIR/pdlsimd-drop.sock"
+rm -f "$DROP_SOCK"
+PDL_SVC_FAULT=drop-connection:nth=5 "$BUILD_DIR"/tools/pdlsimd \
+    --socket="$DROP_SOCK" --workers="$JOBS" --cache=256 \
+    2> "$BUILD_DIR"/pdlsimd-drop.log &
+DROP_PID=$!
+trap 'kill "$DROP_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do [ -S "$DROP_SOCK" ] && break; sleep 0.1; done
+"$BUILD_DIR"/tools/pdlsim --socket="$DROP_SOCK" --seed=1 --count=10 --json \
+    --retries=5 --retry-delay-ms=50 > "$BUILD_DIR"/crash-drop.jsonl \
+    2> "$BUILD_DIR"/crash-drop.log
+grep -q "reconnecting to resubmit" "$BUILD_DIR"/crash-drop.log || {
+    echo "check.sh: drop-connection fault did not trigger a resubmit"
+    exit 1; }
+cmp <(sed 's/"cached":true/"cached":false/' "$BUILD_DIR"/crash-drop.jsonl) \
+    <(sed 's/"cached":true/"cached":false/' "$BUILD_DIR"/crash-cold.jsonl)
+kill -TERM "$DROP_PID"
+wait "$DROP_PID"
+trap - EXIT
+
+RC=0
+"$BUILD_DIR"/tools/pdlsim --socket="$BUILD_DIR/no-such.sock" --ping \
+    --retries=2 --retry-delay-ms=10 --json \
+    > "$BUILD_DIR"/crash-refused.jsonl 2>/dev/null || RC=$?
+[ "$RC" -eq 4 ] || {
+    echo "check.sh: refused connect exited $RC, want 4"; exit 1; }
+python3 tools/check_bench_json.py --service "$BUILD_DIR"/crash-refused.jsonl
+grep -q '"transport":"refused"' "$BUILD_DIR"/crash-refused.jsonl || {
+    echo "check.sh: refused row missing transport classification"; exit 1; }
+
 # Service-path evaluator equivalence: a fresh daemon in --eval=tree mode
 # (the PDL_EVAL_TREE escape hatch) must serve cold responses byte-identical
 # to the bytecode daemon's — same contract as the pdlfuzz cmp above, now

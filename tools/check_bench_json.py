@@ -7,7 +7,9 @@ report's cycle count (i.e. the stall matrix rows sum to cycles - fires).
 With --service the input is pdlsim/pdlsimd response JSONL (one response
 object per line): sim responses are checked against the result schema
 (including the embedded attribution report), stats responses against the
-cache-stats schema, and the summary reports the cached/cold split.
+cache-stats schema (including the crash-safety persistence counters),
+client-synthesized {"ok":false,"transport":...} rows against the
+transport-failure schema, and the summary reports the cached/cold split.
 
 With --certify the input is the `pdlc --certify --stats=json` document:
 the compile-time SMT counters plus the translation-validation summary
@@ -23,6 +25,9 @@ STALL_CAUSES = ["idle", "lock", "spec", "response", "backpressure", "kill"]
 OUTCOMES = ["running", "halted", "drained", "deadlocked", "timed_out"]
 
 TV_STATUSES = ["certified", "fuzz-trusted", "rejected"]
+
+# SimClient transport states a pdlsim --json error row may carry.
+TRANSPORTS = ["ok", "refused", "timeout", "closed", "error"]
 
 
 def fail(msg):
@@ -174,12 +179,25 @@ def check_cache_stats(stats, where):
     expect(isinstance(stats, dict), f"{where}: stats must be an object")
     for key in ("workers", "inflight"):
         expect(uint(stats.get(key)), f"{where}: stats.{key}")
+    if "checkpoint_every" in stats:
+        expect(uint(stats["checkpoint_every"]),
+               f"{where}: stats.checkpoint_every")
     cache = stats.get("cache")
     expect(isinstance(cache, dict), f"{where}: stats.cache")
     for key in ("hits", "misses", "evictions", "size", "capacity"):
         expect(uint(cache.get(key)), f"{where}: cache.{key}")
     expect(cache["size"] <= cache["capacity"] or cache["capacity"] == 0,
            f"{where}: cache size {cache['size']} over capacity")
+    # Persistence counters (crash-safe daemon). Optional for older logs;
+    # a non-persistent cache must report them as zero.
+    if "persistent" in cache:
+        expect(isinstance(cache["persistent"], bool),
+               f"{where}: cache.persistent")
+        for key in ("persisted", "reloaded", "quarantined", "persist_errors"):
+            expect(uint(cache.get(key)), f"{where}: cache.{key}")
+        if not cache["persistent"]:
+            expect(cache["persisted"] == 0 and cache["reloaded"] == 0,
+                   f"{where}: memory-only cache reports persisted entries")
     client = stats.get("client")
     expect(isinstance(client, dict), f"{where}: stats.client")
     for key in ("id", "submitted", "completed", "hits", "misses", "errors",
@@ -189,7 +207,7 @@ def check_cache_stats(stats, where):
 
 def check_service_lines(path):
     """pdlsim/pdlsimd response JSONL: every line one well-formed response."""
-    cached = cold = stats_rows = control = errors = 0
+    cached = cold = stats_rows = control = errors = transport_rows = 0
     with open(path) as f:
         lines = [ln for ln in f if ln.strip()]
     expect(lines, "service log has no response lines")
@@ -200,6 +218,19 @@ def check_service_lines(path):
         except json.JSONDecodeError as e:
             fail(f"{where}: not JSON: {e}")
         expect(isinstance(resp, dict), f"{where}: response must be an object")
+        if "transport" in resp:
+            # Client-synthesized terminal transport failure (pdlsim --json):
+            # not a daemon response, so it carries no request id.
+            expect(resp.get("ok") is False, f"{where}: transport row ok")
+            expect(resp["transport"] in TRANSPORTS,
+                   f"{where}: transport '{resp['transport']}' "
+                   f"not in {TRANSPORTS}")
+            expect(isinstance(resp.get("error"), str) and resp["error"],
+                   f"{where}: transport rows carry a reason")
+            expect(isinstance(resp.get("socket"), str) and resp["socket"],
+                   f"{where}: transport rows name the socket")
+            transport_rows += 1
+            continue
         expect(uint(resp.get("id")), f"{where}: id")
         expect(isinstance(resp.get("ok"), bool), f"{where}: ok")
         if not resp["ok"]:
@@ -223,7 +254,8 @@ def check_service_lines(path):
             control += 1
     print(f"check_bench_json: OK: {len(lines)} service responses "
           f"({cold} cold, {cached} cached, {stats_rows} stats, "
-          f"{control} control, {errors} errors)")
+          f"{control} control, {errors} errors, "
+          f"{transport_rows} transport failures)")
     return 0
 
 

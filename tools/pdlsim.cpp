@@ -20,10 +20,19 @@
 //   control ops:
 //     pdlsim --socket=PATH --ping | --stats | --drain | --shutdown
 //
+// Robustness: --timeout-ms bounds every connect/recv; --retries with
+// --retry-delay-ms retries refused connects under bounded exponential
+// backoff, and a connection dropped mid-batch is reconnected and the
+// outstanding requests resubmitted (idempotent by request digest — a job
+// the daemon already finished replays byte-identically from its cache).
+//
 // With --json every raw response line goes to stdout (one JSON object per
-// line, the bench-tooling service schema); the summary always goes to
-// stderr. Exit status: 0 all runs agreed, 1 on any divergence/violation or
-// an unmet --min-cached, 2 usage errors, 3 transport errors.
+// line, the bench-tooling service schema); a terminal transport failure
+// emits a structured {"ok":false,"transport":...} row there too. The
+// summary always goes to stderr. Exit status: 0 all runs agreed, 1 on any
+// divergence/violation or an unmet --min-cached, 2 usage errors, 3
+// transport errors (connection closed / protocol), 4 connection refused,
+// 5 timed out.
 //
 //===----------------------------------------------------------------------===//
 
@@ -50,6 +59,7 @@ static void usage() {
       "  single:  --asm=FILE [--core=K] [--profile=P] [--cycles=N]\n"
       "           [--fault=SPEC] [--json]\n"
       "  control: --ping | --stats | --drain | --shutdown\n"
+      "  robustness: [--timeout-ms=N] [--retries=N] [--retry-delay-ms=N]\n"
       "  cores:    5stage nobypass 3stage bht rv32im rename\n"
       "  profiles: always-hit l1-4k l1-tiny\n");
 }
@@ -75,6 +85,7 @@ int main(int argc, char **argv) {
   sim::FuzzOptions O;
   O.Count = 20;
   uint64_t Cycles = 50000;
+  uint64_t TimeoutMs = 0, Retries = 3, RetryDelayMs = 50;
   double MinCached = -1.0;
   bool Json = false;
   std::optional<service::Op> Control;
@@ -99,7 +110,9 @@ int main(int argc, char **argv) {
         Num("--cycles=", Cycles) || Str("--socket=", SocketPath) ||
         Str("--cores=", CoreList) || Str("--profiles=", ProfileList) ||
         Str("--asm=", AsmFile) || Str("--core=", CoreName) ||
-        Str("--profile=", ProfileName) || Str("--fault=", FaultSpec)) {
+        Str("--profile=", ProfileName) || Str("--fault=", FaultSpec) ||
+        Num("--timeout-ms=", TimeoutMs) || Num("--retries=", Retries) ||
+        Num("--retry-delay-ms=", RetryDelayMs)) {
     } else if (A.rfind("--min-cached=", 0) == 0) {
       MinCached = std::strtod(A.c_str() + 13, nullptr);
     } else if (A == "--json") {
@@ -138,20 +151,46 @@ int main(int argc, char **argv) {
   }
 
   service::SimClient Client;
+  Client.setTimeoutMs(unsigned(TimeoutMs));
+  service::SimClient::RetryPolicy Policy;
+  Policy.Attempts = unsigned(Retries ? Retries : 1);
+  Policy.InitialDelayMs = unsigned(RetryDelayMs);
+
+  // Terminal transport failure: one summary line on stderr, a structured
+  // error row on stdout under --json (so log parsers see the failure in
+  // band), and a distinct exit code per failure class.
+  auto TransportExit = [&](const std::string &Why) {
+    service::SimClient::Transport T = Client.status();
+    std::fprintf(stderr, "pdlsim: %s\n", Why.c_str());
+    if (Json) {
+      obs::Json Row = obs::Json::object();
+      Row.set("ok", obs::Json(false));
+      Row.set("error", obs::Json(Why));
+      Row.set("transport",
+              obs::Json(std::string(service::SimClient::transportName(T))));
+      Row.set("socket", obs::Json(SocketPath));
+      std::printf("%s\n", Row.dump().c_str());
+    }
+    switch (T) {
+    case service::SimClient::Transport::Refused:
+      return 4;
+    case service::SimClient::Transport::Timeout:
+      return 5;
+    default:
+      return 3;
+    }
+  };
+
   std::string Err;
-  if (!Client.connect(SocketPath, &Err)) {
-    std::fprintf(stderr, "pdlsim: %s\n", Err.c_str());
-    return 3;
-  }
+  if (!Client.connectWithRetry(SocketPath, Policy, &Err))
+    return TransportExit(Err);
 
   // Control ops are a single round trip.
   if (Control) {
     std::optional<obs::Json> Resp =
         Client.call(service::encodeControlRequest(1, *Control), &Err);
-    if (!Resp) {
-      std::fprintf(stderr, "pdlsim: %s\n", Err.c_str());
-      return 3;
-    }
+    if (!Resp)
+      return TransportExit(Err);
     std::printf("%s\n", Resp->dump().c_str());
     const obs::Json *Ok = Resp->get("ok");
     return (Ok && Ok->asBool()) ? 0 : 1;
@@ -211,27 +250,50 @@ int main(int argc, char **argv) {
   }
 
   // Pipeline everything, then read responses — the daemon guarantees
-  // per-client submission order, so response I matches request I.
-  for (size_t I = 0; I < Reqs.size(); ++I)
-    if (!Client.sendLine(service::encodeSimRequest(uint64_t(I + 1), Reqs[I]))) {
-      std::fprintf(stderr, "pdlsim: send failed after %zu request(s)\n", I);
-      return 3;
+  // per-client submission order, so response I matches request I. When
+  // the connection drops (or times out) mid-batch, reconnect and
+  // resubmit the still-unanswered suffix: requests are idempotent by
+  // digest, so a job the dead connection already completed is replayed
+  // from the daemon's cache rather than re-simulated.
+  uint64_t Cached = 0, Failures = 0, ResponseErrors = 0, Resubmitted = 0;
+  size_t Next = 0; // index of the next response we are owed
+  uint64_t RetryBudget = Retries;
+  bool NeedSend = true;
+  while (Next < Reqs.size()) {
+    std::optional<std::string> Line;
+    if (NeedSend) {
+      size_t I = Next;
+      for (; I < Reqs.size(); ++I)
+        if (!Client.sendLine(
+                service::encodeSimRequest(uint64_t(I + 1), Reqs[I])))
+          break;
+      NeedSend = I < Reqs.size(); // send failure: fall into recovery below
     }
-
-  uint64_t Cached = 0, Failures = 0, TransportErrors = 0;
-  for (size_t I = 0; I < Reqs.size(); ++I) {
-    std::optional<std::string> Line = Client.recvLine();
+    if (!NeedSend)
+      Line = Client.recvLine();
     if (!Line) {
-      std::fprintf(stderr, "pdlsim: connection closed after %zu response(s)\n",
-                   I);
-      return 3;
+      if (!RetryBudget--)
+        return TransportExit("connection lost after " + std::to_string(Next) +
+                             " response(s), retries exhausted");
+      std::fprintf(stderr,
+                   "pdlsim: connection %s after %zu response(s); "
+                   "reconnecting to resubmit %zu outstanding request(s)\n",
+                   service::SimClient::transportName(Client.status()),
+                   Next, Reqs.size() - Next);
+      Client.close();
+      if (!Client.connectWithRetry(SocketPath, Policy, &Err))
+        return TransportExit(Err);
+      Resubmitted += Reqs.size() - Next;
+      NeedSend = true;
+      continue;
     }
+    ++Next;
     if (Json)
       std::printf("%s\n", Line->c_str());
     std::optional<obs::Json> Resp = obs::Json::parse(*Line);
     const obs::Json *Ok = Resp ? Resp->get("ok") : nullptr;
     if (!Resp || !Ok || !Ok->asBool()) {
-      ++TransportErrors;
+      ++ResponseErrors;
       continue;
     }
     const obs::Json *C = Resp->get("cached");
@@ -247,11 +309,12 @@ int main(int argc, char **argv) {
   double Frac = Reqs.empty() ? 0.0 : double(Cached) / double(Reqs.size());
   std::fprintf(stderr,
                "pdlsim: %zu response(s), %llu cached (%.0f%%), "
-               "%llu failure(s), %llu error(s)\n",
+               "%llu failure(s), %llu error(s), %llu resubmitted\n",
                Reqs.size(), (unsigned long long)Cached, Frac * 100.0,
                (unsigned long long)Failures,
-               (unsigned long long)TransportErrors);
-  if (TransportErrors)
+               (unsigned long long)ResponseErrors,
+               (unsigned long long)Resubmitted);
+  if (ResponseErrors)
     return 3;
   if (MinCached >= 0.0 && Frac < MinCached) {
     std::fprintf(stderr, "pdlsim: cached fraction %.2f below --min-cached=%.2f\n",

@@ -13,6 +13,17 @@
 // with byte-identical result payloads.
 //
 //   pdlsimd --socket=PATH [--workers=N] [--cache=N]
+//           [--state-dir=DIR] [--checkpoint-every=N]
+//
+// Crash safety (docs/service.md, "Crash recovery & persistence"): with
+// --state-dir the result cache persists across restarts and, with
+// --checkpoint-every, in-flight jobs snapshot their full System state
+// every N cycles — a killed daemon restarted on the same state dir
+// resumes stranded jobs from their last checkpoint before accepting new
+// work. The PDL_SVC_FAULT environment variable arms one injected
+// storage/transport fault (torn-write, short-read, enospc,
+// corrupt-entry, drop-connection; optionally :nth=N) for recovery
+// drills.
 //
 // Shutdown is graceful on SIGTERM/SIGINT or a client's shutdown op: stop
 // accepting, finish in-flight jobs, deliver every queued response, unlink
@@ -22,6 +33,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/Server.h"
+#include "service/SvcFault.h"
 
 #include <csignal>
 #include <cstdio>
@@ -43,11 +55,19 @@ static void onSignal(int) {
 static void usage() {
   std::fprintf(stderr,
                "usage: pdlsimd --socket=PATH [--workers=N] [--cache=N]\n"
+               "               [--state-dir=DIR] [--checkpoint-every=N]\n"
                "               [--eval=MODE]\n"
                "  --socket=PATH   Unix-domain socket to listen on (required)\n"
                "  --workers=N     standing worker threads (default 4)\n"
                "  --cache=N       result-cache capacity in entries, 0 "
                "disables (default 256)\n"
+               "  --state-dir=DIR persist the result cache and job\n"
+               "                  checkpoints under DIR; a restart on the\n"
+               "                  same DIR reloads the cache and resumes\n"
+               "                  stranded jobs\n"
+               "  --checkpoint-every=N\n"
+               "                  snapshot in-flight jobs every N cycles\n"
+               "                  (0 disables; needs --state-dir)\n"
                "  --eval=MODE     expression evaluation for every served\n"
                "                  run: 'bytecode' (default) or 'tree' (the\n"
                "                  PDL_EVAL_TREE escape hatch; results must\n"
@@ -65,13 +85,17 @@ int main(int argc, char **argv) {
       V = std::strtoull(A.c_str() + N, nullptr, 0);
       return true;
     };
-    uint64_t Workers = 0, CacheEntries = 0;
+    uint64_t Workers = 0, CacheEntries = 0, CkptEvery = 0;
     if (A.rfind("--socket=", 0) == 0) {
       Opts.SocketPath = A.substr(9);
     } else if (Num("--workers=", Workers)) {
       Opts.Workers = Workers ? unsigned(Workers) : 1u;
     } else if (Num("--cache=", CacheEntries)) {
       Opts.CacheEntries = size_t(CacheEntries);
+    } else if (A.rfind("--state-dir=", 0) == 0) {
+      Opts.StateDir = A.substr(12);
+    } else if (Num("--checkpoint-every=", CkptEvery)) {
+      Opts.CheckpointEvery = CkptEvery;
     } else if (A.rfind("--eval=", 0) == 0) {
       std::string Mode = A.substr(7);
       if (Mode == "tree") {
@@ -97,6 +121,20 @@ int main(int argc, char **argv) {
     usage();
     return 2;
   }
+  if (Opts.CheckpointEvery && Opts.StateDir.empty()) {
+    std::fprintf(stderr, "pdlsimd: --checkpoint-every needs --state-dir\n");
+    return 2;
+  }
+
+  std::string FaultErr;
+  if (std::optional<service::SvcFaultPlan> FP =
+          service::armSvcFaultFromEnv(&FaultErr)) {
+    std::fprintf(stderr, "pdlsimd: armed service fault %s\n",
+                 service::printSvcFaultPlan(*FP).c_str());
+  } else if (!FaultErr.empty()) {
+    std::fprintf(stderr, "pdlsimd: %s\n", FaultErr.c_str());
+    return 2;
+  }
 
   service::SimServer Server(Opts);
   std::string Err;
@@ -111,14 +149,27 @@ int main(int argc, char **argv) {
 
   std::fprintf(stderr, "pdlsimd: listening on %s (%u workers, cache %zu)\n",
                Opts.SocketPath.c_str(), Opts.Workers, Opts.CacheEntries);
+  if (!Opts.StateDir.empty())
+    std::fprintf(stderr,
+                 "pdlsimd: state dir %s (checkpoint every %llu cycles)\n",
+                 Opts.StateDir.c_str(),
+                 (unsigned long long)Opts.CheckpointEvery);
   Server.waitAndDrain();
 
   service::ResultCache::Stats S = Server.service().cacheStats();
   std::fprintf(stderr,
                "pdlsimd: drained; cache %llu hit(s) / %llu miss(es), "
-               "%llu eviction(s), %zu resident\n",
+               "%llu eviction(s), %llu resident\n",
                (unsigned long long)S.Hits, (unsigned long long)S.Misses,
-               (unsigned long long)S.Evictions, S.Size);
+               (unsigned long long)S.Evictions, (unsigned long long)S.Size);
+  if (!Opts.StateDir.empty())
+    std::fprintf(stderr,
+                 "pdlsimd: persistence: %llu persisted, %llu reloaded, "
+                 "%llu quarantined, %llu persist error(s)\n",
+                 (unsigned long long)S.Persisted,
+                 (unsigned long long)S.Reloaded,
+                 (unsigned long long)S.Quarantined,
+                 (unsigned long long)S.PersistErrors);
   GServer = nullptr;
   return 0;
 }
