@@ -18,6 +18,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "backend/Fuse.h"
 #include "cores/Core.h"
 #include "obs/Json.h"
 #include "riscv/Assembler.h"
@@ -27,6 +28,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -77,10 +79,14 @@ Measure runOnce(CoreKind Kind, const Workload &W) {
 double clampMs(double Ms) { return Ms > 1e-6 ? Ms : 1e-6; }
 
 obs::Json jsonRow(const std::string &Config, const std::string &Kernel,
-                  const Measure &M, uint64_t Jobs, double Speedup) {
+                  const Measure &M, uint64_t Jobs, double Speedup,
+                  const std::string &EvalMode, uint64_t FusedOps) {
   obs::Json Row = obs::Json::object();
   Row.set("config", Config);
   Row.set("kernel", Kernel);
+  Row.set("eval_mode", EvalMode);
+  Row.set("dispatch", backend::bc::dispatchModeName());
+  Row.set("fused_ops", FusedOps);
   Row.set("cpi", M.Instrs ? double(M.Cycles) / double(M.Instrs) : 0.0);
   Row.set("cycles", M.Cycles);
   Row.set("instrs", M.Instrs);
@@ -131,6 +137,12 @@ int main(int argc, char **argv) {
   bool JsonOut = false;
   uint64_t Jobs = 1, Repeat = 3;
   std::string KernelFilter, BaselinePath;
+  // The evaluator under test. Defaults to the ambient environment so a
+  // plain `PDL_EVAL_FUSED=1 bench_sim_throughput` also does the right
+  // thing; --eval overrides.
+  std::string EvalMode = std::getenv("PDL_EVAL_TREE") != nullptr ? "tree"
+                         : backend::bc::fusedModeRequested()     ? "fused"
+                                                                 : "bytecode";
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "--json")
@@ -143,13 +155,31 @@ int main(int argc, char **argv) {
       KernelFilter = A.substr(10);
     else if (A.rfind("--baseline=", 0) == 0)
       BaselinePath = A.substr(11);
+    else if (A.rfind("--eval=", 0) == 0)
+      EvalMode = A.substr(7);
     else {
       std::fprintf(stderr,
                    "usage: bench_sim_throughput [--json] [--jobs=N] "
                    "[--repeat=N] [--kernels=a,b,...] "
+                   "[--eval=bytecode|tree|fused] "
                    "[--baseline=BENCH_sim.json]\n");
       return 2;
     }
+  }
+  if (EvalMode == "tree") {
+    setenv("PDL_EVAL_TREE", "1", 1);
+  } else if (EvalMode == "fused") {
+    unsetenv("PDL_EVAL_TREE");
+    setenv("PDL_EVAL_FUSED", "1", 1);
+  } else if (EvalMode == "bytecode") {
+    unsetenv("PDL_EVAL_TREE");
+    unsetenv("PDL_EVAL_FUSED");
+  } else {
+    std::fprintf(stderr,
+                 "bench_sim_throughput: --eval wants 'bytecode', 'tree' or "
+                 "'fused', got '%s'\n",
+                 EvalMode.c_str());
+    return 2;
   }
   if (!Jobs)
     Jobs = 1;
@@ -179,6 +209,19 @@ int main(int argc, char **argv) {
                  KernelFilter.c_str());
     return 2;
   }
+
+  // Static fusion census per config: how many superinstructions the fused
+  // lowering of each core's module carries (0 when not running fused —
+  // the base bytecode never contains them by construction).
+  std::vector<uint64_t> FusedOps(NumConfigs, 0);
+  uint64_t FusedOpsTotal = 0;
+  if (EvalMode == "fused")
+    for (size_t CI = 0; CI != NumConfigs; ++CI) {
+      backend::bc::FuseStats S;
+      backend::bc::fuseModule(*sharedModuleIR(Configs[CI].Kind, false), &S);
+      FusedOps[CI] = S.fusedInsns();
+      FusedOpsTotal += S.fusedInsns();
+    }
 
   // Every (config, kernel, repeat) run is independent; fan all of them out
   // and keep the best (minimum wall) repeat per row.
@@ -250,8 +293,10 @@ int main(int argc, char **argv) {
     for (size_t CI = 0; CI != NumConfigs; ++CI)
       for (size_t KI = 0; KI != K; ++KI)
         Rows.push(jsonRow(Configs[CI].Name, Kernels[KI].Name,
-                          Best[CI * K + KI], Jobs, Speedups[CI * K + KI]));
-    Rows.push(jsonRow("batch", "matrix", Batch, Jobs, 0.0));
+                          Best[CI * K + KI], Jobs, Speedups[CI * K + KI],
+                          EvalMode, FusedOps[CI]));
+    Rows.push(jsonRow("batch", "matrix", Batch, Jobs, 0.0, EvalMode,
+                      FusedOpsTotal));
     Doc.set("rows", std::move(Rows));
     if (Compared)
       Doc.set("geomean_speedup_vs_baseline", Geomean);
@@ -259,8 +304,10 @@ int main(int argc, char **argv) {
     return Exit;
   }
 
-  std::printf("=== Host simulation throughput (best of %llu) ===\n",
-              (unsigned long long)Repeat);
+  std::printf("=== Host simulation throughput (best of %llu, eval=%s, "
+              "dispatch=%s) ===\n",
+              (unsigned long long)Repeat, EvalMode.c_str(),
+              backend::bc::dispatchModeName());
   std::printf("%-14s %-12s %12s %10s %14s%s\n", "core", "kernel", "cycles",
               "wall_ms", "cycles/sec", Compared ? "   speedup" : "");
   for (size_t CI = 0; CI != NumConfigs; ++CI)

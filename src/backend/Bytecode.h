@@ -72,8 +72,45 @@ enum class Op : uint8_t {
   Jump,    // goto Imm
   Ret,     // return frame[B]
   RetTrue, // return Bits(1, 1)   (guard epilogue)
-  RetFalse // return Bits(0, 1)
+  RetFalse, // return Bits(0, 1)
+
+  // --- Superinstructions (Fuse.h) -----------------------------------------
+  //
+  // Never emitted by the base compiler: bc::fuseProgram folds the exact
+  // unfused sequences documented per opcode, and only when the folded-away
+  // scratch destination is dead (never read at a later index; branches are
+  // forward-only, so liveness is a suffix scan) and no branch targets the
+  // interior of the window. The translation validator executes each
+  // superinstruction as precisely this expansion (src/tv/Validate.cpp,
+  // BcEval), so a fused program discharges the same obligations as its
+  // unfused original.
+
+  FusedCmpBr,   // expansion: cmp D,B,C ; BrFalse/BrTrue D,Imm   (D dead)
+                //   A = cmp sub-opcode (Eq..SLe) | polarity << 8
+                //   polarity 0: branch when cmp is false (BrFalse)
+                //   polarity 1: branch when cmp is true  (BrTrue)
+  FusedCmpRetBool, // expansion: cmp D,B,C ; BrFalse D,L ; RetTrue ; L: RetFalse
+                //   (guard epilogue; D dead). A = sub-opcode | polarity << 8;
+                //   polarity 0 returns cmp(B,C), polarity 1 (the BrTrue dual)
+                //   returns !cmp(B,C), both as Bits(·,1).
+  FusedRetBool, // expansion: BrFalse B,L ; RetTrue ; L: RetFalse
+                //   A = polarity: 0 returns toBool(B), 1 (BrTrue dual)
+                //   returns !toBool(B), both as Bits(·,1).
+  FusedSelect,  // expansion: BrFalse B,Le ; then ; Jump Ld ; Le: else ; Ld:
+                //   where each arm is one Copy/Const writing slot A.
+                //   C = then operand, Imm bits [15:0] = else operand,
+                //   Imm bit 16 = then arm is Const (operand = pool index),
+                //   Imm bit 17 = else arm is Const. A = toBool(B) ? then : else.
+  FusedBinK,    // expansion: Const K,Imm ; bin A,B,K   (or bin A,K,B)
+                //   A = dest, B = slot operand, C = bin sub-opcode |
+                //   const-on-left << 8, Imm = pool index of the constant.
+  FusedRetOp    // expansion: op D,... ; Ret D   (D dead; pure ops only,
+                //   never MemRead/Extern). A = sub-opcode, B/C/Imm = the
+                //   expanded op's B/C/Imm; returns the op's result directly.
 };
+
+/// One past the largest opcode — the size of threaded-dispatch tables.
+constexpr unsigned NumOpcodes = unsigned(Op::FusedRetOp) + 1;
 
 /// Sentinel for "no slot" (e.g. a pipe call with no result binding).
 constexpr uint16_t NoSlot = 0xffff;

@@ -21,135 +21,336 @@ using namespace pdl::backend::bc;
 //===----------------------------------------------------------------------===//
 // Interpreter loop
 //===----------------------------------------------------------------------===//
+//
+// Threaded dispatch: on GNU-compatible compilers each opcode handler ends
+// with its own indirect goto through a label table, so the branch predictor
+// sees one distinct dispatch site per opcode instead of a single shared
+// switch branch. PDL_NO_COMPUTED_GOTO (or a non-GNU compiler) selects the
+// portable switch loop with identical semantics; both paths are built from
+// the same handler bodies via the CASE/NEXT/JUMP_TO macros.
+
+#if defined(__GNUC__) && !defined(PDL_NO_COMPUTED_GOTO)
+#define PDL_BC_THREADED 1
+#endif
+
+namespace {
+
+/// Applies a two-operand pure opcode — the shared core of the plain binary
+/// handlers and the FusedBinK / FusedRetOp superinstructions. \p O must be
+/// a binary op (Add..SLe, LogAnd, LogOr, Concat).
+inline Bits applyBin(Op O, const Bits &B, const Bits &C) {
+  switch (O) {
+  case Op::Add:
+    return B.add(C);
+  case Op::Sub:
+    return B.sub(C);
+  case Op::Mul:
+    return B.mul(C);
+  case Op::UDiv:
+    return B.udiv(C);
+  case Op::SDiv:
+    return B.sdiv(C);
+  case Op::URem:
+    return B.urem(C);
+  case Op::SRem:
+    return B.srem(C);
+  case Op::And:
+    return B.and_(C);
+  case Op::Or:
+    return B.or_(C);
+  case Op::Xor:
+    return B.xor_(C);
+  case Op::Shl:
+    return B.shl(C);
+  case Op::LShr:
+    return B.lshr(C);
+  case Op::AShr:
+    return B.ashr(C);
+  case Op::Eq:
+    return B.eq(C);
+  case Op::Ne:
+    return B.ne(C);
+  case Op::ULt:
+    return B.ult(C);
+  case Op::ULe:
+    return B.ule(C);
+  case Op::SLt:
+    return B.slt(C);
+  case Op::SLe:
+    return B.sle(C);
+  case Op::LogAnd:
+    return Bits(B.toBool() && C.toBool() ? 1 : 0, 1);
+  case Op::LogOr:
+    return Bits(B.toBool() || C.toBool() ? 1 : 0, 1);
+  case Op::Concat:
+    return B.concat(C);
+  default:
+    assert(false && "applyBin: not a binary opcode");
+    return Bits(0, 1);
+  }
+}
+
+/// FusedRetOp's sub-opcode evaluator: any pure op the fusion pass accepts
+/// in an op→return tail (Fuse.cpp isRetFusable).
+inline Bits applyRetOp(const ExprProgram &P, const Insn &I, const Bits *F) {
+  const Op Sub = Op(I.A);
+  switch (Sub) {
+  case Op::Const:
+    return P.Pool[I.Imm];
+  case Op::Copy:
+    return F[I.B];
+  case Op::LogNot:
+    return Bits(F[I.B].isZero() ? 1 : 0, 1);
+  case Op::BitNot:
+    return F[I.B].not_();
+  case Op::Neg: {
+    const Bits &V = F[I.B];
+    return Bits(0, V.width()).sub(V);
+  }
+  case Op::Slice:
+    return F[I.B].slice(I.Imm >> 16, I.Imm & 0xffff);
+  case Op::ZExt:
+    return F[I.B].zextTo(I.C);
+  case Op::SExt:
+    return F[I.B].sextTo(I.C);
+  default:
+    return applyBin(Sub, F[I.B], F[I.C]);
+  }
+}
+
+} // namespace
 
 Bits bc::exec(const ExprProgram &P, Bits *F, Hooks &H) {
   const Insn *Base = P.Code.data();
   const Bits *Pool = P.Pool.data();
   const Insn *I = Base;
-  for (;;) {
-    switch (I->Opc) {
-    case Op::Const:
-      F[I->A] = Pool[I->Imm];
-      break;
-    case Op::Copy:
-      F[I->A] = F[I->B];
-      break;
-    case Op::Add:
-      F[I->A] = F[I->B].add(F[I->C]);
-      break;
-    case Op::Sub:
-      F[I->A] = F[I->B].sub(F[I->C]);
-      break;
-    case Op::Mul:
-      F[I->A] = F[I->B].mul(F[I->C]);
-      break;
-    case Op::UDiv:
-      F[I->A] = F[I->B].udiv(F[I->C]);
-      break;
-    case Op::SDiv:
-      F[I->A] = F[I->B].sdiv(F[I->C]);
-      break;
-    case Op::URem:
-      F[I->A] = F[I->B].urem(F[I->C]);
-      break;
-    case Op::SRem:
-      F[I->A] = F[I->B].srem(F[I->C]);
-      break;
-    case Op::And:
-      F[I->A] = F[I->B].and_(F[I->C]);
-      break;
-    case Op::Or:
-      F[I->A] = F[I->B].or_(F[I->C]);
-      break;
-    case Op::Xor:
-      F[I->A] = F[I->B].xor_(F[I->C]);
-      break;
-    case Op::Shl:
-      F[I->A] = F[I->B].shl(F[I->C]);
-      break;
-    case Op::LShr:
-      F[I->A] = F[I->B].lshr(F[I->C]);
-      break;
-    case Op::AShr:
-      F[I->A] = F[I->B].ashr(F[I->C]);
-      break;
-    case Op::Eq:
-      F[I->A] = F[I->B].eq(F[I->C]);
-      break;
-    case Op::Ne:
-      F[I->A] = F[I->B].ne(F[I->C]);
-      break;
-    case Op::ULt:
-      F[I->A] = F[I->B].ult(F[I->C]);
-      break;
-    case Op::ULe:
-      F[I->A] = F[I->B].ule(F[I->C]);
-      break;
-    case Op::SLt:
-      F[I->A] = F[I->B].slt(F[I->C]);
-      break;
-    case Op::SLe:
-      F[I->A] = F[I->B].sle(F[I->C]);
-      break;
-    case Op::LogAnd:
-      F[I->A] = Bits(F[I->B].toBool() && F[I->C].toBool() ? 1 : 0, 1);
-      break;
-    case Op::LogOr:
-      F[I->A] = Bits(F[I->B].toBool() || F[I->C].toBool() ? 1 : 0, 1);
-      break;
-    case Op::LogNot:
-      F[I->A] = Bits(F[I->B].isZero() ? 1 : 0, 1);
-      break;
-    case Op::BitNot:
-      F[I->A] = F[I->B].not_();
-      break;
-    case Op::Neg: {
-      const Bits &V = F[I->B];
-      F[I->A] = Bits(0, V.width()).sub(V);
-      break;
-    }
-    case Op::Slice:
-      F[I->A] = F[I->B].slice(I->Imm >> 16, I->Imm & 0xffff);
-      break;
-    case Op::ZExt:
-      F[I->A] = F[I->B].zextTo(I->C);
-      break;
-    case Op::SExt:
-      F[I->A] = F[I->B].sextTo(I->C);
-      break;
-    case Op::Concat:
-      F[I->A] = F[I->B].concat(F[I->C]);
-      break;
-    case Op::MemRead:
-      F[I->A] = H.readMem(*P.MemSites[I->Imm], F[I->B].zext());
-      break;
-    case Op::Extern:
-      F[I->A] = H.callExtern(*P.ExternSites[I->Imm], &F[I->B], I->C);
-      break;
-    case Op::BrFalse:
-      if (!F[I->B].toBool()) {
-        I = Base + I->Imm;
-        continue;
-      }
-      break;
-    case Op::BrTrue:
-      if (F[I->B].toBool()) {
-        I = Base + I->Imm;
-        continue;
-      }
-      break;
-    case Op::Jump:
-      I = Base + I->Imm;
-      continue;
-    case Op::Ret:
-      return F[I->B];
-    case Op::RetTrue:
-      return Bits(1, 1);
-    case Op::RetFalse:
-      return Bits(0, 1);
-    }
-    ++I;
+
+#ifdef PDL_BC_THREADED
+  // One table entry per opcode, in enum order (indexed by uint8_t value).
+  static const void *const Tbl[NumOpcodes] = {
+      &&L_Const,   &&L_Copy,    &&L_Add,      &&L_Sub,
+      &&L_Mul,     &&L_UDiv,    &&L_SDiv,     &&L_URem,
+      &&L_SRem,    &&L_And,     &&L_Or,       &&L_Xor,
+      &&L_Shl,     &&L_LShr,    &&L_AShr,     &&L_Eq,
+      &&L_Ne,      &&L_ULt,     &&L_ULe,      &&L_SLt,
+      &&L_SLe,     &&L_LogAnd,  &&L_LogOr,    &&L_LogNot,
+      &&L_BitNot,  &&L_Neg,     &&L_Slice,    &&L_ZExt,
+      &&L_SExt,    &&L_Concat,  &&L_MemRead,  &&L_Extern,
+      &&L_BrFalse, &&L_BrTrue,  &&L_Jump,     &&L_Ret,
+      &&L_RetTrue, &&L_RetFalse, &&L_FusedCmpBr, &&L_FusedCmpRetBool,
+      &&L_FusedRetBool, &&L_FusedSelect, &&L_FusedBinK, &&L_FusedRetOp};
+#define CASE(Name) L_##Name:
+#define NEXT                                                                  \
+  do {                                                                        \
+    ++I;                                                                      \
+    goto *Tbl[size_t(I->Opc)];                                                \
+  } while (0)
+#define JUMP_TO(Target)                                                       \
+  do {                                                                        \
+    I = Base + (Target);                                                      \
+    goto *Tbl[size_t(I->Opc)];                                                \
+  } while (0)
+  goto *Tbl[size_t(I->Opc)];
+#else
+#define CASE(Name) case Op::Name:
+#define NEXT                                                                  \
+  do {                                                                        \
+    ++I;                                                                      \
+    goto dispatch;                                                            \
+  } while (0)
+#define JUMP_TO(Target)                                                       \
+  do {                                                                        \
+    I = Base + (Target);                                                      \
+    goto dispatch;                                                            \
+  } while (0)
+dispatch:
+  switch (I->Opc) {
+#endif
+
+  CASE(Const) {
+    F[I->A] = Pool[I->Imm];
+    NEXT;
   }
+  CASE(Copy) {
+    F[I->A] = F[I->B];
+    NEXT;
+  }
+  CASE(Add) {
+    F[I->A] = F[I->B].add(F[I->C]);
+    NEXT;
+  }
+  CASE(Sub) {
+    F[I->A] = F[I->B].sub(F[I->C]);
+    NEXT;
+  }
+  CASE(Mul) {
+    F[I->A] = F[I->B].mul(F[I->C]);
+    NEXT;
+  }
+  CASE(UDiv) {
+    F[I->A] = F[I->B].udiv(F[I->C]);
+    NEXT;
+  }
+  CASE(SDiv) {
+    F[I->A] = F[I->B].sdiv(F[I->C]);
+    NEXT;
+  }
+  CASE(URem) {
+    F[I->A] = F[I->B].urem(F[I->C]);
+    NEXT;
+  }
+  CASE(SRem) {
+    F[I->A] = F[I->B].srem(F[I->C]);
+    NEXT;
+  }
+  CASE(And) {
+    F[I->A] = F[I->B].and_(F[I->C]);
+    NEXT;
+  }
+  CASE(Or) {
+    F[I->A] = F[I->B].or_(F[I->C]);
+    NEXT;
+  }
+  CASE(Xor) {
+    F[I->A] = F[I->B].xor_(F[I->C]);
+    NEXT;
+  }
+  CASE(Shl) {
+    F[I->A] = F[I->B].shl(F[I->C]);
+    NEXT;
+  }
+  CASE(LShr) {
+    F[I->A] = F[I->B].lshr(F[I->C]);
+    NEXT;
+  }
+  CASE(AShr) {
+    F[I->A] = F[I->B].ashr(F[I->C]);
+    NEXT;
+  }
+  CASE(Eq) {
+    F[I->A] = F[I->B].eq(F[I->C]);
+    NEXT;
+  }
+  CASE(Ne) {
+    F[I->A] = F[I->B].ne(F[I->C]);
+    NEXT;
+  }
+  CASE(ULt) {
+    F[I->A] = F[I->B].ult(F[I->C]);
+    NEXT;
+  }
+  CASE(ULe) {
+    F[I->A] = F[I->B].ule(F[I->C]);
+    NEXT;
+  }
+  CASE(SLt) {
+    F[I->A] = F[I->B].slt(F[I->C]);
+    NEXT;
+  }
+  CASE(SLe) {
+    F[I->A] = F[I->B].sle(F[I->C]);
+    NEXT;
+  }
+  CASE(LogAnd) {
+    F[I->A] = Bits(F[I->B].toBool() && F[I->C].toBool() ? 1 : 0, 1);
+    NEXT;
+  }
+  CASE(LogOr) {
+    F[I->A] = Bits(F[I->B].toBool() || F[I->C].toBool() ? 1 : 0, 1);
+    NEXT;
+  }
+  CASE(LogNot) {
+    F[I->A] = Bits(F[I->B].isZero() ? 1 : 0, 1);
+    NEXT;
+  }
+  CASE(BitNot) {
+    F[I->A] = F[I->B].not_();
+    NEXT;
+  }
+  CASE(Neg) {
+    const Bits &V = F[I->B];
+    F[I->A] = Bits(0, V.width()).sub(V);
+    NEXT;
+  }
+  CASE(Slice) {
+    F[I->A] = F[I->B].slice(I->Imm >> 16, I->Imm & 0xffff);
+    NEXT;
+  }
+  CASE(ZExt) {
+    F[I->A] = F[I->B].zextTo(I->C);
+    NEXT;
+  }
+  CASE(SExt) {
+    F[I->A] = F[I->B].sextTo(I->C);
+    NEXT;
+  }
+  CASE(Concat) {
+    F[I->A] = F[I->B].concat(F[I->C]);
+    NEXT;
+  }
+  CASE(MemRead) {
+    F[I->A] = H.readMem(*P.MemSites[I->Imm], F[I->B].zext());
+    NEXT;
+  }
+  CASE(Extern) {
+    F[I->A] = H.callExtern(*P.ExternSites[I->Imm], &F[I->B], I->C);
+    NEXT;
+  }
+  CASE(BrFalse) {
+    if (!F[I->B].toBool())
+      JUMP_TO(I->Imm);
+    NEXT;
+  }
+  CASE(BrTrue) {
+    if (F[I->B].toBool())
+      JUMP_TO(I->Imm);
+    NEXT;
+  }
+  CASE(Jump) { JUMP_TO(I->Imm); }
+  CASE(Ret) { return F[I->B]; }
+  CASE(RetTrue) { return Bits(1, 1); }
+  CASE(RetFalse) { return Bits(0, 1); }
+
+  // Superinstructions: each executes exactly the unfused expansion
+  // documented in Bytecode.h, minus the dead scratch store.
+  CASE(FusedCmpBr) {
+    bool T = applyBin(Op(I->A & 0xff), F[I->B], F[I->C]).toBool();
+    if (T == ((I->A & 0x100) != 0))
+      JUMP_TO(I->Imm);
+    NEXT;
+  }
+  CASE(FusedCmpRetBool) {
+    bool T = applyBin(Op(I->A & 0xff), F[I->B], F[I->C]).toBool();
+    return Bits(T != ((I->A & 0x100) != 0) ? 1 : 0, 1);
+  }
+  CASE(FusedRetBool) {
+    return Bits(F[I->B].toBool() != (I->A != 0) ? 1 : 0, 1);
+  }
+  CASE(FusedSelect) {
+    bool TC = (I->Imm & (1u << 16)) != 0, EC = (I->Imm & (1u << 17)) != 0;
+    if (F[I->B].toBool())
+      F[I->A] = TC ? Pool[I->C] : F[I->C];
+    else
+      F[I->A] = EC ? Pool[I->Imm & 0xffff] : F[I->Imm & 0xffff];
+    NEXT;
+  }
+  CASE(FusedBinK) {
+    const Bits &K = Pool[I->Imm];
+    const Bits &V = F[I->B];
+    F[I->A] = (I->C & 0x100) ? applyBin(Op(I->C & 0xff), K, V)
+                             : applyBin(Op(I->C & 0xff), V, K);
+    NEXT;
+  }
+  CASE(FusedRetOp) { return applyRetOp(P, *I, F); }
+
+#ifndef PDL_BC_THREADED
+  }
+  assert(false && "bc::exec: fell off the opcode switch");
+  return Bits(0, 1);
+#endif
+#undef CASE
+#undef NEXT
+#undef JUMP_TO
 }
 
 //===----------------------------------------------------------------------===//

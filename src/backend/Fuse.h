@@ -1,0 +1,94 @@
+//===- Fuse.h - Superinstruction fusion over the bytecode IR ----*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second lowering level below the portable bytecode: a peephole pass
+/// that folds hot multi-instruction sequences into the basic-block
+/// superinstructions of Bytecode.h (compare→branch, guard epilogues,
+/// select diamonds, constant-operand binops, op→return tails). Fusion runs
+/// after Compile.cpp's folding/CSE, is opt-in per consumer
+/// (--eval=fused / PDL_EVAL_FUSED), and never changes frame layout, pool
+/// contents, or hook-call order — so snapshots, golden digests, and the
+/// service result bytes are identical in fused and bytecode mode.
+///
+/// Safety is not taken on trust: every fused module re-certifies under
+/// src/tv/ (BcEval executes each superinstruction as its documented
+/// expansion), and PDL_TV_MUTATE=fuse-window seeds the classic fusion
+/// bugs — folding a compare whose result is still live past the branch,
+/// and leaving a fused branch target in the pre-deletion index space —
+/// which certification must refute.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_BACKEND_FUSE_H
+#define PDL_BACKEND_FUSE_H
+
+#include "backend/Bytecode.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace pdl {
+namespace backend {
+namespace bc {
+
+/// Static fusion counters for one program or module, reported on bench and
+/// fuzz rows as `fused_ops`.
+struct FuseStats {
+  uint64_t CmpBr = 0;      // compare + conditional branch
+  uint64_t CmpRetBool = 0; // compare + guard epilogue (cmp;br;ret;ret)
+  uint64_t RetBool = 0;    // branch + guard epilogue (br;ret;ret)
+  uint64_t Select = 0;     // full ternary diamond with Copy/Const arms
+  uint64_t BinK = 0;       // pool-constant operand folded into a binop
+  uint64_t RetOp = 0;      // pure op + return of its result
+  uint64_t DeadConst = 0;  // Const stores left dead by the folds above
+
+  uint64_t fusedInsns() const {
+    return CmpBr + CmpRetBool + RetBool + Select + BinK + RetOp;
+  }
+  uint64_t removedInsns() const {
+    // Each superinstruction replaces its window; dead Consts vanish.
+    return CmpBr + 2 * CmpRetBool + RetBool + 3 * Select + RetOp + DeadConst;
+  }
+  FuseStats &operator+=(const FuseStats &O) {
+    CmpBr += O.CmpBr;
+    CmpRetBool += O.CmpRetBool;
+    RetBool += O.RetBool;
+    Select += O.Select;
+    BinK += O.BinK;
+    RetOp += O.RetOp;
+    DeadConst += O.DeadConst;
+    return *this;
+  }
+};
+
+/// Fuses one program. Pure: \p In is unchanged, the result shares no code
+/// storage with it (Pool/site tables are copied — they are value tables).
+/// Idempotent; a program with nothing to fuse comes back identical.
+ExprProgram fuseProgram(const ExprProgram &In, FuseStats *Stats = nullptr);
+
+/// Fuses every program of a compiled module, rebuilding the per-pipe
+/// pointer tables (stage mirrors, ExprIndex) against the fused storage.
+/// The input module is unchanged and remains independently usable — it is
+/// the differential oracle for the fused artifact.
+std::shared_ptr<const ModuleIR> fuseModule(const ModuleIR &In,
+                                           FuseStats *Stats = nullptr);
+
+/// True when the environment requests fused evaluation (PDL_EVAL_FUSED,
+/// the pdlc/pdlsimd/pdlfuzz --eval=fused surface). PDL_EVAL_TREE takes
+/// precedence where both are set — the tree walker bypasses the bytecode
+/// entirely.
+bool fusedModeRequested();
+
+/// The dispatch strategy bc::exec was compiled with: "threaded" (computed
+/// goto) or "switch" (PDL_NO_COMPUTED_GOTO or a non-GNU compiler).
+const char *dispatchModeName();
+
+} // namespace bc
+} // namespace backend
+} // namespace pdl
+
+#endif // PDL_BACKEND_FUSE_H

@@ -7,6 +7,7 @@
 #include "backend/SeqInterp.h"
 
 #include "backend/Compile.h"
+#include "backend/Fuse.h"
 
 #include <cstdlib>
 
@@ -21,6 +22,8 @@ SeqInterpreter::SeqInterpreter(const Program &Prog) : Prog(Prog) {
                    std::make_unique<hw::Memory>(M.Name, M.ElemType.width(),
                                                 M.AddrWidth, M.IsSync));
   IR = bc::compileModule(Prog);
+  if (bc::fusedModeRequested())
+    IR = bc::fuseModule(*IR);
   TreeMode = std::getenv("PDL_EVAL_TREE") != nullptr;
 }
 

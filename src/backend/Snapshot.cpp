@@ -115,6 +115,7 @@ uint64_t System::configDigest() const {
   W.u32(Cfg.SpecCapacity);
   W.u8(static_cast<uint8_t>(Cfg.DefaultLock));
   W.b(TreeMode);
+  W.b(FusedMode); // snapshot resume is same-mode, like TreeMode
   W.u32(static_cast<uint32_t>(Cfg.LockChoice.size()));
   for (const auto &[Key, Kind] : Cfg.LockChoice) {
     W.str(Key);

@@ -6,6 +6,7 @@
 
 #include "backend/System.h"
 
+#include "backend/Fuse.h"
 #include "hw/BypassQueue.h"
 #include "hw/QueueLock.h"
 #include "hw/RenameLock.h"
@@ -131,8 +132,18 @@ System::System(const CompiledProgram &CP, ElabConfig Cfg)
       FireOrder.emplace_back(PI, &G.Stages[Id]);
   }
   // Bind the compiled bytecode circuit: reuse a shared one when supplied
-  // (BatchRunner compiles once per core), otherwise compile now.
-  IR = this->Cfg.CompiledIR ? this->Cfg.CompiledIR : bc::compileModule(CP);
+  // (BatchRunner compiles once per core — pre-fused when the mode asks for
+  // it, see cores::Core), otherwise compile (and, in fused mode, fuse) now.
+  TreeMode = this->Cfg.EvalTree || std::getenv("PDL_EVAL_TREE") != nullptr;
+  FusedMode =
+      !TreeMode && (this->Cfg.EvalFused || std::getenv("PDL_EVAL_FUSED"));
+  if (this->Cfg.CompiledIR) {
+    IR = this->Cfg.CompiledIR;
+  } else {
+    IR = bc::compileModule(CP);
+    if (FusedMode)
+      IR = bc::fuseModule(*IR);
+  }
   unsigned MaxFrame = 0;
   for (PipeInstance *PI : PipeSeq) {
     PI->Prog = IR->pipe(PI->Name);
@@ -141,7 +152,6 @@ System::System(const CompiledProgram &CP, ElabConfig Cfg)
   }
   ProbeScratch.resize(MaxFrame);
   Dispatch.Sys = this;
-  TreeMode = this->Cfg.EvalTree || std::getenv("PDL_EVAL_TREE") != nullptr;
   for (obs::TraceSink *S : this->Cfg.Sinks)
     if (S)
       attachSink(*S);

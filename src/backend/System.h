@@ -172,6 +172,14 @@ struct ElabConfig {
   /// compiled bytecode (differential escape hatch; also enabled by the
   /// PDL_EVAL_TREE environment variable).
   bool EvalTree = false;
+  /// Run the superinstruction-fused lowering of the bytecode (backend/
+  /// Fuse.h; also enabled by PDL_EVAL_FUSED). Ignored under EvalTree.
+  /// When CompiledIR is supplied the caller is responsible for passing an
+  /// already-fused circuit (cores::Core keys its shared cache by mode);
+  /// otherwise the System fuses its self-compiled circuit. Results are
+  /// byte-identical to bytecode mode by construction — fusion never
+  /// changes frame layout or hook order.
+  bool EvalFused = false;
 };
 
 /// Cheap always-on global counters. Retained for compatibility and for the
@@ -655,6 +663,10 @@ private:
   std::vector<Bits> ArgScratch;
   /// Legacy tree-walking evaluation (ElabConfig::EvalTree / PDL_EVAL_TREE).
   bool TreeMode = false;
+  /// Superinstruction-fused bytecode (ElabConfig::EvalFused /
+  /// PDL_EVAL_FUSED). Recorded in configDigest like TreeMode: snapshot
+  /// resume is same-mode.
+  bool FusedMode = false;
   std::map<std::string, hw::ExternModule *> Externs;
   std::vector<PendingEnq> PendingEnqs;
   std::vector<PendingTag> PendingTags;

@@ -6,6 +6,8 @@
 
 #include "cores/Core.h"
 
+#include "backend/Fuse.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -154,57 +156,81 @@ std::mutex &circuitLock() {
   return Lock;
 }
 
-/// Caller holds circuitLock().
-SharedCircuit &circuitFor(CoreKind K) {
-  static std::map<CoreKind, SharedCircuit> Cache;
-  SharedCircuit &E = Cache[K];
+/// Caller holds circuitLock(). Keyed by (kind, eval mode): the fused entry
+/// shares the front-end CompiledProgram with the bytecode entry and holds
+/// the superinstruction lowering of the same circuit, with its own lazily
+/// minted certificate (BcDigest legitimately differs per lowering).
+SharedCircuit &circuitFor(CoreKind K, bool Fused) {
+  static std::map<std::pair<CoreKind, bool>, SharedCircuit> Cache;
+  SharedCircuit &E = Cache[{K, Fused}];
   if (!E.Program) {
-    auto P = std::make_shared<CompiledProgram>(
-        compile(sourceFor(K), coreName(K)));
-    if (!P->ok()) {
-      std::fprintf(stderr, "core '%s' failed to compile:\n%s", coreName(K),
-                   P->Diags->render().c_str());
-      std::abort();
+    if (Fused) {
+      SharedCircuit &Base = circuitFor(K, false);
+      E.Program = Base.Program;
+      E.IR = backend::bc::fuseModule(*Base.IR);
+    } else {
+      auto P = std::make_shared<CompiledProgram>(
+          compile(sourceFor(K), coreName(K)));
+      if (!P->ok()) {
+        std::fprintf(stderr, "core '%s' failed to compile:\n%s", coreName(K),
+                     P->Diags->render().c_str());
+        std::abort();
+      }
+      E.IR = backend::bc::compileModule(*P);
+      E.Program = std::move(P);
     }
-    E.IR = backend::bc::compileModule(*P);
-    E.Program = std::move(P);
   }
   return E;
 }
 
-SharedCircuit sharedCircuit(CoreKind K) {
+SharedCircuit sharedCircuit(CoreKind K, bool Fused) {
   std::lock_guard<std::mutex> Guard(circuitLock());
-  return circuitFor(K);
+  return circuitFor(K, Fused);
 }
 
 } // namespace
 
-std::shared_ptr<const tv::Certificate> cores::certify(CoreKind K) {
+std::shared_ptr<const tv::Certificate> cores::certify(CoreKind K,
+                                                      bool Fused) {
   std::lock_guard<std::mutex> Guard(circuitLock());
-  SharedCircuit &E = circuitFor(K);
+  SharedCircuit &E = circuitFor(K, Fused);
   if (!E.Cert)
     E.Cert = std::make_shared<tv::Certificate>(
         tv::validateModule(*E.Program, *E.IR, coreKindId(K)));
   return E.Cert;
 }
 
+std::shared_ptr<const tv::Certificate> cores::certify(CoreKind K) {
+  return certify(K, backend::bc::fusedModeRequested());
+}
+
 std::shared_ptr<const CompiledProgram> cores::sharedProgram(CoreKind K) {
   std::lock_guard<std::mutex> Guard(circuitLock());
-  return circuitFor(K).Program;
+  return circuitFor(K, false).Program;
+}
+
+std::shared_ptr<const backend::bc::ModuleIR> cores::sharedModuleIR(CoreKind K,
+                                                                   bool Fused) {
+  std::lock_guard<std::mutex> Guard(circuitLock());
+  return circuitFor(K, Fused).IR;
 }
 
 std::shared_ptr<const backend::bc::ModuleIR> cores::sharedModuleIR(CoreKind K) {
-  std::lock_guard<std::mutex> Guard(circuitLock());
-  return circuitFor(K).IR;
+  return sharedModuleIR(K, backend::bc::fusedModeRequested());
 }
 
 Core::Core(CoreKind Kind, PredictorKind Predictor, CoreMemProfile MemProfile)
     : Kind(Kind), MemProfile(std::move(MemProfile)) {
-  SharedCircuit Circuit = sharedCircuit(Kind);
+  // Pick the ambient eval mode's circuit: PDL_EVAL_FUSED selects the
+  // superinstruction lowering (results are byte-identical by construction,
+  // so nothing downstream — digests, the service cache — keys on it).
+  const bool Fused = backend::bc::fusedModeRequested();
+  SharedCircuit Circuit = sharedCircuit(Kind, Fused);
   Program = Circuit.Program;
 
   ElabConfig Cfg;
   Cfg.CompiledIR = Circuit.IR;
+  Cfg.EvalFused = Fused;
   // The register file carries the interesting lock choice; the data memory
   // is guarded by a queue lock (single-stage accesses never conflict).
   switch (Kind) {

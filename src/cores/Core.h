@@ -53,15 +53,21 @@ const std::vector<CoreKind> &allCoreKinds();
 
 /// Translation-validates the shared compiled circuit of \p K (tv::
 /// validateModule) and caches the certificate alongside the circuit for
-/// the life of the process: one proof per core kind, no matter how many
-/// Cores, fuzz jobs, or service requests ask for it.
+/// the life of the process: one proof per (core kind, eval mode), no
+/// matter how many Cores, fuzz jobs, or service requests ask for it. The
+/// one-argument forms follow the ambient eval mode (PDL_EVAL_FUSED); the
+/// \p Fused overloads pin it, so tests can prove both lowerings.
 std::shared_ptr<const tv::Certificate> certify(CoreKind K);
+std::shared_ptr<const tv::Certificate> certify(CoreKind K, bool Fused);
 
 /// The process-shared compiled artifacts certificates refer to — exposed
 /// so certificate replay (tv::checkCertificate) can run against exactly
-/// the circuit that was certified.
+/// the circuit that was certified. The ModuleIR is the mode's lowering:
+/// superinstruction-fused when \p Fused (or the ambient mode) says so.
 std::shared_ptr<const CompiledProgram> sharedProgram(CoreKind K);
 std::shared_ptr<const backend::bc::ModuleIR> sharedModuleIR(CoreKind K);
+std::shared_ptr<const backend::bc::ModuleIR> sharedModuleIR(CoreKind K,
+                                                            bool Fused);
 
 /// Which external predictor module backs the BHT core's `bht` extern.
 enum class PredictorKind { Bht2Bit, Gshare };

@@ -6,11 +6,13 @@
 
 #include "sim/BatchRunner.h"
 
+#include "backend/Fuse.h"
 #include "obs/Json.h"
 #include "sim/WorkerPool.h"
 #include "verify/ProgGen.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 using namespace pdl;
 using namespace pdl::sim;
@@ -118,6 +120,13 @@ FuzzBatchResult sim::runFuzzBatch(const FuzzOptions &O) {
       }
 
   auto Logf = [&Out](const std::string &Line) { Out.Log += Line; };
+  // The eval mode every job in this batch ran under (workers consult the
+  // environment at System construction; pdlfuzz --eval sets it up front).
+  // Recorded per row so fuzz corpora from different modes can be told
+  // apart; everything else in a row is byte-identical across modes.
+  const char *EvalMode = std::getenv("PDL_EVAL_TREE") != nullptr ? "tree"
+                         : backend::bc::fusedModeRequested()     ? "fused"
+                                                                 : "bytecode";
   obs::Json Rows = obs::Json::array();
   for (size_t I = 0; I != Upto; ++I) {
     const size_t KI = (I / NumProfiles) % NumKinds;
@@ -132,6 +141,7 @@ FuzzBatchResult sim::runFuzzBatch(const FuzzOptions &O) {
     if (O.Json) {
       obs::Json Row = obs::Json::object();
       Row.set("config", obs::Json(Config));
+      Row.set("eval_mode", obs::Json(EvalMode));
       Row.set("kernel", obs::Json("seed-" + std::to_string(RunSeed)));
       Row.set("cpi", obs::Json(R.Instrs ? double(R.Cycles) / double(R.Instrs)
                                         : 0.0));

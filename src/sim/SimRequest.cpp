@@ -6,7 +6,10 @@
 
 #include "sim/SimRequest.h"
 
+#include "backend/Fuse.h"
+
 #include <cstdio>
+#include <cstdlib>
 
 using namespace pdl;
 using namespace pdl::sim;
@@ -92,5 +95,31 @@ std::string SimRequest::cacheKey() const {
 }
 
 SimResult sim::runSim(const SimRequest &R) {
-  return verify::runDiff(R.Asm, R.Cfg);
+  SimResult Res = verify::runDiff(R.Asm, R.Cfg);
+  // PDL_CHECK_EVAL_IDENTITY=1 re-runs the request under the other bytecode
+  // lowering (fused <-> base) and aborts unless the serialized results are
+  // byte-identical — the invariant that lets cacheKey() ignore the eval
+  // mode. It toggles the process environment, so it is only safe for
+  // single-job runs (tests, check.sh legs), never the standing service.
+  if (std::getenv("PDL_CHECK_EVAL_IDENTITY") != nullptr &&
+      std::getenv("PDL_EVAL_TREE") == nullptr) {
+    const bool WasFused = backend::bc::fusedModeRequested();
+    if (WasFused)
+      unsetenv("PDL_EVAL_FUSED");
+    else
+      setenv("PDL_EVAL_FUSED", "1", 1);
+    SimResult Other = verify::runDiff(R.Asm, R.Cfg);
+    if (WasFused)
+      setenv("PDL_EVAL_FUSED", "1", 1);
+    else
+      unsetenv("PDL_EVAL_FUSED");
+    if (Other.toJson() != Res.toJson()) {
+      std::fprintf(stderr,
+                   "pdl: fused/bytecode eval-mode identity violated for "
+                   "request %s\n",
+                   R.cacheKey().c_str());
+      std::abort();
+    }
+  }
+  return Res;
 }

@@ -62,6 +62,11 @@ struct SimRequest {
   /// and the fault plan spelling. Seed (provenance), Jobs (wall-clock
   /// only) and VcdPath (uncacheable) are excluded by design — every field
   /// that can change a result's bytes is in the key, nothing else is.
+  /// The ambient eval mode (PDL_EVAL_TREE / PDL_EVAL_FUSED) is
+  /// deliberately NOT keyed: all three evaluators are proven (tv::) and
+  /// fuzzed to produce byte-identical results, so a cached bytecode-mode
+  /// result is a correct answer for a fused-mode request and vice versa.
+  /// FusionTest and the check.sh differential legs enforce the identity.
   std::string cacheKey() const;
 };
 

@@ -766,6 +766,148 @@ public:
       case Op::RetFalse:
         R.Result = A.constant(Bits(0, 1));
         return;
+
+      // Superinstructions (backend/Fuse.h): each executes its documented
+      // unfused expansion symbolically — same applyOp calls on base
+      // opcodes (so the interned terms are pointer-identical to the
+      // unfused run's) and same decideTerm forks (so the decision order,
+      // and with it the obligations digest, is unchanged). The folded-away
+      // compare/arm store is deliberately NOT performed: an illegally
+      // fused window (PDL_TV_MUTATE=fuse-window) leaves a later read of
+      // that slot uninitialized or stale, which this evaluator refutes.
+      case Op::FusedCmpBr: {
+        const Term *B = load(F, I.B);
+        if (!B)
+          return;
+        const Term *C = load(F, I.C);
+        if (!C)
+          return;
+        const Term *T2 = A.applyOp(Op(I.A & 0xff), B, C, 0);
+        if (!T2)
+          return err("width violation in bytecode");
+        bool Bv;
+        if (!decideTerm(T2, D, R, Bv))
+          return;
+        if (Bv == ((I.A & 0x100) != 0)) {
+          PC = I.Imm;
+          continue;
+        }
+        break;
+      }
+      case Op::FusedCmpRetBool: {
+        const Term *B = load(F, I.B);
+        if (!B)
+          return;
+        const Term *C = load(F, I.C);
+        if (!C)
+          return;
+        const Term *T2 = A.applyOp(Op(I.A & 0xff), B, C, 0);
+        if (!T2)
+          return err("width violation in bytecode");
+        bool Bv;
+        if (!decideTerm(T2, D, R, Bv))
+          return;
+        R.Result = A.constant(Bits(Bv != ((I.A & 0x100) != 0) ? 1 : 0, 1));
+        return;
+      }
+      case Op::FusedRetBool: {
+        const Term *V = load(F, I.B);
+        if (!V)
+          return;
+        bool Bv;
+        if (!decideTerm(V, D, R, Bv))
+          return;
+        R.Result = A.constant(Bits(Bv != (I.A != 0) ? 1 : 0, 1));
+        return;
+      }
+      case Op::FusedSelect: {
+        const Term *V = load(F, I.B);
+        if (!V)
+          return;
+        bool Bv;
+        if (!decideTerm(V, D, R, Bv))
+          return;
+        const bool IsConst = (I.Imm & (1u << (Bv ? 16 : 17))) != 0;
+        const uint32_t Operand = Bv ? I.C : (I.Imm & 0xffff);
+        const Term *Picked;
+        if (IsConst) {
+          if (Operand >= P.Pool.size())
+            return err("constant pool index out of range");
+          Picked = A.constant(P.Pool[Operand]);
+        } else {
+          Picked = load(F, static_cast<uint16_t>(Operand));
+          if (!Picked)
+            return;
+        }
+        if (!store(F, I.A, Picked))
+          return;
+        break;
+      }
+      case Op::FusedBinK: {
+        if (I.Imm >= P.Pool.size())
+          return err("constant pool index out of range");
+        const Term *K = A.constant(P.Pool[I.Imm]);
+        const Term *V = load(F, I.B);
+        if (!V)
+          return;
+        const Term *T2 = (I.C & 0x100) ? A.applyOp(Op(I.C & 0xff), K, V, 0)
+                                       : A.applyOp(Op(I.C & 0xff), V, K, 0);
+        if (!T2)
+          return err("width violation in bytecode");
+        if (!store(F, I.A, T2))
+          return;
+        break;
+      }
+      case Op::FusedRetOp: {
+        const Op Sub = Op(I.A);
+        const Term *V = nullptr;
+        switch (Sub) {
+        case Op::Const:
+          if (I.Imm >= P.Pool.size())
+            return err("constant pool index out of range");
+          V = A.constant(P.Pool[I.Imm]);
+          break;
+        case Op::Copy:
+          V = load(F, I.B);
+          break;
+        case Op::LogNot:
+        case Op::BitNot:
+        case Op::Neg:
+        case Op::Slice: {
+          const Term *B = load(F, I.B);
+          if (!B)
+            return;
+          V = A.applyOp(Sub, B, nullptr, I.Imm);
+          break;
+        }
+        case Op::ZExt:
+        case Op::SExt: {
+          const Term *B = load(F, I.B);
+          if (!B)
+            return;
+          V = A.applyOp(Sub, B, nullptr, I.C);
+          break;
+        }
+        default: { // pure binary sub-ops
+          const Term *B = load(F, I.B);
+          if (!B)
+            return;
+          const Term *C = load(F, I.C);
+          if (!C)
+            return;
+          V = A.applyOp(Sub, B, C, 0);
+          break;
+        }
+        }
+        if (!V) {
+          if (R.S != Run::St::Err)
+            err("width violation in bytecode");
+          return;
+        }
+        R.Result = V;
+        return;
+      }
+
       default: { // pure binary ops
         const Term *B = load(F, I.B);
         if (!B)

@@ -121,8 +121,17 @@ obs::Json DiffResult::toJsonValue() const {
 
 DiffResult verify::runDiff(const std::string &AsmSource, const DiffConfig &C) {
   DiffResult Res;
-  if (C.Certify)
+  if (C.Certify) {
     Res.Tv = tv::statusName(cores::certify(C.Kind)->St);
+    // A refuted certificate means the compiled (possibly fused) artifact
+    // provably diverges from its expression trees — never execute it.
+    // PDL_TV_MUTATE seeds exactly this; the row still fails (BatchRunner
+    // treats tv=rejected as a failure) without running miscompiled code.
+    if (Res.Tv == "rejected") {
+      Res.Outcome = "uncertified";
+      return Res;
+    }
+  }
   std::vector<uint32_t> Words = riscv::assemble(AsmSource);
 
   // The architectural oracle: run to the halt store, keep the final state.

@@ -15,6 +15,7 @@
 
 #include "backend/Compile.h"
 #include "backend/Eval.h"
+#include "backend/Fuse.h"
 #include "backend/System.h"
 
 #include <gtest/gtest.h>
@@ -471,6 +472,100 @@ TEST(CompileTest, RandomizedDifferentialAgainstTreeWalker) {
   }
   EXPECT_EQ(Programs, 40u);
   EXPECT_GE(Checks, 40u * 16u * 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fusion degenerate-input regressions
+//===----------------------------------------------------------------------===//
+
+/// Regression: the fusion pass once assumed every epilogue window had a
+/// branch target inside the code. An empty program, a lone Ret*, or a
+/// branch whose target is one-past-the-end (an empty guarded block — the
+/// executor treats falling off the end as RetFalse in guard position) must
+/// come back as no-ops, never as an out-of-range read of Code[Imm].
+TEST(CompileTest, FuseDegenerateProgramsAreNoOps) {
+  auto Unchanged = [](const bc::ExprProgram &In) {
+    bc::FuseStats S;
+    bc::ExprProgram Out = bc::fuseProgram(In, &S);
+    EXPECT_EQ(S.fusedInsns(), 0u);
+    ASSERT_EQ(Out.Code.size(), In.Code.size());
+    for (size_t I = 0; I != In.Code.size(); ++I) {
+      EXPECT_EQ(unsigned(Out.Code[I].Opc), unsigned(In.Code[I].Opc)) << I;
+      EXPECT_EQ(Out.Code[I].A, In.Code[I].A) << I;
+      EXPECT_EQ(Out.Code[I].B, In.Code[I].B) << I;
+      EXPECT_EQ(Out.Code[I].C, In.Code[I].C) << I;
+      EXPECT_EQ(Out.Code[I].Imm, In.Code[I].Imm) << I;
+    }
+  };
+
+  Unchanged(bc::ExprProgram{}); // empty block: nothing to scan
+
+  bc::ExprProgram OnlyRetTrue;
+  OnlyRetTrue.Code.push_back({bc::Op::RetTrue, 0, 0, 0, 0});
+  Unchanged(OnlyRetTrue); // trivially-true guard
+
+  bc::ExprProgram OnlyRetFalse;
+  OnlyRetFalse.Code.push_back({bc::Op::RetFalse, 0, 0, 0, 0});
+  Unchanged(OnlyRetFalse);
+
+  // Br targeting one-past-the-end, then RetTrue: shaped exactly like the
+  // FusedRetBool window except the RetFalse does not exist. The `Imm < N`
+  // guard must reject it without touching Code[2].
+  bc::ExprProgram BrOffEnd;
+  BrOffEnd.Code.push_back({bc::Op::BrFalse, 0, 0, 0, 2});
+  BrOffEnd.Code.push_back({bc::Op::RetTrue, 0, 0, 0, 0});
+  Unchanged(BrOffEnd);
+
+  // Same shape one level up: cmp;Br;RetTrue with the branch off the end
+  // must not become FusedCmpRetBool (it may still become FusedCmpBr —
+  // dest 1 is written before read, so the compare result is not dead;
+  // with a live dest nothing fuses at all).
+  bc::ExprProgram CmpBrOffEnd;
+  CmpBrOffEnd.Code.push_back({bc::Op::Eq, 1, 0, 0, 0});
+  CmpBrOffEnd.Code.push_back({bc::Op::BrFalse, 0, 1, 0, 3});
+  CmpBrOffEnd.Code.push_back({bc::Op::Ret, 0, 1, 0, 0});
+  Unchanged(CmpBrOffEnd);
+}
+
+/// An if-arm that is nothing but a stage separator compiles to an edge
+/// guarded by a plain bool read; fusing the module must keep every guard
+/// pointer valid and the guards partitioning, not strand an edge on a
+/// dangling or truncated program.
+TEST(CompileTest, FuseEmptyGuardedBlockKeepsPartition) {
+  CompiledProgram CP = mustCompile(R"(
+    pipe p(a: uint<8>)[] {
+      c = a == 0;
+      call p(a + 1);
+      if (c) {
+        ---
+      } else {
+        y = a + 2;
+      }
+    }
+  )");
+  auto Base = bc::compileModule(CP);
+  auto Fused = bc::fuseModule(*Base);
+  const bc::PipeProgram *PP = Fused->pipe("p");
+  ASSERT_NE(PP, nullptr);
+  ASSERT_FALSE(PP->Stages.empty());
+  const bc::StageProg &S0 = PP->Stages[0];
+  ASSERT_EQ(S0.EdgeGuards.size(), 2u);
+
+  NoHooks H;
+  for (uint64_t A : {0u, 1u, 9u}) {
+    for (uint64_t C : {0u, 1u}) {
+      std::vector<Bits> Frame = PP->InitFrame;
+      Frame[PP->ParamSlots[0]] = Bits(A, 8);
+      Frame[PP->slotOf("c")] = Bits(C, 1);
+      unsigned Holds = 0;
+      for (const bc::ExprProgram *G : S0.EdgeGuards) {
+        ASSERT_NE(G, nullptr);
+        ASSERT_FALSE(G->Code.empty());
+        Holds += bc::exec(*G, Frame.data(), H).toBool();
+      }
+      EXPECT_EQ(Holds, 1u) << "a=" << A << " c=" << C;
+    }
+  }
 }
 
 } // namespace

@@ -7,12 +7,15 @@
 /// Tests src/tv/: certification of faithful compiles (straight-line,
 /// branching, hooks, fused guards), certificate JSON round-trips and
 /// tamper detection, solver-free replay via tv::checkCertificate, the path
-/// budget downgrade, rejection of both seeded miscompiles (PDL_TV_MUTATE),
-/// and strict certification plus replay of every committed core.
+/// budget downgrade, rejection of the seeded miscompiles (PDL_TV_MUTATE,
+/// including the fusion-window bug), obligation-stability of the
+/// superinstruction-fused lowering, and strict certification plus replay
+/// of every committed core under both bytecode lowerings.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "backend/Compile.h"
+#include "backend/Fuse.h"
 #include "cores/Core.h"
 #include "tv/Tv.h"
 
@@ -336,6 +339,98 @@ TEST(TvTest, AllCoresCertifyStrictAndReplay) {
     // And it replays, solver-free, against the exact shared artifacts.
     tv::CheckResult R = tv::checkCertificate(
         *Cert, *cores::sharedProgram(K), *cores::sharedModuleIR(K));
+    EXPECT_TRUE(R.Ok) << cores::coreKindId(K) << ": " << R.Error;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Superinstruction fusion (backend/Fuse.cpp)
+//===----------------------------------------------------------------------===//
+
+TEST(TvTest, FusedLoweringCertifiesWithIdenticalObligations) {
+  // Fusion changes the instruction encoding, never the semantics: BcEval
+  // executes each superinstruction as its expansion, so every path interns
+  // the same terms and forks the same decisions. The per-program
+  // obligations digest must therefore be bit-identical to the unfused
+  // validation's — only the BcDigest (the artifact identity) may move.
+  CompiledProgram CP = mustCompile(R"(
+    pipe p(a: uint<8>, b: uint<8>)[] {
+      c = a == b;
+      x = (a == b) ? a + uint<8>(3) : b;
+      call p(x, b);
+      if (c) {
+        ---
+        y = a + 1;
+      } else {
+        z = b + 2;
+      }
+    }
+  )");
+  auto Base = bc::compileModule(CP);
+  auto Fused = bc::fuseModule(*Base);
+  tv::Certificate CB = tv::validateModule(CP, *Base, "test");
+  tv::Certificate CF = tv::validateModule(CP, *Fused, "test");
+  EXPECT_EQ(CB.St, tv::Status::Certified);
+  EXPECT_EQ(CF.St, tv::Status::Certified) << CF.toJsonValue().dump(2);
+  ASSERT_EQ(CB.Programs.size(), CF.Programs.size());
+  for (size_t I = 0; I != CB.Programs.size(); ++I) {
+    const tv::ProgramCert &B = CB.Programs[I], &F = CF.Programs[I];
+    EXPECT_EQ(B.Label, F.Label);
+    EXPECT_EQ(B.Paths, F.Paths) << F.Label;
+    EXPECT_EQ(B.ObligationsDigest, F.ObligationsDigest) << F.Label;
+  }
+  // The fused certificate replays against the fused module only — it pins
+  // the artifact, and the two lowerings are different artifacts.
+  EXPECT_TRUE(tv::checkCertificate(CF, CP, *Fused).Ok);
+  EXPECT_FALSE(tv::checkCertificate(CF, CP, *Base).Ok);
+}
+
+TEST(TvTest, FuseWindowMutationRejected) {
+  // A compare feeding a conditional branch fuses to FusedCmpBr; the window
+  // shrinks the program, so the seeded stale-remap bug (the branch target
+  // left in pre-deletion index space) changes behaviour whenever the fold
+  // fires. Certification must refute the mutated module.
+  CompiledProgram CP = mustCompile(R"(
+    pipe p(a: uint<8>, b: uint<8>)[] {
+      x = (a == b) ? a + uint<8>(3) : b;
+      call p(x, b);
+    }
+  )");
+  auto Base = bc::compileModule(CP);
+  {
+    MutationGuard Mutate("fuse-window");
+    auto Mutated = bc::fuseModule(*Base);
+    tv::Certificate C = tv::validateModule(CP, *Mutated, "test");
+    EXPECT_EQ(C.St, tv::Status::Rejected) << C.toJsonValue().dump(2);
+    const tv::ProgramCert *E0 = findProgram(C, "e0");
+    ASSERT_NE(E0, nullptr);
+    EXPECT_GT(E0->Refuted, 0u);
+    EXPECT_EQ(E0->ProgStatus, "rejected");
+  }
+  // The honest fusion of the same module certifies.
+  tv::Certificate C = tv::validateModule(CP, *bc::fuseModule(*Base), "test");
+  EXPECT_EQ(C.St, tv::Status::Certified) << C.toJsonValue().dump(2);
+}
+
+TEST(TvTest, AllCoresCertifyStrictFused) {
+  // The acceptance bar for the fused lowering: every committed core's
+  // fused module certifies with all obligations proved, and the cached
+  // certificate is per (kind, eval mode) — the fused one is a different
+  // object from the base one, replaying only against the fused IR.
+  for (cores::CoreKind K : cores::allCoreKinds()) {
+    auto Cert = cores::certify(K, /*Fused=*/true);
+    ASSERT_NE(Cert, nullptr);
+    EXPECT_EQ(Cert->St, tv::Status::Certified)
+        << cores::coreKindId(K) << ":\n"
+        << Cert->toJsonValue().dump(2);
+    for (const tv::ProgramCert &P : Cert->Programs)
+      EXPECT_EQ(P.ProgStatus, "proved")
+          << cores::coreKindId(K) << " " << P.Pipe << "/" << P.Label;
+    EXPECT_EQ(cores::certify(K, /*Fused=*/true).get(), Cert.get());
+    EXPECT_NE(cores::certify(K, /*Fused=*/false).get(), Cert.get());
+    tv::CheckResult R =
+        tv::checkCertificate(*Cert, *cores::sharedProgram(K),
+                             *cores::sharedModuleIR(K, /*Fused=*/true));
     EXPECT_TRUE(R.Ok) << cores::coreKindId(K) << ": " << R.Error;
   }
 }

@@ -37,13 +37,32 @@ python3 tools/check_bench_json.py "$BUILD_DIR"/fuzz.json
     --out="$BUILD_DIR"/fuzz-out-serial > "$BUILD_DIR"/fuzz-serial.json
 cmp "$BUILD_DIR"/fuzz.json "$BUILD_DIR"/fuzz-serial.json
 
-# Evaluator-equivalence smoke: the same fixed-seed fuzz matrix with the
-# legacy tree-walking evaluator (PDL_EVAL_TREE=1) must be byte-identical
-# to the default bytecode run — the compiled programs are a bit-for-bit
-# drop-in, not an approximation.
+# Evaluator-equivalence smoke: the same fixed-seed fuzz matrix under the
+# legacy tree walker (--eval=tree) and the superinstruction-fused bytecode
+# (--eval=fused) must be byte-identical to the default bytecode run — the
+# compiled programs are a bit-for-bit drop-in, not an approximation. Rows
+# name their evaluator in eval_mode, so the cmp strips that one line.
+strip_eval_mode() { grep -v '"eval_mode"' "$1"; }
 PDL_EVAL_TREE=1 "$BUILD_DIR"/tools/pdlfuzz --seed=1 --count=25 --json \
     --out="$BUILD_DIR"/fuzz-out-tree > "$BUILD_DIR"/fuzz-tree.json
-cmp "$BUILD_DIR"/fuzz.json "$BUILD_DIR"/fuzz-tree.json
+cmp <(strip_eval_mode "$BUILD_DIR"/fuzz.json) \
+    <(strip_eval_mode "$BUILD_DIR"/fuzz-tree.json)
+"$BUILD_DIR"/tools/pdlfuzz --eval=fused --seed=1 --count=25 --json \
+    --out="$BUILD_DIR"/fuzz-out-fused > "$BUILD_DIR"/fuzz-fused.json
+python3 tools/check_bench_json.py "$BUILD_DIR"/fuzz-fused.json
+cmp <(strip_eval_mode "$BUILD_DIR"/fuzz.json) \
+    <(strip_eval_mode "$BUILD_DIR"/fuzz-fused.json)
+
+# Three-way single-run differential through pdlc: the run-stats document
+# (which carries no eval_mode field) must be byte-identical under all
+# three evaluators.
+for mode in bytecode tree fused; do
+    "$BUILD_DIR"/tools/pdlc --run cpu 0 --cycles 500 --stats=json \
+        --eval="$mode" cores_pdl/rv32i_5stage.pdl \
+        2> /dev/null > "$BUILD_DIR"/stats-"$mode".json
+done
+cmp "$BUILD_DIR"/stats-bytecode.json "$BUILD_DIR"/stats-tree.json
+cmp "$BUILD_DIR"/stats-bytecode.json "$BUILD_DIR"/stats-fused.json
 
 # Translation-validation smoke (tv-smoke in CI): every committed core
 # source must certify in strict mode — all obligations proved, certificate
@@ -53,6 +72,7 @@ cmp "$BUILD_DIR"/fuzz.json "$BUILD_DIR"/fuzz-tree.json
 # assertions live in TvTest.
 for f in cores_pdl/*.pdl; do
     "$BUILD_DIR"/tools/pdlc --certify=strict "$f" > /dev/null
+    "$BUILD_DIR"/tools/pdlc --certify=strict --eval=fused "$f" > /dev/null
 done
 "$BUILD_DIR"/tools/pdlc --certify --stats=json cores_pdl/rv32i_5stage.pdl \
     2> /dev/null > "$BUILD_DIR"/certify.json
@@ -61,6 +81,22 @@ if PDL_TV_MUTATE=cse-ternary "$BUILD_DIR"/tools/pdlc --certify \
     cores_pdl/rv32i_5stage.pdl > /dev/null 2>&1; then
     echo "check.sh: seeded miscompile was NOT rejected"; exit 1
 fi
+# The seeded fusion-window miscompile must likewise be refuted, and the
+# same mutation run through the fuzzer must fail with rejected-certificate
+# rows (outcome "uncertified" — miscompiled code never executes).
+if PDL_TV_MUTATE=fuse-window "$BUILD_DIR"/tools/pdlc --certify \
+    --eval=fused cores_pdl/rv32i_5stage.pdl > /dev/null 2>&1; then
+    echo "check.sh: seeded fusion miscompile was NOT rejected"; exit 1
+fi
+if PDL_TV_MUTATE=fuse-window "$BUILD_DIR"/tools/pdlfuzz --eval=fused \
+    --seed=1 --count=1 --json --certify \
+    > "$BUILD_DIR"/fuzz-mutated.json 2> /dev/null; then
+    echo "check.sh: fuzzer accepted the seeded fusion miscompile"; exit 1
+fi
+grep -q '"tv": "rejected"' "$BUILD_DIR"/fuzz-mutated.json || {
+    echo "check.sh: mutated fuzz rows missing rejected tv field"; exit 1; }
+grep -q '"outcome": "uncertified"' "$BUILD_DIR"/fuzz-mutated.json || {
+    echo "check.sh: mutated fuzz rows executed uncertified code"; exit 1; }
 # Certified fuzz rows: the default matrix again, now with every core's
 # bytecode certified per run (cached after the first); rows carry tv.
 "$BUILD_DIR"/tools/pdlfuzz --seed=1 --count=5 --json --certify \
@@ -186,9 +222,13 @@ trap - EXIT
 
 # Host-throughput trajectory: cycles/sec rows for BENCH_sim.json (the
 # committed snapshot at the repo root is updated deliberately from a quiet
-# machine; see docs/performance.md).
+# machine; see docs/performance.md). Both the fused default and the plain
+# bytecode evaluator pass the schema check (eval_mode/dispatch/fused_ops).
 "$BUILD_DIR"/bench/bench_sim_throughput --json --kernels=kmp \
     > "$BUILD_DIR"/BENCH_sim.json
 python3 tools/check_bench_json.py "$BUILD_DIR"/BENCH_sim.json
+"$BUILD_DIR"/bench/bench_sim_throughput --json --kernels=kmp --eval=fused \
+    > "$BUILD_DIR"/BENCH_sim_fused.json
+python3 tools/check_bench_json.py "$BUILD_DIR"/BENCH_sim_fused.json
 
 echo "check.sh: all green"

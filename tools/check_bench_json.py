@@ -22,9 +22,16 @@ import sys
 
 STALL_CAUSES = ["idle", "lock", "spec", "response", "backpressure", "kill"]
 
-OUTCOMES = ["running", "halted", "drained", "deadlocked", "timed_out"]
+# "uncertified": the run was refused because the artifact's translation-
+# validation certificate was rejected — miscompiled code never executes.
+OUTCOMES = ["running", "halted", "drained", "deadlocked", "timed_out",
+            "uncertified"]
 
 TV_STATUSES = ["certified", "fuzz-trusted", "rejected"]
+
+EVAL_MODES = ["bytecode", "tree", "fused"]
+
+DISPATCH_MODES = ["threaded", "switch"]
 
 # SimClient transport states a pdlsim --json error row may carry.
 TRANSPORTS = ["ok", "refused", "timeout", "closed", "error"]
@@ -67,6 +74,26 @@ def check_throughput(row, where):
         expect(number(row["speedup_vs_baseline"]) and
                row["speedup_vs_baseline"] > 0,
                f"{where}: speedup_vs_baseline must be > 0")
+
+
+def check_eval_mode(row, where):
+    """Evaluator provenance fields (bench_sim_throughput and pdlfuzz rows).
+    Optional — older logs omit them — but when present they must name a
+    real evaluator, and only the fused evaluator may carry fused
+    superinstructions."""
+    if "eval_mode" in row:
+        expect(row["eval_mode"] in EVAL_MODES,
+               f"{where}: eval_mode '{row['eval_mode']}' not in {EVAL_MODES}")
+    if "dispatch" in row:
+        expect(row["dispatch"] in DISPATCH_MODES,
+               f"{where}: dispatch '{row['dispatch']}' "
+               f"not in {DISPATCH_MODES}")
+    if "fused_ops" in row:
+        expect(uint(row["fused_ops"]), f"{where}: fused_ops")
+        if row.get("eval_mode") in ("bytecode", "tree"):
+            expect(row["fused_ops"] == 0,
+                   f"{where}: {row['eval_mode']} rows must report 0 "
+                   f"fused_ops, got {row['fused_ops']}")
 
 
 def check_robustness(obj, where):
@@ -311,6 +338,7 @@ def main():
                 expect(uint(row[key]), f"{where}: {key}")
         check_robustness(row, where)
         check_throughput(row, where)
+        check_eval_mode(row, where)
         if "report" in row:
             check_report(row["report"], where)
             reports += 1

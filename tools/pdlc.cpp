@@ -33,6 +33,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "backend/Compile.h"
+#include "backend/Fuse.h"
 #include "backend/System.h"
 #include "obs/Sinks.h"
 #include "obs/VcdWriter.h"
@@ -59,9 +60,12 @@ static void usage() {
                "            [--trace=OUT.vcd] [--stats=json] [--timeline]\n"
                "            [--mem-model=PIPE.MEM=SPEC]... [--eval=MODE]\n"
                "            [--certify[=strict]] FILE.pdl\n"
-               "  --eval=MODE  expression evaluation: 'bytecode' (default)\n"
-               "               or 'tree' (legacy tree walker; also enabled\n"
-               "               by the PDL_EVAL_TREE environment variable)\n"
+               "  --eval=MODE  expression evaluation: 'bytecode' (default),\n"
+               "               'tree' (legacy tree walker; also enabled by\n"
+               "               the PDL_EVAL_TREE environment variable), or\n"
+               "               'fused' (superinstruction-fused bytecode;\n"
+               "               also enabled by PDL_EVAL_FUSED). Results are\n"
+               "               byte-identical across modes.\n"
                "  --certify    translation-validate the compiled bytecode\n"
                "               against the expression tree and replay the\n"
                "               certificate; exit 4 on a refutation. With\n"
@@ -72,6 +76,7 @@ static void usage() {
 int main(int argc, char **argv) {
   bool DumpStages = false, DumpSeq = false, DumpAst = false;
   bool StatsJson = false, Timeline = false, EvalTree = false;
+  bool EvalFused = false;
   bool Certify = false, CertifyStrict = false;
   std::string RunPipe, TracePath;
   uint64_t RunArg = 0, Cycles = 100;
@@ -117,9 +122,12 @@ int main(int argc, char **argv) {
       std::string Mode = A.substr(7);
       if (Mode == "tree") {
         EvalTree = true;
+      } else if (Mode == "fused") {
+        EvalFused = true;
       } else if (Mode != "bytecode") {
         std::fprintf(stderr,
-                     "pdlc: --eval wants 'bytecode' or 'tree', got '%s'\n",
+                     "pdlc: --eval wants 'bytecode', 'tree' or 'fused', "
+                     "got '%s'\n",
                      Mode.c_str());
         return 2;
       }
@@ -175,6 +183,11 @@ int main(int argc, char **argv) {
   if (Certify) {
     std::shared_ptr<const backend::bc::ModuleIR> IR =
         backend::bc::compileModule(Program);
+    // Certify the lowering that will actually run: under --eval=fused (or
+    // PDL_EVAL_FUSED) the superinstruction pass is part of the compiled
+    // artifact, so the validator must see — and be able to refute — it.
+    if (EvalFused || backend::bc::fusedModeRequested())
+      IR = backend::bc::fuseModule(*IR);
     tv::Certificate Cert = tv::validateModule(Program, *IR, File);
     tv::CheckResult Replay = tv::checkCertificate(Cert, Program, *IR);
 
@@ -307,6 +320,7 @@ int main(int argc, char **argv) {
 
     backend::ElabConfig Cfg;
     Cfg.EvalTree = EvalTree;
+    Cfg.EvalFused = EvalFused;
     Cfg.MemModels = MemModels;
     for (const auto &[Key, C] : MemModels)
       std::fprintf(Msg, "mem-model %s: %s\n", Key.c_str(),

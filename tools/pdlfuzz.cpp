@@ -46,12 +46,16 @@ static void usage() {
       "usage: pdlfuzz [--seed=N] [--count=N] [--cycles=N] [--jobs=N]\n"
       "               [--cores=LIST] [--profiles=LIST] [--out=DIR]\n"
       "               [--fault=SPEC] [--json] [--fail-fast] [--certify]\n"
+      "               [--eval=MODE]\n"
       "  cores:    5stage nobypass 3stage bht rv32im rename\n"
       "  profiles: always-hit l1-4k l1-tiny\n"
       "  fault:    kind[:pipe=P,mem=M,from=S,to=S,nth=N,bit=N,var=V]\n"
       "  certify:  translation-validate each core's compiled bytecode;\n"
       "            rows carry a 'tv' field and a rejected certificate\n"
-      "            counts as a failure\n");
+      "            counts as a failure\n"
+      "  eval:     'bytecode' (default), 'tree' or 'fused' — the expression\n"
+      "            evaluator every job runs under; results (and JSON rows,\n"
+      "            minus the eval_mode field) are byte-identical per seed\n");
 }
 
 static std::vector<std::string> splitList(const std::string &S) {
@@ -103,6 +107,21 @@ int main(int argc, char **argv) {
       O.FailFast = true;
     } else if (A == "--certify") {
       O.Certify = true;
+    } else if (A.rfind("--eval=", 0) == 0) {
+      // Jobs consult the environment when they elaborate a System (and the
+      // shared circuit cache keys on it), so setenv covers every worker.
+      std::string Mode = A.substr(7);
+      if (Mode == "tree") {
+        setenv("PDL_EVAL_TREE", "1", 1);
+      } else if (Mode == "fused") {
+        setenv("PDL_EVAL_FUSED", "1", 1);
+      } else if (Mode != "bytecode") {
+        std::fprintf(stderr,
+                     "pdlfuzz: --eval wants 'bytecode', 'tree' or 'fused', "
+                     "got '%s'\n",
+                     Mode.c_str());
+        return 2;
+      }
     } else if (A == "--help" || A == "-h") {
       usage();
       return 0;

@@ -69,9 +69,11 @@ static void usage() {
                "                  snapshot in-flight jobs every N cycles\n"
                "                  (0 disables; needs --state-dir)\n"
                "  --eval=MODE     expression evaluation for every served\n"
-               "                  run: 'bytecode' (default) or 'tree' (the\n"
-               "                  PDL_EVAL_TREE escape hatch; results must\n"
-               "                  be byte-identical either way)\n");
+               "                  run: 'bytecode' (default), 'tree' (the\n"
+               "                  PDL_EVAL_TREE escape hatch) or 'fused'\n"
+               "                  (superinstruction bytecode, PDL_EVAL_FUSED;\n"
+               "                  results must be byte-identical in every\n"
+               "                  mode — cached results are shared freely)\n");
 }
 
 int main(int argc, char **argv) {
@@ -102,9 +104,12 @@ int main(int argc, char **argv) {
         // Workers consult the environment when they elaborate a System, so
         // setting it before start() covers every served run.
         setenv("PDL_EVAL_TREE", "1", 1);
+      } else if (Mode == "fused") {
+        setenv("PDL_EVAL_FUSED", "1", 1);
       } else if (Mode != "bytecode") {
         std::fprintf(stderr,
-                     "pdlsimd: --eval wants 'bytecode' or 'tree', got '%s'\n",
+                     "pdlsimd: --eval wants 'bytecode', 'tree' or 'fused', "
+                     "got '%s'\n",
                      Mode.c_str());
         return 2;
       }
