@@ -16,9 +16,17 @@
 /// sequential-equivalence check is off here — this bench times the
 /// executor alone, not the oracle.
 ///
+/// `--eval` selects the expression evaluator under test (bytecode, tree,
+/// fused, or native); `--compare` runs every evaluator in one invocation
+/// and prints a per-kernel speedup table against the bytecode tier. Under
+/// the native tier, artifacts are compiled (or loaded warm) before any
+/// timing starts, the one-time compile cost is reported separately, and
+/// every row names the compiler plus whether the artifact cache hit.
+///
 //===----------------------------------------------------------------------===//
 
 #include "backend/Fuse.h"
+#include "backend/NativeCache.h"
 #include "cores/Core.h"
 #include "obs/Json.h"
 #include "riscv/Assembler.h"
@@ -77,25 +85,179 @@ Measure runOnce(CoreKind Kind, const Workload &W) {
 }
 
 double clampMs(double Ms) { return Ms > 1e-6 ? Ms : 1e-6; }
+double perSec(const Measure &M) {
+  return double(M.Cycles) * 1000.0 / clampMs(M.WallMs);
+}
+
+/// One evaluator's full measurement pass over the matrix.
+struct ModeRun {
+  std::string Requested;             // the --eval spelling
+  std::vector<std::string> RowMode;  // actual per-config mode (native may
+                                     // degrade to fused without a compiler)
+  std::vector<Measure> Best;         // NumConfigs * K
+  Measure Batch;
+  std::vector<uint64_t> FusedOps;    // static census per config
+  uint64_t FusedOpsTotal = 0;
+  // Native provenance, empty/false elsewhere.
+  std::vector<std::string> Compiler; // per config
+  std::vector<bool> CacheHit;        // per config
+  uint64_t ColdCompiles = 0, ColdCompileMs = 0, WarmHits = 0;
+};
+
+/// Evaluation mode is ambient (System construction consults the
+/// environment, and the shared circuit cache keys on the tier), so a
+/// measurement pass owns the env for its duration.
+void applyEvalEnv(const std::string &Mode) {
+  unsetenv("PDL_EVAL_TREE");
+  unsetenv("PDL_EVAL_FUSED");
+  unsetenv("PDL_EVAL_NATIVE");
+  if (Mode == "tree")
+    setenv("PDL_EVAL_TREE", "1", 1);
+  else if (Mode == "fused")
+    setenv("PDL_EVAL_FUSED", "1", 1);
+  else if (Mode == "native")
+    setenv("PDL_EVAL_NATIVE", "1", 1);
+}
+
+ModeRun measureMode(const std::string &Mode,
+                    const std::vector<Workload> &Kernels, uint64_t Jobs,
+                    uint64_t Repeat) {
+  applyEvalEnv(Mode);
+  const size_t K = Kernels.size();
+  ModeRun R;
+  R.Requested = Mode;
+  R.RowMode.assign(NumConfigs, Mode);
+  R.FusedOps.assign(NumConfigs, 0);
+  R.Compiler.assign(NumConfigs, "");
+  R.CacheHit.assign(NumConfigs, false);
+
+  // Static fusion census per config: how many superinstructions the fused
+  // lowering of each core's module carries. Native artifacts are emitted
+  // from exactly this lowering, so the census applies to both tiers (base
+  // bytecode never contains superinstructions by construction).
+  if (Mode == "fused" || Mode == "native")
+    for (size_t CI = 0; CI != NumConfigs; ++CI) {
+      backend::bc::FuseStats S;
+      backend::bc::fuseModule(*sharedModuleIR(Configs[CI].Kind, false), &S);
+      R.FusedOps[CI] = S.fusedInsns();
+      R.FusedOpsTotal += S.fusedInsns();
+    }
+
+  // Warm the native tier before any clock starts: certification plus
+  // compile (or warm artifact load) is a one-time cost per (kind,
+  // compiler), reported separately from steady-state throughput.
+  if (Mode == "native") {
+    backend::native::Stats Before = backend::native::stats();
+    auto T0 = std::chrono::steady_clock::now();
+    for (size_t CI = 0; CI != NumConfigs; ++CI) {
+      std::shared_ptr<const backend::bc::ModuleIR> M =
+          sharedModuleIR(Configs[CI].Kind, EvalTier::Native);
+      R.Compiler[CI] = M->NativeCompiler;
+      R.CacheHit[CI] = M->NativeCacheHit;
+      if (M->NativeCompiler.empty())
+        R.RowMode[CI] = "fused"; // attach fell back; rows must say so
+    }
+    backend::native::Stats After = backend::native::stats();
+    R.ColdCompiles = After.Compiles - Before.Compiles;
+    R.ColdCompileMs = After.CompileMs - Before.CompileMs;
+    R.WarmHits = After.CacheHits - Before.CacheHits;
+    std::fprintf(stderr,
+                 "bench_sim_throughput: native warm-up %.0f ms: %llu "
+                 "compile(s) (%llu ms in the compiler), %llu warm "
+                 "artifact(s)\n",
+                 msSince(T0), (unsigned long long)R.ColdCompiles,
+                 (unsigned long long)R.ColdCompileMs,
+                 (unsigned long long)R.WarmHits);
+  }
+
+  // Every (config, kernel, repeat) run is independent; fan all of them out
+  // and keep the best (minimum wall) repeat per row.
+  std::vector<Measure> Runs(NumConfigs * K * Repeat);
+  sim::parallelForOrdered(unsigned(Jobs), Runs.size(), [&](size_t I) {
+    const size_t Row = I / Repeat;
+    Runs[I] = runOnce(Configs[Row / K].Kind, Kernels[Row % K]);
+  });
+  R.Best.resize(NumConfigs * K);
+  for (size_t Row = 0; Row != R.Best.size(); ++Row) {
+    R.Best[Row] = Runs[Row * Repeat];
+    for (size_t Rep = 1; Rep != Repeat; ++Rep)
+      if (Runs[Row * Repeat + Rep].WallMs < R.Best[Row].WallMs)
+        R.Best[Row] = Runs[Row * Repeat + Rep];
+  }
+
+  // One whole-matrix measurement through the pool: aggregate host
+  // throughput with `Jobs` concurrent single-threaded Systems.
+  {
+    std::vector<Measure> M(NumConfigs * K);
+    auto T0 = std::chrono::steady_clock::now();
+    sim::parallelForOrdered(unsigned(Jobs), M.size(), [&](size_t I) {
+      M[I] = runOnce(Configs[I / K].Kind, Kernels[I % K]);
+    });
+    R.Batch.WallMs = msSince(T0);
+    for (const Measure &X : M) {
+      R.Batch.Cycles += X.Cycles;
+      R.Batch.Instrs += X.Instrs;
+    }
+  }
+  return R;
+}
+
+/// A mode's batch row degrades to "fused" only when every config fell back.
+std::string batchMode(const ModeRun &R) {
+  for (const std::string &M : R.RowMode)
+    if (M == "native")
+      return "native";
+  return R.RowMode.empty() ? R.Requested : R.RowMode[0];
+}
 
 obs::Json jsonRow(const std::string &Config, const std::string &Kernel,
                   const Measure &M, uint64_t Jobs, double Speedup,
-                  const std::string &EvalMode, uint64_t FusedOps) {
+                  const std::string &EvalMode, uint64_t FusedOps,
+                  const std::string &Compiler, bool CacheHit) {
   obs::Json Row = obs::Json::object();
   Row.set("config", Config);
   Row.set("kernel", Kernel);
   Row.set("eval_mode", EvalMode);
   Row.set("dispatch", backend::bc::dispatchModeName());
   Row.set("fused_ops", FusedOps);
+  if (EvalMode == "native") {
+    Row.set("compiler", Compiler);
+    Row.set("native_cache_hit", CacheHit);
+  }
   Row.set("cpi", M.Instrs ? double(M.Cycles) / double(M.Instrs) : 0.0);
   Row.set("cycles", M.Cycles);
   Row.set("instrs", M.Instrs);
   Row.set("wall_ms", M.WallMs);
-  Row.set("cycles_per_sec", double(M.Cycles) * 1000.0 / clampMs(M.WallMs));
+  Row.set("cycles_per_sec", perSec(M));
   Row.set("jobs", Jobs);
   if (Speedup > 0)
     Row.set("speedup_vs_baseline", Speedup);
   return Row;
+}
+
+/// Emits every row of one measurement pass into \p Rows.
+void pushModeRows(obs::Json &Rows, const ModeRun &R,
+                  const std::vector<Workload> &Kernels, uint64_t Jobs,
+                  const std::vector<double> &Speedups) {
+  const size_t K = Kernels.size();
+  for (size_t CI = 0; CI != NumConfigs; ++CI)
+    for (size_t KI = 0; KI != K; ++KI)
+      Rows.push(jsonRow(Configs[CI].Name, Kernels[KI].Name,
+                        R.Best[CI * K + KI], Jobs,
+                        Speedups.empty() ? 0.0 : Speedups[CI * K + KI],
+                        R.RowMode[CI], R.FusedOps[CI], R.Compiler[CI],
+                        R.CacheHit[CI]));
+  // The batch row spans every config; it reports the one shared compiler
+  // and a cache-hit flag that is true only when every artifact came warm.
+  size_t NativeCI = 0;
+  bool AllHit = true;
+  for (size_t CI = 0; CI != NumConfigs; ++CI) {
+    if (!R.Compiler[CI].empty())
+      NativeCI = CI;
+    AllHit = AllHit && R.CacheHit[CI];
+  }
+  Rows.push(jsonRow("batch", "matrix", R.Batch, Jobs, 0.0, batchMode(R),
+                    R.FusedOpsTotal, R.Compiler[NativeCI], AllHit));
 }
 
 /// Baseline cycles/sec per (config, kernel) row, loaded from a committed
@@ -134,19 +296,23 @@ loadBaseline(const std::string &Path) {
 } // namespace
 
 int main(int argc, char **argv) {
-  bool JsonOut = false;
+  bool JsonOut = false, Compare = false;
   uint64_t Jobs = 1, Repeat = 3;
   std::string KernelFilter, BaselinePath;
   // The evaluator under test. Defaults to the ambient environment so a
-  // plain `PDL_EVAL_FUSED=1 bench_sim_throughput` also does the right
+  // plain `PDL_EVAL_NATIVE=1 bench_sim_throughput` also does the right
   // thing; --eval overrides.
-  std::string EvalMode = std::getenv("PDL_EVAL_TREE") != nullptr ? "tree"
-                         : backend::bc::fusedModeRequested()     ? "fused"
-                                                                 : "bytecode";
+  std::string EvalMode =
+      std::getenv("PDL_EVAL_TREE") != nullptr          ? "tree"
+      : backend::native::nativeModeRequested()         ? "native"
+      : backend::bc::fusedModeRequested()              ? "fused"
+                                                       : "bytecode";
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "--json")
       JsonOut = true;
+    else if (A == "--compare")
+      Compare = true;
     else if (A.rfind("--jobs=", 0) == 0)
       Jobs = std::strtoull(A.c_str() + 7, nullptr, 0);
     else if (A.rfind("--repeat=", 0) == 0)
@@ -161,23 +327,16 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: bench_sim_throughput [--json] [--jobs=N] "
                    "[--repeat=N] [--kernels=a,b,...] "
-                   "[--eval=bytecode|tree|fused] "
+                   "[--eval=bytecode|tree|fused|native] [--compare] "
                    "[--baseline=BENCH_sim.json]\n");
       return 2;
     }
   }
-  if (EvalMode == "tree") {
-    setenv("PDL_EVAL_TREE", "1", 1);
-  } else if (EvalMode == "fused") {
-    unsetenv("PDL_EVAL_TREE");
-    setenv("PDL_EVAL_FUSED", "1", 1);
-  } else if (EvalMode == "bytecode") {
-    unsetenv("PDL_EVAL_TREE");
-    unsetenv("PDL_EVAL_FUSED");
-  } else {
+  if (EvalMode != "bytecode" && EvalMode != "tree" && EvalMode != "fused" &&
+      EvalMode != "native") {
     std::fprintf(stderr,
-                 "bench_sim_throughput: --eval wants 'bytecode', 'tree' or "
-                 "'fused', got '%s'\n",
+                 "bench_sim_throughput: --eval wants 'bytecode', 'tree', "
+                 "'fused' or 'native', got '%s'\n",
                  EvalMode.c_str());
     return 2;
   }
@@ -209,51 +368,75 @@ int main(int argc, char **argv) {
                  KernelFilter.c_str());
     return 2;
   }
-
-  // Static fusion census per config: how many superinstructions the fused
-  // lowering of each core's module carries (0 when not running fused —
-  // the base bytecode never contains them by construction).
-  std::vector<uint64_t> FusedOps(NumConfigs, 0);
-  uint64_t FusedOpsTotal = 0;
-  if (EvalMode == "fused")
-    for (size_t CI = 0; CI != NumConfigs; ++CI) {
-      backend::bc::FuseStats S;
-      backend::bc::fuseModule(*sharedModuleIR(Configs[CI].Kind, false), &S);
-      FusedOps[CI] = S.fusedInsns();
-      FusedOpsTotal += S.fusedInsns();
-    }
-
-  // Every (config, kernel, repeat) run is independent; fan all of them out
-  // and keep the best (minimum wall) repeat per row.
   const size_t K = Kernels.size();
-  std::vector<Measure> Runs(NumConfigs * K * Repeat);
-  sim::parallelForOrdered(unsigned(Jobs), Runs.size(), [&](size_t I) {
-    const size_t Row = I / Repeat;
-    Runs[I] = runOnce(Configs[Row / K].Kind, Kernels[Row % K]);
-  });
-  std::vector<Measure> Best(NumConfigs * K);
-  for (size_t Row = 0; Row != Best.size(); ++Row) {
-    Best[Row] = Runs[Row * Repeat];
-    for (size_t R = 1; R != Repeat; ++R)
-      if (Runs[Row * Repeat + R].WallMs < Best[Row].WallMs)
-        Best[Row] = Runs[Row * Repeat + R];
+
+  if (Compare) {
+    // Every evaluator over the same matrix, one process: the shared
+    // circuit cache keys per tier, so each pass reuses its own lowering
+    // and nothing leaks between modes. Bytecode is the reference
+    // denominator in the speedup table.
+    std::vector<std::string> Modes = {"tree", "bytecode", "fused"};
+    if (backend::native::available())
+      Modes.push_back("native");
+    else
+      std::fprintf(stderr, "bench_sim_throughput: no C++ compiler found; "
+                           "--compare skips the native tier\n");
+    std::vector<ModeRun> Passes;
+    for (const std::string &M : Modes)
+      Passes.push_back(measureMode(M, Kernels, Jobs, Repeat));
+    const size_t BcIx = 1; // Modes[1] == "bytecode"
+
+    if (JsonOut) {
+      obs::Json Doc = obs::Json::object();
+      Doc.set("bench", "sim_throughput");
+      Doc.set("compare", true);
+      obs::Json Rows = obs::Json::array();
+      for (const ModeRun &P : Passes)
+        pushModeRows(Rows, P, Kernels, Jobs, {});
+      Doc.set("rows", std::move(Rows));
+      std::printf("%s\n", Doc.dump(2).c_str());
+      return 0;
+    }
+
+    std::printf("=== Evaluator comparison (best of %llu, dispatch=%s, "
+                "speedups vs bytecode) ===\n",
+                (unsigned long long)Repeat,
+                backend::bc::dispatchModeName());
+    std::printf("%-14s %-12s", "core", "kernel");
+    for (const ModeRun &P : Passes)
+      std::printf(" %15s", P.Requested.c_str());
+    std::printf("\n");
+    std::vector<double> LogSum(Passes.size(), 0.0);
+    for (size_t CI = 0; CI != NumConfigs; ++CI)
+      for (size_t KI = 0; KI != K; ++KI) {
+        const size_t Row = CI * K + KI;
+        std::printf("%-14s %-12s", Configs[CI].Name,
+                    Kernels[KI].Name.c_str());
+        double Bc = perSec(Passes[BcIx].Best[Row]);
+        for (size_t P = 0; P != Passes.size(); ++P) {
+          double V = perSec(Passes[P].Best[Row]);
+          LogSum[P] += std::log(V / Bc);
+          std::printf(" %9.0f %4.2fx", V, V / Bc);
+        }
+        std::printf("\n");
+      }
+    std::printf("%-27s", "geomean speedup");
+    for (size_t P = 0; P != Passes.size(); ++P)
+      std::printf(" %14.2fx",
+                  std::exp(LogSum[P] / double(NumConfigs * K)));
+    std::printf("\n");
+    for (const ModeRun &P : Passes)
+      if (P.Requested == "native")
+        std::printf("native one-time cost: %llu compile(s), %llu ms; %llu "
+                    "warm artifact(s) (%s)\n",
+                    (unsigned long long)P.ColdCompiles,
+                    (unsigned long long)P.ColdCompileMs,
+                    (unsigned long long)P.WarmHits,
+                    P.Compiler[0].empty() ? "fallback" : P.Compiler[0].c_str());
+    return 0;
   }
 
-  // One whole-matrix measurement through the pool: aggregate host
-  // throughput with `Jobs` concurrent single-threaded Systems.
-  Measure Batch;
-  {
-    std::vector<Measure> M(NumConfigs * K);
-    auto T0 = std::chrono::steady_clock::now();
-    sim::parallelForOrdered(unsigned(Jobs), M.size(), [&](size_t I) {
-      M[I] = runOnce(Configs[I / K].Kind, Kernels[I % K]);
-    });
-    Batch.WallMs = msSince(T0);
-    for (const Measure &R : M) {
-      Batch.Cycles += R.Cycles;
-      Batch.Instrs += R.Instrs;
-    }
-  }
+  ModeRun R = measureMode(EvalMode, Kernels, Jobs, Repeat);
 
   // Per-row speedup against the committed snapshot (when requested), and
   // the geomean over every row the baseline knows about.
@@ -268,9 +451,7 @@ int main(int argc, char **argv) {
       auto It = Base.find({Configs[CI].Name, Kernels[KI].Name});
       if (It == Base.end() || It->second <= 0)
         continue;
-      const Measure &M = Best[CI * K + KI];
-      double Fresh = double(M.Cycles) * 1000.0 / clampMs(M.WallMs);
-      double S = Fresh / It->second;
+      double S = perSec(R.Best[CI * K + KI]) / It->second;
       Speedups[CI * K + KI] = S;
       LogSum += std::log(S);
       ++Compared;
@@ -290,16 +471,15 @@ int main(int argc, char **argv) {
     obs::Json Doc = obs::Json::object();
     Doc.set("bench", "sim_throughput");
     obs::Json Rows = obs::Json::array();
-    for (size_t CI = 0; CI != NumConfigs; ++CI)
-      for (size_t KI = 0; KI != K; ++KI)
-        Rows.push(jsonRow(Configs[CI].Name, Kernels[KI].Name,
-                          Best[CI * K + KI], Jobs, Speedups[CI * K + KI],
-                          EvalMode, FusedOps[CI]));
-    Rows.push(jsonRow("batch", "matrix", Batch, Jobs, 0.0, EvalMode,
-                      FusedOpsTotal));
+    pushModeRows(Rows, R, Kernels, Jobs, Speedups);
     Doc.set("rows", std::move(Rows));
     if (Compared)
       Doc.set("geomean_speedup_vs_baseline", Geomean);
+    if (EvalMode == "native") {
+      Doc.set("native_compiles", R.ColdCompiles);
+      Doc.set("native_compile_ms", R.ColdCompileMs);
+      Doc.set("native_cache_hits", R.WarmHits);
+    }
     std::printf("%s\n", Doc.dump(2).c_str());
     return Exit;
   }
@@ -312,18 +492,17 @@ int main(int argc, char **argv) {
               "wall_ms", "cycles/sec", Compared ? "   speedup" : "");
   for (size_t CI = 0; CI != NumConfigs; ++CI)
     for (size_t KI = 0; KI != K; ++KI) {
-      const Measure &M = Best[CI * K + KI];
+      const Measure &M = R.Best[CI * K + KI];
       std::printf("%-14s %-12s %12llu %10.2f %14.0f", Configs[CI].Name,
                   Kernels[KI].Name.c_str(), (unsigned long long)M.Cycles,
-                  M.WallMs, double(M.Cycles) * 1000.0 / clampMs(M.WallMs));
+                  M.WallMs, perSec(M));
       if (Speedups[CI * K + KI] > 0)
         std::printf("   %6.2fx", Speedups[CI * K + KI]);
       std::printf("\n");
     }
   std::printf("%-14s %-12s %12llu %10.2f %14.0f  (jobs=%llu)\n", "batch",
-              "matrix", (unsigned long long)Batch.Cycles, Batch.WallMs,
-              double(Batch.Cycles) * 1000.0 / clampMs(Batch.WallMs),
-              (unsigned long long)Jobs);
+              "matrix", (unsigned long long)R.Batch.Cycles, R.Batch.WallMs,
+              perSec(R.Batch), (unsigned long long)Jobs);
   if (Compared)
     std::printf("geomean speedup vs %s: %.2fx over %zu rows\n",
                 BaselinePath.c_str(), Geomean, Compared);

@@ -1,0 +1,322 @@
+//===- BcGen.cpp - Seeded random bytecode program generator -----------------===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Programs are generated in SSA discipline — every op writes a fresh slot —
+// which makes define-before-use trivial along every path and leaves the
+// fusion pass's liveness oracle with real work (folded scratch defs are dead
+// exactly when the generator never re-reads them, which it decides at
+// random). Shapes are drawn from a pattern table biased toward the fusion
+// windows: bare compares feeding branches, Const-feeds-binop pairs,
+// diamond selects with Copy/Const arms, guard epilogues, and op-then-Ret
+// tails. Two flavors alternate: guard programs (a chain of tests that each
+// bail to a shared RetFalse, then RetTrue) and value programs (straight
+// line ending in Ret).
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/BcGen.h"
+
+#include <cassert>
+
+using namespace pdl;
+using namespace pdl::backend;
+using namespace pdl::backend::bc;
+
+namespace {
+
+/// splitmix64: tiny, seed-stable across platforms (std::mt19937 would do,
+/// but its distribution adapters are not portable across standard libraries
+/// and these corpora are shared through CI seeds).
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S(Seed) {}
+  uint64_t next() {
+    uint64_t Z = (S += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+  uint64_t below(uint64_t N) { return N ? next() % N : 0; }
+  bool chance(unsigned Pct) { return below(100) < Pct; }
+};
+
+/// Interesting widths get extra weight: boundary widths shake out masking
+/// and sign-extension bugs faster than a uniform draw.
+unsigned pickWidth(Rng &R) {
+  static const unsigned Hot[] = {1, 2, 7, 8, 16, 31, 32, 33, 63, 64};
+  if (R.chance(60))
+    return Hot[R.below(sizeof(Hot) / sizeof(Hot[0]))];
+  return unsigned(1 + R.below(64));
+}
+
+/// Values biased toward the corners of a width-W domain.
+uint64_t pickValue(Rng &R, unsigned W) {
+  uint64_t Mask = W == 64 ? ~uint64_t(0) : (uint64_t(1) << W) - 1;
+  switch (R.below(6)) {
+  case 0:
+    return 0;
+  case 1:
+    return Mask; // all ones
+  case 2:
+    return uint64_t(1) << (W - 1); // sign bit
+  case 3:
+    return (uint64_t(1) << (W - 1)) - (W == 1 ? 0 : 1); // max positive
+  default:
+    return R.next() & Mask;
+  }
+}
+
+struct Builder {
+  Rng R;
+  std::vector<Insn> Code;
+  std::vector<Bits> Pool;
+  std::vector<unsigned> SlotW; // width of every defined slot
+
+  explicit Builder(uint64_t Seed) : R(Seed) {}
+
+  uint16_t freshSlot(unsigned W) {
+    SlotW.push_back(W);
+    return uint16_t(SlotW.size() - 1);
+  }
+  uint16_t anySlot() { return uint16_t(R.below(SlotW.size())); }
+  /// A random slot sharing \p A's width (possibly A itself — B==C is legal).
+  uint16_t sameWidthAs(uint16_t A) {
+    std::vector<uint16_t> Cands;
+    for (uint16_t I = 0; I != SlotW.size(); ++I)
+      if (SlotW[I] == SlotW[A])
+        Cands.push_back(I);
+    return Cands[R.below(Cands.size())];
+  }
+  uint32_t poolConst(unsigned W) {
+    Pool.emplace_back(pickValue(R, W), W);
+    return uint32_t(Pool.size() - 1);
+  }
+
+  static bool isCmp(Op O) { return O >= Op::Eq && O <= Op::SLe; }
+
+  /// A same-width two-source opcode (the isBin set minus Concat, whose
+  /// width discipline is additive and handled as its own pattern).
+  Op pickBin() {
+    static const Op Bins[] = {Op::Add,  Op::Sub,  Op::Mul,  Op::UDiv,
+                              Op::SDiv, Op::URem, Op::SRem, Op::And,
+                              Op::Or,   Op::Xor,  Op::Shl,  Op::LShr,
+                              Op::AShr, Op::Eq,   Op::Ne,   Op::ULt,
+                              Op::ULe,  Op::SLt,  Op::SLe,  Op::LogAnd,
+                              Op::LogOr};
+    return Bins[R.below(sizeof(Bins) / sizeof(Bins[0]))];
+  }
+
+  unsigned resultWidth(Op O, uint16_t B) {
+    if (isCmp(O) || O == Op::LogAnd || O == Op::LogOr)
+      return 1;
+    return SlotW[B];
+  }
+
+  void emitBinPair() {
+    uint16_t B = anySlot(), C = sameWidthAs(B);
+    Op O = pickBin();
+    Code.push_back({O, freshSlot(resultWidth(O, B)), B, C, 0});
+  }
+
+  /// Const K ; bin A,B,K — the FusedBinK window (const randomly on either
+  /// side). The K slot is never re-read, so one fixpoint pass substitutes
+  /// the pool operand and the next drops the stranded Const.
+  void emitBinConst() {
+    uint16_t B = anySlot();
+    Op O = pickBin();
+    uint16_t K = freshSlot(SlotW[B]);
+    Code.push_back({Op::Const, K, 0, 0, poolConst(SlotW[B])});
+    if (R.chance(50))
+      Code.push_back({O, freshSlot(resultWidth(O, B)), B, K, 0});
+    else
+      Code.push_back({O, freshSlot(resultWidth(O, K)), K, B, 0});
+  }
+
+  void emitUnary() {
+    uint16_t B = anySlot();
+    unsigned W = SlotW[B];
+    switch (R.below(6)) {
+    case 0:
+      Code.push_back({Op::LogNot, freshSlot(1), B, 0, 0});
+      break;
+    case 1:
+      Code.push_back({Op::BitNot, freshSlot(W), B, 0, 0});
+      break;
+    case 2:
+      Code.push_back({Op::Neg, freshSlot(W), B, 0, 0});
+      break;
+    case 3: {
+      unsigned Lo = unsigned(R.below(W)), Hi = Lo + unsigned(R.below(W - Lo));
+      Code.push_back(
+          {Op::Slice, freshSlot(Hi - Lo + 1), B, 0, (Hi << 16) | Lo});
+      break;
+    }
+    case 4: {
+      unsigned To = pickWidth(R); // zextTo truncates too — any width is legal
+      Code.push_back({Op::ZExt, freshSlot(To), B, uint16_t(To), 0});
+      break;
+    }
+    default: {
+      unsigned To = pickWidth(R);
+      Code.push_back({Op::SExt, freshSlot(To), B, uint16_t(To), 0});
+      break;
+    }
+    }
+  }
+
+  void emitConcat() {
+    // Find a pair whose widths sum within 64; give up quietly if the draw
+    // is unlucky (another pattern runs instead).
+    for (unsigned Try = 0; Try != 8; ++Try) {
+      uint16_t B = anySlot(), C = anySlot();
+      if (SlotW[B] + SlotW[C] <= 64) {
+        Code.push_back({Op::Concat, freshSlot(SlotW[B] + SlotW[C]), B, C, 0});
+        return;
+      }
+    }
+    emitUnary();
+  }
+
+  /// The diamond FusedSelect looks for:
+  ///   BrFalse c,Le ; then ; Jump Ld ; Le: else
+  /// with both arms one Copy/Const writing the same fresh slot.
+  void emitSelect() {
+    uint16_t Cond = anySlot();
+    unsigned W = pickWidth(R);
+    uint16_t Dest = freshSlot(W);
+    uint32_t Base = uint32_t(Code.size());
+    Code.push_back({Op::BrFalse, 0, Cond, 0, Base + 3});
+    auto Arm = [&]() -> Insn {
+      if (R.chance(50))
+        return {Op::Const, Dest, 0, 0, poolConst(W)};
+      // Copy arm: needs an existing slot of width W (never Dest itself,
+      // which is still undefined here); fall back to Const.
+      for (unsigned Try = 0; Try != 8; ++Try) {
+        uint16_t S = anySlot();
+        if (S != Dest && SlotW[S] == W)
+          return {Op::Copy, Dest, S, 0, 0};
+      }
+      return {Op::Const, Dest, 0, 0, poolConst(W)};
+    };
+    Code.push_back(Arm()); // then
+    Code.push_back({Op::Jump, 0, 0, 0, Base + 4});
+    Code.push_back(Arm()); // else
+  }
+
+  void emitComputeSection(unsigned N) {
+    for (unsigned I = 0; I != N; ++I) {
+      switch (R.below(10)) {
+      case 0:
+      case 1:
+      case 2:
+        emitBinPair();
+        break;
+      case 3:
+      case 4:
+        emitBinConst();
+        break;
+      case 5:
+      case 6:
+        emitUnary();
+        break;
+      case 7:
+        emitConcat();
+        break;
+      case 8:
+        emitSelect();
+        break;
+      default: {
+        unsigned W = pickWidth(R);
+        // A Const that may never be read again — DeadConst fold fodder.
+        Code.push_back({Op::Const, freshSlot(W), 0, 0, poolConst(W)});
+        break;
+      }
+      }
+    }
+  }
+};
+
+} // namespace
+
+GenProgram bc::genProgram(uint64_t Seed) {
+  Builder B(Seed);
+
+  GenProgram G;
+  G.NumInputs = unsigned(2 + B.R.below(5));
+  for (unsigned I = 0; I != G.NumInputs; ++I) {
+    // Pair up input widths often enough that same-width partners exist
+    // from the first instruction on.
+    unsigned W =
+        (I && B.R.chance(40)) ? B.SlotW[B.R.below(I)] : pickWidth(B.R);
+    B.freshSlot(W);
+    G.InputWidths.push_back(W);
+  }
+
+  B.emitComputeSection(unsigned(3 + B.R.below(10)));
+
+  if (B.R.chance(50)) {
+    // Guard flavor: a chain of tests that each bail out to one shared
+    // RetFalse. Earlier cmp+branch windows fuse to FusedCmpBr; the final
+    // one, whose branch target is the RetFalse right past the fallthrough
+    // RetTrue, fuses to FusedCmpRetBool (or FusedRetBool for a bare
+    // branch).
+    std::vector<size_t> FailBranches;
+    unsigned Tests = unsigned(1 + B.R.below(4));
+    for (unsigned T = 0; T != Tests; ++T) {
+      Op Br = B.R.chance(50) ? Op::BrFalse : Op::BrTrue;
+      if (B.R.chance(70)) {
+        uint16_t X = B.anySlot(), Y = B.sameWidthAs(X);
+        uint16_t D = B.freshSlot(1);
+        Op Cmp = Op(unsigned(Op::Eq) + B.R.below(6));
+        B.Code.push_back({Cmp, D, X, Y, 0});
+        FailBranches.push_back(B.Code.size());
+        B.Code.push_back({Br, 0, D, 0, 0});
+      } else {
+        FailBranches.push_back(B.Code.size());
+        B.Code.push_back({Br, 0, B.anySlot(), 0, 0});
+      }
+    }
+    B.Code.push_back({Op::RetTrue, 0, 0, 0, 0});
+    uint32_t Fail = uint32_t(B.Code.size());
+    B.Code.push_back({Op::RetFalse, 0, 0, 0, 0});
+    for (size_t Ix : FailBranches)
+      B.Code[Ix].Imm = Fail;
+  } else if (B.R.chance(60)) {
+    // Value flavor, FusedRetOp window: one last op, returned immediately.
+    size_t Before = B.Code.size();
+    switch (B.R.below(3)) {
+    case 0:
+      B.emitBinPair();
+      break;
+    case 1:
+      B.emitUnary();
+      break;
+    default:
+      B.emitConcat();
+      break;
+    }
+    // The patterns above may emit helpers; return whatever slot the final
+    // emitted instruction defined (all compute patterns end in a def).
+    assert(B.Code.size() > Before && "compute pattern emitted nothing");
+    (void)Before;
+    B.Code.push_back({Op::Ret, 0, B.Code.back().A, 0, 0});
+  } else {
+    B.Code.push_back({Op::Ret, 0, B.anySlot(), 0, 0});
+  }
+
+  G.Prog.Code = std::move(B.Code);
+  G.Prog.Pool = std::move(B.Pool);
+  G.FrameSize = unsigned(B.SlotW.size());
+  return G;
+}
+
+std::vector<Bits> bc::randomFrame(const GenProgram &G, uint64_t Seed) {
+  Rng R(Seed ^ 0xa5a5a5a55a5a5a5aull);
+  std::vector<Bits> Frame(G.FrameSize);
+  for (unsigned I = 0; I != G.NumInputs; ++I)
+    Frame[I] = Bits(pickValue(R, G.InputWidths[I]), G.InputWidths[I]);
+  return Frame;
+}

@@ -1,0 +1,56 @@
+//===- BcGen.h - Seeded random bytecode program generator ------*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded generator of random-but-well-formed ExprPrograms, for property
+/// testing the lowerings below the bytecode — superinstruction fusion
+/// (Fuse.cpp) and native emission (Emit.cpp) — on shapes far outside what
+/// the core matrix compiles to. Generated programs satisfy every invariant
+/// bc::exec and the passes rely on: scratch slots are defined before read,
+/// branches are forward-only, every path ends in a return, and widths agree
+/// at each operation. Only pure opcodes are emitted (MemRead/Extern need
+/// live AST sites, and fusion never touches them anyway); the generator is
+/// biased toward the exact windows the fusion pass looks for, so all six
+/// superinstructions fire across a modest corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_BACKEND_BCGEN_H
+#define PDL_BACKEND_BCGEN_H
+
+#include "backend/Bytecode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pdl {
+namespace backend {
+namespace bc {
+
+struct GenProgram {
+  ExprProgram Prog;
+  /// Slots [0, NumInputs) are read-only inputs the caller must initialise
+  /// (randomFrame does); the rest is scratch the program defines itself.
+  unsigned NumInputs = 0;
+  /// Total frame size the program may touch.
+  unsigned FrameSize = 0;
+  /// Width of each input slot, so differential frames can be regenerated.
+  std::vector<unsigned> InputWidths;
+};
+
+/// Generates one well-formed pure program from \p Seed. Deterministic:
+/// equal seeds yield equal programs.
+GenProgram genProgram(uint64_t Seed);
+
+/// A random input frame for \p G (scratch slots default-initialised), from
+/// an independent seed so one program can be probed at many points.
+std::vector<Bits> randomFrame(const GenProgram &G, uint64_t Seed);
+
+} // namespace bc
+} // namespace backend
+} // namespace pdl
+
+#endif // PDL_BACKEND_BCGEN_H

@@ -123,6 +123,13 @@ struct Insn {
   uint32_t Imm = 0;
 };
 
+/// Signature of a natively compiled program (backend/Emit.h): the emitted
+/// `extern "C" void sym(const void *prog, NB *frame, void *hooks, NB *ret)`
+/// seen through host-side void pointers. Layout compatibility between the
+/// emitted NB mirror and Bits is verified at dlopen time (NativeCache.cpp).
+using NativeThunk = void (*)(const void *Prog, void *Frame, void *Hooks,
+                             void *Ret);
+
 /// One compiled expression (or fused guard conjunction). Self-contained:
 /// constant pool and hook-site tables travel with the code.
 struct ExprProgram {
@@ -130,6 +137,10 @@ struct ExprProgram {
   std::vector<Bits> Pool;
   std::vector<const ast::MemReadExpr *> MemSites;
   std::vector<const ast::ExternCallExpr *> ExternSites;
+  /// Non-null once native::attachModule has bound a compiled artifact:
+  /// bc::exec dispatches here instead of interpreting Code. Never set on
+  /// uncertified bytecode; always semantically identical to Code.
+  NativeThunk Native = nullptr;
 };
 
 /// Services the two opcodes that escape the frame. One virtual dispatch per
@@ -142,10 +153,28 @@ public:
                           unsigned NumArgs) = 0;
 };
 
+/// The interpreter entry point (Compile.cpp): runs \p P's Code. Callers
+/// use exec() below, which peels the native fast path off first.
+Bits execInterp(const ExprProgram &P, Bits *Frame, Hooks &H);
+
 /// Runs \p P over \p Frame. The frame must be at least the owning
 /// PipeProgram's FrameSize; programs only write scratch slots (never named
 /// variable slots) and always define a scratch slot before reading it.
-Bits exec(const ExprProgram &P, Bits *Frame, Hooks &H);
+///
+/// Inline so the native tier dispatches straight to its compiled thunk:
+/// entering the interpreter function just to branch back out would pay its
+/// whole register-spilling prologue on every one of the millions of
+/// per-cycle program evaluations.
+inline Bits exec(const ExprProgram &P, Bits *Frame, Hooks &H) {
+  if (P.Native) {
+    // Same frame, same hooks, same return value as the interpreter — the
+    // artifact only loads under a strict TV certificate (NativeCache.cpp).
+    Bits R;
+    P.Native(&P, Frame, &H, &R);
+    return R;
+  }
+  return execInterp(P, Frame, H);
+}
 
 /// Runs a compiled guard; a null program is an always-true guard.
 inline bool execGuard(const ExprProgram *P, Bits *Frame, Hooks &H) {
@@ -219,6 +248,14 @@ struct PipeProgram {
 /// members are read-only afterwards).
 struct ModuleIR {
   std::unordered_map<std::string, PipeProgram> Pipes;
+
+  /// Native-tier state (backend/NativeCache.h). NativeLib keeps the
+  /// dlopen'd artifact alive for as long as any program's Native thunk may
+  /// run; NativeCompiler is the compiler identity line ("" when the module
+  /// is interpreted); NativeCacheHit says the artifact came warm from disk.
+  std::shared_ptr<void> NativeLib;
+  std::string NativeCompiler;
+  bool NativeCacheHit = false;
 
   const PipeProgram *pipe(const std::string &Name) const {
     auto It = Pipes.find(Name);

@@ -120,7 +120,7 @@ inline Bits applyRetOp(const ExprProgram &P, const Insn &I, const Bits *F) {
 
 } // namespace
 
-Bits bc::exec(const ExprProgram &P, Bits *F, Hooks &H) {
+Bits bc::execInterp(const ExprProgram &P, Bits *F, Hooks &H) {
   const Insn *Base = P.Code.data();
   const Bits *Pool = P.Pool.data();
   const Insn *I = Base;

@@ -1,0 +1,82 @@
+//===- Emit.h - C++ emission of compiled bytecode programs -----*- C++ -*-===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The last lowering level below the fused bytecode: translate every
+/// ExprProgram of a compiled module into one self-contained C++ translation
+/// unit — branches as real `goto`s, pool constants inlined as literals, and
+/// the six superinstructions expanded to their documented native form.
+/// Slot widths are inferred statically (variable slots from their declared
+/// widths, scratch from the defining opcode) so most operations compile to
+/// raw 64-bit arithmetic with constant masks, and scratch slots are lowered
+/// to C++ locals the system compiler can register-allocate. The emitted
+/// source has no includes and no dependency on the PDL headers: values are
+/// a layout-compatible mirror of pdl::Bits (verified at dlopen time by an
+/// exported probe, see NativeCache.h), and the two opcodes that escape the
+/// frame (MemRead / Extern) call back through host-registered C function
+/// pointers, so a compiled artifact is reusable across processes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_BACKEND_EMIT_H
+#define PDL_BACKEND_EMIT_H
+
+#include "backend/Bytecode.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pdl {
+namespace backend {
+namespace native {
+
+/// The emitted-artifact ABI, shared between Emit.cpp (which bakes it into
+/// the generated TU) and NativeCache.cpp (which refuses to dispatch into a
+/// shared object reporting anything else). Bump on any change to the value
+/// mirror, the hook typedefs, or the thunk signature — and on any change
+/// to the emission strategy itself: the version feeds moduleDigest, so a
+/// bump is what retires cached artifacts built by an older emitter (the
+/// digest covers the bytecode, not the generated source).
+/// v2: static width inference + scratch-slot registerization.
+constexpr unsigned kAbiVersion = 2;
+
+/// What `pdl_native_abi()` must return: version tag fused with the value
+/// mirror's size so a stale artifact from a different layout can never bind.
+constexpr unsigned kAbiWord = (kAbiVersion << 8) | 16u /* sizeof(NB) */;
+
+/// The value `pdl_native_probe()` writes, read back by the host as a Bits —
+/// a runtime check that the emitted mirror and pdl::Bits agree on layout.
+constexpr uint64_t kProbeValue = 0x1234abcdu;
+constexpr unsigned kProbeWidth = 32;
+
+/// Content digest of everything emission depends on: pipe names, the
+/// instruction streams, constant pools, and hook-site counts, plus the ABI
+/// version. Two modules with equal digests emit byte-identical TUs; the
+/// digest (not the source) names on-disk artifacts.
+uint64_t moduleDigest(const bc::ModuleIR &M);
+
+struct EmitResult {
+  /// The self-contained C++ translation unit.
+  std::string Source;
+  /// Exported symbol for each program, paired with the program it was
+  /// emitted from, in emission order (pipes sorted by name, programs in
+  /// deque order). The order is canonical: NativeCache both records it in
+  /// artifact metadata and replays it when binding a cached artifact.
+  std::vector<std::pair<std::string, const bc::ExprProgram *>> Symbols;
+};
+
+/// Emits the whole module. Pure; never fails (every opcode has an
+/// expansion). Programs already carrying superinstructions emit their
+/// expanded native form, so emitting a fused module is the expected path.
+EmitResult emitModule(const bc::ModuleIR &M);
+
+} // namespace native
+} // namespace backend
+} // namespace pdl
+
+#endif // PDL_BACKEND_EMIT_H

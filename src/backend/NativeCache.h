@@ -1,0 +1,101 @@
+//===- NativeCache.h - Compile, cache, and dlopen emitted circuits -*-C++-*===//
+//
+// Part of the PDL reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native evaluation tier's runtime half: drive the system C++ compiler
+/// over an emitted module (Emit.h), `dlopen` the shared object, verify its
+/// ABI word and value-layout probe, bind the MemRead/Extern trampolines,
+/// and patch every ExprProgram's Native thunk so bc::exec dispatches
+/// straight into compiled code. Artifacts are content-addressed by
+/// (module digest, compiler identity, flags) in an on-disk store whose
+/// descriptor records reuse the support/Persist CRC/atomic discipline —
+/// a warm cache never recompiles, across processes and daemon restarts.
+///
+/// Trust model: attachModule refuses to run anything unless the caller
+/// attests that the exact bytecode being emitted carries a strict
+/// translation-validation certificate (AttachOptions::Certified, minted by
+/// tv::validateModule — cores::certify and pdlc --certify are the two
+/// callers). The certificate digest is baked into the artifact descriptor
+/// and must match on reload, so a cached .so can never outlive the proof
+/// it was built under. When no compiler or dlopen is available the caller
+/// falls back to fused interpretation; results are byte-identical either
+/// way (PDL_CHECK_EVAL_IDENTITY cross-runs the modes to enforce it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDL_BACKEND_NATIVECACHE_H
+#define PDL_BACKEND_NATIVECACHE_H
+
+#include "backend/Bytecode.h"
+
+#include <cstdint>
+#include <string>
+
+namespace pdl {
+namespace backend {
+namespace native {
+
+/// True when the environment requests native evaluation (PDL_EVAL_NATIVE,
+/// the --eval=native surface). PDL_EVAL_TREE takes precedence, exactly as
+/// it does over PDL_EVAL_FUSED; native in turn outranks fused.
+bool nativeModeRequested();
+
+/// First line of `$CXX --version` for the compiler the cache would use, or
+/// "" when none is usable. PDL_NATIVE_CXX overrides discovery verbatim
+/// (pointing it at a nonexistent binary is how CI proves the no-compiler
+/// fallback); otherwise c++/g++/clang++ are probed in order, once per
+/// process.
+const std::string &compilerIdentity();
+
+/// True when a compiler was found — the precondition for attachModule to
+/// do anything but fail gracefully.
+bool available();
+
+/// Where artifacts live: PDL_NATIVE_CACHE_DIR, else a per-user directory
+/// under TMPDIR. pdlsimd points this at <state-dir>/native so the daemon's
+/// artifacts share its durability root.
+std::string cacheDir();
+
+struct AttachOptions {
+  /// Artifact directory override; empty selects cacheDir().
+  std::string CacheDir;
+  /// tv::Certificate::digest() of the strict certificate covering exactly
+  /// the module being attached. Recorded in the artifact descriptor.
+  uint64_t CertDigest = 0;
+  /// Caller's attestation that the certificate status is Status::Certified.
+  /// attachModule hard-refuses when false — uncertified bytecode never
+  /// reaches the system compiler.
+  bool Certified = false;
+  /// Diagnostic label ("5stage", a pdlc module name) for logs and errors.
+  std::string ModuleName;
+};
+
+/// Emits \p M, compiles or reuses a cached artifact, verifies it, and
+/// patches every program's Native thunk in place. On success M.NativeLib
+/// keeps the dlopen handle alive, M.NativeCompiler records the identity,
+/// and M.NativeCacheHit says whether the .so was reused. Returns false
+/// (with \p Err) on any failure — compiler missing, compile error, ABI or
+/// layout mismatch, certificate gate — leaving M untouched and fully
+/// usable as fused bytecode.
+bool attachModule(bc::ModuleIR &M, const AttachOptions &O, std::string *Err);
+
+/// Process-wide counters, for bench rows, daemon drain stats, and the
+/// warm-restart tests.
+struct Stats {
+  uint64_t Compiles = 0;  // cold compiles driven
+  uint64_t CacheHits = 0; // artifacts reused from disk
+  uint64_t Attached = 0;  // modules successfully patched
+  uint64_t Fallbacks = 0; // attach attempts that degraded to fused interp
+  double CompileMs = 0;   // wall time spent in cold compiles
+};
+Stats stats();
+void resetStatsForTest();
+
+} // namespace native
+} // namespace backend
+} // namespace pdl
+
+#endif // PDL_BACKEND_NATIVECACHE_H

@@ -8,6 +8,7 @@
 
 #include "backend/Compile.h"
 #include "backend/Fuse.h"
+#include "backend/NativeCache.h"
 
 #include <cstdlib>
 
@@ -22,7 +23,10 @@ SeqInterpreter::SeqInterpreter(const Program &Prog) : Prog(Prog) {
                    std::make_unique<hw::Memory>(M.Name, M.ElemType.width(),
                                                 M.AddrWidth, M.IsSync));
   IR = bc::compileModule(Prog);
-  if (bc::fusedModeRequested())
+  // The sequential oracle stays an interpreter in every mode: under
+  // native it runs the same fused lowering the attached artifact was
+  // emitted from, never the artifact itself — an independent check.
+  if (bc::fusedModeRequested() || native::nativeModeRequested())
     IR = bc::fuseModule(*IR);
   TreeMode = std::getenv("PDL_EVAL_TREE") != nullptr;
 }

@@ -116,6 +116,7 @@ uint64_t System::configDigest() const {
   W.u8(static_cast<uint8_t>(Cfg.DefaultLock));
   W.b(TreeMode);
   W.b(FusedMode); // snapshot resume is same-mode, like TreeMode
+  W.b(NativeMode); // the requested mode, even if attach degraded to fused
   W.u32(static_cast<uint32_t>(Cfg.LockChoice.size()));
   for (const auto &[Key, Kind] : Cfg.LockChoice) {
     W.str(Key);

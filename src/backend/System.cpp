@@ -135,13 +135,19 @@ System::System(const CompiledProgram &CP, ElabConfig Cfg)
   // (BatchRunner compiles once per core — pre-fused when the mode asks for
   // it, see cores::Core), otherwise compile (and, in fused mode, fuse) now.
   TreeMode = this->Cfg.EvalTree || std::getenv("PDL_EVAL_TREE") != nullptr;
-  FusedMode =
-      !TreeMode && (this->Cfg.EvalFused || std::getenv("PDL_EVAL_FUSED"));
+  NativeMode =
+      !TreeMode && (this->Cfg.EvalNative || std::getenv("PDL_EVAL_NATIVE"));
+  FusedMode = !TreeMode && !NativeMode &&
+              (this->Cfg.EvalFused || std::getenv("PDL_EVAL_FUSED"));
   if (this->Cfg.CompiledIR) {
     IR = this->Cfg.CompiledIR;
   } else {
     IR = bc::compileModule(CP);
-    if (FusedMode)
+    // The native tier emits from the fused lowering; a self-compiled
+    // System has no TV certificate to offer native::attachModule, so under
+    // NativeMode it runs that same fused lowering interpreted (the
+    // documented fallback — cores::Core and pdlc are the attach points).
+    if (FusedMode || NativeMode)
       IR = bc::fuseModule(*IR);
   }
   unsigned MaxFrame = 0;

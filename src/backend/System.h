@@ -180,6 +180,16 @@ struct ElabConfig {
   /// byte-identical to bytecode mode by construction — fusion never
   /// changes frame layout or hook order.
   bool EvalFused = false;
+  /// Run the natively compiled tier (backend/NativeCache.h; also enabled
+  /// by PDL_EVAL_NATIVE). Ignored under EvalTree; outranks EvalFused.
+  /// When CompiledIR is supplied the caller passes a fused circuit whose
+  /// programs may carry attached native thunks (cores::Core certifies and
+  /// attaches; see native::attachModule's certificate gate). A System that
+  /// self-compiles under this flag runs the fused lowering uncompiled —
+  /// attachment requires the TV certificate only the cores/pdlc layers can
+  /// mint — which is the documented graceful-fallback behaviour, and
+  /// byte-identical by construction.
+  bool EvalNative = false;
 };
 
 /// Cheap always-on global counters. Retained for compatibility and for the
@@ -667,6 +677,11 @@ private:
   /// PDL_EVAL_FUSED). Recorded in configDigest like TreeMode: snapshot
   /// resume is same-mode.
   bool FusedMode = false;
+  /// Natively compiled circuit requested (ElabConfig::EvalNative /
+  /// PDL_EVAL_NATIVE). Recorded in configDigest like the other modes —
+  /// the *requested* mode, even when the tier degraded to fused
+  /// interpretation, so cross-mode restore refusal stays deterministic.
+  bool NativeMode = false;
   std::map<std::string, hw::ExternModule *> Externs;
   std::vector<PendingEnq> PendingEnqs;
   std::vector<PendingTag> PendingTags;

@@ -7,6 +7,7 @@
 #include "cores/Core.h"
 
 #include "backend/Fuse.h"
+#include "backend/NativeCache.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -156,19 +157,27 @@ std::mutex &circuitLock() {
   return Lock;
 }
 
-/// Caller holds circuitLock(). Keyed by (kind, eval mode): the fused entry
-/// shares the front-end CompiledProgram with the bytecode entry and holds
-/// the superinstruction lowering of the same circuit, with its own lazily
-/// minted certificate (BcDigest legitimately differs per lowering).
-SharedCircuit &circuitFor(CoreKind K, bool Fused) {
-  static std::map<std::pair<CoreKind, bool>, SharedCircuit> Cache;
-  SharedCircuit &E = Cache[{K, Fused}];
+std::map<std::pair<CoreKind, EvalTier>, SharedCircuit> &circuitCache() {
+  static std::map<std::pair<CoreKind, EvalTier>, SharedCircuit> Cache;
+  return Cache;
+}
+
+/// Caller holds circuitLock(). Keyed by (kind, eval tier): the fused and
+/// native entries share the front-end CompiledProgram with the bytecode
+/// entry and hold the superinstruction lowering of the same circuit, each
+/// with its own certificate (BcDigest legitimately differs per lowering).
+///
+/// The native entry is certified eagerly — native::attachModule only runs
+/// over bytecode carrying a strict certificate — and holds its own fused
+/// copy, so attaching thunks never leaks compiled dispatch into the plain
+/// fused tier (the interpreted differential oracle). When the proof is not
+/// strict, or no compiler/dlopen is available, the entry degrades to the
+/// fused interpreter: byte-identical results, reported once on stderr.
+SharedCircuit &circuitFor(CoreKind K, EvalTier Tier) {
+  SharedCircuit &E = circuitCache()[{K, Tier}];
   if (!E.Program) {
-    if (Fused) {
-      SharedCircuit &Base = circuitFor(K, false);
-      E.Program = Base.Program;
-      E.IR = backend::bc::fuseModule(*Base.IR);
-    } else {
+    switch (Tier) {
+    case EvalTier::Bytecode: {
       auto P = std::make_shared<CompiledProgram>(
           compile(sourceFor(K), coreName(K)));
       if (!P->ok()) {
@@ -178,59 +187,113 @@ SharedCircuit &circuitFor(CoreKind K, bool Fused) {
       }
       E.IR = backend::bc::compileModule(*P);
       E.Program = std::move(P);
+      break;
+    }
+    case EvalTier::Fused: {
+      SharedCircuit &Base = circuitFor(K, EvalTier::Bytecode);
+      E.Program = Base.Program;
+      E.IR = backend::bc::fuseModule(*Base.IR);
+      break;
+    }
+    case EvalTier::Native: {
+      SharedCircuit &Base = circuitFor(K, EvalTier::Bytecode);
+      E.Program = Base.Program;
+      std::shared_ptr<const backend::bc::ModuleIR> Fused =
+          backend::bc::fuseModule(*Base.IR);
+      E.Cert = std::make_shared<tv::Certificate>(
+          tv::validateModule(*E.Program, *Fused, coreKindId(K)));
+      backend::native::AttachOptions O;
+      O.CertDigest = E.Cert->digest();
+      O.Certified = E.Cert->St == tv::Status::Certified;
+      O.ModuleName = coreKindId(K);
+      std::string Err;
+      if (!backend::native::attachModule(
+              const_cast<backend::bc::ModuleIR &>(*Fused), O, &Err))
+        std::fprintf(stderr,
+                     "pdl: native tier unavailable for core '%s' (%s); "
+                     "running the fused interpreter\n",
+                     coreKindId(K), Err.c_str());
+      E.IR = std::move(Fused);
+      break;
+    }
     }
   }
   return E;
 }
 
-SharedCircuit sharedCircuit(CoreKind K, bool Fused) {
+SharedCircuit sharedCircuit(CoreKind K, EvalTier Tier) {
   std::lock_guard<std::mutex> Guard(circuitLock());
-  return circuitFor(K, Fused);
+  return circuitFor(K, Tier);
 }
 
 } // namespace
 
-std::shared_ptr<const tv::Certificate> cores::certify(CoreKind K,
-                                                      bool Fused) {
+cores::EvalTier cores::ambientEvalTier() {
+  if (backend::native::nativeModeRequested())
+    return EvalTier::Native;
+  if (backend::bc::fusedModeRequested())
+    return EvalTier::Fused;
+  return EvalTier::Bytecode;
+}
+
+void cores::resetSharedCircuitsForTest() {
   std::lock_guard<std::mutex> Guard(circuitLock());
-  SharedCircuit &E = circuitFor(K, Fused);
-  if (!E.Cert)
+  circuitCache().clear();
+}
+
+std::shared_ptr<const tv::Certificate> cores::certify(CoreKind K,
+                                                      EvalTier Tier) {
+  std::lock_guard<std::mutex> Guard(circuitLock());
+  SharedCircuit &E = circuitFor(K, Tier);
+  if (!E.Cert) // the Native tier certifies eagerly in circuitFor
     E.Cert = std::make_shared<tv::Certificate>(
         tv::validateModule(*E.Program, *E.IR, coreKindId(K)));
   return E.Cert;
 }
 
+std::shared_ptr<const tv::Certificate> cores::certify(CoreKind K,
+                                                      bool Fused) {
+  return certify(K, Fused ? EvalTier::Fused : EvalTier::Bytecode);
+}
+
 std::shared_ptr<const tv::Certificate> cores::certify(CoreKind K) {
-  return certify(K, backend::bc::fusedModeRequested());
+  return certify(K, ambientEvalTier());
 }
 
 std::shared_ptr<const CompiledProgram> cores::sharedProgram(CoreKind K) {
   std::lock_guard<std::mutex> Guard(circuitLock());
-  return circuitFor(K, false).Program;
+  return circuitFor(K, EvalTier::Bytecode).Program;
+}
+
+std::shared_ptr<const backend::bc::ModuleIR>
+cores::sharedModuleIR(CoreKind K, EvalTier Tier) {
+  std::lock_guard<std::mutex> Guard(circuitLock());
+  return circuitFor(K, Tier).IR;
 }
 
 std::shared_ptr<const backend::bc::ModuleIR> cores::sharedModuleIR(CoreKind K,
                                                                    bool Fused) {
-  std::lock_guard<std::mutex> Guard(circuitLock());
-  return circuitFor(K, Fused).IR;
+  return sharedModuleIR(K, Fused ? EvalTier::Fused : EvalTier::Bytecode);
 }
 
 std::shared_ptr<const backend::bc::ModuleIR> cores::sharedModuleIR(CoreKind K) {
-  return sharedModuleIR(K, backend::bc::fusedModeRequested());
+  return sharedModuleIR(K, ambientEvalTier());
 }
 
 Core::Core(CoreKind Kind, PredictorKind Predictor, CoreMemProfile MemProfile)
     : Kind(Kind), MemProfile(std::move(MemProfile)) {
-  // Pick the ambient eval mode's circuit: PDL_EVAL_FUSED selects the
-  // superinstruction lowering (results are byte-identical by construction,
-  // so nothing downstream — digests, the service cache — keys on it).
-  const bool Fused = backend::bc::fusedModeRequested();
-  SharedCircuit Circuit = sharedCircuit(Kind, Fused);
+  // Pick the ambient eval tier's circuit: PDL_EVAL_FUSED selects the
+  // superinstruction lowering, PDL_EVAL_NATIVE the certified-and-attached
+  // native artifact (results are byte-identical by construction, so
+  // nothing downstream — digests, the service cache — keys on it).
+  const EvalTier Tier = ambientEvalTier();
+  SharedCircuit Circuit = sharedCircuit(Kind, Tier);
   Program = Circuit.Program;
 
   ElabConfig Cfg;
   Cfg.CompiledIR = Circuit.IR;
-  Cfg.EvalFused = Fused;
+  Cfg.EvalFused = Tier == EvalTier::Fused;
+  Cfg.EvalNative = Tier == EvalTier::Native;
   // The register file carries the interesting lock choice; the data memory
   // is guarded by a queue lock (single-stage accesses never conflict).
   switch (Kind) {

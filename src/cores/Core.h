@@ -51,23 +51,45 @@ std::optional<CoreKind> parseCoreKind(const std::string &S);
 /// Every CoreKind, in declaration order (CLI listings, round-trip tests).
 const std::vector<CoreKind> &allCoreKinds();
 
+/// The bytecode-derived evaluation tiers a shared circuit can be cached
+/// at. (Tree mode reuses the Bytecode tier's circuit — the walker ignores
+/// it.) Native is the fused lowering with compiled thunks attached when a
+/// compiler is available, the plain fused lowering otherwise; either way
+/// it is certified eagerly, since native::attachModule refuses to run
+/// uncertified bytecode.
+enum class EvalTier { Bytecode, Fused, Native };
+
+/// The tier the environment requests (PDL_EVAL_NATIVE > PDL_EVAL_FUSED;
+/// PDL_EVAL_TREE forces Bytecode — the walker's differential base).
+EvalTier ambientEvalTier();
+
 /// Translation-validates the shared compiled circuit of \p K (tv::
 /// validateModule) and caches the certificate alongside the circuit for
-/// the life of the process: one proof per (core kind, eval mode), no
+/// the life of the process: one proof per (core kind, eval tier), no
 /// matter how many Cores, fuzz jobs, or service requests ask for it. The
-/// one-argument forms follow the ambient eval mode (PDL_EVAL_FUSED); the
-/// \p Fused overloads pin it, so tests can prove both lowerings.
+/// one-argument forms follow the ambient eval mode; the \p Fused / \p Tier
+/// overloads pin it, so tests can prove every lowering.
 std::shared_ptr<const tv::Certificate> certify(CoreKind K);
 std::shared_ptr<const tv::Certificate> certify(CoreKind K, bool Fused);
+std::shared_ptr<const tv::Certificate> certify(CoreKind K, EvalTier Tier);
 
 /// The process-shared compiled artifacts certificates refer to — exposed
 /// so certificate replay (tv::checkCertificate) can run against exactly
-/// the circuit that was certified. The ModuleIR is the mode's lowering:
+/// the circuit that was certified. The ModuleIR is the tier's lowering:
 /// superinstruction-fused when \p Fused (or the ambient mode) says so.
 std::shared_ptr<const CompiledProgram> sharedProgram(CoreKind K);
 std::shared_ptr<const backend::bc::ModuleIR> sharedModuleIR(CoreKind K);
 std::shared_ptr<const backend::bc::ModuleIR> sharedModuleIR(CoreKind K,
                                                             bool Fused);
+std::shared_ptr<const backend::bc::ModuleIR> sharedModuleIR(CoreKind K,
+                                                            EvalTier Tier);
+
+/// Drops every cached circuit, certificate, and attached native artifact.
+/// Test-only: simulates a fresh process (e.g. a daemon restart) so the
+/// warm-artifact-cache path — zero recompiles on the second start — can be
+/// asserted in-process. Callers must not hold references into the cache
+/// across the reset.
+void resetSharedCircuitsForTest();
 
 /// Which external predictor module backs the BHT core's `bht` extern.
 enum class PredictorKind { Bht2Bit, Gshare };

@@ -6,7 +6,7 @@
 
 #include "service/ResultCache.h"
 
-#include "service/Persist.h"
+#include "support/Persist.h"
 #include "support/BinIO.h"
 
 #include <algorithm>

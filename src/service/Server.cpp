@@ -6,7 +6,7 @@
 
 #include "service/Server.h"
 
-#include "service/SvcFault.h"
+#include "support/SvcFault.h"
 
 #include <cerrno>
 #include <chrono>

@@ -6,7 +6,7 @@
 
 #include "service/Service.h"
 
-#include "service/Persist.h"
+#include "support/Persist.h"
 
 #include <cstdio>
 

@@ -7,6 +7,7 @@
 #include "sim/BatchRunner.h"
 
 #include "backend/Fuse.h"
+#include "backend/NativeCache.h"
 #include "obs/Json.h"
 #include "sim/WorkerPool.h"
 #include "verify/ProgGen.h"
@@ -124,9 +125,14 @@ FuzzBatchResult sim::runFuzzBatch(const FuzzOptions &O) {
   // environment at System construction; pdlfuzz --eval sets it up front).
   // Recorded per row so fuzz corpora from different modes can be told
   // apart; everything else in a row is byte-identical across modes.
+  // Native reports the EFFECTIVE mode: requesting it without a usable
+  // compiler degrades to fused interpretation, and the rows must say so.
   const char *EvalMode = std::getenv("PDL_EVAL_TREE") != nullptr ? "tree"
-                         : backend::bc::fusedModeRequested()     ? "fused"
-                                                                 : "bytecode";
+                         : backend::native::nativeModeRequested()
+                             ? (backend::native::available() ? "native"
+                                                             : "fused")
+                         : backend::bc::fusedModeRequested() ? "fused"
+                                                             : "bytecode";
   obs::Json Rows = obs::Json::array();
   for (size_t I = 0; I != Upto; ++I) {
     const size_t KI = (I / NumProfiles) % NumKinds;

@@ -7,6 +7,7 @@
 #include "sim/SimRequest.h"
 
 #include "backend/Fuse.h"
+#include "backend/NativeCache.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -103,20 +104,31 @@ SimResult sim::runSim(const SimRequest &R) {
   // single-job runs (tests, check.sh legs), never the standing service.
   if (std::getenv("PDL_CHECK_EVAL_IDENTITY") != nullptr &&
       std::getenv("PDL_EVAL_TREE") == nullptr) {
+    // Native and fused both check against plain bytecode; plain bytecode
+    // checks against fused. Either way the cross-run exercises a genuinely
+    // different dispatch path over the same request.
+    const bool WasNative = backend::native::nativeModeRequested();
     const bool WasFused = backend::bc::fusedModeRequested();
+    if (WasNative)
+      unsetenv("PDL_EVAL_NATIVE");
     if (WasFused)
       unsetenv("PDL_EVAL_FUSED");
-    else
+    if (!WasNative && !WasFused)
       setenv("PDL_EVAL_FUSED", "1", 1);
     SimResult Other = verify::runDiff(R.Asm, R.Cfg);
+    if (WasNative)
+      setenv("PDL_EVAL_NATIVE", "1", 1);
     if (WasFused)
       setenv("PDL_EVAL_FUSED", "1", 1);
-    else
+    if (!WasNative && !WasFused)
       unsetenv("PDL_EVAL_FUSED");
     if (Other.toJson() != Res.toJson()) {
       std::fprintf(stderr,
-                   "pdl: fused/bytecode eval-mode identity violated for "
-                   "request %s\n",
+                   "pdl: %s/%s eval-mode identity violated for request %s\n",
+                   WasNative  ? "native"
+                   : WasFused ? "fused"
+                              : "bytecode",
+                   WasNative || WasFused ? "bytecode" : "fused",
                    R.cacheKey().c_str());
       std::abort();
     }

@@ -4,9 +4,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "service/Persist.h"
+#include "support/Persist.h"
 
-#include "service/SvcFault.h"
+#include "support/SvcFault.h"
 #include "support/BinIO.h"
 
 #include <algorithm>

@@ -22,8 +22,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef PDL_SERVICE_PERSIST_H
-#define PDL_SERVICE_PERSIST_H
+#ifndef PDL_SUPPORT_PERSIST_H
+#define PDL_SUPPORT_PERSIST_H
 
 #include <cstdint>
 #include <optional>
@@ -34,11 +34,14 @@ namespace pdl {
 namespace service {
 namespace persist {
 
-/// Record magics ("PDLE" / "PDLJ"): one persistent cache entry
-/// ({key, payload}) and one checkpointed in-flight job
-/// ({request JSON, snapshot blob}).
+/// Record magics ("PDLE" / "PDLJ" / "PDLN"): one persistent cache entry
+/// ({key, payload}), one checkpointed in-flight job
+/// ({request JSON, snapshot blob}), and one native-artifact descriptor
+/// (backend/NativeCache.cpp: {abi, compiler identity, flags, module
+/// digest, certificate digest, symbol list}).
 constexpr uint32_t kCacheEntryMagic = 0x50444C45u;
 constexpr uint32_t kJobMagic = 0x50444C4Au;
+constexpr uint32_t kNativeArtifactMagic = 0x50444C4Eu;
 
 /// Encodes sections as: u32 magic, u32 version(=1), u32 count, count
 /// length-prefixed strings, u32 CRC-32 of everything prior.
@@ -83,4 +86,4 @@ std::vector<DirEntry> listDir(const std::string &Dir,
 } // namespace service
 } // namespace pdl
 
-#endif // PDL_SERVICE_PERSIST_H
+#endif // PDL_SUPPORT_PERSIST_H

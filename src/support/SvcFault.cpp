@@ -4,7 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "service/SvcFault.h"
+#include "support/SvcFault.h"
 
 #include <cstdlib>
 #include <mutex>

@@ -30,8 +30,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef PDL_SERVICE_SVCFAULT_H
-#define PDL_SERVICE_SVCFAULT_H
+#ifndef PDL_SUPPORT_SVCFAULT_H
+#define PDL_SUPPORT_SVCFAULT_H
 
 #include <cstdint>
 #include <optional>
@@ -84,4 +84,4 @@ bool consumeSvcFault(SvcFaultKind K);
 } // namespace service
 } // namespace pdl
 
-#endif // PDL_SERVICE_SVCFAULT_H
+#endif // PDL_SUPPORT_SVCFAULT_H

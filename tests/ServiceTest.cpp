@@ -21,10 +21,12 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "backend/NativeCache.h"
+#include "cores/Core.h"
 #include "service/Client.h"
-#include "service/Persist.h"
+#include "support/Persist.h"
 #include "service/Server.h"
-#include "service/SvcFault.h"
+#include "support/SvcFault.h"
 #include "sim/StandingPool.h"
 
 #include <gtest/gtest.h>
@@ -348,6 +350,62 @@ TEST(ServiceTest, CacheHitIsByteIdenticalToColdRun) {
   EXPECT_EQ(CS.Hits, 1u);
   EXPECT_EQ(CS.Misses, 1u);
   S.closeClient(Client);
+}
+
+TEST(ServiceTest, WarmRestartPerformsZeroNativeRecompiles) {
+  // The acceptance property the native artifact store exists for: a second
+  // daemon start on a warm state dir binds every artifact from disk and
+  // never invokes the compiler again.
+  if (!backend::native::available())
+    GTEST_SKIP() << "no usable C++ compiler";
+
+  // Scoped native mode + private artifact dir; restore everything (and the
+  // process-lifetime circuit cache) however the test exits.
+  struct NativeEnvGuard {
+    NativeEnvGuard(const std::string &Dir) {
+      setenv("PDL_NATIVE_CACHE_DIR", Dir.c_str(), 1);
+      setenv("PDL_EVAL_NATIVE", "1", 1);
+      cores::resetSharedCircuitsForTest();
+      backend::native::resetStatsForTest();
+    }
+    ~NativeEnvGuard() {
+      unsetenv("PDL_EVAL_NATIVE");
+      unsetenv("PDL_NATIVE_CACHE_DIR");
+      cores::resetSharedCircuitsForTest();
+    }
+  } Guard(freshDir());
+
+  auto RunOnce = [&] {
+    service::SimService S({2, 16});
+    Sink A;
+    uint64_t Client = S.openClient(A.deliver());
+    S.handleLine(Client, service::encodeSimRequest(1, smallRequest()));
+    S.drain();
+    std::vector<std::string> Got = A.lines();
+    ASSERT_EQ(Got.size(), 1u);
+    EXPECT_NE(Got[0].find("\"ok\":true"), std::string::npos) << Got[0];
+    S.closeClient(Client);
+  };
+
+  // Daemon run 1: cold dir, the circuit compiles exactly once.
+  RunOnce();
+  backend::native::Stats Cold = backend::native::stats();
+  EXPECT_GE(Cold.Compiles, 1u);
+  EXPECT_EQ(Cold.CacheHits, 0u);
+  EXPECT_EQ(Cold.Fallbacks, 0u) << "native attach silently degraded";
+
+  // "Restart": drop the process-lifetime circuit cache, keep the disk.
+  cores::resetSharedCircuitsForTest();
+  backend::native::resetStatsForTest();
+
+  // Daemon run 2: everything binds warm — zero recompiles.
+  RunOnce();
+  backend::native::Stats Warm = backend::native::stats();
+  EXPECT_EQ(Warm.Compiles, 0u);
+  EXPECT_GE(Warm.CacheHits, 1u);
+  EXPECT_GE(Warm.Attached, 1u);
+  EXPECT_EQ(Warm.Fallbacks, 0u);
+  EXPECT_EQ(Warm.CompileMs, 0.0);
 }
 
 TEST(ServiceTest, PerClientResponsesAreFifoOrdered) {

@@ -29,6 +29,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <memory>
+
 using namespace pdl;
 
 namespace {
@@ -201,6 +204,52 @@ TEST(SnapshotTest, ConfigDigestMismatchRejected) {
   Rig Same(cores::CoreKind::Pdl5Stage, cores::memProfileAlwaysHit(), Words);
   EXPECT_EQ(Same.sys().configDigest(), A.sys().configDigest());
   EXPECT_NE(OtherCore.sys().configDigest(), A.sys().configDigest());
+}
+
+TEST(SnapshotTest, NativeModeSnapshotsRefuseCrossModeRestore) {
+  // The eval mode recorded in the config digest is the REQUESTED mode:
+  // a native-mode snapshot names native even on a machine where attach
+  // degraded to fused interpretation (no compiler), so resume refusal is
+  // symmetric everywhere — this test needs no working compiler.
+  const std::vector<uint32_t> Words = riscv::assemble(pinnedProgram());
+
+  auto MakeRig = [&](const char *Env) {
+    if (Env)
+      setenv(Env, "1", 1);
+    auto R = std::make_unique<Rig>(cores::CoreKind::Pdl5Stage,
+                                   cores::memProfileAlwaysHit(), Words);
+    if (Env)
+      unsetenv(Env);
+    return R;
+  };
+
+  auto NativeSys = MakeRig("PDL_EVAL_NATIVE");
+  NativeSys->sys().start(NativeSys->Core.cpu(), {Bits(0, 32)});
+  NativeSys->sys().run(60);
+  const std::string NativeBlob = NativeSys->sys().snapshot();
+
+  auto FusedSys = MakeRig("PDL_EVAL_FUSED");
+  FusedSys->sys().start(FusedSys->Core.cpu(), {Bits(0, 32)});
+  FusedSys->sys().run(60);
+  const std::string FusedBlob = FusedSys->sys().snapshot();
+
+  auto ByteSys = MakeRig(nullptr);
+
+  // Native snapshots restore only into native-requested systems.
+  std::string Err;
+  EXPECT_FALSE(FusedSys->sys().restore(NativeBlob, &Err));
+  EXPECT_NE(Err.find("config"), std::string::npos) << Err;
+  EXPECT_FALSE(ByteSys->sys().restore(NativeBlob, &Err));
+  EXPECT_NE(Err.find("config"), std::string::npos) << Err;
+
+  // And the other direction: a native-requested system refuses fused and
+  // bytecode snapshots.
+  EXPECT_FALSE(NativeSys->sys().restore(FusedBlob, &Err));
+  EXPECT_NE(Err.find("config"), std::string::npos) << Err;
+
+  // Same-mode restore still works.
+  auto NativeFresh = MakeRig("PDL_EVAL_NATIVE");
+  EXPECT_TRUE(NativeFresh->sys().restore(NativeBlob, &Err)) << Err;
 }
 
 /// A snapshot taken mid-run with a fault armed re-arms the unfired part of

@@ -52,17 +52,52 @@ cmp <(strip_eval_mode "$BUILD_DIR"/fuzz.json) \
 python3 tools/check_bench_json.py "$BUILD_DIR"/fuzz-fused.json
 cmp <(strip_eval_mode "$BUILD_DIR"/fuzz.json) \
     <(strip_eval_mode "$BUILD_DIR"/fuzz-fused.json)
+# The native tier (compiled artifacts) is the fourth evaluator: the same
+# matrix under --eval=native must also be byte-identical. Artifacts build
+# into a private dir so this leg is hermetic; the second run below proves
+# the dir is warm (no recompiles) AND that per-program results survive the
+# in-process cross-check — PDL_CHECK_EVAL_IDENTITY re-runs every native
+# simulation through the interpreter and aborts on any byte difference.
+# CI caches this dir across runs (keyed by compiler identity + backend
+# source hash), so a warm CI run never recompiles; artifacts are
+# content-addressed, so stale entries from older keys are inert.
+NATIVE_DIR="${PDL_NATIVE_SMOKE_DIR:-$BUILD_DIR/native-cache-smoke}"
+PDL_NATIVE_CACHE_DIR="$NATIVE_DIR" "$BUILD_DIR"/tools/pdlfuzz --eval=native \
+    --seed=1 --count=25 --json --out="$BUILD_DIR"/fuzz-out-native \
+    > "$BUILD_DIR"/fuzz-native.json
+python3 tools/check_bench_json.py "$BUILD_DIR"/fuzz-native.json
+cmp <(strip_eval_mode "$BUILD_DIR"/fuzz.json) \
+    <(strip_eval_mode "$BUILD_DIR"/fuzz-native.json)
+PDL_NATIVE_CACHE_DIR="$NATIVE_DIR" PDL_CHECK_EVAL_IDENTITY=1 \
+    "$BUILD_DIR"/tools/pdlfuzz --eval=native --seed=1 --count=10 --json \
+    --out="$BUILD_DIR"/fuzz-out-native2 > "$BUILD_DIR"/fuzz-native2.json
+# No usable compiler must degrade gracefully, not fail: same matrix, same
+# bytes, rows reporting the downgraded evaluator.
+PDL_NATIVE_CXX=/nonexistent/cxx "$BUILD_DIR"/tools/pdlfuzz --eval=native \
+    --seed=1 --count=10 --json --out="$BUILD_DIR"/fuzz-out-nofallback \
+    > "$BUILD_DIR"/fuzz-nocc.json
+if grep -q '"eval_mode": "native"' "$BUILD_DIR"/fuzz-nocc.json; then
+    echo "check.sh: no-compiler run still claims native eval_mode"; exit 1
+fi
+python3 tools/check_bench_json.py "$BUILD_DIR"/fuzz-nocc.json
 
-# Three-way single-run differential through pdlc: the run-stats document
+# Bytecode-lowering property fuzz: seeded random programs differentialed
+# through fusion (and, when a compiler is present, the emitted artifacts
+# via the NativeTest/ctest leg above). Nonzero exit on any divergence.
+"$BUILD_DIR"/tools/pdlfuzz --bc-fuzz=300 > /dev/null
+
+# Four-way single-run differential through pdlc: the run-stats document
 # (which carries no eval_mode field) must be byte-identical under all
-# three evaluators.
-for mode in bytecode tree fused; do
+# four evaluators. The native run reuses the warm artifact dir from above.
+for mode in bytecode tree fused native; do
+    PDL_NATIVE_CACHE_DIR="$NATIVE_DIR" \
     "$BUILD_DIR"/tools/pdlc --run cpu 0 --cycles 500 --stats=json \
         --eval="$mode" cores_pdl/rv32i_5stage.pdl \
         2> /dev/null > "$BUILD_DIR"/stats-"$mode".json
 done
 cmp "$BUILD_DIR"/stats-bytecode.json "$BUILD_DIR"/stats-tree.json
 cmp "$BUILD_DIR"/stats-bytecode.json "$BUILD_DIR"/stats-fused.json
+cmp "$BUILD_DIR"/stats-bytecode.json "$BUILD_DIR"/stats-native.json
 
 # Translation-validation smoke (tv-smoke in CI): every committed core
 # source must certify in strict mode — all obligations proved, certificate
@@ -73,6 +108,11 @@ cmp "$BUILD_DIR"/stats-bytecode.json "$BUILD_DIR"/stats-fused.json
 for f in cores_pdl/*.pdl; do
     "$BUILD_DIR"/tools/pdlc --certify=strict "$f" > /dev/null
     "$BUILD_DIR"/tools/pdlc --certify=strict --eval=fused "$f" > /dev/null
+    # Native emission happens under the same strict certificate: certifying
+    # with --eval=native proves the gate, attach, and artifact store end to
+    # end for every committed core.
+    PDL_NATIVE_CACHE_DIR="$NATIVE_DIR" "$BUILD_DIR"/tools/pdlc \
+        --certify=strict --eval=native "$f" > /dev/null
 done
 "$BUILD_DIR"/tools/pdlc --certify --stats=json cores_pdl/rv32i_5stage.pdl \
     2> /dev/null > "$BUILD_DIR"/certify.json
@@ -230,5 +270,48 @@ python3 tools/check_bench_json.py "$BUILD_DIR"/BENCH_sim.json
 "$BUILD_DIR"/bench/bench_sim_throughput --json --kernels=kmp --eval=fused \
     > "$BUILD_DIR"/BENCH_sim_fused.json
 python3 tools/check_bench_json.py "$BUILD_DIR"/BENCH_sim_fused.json
+# Native rows carry the compiler identity and the artifact cache-hit flag;
+# --compare emits all four evaluators from one invocation.
+PDL_NATIVE_CACHE_DIR="$NATIVE_DIR" "$BUILD_DIR"/bench/bench_sim_throughput \
+    --json --kernels=kmp --eval=native > "$BUILD_DIR"/BENCH_sim_native.json
+python3 tools/check_bench_json.py "$BUILD_DIR"/BENCH_sim_native.json
+PDL_NATIVE_CACHE_DIR="$NATIVE_DIR" "$BUILD_DIR"/bench/bench_sim_throughput \
+    --json --kernels=kmp --compare > "$BUILD_DIR"/BENCH_sim_compare.json
+python3 tools/check_bench_json.py "$BUILD_DIR"/BENCH_sim_compare.json
+
+# Native warm-restart smoke: a daemon in --eval=native mode with a state
+# dir compiles its artifacts once; a restarted daemon on the same state
+# dir must report zero compiles and at least one cache hit in its drain
+# stats while serving the same batch byte-identically.
+NSVC_SOCK="$BUILD_DIR/pdlsimd-native.sock"
+NSVC_STATE="$BUILD_DIR/pdlsimd-native-state"
+rm -rf "$NSVC_SOCK" "$NSVC_STATE"
+for run in cold warm; do
+    "$BUILD_DIR"/tools/pdlsimd --socket="$NSVC_SOCK" --workers="$JOBS" \
+        --cache=256 --state-dir="$NSVC_STATE" --eval=native \
+        2> "$BUILD_DIR"/pdlsimd-native-"$run".log &
+    NSVC_PID=$!
+    trap 'kill "$NSVC_PID" 2>/dev/null || true' EXIT
+    for _ in $(seq 1 50); do [ -S "$NSVC_SOCK" ] && break; sleep 0.1; done
+    "$BUILD_DIR"/tools/pdlsim --socket="$NSVC_SOCK" --seed=1 --count=5 \
+        --json --retries=8 --retry-delay-ms=100 \
+        > "$BUILD_DIR"/service-native-"$run".jsonl
+    kill -TERM "$NSVC_PID"
+    wait "$NSVC_PID"
+    trap - EXIT
+    # The warm daemon serves from its persistent result cache; strip the
+    # cached flag before comparing, as the crash-recovery leg does.
+    [ "$run" = cold ] && rm -rf "$NSVC_STATE/cache"
+done
+cmp <(sed 's/"cached":true/"cached":false/' \
+        "$BUILD_DIR"/service-native-warm.jsonl) \
+    <(sed 's/"cached":true/"cached":false/' \
+        "$BUILD_DIR"/service-native-cold.jsonl)
+grep -Eq 'native tier: [1-9][0-9]* compile' \
+    "$BUILD_DIR"/pdlsimd-native-cold.log || {
+    echo "check.sh: cold native daemon reported no compiles"; exit 1; }
+grep -Eq 'native tier: 0 compile\(s\) \([0-9]+ ms\), [1-9][0-9]* cache hit' \
+    "$BUILD_DIR"/pdlsimd-native-warm.log || {
+    echo "check.sh: restarted native daemon recompiled"; exit 1; }
 
 echo "check.sh: all green"

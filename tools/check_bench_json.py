@@ -29,7 +29,7 @@ OUTCOMES = ["running", "halted", "drained", "deadlocked", "timed_out",
 
 TV_STATUSES = ["certified", "fuzz-trusted", "rejected"]
 
-EVAL_MODES = ["bytecode", "tree", "fused"]
+EVAL_MODES = ["bytecode", "tree", "fused", "native"]
 
 DISPATCH_MODES = ["threaded", "switch"]
 
@@ -76,11 +76,15 @@ def check_throughput(row, where):
                f"{where}: speedup_vs_baseline must be > 0")
 
 
-def check_eval_mode(row, where):
+def check_eval_mode(row, where, native_provenance=False):
     """Evaluator provenance fields (bench_sim_throughput and pdlfuzz rows).
     Optional — older logs omit them — but when present they must name a
-    real evaluator, and only the fused evaluator may carry fused
-    superinstructions."""
+    real evaluator, and only the fused and native evaluators may carry
+    fused superinstructions (native artifacts are emitted from the fused
+    lowering, so a native row with 0 fused_ops would mean the emitter saw
+    unfused bytecode). With native_provenance (the timed throughput bench),
+    native rows must also say which compiler built the artifact and
+    whether it came warm from the on-disk cache."""
     if "eval_mode" in row:
         expect(row["eval_mode"] in EVAL_MODES,
                f"{where}: eval_mode '{row['eval_mode']}' not in {EVAL_MODES}")
@@ -94,6 +98,22 @@ def check_eval_mode(row, where):
             expect(row["fused_ops"] == 0,
                    f"{where}: {row['eval_mode']} rows must report 0 "
                    f"fused_ops, got {row['fused_ops']}")
+        if row.get("eval_mode") == "native":
+            expect(row["fused_ops"] > 0,
+                   f"{where}: native rows emit from the fused lowering and "
+                   f"must report fused_ops > 0")
+    if "compiler" in row:
+        expect(isinstance(row["compiler"], str) and row["compiler"],
+               f"{where}: compiler must be a non-empty string")
+    if "native_cache_hit" in row:
+        expect(isinstance(row["native_cache_hit"], bool),
+               f"{where}: native_cache_hit must be a bool")
+    if native_provenance and row.get("eval_mode") == "native":
+        expect("compiler" in row,
+               f"{where}: native throughput rows must name their compiler")
+        expect("native_cache_hit" in row,
+               f"{where}: native throughput rows must carry "
+               f"native_cache_hit")
 
 
 def check_robustness(obj, where):
@@ -338,7 +358,9 @@ def main():
                 expect(uint(row[key]), f"{where}: {key}")
         check_robustness(row, where)
         check_throughput(row, where)
-        check_eval_mode(row, where)
+        check_eval_mode(row, where,
+                        native_provenance=doc.get("bench") ==
+                        "sim_throughput")
         if "report" in row:
             check_report(row["report"], where)
             reports += 1

@@ -34,6 +34,7 @@
 
 #include "backend/Compile.h"
 #include "backend/Fuse.h"
+#include "backend/NativeCache.h"
 #include "backend/System.h"
 #include "obs/Sinks.h"
 #include "obs/VcdWriter.h"
@@ -62,10 +63,13 @@ static void usage() {
                "            [--certify[=strict]] FILE.pdl\n"
                "  --eval=MODE  expression evaluation: 'bytecode' (default),\n"
                "               'tree' (legacy tree walker; also enabled by\n"
-               "               the PDL_EVAL_TREE environment variable), or\n"
+               "               the PDL_EVAL_TREE environment variable),\n"
                "               'fused' (superinstruction-fused bytecode;\n"
-               "               also enabled by PDL_EVAL_FUSED). Results are\n"
-               "               byte-identical across modes.\n"
+               "               also enabled by PDL_EVAL_FUSED), or 'native'\n"
+               "               (emitted-and-dlopen'd C++, PDL_EVAL_NATIVE;\n"
+               "               requires a strict TV certificate and falls\n"
+               "               back to 'fused' without a compiler). Results\n"
+               "               are byte-identical across modes.\n"
                "  --certify    translation-validate the compiled bytecode\n"
                "               against the expression tree and replay the\n"
                "               certificate; exit 4 on a refutation. With\n"
@@ -76,7 +80,7 @@ static void usage() {
 int main(int argc, char **argv) {
   bool DumpStages = false, DumpSeq = false, DumpAst = false;
   bool StatsJson = false, Timeline = false, EvalTree = false;
-  bool EvalFused = false;
+  bool EvalFused = false, EvalNative = false;
   bool Certify = false, CertifyStrict = false;
   std::string RunPipe, TracePath;
   uint64_t RunArg = 0, Cycles = 100;
@@ -124,10 +128,12 @@ int main(int argc, char **argv) {
         EvalTree = true;
       } else if (Mode == "fused") {
         EvalFused = true;
+      } else if (Mode == "native") {
+        EvalNative = true;
       } else if (Mode != "bytecode") {
         std::fprintf(stderr,
-                     "pdlc: --eval wants 'bytecode', 'tree' or 'fused', "
-                     "got '%s'\n",
+                     "pdlc: --eval wants 'bytecode', 'tree', 'fused' or "
+                     "'native', got '%s'\n",
                      Mode.c_str());
         return 2;
       }
@@ -186,7 +192,11 @@ int main(int argc, char **argv) {
     // Certify the lowering that will actually run: under --eval=fused (or
     // PDL_EVAL_FUSED) the superinstruction pass is part of the compiled
     // artifact, so the validator must see — and be able to refute — it.
-    if (EvalFused || backend::bc::fusedModeRequested())
+    // --eval=native emits from the same fused lowering, so it certifies
+    // identically (the emitted C++ is covered transitively: bc::exec and
+    // the artifact are proven byte-identical by PDL_CHECK_EVAL_IDENTITY).
+    if (EvalFused || EvalNative || backend::bc::fusedModeRequested() ||
+        backend::native::nativeModeRequested())
       IR = backend::bc::fuseModule(*IR);
     tv::Certificate Cert = tv::validateModule(Program, *IR, File);
     tv::CheckResult Replay = tv::checkCertificate(Cert, Program, *IR);
@@ -321,6 +331,30 @@ int main(int argc, char **argv) {
     backend::ElabConfig Cfg;
     Cfg.EvalTree = EvalTree;
     Cfg.EvalFused = EvalFused;
+    // The native tier needs a certified circuit before anything may be
+    // emitted: certify the fused lowering here (pdlc links tv, unlike the
+    // backend) and hand the attached module in via CompiledIR. Attach
+    // failure — no compiler, no strict proof — degrades to the fused
+    // interpreter with a note, never an error.
+    if (!EvalTree &&
+        (EvalNative || backend::native::nativeModeRequested())) {
+      Cfg.EvalNative = true;
+      std::shared_ptr<const backend::bc::ModuleIR> IR =
+          backend::bc::fuseModule(*backend::bc::compileModule(Program));
+      tv::Certificate Cert = tv::validateModule(Program, *IR, File);
+      backend::native::AttachOptions AO;
+      AO.CertDigest = Cert.digest();
+      AO.Certified = Cert.St == tv::Status::Certified;
+      AO.ModuleName = File;
+      std::string AErr;
+      if (!backend::native::attachModule(
+              const_cast<backend::bc::ModuleIR &>(*IR), AO, &AErr))
+        std::fprintf(stderr,
+                     "pdlc: native tier unavailable (%s); running the "
+                     "fused interpreter\n",
+                     AErr.c_str());
+      Cfg.CompiledIR = IR;
+    }
     Cfg.MemModels = MemModels;
     for (const auto &[Key, C] : MemModels)
       std::fprintf(Msg, "mem-model %s: %s\n", Key.c_str(),

@@ -29,6 +29,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "backend/BcGen.h"
+#include "backend/Fuse.h"
 #include "sim/BatchRunner.h"
 
 #include <cstdio>
@@ -46,16 +48,81 @@ static void usage() {
       "usage: pdlfuzz [--seed=N] [--count=N] [--cycles=N] [--jobs=N]\n"
       "               [--cores=LIST] [--profiles=LIST] [--out=DIR]\n"
       "               [--fault=SPEC] [--json] [--fail-fast] [--certify]\n"
-      "               [--eval=MODE]\n"
+      "               [--eval=MODE] [--bc-fuzz=N]\n"
       "  cores:    5stage nobypass 3stage bht rv32im rename\n"
       "  profiles: always-hit l1-4k l1-tiny\n"
       "  fault:    kind[:pipe=P,mem=M,from=S,to=S,nth=N,bit=N,var=V]\n"
       "  certify:  translation-validate each core's compiled bytecode;\n"
       "            rows carry a 'tv' field and a rejected certificate\n"
       "            counts as a failure\n"
-      "  eval:     'bytecode' (default), 'tree' or 'fused' — the expression\n"
-      "            evaluator every job runs under; results (and JSON rows,\n"
-      "            minus the eval_mode field) are byte-identical per seed\n");
+      "  eval:     'bytecode' (default), 'tree', 'fused' or 'native' — the\n"
+      "            expression evaluator every job runs under; results (and\n"
+      "            JSON rows, minus the eval_mode field) are byte-identical\n"
+      "            per seed\n"
+      "  bc-fuzz:  property-test the bytecode lowerings instead of the\n"
+      "            cores: N seeded random programs, each executed fused vs\n"
+      "            unfused over many random frames (honours --seed)\n");
+}
+
+namespace {
+/// Generated bc-fuzz programs are pure by construction — any hook dispatch
+/// is a generator bug worth an immediate loud stop.
+struct NullHooks : backend::bc::Hooks {
+  Bits readMem(const ast::MemReadExpr &, uint64_t) override {
+    std::fprintf(stderr, "pdlfuzz: --bc-fuzz program called readMem\n");
+    std::abort();
+  }
+  Bits callExtern(const ast::ExternCallExpr &, const Bits *,
+                  unsigned) override {
+    std::fprintf(stderr, "pdlfuzz: --bc-fuzz program called callExtern\n");
+    std::abort();
+  }
+};
+} // namespace
+
+/// Property test over the bytecode lowerings: N seeded random programs,
+/// each run fused vs unfused over FramesPer random input frames. Returns
+/// the number of divergent (program, frame) pairs.
+static uint64_t runBcFuzz(uint64_t Seed, uint64_t Count) {
+  namespace bc = backend::bc;
+  constexpr unsigned FramesPer = 16;
+  NullHooks Hooks;
+  bc::FuseStats Stats;
+  uint64_t Failures = 0;
+  for (uint64_t N = 0; N != Count; ++N) {
+    const uint64_t ProgSeed = Seed + N;
+    bc::GenProgram G = bc::genProgram(ProgSeed);
+    bc::ExprProgram Fused = bc::fuseProgram(G.Prog, &Stats);
+    for (unsigned F = 0; F != FramesPer; ++F) {
+      const uint64_t FrameSeed = ProgSeed * 1000003ull + F;
+      std::vector<Bits> Base = bc::randomFrame(G, FrameSeed);
+      std::vector<Bits> Other = Base;
+      Bits R0 = bc::exec(G.Prog, Base.data(), Hooks);
+      Bits R1 = bc::exec(Fused, Other.data(), Hooks);
+      if (R0 != R1) {
+        ++Failures;
+        std::fprintf(stderr,
+                     "pdlfuzz: FAIL bc-fuzz seed=%llu frame=%u: unfused %s "
+                     "!= fused %s (%zu -> %zu insns)\n",
+                     (unsigned long long)ProgSeed, F, R0.str().c_str(),
+                     R1.str().c_str(), G.Prog.Code.size(),
+                     Fused.Code.size());
+        break; // one report per program is enough to reproduce
+      }
+    }
+  }
+  std::fprintf(stderr,
+               "pdlfuzz: bc-fuzz %llu program(s) x %u frame(s), %llu "
+               "failure(s); folds: cmpbr=%llu cmpretbool=%llu retbool=%llu "
+               "select=%llu bink=%llu retop=%llu deadconst=%llu\n",
+               (unsigned long long)Count, FramesPer,
+               (unsigned long long)Failures, (unsigned long long)Stats.CmpBr,
+               (unsigned long long)Stats.CmpRetBool,
+               (unsigned long long)Stats.RetBool,
+               (unsigned long long)Stats.Select,
+               (unsigned long long)Stats.BinK, (unsigned long long)Stats.RetOp,
+               (unsigned long long)Stats.DeadConst);
+  return Failures;
 }
 
 static std::vector<std::string> splitList(const std::string &S) {
@@ -74,7 +141,7 @@ static std::vector<std::string> splitList(const std::string &S) {
 
 int main(int argc, char **argv) {
   sim::FuzzOptions O;
-  uint64_t Jobs = 1;
+  uint64_t Jobs = 1, BcFuzz = 0;
   std::string CoreList = "5stage,bht", ProfileList = "always-hit,l1-tiny";
 
   for (int I = 1; I < argc; ++I) {
@@ -87,7 +154,8 @@ int main(int argc, char **argv) {
       return true;
     };
     if (Num("--seed=", O.Seed) || Num("--count=", O.Count) ||
-        Num("--cycles=", O.MaxCycles) || Num("--jobs=", Jobs)) {
+        Num("--cycles=", O.MaxCycles) || Num("--jobs=", Jobs) ||
+        Num("--bc-fuzz=", BcFuzz)) {
     } else if (A.rfind("--cores=", 0) == 0) {
       CoreList = A.substr(8);
     } else if (A.rfind("--profiles=", 0) == 0) {
@@ -115,10 +183,12 @@ int main(int argc, char **argv) {
         setenv("PDL_EVAL_TREE", "1", 1);
       } else if (Mode == "fused") {
         setenv("PDL_EVAL_FUSED", "1", 1);
+      } else if (Mode == "native") {
+        setenv("PDL_EVAL_NATIVE", "1", 1);
       } else if (Mode != "bytecode") {
         std::fprintf(stderr,
-                     "pdlfuzz: --eval wants 'bytecode', 'tree' or 'fused', "
-                     "got '%s'\n",
+                     "pdlfuzz: --eval wants 'bytecode', 'tree', 'fused' or "
+                     "'native', got '%s'\n",
                      Mode.c_str());
         return 2;
       }
@@ -132,6 +202,9 @@ int main(int argc, char **argv) {
     }
   }
   O.Jobs = Jobs ? unsigned(Jobs) : 1u;
+
+  if (BcFuzz)
+    return runBcFuzz(O.Seed, BcFuzz) ? 1 : 0;
 
   O.Kinds.clear();
   for (const std::string &S : splitList(CoreList)) {

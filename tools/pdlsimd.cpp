@@ -32,8 +32,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "backend/NativeCache.h"
 #include "service/Server.h"
-#include "service/SvcFault.h"
+#include "support/SvcFault.h"
 
 #include <csignal>
 #include <cstdio>
@@ -70,10 +71,16 @@ static void usage() {
                "                  (0 disables; needs --state-dir)\n"
                "  --eval=MODE     expression evaluation for every served\n"
                "                  run: 'bytecode' (default), 'tree' (the\n"
-               "                  PDL_EVAL_TREE escape hatch) or 'fused'\n"
-               "                  (superinstruction bytecode, PDL_EVAL_FUSED;\n"
-               "                  results must be byte-identical in every\n"
-               "                  mode — cached results are shared freely)\n");
+               "                  PDL_EVAL_TREE escape hatch), 'fused'\n"
+               "                  (superinstruction bytecode, PDL_EVAL_FUSED)\n"
+               "                  or 'native' (compiled artifacts,\n"
+               "                  PDL_EVAL_NATIVE; falls back to fused when\n"
+               "                  no compiler is found); results must be\n"
+               "                  byte-identical in every mode — cached\n"
+               "                  results are shared freely. With\n"
+               "                  --state-dir, native artifacts persist\n"
+               "                  under DIR/native so a restart recompiles\n"
+               "                  nothing\n");
 }
 
 int main(int argc, char **argv) {
@@ -106,10 +113,12 @@ int main(int argc, char **argv) {
         setenv("PDL_EVAL_TREE", "1", 1);
       } else if (Mode == "fused") {
         setenv("PDL_EVAL_FUSED", "1", 1);
+      } else if (Mode == "native") {
+        setenv("PDL_EVAL_NATIVE", "1", 1);
       } else if (Mode != "bytecode") {
         std::fprintf(stderr,
-                     "pdlsimd: --eval wants 'bytecode', 'tree' or 'fused', "
-                     "got '%s'\n",
+                     "pdlsimd: --eval wants 'bytecode', 'tree', 'fused' or "
+                     "'native', got '%s'\n",
                      Mode.c_str());
         return 2;
       }
@@ -130,6 +139,13 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "pdlsimd: --checkpoint-every needs --state-dir\n");
     return 2;
   }
+  // Native artifacts belong with the rest of the daemon's durable state:
+  // keyed into the state dir, a restart finds every compiled circuit warm
+  // and performs zero recompiles. An explicit PDL_NATIVE_CACHE_DIR wins.
+  if (!Opts.StateDir.empty() &&
+      backend::native::nativeModeRequested() &&
+      std::getenv("PDL_NATIVE_CACHE_DIR") == nullptr)
+    setenv("PDL_NATIVE_CACHE_DIR", (Opts.StateDir + "/native").c_str(), 1);
 
   std::string FaultErr;
   if (std::optional<service::SvcFaultPlan> FP =
@@ -175,6 +191,17 @@ int main(int argc, char **argv) {
                  (unsigned long long)S.Reloaded,
                  (unsigned long long)S.Quarantined,
                  (unsigned long long)S.PersistErrors);
+  if (backend::native::nativeModeRequested()) {
+    backend::native::Stats NS = backend::native::stats();
+    std::fprintf(stderr,
+                 "pdlsimd: native tier: %llu compile(s) (%llu ms), %llu "
+                 "cache hit(s), %llu module(s) attached, %llu fallback(s)\n",
+                 (unsigned long long)NS.Compiles,
+                 (unsigned long long)NS.CompileMs,
+                 (unsigned long long)NS.CacheHits,
+                 (unsigned long long)NS.Attached,
+                 (unsigned long long)NS.Fallbacks);
+  }
   GServer = nullptr;
   return 0;
 }
